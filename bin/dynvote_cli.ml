@@ -1,0 +1,373 @@
+(* Command-line front-end: regenerate the paper's tables, inspect the
+   topology, trace scenarios, sweep parameters. *)
+
+module Policy = Dynvote.Policy
+module Site_set = Dynvote.Site_set
+module Ordering = Dynvote.Ordering
+module Decision = Dynvote.Decision
+module Topology = Dynvote_net.Topology
+module Config = Dynvote_sim.Config
+module Study = Dynvote_sim.Study
+module Table = Dynvote_sim.Table
+module Site_spec = Dynvote_failures.Site_spec
+module Event_gen = Dynvote_failures.Event_gen
+module Timeline = Dynvote_sim.Timeline
+module Text_table = Dynvote_report.Text_table
+module Csv = Dynvote_report.Csv
+module Voting_model = Dynvote_analytic.Voting_model
+module Kofn = Dynvote_analytic.Kofn
+
+open Cmdliner
+
+(* Shared options. *)
+
+let seed =
+  let doc = "Random seed for the failure trace." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let horizon =
+  let doc = "Total simulated days (including the 360-day warm-up)." in
+  Arg.(value & opt float 400_360.0 & info [ "horizon" ] ~docv:"DAYS" ~doc)
+
+let batches =
+  let doc = "Number of batches for the batch-means confidence intervals." in
+  Arg.(value & opt int 20 & info [ "batches" ] ~docv:"N" ~doc)
+
+let access_interval =
+  let doc = "Days between file accesses for the optimistic policies." in
+  Arg.(value & opt float 1.0 & info [ "access-interval" ] ~docv:"DAYS" ~doc)
+
+let quiet =
+  let doc = "Suppress progress output." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let parameters seed horizon batches access_interval =
+  { Study.default_parameters with seed; horizon; batches; access_interval }
+
+let progress quiet =
+  if quiet then None
+  else
+    Some
+      (fun ~completed ~total ->
+        Printf.eprintf "\rsimulated %.0f / %.0f days (%.0f%%)%!" completed total
+          (100.0 *. completed /. total);
+        if completed >= total then prerr_newline ())
+
+let run_study ~params ~quiet ?kinds ?configs () =
+  let results = Study.run ~parameters:params ?kinds ?configs ?progress:(progress quiet) () in
+  if not quiet then prerr_newline ();
+  results
+
+(* Subcommand: table1. *)
+
+let table1_cmd =
+  let run () =
+    Text_table.print (Table.table1 Site_spec.ucsd_sites);
+    print_endline "Note: sites 1, 3 and 5 are down 3 hours every 90 days for maintenance."
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the site characteristics (paper Table 1).")
+    Term.(const run $ const ())
+
+(* Subcommand: topology. *)
+
+let topology_cmd =
+  let run () =
+    Fmt.pr "%a@." Topology.pp_ascii Topology.ucsd;
+    Fmt.pr "@.%a@." Topology.pp Topology.ucsd
+  in
+  Cmd.v (Cmd.info "topology" ~doc:"Show the Figure 8 network.") Term.(const run $ const ())
+
+(* Subcommands: table2 / table3. *)
+
+let make_tables_cmd name doc which =
+  let run seed horizon batches access_interval quiet compare csv =
+    let params = parameters seed horizon batches access_interval in
+    let results = run_study ~params ~quiet () in
+    (match which with
+    | `Two -> Text_table.print (Table.table2 results)
+    | `Three -> Text_table.print (Table.table3 results));
+    if compare then begin
+      print_endline "\nPaper vs measured:";
+      let kind =
+        match which with `Two -> Table.Unavailability | `Three -> Table.Outage_duration
+      in
+      Text_table.print (Table.comparison kind results)
+    end;
+    match csv with
+    | None -> ()
+    | Some path ->
+        let rows =
+          List.map
+            (fun r ->
+              [ Config.label r.Study.config;
+                Policy.kind_name r.Study.kind;
+                Printf.sprintf "%.8f" r.Study.unavailability;
+                Printf.sprintf "%.8f" r.Study.interval.Dynvote_stats.Batch_means.half_width;
+                Printf.sprintf "%.6f" r.Study.mean_outage_days;
+                string_of_int r.Study.outages;
+                Printf.sprintf "%.2f" r.Study.longest_up_days ])
+            results
+        in
+        Csv.write ~path
+          ~header:
+            [ "config"; "policy"; "unavailability"; "ci95_half_width";
+              "mean_outage_days"; "outages"; "longest_up_days" ]
+          rows;
+        Printf.eprintf "wrote %s\n" path
+  in
+  let compare =
+    Arg.(value & flag & info [ "compare" ] ~doc:"Also print paper-vs-measured ratios.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the full results as CSV.")
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ seed $ horizon $ batches $ access_interval $ quiet $ compare $ csv)
+
+let table2_cmd =
+  make_tables_cmd "table2" "Reproduce the unavailability study (paper Table 2)." `Two
+
+let table3_cmd =
+  make_tables_cmd "table3" "Reproduce the outage-duration study (paper Table 3)." `Three
+
+(* Subcommand: simulate (one configuration, chosen policies, full detail). *)
+
+let simulate_cmd =
+  let config_arg =
+    let doc = "Configuration label (A-H)." in
+    Arg.(value & opt string "A" & info [ "config" ] ~docv:"LABEL" ~doc)
+  in
+  let kinds_arg =
+    let doc = "Comma-separated policies (MCV,DV,LDV,ODV,TDV,OTDV)." in
+    Arg.(value & opt string "MCV,DV,LDV,ODV,TDV,OTDV" & info [ "policies" ] ~docv:"LIST" ~doc)
+  in
+  let run seed horizon batches access_interval quiet config_label kinds_text =
+    let params = parameters seed horizon batches access_interval in
+    let config =
+      match Config.find config_label with
+      | Some c -> c
+      | None -> Fmt.failwith "unknown configuration %S (expected A-H)" config_label
+    in
+    let kinds =
+      String.split_on_char ',' kinds_text
+      |> List.map (fun name ->
+             match Policy.kind_of_string (String.trim name) with
+             | Some k -> k
+             | None -> Fmt.failwith "unknown policy %S" name)
+    in
+    let results = run_study ~params ~quiet ~kinds ~configs:[ config ] () in
+    Text_table.print (Table.intervals results)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate one configuration in detail.")
+    Term.(
+      const run $ seed $ horizon $ batches $ access_interval $ quiet $ config_arg
+      $ kinds_arg)
+
+(* Subcommand: sweep (access-rate ablation). *)
+
+let sweep_cmd =
+  let config_arg =
+    let doc = "Configuration label (A-H)." in
+    Arg.(value & opt string "F" & info [ "config" ] ~docv:"LABEL" ~doc)
+  in
+  let run seed horizon batches quiet config_label =
+    let params = { Study.default_parameters with seed; horizon; batches } in
+    let table =
+      Text_table.create
+        ~aligns:[ Text_table.Right; Text_table.Right; Text_table.Right; Text_table.Right ]
+        ~header:[ "Accesses/day"; "ODV"; "OTDV"; "LDV (ref)" ] ()
+    in
+    let sweep_data = Study.sweep_access_rate ~parameters:params ~config_label () in
+    List.iter
+      (fun (rate, results) ->
+        let cell kind =
+          match List.find_opt (fun r -> r.Study.kind = kind) results with
+          | Some r -> Text_table.cell_float r.Study.unavailability
+          | None -> ""
+        in
+        Text_table.add_row table
+          [ Printf.sprintf "%g" rate; cell Policy.Odv; cell Policy.Otdv; cell Policy.Ldv ])
+      sweep_data;
+    ignore quiet;
+    Text_table.print table;
+    (* The same data as a curve (log-log view of the optimism effect). *)
+    let series kind label =
+      {
+        Dynvote_report.Ascii_plot.label;
+        points =
+          List.filter_map
+            (fun (rate, results) ->
+              List.find_opt (fun r -> r.Study.kind = kind) results
+              |> Option.map (fun r -> (rate, Float.max r.Study.unavailability 1e-7)))
+            sweep_data;
+      }
+    in
+    Fmt.pr "@.Unavailability vs access rate (log y):@.";
+    Dynvote_report.Ascii_plot.print ~scale:Dynvote_report.Ascii_plot.Log10
+      [ series Policy.Odv "ODV"; series Policy.Ldv "LDV" ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the access rate for the optimistic policies (ablation).")
+    Term.(const run $ seed $ horizon $ batches $ quiet $ config_arg)
+
+(* Subcommand: partitions. *)
+
+let partitions_cmd =
+  let config_arg =
+    Arg.(value & opt string "C" & info [ "config" ] ~docv:"LABEL" ~doc:"Configuration label (A-H).")
+  in
+  let run config_label =
+    let config =
+      match Config.find config_label with
+      | Some c -> c
+      | None -> Fmt.failwith "unknown configuration %S (expected A-H)" config_label
+    in
+    let names = Topology.site_names Topology.ucsd in
+    let copies = Config.copies config in
+    Fmt.pr "Configuration %a@.@." Config.pp config;
+    Fmt.pr "Partition points (gateways whose lone failure splits the copies): %a@.@."
+      (Site_set.pp_names names)
+      (Dynvote_net.Partition_enum.partition_points Topology.ucsd ~among:copies);
+    Fmt.pr "All partitions achievable through gateway failures:@.";
+    List.iter
+      (fun groups ->
+        Fmt.pr "  %s@."
+          (String.concat " | "
+             (List.map (fun g -> Fmt.str "%a" (Site_set.pp_names names) g) groups)))
+      (Dynvote_net.Partition_enum.gateway_partitions Topology.ucsd ~among:copies)
+  in
+  Cmd.v
+    (Cmd.info "partitions"
+       ~doc:"Enumerate the partitions a configuration's copies can suffer.")
+    Term.(const run $ config_arg)
+
+(* Subcommand: timeline. *)
+
+let timeline_cmd =
+  let config_arg =
+    Arg.(value & opt string "F" & info [ "config" ] ~docv:"LABEL" ~doc:"Configuration label (A-H).")
+  in
+  let start_arg =
+    Arg.(value & opt float 360.0 & info [ "start" ] ~docv:"DAY" ~doc:"Window start (days).")
+  in
+  let days_arg =
+    Arg.(value & opt float 1500.0 & info [ "days" ] ~docv:"N" ~doc:"Window length (days).")
+  in
+  let columns_arg =
+    Arg.(value & opt int 72 & info [ "columns" ] ~docv:"N" ~doc:"Strip width in cells.")
+  in
+  let run seed config_label start days columns =
+    let config =
+      match Config.find config_label with
+      | Some c -> c
+      | None -> Fmt.failwith "unknown configuration %S (expected A-H)" config_label
+    in
+    let parameters = { Study.default_parameters with seed } in
+    let timeline = Timeline.collect ~parameters ~config ~start ~duration:days () in
+    Fmt.pr "Configuration %a@.@." Config.pp config;
+    Fmt.pr "%a" (Timeline.pp ~columns) timeline
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Render each policy's availability over a window of the failure trace.")
+    Term.(const run $ seed $ config_arg $ start_arg $ days_arg $ columns_arg)
+
+(* Subcommand: trace. *)
+
+let trace_cmd =
+  let days_arg =
+    Arg.(value & opt float 120.0 & info [ "days" ] ~docv:"N" ~doc:"How many days to print.")
+  in
+  let run seed days =
+    let generator = Event_gen.create ~seed Site_spec.ucsd_sites in
+    let names = Topology.site_names Topology.ucsd in
+    let rec loop () =
+      let tr = Event_gen.next generator in
+      if tr.Event_gen.time < days then begin
+        Fmt.pr "%10.4f  %-8s %-4s %a@." tr.Event_gen.time
+          names.(tr.Event_gen.site)
+          (if tr.Event_gen.now_up then "UP" else "DOWN")
+          Event_gen.pp_cause tr.Event_gen.cause;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the site failure/repair/maintenance event stream.")
+    Term.(const run $ seed $ days_arg)
+
+(* Subcommand: reliability (exact CTMC analysis, no simulation). *)
+
+let reliability_cmd =
+  let copies_arg =
+    Arg.(value & opt int 3 & info [ "copies" ] ~docv:"N" ~doc:"Number of identical copies (<= 10).")
+  in
+  let mttf_arg =
+    Arg.(value & opt float 10.0 & info [ "mttf" ] ~docv:"DAYS" ~doc:"Per-site mean time to fail.")
+  in
+  let mttr_arg =
+    Arg.(value & opt float 1.0 & info [ "mttr" ] ~docv:"DAYS" ~doc:"Per-site mean repair time.")
+  in
+  let run copies mttf mttr =
+    if copies < 1 || copies > 10 then Fmt.failwith "copies must be within 1..10";
+    let fail_rate = Array.make copies (1.0 /. mttf) in
+    let repair_rate = Array.make copies (1.0 /. mttr) in
+    let ordering = Ordering.default copies in
+    let table =
+      Text_table.create
+        ~aligns:[ Text_table.Left; Text_table.Right; Text_table.Right; Text_table.Right;
+                  Text_table.Right; Text_table.Right; Text_table.Right ]
+        ~header:
+          [ "Policy"; "Unavail"; "Mean up (d)"; "Mean down (d)"; "MTTF (d)"; "R(30d)";
+            "R(365d)" ]
+        ()
+    in
+    let add ?access_rate name flavor =
+      let p =
+        Voting_model.period_statistics ~flavor ?access_rate ~fail_rate ~repair_rate
+          ~ordering ()
+      in
+      let mttf_file =
+        Voting_model.mean_time_to_unavailability ~flavor ?access_rate ~fail_rate
+          ~repair_rate ~ordering ()
+      in
+      let r t =
+        Voting_model.survival ~flavor ?access_rate ~fail_rate ~repair_rate ~ordering ~t ()
+      in
+      Text_table.add_row table
+        [ name;
+          Text_table.cell_float (1.0 -. p.Voting_model.availability);
+          Printf.sprintf "%.2f" p.Voting_model.mean_up_days;
+          Printf.sprintf "%.4f" p.Voting_model.mean_down_days;
+          Printf.sprintf "%.1f" mttf_file;
+          Printf.sprintf "%.4f" (r 30.0);
+          Printf.sprintf "%.4f" (r 365.0) ]
+    in
+    add "DV" Decision.dv_flavor;
+    add "LDV" Decision.ldv_flavor;
+    add "TDV (paper)" Decision.tdv_flavor;
+    add "TDV (safe)" Decision.tdv_safe_flavor;
+    add ~access_rate:1.0 "ODV (Poisson 1/day)" Decision.ldv_flavor;
+    add ~access_rate:1.0 "OTDV (Poisson 1/day)" Decision.tdv_flavor;
+    Fmt.pr "Exact Markov analysis: %d identical copies on one segment,@." copies;
+    Fmt.pr "MTTF %g days, exponential repair of mean %g days.@.@." mttf mttr;
+    Text_table.print table;
+    (* Closed-form cross-check for static majority voting. *)
+    let a = mttf /. (mttf +. mttr) in
+    Fmt.pr "@.(static MCV closed form: unavailability %.6f)@."
+      (1.0 -. Kofn.mcv_lexicographic_availability (Array.make copies a) ~ordering)
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Exact Markov analysis of availability and reliability (no simulation).")
+    Term.(const run $ copies_arg $ mttf_arg $ mttr_arg)
+
+let main_cmd =
+  let doc = "Dynamic voting algorithms for replicated data (Paris & Long, ICDE 1988)." in
+  Cmd.group (Cmd.info "dynvote" ~version:"1.0.0" ~doc)
+    [ table1_cmd; table2_cmd; table3_cmd; topology_cmd; simulate_cmd; sweep_cmd;
+      partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

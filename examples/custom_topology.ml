@@ -1,0 +1,92 @@
+(* Bring your own network: an availability study on a topology that is not
+   in the paper.
+
+   The scenario: a company with two buildings.  Building 1 has a backbone
+   Ethernet (segment "bb") and a lab segment behind gateway g1; building 2
+   hangs off the backbone behind gateway g2.  We place three copies of a
+   replicated configuration store — one on the backbone, one in the lab,
+   one in building 2 — define our own failure characteristics, and ask
+   which consistency policy to run.
+
+   Run with:  dune exec examples/custom_topology.exe *)
+
+module Topology = Dynvote_net.Topology
+module Study = Dynvote_sim.Study
+module Config = Dynvote_sim.Config
+module Site_spec = Dynvote_failures.Site_spec
+module Text_table = Dynvote_report.Text_table
+
+(* Sites: 0 = fileserver (backbone), 1 = g1 (backbone, gateway to lab),
+   2 = labbox (lab), 3 = g2 (backbone, gateway to bldg2), 4 = remote
+   (building 2). *)
+let topology =
+  Topology.create
+    ~site_names:[| "fileserver"; "g1"; "labbox"; "g2"; "remote" |]
+    ~segment_names:[| "bb"; "lab"; "b2" |]
+    ~n_segments:3
+    ~home_segment:[| 0; 0; 1; 0; 2 |]
+    ~bridges:
+      [ { Topology.gateway = 1; segment_a = 0; segment_b = 1 };
+        { Topology.gateway = 3; segment_a = 0; segment_b = 2 } ]
+    ()
+
+(* Our own failure data: a solid file server, flaky gateways, a lab
+   machine that reboots a lot, and a remote box nobody visits for days. *)
+let specs =
+  [|
+    Site_spec.create ~name:"fileserver" ~mttf_days:120.0 ~hardware_fraction:0.2
+      ~restart_minutes:10.0 ~repair_constant_hours:2.0 ~repair_exp_hours:6.0 ();
+    Site_spec.create ~name:"g1" ~mttf_days:60.0 ~hardware_fraction:0.5
+      ~restart_minutes:15.0 ~repair_constant_hours:4.0 ~repair_exp_hours:12.0 ();
+    Site_spec.create ~name:"labbox" ~mttf_days:7.0 ~hardware_fraction:0.05
+      ~restart_minutes:5.0 ~repair_constant_hours:24.0 ~repair_exp_hours:24.0 ();
+    Site_spec.create ~name:"g2" ~mttf_days:45.0 ~hardware_fraction:0.5
+      ~restart_minutes:15.0 ~repair_constant_hours:4.0 ~repair_exp_hours:12.0 ();
+    Site_spec.create ~name:"remote" ~mttf_days:30.0 ~hardware_fraction:0.3
+      ~restart_minutes:20.0 ~repair_constant_hours:48.0 ~repair_exp_hours:48.0 ();
+  |]
+
+let placement =
+  Config.create ~label:"store"
+    ~copies:(Site_set.of_list [ 0; 2; 4 ])
+    ~description:"fileserver + labbox + remote" ()
+
+let () =
+  Fmt.pr "A custom three-segment network:@.@.%a@.@." Topology.pp_ascii topology;
+  Fmt.pr "Copies at fileserver (backbone), labbox (lab), remote (building 2).@.";
+  Fmt.pr "Partition points: %a@.@."
+    (Site_set.pp_names (Topology.site_names topology))
+    (Dynvote_net.Partition_enum.partition_points topology
+       ~among:(Config.copies placement));
+
+  let parameters =
+    { Study.default_parameters with horizon = 100_360.0; batches = 10; seed = 7 }
+  in
+  let results =
+    Study.run ~parameters ~configs:[ placement ] ~specs ~topology ()
+  in
+  let table =
+    Text_table.create
+      ~aligns:[ Text_table.Left; Text_table.Right; Text_table.Right; Text_table.Right ]
+      ~header:[ "Policy"; "Unavailability"; "Outages"; "Mean outage (d)" ] ()
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [ Policy.kind_name r.Study.kind;
+          Text_table.cell_float r.Study.unavailability;
+          string_of_int r.Study.outages;
+          Text_table.cell_float ~decimals:3 r.Study.mean_outage_days ])
+    results;
+  Text_table.print table;
+
+  let find kind = List.find (fun r -> r.Study.kind = kind) results in
+  Fmt.pr
+    "@.With every copy on its own segment, topological voting cannot claim@.\
+     votes: TDV = LDV exactly (%.6f = %.6f).  The dynamic policies beat@.\
+     static voting because the flaky labbox keeps dropping out of the@.\
+     quorum instead of dragging it down.@."
+    (find Policy.Tdv).Study.unavailability
+    (find Policy.Ldv).Study.unavailability;
+  assert (
+    (find Policy.Tdv).Study.unavailability = (find Policy.Ldv).Study.unavailability)

@@ -1,0 +1,63 @@
+(* A replicated key-value store managed by dynamic voting.
+
+   Five copies; we write user records, kill sites, split the network, and
+   show that the majority partition keeps serving while the minority is
+   refused — then heal and watch recovery reintegrate every copy.
+
+   Run with:  dune exec examples/replicated_store.exe *)
+
+module Kv = Dynvote_store.Replicated_kv
+
+let universe = Site_set.of_list [ 0; 1; 2; 3; 4 ]
+
+let show_result ~label = function
+  | Ok (Some v) -> Fmt.pr "  %-28s -> %s@." label v
+  | Ok None -> Fmt.pr "  %-28s -> (unset)@." label
+  | Error e -> Fmt.pr "  %-28s -> DENIED (%a)@." label Kv.pp_error e
+
+let put kv ~at key value =
+  match Kv.put kv ~at key value with
+  | Ok () -> Fmt.pr "  put %S=%S at site %d      -> ok@." key value at
+  | Error e -> Fmt.pr "  put %S=%S at site %d      -> DENIED (%a)@." key value at Kv.pp_error e
+
+let () =
+  Fmt.pr "Replicated key-value store over dynamic voting (5 copies)@.@.";
+  let kv = Kv.create ~universe () in
+
+  Fmt.pr "1. Normal operation:@.";
+  put kv ~at:0 "user:42" "ada";
+  put kv ~at:3 "user:43" "grace";
+  show_result ~label:"get user:42 at site 4" (Kv.get kv ~at:4 "user:42");
+
+  Fmt.pr "@.2. Two sites die; the other three still form a majority:@.";
+  Kv.fail kv 3;
+  Kv.fail kv 4;
+  put kv ~at:0 "user:42" "ada.lovelace";
+  show_result ~label:"get user:42 at site 1" (Kv.get kv ~at:1 "user:42");
+
+  Fmt.pr "@.3. The survivors split 2 | 1 — the quorum had shrunk to three@.";
+  Fmt.pr "   copies, so the pair {0, 1} is still a majority of it:@.";
+  Kv.partition kv
+    [ Site_set.of_list [ 0; 1 ]; Site_set.of_list [ 2; 3; 4 ] ];
+  put kv ~at:0 "user:42" "countess";
+  show_result ~label:"get user:42 at site 2 (minority)" (Kv.get kv ~at:2 "user:42");
+
+  Fmt.pr "@.4. Heal and recover everyone:@.";
+  Kv.heal kv;
+  List.iter
+    (fun site ->
+      let rejoined = Kv.recover kv site in
+      Fmt.pr "  site %d recovers: rejoined %d keys@." site rejoined)
+    [ 3; 4 ];
+  show_result ~label:"get user:42 at site 4" (Kv.get kv ~at:4 "user:42");
+  show_result ~label:"get user:43 at site 3" (Kv.get kv ~at:3 "user:43");
+
+  Fmt.pr "@.5. Consistency audit:@.";
+  (match Kv.check_consistency kv with
+  | [] -> Fmt.pr "  no violations: every newest-version copy agrees with the oracle@."
+  | vs -> Fmt.pr "  VIOLATIONS: %d@." (List.length vs));
+  assert (Kv.check_consistency kv = []);
+  assert (Kv.get kv ~at:4 "user:42" = Ok (Some "countess"));
+
+  Fmt.pr "@.stats: %d reads, %d writes granted, %d requests denied@."
+    (Kv.granted_reads kv) (Kv.granted_writes kv) (Kv.denied kv)

@@ -1,0 +1,272 @@
+(* Generic continuous-time Markov chains with on-the-fly state discovery.
+
+   The caller supplies an initial state and a transition function giving
+   the outgoing (rate, successor) pairs of any state; the reachable state
+   space is enumerated breadth-first, the generator matrix assembled, and
+   the stationary distribution obtained by replacing one balance equation
+   with the normalization constraint. *)
+
+type 'state t = {
+  states : 'state array;          (* index -> state *)
+  index : ('state, int) Hashtbl.t;
+  stationary : float array;
+}
+
+let max_states_default = 200_000
+
+let build ?(max_states = max_states_default) ~initial ~transitions () =
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let n = ref 0 in
+  let queue = Queue.create () in
+  let intern s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        if i >= max_states then failwith "Ctmc.build: state space too large";
+        Hashtbl.add index s i;
+        states := s :: !states;
+        incr n;
+        Queue.push s queue;
+        i
+  in
+  ignore (intern initial);
+  (* First pass: discover all reachable states and record the edges. *)
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let i = Hashtbl.find index s in
+    List.iter
+      (fun (rate, successor) ->
+        if rate < 0.0 then invalid_arg "Ctmc.build: negative rate";
+        if rate > 0.0 then begin
+          let j = intern successor in
+          if j <> i then edges := (i, j, rate) :: !edges
+        end)
+      (transitions s)
+  done;
+  let size = !n in
+  let states = Array.of_list (List.rev !states) in
+  (* Stationary distribution: pi Q = 0 with sum(pi) = 1.  Assemble Q^T and
+     overwrite the last row with ones. *)
+  let a = Matrix.create ~rows:size ~cols:size in
+  List.iter
+    (fun (i, j, rate) ->
+      Matrix.add_to a j i rate;
+      Matrix.add_to a i i (-.rate))
+    !edges;
+  for j = 0 to size - 1 do
+    Matrix.set a (size - 1) j 1.0
+  done;
+  let b = Array.make size 0.0 in
+  b.(size - 1) <- 1.0;
+  let stationary = Matrix.solve a b in
+  (* Numerical noise can leave tiny negatives; clamp and renormalize. *)
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let p = if p < 0.0 then 0.0 else p in
+      stationary.(i) <- p;
+      total := !total +. p)
+    stationary;
+  Array.iteri (fun i p -> stationary.(i) <- p /. !total) stationary;
+  { states; index; stationary }
+
+let n_states t = Array.length t.states
+
+let probability t state =
+  match Hashtbl.find_opt t.index state with
+  | Some i -> t.stationary.(i)
+  | None -> 0.0
+
+(* Stationary probability of the states satisfying a predicate. *)
+let mass t predicate =
+  let acc = ref 0.0 in
+  Array.iteri (fun i s -> if predicate s then acc := !acc +. t.stationary.(i)) t.states;
+  !acc
+
+let iter t f = Array.iteri (fun i s -> f s t.stationary.(i)) t.states
+
+(* Survival function by uniformization: the probability that the chain,
+   started at [initial], has not yet entered the target set at time [t].
+   Target states are made absorbing; with uniformization constant L >= max
+   exit rate, the survival probability is
+
+       sum_k  Poisson(L t, k) * (mass still transient after k jumps)
+
+   truncated when the Poisson tail is negligible.  Numerically robust and
+   exact up to the stated tolerance. *)
+let survival ?(max_states = max_states_default) ?(tolerance = 1e-12) ~initial ~transitions
+    ~target ~t () =
+  if t < 0.0 then invalid_arg "Ctmc.survival: negative time";
+  if target initial then 0.0
+  else if t = 0.0 then 1.0
+  else begin
+    (* Enumerate transient states reachable without passing through the
+       target set. *)
+    let index = Hashtbl.create 64 in
+    let order = ref [] in
+    let n = ref 0 in
+    let queue = Queue.create () in
+    let intern s =
+      match Hashtbl.find_opt index s with
+      | Some i -> i
+      | None ->
+          let i = !n in
+          if i >= max_states then failwith "Ctmc.survival: state space too large";
+          Hashtbl.add index s i;
+          order := s :: !order;
+          incr n;
+          Queue.push s queue;
+          i
+    in
+    ignore (intern initial);
+    (* Per transient state: exit-to-target rate and transient edges. *)
+    let edges : (int * int * float) list ref = ref [] in
+    let absorb = Hashtbl.create 64 in
+    let exit_rate = Hashtbl.create 64 in
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let i = Hashtbl.find index s in
+      let total = ref 0.0 and to_target = ref 0.0 in
+      List.iter
+        (fun (rate, successor) ->
+          if rate < 0.0 then invalid_arg "Ctmc.survival: negative rate";
+          if rate > 0.0 then begin
+            total := !total +. rate;
+            if target successor then to_target := !to_target +. rate
+            else begin
+              let j = intern successor in
+              if j <> i then edges := (i, j, rate) :: !edges
+              else total := !total -. rate (* self loop: ignore *)
+            end
+          end)
+        (transitions s);
+      Hashtbl.replace absorb i !to_target;
+      Hashtbl.replace exit_rate i !total
+    done;
+    let size = !n in
+    let lambda =
+      Hashtbl.fold (fun _ r acc -> Float.max r acc) exit_rate 1e-9
+    in
+    (* One uniformized jump: v' = v P restricted to transient states. *)
+    let step v =
+      let v' = Array.make size 0.0 in
+      (* Stay put with probability 1 - total_rate/lambda. *)
+      Array.iteri
+        (fun i p ->
+          if p > 0.0 then
+            v'.(i) <-
+              v'.(i) +. (p *. (1.0 -. (Hashtbl.find exit_rate i /. lambda))))
+        v;
+      List.iter
+        (fun (i, j, rate) ->
+          if v.(i) > 0.0 then v'.(j) <- v'.(j) +. (v.(i) *. rate /. lambda))
+        !edges;
+      (* Mass flowing into the target set simply disappears from v'. *)
+      v'
+    in
+    let v = ref (Array.make size 0.0) in
+    !v.(Hashtbl.find index initial) <- 1.0;
+    (* Propagate the transient sub-distribution over a time span using the
+       Poisson-weighted jump expansion.  Spans are chunked so that
+       lambda * span stays moderate and exp(-lambda * span) never
+       underflows. *)
+    let propagate v span =
+      let lt = lambda *. span in
+      let out = Array.make size 0.0 in
+      let current = ref (Array.copy v) in
+      let weight = ref (exp (-.lt)) in
+      let cumulative = ref 0.0 in
+      let k = ref 0 in
+      let continue = ref true in
+      while !continue do
+        Array.iteri (fun i p -> out.(i) <- out.(i) +. (!weight *. p)) !current;
+        cumulative := !cumulative +. !weight;
+        if 1.0 -. !cumulative <= tolerance then continue := false
+        else begin
+          current := step !current;
+          incr k;
+          weight := !weight *. lt /. float_of_int !k;
+          if !k > 10_000_000 then continue := false
+        end
+      done;
+      out
+    in
+    let chunks = max 1 (int_of_float (ceil (lambda *. t /. 30.0))) in
+    let span = t /. float_of_int chunks in
+    for _ = 1 to chunks do
+      if Array.fold_left ( +. ) 0.0 !v > tolerance then v := propagate !v span
+    done;
+    let survival_mass = Array.fold_left ( +. ) 0.0 !v in
+    Float.min 1.0 (Float.max 0.0 survival_mass)
+  end
+
+(* Expected time to first reach the target set.  We rebuild the generator
+   restricted to non-target states and solve Q h = -1 (h = 0 on targets):
+   the standard first-passage-time system. *)
+let expected_hitting_time ?(max_states = max_states_default) ~initial ~transitions ~target
+    () =
+  ignore max_states;
+  if target initial then 0.0
+  else begin
+    (* Discover reachable states, tagging targets. *)
+    let index = Hashtbl.create 64 in
+    let order = ref [] in
+    let n = ref 0 in
+    let queue = Queue.create () in
+    let intern s =
+      match Hashtbl.find_opt index s with
+      | Some i -> i
+      | None ->
+          let i = !n in
+          Hashtbl.add index s i;
+          order := s :: !order;
+          incr n;
+          (* Targets are absorbing for this computation: no expansion. *)
+          if not (target s) then Queue.push s queue;
+          i
+    in
+    ignore (intern initial);
+    let edges = ref [] in
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let i = Hashtbl.find index s in
+      List.iter
+        (fun (rate, successor) ->
+          if rate < 0.0 then invalid_arg "Ctmc.expected_hitting_time: negative rate";
+          if rate > 0.0 then begin
+            let j = intern successor in
+            if j <> i then edges := (i, j, rate) :: !edges
+          end)
+        (transitions s)
+    done;
+    let size = !n in
+    let states = Array.of_list (List.rev !order) in
+    (* Unknowns: h(s) for non-target s.  Equation per non-target s:
+       sum_j q_sj (h(j) - h(s)) = -1, with h(target) = 0. *)
+    let unknown = Array.make size (-1) in
+    let n_unknowns = ref 0 in
+    Array.iteri
+      (fun i s ->
+        if not (target s) then begin
+          unknown.(i) <- !n_unknowns;
+          incr n_unknowns
+        end)
+      states;
+    let m = Matrix.create ~rows:!n_unknowns ~cols:!n_unknowns in
+    let b = Array.make !n_unknowns (-1.0) in
+    List.iter
+      (fun (i, j, rate) ->
+        match unknown.(i) with
+        | -1 -> () (* edges out of targets are irrelevant *)
+        | row ->
+            Matrix.add_to m row row (-.rate);
+            if unknown.(j) >= 0 then Matrix.add_to m row unknown.(j) rate)
+      !edges;
+    (* States with no outgoing edges would make the system singular — they
+       can never reach the target, so the hitting time is infinite. *)
+    let h = Matrix.solve m b in
+    h.(unknown.(Hashtbl.find index initial))
+  end

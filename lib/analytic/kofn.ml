@@ -1,0 +1,63 @@
+(* Closed-form availability of static (state-free) policies on networks
+   that cannot partition: each site is independently up with its own
+   probability, and the file is available when the up-set satisfies a
+   predicate.  A dynamic program over the count distribution handles
+   threshold rules; full enumeration (n <= 24) handles arbitrary
+   predicates such as lexicographic tie-breaking. *)
+
+(* Distribution of the number of up sites among independent heterogeneous
+   sites: standard Poisson-binomial DP. *)
+let up_count_distribution probabilities =
+  let n = Array.length probabilities in
+  let dist = Array.make (n + 1) 0.0 in
+  dist.(0) <- 1.0;
+  Array.iteri
+    (fun i p ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Kofn: probability outside [0,1]";
+      for k = i + 1 downto 1 do
+        dist.(k) <- (dist.(k) *. (1.0 -. p)) +. (dist.(k - 1) *. p)
+      done;
+      dist.(0) <- dist.(0) *. (1.0 -. p))
+    probabilities;
+  dist
+
+(* P(at least [quorum] of the sites are up). *)
+let at_least ~probabilities ~quorum =
+  let dist = up_count_distribution probabilities in
+  let n = Array.length probabilities in
+  let quorum = max quorum 0 in
+  let acc = ref 0.0 in
+  for k = quorum to n do
+    acc := !acc +. dist.(k)
+  done;
+  !acc
+
+(* Strict-majority MCV availability. *)
+let mcv_availability probabilities =
+  let n = Array.length probabilities in
+  at_least ~probabilities ~quorum:((n / 2) + 1)
+
+(* Availability of an arbitrary predicate over up-sets, by enumeration. *)
+let predicate_availability probabilities predicate =
+  let n = Array.length probabilities in
+  if n > 24 then invalid_arg "Kofn.predicate_availability: too many sites to enumerate";
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let p = ref 1.0 in
+    for i = 0 to n - 1 do
+      let up = mask land (1 lsl i) <> 0 in
+      p := !p *. (if up then probabilities.(i) else 1.0 -. probabilities.(i))
+    done;
+    if !p > 0.0 && predicate (Site_set.of_int_unsafe mask) then total := !total +. !p
+  done;
+  !total
+
+(* MCV with the lexicographic even-split rule: a strict majority, or
+   exactly half including the maximum-ranked site. *)
+let mcv_lexicographic_availability probabilities ~ordering =
+  let n = Array.length probabilities in
+  let universe = Site_set.universe n in
+  let max_site = Ordering.max_element ordering universe in
+  predicate_availability probabilities (fun up ->
+      let have = 2 * Site_set.cardinal up in
+      have > n || (have = n && Site_set.mem max_site up))

@@ -1,0 +1,20 @@
+(** Closed-form availability of static policies on partition-free
+    networks, from independent per-site availabilities. *)
+
+val up_count_distribution : float array -> float array
+(** Poisson-binomial distribution of the number of up sites;
+    [dist.(k)] = P(exactly k up).  @raise Invalid_argument on
+    probabilities outside [0,1]. *)
+
+val at_least : probabilities:float array -> quorum:int -> float
+(** P(at least [quorum] sites up). *)
+
+val mcv_availability : float array -> float
+(** Strict-majority MCV: P(more than half the sites up). *)
+
+val predicate_availability : float array -> (Site_set.t -> bool) -> float
+(** Exact availability of an arbitrary up-set predicate (enumerates all
+    2^n up-sets; n ≤ 24). *)
+
+val mcv_lexicographic_availability : float array -> ordering:Ordering.t -> float
+(** MCV with the even-split lexicographic rule used in this project. *)

@@ -1,0 +1,140 @@
+(* Small dense matrices over floats with Gaussian elimination — enough
+   linear algebra to solve the stationary equations of the CTMC models.
+   Matrices here have at most a few hundred rows (the reachable state
+   spaces of 3-5 site voting chains), so O(n^3) with partial pivoting is
+   entirely adequate. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array; (* row-major *)
+}
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then invalid_arg "Matrix.get: out of range";
+  t.data.((i * t.cols) + j)
+
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then invalid_arg "Matrix.set: out of range";
+  t.data.((i * t.cols) + j) <- v
+
+let add_to t i j v = set t i j (get t i j +. v)
+
+let copy t = { t with data = Array.copy t.data }
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> invalid_arg "Matrix.of_rows: empty"
+  | first :: _ ->
+      let rows = List.length rows_list and cols = Array.length first in
+      let m = create ~rows ~cols in
+      List.iteri
+        (fun i row ->
+          if Array.length row <> cols then invalid_arg "Matrix.of_rows: ragged rows";
+          Array.iteri (fun j v -> set m i j v) row)
+        rows_list;
+      m
+
+let transpose t =
+  let m = create ~rows:t.cols ~cols:t.rows in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      set m j i (get t i j)
+    done
+  done;
+  m
+
+let multiply a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.multiply: dimension mismatch";
+  let m = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to b.cols - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      set m i j !acc
+    done
+  done;
+  m
+
+let apply t v =
+  if Array.length v <> t.cols then invalid_arg "Matrix.apply: dimension mismatch";
+  Array.init t.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to t.cols - 1 do
+        acc := !acc +. (get t i j *. v.(j))
+      done;
+      !acc)
+
+exception Singular
+
+(* Solve A x = b by Gaussian elimination with partial pivoting; A must be
+   square.  Raises [Singular] when no unique solution exists. *)
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve: matrix not square";
+  if Array.length b <> a.rows then invalid_arg "Matrix.solve: vector size mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Pivot: largest magnitude in this column at or below the diagonal. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs (get m row col) > Float.abs (get m !pivot col) then pivot := row
+    done;
+    if Float.abs (get m !pivot col) < 1e-12 then raise Singular;
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    let diag = get m col col in
+    for row = col + 1 to n - 1 do
+      let factor = get m row col /. diag in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          set m row j (get m row j -. (factor *. get m col j))
+        done;
+        x.(row) <- x.(row) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for j = row + 1 to n - 1 do
+      acc := !acc -. (get m row j *. x.(j))
+    done;
+    x.(row) <- !acc /. get m row row
+  done;
+  x
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Fmt.pf ppf "%10.4g " (get t i j)
+    done;
+    Fmt.pf ppf "@,"
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,26 @@
+(** Small dense float matrices with Gaussian elimination. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+val copy : t -> t
+val identity : int -> t
+val of_rows : float array list -> t
+val transpose : t -> t
+val multiply : t -> t -> t
+val apply : t -> float array -> float array
+
+exception Singular
+
+val solve : t -> float array -> float array
+(** [solve a b] solves [a x = b] (partial pivoting).
+    @raise Singular when the system has no unique solution. *)
+
+val pp : Format.formatter -> t -> unit

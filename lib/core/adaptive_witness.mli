@@ -1,0 +1,33 @@
+(** Adaptive voting with witnesses: participants convert between full
+    copies and witnesses as failures come and go, self-healing the
+    replication level (Pâris 1986; the paper's closing future-work item).
+
+    Role changes only happen inside granted quorum operations, so they
+    inherit the protocol's mutual exclusion. *)
+
+type t
+
+val make :
+  ?flavor:Decision.flavor ->
+  ?optimistic:bool ->
+  initial_copies:Site_set.t ->
+  witnesses:Site_set.t ->
+  min_copies:int ->
+  max_copies:int ->
+  n_sites:int ->
+  segment_of:(Site_set.site -> int) ->
+  ordering:Ordering.t ->
+  unit ->
+  t * Driver.t
+(** When a granted operation finds fewer than [min_copies] live data
+    copies, witnesses are promoted; above [max_copies], surplus live
+    copies are demoted.  A dead copy is never demoted (it may hold the
+    only surviving data).
+    @raise Invalid_argument on overlapping site sets, no initial copy, or
+    [min_copies > max_copies]. *)
+
+val data_sites : t -> Site_set.t
+(** Current full-copy holders. *)
+
+val promotions : t -> int
+val demotions : t -> int

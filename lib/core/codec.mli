@@ -1,0 +1,22 @@
+(** Stable-storage codec for the consistency-control ensemble.
+
+    Compact, versioned, checksummed records: corrupted or torn data raises
+    {!Corrupt} instead of being trusted — forgetting or garbling a
+    partition set would break the protocol's safety argument. *)
+
+exception Corrupt of string
+
+val encoded_size : int
+(** Fixed record size in bytes. *)
+
+val encode_replica : Replica.t -> string
+
+val decode_replica : string -> Replica.t
+(** @raise Corrupt on wrong size, bad magic, checksum mismatch or
+    out-of-range fields. *)
+
+val save_replica : path:string -> Replica.t -> unit
+(** Atomic (write-then-rename) persistence. *)
+
+val load_replica : path:string -> Replica.t
+(** @raise Corrupt as {!decode_replica}; [Sys_error] if unreadable. *)

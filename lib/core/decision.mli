@@ -1,0 +1,92 @@
+(** The majority-partition test (Algorithm 1 of the paper), covering plain,
+    lexicographic and topological dynamic voting.
+
+    Pure decision logic: given the live, mutually communicating copies and
+    their state ensembles, decide whether they constitute the majority
+    partition.  State changes on success are applied by {!Operation}. *)
+
+type flavor = {
+  tie_break : bool;
+      (** resolve exact halves via the lexicographic site ordering *)
+  topological : bool;
+      (** claim votes of unavailable previous-quorum members that share a
+          network segment with a live reachable member (paper §3) *)
+  safe_claims : bool;
+      (** require the freshness condition for vote claiming and the
+          topological tie-break.  [false] reproduces the paper's Figures
+          5–7 literally; that variant admits sequential split-brain
+          histories (a stale restarted site claiming its dead segment-
+          mates), demonstrated in the test suite. *)
+}
+
+val dv_flavor : flavor
+(** Plain Dynamic Voting (Davcev–Burkhard): no tie-break, no topology. *)
+
+val ldv_flavor : flavor
+(** Lexicographic Dynamic Voting (Jajodia) — also the decision rule of
+    Optimistic Dynamic Voting. *)
+
+val tdv_flavor : flavor
+(** Topological Dynamic Voting exactly as published (and its optimistic
+    variant) — reproduces the paper's Table 2, but see {!tdv_safe_flavor}. *)
+
+val tdv_safe_flavor : flavor
+(** Topological Dynamic Voting with the freshness correction: a site may
+    sponsor claims of dead same-segment quorum members only while it has
+    been continuously up since its last commit, and the even-split
+    tie-break requires the maximum element to be unclaimable or fresh.
+    Slightly less available than {!tdv_flavor}, but safe under every
+    failure/restart history. *)
+
+type denial =
+  | No_reachable_copy
+  | Below_majority of { have : int; quorum_size : int }
+  | Tie_lost of { max_element : Site_set.site }
+  | Tie_unbroken
+  | Rival_possible of { rivals : Site_set.t }
+      (** safe topological flavor only: the unreachable quorum members —
+          not silenced by a fresh same-segment witness — could themselves
+          have continued the file via vote claiming; granting now could
+          create a second lineage, so the group must wait (the
+          available-copy "last to fail, first to recover" discipline,
+          derived rather than assumed) *)
+
+type grant = {
+  q : Site_set.t;      (** Q — sites with the maximal operation number *)
+  s : Site_set.t;      (** S — sites with the maximal version number *)
+  m : Site_set.site;   (** chosen representative of Q *)
+  p_m : Site_set.t;    (** the previous majority partition (m's partition set) *)
+  claimed : Site_set.t;
+      (** T — the vote set actually counted (equals [q] unless
+          topological) *)
+}
+
+type verdict = Granted of grant | Denied of denial
+
+val is_granted : verdict -> bool
+
+val evaluate :
+  flavor ->
+  ordering:Ordering.t ->
+  segment_of:(Site_set.site -> int) ->
+  ?fresh:Site_set.t ->
+  states:Replica.t array ->
+  reachable:Site_set.t ->
+  unit ->
+  verdict
+(** [evaluate flavor ~ordering ~segment_of ~states ~reachable ()] runs
+    Algorithm 1 for the component [reachable] (the set R of live copies
+    that can communicate with the requester).  [states] must be valid for
+    every member of [reachable]; [segment_of] is consulted only when
+    [flavor.topological].
+
+    [fresh] (default: [reachable]) is the set of sites continuously up
+    since their last commit.  It gates topological vote claiming: only a
+    fresh site can sponsor the votes of dead same-segment quorum members.
+    The paper's figures omit this condition; without it a stale restarted
+    site could resurrect the file with old data (see the implementation
+    comment for the counterexample).  Callers that track site uptime
+    should always pass it. *)
+
+val pp_denial : Format.formatter -> denial -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

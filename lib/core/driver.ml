@@ -1,0 +1,35 @@
+(* A policy instance abstracted as a record of closures, so the simulator
+   can run the paper's six policies and any extension (available copy,
+   weighted voting, witnesses, ...) through one loop. *)
+
+type t = {
+  name : string;
+  optimistic : bool;
+      (* true when quorum state changes only at access time, so the
+         simulator must deliver access epochs between topology events *)
+  on_topology_change : Policy.view -> unit;
+  on_repair : Policy.view -> Site_set.site -> unit;
+      (* called (after on_topology_change) when a site comes back up *)
+  on_access : Policy.view -> bool;
+  available : Policy.view -> bool;
+}
+
+let of_policy policy =
+  {
+    name = Policy.kind_name (Policy.kind policy);
+    optimistic = Policy.is_optimistic (Policy.kind policy);
+    on_topology_change = (fun view -> Policy.handle_topology_change policy view);
+    on_repair = (fun view site -> Policy.handle_repair policy view ~site);
+    on_access = (fun view -> Policy.handle_access policy view);
+    available = (fun view -> Policy.is_available policy view);
+  }
+
+let stateless ~name available =
+  {
+    name;
+    optimistic = false;
+    on_topology_change = (fun _ -> ());
+    on_repair = (fun _ _ -> ());
+    on_access = available;
+    available;
+  }

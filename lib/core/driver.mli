@@ -1,0 +1,20 @@
+(** Policy instances as records of closures — the simulator's uniform
+    interface to the six paper policies and all extensions. *)
+
+type t = {
+  name : string;
+  optimistic : bool;
+      (** quorum state changes only at access time (ODV/OTDV style) *)
+  on_topology_change : Policy.view -> unit;
+  on_repair : Policy.view -> Site_set.site -> unit;
+      (** called after [on_topology_change] when a site comes back up *)
+  on_access : Policy.view -> bool;
+      (** perform an access; returns whether it was granted *)
+  available : Policy.view -> bool;
+      (** pure probe: would an access succeed now? *)
+}
+
+val of_policy : Policy.t -> t
+
+val stateless : name:string -> (Policy.view -> bool) -> t
+(** Wrap a pure availability predicate (MCV-style policies). *)

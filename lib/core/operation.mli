@@ -1,0 +1,52 @@
+(** READ / WRITE / RECOVER transitions (Figures 1–3 and 5–7).
+
+    All operations take the full array of replica states (indexed by site
+    id) and the set [reachable] = R of live copies in the requester's
+    partition; on a grant they mutate the states of the committed copies
+    exactly as the paper's COMMIT does. *)
+
+type ctx = {
+  flavor : Decision.flavor;
+  ordering : Ordering.t;
+  segment_of : Site_set.site -> int;
+}
+
+val make_ctx :
+  ?flavor:Decision.flavor ->
+  ?segment_of:(Site_set.site -> int) ->
+  Ordering.t ->
+  ctx
+(** Defaults: lexicographic flavor, all sites on segment 0. *)
+
+val evaluate :
+  ctx -> Replica.t array -> ?fresh:Site_set.t -> reachable:Site_set.t -> unit ->
+  Decision.verdict
+(** Pure probe — no commit.  [fresh] is forwarded to {!Decision.evaluate}
+    (sites continuously up since their last commit; gates topological vote
+    claiming). *)
+
+val read :
+  ctx -> Replica.t array -> ?fresh:Site_set.t -> reachable:Site_set.t -> unit ->
+  Decision.verdict
+(** Figure 1/5: on grant, commits [(o_m + 1, v_m, S)] to the sites of S. *)
+
+val write :
+  ctx -> Replica.t array -> ?fresh:Site_set.t -> reachable:Site_set.t -> unit ->
+  Decision.verdict
+(** Figure 2/6: on grant, commits [(o_m + 1, v_m + 1, S)] to the sites of
+    S. *)
+
+val recover :
+  ctx -> Replica.t array -> ?fresh:Site_set.t -> site:Site_set.site ->
+  reachable:Site_set.t -> unit -> Decision.verdict
+(** Figure 3/7 for recovering site [site]: on grant, copies the file if out
+    of date and commits [(o_m + 1, v_m, S ∪ {site})] to [S ∪ {site}].
+    @raise Invalid_argument if [site] is not in [reachable]. *)
+
+val refresh :
+  ctx -> Replica.t array -> ?fresh:Site_set.t -> reachable:Site_set.t -> unit ->
+  Decision.verdict
+(** One read followed by recovery of every reachable out-of-date copy; on a
+    grant the whole component ends current with partition set [reachable].
+    Models instantaneous quorum adjustment (non-optimistic policies) or the
+    effect of a file access (optimistic policies). *)

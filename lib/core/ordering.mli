@@ -1,0 +1,27 @@
+(** Static linear ordering of sites for lexicographic tie-breaking.
+
+    When a quorum attempt reaches exactly half of the previous majority
+    partition, the tie is resolved in favour of the group holding the
+    ordering's maximum element (Jajodia 1987; paper §2). *)
+
+type t
+
+val of_ranking : Site_set.site list -> t
+(** [of_ranking [a; b; c]] makes [a > b > c].
+    @raise Invalid_argument on duplicates, negatives or an empty list. *)
+
+val default : int -> t
+(** [default n]: site 0 > site 1 > … > site n-1, the paper's convention
+    (its site 1 is our id 0). *)
+
+val rank : t -> Site_set.site -> int
+(** Higher rank = greater site.  @raise Invalid_argument for unranked
+    sites. *)
+
+val greater : t -> Site_set.site -> Site_set.site -> bool
+
+val max_element : t -> Site_set.t -> Site_set.site
+(** The greatest member under this ordering.
+    @raise Not_found on the empty set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(* Per-copy consistency-control state (paper §2.1): an operation number
+   incremented by every successful operation the copy took part in, a
+   version number identifying the last write it received, and the partition
+   set — the set of sites that participated in the copy's most recent
+   successful operation. *)
+
+type t = {
+  op_no : int;
+  version : int;
+  partition : Site_set.t;
+}
+
+let initial universe = { op_no = 1; version = 1; partition = universe }
+
+let make ~op_no ~version ~partition =
+  if op_no < 0 then invalid_arg "Replica.make: negative operation number";
+  if version < 0 then invalid_arg "Replica.make: negative version number";
+  { op_no; version; partition }
+
+let op_no t = t.op_no
+let version t = t.version
+let partition t = t.partition
+
+let with_commit t ~op_no ~version ~partition = ignore t; { op_no; version; partition }
+
+let equal a b =
+  a.op_no = b.op_no && a.version = b.version && Site_set.equal a.partition b.partition
+
+let pp ppf t =
+  Fmt.pf ppf "o=%d v=%d P=%a" t.op_no t.version Site_set.pp t.partition
+
+let pp_names names ppf t =
+  Fmt.pf ppf "o=%d v=%d P=%a" t.op_no t.version (Site_set.pp_names names) t.partition

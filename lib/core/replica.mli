@@ -1,0 +1,28 @@
+(** Per-copy consistency-control state (operation number, version number,
+    partition set) — the ensemble the dynamic voting algorithms maintain at
+    every physical copy (paper §2.1). *)
+
+type t = {
+  op_no : int;      (** incremented at every successful operation *)
+  version : int;    (** identifies the last successful write *)
+  partition : Site_set.t;
+      (** sites that participated in the most recent successful operation *)
+}
+
+val initial : Site_set.t -> t
+(** [initial universe] is the state every copy starts in: o = v = 1 and the
+    partition set containing all copies, as in the paper's walkthrough. *)
+
+val make : op_no:int -> version:int -> partition:Site_set.t -> t
+(** @raise Invalid_argument on negative counters. *)
+
+val op_no : t -> int
+val version : t -> int
+val partition : t -> Site_set.t
+
+val with_commit : t -> op_no:int -> version:int -> partition:Site_set.t -> t
+(** The state a COMMIT installs. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_names : string array -> Format.formatter -> t -> unit

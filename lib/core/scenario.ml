@@ -1,0 +1,189 @@
+(* Scripted walkthroughs: an interpreter for the kind of step-by-step
+   examples the paper narrates in §2 (three copies A, B, C) and §3 (four
+   copies on three segments).  Connectivity is declared explicitly (site
+   failures and link partitions), operations run against the resulting
+   components, and the per-site state tables can be printed in the paper's
+   own layout — which makes the examples directly checkable as golden
+   tests. *)
+
+type t = {
+  ctx : Operation.ctx;
+  names : string array;
+  universe : Site_set.t;
+  states : Replica.t array;
+  mutable up : Site_set.t;
+  (* Explicit connectivity groups covering the universe; live sites in the
+     same group communicate.  [None] means fully connected. *)
+  mutable groups : Site_set.t list option;
+  mutable fresh : Site_set.t; (* continuously up since last commit *)
+  mutable log : string list; (* newest first *)
+}
+
+let name_to_site t label =
+  let rec go i =
+    if i >= Array.length t.names then
+      invalid_arg (Printf.sprintf "Scenario: unknown site %S" label)
+    else if String.equal t.names.(i) label then i
+    else go (i + 1)
+  in
+  go 0
+
+let create ?(flavor = Decision.ldv_flavor) ?segment_of ~names () =
+  let n = Array.length names in
+  if n = 0 then invalid_arg "Scenario.create: no sites";
+  let universe = Site_set.universe n in
+  let ordering = Ordering.default n in
+  let segment_of = Option.value segment_of ~default:(fun _ -> 0) in
+  {
+    ctx = { Operation.flavor; ordering; segment_of };
+    names;
+    universe;
+    states = Array.make n (Replica.initial universe);
+    up = universe;
+    groups = None;
+    fresh = universe;
+    log = [];
+  }
+
+let note t fmt = Format.kasprintf (fun s -> t.log <- s :: t.log) fmt
+
+let log t = List.rev t.log
+
+let states t = t.states
+
+let state t label = t.states.(name_to_site t label)
+
+let up_sites t = t.up
+
+(* Live sites, grouped by declared connectivity. *)
+let components t =
+  match t.groups with
+  | None -> if Site_set.is_empty t.up then [] else [ t.up ]
+  | Some groups ->
+      List.filter_map
+        (fun group ->
+          let live = Site_set.inter group t.up in
+          if Site_set.is_empty live then None else Some live)
+        groups
+
+let fail t label =
+  let site = name_to_site t label in
+  t.up <- Site_set.remove site t.up;
+  t.fresh <- Site_set.remove site t.fresh;
+  note t "site %s fails" label
+
+let restart t label =
+  let site = name_to_site t label in
+  t.up <- Site_set.add site t.up;
+  note t "site %s restarts (recovery not yet run)" label
+
+let partition t group_labels =
+  let groups =
+    List.map (fun labels -> Site_set.of_list (List.map (name_to_site t) labels)) group_labels
+  in
+  let covered = List.fold_left Site_set.union Site_set.empty groups in
+  if not (Site_set.equal covered t.universe) then
+    invalid_arg "Scenario.partition: groups must cover every site exactly once";
+  let total = List.fold_left (fun acc g -> acc + Site_set.cardinal g) 0 groups in
+  if total <> Site_set.cardinal t.universe then
+    invalid_arg "Scenario.partition: groups overlap";
+  t.groups <- Some groups;
+  note t "network partitions into %s"
+    (String.concat " | "
+       (List.map
+          (fun g -> Fmt.str "%a" (Site_set.pp_names t.names) g)
+          groups))
+
+let heal t =
+  t.groups <- None;
+  note t "network heals"
+
+(* Run an operation in every component; the decision rule guarantees at
+   most one grant.  Returns the granting component, if any. *)
+let run_op t ~label op =
+  let granted =
+    List.fold_left
+      (fun acc component ->
+        match op ~reachable:component with
+        | Decision.Granted _ ->
+            t.fresh <- Site_set.union t.fresh component;
+            Some component
+        | Decision.Denied _ -> acc)
+      None (components t)
+  in
+  (match granted with
+  | Some component ->
+      note t "%s granted in %a" label (Site_set.pp_names t.names) component
+  | None -> note t "%s denied everywhere" label);
+  granted
+
+let write t =
+  run_op t ~label:"write" (fun ~reachable ->
+      Operation.write t.ctx t.states ~fresh:t.fresh ~reachable ())
+
+let read t =
+  run_op t ~label:"read" (fun ~reachable ->
+      Operation.read t.ctx t.states ~fresh:t.fresh ~reachable ())
+
+let writes t n =
+  let rec go i last = if i >= n then last else go (i + 1) (write t) in
+  go 0 None
+
+(* Bring a site back up and run its RECOVER protocol (Figure 3: retried
+   until successful — here, attempted once against current connectivity;
+   returns whether it succeeded). *)
+let recover t label =
+  let site = name_to_site t label in
+  t.up <- Site_set.add site t.up;
+  let component =
+    List.find_opt (fun c -> Site_set.mem site c) (components t)
+  in
+  match component with
+  | None -> false
+  | Some reachable -> (
+      match Operation.recover t.ctx t.states ~fresh:t.fresh ~site ~reachable () with
+      | Decision.Granted _ ->
+          t.fresh <- Site_set.add site t.fresh;
+          note t "site %s recovers and rejoins the majority partition" label;
+          true
+      | Decision.Denied reason ->
+          note t "site %s restarts but cannot rejoin (%a)" label Decision.pp_denial reason;
+          false)
+
+let is_available t =
+  List.exists
+    (fun reachable ->
+      Decision.is_granted
+        (Operation.evaluate t.ctx t.states ~fresh:t.fresh ~reachable ()))
+    (components t)
+
+(* The paper's state-table layout:
+       A            B            C
+     o, v = 8     o, v = 8     o, v = 8
+     P = {A,B,C}  P = {A,B,C}  P = {A,B,C}   *)
+let pp_table ppf t =
+  let n = Array.length t.names in
+  let column site =
+    let r = t.states.(site) in
+    let counters =
+      if Replica.op_no r = Replica.version r then
+        Printf.sprintf "o, v = %d" (Replica.op_no r)
+      else Printf.sprintf "o = %d, v = %d" (Replica.op_no r) (Replica.version r)
+    in
+    let partition = Fmt.str "P = %a" (Site_set.pp_names t.names) (Replica.partition r) in
+    let status = if Site_set.mem site t.up then t.names.(site) else t.names.(site) ^ " (down)" in
+    (status, counters, partition)
+  in
+  let columns = List.init n column in
+  let width =
+    List.fold_left
+      (fun acc (a, b, c) -> max acc (max (String.length a) (max (String.length b) (String.length c))))
+      0 columns
+    + 2
+  in
+  let pad s = s ^ String.make (width - String.length s) ' ' in
+  let row f = String.concat "" (List.map (fun c -> pad (f c)) columns) in
+  Fmt.pf ppf "%s@.%s@.%s@."
+    (row (fun (a, _, _) -> a))
+    (row (fun (_, b, _) -> b))
+    (row (fun (_, _, c) -> c))

@@ -1,0 +1,57 @@
+(** Scripted protocol walkthroughs, mirroring the worked examples of the
+    paper's §2 and §3.
+
+    Sites are addressed by name ("A", "B", …); connectivity is declared
+    explicitly with {!fail}/{!restart}/{!partition}/{!heal}; operations run
+    against the resulting components.  {!pp_table} prints per-site state in
+    the paper's own layout, enabling golden tests of the examples. *)
+
+type t
+
+val create :
+  ?flavor:Decision.flavor ->
+  ?segment_of:(Site_set.site -> int) ->
+  names:string array ->
+  unit ->
+  t
+(** All sites start up, fully connected, with o = v = 1 and the full
+    partition set.  Ordering: first name ranks highest (the paper's
+    A > B > C).  Default flavor: lexicographic. *)
+
+val fail : t -> string -> unit
+(** Take a site down (no state exchange happens — information only moves at
+    access time). *)
+
+val restart : t -> string -> unit
+(** Bring a site up without running recovery. *)
+
+val recover : t -> string -> bool
+(** Bring a site up and run its RECOVER protocol against the current
+    connectivity; returns whether it rejoined. *)
+
+val partition : t -> string list list -> unit
+(** Declare connectivity groups (must cover all sites, no overlap). *)
+
+val heal : t -> unit
+
+val write : t -> Site_set.t option
+(** Attempt a write in every component; at most one can be granted.
+    Returns the granting component. *)
+
+val read : t -> Site_set.t option
+
+val writes : t -> int -> Site_set.t option
+(** [writes t n] performs [n] consecutive writes; returns the last grant. *)
+
+val is_available : t -> bool
+(** Would an access succeed somewhere right now? *)
+
+val components : t -> Site_set.t list
+val states : t -> Replica.t array
+val state : t -> string -> Replica.t
+val up_sites : t -> Site_set.t
+val log : t -> string list
+(** Narrated history, oldest first. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** The paper's per-site state table. *)

@@ -1,0 +1,63 @@
+(** Immutable sets of site identifiers, represented as one-word bitsets.
+
+    Site ids are integers in [0, 61].  All operations are O(1) or O(set
+    size) with zero allocation, which keeps quorum evaluation cheap inside
+    the availability simulator. *)
+
+type t
+
+type site = int
+(** Site identifier (0-based). *)
+
+val max_sites : int
+
+val empty : t
+val singleton : site -> t
+
+val universe : int -> t
+(** [universe n] is [{0, …, n-1}]. *)
+
+val mem : site -> t -> bool
+val add : site -> t -> t
+val remove : site -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when [a ⊆ b]. *)
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+
+val min_elt : t -> site
+(** @raise Not_found on the empty set. *)
+
+val max_elt : t -> site
+(** Largest {e id} (not rank — see {!Ordering.max_element} for the paper's
+    lexicographic maximum).  @raise Not_found on the empty set. *)
+
+val choose : t -> site
+(** Deterministic: the smallest id.  @raise Not_found on the empty set. *)
+
+val fold : (site -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (site -> unit) -> t -> unit
+val for_all : (site -> bool) -> t -> bool
+val exists : (site -> bool) -> t -> bool
+val filter : (site -> bool) -> t -> t
+val of_list : site list -> t
+val to_list : t -> site list
+
+val to_int : t -> int
+(** Raw bitmask (for hashing / test oracles). *)
+
+val of_int_unsafe : int -> t
+(** Reinterpret a bitmask as a set; caller guarantees bits above
+    [max_sites] are clear. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_names : string array -> Format.formatter -> t -> unit
+(** Render members through a site-name table. *)

@@ -1,0 +1,78 @@
+(* A small discrete-event simulation engine: a clock plus an event queue of
+   thunk-producing payloads.  Handlers receive the engine so they can
+   schedule follow-up events (the standard event-scheduling world view).
+   Time never moves backwards; scheduling in the past is a programming
+   error and raises. *)
+
+type 'a t = {
+  queue : 'a Event_queue.t;
+  mutable now : float;
+  mutable handled : int;
+  mutable running : bool;
+}
+
+exception Stop
+
+let create () = { queue = Event_queue.create (); now = 0.0; handled = 0; running = false }
+
+let now t = t.now
+
+let events_handled t = t.handled
+
+let pending t = Event_queue.length t.queue
+
+let schedule t ~at payload =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before current time %g" at t.now);
+  Event_queue.add t.queue ~time:at payload
+
+let schedule_after t ~delay payload =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.now +. delay) payload
+
+let stop _t = raise Stop
+
+(* Run until [until] (inclusive of events at exactly [until]) or until the
+   queue drains.  The handler may raise [Stop] to end early.  On normal
+   completion the clock is advanced to [until] so callers can account for
+   the trailing interval with no events. *)
+let run t ~until ~handler =
+  if t.running then invalid_arg "Engine.run: engine is already running";
+  t.running <- true;
+  let finish () = t.running <- false in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Event_queue.peek_time t.queue with
+       | None -> continue := false
+       | Some time when time > until -> continue := false
+       | Some _ ->
+           let time, payload = Event_queue.pop_exn t.queue in
+           t.now <- time;
+           t.handled <- t.handled + 1;
+           handler t time payload
+     done;
+     if t.now < until then t.now <- until
+   with
+  | Stop -> finish ()
+  | e ->
+      finish ();
+      raise e);
+  finish ()
+
+(* Step a single event; [None] when the queue is empty. *)
+let step t ~handler =
+  match Event_queue.pop t.queue with
+  | None -> None
+  | Some (time, payload) ->
+      t.now <- time;
+      t.handled <- t.handled + 1;
+      handler t time payload;
+      Some time
+
+let reset t =
+  Event_queue.clear t.queue;
+  t.now <- 0.0;
+  t.handled <- 0;
+  t.running <- false

@@ -1,0 +1,100 @@
+(* Priority queue of timestamped events, implemented as a growable binary
+   min-heap.  Ties in time are broken by insertion sequence number, making
+   the simulation fully deterministic: two events scheduled for the same
+   instant fire in the order they were scheduled. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) unused slots beyond size *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let capacity = Array.length t.heap in
+  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  let dummy = t.heap.(0) in
+  let heap = Array.make new_capacity dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  if left < t.size then begin
+    let right = left + 1 in
+    let smallest =
+      if right < t.size && precedes t.heap.(right) t.heap.(left) then right else left
+    in
+    if precedes t.heap.(smallest) t.heap.(i) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(smallest);
+      t.heap.(smallest) <- tmp;
+      sift_down t smallest
+    end
+  end
+
+let add t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: time is NaN";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Event_queue.pop_exn: empty queue"
+
+let clear t =
+  t.size <- 0;
+  t.heap <- [||]
+
+let to_sorted_list t =
+  (* Non-destructive: copies the heap and drains the copy. *)
+  let copy = { heap = Array.sub t.heap 0 (max 1 (Array.length t.heap)); size = t.size;
+               next_seq = t.next_seq } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some (time, payload) -> drain ((time, payload) :: acc)
+  in
+  if t.size = 0 then [] else drain []

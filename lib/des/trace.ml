@@ -1,0 +1,59 @@
+(* Bounded trace recorder.  The availability simulator can run for millions
+   of simulated days, so traces keep only the most recent [capacity]
+   entries (a ring buffer) unless configured as unbounded. *)
+
+type entry = { time : float; label : string }
+
+type t = {
+  capacity : int; (* 0 means unbounded *)
+  mutable ring : entry array;
+  mutable size : int;
+  mutable head : int; (* next write position when bounded *)
+  mutable unbounded : entry list; (* newest first when capacity = 0 *)
+  mutable recorded : int;
+}
+
+let dummy = { time = nan; label = "" }
+
+let create ?(capacity = 4096) () =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { capacity; ring = (if capacity = 0 then [||] else Array.make capacity dummy);
+    size = 0; head = 0; unbounded = []; recorded = 0 }
+
+let record t ~time label =
+  let entry = { time; label } in
+  t.recorded <- t.recorded + 1;
+  if t.capacity = 0 then t.unbounded <- entry :: t.unbounded
+  else begin
+    t.ring.(t.head) <- entry;
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.size < t.capacity then t.size <- t.size + 1
+  end
+
+let recordf t ~time fmt = Format.kasprintf (fun label -> record t ~time label) fmt
+
+let recorded t = t.recorded
+
+let entries t =
+  if t.capacity = 0 then List.rev t.unbounded
+  else begin
+    let out = ref [] in
+    for i = t.size - 1 downto 0 do
+      let idx = (t.head - 1 - i + (2 * t.capacity)) mod t.capacity in
+      out := t.ring.(idx) :: !out
+    done;
+    List.rev !out
+  end
+
+let iter t f = List.iter (fun e -> f e.time e.label) (entries t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  iter t (fun time label -> Fmt.pf ppf "%12.4f  %s@," time label);
+  Fmt.pf ppf "@]"
+
+let clear t =
+  t.size <- 0;
+  t.head <- 0;
+  t.unbounded <- [];
+  t.recorded <- 0

@@ -1,0 +1,28 @@
+(** Bounded event-trace recorder.
+
+    Keeps the most recent entries in a ring buffer (default 4096); pass
+    [~capacity:0] for an unbounded trace.  Used by the CLI [trace]
+    subcommand and by golden tests over scripted scenarios. *)
+
+type t
+
+type entry = { time : float; label : string }
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> time:float -> string -> unit
+
+val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** printf-style {!record}. *)
+
+val recorded : t -> int
+(** Total entries ever recorded (including evicted ones). *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val iter : t -> (float -> string -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val clear : t -> unit

@@ -1,0 +1,38 @@
+(** Stochastic site up/down process.
+
+    Generates the merged, time-ordered stream of site failures, repairs
+    and maintenance outages for a set of {!Site_spec} definitions.  Fully
+    deterministic given the seed; one stream drives every policy and
+    configuration of a study so comparisons are paired. *)
+
+type cause =
+  | Hardware_failure
+  | Software_failure
+  | Repair_done
+  | Maintenance_begin
+  | Maintenance_over
+
+type transition = {
+  time : float;             (** days since simulation start *)
+  site : Site_set.site;
+  now_up : bool;
+  cause : cause;
+}
+
+type t
+
+val create : ?seed:int -> Site_spec.t array -> t
+(** All sites start up; each has an independent random stream derived from
+    [seed]. *)
+
+val n_sites : t -> int
+val now : t -> float
+val all_up : t -> bool
+val up_set : t -> Site_set.t
+
+val next : t -> transition
+(** The next up/down transition, advancing internal time.  The stream never
+    ends. *)
+
+val pp_cause : Format.formatter -> cause -> unit
+val pp_transition : Format.formatter -> transition -> unit

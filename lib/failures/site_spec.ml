@@ -1,0 +1,105 @@
+(* Per-site failure and repair characteristics — the paper's Table 1.
+   Times are stored in the units the table uses (days, minutes, hours);
+   accessors convert to days, the simulation's time unit. *)
+
+type maintenance = {
+  period_days : float;   (* one outage every this many days *)
+  duration_hours : float;
+}
+
+type t = {
+  name : string;
+  mttf_days : float;            (* mean time to fail, exponential *)
+  hardware_fraction : float;    (* probability a failure is hardware *)
+  restart_minutes : float;      (* software failure: constant restart time *)
+  repair_constant_hours : float;(* hardware repair: constant part *)
+  repair_exp_hours : float;     (* hardware repair: exponential part's mean *)
+  maintenance : maintenance option;
+}
+
+let hours_per_day = 24.0
+let minutes_per_day = 1440.0
+
+let create ?maintenance ~name ~mttf_days ~hardware_fraction ~restart_minutes
+    ~repair_constant_hours ~repair_exp_hours () =
+  if mttf_days <= 0.0 then invalid_arg "Site_spec: mttf must be positive";
+  if hardware_fraction < 0.0 || hardware_fraction > 1.0 then
+    invalid_arg "Site_spec: hardware fraction outside [0,1]";
+  if restart_minutes < 0.0 || repair_constant_hours < 0.0 || repair_exp_hours < 0.0 then
+    invalid_arg "Site_spec: negative repair time";
+  (match maintenance with
+  | Some m when m.period_days <= 0.0 || m.duration_hours < 0.0 ->
+      invalid_arg "Site_spec: bad maintenance schedule"
+  | _ -> ());
+  { name; mttf_days; hardware_fraction; restart_minutes; repair_constant_hours;
+    repair_exp_hours; maintenance }
+
+let name t = t.name
+let mttf_days t = t.mttf_days
+let hardware_fraction t = t.hardware_fraction
+let restart_days t = t.restart_minutes /. minutes_per_day
+let repair_constant_days t = t.repair_constant_hours /. hours_per_day
+let repair_exp_days t = t.repair_exp_hours /. hours_per_day
+let maintenance t = t.maintenance
+
+(* Mean outage duration in days (hardware and software mixed), used by the
+   analytic cross-check. *)
+let mean_repair_days t =
+  let hardware = repair_constant_days t +. repair_exp_days t in
+  let software = restart_days t in
+  (t.hardware_fraction *. hardware) +. ((1.0 -. t.hardware_fraction) *. software)
+
+(* Long-run fraction of time the site is up, ignoring maintenance:
+   MTTF / (MTTF + MTTR), exact for any repair distribution with that
+   mean (alternating renewal process). *)
+let availability_no_maintenance t = t.mttf_days /. (t.mttf_days +. mean_repair_days t)
+
+(* Including maintenance: outages every [period] days of [duration],
+   treated as an independent extra down-fraction. *)
+let availability t =
+  let base = availability_no_maintenance t in
+  match t.maintenance with
+  | None -> base
+  | Some m ->
+      let down_fraction = m.duration_hours /. hours_per_day /. m.period_days in
+      base *. (1.0 -. down_fraction)
+
+let quarterly = Some { period_days = 90.0; duration_hours = 3.0 }
+
+(* Table 1 of the paper.  Index i holds paper site i+1. *)
+let ucsd_sites =
+  [|
+    create ~name:"csvax" ~mttf_days:36.5 ~hardware_fraction:0.10 ~restart_minutes:20.0
+      ~repair_constant_hours:0.0 ~repair_exp_hours:2.0 ?maintenance:quarterly ();
+    create ~name:"beowulf" ~mttf_days:10.0 ~hardware_fraction:0.10 ~restart_minutes:15.0
+      ~repair_constant_hours:4.0 ~repair_exp_hours:24.0 ();
+    create ~name:"grendel" ~mttf_days:365.0 ~hardware_fraction:0.90 ~restart_minutes:10.0
+      ~repair_constant_hours:0.0 ~repair_exp_hours:2.0 ?maintenance:quarterly ();
+    create ~name:"wizard" ~mttf_days:50.0 ~hardware_fraction:0.50 ~restart_minutes:15.0
+      ~repair_constant_hours:168.0 ~repair_exp_hours:168.0 ();
+    create ~name:"amos" ~mttf_days:365.0 ~hardware_fraction:0.90 ~restart_minutes:10.0
+      ~repair_constant_hours:0.0 ~repair_exp_hours:2.0 ?maintenance:quarterly ();
+    create ~name:"gremlin" ~mttf_days:50.0 ~hardware_fraction:0.50 ~restart_minutes:15.0
+      ~repair_constant_hours:168.0 ~repair_exp_hours:168.0 ();
+    create ~name:"rip" ~mttf_days:50.0 ~hardware_fraction:0.50 ~restart_minutes:15.0
+      ~repair_constant_hours:168.0 ~repair_exp_hours:168.0 ();
+    create ~name:"mangle" ~mttf_days:50.0 ~hardware_fraction:0.50 ~restart_minutes:15.0
+      ~repair_constant_hours:168.0 ~repair_exp_hours:168.0 ();
+  |]
+
+(* Identical sites, handy for analytic cross-checks and property tests. *)
+let uniform ~n ~mttf_days ~repair_hours =
+  Array.init n (fun i ->
+      create
+        ~name:(Printf.sprintf "node%d" i)
+        ~mttf_days ~hardware_fraction:1.0 ~restart_minutes:0.0
+        ~repair_constant_hours:0.0 ~repair_exp_hours:repair_hours ())
+
+let pp ppf t =
+  Fmt.pf ppf "%-8s mttf=%.1fd hw=%.0f%% restart=%.0fmin repair=%g+Exp(%g)h%s" t.name
+    t.mttf_days
+    (100.0 *. t.hardware_fraction)
+    t.restart_minutes t.repair_constant_hours t.repair_exp_hours
+    (match t.maintenance with
+    | None -> ""
+    | Some m -> Printf.sprintf " maint=%gh/%gd" m.duration_hours m.period_days)

@@ -1,0 +1,51 @@
+(** Per-site failure/repair characteristics (the paper's Table 1).
+
+    Failures are exponential with the given MTTF and strike only while a
+    site is up.  A failure is hardware with probability
+    [hardware_fraction]; hardware repairs last a constant plus an
+    exponential term (hours), software failures cost a constant restart
+    (minutes).  Some sites additionally undergo preventive maintenance. *)
+
+type maintenance = { period_days : float; duration_hours : float }
+
+type t
+
+val create :
+  ?maintenance:maintenance ->
+  name:string ->
+  mttf_days:float ->
+  hardware_fraction:float ->
+  restart_minutes:float ->
+  repair_constant_hours:float ->
+  repair_exp_hours:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive MTTF, probabilities outside
+    [0,1] or negative durations. *)
+
+val name : t -> string
+val mttf_days : t -> float
+val hardware_fraction : t -> float
+val restart_days : t -> float
+val repair_constant_days : t -> float
+val repair_exp_days : t -> float
+val maintenance : t -> maintenance option
+
+val mean_repair_days : t -> float
+(** Mean outage duration mixing hardware and software failures. *)
+
+val availability_no_maintenance : t -> float
+(** MTTF / (MTTF + MTTR); exact for alternating renewal processes. *)
+
+val availability : t -> float
+(** Same, discounted by the maintenance down-fraction. *)
+
+val ucsd_sites : t array
+(** Table 1; index i is paper site i+1.  Sites 1, 3 and 5 (csvax, grendel,
+    amos) are down 3 hours every 90 days for preventive maintenance. *)
+
+val uniform : n:int -> mttf_days:float -> repair_hours:float -> t array
+(** Identical sites with purely exponential repair — matches the analytic
+    models exactly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,278 @@
+(* A replicated file executed over real (simulated) message exchanges:
+   START gathers states by broadcast and reply, the majority-partition
+   test runs on whatever answered, COMMIT distributes the new ensembles,
+   and recoveries move the file data.  Operations are atomic with respect
+   to topology changes (the paper's model: reliable in-order delivery
+   within the current partition, fail-stop sites).
+
+   The per-operation message counts are the basis of the overhead
+   comparison: the paper's claim is that optimistic dynamic voting costs
+   "much the same message traffic as majority consensus voting", while
+   non-optimistic dynamic voting additionally pays for the connection
+   vector (state exchange on every topology change). *)
+
+type t = {
+  universe : Site_set.t;
+  n_sites : int;
+  nodes : Node.t array;
+  transport : Transport.t;
+  ctx : Operation.ctx;
+  mutable up : Site_set.t;
+  mutable groups : Site_set.t list option; (* None = fully connected *)
+  mutable fresh : Site_set.t; (* continuously up since last commit *)
+}
+
+type outcome = {
+  granted : bool;
+  verdict : Decision.verdict;
+  messages : int;
+  bytes : int;
+  content : string option; (* what a read returned *)
+}
+
+let connected t a b =
+  Site_set.mem a t.up && Site_set.mem b t.up
+  &&
+  match t.groups with
+  | None -> true
+  | Some groups -> List.exists (fun g -> Site_set.mem a g && Site_set.mem b g) groups
+
+let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun _ -> 0)
+    ?(latency = fun _ _ -> 0.001) ?(initial_content = "") ~universe () =
+  let n_sites = Site_set.max_elt universe + 1 in
+  let ordering = Ordering.default n_sites in
+  let nodes =
+    Array.init n_sites (fun site -> Node.create ~site ~universe ~initial_content)
+  in
+  let transport = Transport.create ~latency () in
+  let t =
+    {
+      universe;
+      n_sites;
+      nodes;
+      transport;
+      ctx = { Operation.flavor; ordering; segment_of };
+      up = universe;
+      groups = None;
+      fresh = universe;
+    }
+  in
+  Transport.set_connectivity transport (fun a b -> connected t a b);
+  Site_set.iter
+    (fun site ->
+      Transport.register transport site (fun tr msg -> Node.handler nodes.(site) tr msg))
+    universe;
+  t
+
+let node t site = t.nodes.(site)
+let universe t = t.universe
+let transport t = t.transport
+let up_sites t = t.up
+
+let fail t site =
+  t.up <- Site_set.remove site t.up;
+  t.fresh <- Site_set.remove site t.fresh;
+  (* A crash loses all volatile state, including operation locks. *)
+  Node.clear_lock t.nodes.(site)
+
+let restart_silently t site = t.up <- Site_set.add site t.up
+
+let partition t groups =
+  let covered = List.fold_left Site_set.union Site_set.empty groups in
+  if not (Site_set.equal covered t.universe) then
+    invalid_arg "Cluster.partition: groups must cover the universe";
+  t.groups <- Some groups
+
+let heal t = t.groups <- None
+
+(* START: broadcast a state request from [requester], deliver everything,
+   and collect the replies.  Returns R (including the requester) and the
+   states learned. *)
+let start t ~requester =
+  let replies = Hashtbl.create 8 in
+  let requester_node = t.nodes.(requester) in
+  Node.set_collector requester_node (fun message ->
+      match message.Message.payload with
+      | Message.State_reply replica -> Hashtbl.replace replies message.Message.src replica
+      | Message.State_request | Message.Commit _ | Message.Data_request | Message.Data _
+      | Message.Ack | Message.Lock_request _ | Message.Lock_reply _ | Message.Unlock _ ->
+          ());
+  Transport.broadcast t.transport ~src:requester ~targets:t.universe Message.State_request;
+  Transport.run_until_quiet t.transport;
+  Node.clear_collector requester_node;
+  let states = Array.make t.n_sites (Node.replica requester_node) in
+  let reachable =
+    Hashtbl.fold
+      (fun site replica acc ->
+        states.(site) <- replica;
+        Site_set.add site acc)
+      replies
+      (Site_set.singleton requester)
+  in
+  states.(requester) <- Node.replica requester_node;
+  (reachable, states)
+
+let ensure_member t site =
+  if not (Site_set.mem site t.universe) then
+    invalid_arg "Cluster: requester does not hold a copy";
+  if not (Site_set.mem site t.up) then invalid_arg "Cluster: requester is down"
+
+(* Fetch current data to [dst] from [src] (two messages), delivered now. *)
+let transfer_data t ~src ~dst =
+  Transport.send t.transport ~src:dst ~dst:src Message.Data_request;
+  Transport.run_until_quiet t.transport
+
+let with_counters t f =
+  let before_msgs = Transport.messages_sent t.transport in
+  let before_bytes = Transport.bytes_sent t.transport in
+  let verdict, content = f () in
+  {
+    granted = Decision.is_granted verdict;
+    verdict;
+    messages = Transport.messages_sent t.transport - before_msgs;
+    bytes = Transport.bytes_sent t.transport - before_bytes;
+    content;
+  }
+
+(* Distribute COMMIT(recipients, o, v, P) from the coordinator; the
+   coordinator applies its own share locally. *)
+let distribute_commit t ~coordinator ~recipients ~op_no ~version ~partition =
+  Site_set.iter
+    (fun site ->
+      if site = coordinator then
+        Node.install_commit t.nodes.(site) ~op_no ~version ~partition
+      else
+        Transport.send t.transport ~src:coordinator ~dst:site
+          (Message.Commit { op_no; version; partition }))
+    recipients;
+  Transport.run_until_quiet t.transport;
+  (* Every recipient that is up just committed: it is fresh again. *)
+  t.fresh <- Site_set.union t.fresh (Site_set.inter recipients t.up)
+
+let read t ~at =
+  ensure_member t at;
+  with_counters t (fun () ->
+      let reachable, states = start t ~requester:at in
+      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
+      | Decision.Denied _ as verdict -> (verdict, None)
+      | Decision.Granted g as verdict ->
+          let m = g.Decision.m in
+          let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
+          (* Serve the read: fetch data from an up-to-date copy if the
+             requester's own copy is stale. *)
+          if not (Site_set.mem at g.Decision.s) then transfer_data t ~src:m ~dst:at;
+          distribute_commit t ~coordinator:at ~recipients:g.Decision.s ~op_no:(o + 1)
+            ~version:v ~partition:g.Decision.s;
+          (verdict, Some (Node.content t.nodes.(at))))
+
+let write t ~at ~content =
+  ensure_member t at;
+  with_counters t (fun () ->
+      let reachable, states = start t ~requester:at in
+      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
+      | Decision.Denied _ as verdict -> (verdict, None)
+      | Decision.Granted g as verdict ->
+          let m = g.Decision.m in
+          let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
+          (* Perform the write at every up-to-date copy... *)
+          Site_set.iter
+            (fun site ->
+              if site = at then Node.write_local t.nodes.(site) ~version:(v + 1) ~content
+              else
+                Transport.send t.transport ~src:at ~dst:site
+                  (Message.Data { version = v + 1; content }))
+            g.Decision.s;
+          Transport.run_until_quiet t.transport;
+          (* ...then commit the new ensemble. *)
+          distribute_commit t ~coordinator:at ~recipients:g.Decision.s ~op_no:(o + 1)
+            ~version:(v + 1) ~partition:g.Decision.s;
+          (verdict, None))
+
+(* RECOVER, coordinated by the recovering site itself (Figure 3). *)
+let recover t ~site =
+  if not (Site_set.mem site t.universe) then
+    invalid_arg "Cluster.recover: site does not hold a copy";
+  t.up <- Site_set.add site t.up;
+  with_counters t (fun () ->
+      let reachable, states = start t ~requester:site in
+      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
+      | Decision.Denied _ as verdict -> (verdict, None)
+      | Decision.Granted g as verdict ->
+          let m = g.Decision.m in
+          let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
+          if Replica.version (Node.replica t.nodes.(site)) < v then
+            transfer_data t ~src:m ~dst:site;
+          let recipients = Site_set.add site g.Decision.s in
+          distribute_commit t ~coordinator:site ~recipients ~op_no:(o + 1) ~version:v
+            ~partition:recipients;
+          (verdict, None))
+
+let replica_states t =
+  Array.map Node.replica t.nodes
+
+let is_consistent t =
+  (* Any two copies with equal version numbers hold equal content. *)
+  let ok = ref true in
+  Site_set.iter
+    (fun a ->
+      Site_set.iter
+        (fun b ->
+          if
+            a < b
+            && Node.data_version t.nodes.(a) = Node.data_version t.nodes.(b)
+            && not (String.equal (Node.content t.nodes.(a)) (Node.content t.nodes.(b)))
+          then ok := false)
+        t.universe)
+    t.universe;
+  !ok
+
+(* Operation serialization.  A coordinator wishing to run an operation in
+   mutual exclusion first locks every reachable copy: it broadcasts
+   Lock_request and succeeds only if every reply grants.  On any refusal
+   (a rival operation holds some lock) it releases what it took and the
+   caller must retry later — all-or-nothing acquisition, so deadlock is
+   impossible.  Locks are volatile: a crash releases them. *)
+let lock t ~at ~op =
+  ensure_member t at;
+  let at_node = t.nodes.(at) in
+  let self_granted = Node.try_lock at_node ~op in
+  let replies = Hashtbl.create 8 in
+  Node.set_collector at_node (fun message ->
+      match message.Message.payload with
+      | Message.Lock_reply { op = reply_op; granted } when reply_op = op ->
+          Hashtbl.replace replies message.Message.src granted
+      | _ -> ());
+  Transport.broadcast t.transport ~src:at ~targets:t.universe
+    (Message.Lock_request { op });
+  Transport.run_until_quiet t.transport;
+  Node.clear_collector at_node;
+  let all_granted =
+    self_granted && Hashtbl.fold (fun _ granted acc -> acc && granted) replies true
+  in
+  if all_granted then
+    `Granted (Hashtbl.fold (fun s _ acc -> Site_set.add s acc) replies (Site_set.singleton at))
+  else begin
+    (* All-or-nothing: release whatever was acquired and report the
+       conflict; the caller retries later, so no deadlock can form. *)
+    Transport.broadcast t.transport ~src:at ~targets:t.universe (Message.Unlock { op });
+    if Node.locked_by at_node = Some op && self_granted then Node.clear_lock at_node;
+    Transport.run_until_quiet t.transport;
+    `Denied
+  end
+
+let unlock t ~at ~op =
+  ensure_member t at;
+  if Node.locked_by t.nodes.(at) = Some op then Node.clear_lock t.nodes.(at);
+  Transport.broadcast t.transport ~src:at ~targets:t.universe (Message.Unlock { op });
+  Transport.run_until_quiet t.transport
+
+(* The cost the non-optimistic algorithms pay that the optimistic ones do
+   not: maintaining (an approximation of) the connection vector requires a
+   state exchange within each component at every topology change.  Given
+   the component sizes, this is the per-event message bill. *)
+let connection_vector_messages components =
+  List.fold_left
+    (fun acc component ->
+      let size = Site_set.cardinal component in
+      acc + (size * (size - 1)))
+    0 components

@@ -1,0 +1,72 @@
+(** A replicated file driven over real (simulated) message exchanges.
+
+    Implements READ / WRITE / RECOVER (Figures 1–3, or 5–7 with a
+    topological flavor) as broadcast-gather-decide-commit message rounds,
+    with per-operation traffic accounting.  Operations are atomic with
+    respect to topology changes, per the paper's delivery assumptions. *)
+
+type t
+
+type outcome = {
+  granted : bool;
+  verdict : Decision.verdict;
+  messages : int;   (** messages sent by this operation *)
+  bytes : int;      (** nominal bytes sent *)
+  content : string option; (** what a read returned *)
+}
+
+val create :
+  ?flavor:Decision.flavor ->
+  ?segment_of:(Site_set.site -> int) ->
+  ?latency:(Site_set.site -> Site_set.site -> float) ->
+  ?initial_content:string ->
+  universe:Site_set.t ->
+  unit ->
+  t
+(** All copies start up, connected, identical.  Site ordering: lowest id
+    ranks highest. *)
+
+val node : t -> Site_set.site -> Node.t
+val universe : t -> Site_set.t
+val transport : t -> Transport.t
+val up_sites : t -> Site_set.t
+
+val fail : t -> Site_set.site -> unit
+val restart_silently : t -> Site_set.site -> unit
+(** Mark up without running recovery (the site stays stale). *)
+
+val partition : t -> Site_set.t list -> unit
+(** @raise Invalid_argument when the groups do not cover the universe. *)
+
+val heal : t -> unit
+
+val read : t -> at:Site_set.site -> outcome
+(** Figure 1 coordinated at [at].
+    @raise Invalid_argument if [at] holds no copy or is down. *)
+
+val write : t -> at:Site_set.site -> content:string -> outcome
+(** Figure 2. *)
+
+val recover : t -> site:Site_set.site -> outcome
+(** Figure 3: brings [site] up and runs its recovery protocol once. *)
+
+val lock : t -> at:Site_set.site -> op:int -> [ `Granted of Site_set.t | `Denied ]
+(** Serialize operations: acquire the volatile lock for operation [op] at
+    every reachable copy (all-or-nothing; on conflict everything acquired
+    is released and [`Denied] is returned — retry later, never deadlock).
+    Returns the locked sites on success.  Locks are volatile: a crash
+    releases them. *)
+
+val unlock : t -> at:Site_set.site -> op:int -> unit
+(** Release operation [op]'s locks everywhere reachable. *)
+
+val replica_states : t -> Replica.t array
+(** Current ensembles of every site (for equivalence tests against the
+    pure {!Dynvote.Operation} semantics). *)
+
+val is_consistent : t -> bool
+(** Mutual consistency: equal version numbers imply equal contents. *)
+
+val connection_vector_messages : Site_set.t list -> int
+(** Per-topology-event state-exchange bill of the non-optimistic
+    algorithms, given the live components. *)

@@ -1,0 +1,50 @@
+(* Wire messages of the voting protocols.  START is a state request plus
+   its reply; COMMIT installs a new consistency ensemble; recovery adds a
+   data transfer.  Payload sizes are nominal byte counts used by the
+   overhead accounting (consistency-control state is tiny; data transfers
+   dominate, which is why the paper treats "message traffic" as message
+   counts). *)
+
+type payload =
+  | State_request                          (* START: who is there, send your ensemble *)
+  | State_reply of Replica.t               (* the (o, v, P) ensemble *)
+  | Commit of { op_no : int; version : int; partition : Site_set.t }
+  | Data_request                           (* recovering site asks for the file *)
+  | Data of { version : int; content : string }
+  | Ack
+  (* Operation serialization: the paper's algorithms assume one operation
+     at a time; these messages provide it.  Locks are volatile (lost on a
+     crash) and all-or-nothing (a coordinator that fails to lock every
+     reachable site releases and aborts), so no deadlock can form. *)
+  | Lock_request of { op : int }
+  | Lock_reply of { op : int; granted : bool }
+  | Unlock of { op : int }
+
+type t = {
+  src : Site_set.site;
+  dst : Site_set.site;
+  payload : payload;
+}
+
+let kind_name = function
+  | State_request -> "state_request"
+  | State_reply _ -> "state_reply"
+  | Commit _ -> "commit"
+  | Data_request -> "data_request"
+  | Data _ -> "data"
+  | Ack -> "ack"
+  | Lock_request _ -> "lock_request"
+  | Lock_reply _ -> "lock_reply"
+  | Unlock _ -> "unlock"
+
+let nominal_size = function
+  | State_request -> 16
+  | State_reply _ -> 48
+  | Commit _ -> 48
+  | Data_request -> 16
+  | Data { content; _ } -> 64 + String.length content
+  | Ack -> 16
+  | Lock_request _ | Lock_reply _ | Unlock _ -> 24
+
+let pp ppf t =
+  Fmt.pf ppf "%d -> %d: %s" t.src t.dst (kind_name t.payload)

@@ -1,0 +1,25 @@
+(** Wire messages of the voting protocols. *)
+
+type payload =
+  | State_request
+  | State_reply of Replica.t
+  | Commit of { op_no : int; version : int; partition : Site_set.t }
+  | Data_request
+  | Data of { version : int; content : string }
+  | Ack
+  | Lock_request of { op : int }
+      (** serialize operations: volatile, all-or-nothing locks *)
+  | Lock_reply of { op : int; granted : bool }
+  | Unlock of { op : int }
+
+type t = {
+  src : Site_set.site;
+  dst : Site_set.site;
+  payload : payload;
+}
+
+val kind_name : payload -> string
+val nominal_size : payload -> int
+(** Nominal bytes on the wire, for traffic accounting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(* A site participating in the replicated file: its consistency-control
+   ensemble, the file data itself, and the message handler that serves
+   state requests, installs commits and answers data transfers.  All state
+   changes at remote sites happen through messages — the point of this
+   library is to validate that the wire protocol reproduces the pure
+   state-transition semantics of {!Dynvote.Operation}. *)
+
+type t = {
+  site : Site_set.site;
+  mutable replica : Replica.t;
+  mutable data_version : int;
+  mutable content : string;
+  (* When an operation coordinated at this site is in flight, replies are
+     routed to this collector instead of the normal handler. *)
+  mutable collector : (Message.t -> unit) option;
+  (* Volatile operation lock: cleared by a crash, never persisted. *)
+  mutable lock : int option;
+}
+
+let create ~site ~universe ~initial_content =
+  {
+    site;
+    replica = Replica.initial universe;
+    data_version = 1;
+    content = initial_content;
+    collector = None;
+    lock = None;
+  }
+
+let site t = t.site
+
+let locked_by t = t.lock
+
+let clear_lock t = t.lock <- None
+
+(* Grant the volatile lock to [op] if free (or already held by [op]). *)
+let try_lock t ~op =
+  match t.lock with
+  | None ->
+      t.lock <- Some op;
+      true
+  | Some holder -> holder = op
+let replica t = t.replica
+let content t = t.content
+let data_version t = t.data_version
+
+let set_collector t f = t.collector <- Some f
+let clear_collector t = t.collector <- None
+
+let install_data t ~version ~content =
+  if version > t.data_version then begin
+    t.data_version <- version;
+    t.content <- content
+  end
+
+let write_local t ~version ~content =
+  t.data_version <- version;
+  t.content <- content
+
+(* Commits are applied monotonically: a delayed, duplicated or otherwise
+   stale COMMIT (operation number not beyond the current one) is ignored,
+   so out-of-order delivery can never regress a copy's state. *)
+let install_commit t ~op_no ~version ~partition =
+  if op_no > Replica.op_no t.replica then
+    t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition
+
+let handler t transport message =
+  match message.Message.payload with
+  | Message.State_request ->
+      Transport.send transport ~src:t.site ~dst:message.Message.src
+        (Message.State_reply t.replica)
+  | Message.Commit { op_no; version; partition } ->
+      install_commit t ~op_no ~version ~partition
+  | Message.Data_request ->
+      Transport.send transport ~src:t.site ~dst:message.Message.src
+        (Message.Data { version = t.data_version; content = t.content })
+  | Message.Data { version; content } -> install_data t ~version ~content
+  | Message.Lock_request { op } ->
+      Transport.send transport ~src:t.site ~dst:message.Message.src
+        (Message.Lock_reply { op; granted = try_lock t ~op })
+  | Message.Unlock { op } -> if t.lock = Some op then t.lock <- None
+  | Message.State_reply _ | Message.Lock_reply _ | Message.Ack -> (
+      (* Replies are only meaningful to an in-flight coordinator. *)
+      match t.collector with Some f -> f message | None -> ())

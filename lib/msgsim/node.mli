@@ -1,0 +1,39 @@
+(** A participating site: consistency ensemble, file data, and the message
+    handler that serves the wire protocol. *)
+
+type t
+
+val create : site:Site_set.site -> universe:Site_set.t -> initial_content:string -> t
+
+val site : t -> Site_set.site
+
+val locked_by : t -> int option
+(** The operation currently holding this site's volatile lock. *)
+
+val clear_lock : t -> unit
+(** Drop the volatile lock (a crash does this implicitly). *)
+
+val try_lock : t -> op:int -> bool
+(** Acquire the volatile lock for operation [op]; idempotent for the
+    holder, refused while another operation holds it. *)
+
+val replica : t -> Replica.t
+val content : t -> string
+val data_version : t -> int
+
+val set_collector : t -> (Message.t -> unit) -> unit
+(** Route incoming replies to an in-flight coordinator. *)
+
+val clear_collector : t -> unit
+
+val install_data : t -> version:int -> content:string -> unit
+(** Adopt newer data (ignored if not newer). *)
+
+val write_local : t -> version:int -> content:string -> unit
+
+val install_commit : t -> op_no:int -> version:int -> partition:Site_set.t -> unit
+(** Monotone: ignored unless [op_no] exceeds the copy's current operation
+    number, so stale or duplicated commits cannot regress state. *)
+
+val handler : t -> Transport.t -> Message.t -> unit
+(** The node's protocol automaton, to be registered with the transport. *)

@@ -1,0 +1,98 @@
+(* Asynchronous message delivery over the simulated network.  Messages
+   between connected sites arrive after a per-pair latency, in timestamp
+   order (FIFO per channel follows from the deterministic event queue);
+   messages to unreachable sites are silently dropped — exactly the
+   paper's failure model, where "no answer" is how a site learns that a
+   peer is down or partitioned away. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+  by_kind : (string, int) Hashtbl.t;
+}
+
+type t = {
+  engine : Message.t Dynvote_des.Engine.t;
+  latency : Site_set.site -> Site_set.site -> float;
+  mutable connected : Site_set.site -> Site_set.site -> bool;
+  mutable fault : Message.t -> bool; (* true = drop this message *)
+  handlers : (Site_set.site, t -> Message.t -> unit) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(latency = fun _ _ -> 0.001) ?(connected = fun _ _ -> true) () =
+  {
+    engine = Dynvote_des.Engine.create ();
+    latency;
+    connected;
+    fault = (fun _ -> false);
+    handlers = Hashtbl.create 16;
+    stats = { sent = 0; delivered = 0; dropped = 0; bytes = 0; by_kind = Hashtbl.create 8 };
+  }
+
+let set_connectivity t connected = t.connected <- connected
+
+(* Fault injection for tests: messages matching the predicate vanish (and
+   are counted as dropped). *)
+let set_fault t fault = t.fault <- fault
+let clear_fault t = t.fault <- (fun _ -> false)
+
+let register t site handler = Hashtbl.replace t.handlers site handler
+
+let now t = Dynvote_des.Engine.now t.engine
+
+let count_kind t payload =
+  let kind = Message.kind_name payload in
+  Hashtbl.replace t.stats.by_kind kind
+    (1 + Option.value (Hashtbl.find_opt t.stats.by_kind kind) ~default:0)
+
+let send t ~src ~dst payload =
+  let message = { Message.src; dst; payload } in
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes <- t.stats.bytes + Message.nominal_size payload;
+  count_kind t payload;
+  if t.fault message then t.stats.dropped <- t.stats.dropped + 1
+  else if t.connected src dst then
+    Dynvote_des.Engine.schedule_after t.engine ~delay:(t.latency src dst) message
+  else t.stats.dropped <- t.stats.dropped + 1
+
+let broadcast t ~src ~targets payload =
+  Site_set.iter (fun dst -> if dst <> src then send t ~src ~dst payload) targets
+
+(* Deliver every in-flight message (and those they trigger) in timestamp
+   order.  Connectivity is rechecked at delivery time, so a partition that
+   forms mid-flight loses the affected messages. *)
+let run_until_quiet t =
+  let handler _engine _time message =
+    if t.connected message.Message.src message.Message.dst then begin
+      t.stats.delivered <- t.stats.delivered + 1;
+      match Hashtbl.find_opt t.handlers message.Message.dst with
+      | Some f -> f t message
+      | None -> ()
+    end
+    else t.stats.dropped <- t.stats.dropped + 1
+  in
+  let rec drain () =
+    match Dynvote_des.Engine.step t.engine ~handler with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ()
+
+let stats t = t.stats
+
+let messages_sent t = t.stats.sent
+let messages_delivered t = t.stats.delivered
+let messages_dropped t = t.stats.dropped
+let bytes_sent t = t.stats.bytes
+
+let kind_count t kind = Option.value (Hashtbl.find_opt t.stats.by_kind kind) ~default:0
+
+let reset_stats t =
+  t.stats.sent <- 0;
+  t.stats.delivered <- 0;
+  t.stats.dropped <- 0;
+  t.stats.bytes <- 0;
+  Hashtbl.reset t.stats.by_kind

@@ -1,0 +1,48 @@
+(** Asynchronous message transport over the simulated network.
+
+    Delivery order is deterministic (timestamp, then send order); messages
+    between unconnected sites are dropped silently, matching the paper's
+    "no answer means unavailable" model. *)
+
+type t
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+  by_kind : (string, int) Hashtbl.t;
+}
+
+val create :
+  ?latency:(Site_set.site -> Site_set.site -> float) ->
+  ?connected:(Site_set.site -> Site_set.site -> bool) ->
+  unit ->
+  t
+(** Defaults: 1 ms latency between every pair, full connectivity. *)
+
+val set_connectivity : t -> (Site_set.site -> Site_set.site -> bool) -> unit
+
+val set_fault : t -> (Message.t -> bool) -> unit
+(** Fault injection: messages matching the predicate are silently dropped
+    (counted in the dropped statistic). *)
+
+val clear_fault : t -> unit
+val register : t -> Site_set.site -> (t -> Message.t -> unit) -> unit
+val now : t -> float
+
+val send : t -> src:Site_set.site -> dst:Site_set.site -> Message.payload -> unit
+val broadcast : t -> src:Site_set.site -> targets:Site_set.t -> Message.payload -> unit
+(** To every member of [targets] except [src]. *)
+
+val run_until_quiet : t -> unit
+(** Deliver all in-flight messages (and any they trigger), in order.
+    Connectivity is rechecked at delivery time. *)
+
+val stats : t -> stats
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val messages_dropped : t -> int
+val bytes_sent : t -> int
+val kind_count : t -> string -> int
+val reset_stats : t -> unit

@@ -1,0 +1,72 @@
+(* Reachability under failures.  Given which sites are up, compute the
+   partition of the live sites into mutually communicating components:
+   segments are joined when a live gateway bridges them (union-find over
+   the handful of segments), then live sites group by their segment's
+   component.  Two live sites communicate iff their home segments are in
+   the same component. *)
+
+type t = {
+  topology : Topology.t;
+  parent : int array; (* union-find over segments, rebuilt per query *)
+}
+
+let create topology = { topology; parent = Array.make (Topology.n_segments topology) 0 }
+
+let rec find parent i = if parent.(i) = i then i else find parent parent.(i)
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let rebuild t ~up =
+  let parent = t.parent in
+  for i = 0 to Array.length parent - 1 do
+    parent.(i) <- i
+  done;
+  List.iter
+    (fun { Topology.gateway; segment_a; segment_b } ->
+      if Site_set.mem gateway up then union parent segment_a segment_b)
+    (Topology.bridges t.topology)
+
+(* The live sites grouped into communicating components. *)
+let components t ~up =
+  rebuild t ~up;
+  let n_segments = Topology.n_segments t.topology in
+  (* Accumulate one site-set per segment root. *)
+  let groups = Array.make n_segments Site_set.empty in
+  Site_set.iter
+    (fun site ->
+      let root = find t.parent (Topology.home_segment t.topology site) in
+      groups.(root) <- Site_set.add site groups.(root))
+    up;
+  Array.to_list groups |> List.filter (fun g -> not (Site_set.is_empty g))
+
+let view t ~up = { Policy.components = components t ~up }
+
+let connected t ~up a b =
+  Site_set.mem a up && Site_set.mem b up
+  && begin
+       rebuild t ~up;
+       find t.parent (Topology.home_segment t.topology a)
+       = find t.parent (Topology.home_segment t.topology b)
+     end
+
+(* The component (live communicating sites) containing [site], or empty if
+   the site is down. *)
+let component_of t ~up site =
+  if not (Site_set.mem site up) then Site_set.empty
+  else begin
+    rebuild t ~up;
+    let root = find t.parent (Topology.home_segment t.topology site) in
+    Site_set.filter
+      (fun other -> find t.parent (Topology.home_segment t.topology other) = root)
+      up
+  end
+
+let is_partitioned t ~up ~among =
+  let live = Site_set.inter up among in
+  if Site_set.cardinal live <= 1 then false
+  else begin
+    let first = Site_set.min_elt live in
+    not (Site_set.subset live (component_of t ~up first))
+  end

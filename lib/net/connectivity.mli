@@ -1,0 +1,25 @@
+(** Reachability under site failures.
+
+    Computes the partition of live sites into mutually communicating
+    components given the set of up sites.  Segments never fail; a dead
+    gateway disconnects its pair of segments. *)
+
+type t
+
+val create : Topology.t -> t
+(** Reusable query context (holds a scratch union-find). *)
+
+val components : t -> up:Site_set.t -> Site_set.t list
+(** Live sites grouped into communicating components (each non-empty). *)
+
+val view : t -> up:Site_set.t -> Policy.view
+(** Same, packaged for {!Dynvote.Policy}. *)
+
+val connected : t -> up:Site_set.t -> Site_set.site -> Site_set.site -> bool
+(** Can the two sites communicate (both up, segments joined)? *)
+
+val component_of : t -> up:Site_set.t -> Site_set.site -> Site_set.t
+(** The communicating group containing the site; empty when it is down. *)
+
+val is_partitioned : t -> up:Site_set.t -> among:Site_set.t -> bool
+(** Are the live members of [among] split across several components? *)

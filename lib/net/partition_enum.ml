@@ -1,0 +1,56 @@
+(* Exhaustive enumeration of the partitions a topology can exhibit.  The
+   paper argues (§3) that for its four-copy example the only possible
+   partitions are {{A,B,C},{D}}, {{A,B,D},{C}} and {{A,B},{C},{D}}; this
+   module lets tests verify such claims mechanically by sweeping every
+   combination of gateway failures. *)
+
+(* Canonical form of a partition: sorted list of site-set bitmasks. *)
+let canonical groups =
+  groups |> List.map Site_set.to_int |> List.sort_uniq compare
+
+(* All partitions of the live members of [among] obtainable by failing any
+   subset of gateways (every non-gateway site stays up).  Returns each
+   distinct partition once, as sorted lists of site sets. *)
+let gateway_partitions topology ~among =
+  let connectivity = Connectivity.create topology in
+  let gateways = Site_set.to_list (Topology.gateways topology) in
+  let n_gateways = List.length gateways in
+  let all = Topology.all_sites topology in
+  let results = Hashtbl.create 16 in
+  for mask = 0 to (1 lsl n_gateways) - 1 do
+    let down =
+      List.fold_left
+        (fun (i, acc) gw ->
+          (i + 1, if mask land (1 lsl i) <> 0 then Site_set.add gw acc else acc))
+        (0, Site_set.empty) gateways
+      |> snd
+    in
+    let up = Site_set.diff all down in
+    let groups =
+      Connectivity.components connectivity ~up
+      |> List.filter_map (fun component ->
+             let members = Site_set.inter component among in
+             if Site_set.is_empty members then None else Some members)
+    in
+    let key = canonical groups in
+    if not (Hashtbl.mem results key) then Hashtbl.add results key groups
+  done;
+  Hashtbl.fold (fun _ groups acc -> groups :: acc) results []
+  |> List.sort (fun a b -> compare (canonical a) (canonical b))
+
+(* True iff a partition splitting [among] into at least two groups is
+   achievable by gateway failures alone. *)
+let can_partition topology ~among =
+  gateway_partitions topology ~among
+  |> List.exists (fun groups -> List.length groups > 1)
+
+(* The paper calls a site a "partition point" for a copy set when its
+   failure alone splits the live copies into several components. *)
+let partition_points topology ~among =
+  let connectivity = Connectivity.create topology in
+  let all = Topology.all_sites topology in
+  Site_set.filter
+    (fun gateway ->
+      let up = Site_set.remove gateway all in
+      Connectivity.is_partitioned connectivity ~up ~among:(Site_set.remove gateway among))
+    (Topology.gateways topology)

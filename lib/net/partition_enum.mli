@@ -1,0 +1,17 @@
+(** Exhaustive enumeration of achievable network partitions.
+
+    Supports verifying topology claims from the paper, e.g. that the §3
+    four-copy example admits exactly three partitions, or that
+    configuration B has a single partition point at site 4. *)
+
+val gateway_partitions :
+  Topology.t -> among:Site_set.t -> Site_set.t list list
+(** Every distinct partition of (the live members of) [among] achievable by
+    failing a subset of gateways, each as a list of components.  Sorted and
+    duplicate-free. *)
+
+val can_partition : Topology.t -> among:Site_set.t -> bool
+
+val partition_points : Topology.t -> among:Site_set.t -> Site_set.t
+(** Gateways whose single failure splits the live copies of [among] into
+    several components. *)

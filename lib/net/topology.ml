@@ -1,0 +1,140 @@
+(* Local-area network topologies of the kind the paper studies: a set of
+   indivisible segments (unsegmented carrier-sense networks or token rings,
+   which can never partition internally) linked by gateway hosts.  A
+   gateway belongs to exactly one segment — its home — per the paper's §3
+   rule, but while it is up it bridges its pair of segments.  Gateways are
+   therefore the only partition points; segments themselves never fail. *)
+
+type bridge = {
+  gateway : Site_set.site; (* the gateway host *)
+  segment_a : int;
+  segment_b : int;
+}
+
+type t = {
+  n_sites : int;
+  n_segments : int;
+  site_names : string array;
+  segment_names : string array;
+  home_segment : int array; (* site -> its (unique) segment *)
+  bridges : bridge list;
+}
+
+let validate t =
+  if t.n_sites <= 0 then invalid_arg "Topology: no sites";
+  if t.n_sites > Site_set.max_sites then invalid_arg "Topology: too many sites";
+  if t.n_segments <= 0 then invalid_arg "Topology: no segments";
+  if Array.length t.home_segment <> t.n_sites then
+    invalid_arg "Topology: home_segment size mismatch";
+  Array.iter
+    (fun seg ->
+      if seg < 0 || seg >= t.n_segments then invalid_arg "Topology: bad segment id")
+    t.home_segment;
+  List.iter
+    (fun b ->
+      if b.gateway < 0 || b.gateway >= t.n_sites then
+        invalid_arg "Topology: bridge gateway out of range";
+      if b.segment_a = b.segment_b then invalid_arg "Topology: bridge loops a segment";
+      if
+        b.segment_a < 0 || b.segment_a >= t.n_segments || b.segment_b < 0
+        || b.segment_b >= t.n_segments
+      then invalid_arg "Topology: bridge segment out of range";
+      if t.home_segment.(b.gateway) <> b.segment_a && t.home_segment.(b.gateway) <> b.segment_b
+      then invalid_arg "Topology: gateway must live on one of its bridged segments")
+    t.bridges;
+  t
+
+let create ?site_names ?segment_names ~n_segments ~home_segment ~bridges () =
+  let n_sites = Array.length home_segment in
+  let site_names =
+    match site_names with
+    | Some names ->
+        if Array.length names <> n_sites then
+          invalid_arg "Topology.create: site_names size mismatch";
+        names
+    | None -> Array.init n_sites (fun i -> Printf.sprintf "site%d" i)
+  in
+  let segment_names =
+    match segment_names with
+    | Some names ->
+        if Array.length names <> n_segments then
+          invalid_arg "Topology.create: segment_names size mismatch";
+        names
+    | None -> Array.init n_segments (fun i -> Printf.sprintf "seg%d" i)
+  in
+  validate
+    { n_sites; n_segments; site_names; segment_names; home_segment; bridges }
+
+(* A single segment holding [n] sites: no partitions are possible. *)
+let single_segment ?site_names n =
+  create ?site_names ~n_segments:1 ~home_segment:(Array.make n 0) ~bridges:[] ()
+
+let n_sites t = t.n_sites
+let n_segments t = t.n_segments
+let site_name t i = t.site_names.(i)
+let site_names t = t.site_names
+let segment_name t i = t.segment_names.(i)
+let home_segment t i = t.home_segment.(i)
+let segment_of t = fun site -> t.home_segment.(site)
+let bridges t = t.bridges
+
+let gateways t =
+  List.fold_left (fun acc b -> Site_set.add b.gateway acc) Site_set.empty t.bridges
+
+let all_sites t = Site_set.universe t.n_sites
+
+let sites_on_segment t seg =
+  Site_set.filter (fun site -> t.home_segment.(site) = seg) (all_sites t)
+
+(* The network of the paper's Figure 8: eight sites, three carrier-sense
+   segments.  Sites 1-5 (ids 0-4) share the main segment alpha; site 4
+   (id 3, "wizard") is the gateway to segment beta holding site 6 (id 5);
+   site 5 (id 4, "amos") is the gateway to segment gamma holding sites 7
+   and 8 (ids 6, 7).  Paper site numbers are 1-based; ids are 0-based, so
+   paper site k is id k-1 throughout the project. *)
+let ucsd =
+  create
+    ~site_names:[| "csvax"; "beowulf"; "grendel"; "wizard"; "amos"; "gremlin"; "rip"; "mangle" |]
+    ~segment_names:[| "alpha"; "beta"; "gamma" |]
+    ~n_segments:3
+    ~home_segment:[| 0; 0; 0; 0; 0; 1; 2; 2 |]
+    ~bridges:
+      [ { gateway = 3 (* wizard, paper site 4 *); segment_a = 0; segment_b = 1 };
+        { gateway = 4 (* amos, paper site 5 *); segment_a = 0; segment_b = 2 } ]
+    ()
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d sites, %d segments@," t.n_sites t.n_segments;
+  for seg = 0 to t.n_segments - 1 do
+    Fmt.pf ppf "segment %s: %a@," t.segment_names.(seg)
+      (Site_set.pp_names t.site_names) (sites_on_segment t seg)
+  done;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "gateway %s bridges %s <-> %s@," t.site_names.(b.gateway)
+        t.segment_names.(b.segment_a) t.segment_names.(b.segment_b))
+    t.bridges;
+  Fmt.pf ppf "@]"
+
+(* ASCII rendering of Figure 8 for the CLI's [topology] subcommand. *)
+let pp_ascii ppf t =
+  Fmt.pf ppf "@[<v>";
+  for seg = 0 to t.n_segments - 1 do
+    let members = Site_set.to_list (sites_on_segment t seg) in
+    let cells =
+      List.map
+        (fun site ->
+          let marker =
+            if List.exists (fun b -> b.gateway = site) t.bridges then "*" else ""
+          in
+          Printf.sprintf "[%d:%s%s]" (site + 1) t.site_names.(site) marker)
+        members
+    in
+    Fmt.pf ppf "%-7s ===%s===@," t.segment_names.(seg) (String.concat "===" cells)
+  done;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "        %s* links %s and %s@," t.site_names.(b.gateway)
+        t.segment_names.(b.segment_a) t.segment_names.(b.segment_b))
+    t.bridges;
+  Fmt.pf ppf "        (* = gateway; its failure partitions the network)@]"

@@ -1,0 +1,56 @@
+(** Segmented local-area network topologies (paper §3 and Figure 8).
+
+    A network is a set of indivisible segments (carrier-sense networks or
+    token rings, immune to internal partition) linked by gateway hosts.
+    Every site — gateways included — belongs to exactly one home segment;
+    a live gateway bridges its two segments, a dead one partitions them.
+    Segments themselves never fail (paper §4 assumption). *)
+
+type bridge = {
+  gateway : Site_set.site;
+  segment_a : int;
+  segment_b : int;
+}
+
+type t
+
+val create :
+  ?site_names:string array ->
+  ?segment_names:string array ->
+  n_segments:int ->
+  home_segment:int array ->
+  bridges:bridge list ->
+  unit ->
+  t
+(** [home_segment.(site)] is each site's segment; its length fixes the
+    number of sites.  @raise Invalid_argument on inconsistent input (bad
+    ids, a gateway not living on one of its bridged segments, …). *)
+
+val single_segment : ?site_names:string array -> int -> t
+(** [single_segment n]: [n] sites on one segment — no partitions possible;
+    the setting where topological voting degenerates to available-copy. *)
+
+val ucsd : t
+(** The eight-site, three-segment network of Figure 8 / Table 1.  Paper
+    site k is id k-1: csvax(0), beowulf(1), grendel(2), wizard(3, gateway
+    alpha–beta), amos(4, gateway alpha–gamma), gremlin(5), rip(6),
+    mangle(7). *)
+
+val n_sites : t -> int
+val n_segments : t -> int
+val site_name : t -> Site_set.site -> string
+val site_names : t -> string array
+val segment_name : t -> int -> string
+val home_segment : t -> Site_set.site -> int
+
+val segment_of : t -> Site_set.site -> int
+(** As a function, for {!Dynvote.Operation.ctx}. *)
+
+val bridges : t -> bridge list
+val gateways : t -> Site_set.t
+val all_sites : t -> Site_set.t
+val sites_on_segment : t -> int -> Site_set.t
+
+val pp : Format.formatter -> t -> unit
+val pp_ascii : Format.formatter -> t -> unit
+(** ASCII diagram in the style of Figure 8. *)

@@ -1,0 +1,66 @@
+(* Random segmented topologies for property-based testing: a tree of
+   segments (trees are exactly the partition-prone shape — every gateway
+   is a cut point), each holding a few sites, with gateways picked among
+   the sites of the parent segment.  Generated instances always satisfy
+   {!Topology.create}'s invariants, so tests can sweep protocol properties
+   over thousands of network shapes. *)
+
+module Rng = Dynvote_prng.Rng
+
+type spec = {
+  max_segments : int;
+  max_sites_per_segment : int;
+}
+
+let default_spec = { max_segments = 4; max_sites_per_segment = 3 }
+
+(* Generate a topology with at least one site; at most
+   [max_segments * max_sites_per_segment] sites (capped by Site_set). *)
+let random ?(spec = default_spec) rng =
+  if spec.max_segments < 1 || spec.max_sites_per_segment < 1 then
+    invalid_arg "Topology_gen.random: bad spec";
+  let n_segments = 1 + Rng.int rng spec.max_segments in
+  (* Sites per segment (at least one, so every segment is inhabited and
+     can host a gateway). *)
+  let sites_per_segment =
+    Array.init n_segments (fun _ -> 1 + Rng.int rng spec.max_sites_per_segment)
+  in
+  let n_sites = Array.fold_left ( + ) 0 sites_per_segment in
+  if n_sites > Site_set.max_sites then invalid_arg "Topology_gen.random: too many sites";
+  let home_segment = Array.make n_sites 0 in
+  let first_site = Array.make n_segments 0 in
+  let next = ref 0 in
+  Array.iteri
+    (fun seg count ->
+      first_site.(seg) <- !next;
+      for _ = 1 to count do
+        home_segment.(!next) <- seg;
+        incr next
+      done)
+    sites_per_segment;
+  (* Tree of segments: segment k > 0 hangs off a random earlier segment,
+     through a gateway site living on the parent. *)
+  let bridges = ref [] in
+  for seg = 1 to n_segments - 1 do
+    let parent = Rng.int rng seg in
+    let gateway = first_site.(parent) + Rng.int rng sites_per_segment.(parent) in
+    bridges := { Topology.gateway; segment_a = parent; segment_b = seg } :: !bridges
+  done;
+  Topology.create ~n_segments ~home_segment ~bridges:!bridges ()
+
+(* A random non-empty subset of the topology's sites, for copy
+   placements. *)
+let random_placement rng topology =
+  let n = Topology.n_sites topology in
+  let rec draw () =
+    let set =
+      Site_set.filter (fun _ -> Rng.bool rng) (Topology.all_sites topology)
+    in
+    if Site_set.is_empty set then draw () else set
+  in
+  ignore n;
+  draw ()
+
+(* A random up-set (any subset, including empty). *)
+let random_up_set rng topology =
+  Site_set.filter (fun _ -> Rng.bool rng) (Topology.all_sites topology)

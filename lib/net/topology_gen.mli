@@ -1,0 +1,20 @@
+(** Random segmented topologies for property-based testing.
+
+    Generates trees of segments (every gateway is a cut point) with a few
+    sites each; all instances satisfy the {!Topology} invariants. *)
+
+type spec = {
+  max_segments : int;
+  max_sites_per_segment : int;
+}
+
+val default_spec : spec
+(** 1–4 segments of 1–3 sites. *)
+
+val random : ?spec:spec -> Dynvote_prng.Rng.t -> Topology.t
+
+val random_placement : Dynvote_prng.Rng.t -> Topology.t -> Site_set.t
+(** A random non-empty copy placement. *)
+
+val random_up_set : Dynvote_prng.Rng.t -> Topology.t -> Site_set.t
+(** A random (possibly empty) set of live sites. *)

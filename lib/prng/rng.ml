@@ -1,0 +1,57 @@
+(* Uniform front-end over the concrete generators plus the random variates
+   needed by the failure model: exponential, shifted exponential, Bernoulli,
+   uniform ranges and small helpers.  All simulation code draws through this
+   module so the underlying generator can be swapped in one place. *)
+
+type t = Xoshiro256.t
+
+let create ?(seed = 0x5EEDL) () = Xoshiro256.create seed
+
+let of_seed seed = Xoshiro256.create (Int64.of_int seed)
+
+let copy = Xoshiro256.copy
+
+let split = Xoshiro256.split
+
+let float t = Xoshiro256.next_float t
+
+let int t bound = Xoshiro256.next_int t bound
+
+let int64 t = Xoshiro256.next_int64 t
+
+let bool t = Xoshiro256.next_bool t
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+(* Inverse-CDF sampling.  [1.0 -. float t] lies in (0, 1], so the log is
+   always finite. *)
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  -.mean *. log (1.0 -. float t)
+
+(* Repair times in the paper are "a constant term plus an exponentially
+   distributed term". *)
+let shifted_exponential t ~constant ~mean =
+  if constant < 0.0 then invalid_arg "Rng.shifted_exponential: negative constant";
+  if mean = 0.0 then constant else constant +. exponential t ~mean
+
+let bernoulli t ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  float t < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Derive [n] independent child streams, e.g. one per site. *)
+let streams t n = Array.init n (fun _ -> split t)

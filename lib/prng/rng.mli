@@ -1,0 +1,44 @@
+(** Random variates for the simulation.
+
+    A thin front-end over {!Xoshiro256} adding the distributions the failure
+    model needs.  Every stochastic draw in the project goes through this
+    module. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val of_seed : int -> t
+val copy : t -> t
+
+val split : t -> t
+(** Independent child stream (jump-based, non-overlapping). *)
+
+val streams : t -> int -> t array
+(** [streams t n] is [n] independent child streams. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val int64 : t -> int64
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). @raise Invalid_argument if [hi < lo]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential variate with the given mean (inverse-CDF method). *)
+
+val shifted_exponential : t -> constant:float -> mean:float -> float
+(** [constant + Exp(mean)] — the paper's hardware-repair-time model.  A zero
+    [mean] yields exactly [constant]. *)
+
+val bernoulli : t -> p:float -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. @raise Invalid_argument on empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

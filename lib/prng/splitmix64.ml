@@ -1,0 +1,48 @@
+(* Splitmix64: a fast, splittable 64-bit PRNG (Steele, Lea & Flood 2014).
+   Used both directly and to seed {!Xoshiro256}.  All arithmetic is done on
+   OCaml's native [int64] so sequences are identical on every platform. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let state t = t.state
+
+(* One step of the splitmix64 output function. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Derive an independent generator; the two streams are statistically
+   uncorrelated because the derived seed passes through the full mixer. *)
+let split t =
+  let seed = next_int64 t in
+  create seed
+
+let next_bits53 t =
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
+
+(* Uniform float in [0, 1).  53 bits of mantissa. *)
+let next_float t = float_of_int (next_bits53 t) *. 0x1p-53
+
+(* Uniform int in [0, bound).  Rejection sampling avoids modulo bias. *)
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound must be positive";
+  let mask =
+    let rec go m = if m >= bound - 1 then m else go ((m lsl 1) lor 1) in
+    go 1
+  in
+  let rec draw () =
+    let candidate = next_bits53 t land mask in
+    if candidate < bound then candidate else draw ()
+  in
+  draw ()
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -1,0 +1,38 @@
+(** Splitmix64 pseudo-random number generator.
+
+    A fast, high-quality, splittable 64-bit generator (Steele, Lea & Flood,
+    OOPSLA 2014).  Sequences are fully determined by the seed and identical
+    on every platform, which the simulator relies on for reproducible
+    experiments. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val state : t -> int64
+(** Current internal state (for checkpointing). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator.  Used to give every site its own failure stream. *)
+
+val next_bits53 : t -> int
+(** 53 uniformly random bits as a non-negative [int]. *)
+
+val next_float : t -> float
+(** Uniform float in [0, 1). *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [0, bound); rejection-sampled, so free
+    of modulo bias.  @raise Invalid_argument if [bound <= 0]. *)
+
+val next_bool : t -> bool
+(** Fair coin flip. *)

@@ -1,0 +1,82 @@
+(* Xoshiro256++ (Blackman & Vigna 2019): the workhorse generator for the
+   simulation.  Seeded from splitmix64 as the authors recommend, because
+   xoshiro must not be seeded with a state that is all zeros or otherwise
+   low-entropy. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let of_splitmix sm =
+  let s0 = Splitmix64.next_int64 sm in
+  let s1 = Splitmix64.next_int64 sm in
+  let s2 = Splitmix64.next_int64 sm in
+  let s3 = Splitmix64.next_int64 sm in
+  { s0; s1; s2; s3 }
+
+let create seed = of_splitmix (Splitmix64.create seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let next_int64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let next_bits53 t =
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
+
+let next_float t = float_of_int (next_bits53 t) *. 0x1p-53
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro256.next_int: bound must be positive";
+  let mask =
+    let rec go m = if m >= bound - 1 then m else go ((m lsl 1) lor 1) in
+    go 1
+  in
+  let rec draw () =
+    let candidate = next_bits53 t land mask in
+    if candidate < bound then candidate else draw ()
+  in
+  draw ()
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* The jump function advances the generator by 2^128 steps, giving
+   non-overlapping subsequences for parallel streams. *)
+let jump_table = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun jump_word ->
+      for bit = 0 to 63 do
+        if Int64.logand jump_word (Int64.shift_left 1L bit) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (next_int64 t)
+      done)
+    jump_table;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let split t =
+  let child = copy t in
+  jump t;
+  child

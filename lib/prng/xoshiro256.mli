@@ -1,0 +1,33 @@
+(** Xoshiro256++ pseudo-random number generator (Blackman & Vigna 2019).
+
+    Fast, 256-bit state, period [2^256 - 1].  The main generator used by the
+    discrete-event simulation.  Parallel streams are obtained with
+    {!split}, which uses the official jump polynomial to guarantee
+    non-overlapping subsequences of length [2^128]. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] seeds via splitmix64, as recommended by the authors. *)
+
+val of_splitmix : Splitmix64.t -> t
+(** Seed from an existing splitmix64 stream (advances it by 4 outputs). *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+val next_bits53 : t -> int
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val next_int : t -> int -> int
+(** Uniform in [0, bound), bias-free. @raise Invalid_argument on [bound <= 0]. *)
+
+val next_bool : t -> bool
+
+val jump : t -> unit
+(** Advance by [2^128] steps in place. *)
+
+val split : t -> t
+(** [split t] returns a copy of the current state and jumps [t] forward by
+    [2^128] steps; the result and [t] generate disjoint subsequences. *)

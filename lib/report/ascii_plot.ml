@@ -1,0 +1,90 @@
+(* ASCII line charts for terminals: several named series over a shared
+   x-axis, optional logarithmic y-axis (unavailability spans orders of
+   magnitude).  Good enough to show curve shapes — crossovers, minima —
+   directly in CLI and benchmark output. *)
+
+type series = {
+  label : string;
+  points : (float * float) list; (* (x, y), y > 0 required for log scale *)
+}
+
+type scale = Linear | Log10
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let nice_value v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1000.0 || (Float.abs v < 0.01 && v <> 0.0) then
+    Printf.sprintf "%.1e" v
+  else Printf.sprintf "%.3g" v
+
+let render ?(width = 60) ?(height = 16) ?(scale = Linear) series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: too small";
+  if series = [] then invalid_arg "Ascii_plot.render: no series";
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Ascii_plot.render: no points";
+  let transform y =
+    match scale with
+    | Linear -> y
+    | Log10 ->
+        if y <= 0.0 then invalid_arg "Ascii_plot.render: log scale needs positive y"
+        else log10 y
+  in
+  let xs = List.map fst all_points and ys = List.map (fun (_, y) -> transform y) all_points in
+  let x_min = List.fold_left Float.min infinity xs in
+  let x_max = List.fold_left Float.max neg_infinity xs in
+  let y_min = List.fold_left Float.min infinity ys in
+  let y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun series_index s ->
+      let glyph = glyphs.(series_index mod Array.length glyphs) in
+      List.iter
+        (fun (x, y) ->
+          let y = transform y in
+          let col =
+            int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+          in
+          let row =
+            int_of_float
+              (Float.round ((y_max -. y) /. y_span *. float_of_int (height - 1)))
+          in
+          if row >= 0 && row < height && col >= 0 && col < width then
+            (* First-drawn series keeps contested cells. *)
+            if grid.(row).(col) = ' ' then grid.(row).(col) <- glyph)
+        s.points)
+    series;
+  let buffer = Buffer.create ((width + 16) * (height + 4)) in
+  let y_label row =
+    let y = y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span) in
+    let y = match scale with Linear -> y | Log10 -> 10.0 ** y in
+    nice_value y
+  in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          Printf.sprintf "%10s |" (y_label row)
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buffer label;
+      Buffer.add_string buffer (String.init width (fun c -> line.(c)));
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.add_string buffer (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buffer
+    (Printf.sprintf "%10s  %-*s%s\n" "" (width - String.length (nice_value x_max))
+       (nice_value x_min) (nice_value x_max));
+  Buffer.add_string buffer "  legend: ";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%c = %s  " glyphs.(i mod Array.length glyphs) s.label))
+    series;
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let print ?width ?height ?scale series =
+  print_string (render ?width ?height ?scale series)

@@ -1,0 +1,14 @@
+(** ASCII line charts: multiple named series, linear or log10 y-axis. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+type scale = Linear | Log10
+
+val render : ?width:int -> ?height:int -> ?scale:scale -> series list -> string
+(** @raise Invalid_argument on an empty plot, a too-small canvas, or
+    non-positive values under [Log10]. *)
+
+val print : ?width:int -> ?height:int -> ?scale:scale -> series list -> unit

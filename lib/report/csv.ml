@@ -1,0 +1,39 @@
+(* Minimal CSV writer (RFC 4180 quoting) so study results can feed
+   external plotting tools. *)
+
+let needs_quoting cell =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) cell
+
+let quote cell =
+  if needs_quoting cell then begin
+    let buffer = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      cell;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else cell
+
+let row_to_string cells = String.concat "," (List.map quote cells)
+
+let to_string ~header rows =
+  String.concat "\r\n" (row_to_string header :: List.map row_to_string rows) ^ "\r\n"
+
+let of_table table =
+  let rows = Text_table.rows table in
+  match rows with
+  | [] -> ""
+  | _ ->
+      (* Recover the header from the table type is not possible; callers
+         should use [to_string] directly.  Kept for symmetry: emits rows
+         only. *)
+      String.concat "\r\n" (List.map row_to_string rows) ^ "\r\n"
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))

@@ -1,0 +1,9 @@
+(** Minimal CSV output (RFC 4180 quoting). *)
+
+val to_string : header:string list -> string list list -> string
+
+val of_table : Text_table.t -> string
+(** Rows of an existing table, without its header. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a CSV file; closes the channel even on exceptions. *)

@@ -1,0 +1,81 @@
+(* Aligned plain-text tables for benchmark and CLI output, in the style of
+   the paper's Tables 1-3. *)
+
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+  mutable n_rows : int;
+}
+
+let create ?aligns ~header () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length header then
+          invalid_arg "Text_table.create: aligns/header size mismatch";
+        a
+    | None -> List.map (fun _ -> Right) header
+  in
+  { header; aligns; rows = []; n_rows = 0 }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Text_table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows;
+  t.n_rows <- t.n_rows + 1
+
+let rows t = List.rev t.rows
+
+let n_rows t = t.n_rows
+
+let widths t =
+  let update acc cells = List.map2 (fun w c -> max w (String.length c)) acc cells in
+  List.fold_left update (List.map String.length t.header) (rows t)
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render_row aligns ws cells =
+  let padded = List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns ws) cells in
+  "| " ^ String.concat " | " padded ^ " |"
+
+let separator ws = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') ws) ^ "+"
+
+let pp ppf t =
+  let ws = widths t in
+  Fmt.pf ppf "%s@." (separator ws);
+  Fmt.pf ppf "%s@." (render_row (List.map (fun _ -> Left) t.aligns) ws t.header);
+  Fmt.pf ppf "%s@." (separator ws);
+  List.iter (fun row -> Fmt.pf ppf "%s@." (render_row t.aligns ws row)) (rows t);
+  Fmt.pf ppf "%s@." (separator ws)
+
+let to_string t = Fmt.str "%a" pp t
+
+let print t = print_string (to_string t)
+
+(* Markdown rendering for EXPERIMENTS.md. *)
+let pp_markdown ppf t =
+  let cell s = String.map (function '|' -> '/' | c -> c) s in
+  Fmt.pf ppf "| %s |@." (String.concat " | " (List.map cell t.header));
+  Fmt.pf ppf "|%s@."
+    (String.concat ""
+       (List.map (function Left -> ":---|" | Right -> "---:|") t.aligns));
+  List.iter
+    (fun row -> Fmt.pf ppf "| %s |@." (String.concat " | " (List.map cell row)))
+    (rows t)
+
+(* Formatting helpers shared by the table producers. *)
+let cell_float ?(decimals = 6) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_sci v = if Float.is_nan v then "-" else Printf.sprintf "%.2e" v
+
+let cell_int = string_of_int

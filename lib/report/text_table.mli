@@ -1,0 +1,26 @@
+(** Aligned plain-text and markdown tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** Default alignment: all right. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a wrong cell count. *)
+
+val rows : t -> string list list
+val n_rows : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val print : t -> unit
+
+val pp_markdown : Format.formatter -> t -> unit
+
+val cell_float : ?decimals:int -> float -> string
+(** ["-"] for NaN, matching the paper's Table 3. *)
+
+val cell_sci : float -> string
+val cell_int : int -> string

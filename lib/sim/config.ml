@@ -1,0 +1,54 @@
+(* A replication configuration: which sites hold copies of the file.
+   The paper's study uses eight placements (A through H) over the Figure 8
+   network.  Paper site numbers are 1-based; ids are 0-based. *)
+
+type t = {
+  label : string;
+  copies : Site_set.t;
+  description : string;
+}
+
+let create ?(description = "") ~label ~copies () =
+  if Site_set.is_empty copies then invalid_arg "Config.create: no copies";
+  { label; copies; description }
+
+let label t = t.label
+let copies t = t.copies
+let description t = t.description
+
+let of_paper_sites ~label ~sites ~description =
+  create ~label
+    ~copies:(Site_set.of_list (List.map (fun s -> s - 1) sites))
+    ~description ()
+
+(* Configurations A-H of §4. *)
+let ucsd_configurations =
+  [
+    of_paper_sites ~label:"A" ~sites:[ 1; 2; 4 ] ~description:"three copies, no partitions";
+    of_paper_sites ~label:"B" ~sites:[ 1; 2; 6 ]
+      ~description:"three copies, partition point at site 4";
+    of_paper_sites ~label:"C" ~sites:[ 1; 6; 8 ]
+      ~description:"three copies, partition points at sites 4 and 5";
+    of_paper_sites ~label:"D" ~sites:[ 6; 7; 8 ]
+      ~description:"three copies, either site 4 or 5 causes a partition";
+    of_paper_sites ~label:"E" ~sites:[ 1; 2; 3; 4 ]
+      ~description:"four copies on the same Ethernet, no partitions";
+    of_paper_sites ~label:"F" ~sites:[ 1; 2; 4; 6 ]
+      ~description:"four copies, partition point at site 4";
+    of_paper_sites ~label:"G" ~sites:[ 1; 2; 6; 8 ]
+      ~description:"four copies, partition points at sites 4 and 5";
+    of_paper_sites ~label:"H" ~sites:[ 1; 2; 7; 8 ]
+      ~description:"two pairs separated by a single partition point at site 5";
+  ]
+
+let find label =
+  List.find_opt
+    (fun t -> String.equal (String.uppercase_ascii t.label) (String.uppercase_ascii label))
+    ucsd_configurations
+
+let paper_sites t = List.map (fun s -> s + 1) (Site_set.to_list t.copies)
+
+let pp ppf t =
+  Fmt.pf ppf "%s: sites %a (%s)" t.label
+    Fmt.(list ~sep:(any ", ") int)
+    (paper_sites t) t.description

@@ -1,0 +1,24 @@
+(** Replication configurations: which sites hold copies. *)
+
+type t
+
+val create : ?description:string -> label:string -> copies:Site_set.t -> unit -> t
+(** @raise Invalid_argument on an empty copy set. *)
+
+val of_paper_sites : label:string -> sites:int list -> description:string -> t
+(** Build from 1-based paper site numbers. *)
+
+val label : t -> string
+val copies : t -> Site_set.t
+val description : t -> string
+
+val paper_sites : t -> int list
+(** Copy holders as 1-based paper site numbers. *)
+
+val ucsd_configurations : t list
+(** Configurations A–H of the paper's §4 over the Figure 8 network. *)
+
+val find : string -> t option
+(** Look up one of A–H by label (case-insensitive). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Availability bookkeeping for one (configuration, policy) instance.
+
+    Integrates a piecewise-constant availability indicator over simulated
+    time, discarding a warm-up prefix and producing batch-means confidence
+    intervals (paper §4 methodology), plus Table 3's mean unavailable-
+    period duration and the longest continuously-available stretch. *)
+
+type t
+
+val create : ?warmup:float -> batch_length:float -> unit -> t
+(** Default warm-up: 360 days, the paper's time-to-steady-state. *)
+
+val now : t -> float
+val is_available : t -> bool
+
+val advance : t -> upto:float -> unit
+(** Integrate the current indicator up to the given time.
+    @raise Invalid_argument if time moves backwards. *)
+
+val set_available : t -> bool -> unit
+(** Flip the indicator at the current time. *)
+
+val finish : t -> upto:float -> unit
+(** Advance to the end of the run and close the ongoing up-stretch. *)
+
+val unavailability : t -> float
+(** Post-warm-up fraction of time unavailable (Table 2). *)
+
+val interval :
+  ?confidence:Dynvote_stats.Student_t.confidence -> t -> Dynvote_stats.Batch_means.interval
+(** Batch-means confidence interval of the unavailability. *)
+
+val batch_means : t -> Dynvote_stats.Batch_means.t
+val outages : t -> int
+val unavailable_time : t -> float
+val observed_time : t -> float
+
+val mean_outage_duration : t -> float
+(** Table 3: unavailable time / number of unavailable periods (days);
+    [nan] when there were none. *)
+
+val outage_duration_stats : t -> Dynvote_stats.Welford.t
+val longest_up : t -> float
+(** Longest continuously-available stretch, in days (§4's "300 years"
+    claim for configuration E under TDV). *)

@@ -1,0 +1,59 @@
+(* The published numbers of Tables 2 and 3, used to compare shapes (who
+   wins, by what order of magnitude) against our reproduction.  Column
+   order follows the paper: MCV, DV, LDV, ODV, TDV, OTDV. *)
+
+let kinds = Policy.all_kinds
+
+let config_labels = [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
+
+(* Table 2: replicated file unavailabilities. *)
+let table2 =
+  [
+    ("A", [ 0.002130; 0.004348; 0.000668; 0.000849; 0.000015; 0.000013 ]);
+    ("B", [ 0.003871; 0.008281; 0.001214; 0.001432; 0.000109; 0.000066 ]);
+    ("C", [ 0.031127; 0.056428; 0.001707; 0.003492; 0.001707; 0.003492 ]);
+    ("D", [ 0.069342; 0.117683; 0.053592; 0.053357; 0.034490; 0.031548 ]);
+    ("E", [ 0.000608; 0.000018; 0.000012; 0.000084; 0.000000; 0.000000 ]);
+    ("F", [ 0.002761; 0.108034; 0.002154; 0.000947; 0.000018; 0.000004 ]);
+    ("G", [ 0.002027; 0.001510; 0.000151; 0.000339; 0.000041; 0.000036 ]);
+    ("H", [ 0.001408; 0.004275; 0.000171; 0.000218; 0.000020; 0.000043 ]);
+  ]
+
+(* Table 3: mean duration of unavailable periods (days); None where the
+   paper prints "-" (the file never became unavailable). *)
+let table3 =
+  [
+    ("A", [ Some 0.101968; Some 0.210651; Some 0.077353; Some 0.084141;
+            Some 0.10764; Some 0.05115 ]);
+    ("B", [ Some 0.101059; Some 0.217369; Some 0.078867; Some 0.084387;
+            Some 0.08650; Some 0.05337 ]);
+    ("C", [ Some 0.944336; Some 1.868895; Some 0.085960; Some 0.173151;
+            Some 0.085960; Some 0.173151 ]);
+    ("D", [ Some 3.000469; Some 5.850864; Some 7.443789; Some 6.293645;
+            Some 7.428305; Some 7.445393 ]);
+    ("E", [ Some 0.071134; Some 0.06363; Some 0.08102; Some 0.05417; None; None ]);
+    ("F", [ Some 0.102001; Some 5.962853; Some 0.275006; Some 0.101756;
+            Some 0.05556; Some 0.02252 ]);
+    ("G", [ Some 0.084714; Some 0.297879; Some 0.07787; Some 0.073773;
+            Some 0.12407; Some 0.04149 ]);
+    ("H", [ Some 0.078933; Some 0.142206; Some 0.135054; Some 0.060009;
+            Some 0.103171; Some 0.051964 ]);
+  ]
+
+let kind_index kind =
+  let rec go i = function
+    | [] -> invalid_arg "Paper_values.kind_index"
+    | k :: rest -> if k = kind then i else go (i + 1) rest
+  in
+  go 0 kinds
+
+let table2_value ~config ~kind =
+  match List.assoc_opt config table2 with
+  | None -> None
+  | Some row -> List.nth_opt row (kind_index kind)
+
+let table3_value ~config ~kind =
+  match List.assoc_opt config table3 with
+  | None -> None
+  | Some row -> (
+      match List.nth_opt row (kind_index kind) with Some v -> v | None -> None)

@@ -1,0 +1,17 @@
+(** The published values of the paper's Tables 2 and 3, for paper-vs-
+    measured comparison in the benchmark harness and EXPERIMENTS.md. *)
+
+val kinds : Policy.kind list
+(** Column order: MCV, DV, LDV, ODV, TDV, OTDV. *)
+
+val config_labels : string list
+
+val table2 : (string * float list) list
+(** Unavailabilities per configuration, in column order. *)
+
+val table3 : (string * float option list) list
+(** Mean unavailable-period durations (days); [None] where the paper
+    prints "-". *)
+
+val table2_value : config:string -> kind:Policy.kind -> float option
+val table3_value : config:string -> kind:Policy.kind -> float option

@@ -1,0 +1,288 @@
+(* The availability study of §4.
+
+   One stochastic failure/repair/maintenance trace (from
+   {!Dynvote_failures.Event_gen}) drives every (configuration x policy)
+   instance simultaneously, so all cells of Tables 2 and 3 are paired on
+   the same history.  Between transitions the connectivity is constant;
+   the availability indicator of each instance is therefore piecewise
+   constant and only needs re-evaluation at transitions — with one twist
+   for the optimistic policies:
+
+   Optimistic policies adjust their quorums at file accesses (one per day
+   in the paper).  An access never changes the *current* availability
+   indicator — a granted refresh remains granted afterwards, a denial
+   changes nothing — but it does change the partition sets consulted at
+   the *next* topology change.  So it suffices to apply, per instance, the
+   first access epoch that falls between two consecutive transitions,
+   evaluated against the old connectivity.  This makes the cost per
+   transition O(instances) regardless of the access rate. *)
+
+module Event_gen = Dynvote_failures.Event_gen
+module Site_spec = Dynvote_failures.Site_spec
+
+type parameters = {
+  seed : int;
+  warmup : float;        (* days *)
+  horizon : float;       (* total simulated days, warm-up included *)
+  batches : int;         (* batch count for the confidence intervals *)
+  access_interval : float; (* days between file accesses (optimistic) *)
+}
+
+let default_parameters =
+  { seed = 42; warmup = 360.0; horizon = 400_360.0; batches = 20; access_interval = 1.0 }
+
+type summary = {
+  interval : Dynvote_stats.Batch_means.interval;
+  unavailability : float;
+  mean_outage_days : float;
+  outages : int;
+  longest_up_days : float;
+  observed_days : float;
+}
+
+type result = {
+  config : Config.t;
+  kind : Policy.kind;
+  interval : Dynvote_stats.Batch_means.interval;
+  unavailability : float;
+  mean_outage_days : float;
+  outages : int;
+  longest_up_days : float;
+  observed_days : float;
+}
+
+type 'key instance = {
+  key : 'key;
+  driver : Driver.t;
+  metrics : Metrics.t;
+  mutable pending_access : float; (* next access epoch to apply; infinity = none *)
+  mutable last_available : bool;
+}
+
+let validate p =
+  if p.horizon <= p.warmup then invalid_arg "Study: horizon must exceed warmup";
+  if p.batches < 2 then invalid_arg "Study: need at least two batches";
+  if p.access_interval <= 0.0 then invalid_arg "Study: access interval must be positive"
+
+(* First access epoch strictly after [time]. *)
+let next_access_epoch ~interval time =
+  let k = Float.to_int (Float.floor (time /. interval)) in
+  let candidate = float_of_int (k + 1) *. interval in
+  if candidate > time then candidate else candidate +. interval
+
+let summarize metrics =
+  {
+    interval = Metrics.interval metrics;
+    unavailability = Metrics.unavailability metrics;
+    mean_outage_days = Metrics.mean_outage_duration metrics;
+    outages = Metrics.outages metrics;
+    longest_up_days = Metrics.longest_up metrics;
+    observed_days = Metrics.observed_time metrics;
+  }
+
+(* The shared simulation loop: replay the failure trace, keeping every
+   instance's availability indicator and quorum state up to date. *)
+let simulate ~parameters ~topology ~specs ~instances ?progress ?observe () =
+  validate parameters;
+  if Array.length specs <> Dynvote_net.Topology.n_sites topology then
+    invalid_arg "Study: one site spec per topology site required";
+  let generator = Event_gen.create ~seed:parameters.seed specs in
+  let connectivity = Dynvote_net.Connectivity.create topology in
+  let up = ref (Dynvote_net.Topology.all_sites topology) in
+  let view = ref (Dynvote_net.Connectivity.view connectivity ~up:!up) in
+  let horizon = parameters.horizon in
+  let progress_step = horizon /. 100.0 in
+  let next_progress = ref progress_step in
+  let rec loop () =
+    let transition = Event_gen.next generator in
+    let time = transition.Event_gen.time in
+    if time >= horizon then ()
+    else begin
+      (* 1. Apply any access epoch that fell before this transition,
+            against the old connectivity. *)
+      List.iter
+        (fun inst ->
+          if inst.pending_access < time then begin
+            ignore (inst.driver.Driver.on_access !view);
+            inst.pending_access <- infinity
+          end)
+        instances;
+      (* 2. Integrate the indicator up to the transition. *)
+      List.iter (fun inst -> Metrics.advance inst.metrics ~upto:time) instances;
+      (* 3. Apply the transition. *)
+      up :=
+        if transition.Event_gen.now_up then Site_set.add transition.Event_gen.site !up
+        else Site_set.remove transition.Event_gen.site !up;
+      view := Dynvote_net.Connectivity.view connectivity ~up:!up;
+      (* 4. Let policies react and re-evaluate the indicator. *)
+      List.iter
+        (fun inst ->
+          inst.driver.Driver.on_topology_change !view;
+          if transition.Event_gen.now_up then
+            inst.driver.Driver.on_repair !view transition.Event_gen.site;
+          let available = inst.driver.Driver.available !view in
+          Metrics.set_available inst.metrics available;
+          (match observe with
+          | Some f when available <> inst.last_available -> f inst.key ~time ~available
+          | _ -> ());
+          inst.last_available <- available;
+          if inst.driver.Driver.optimistic then
+            inst.pending_access <-
+              next_access_epoch ~interval:parameters.access_interval time)
+        instances;
+      (match progress with
+      | Some f when time >= !next_progress ->
+          f ~completed:time ~total:horizon;
+          next_progress := !next_progress +. progress_step
+      | _ -> ());
+      loop ()
+    end
+  in
+  loop ();
+  List.iter (fun inst -> Metrics.finish inst.metrics ~upto:horizon) instances
+
+let make_instance ~warmup ~batch_length ~key driver =
+  {
+    key;
+    driver;
+    metrics = Metrics.create ~warmup ~batch_length ();
+    pending_access = infinity;
+    last_available = true;
+  }
+
+let batch_length_of parameters =
+  (parameters.horizon -. parameters.warmup) /. float_of_int parameters.batches
+
+(* Run arbitrary drivers: [make] receives the topology-derived context and
+   builds the keyed driver list. *)
+let run_drivers ?(parameters = default_parameters) ?(specs = Site_spec.ucsd_sites)
+    ?(topology = Dynvote_net.Topology.ucsd) ?progress ?observe ~drivers () =
+  validate parameters;
+  let batch_length = batch_length_of parameters in
+  let instances =
+    List.map
+      (fun (key, driver) ->
+        make_instance ~warmup:parameters.warmup ~batch_length ~key driver)
+      drivers
+  in
+  simulate ~parameters ~topology ~specs ~instances ?progress ?observe ();
+  List.map (fun inst -> (inst.key, summarize inst.metrics)) instances
+
+let run ?(parameters = default_parameters) ?(kinds = Policy.all_kinds)
+    ?(configs = Config.ucsd_configurations) ?(specs = Site_spec.ucsd_sites)
+    ?(topology = Dynvote_net.Topology.ucsd) ?ordering ?recovery ?progress () =
+  let ordering =
+    match ordering with
+    | Some o -> o
+    | None -> Ordering.default (Dynvote_net.Topology.n_sites topology)
+  in
+  let n_sites = Dynvote_net.Topology.n_sites topology in
+  let segment_of = Dynvote_net.Topology.segment_of topology in
+  let drivers =
+    List.concat_map
+      (fun config ->
+        List.map
+          (fun kind ->
+            let policy =
+              Policy.create ?recovery kind ~universe:(Config.copies config) ~n_sites
+                ~segment_of ~ordering
+            in
+            ((config, kind), Driver.of_policy policy))
+          kinds)
+      configs
+  in
+  run_drivers ~parameters ~specs ~topology ?progress ~drivers ()
+  |> List.map (fun ((config, kind), (s : summary)) ->
+         {
+           config;
+           kind;
+           interval = s.interval;
+           unavailability = s.unavailability;
+           mean_outage_days = s.mean_outage_days;
+           outages = s.outages;
+           longest_up_days = s.longest_up_days;
+           observed_days = s.observed_days;
+         })
+
+(* Independent replications: re-run the whole study under several seeds
+   and pool each cell across replications.  Complements batch means: batch
+   means quantify within-run noise, replications quantify run-to-run noise
+   (e.g. whether an ODV-vs-LDV crossover is real or a fluke of one failure
+   history). *)
+type replicated = {
+  mean_unavailability : float;
+  half_width_95 : float;   (* Student-t across replications *)
+  per_seed : float list;
+  mean_outage_days : float;
+}
+
+let replicate ?(parameters = default_parameters) ?(replications = 5)
+    ?(kinds = Policy.all_kinds) ?(configs = Config.ucsd_configurations)
+    ?(specs = Site_spec.ucsd_sites) ?(topology = Dynvote_net.Topology.ucsd) ?ordering
+    ?recovery () =
+  if replications < 2 then invalid_arg "Study.replicate: need at least two replications";
+  let runs =
+    List.init replications (fun i ->
+        run
+          ~parameters:{ parameters with seed = parameters.seed + (1009 * i) }
+          ~kinds ~configs ~specs ~topology ?ordering ?recovery ())
+  in
+  List.concat_map
+    (fun config ->
+      List.map
+        (fun kind ->
+          let cells : result list =
+            List.map
+              (fun results ->
+                List.find
+                  (fun (r : result) ->
+                    Config.label r.config = Config.label config && r.kind = kind)
+                  results)
+              runs
+          in
+          let xs = List.map (fun (r : result) -> r.unavailability) cells in
+          let n = float_of_int replications in
+          let mean = List.fold_left ( +. ) 0.0 xs /. n in
+          let variance =
+            List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+          in
+          let half_width =
+            Dynvote_stats.Student_t.critical_975 (replications - 1)
+            *. sqrt (variance /. n)
+          in
+          let outages =
+            List.filter_map
+              (fun (r : result) ->
+                if Float.is_nan r.mean_outage_days then None else Some r.mean_outage_days)
+              cells
+          in
+          let mean_outage_days =
+            match outages with
+            | [] -> nan
+            | _ ->
+                List.fold_left ( +. ) 0.0 outages /. float_of_int (List.length outages)
+          in
+          ( (config, kind),
+            { mean_unavailability = mean; half_width_95 = half_width; per_seed = xs;
+              mean_outage_days } ))
+        kinds)
+    configs
+
+(* Sweep the access interval for the optimistic policies: the ablation that
+   quantifies how much staleness helps or hurts (extra experiment E1). *)
+let sweep_access_rate ?(parameters = default_parameters) ?(config_label = "F")
+    ?(rates_per_day = [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 24.0 ]) () =
+  let config =
+    match Config.find config_label with
+    | Some c -> c
+    | None -> invalid_arg "Study.sweep_access_rate: unknown configuration"
+  in
+  List.map
+    (fun rate ->
+      let parameters = { parameters with access_interval = 1.0 /. rate } in
+      let results =
+        run ~parameters ~kinds:[ Policy.Odv; Policy.Otdv; Policy.Ldv ]
+          ~configs:[ config ] ()
+      in
+      (rate, results))
+    rates_per_day

@@ -1,0 +1,143 @@
+(* Producers for the paper's tables from study results. *)
+
+module Text_table = Dynvote_report.Text_table
+module Site_spec = Dynvote_failures.Site_spec
+
+let kind_columns = Policy.all_kinds
+
+let config_row_label config =
+  Printf.sprintf "%s: %s" (Config.label config)
+    (String.concat ", " (List.map string_of_int (Config.paper_sites config)))
+
+let lookup results ~config ~kind =
+  List.find_opt
+    (fun r -> r.Study.kind = kind && Config.label r.Study.config = Config.label config)
+    results
+
+let distinct_configs results =
+  List.fold_left
+    (fun acc r ->
+      if List.exists (fun c -> Config.label c = Config.label r.Study.config) acc then acc
+      else acc @ [ r.Study.config ])
+    [] results
+
+(* Table 1: the input site characteristics. *)
+let table1 specs =
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Right; Text_table.Left; Text_table.Right; Text_table.Right;
+                Text_table.Right; Text_table.Right; Text_table.Right ]
+      ~header:
+        [ "Site"; "Name"; "MTTF (days)"; "HW (%)"; "Restart (min)"; "Repair const (h)";
+          "Repair exp (h)" ]
+      ()
+  in
+  Array.iteri
+    (fun i spec ->
+      Text_table.add_row t
+        [ string_of_int (i + 1); Site_spec.name spec;
+          Printf.sprintf "%g" (Site_spec.mttf_days spec);
+          Printf.sprintf "%.0f" (100.0 *. Site_spec.hardware_fraction spec);
+          Printf.sprintf "%g" (Site_spec.restart_days spec *. 1440.0);
+          Printf.sprintf "%g" (Site_spec.repair_constant_days spec *. 24.0);
+          Printf.sprintf "%g" (Site_spec.repair_exp_days spec *. 24.0) ])
+    specs;
+  t
+
+let policy_header = "Sites" :: List.map Policy.kind_name kind_columns
+
+(* Table 2: unavailabilities. *)
+let table2 results =
+  let t =
+    Text_table.create
+      ~aligns:(Text_table.Left :: List.map (fun _ -> Text_table.Right) kind_columns)
+      ~header:policy_header ()
+  in
+  List.iter
+    (fun config ->
+      let cells =
+        List.map
+          (fun kind ->
+            match lookup results ~config ~kind with
+            | Some r -> Text_table.cell_float r.Study.unavailability
+            | None -> "")
+          kind_columns
+      in
+      Text_table.add_row t (config_row_label config :: cells))
+    (distinct_configs results);
+  t
+
+(* Table 3: mean duration of unavailable periods (days). *)
+let table3 results =
+  let t =
+    Text_table.create
+      ~aligns:(Text_table.Left :: List.map (fun _ -> Text_table.Right) kind_columns)
+      ~header:policy_header ()
+  in
+  List.iter
+    (fun config ->
+      let cells =
+        List.map
+          (fun kind ->
+            match lookup results ~config ~kind with
+            | Some r -> Text_table.cell_float r.Study.mean_outage_days
+            | None -> "")
+          kind_columns
+      in
+      Text_table.add_row t (config_row_label config :: cells))
+    (distinct_configs results);
+  t
+
+(* Side-by-side paper-vs-measured for one of the two output tables. *)
+type which = Unavailability | Outage_duration
+
+let comparison which results =
+  let t =
+    Text_table.create
+      ~aligns:
+        [ Text_table.Left; Text_table.Left; Text_table.Right; Text_table.Right;
+          Text_table.Right ]
+      ~header:[ "Config"; "Policy"; "Paper"; "Measured"; "Ratio" ] ()
+  in
+  List.iter
+    (fun r ->
+      let config = Config.label r.Study.config in
+      let paper, measured =
+        match which with
+        | Unavailability ->
+            (Paper_values.table2_value ~config ~kind:r.Study.kind, r.Study.unavailability)
+        | Outage_duration ->
+            (Paper_values.table3_value ~config ~kind:r.Study.kind, r.Study.mean_outage_days)
+      in
+      let paper_cell = match paper with Some v -> Text_table.cell_float v | None -> "-" in
+      let ratio =
+        match paper with
+        | Some p when p > 0.0 && not (Float.is_nan measured) ->
+            Printf.sprintf "%.2f" (measured /. p)
+        | _ -> "-"
+      in
+      Text_table.add_row t
+        [ config; Policy.kind_name r.Study.kind; paper_cell;
+          Text_table.cell_float measured; ratio ])
+    results;
+  t
+
+(* Confidence-interval detail table. *)
+let intervals results =
+  let t =
+    Text_table.create
+      ~aligns:
+        [ Text_table.Left; Text_table.Left; Text_table.Right; Text_table.Right;
+          Text_table.Right; Text_table.Right ]
+      ~header:[ "Config"; "Policy"; "Unavail"; "95% +/-"; "Outages"; "Longest up (d)" ] ()
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ Config.label r.Study.config; Policy.kind_name r.Study.kind;
+          Text_table.cell_float r.Study.unavailability;
+          Text_table.cell_float r.Study.interval.Dynvote_stats.Batch_means.half_width;
+          Text_table.cell_int r.Study.outages;
+          Printf.sprintf "%.0f" r.Study.longest_up_days ])
+    results;
+  t

@@ -1,0 +1,20 @@
+(** Render study results in the layout of the paper's tables. *)
+
+val table1 : Dynvote_failures.Site_spec.t array -> Dynvote_report.Text_table.t
+(** The input site characteristics (paper Table 1). *)
+
+val table2 : Study.result list -> Dynvote_report.Text_table.t
+(** Replicated file unavailabilities (paper Table 2). *)
+
+val table3 : Study.result list -> Dynvote_report.Text_table.t
+(** Mean duration of unavailable periods, days (paper Table 3); "-" where
+    the file never became unavailable. *)
+
+type which = Unavailability | Outage_duration
+
+val comparison : which -> Study.result list -> Dynvote_report.Text_table.t
+(** Paper value vs measured value with their ratio, per cell. *)
+
+val intervals : Study.result list -> Dynvote_report.Text_table.t
+(** Measured unavailability with 95% half-widths, outage counts and the
+    longest available stretch. *)

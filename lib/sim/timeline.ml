@@ -1,0 +1,93 @@
+(* Availability timelines: replay a window of the failure trace and render
+   each policy's availability as an ASCII strip — the quickest way to *see*
+   how the policies differ on the same history (e.g. DV freezing for two
+   weeks on configuration F while LDV rides through). *)
+
+type t = {
+  kinds : Policy.kind list;
+  start : float;   (* window start, days *)
+  duration : float;
+  (* Per kind: downtime intervals [from, till) clipped to the window. *)
+  outages : (Policy.kind * (float * float) list) list;
+}
+
+let collect ?(parameters = Study.default_parameters) ?(kinds = Policy.all_kinds) ~config
+    ~start ~duration () =
+  if start < 0.0 || duration <= 0.0 then invalid_arg "Timeline.collect: bad window";
+  let finish = start +. duration in
+  (* Metrics are discarded here; disable the warm-up so short windows are
+     legal. *)
+  let parameters = { parameters with Study.horizon = finish; warmup = 0.0 } in
+  let events : (Policy.kind, (float * bool) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun kind -> Hashtbl.replace events kind (ref [])) kinds;
+  let topology = Dynvote_net.Topology.ucsd in
+  let n_sites = Dynvote_net.Topology.n_sites topology in
+  let drivers =
+    List.map
+      (fun kind ->
+        ( kind,
+          Driver.of_policy
+            (Policy.create kind ~universe:(Config.copies config) ~n_sites
+               ~segment_of:(Dynvote_net.Topology.segment_of topology)
+               ~ordering:(Ordering.default n_sites)) ))
+      kinds
+  in
+  let observe kind ~time ~available =
+    match Hashtbl.find_opt events kind with
+    | Some log -> log := (time, available) :: !log
+    | None -> ()
+  in
+  ignore (Study.run_drivers ~parameters ~observe ~drivers ());
+  (* Convert indicator-change events into downtime intervals within the
+     window. *)
+  let outages =
+    List.map
+      (fun kind ->
+        let changes = List.rev !(Hashtbl.find events kind) in
+        let intervals = ref [] in
+        let down_since = ref None in
+        List.iter
+          (fun (time, available) ->
+            match (available, !down_since) with
+            | false, None -> down_since := Some time
+            | true, Some from ->
+                if time > start then
+                  intervals := (Float.max from start, Float.min time finish) :: !intervals;
+                down_since := None
+            | _ -> ())
+          changes;
+        (match !down_since with
+        | Some from when from < finish ->
+            intervals := (Float.max from start, finish) :: !intervals
+        | _ -> ());
+        (kind, List.rev !intervals))
+      kinds
+  in
+  { kinds; start; duration; outages }
+
+let outages t kind = Option.value (List.assoc_opt kind t.outages) ~default:[]
+
+let downtime t kind =
+  List.fold_left (fun acc (from, till) -> acc +. (till -. from)) 0.0 (outages t kind)
+
+(* Render each policy as a strip of [columns] cells; a cell is dark when
+   the file was ever unavailable during its time slice. *)
+let pp ?(columns = 72) ppf t =
+  let cell_span = t.duration /. float_of_int columns in
+  Fmt.pf ppf "days %.0f to %.0f (each cell = %.1f days; '#' = fully available, '.' = outage)@."
+    t.start (t.start +. t.duration) cell_span;
+  List.iter
+    (fun kind ->
+      let intervals = outages t kind in
+      let cells =
+        String.init columns (fun i ->
+            let from = t.start +. (float_of_int i *. cell_span) in
+            let till = from +. cell_span in
+            let hit =
+              List.exists (fun (a, b) -> a < till && b > from) intervals
+            in
+            if hit then '.' else '#')
+      in
+      Fmt.pf ppf "%-5s %s  (down %.2f d)@." (Policy.kind_name kind) cells
+        (downtime t kind))
+    t.kinds

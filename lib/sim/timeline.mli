@@ -1,0 +1,26 @@
+(** Availability timelines: per-policy downtime intervals over a window of
+    the shared failure trace, with an ASCII strip renderer. *)
+
+type t
+
+val collect :
+  ?parameters:Study.parameters ->
+  ?kinds:Policy.kind list ->
+  config:Config.t ->
+  start:float ->
+  duration:float ->
+  unit ->
+  t
+(** Replay the trace through [start + duration] days and record every
+    policy's unavailable intervals inside the window.
+    @raise Invalid_argument on an empty or negative window. *)
+
+val outages : t -> Policy.kind -> (float * float) list
+(** Downtime intervals (from, till), clipped to the window. *)
+
+val downtime : t -> Policy.kind -> float
+(** Total downtime inside the window, days. *)
+
+val pp : ?columns:int -> Format.formatter -> t -> unit
+(** One strip per policy; a cell is ['.'] when the file was unavailable at
+    any point of that time slice. *)

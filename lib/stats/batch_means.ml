@@ -1,0 +1,81 @@
+(* Batch-means analysis, the method the paper uses to attach 95% confidence
+   intervals to steady-state simulation estimates.  The run (after warm-up)
+   is cut into contiguous batches; each batch produces one observation; the
+   batch observations are treated as i.i.d. for the interval.  We also
+   expose the lag-1 autocorrelation of the batch series so callers can check
+   that the batches are long enough for that assumption to be reasonable. *)
+
+type t = {
+  batch_length : float; (* in simulated time units *)
+  mutable observations : float list; (* batch means, newest first *)
+  mutable count : int;
+}
+
+type interval = {
+  mean : float;
+  half_width : float;
+  lower : float;
+  upper : float;
+  batches : int;
+  confidence : Student_t.confidence;
+}
+
+let create ~batch_length =
+  if batch_length <= 0.0 then invalid_arg "Batch_means.create: batch_length must be positive";
+  { batch_length; observations = []; count = 0 }
+
+let batch_length t = t.batch_length
+
+let add_batch t x =
+  t.observations <- x :: t.observations;
+  t.count <- t.count + 1
+
+let batches t = t.count
+
+let observations t = List.rev t.observations
+
+let mean t =
+  if t.count = 0 then nan
+  else List.fold_left ( +. ) 0.0 t.observations /. float_of_int t.count
+
+let variance t =
+  if t.count < 2 then nan
+  else begin
+    let m = mean t in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t.observations in
+    ss /. float_of_int (t.count - 1)
+  end
+
+let interval ?(confidence = Student_t.C95) t =
+  if t.count < 2 then
+    { mean = mean t; half_width = nan; lower = nan; upper = nan;
+      batches = t.count; confidence }
+  else begin
+    let m = mean t in
+    let se = sqrt (variance t /. float_of_int t.count) in
+    let crit = Student_t.critical confidence (t.count - 1) in
+    let hw = crit *. se in
+    { mean = m; half_width = hw; lower = m -. hw; upper = m +. hw;
+      batches = t.count; confidence }
+  end
+
+(* Lag-1 autocorrelation of the batch series; values near zero indicate the
+   batches are long enough to be treated as independent. *)
+let lag1_autocorrelation t =
+  if t.count < 3 then nan
+  else begin
+    let xs = Array.of_list (observations t) in
+    let n = Array.length xs in
+    let m = mean t in
+    let num = ref 0.0 and den = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. m in
+      den := !den +. (d *. d);
+      if i < n - 1 then num := !num +. (d *. (xs.(i + 1) -. m))
+    done;
+    if !den = 0.0 then 0.0 else !num /. !den
+  end
+
+let pp_interval ppf iv =
+  let level = match iv.confidence with Student_t.C95 -> 95 | Student_t.C99 -> 99 in
+  Fmt.pf ppf "%.6f +/- %.6f (%d%% CI, %d batches)" iv.mean iv.half_width level iv.batches

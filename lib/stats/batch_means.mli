@@ -1,0 +1,42 @@
+(** Batch-means analysis for steady-state simulation output.
+
+    Mirrors the methodology of the paper's §4: after a warm-up period the
+    run is divided into fixed-length batches, the per-batch means are
+    treated as independent observations, and a Student-t interval is
+    reported. *)
+
+type t
+
+type interval = {
+  mean : float;
+  half_width : float;
+  lower : float;
+  upper : float;
+  batches : int;
+  confidence : Student_t.confidence;
+}
+
+val create : batch_length:float -> t
+(** [batch_length] is in simulated time units (days, for this project).
+    @raise Invalid_argument when non-positive. *)
+
+val batch_length : t -> float
+
+val add_batch : t -> float -> unit
+(** Record the mean of one completed batch. *)
+
+val batches : t -> int
+val observations : t -> float list
+(** In insertion order. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val interval : ?confidence:Student_t.confidence -> t -> interval
+(** Student-t confidence interval over the batch means (default 95%).
+    With fewer than two batches the half-width is [nan]. *)
+
+val lag1_autocorrelation : t -> float
+(** Diagnostic: near zero means batches behave as independent. *)
+
+val pp_interval : Format.formatter -> interval -> unit

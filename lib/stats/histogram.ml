@@ -1,0 +1,79 @@
+(* Fixed-bin histogram for distribution diagnostics (repair times,
+   unavailable-period durations).  Values outside the configured range are
+   counted in underflow/overflow buckets so nothing is silently dropped. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+  width : float;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; bins = Array.make bins 0; underflow = 0; overflow = 0; total = 0;
+    width = (hi -. lo) /. float_of_int bins }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = if i >= Array.length t.bins then Array.length t.bins - 1 else i in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let bin_count t = Array.length t.bins
+let bin t i = t.bins.(i)
+
+let bin_range t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if t.total = 0 then nan
+  else begin
+    (* Count through underflow, bins, overflow; return the midpoint of the
+       bin where the cumulative count crosses the target.  Coarse but fine
+       for diagnostics. *)
+    let target = q *. float_of_int t.total in
+    let acc = ref (float_of_int t.underflow) in
+    if !acc >= target && t.underflow > 0 then t.lo
+    else begin
+      let result = ref nan in
+      (try
+         for i = 0 to Array.length t.bins - 1 do
+           acc := !acc +. float_of_int t.bins.(i);
+           if !acc >= target then begin
+             let lo, hi = bin_range t i in
+             result := (lo +. hi) /. 2.0;
+             raise Exit
+           end
+         done;
+         result := t.hi
+       with Exit -> ());
+      !result
+    end
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  let peak = Array.fold_left max 1 t.bins in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range t i in
+      let bar = String.make (40 * c / peak) '#' in
+      Fmt.pf ppf "[%8.3f, %8.3f) %8d %s@," lo hi c bar)
+    t.bins;
+  if t.underflow > 0 then Fmt.pf ppf "underflow %d@," t.underflow;
+  if t.overflow > 0 then Fmt.pf ppf "overflow %d@," t.overflow;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,21 @@
+(** Fixed-bin histogram for simulation diagnostics. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over [lo, hi); out-of-range samples land in dedicated
+    underflow/overflow counters. *)
+
+val add : t -> float -> unit
+val total : t -> int
+val underflow : t -> int
+val overflow : t -> int
+val bin_count : t -> int
+val bin : t -> int -> int
+val bin_range : t -> int -> float * float
+
+val quantile : t -> float -> float
+(** Approximate quantile (bin-midpoint resolution); [nan] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering. *)

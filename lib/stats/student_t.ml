@@ -1,0 +1,50 @@
+(* Two-sided Student-t critical values, used by batch-means confidence
+   intervals.  Exact tabulated values for small degrees of freedom; for
+   df > 120 the normal quantile is an excellent approximation. *)
+
+(* 97.5th percentile (two-sided 95%) for df = 1 .. 30. *)
+let table_975 =
+  [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+     2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+     2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |]
+
+(* 99.5th percentile (two-sided 99%) for df = 1 .. 30. *)
+let table_995 =
+  [| 63.657; 9.925; 5.841; 4.604; 4.032; 3.707; 3.499; 3.355; 3.250; 3.169;
+     3.106; 3.055; 3.012; 2.977; 2.947; 2.921; 2.898; 2.878; 2.861; 2.845;
+     2.831; 2.819; 2.807; 2.797; 2.787; 2.779; 2.771; 2.763; 2.756; 2.750 |]
+
+(* Selected larger df, linearly interpolated between anchors. *)
+let anchors_975 = [| (40, 2.021); (60, 2.000); (80, 1.990); (100, 1.984); (120, 1.980) |]
+let anchors_995 = [| (40, 2.704); (60, 2.660); (80, 2.639); (100, 2.626); (120, 2.617) |]
+
+let normal_975 = 1.959964
+let normal_995 = 2.575829
+
+let interpolate anchors df limit last_table_value =
+  (* df is in (30, 120]; walk the anchor list. *)
+  let rec go prev_df prev_v i =
+    if i >= Array.length anchors then limit
+    else
+      let adf, av = anchors.(i) in
+      if df <= adf then
+        let frac = float_of_int (df - prev_df) /. float_of_int (adf - prev_df) in
+        prev_v +. (frac *. (av -. prev_v))
+      else go adf av (i + 1)
+  in
+  go 30 last_table_value 0
+
+let lookup table anchors normal_value df =
+  if df < 1 then invalid_arg "Student_t: degrees of freedom must be >= 1";
+  if df <= 30 then table.(df - 1)
+  else if df > 120 then normal_value
+  else interpolate anchors df normal_value table.(29)
+
+let critical_975 df = lookup table_975 anchors_975 normal_975 df
+
+let critical_995 df = lookup table_995 anchors_995 normal_995 df
+
+type confidence = C95 | C99
+
+let critical confidence df =
+  match confidence with C95 -> critical_975 df | C99 -> critical_995 df

@@ -1,0 +1,59 @@
+(* Welford's online algorithm for mean and variance: numerically stable and
+   single-pass, suitable for accumulating millions of batch observations. *)
+
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let copy t = { count = t.count; mean = t.mean; m2 = t.m2; min = t.min; max = t.max }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  let delta2 = x -. t.mean in
+  t.m2 <- t.m2 +. (delta *. delta2);
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+
+let mean t = if t.count = 0 then nan else t.mean
+
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+
+let population_variance t = if t.count < 1 then nan else t.m2 /. float_of_int t.count
+
+let stddev t = sqrt (variance t)
+
+let std_error t =
+  if t.count < 2 then nan else stddev t /. sqrt (float_of_int t.count)
+
+let min_value t = if t.count = 0 then nan else t.min
+
+let max_value t = if t.count = 0 then nan else t.max
+
+(* Chan et al. parallel merge: combines two accumulators exactly. *)
+let merge a b =
+  if a.count = 0 then copy b
+  else if b.count = 0 then copy a
+  else begin
+    let n = a.count + b.count in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.count /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.count *. float_of_int b.count /. float_of_int n)
+    in
+    { count = n; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.count (mean t) (stddev t)
+    (min_value t) (max_value t)

@@ -1,0 +1,34 @@
+(** Online mean/variance accumulator (Welford's algorithm).
+
+    Single pass, numerically stable, mergeable. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two observations. *)
+
+val population_variance : t -> float
+
+val stddev : t -> float
+
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val merge : t -> t -> t
+(** Exact combination of two accumulators (Chan et al.). *)
+
+val pp : Format.formatter -> t -> unit

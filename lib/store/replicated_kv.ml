@@ -1,0 +1,191 @@
+(* A replicated key-value store managed by dynamic voting: every key is an
+   independently replicated file with its own (o, v, P) ensemble at each
+   site.  Site failures and network partitions apply store-wide;
+   consistency control is per key, exactly as the paper treats each
+   replicated file independently.
+
+   The store keeps a write history per key so tests can check
+   one-copy equivalence: a read that is granted must return the value of
+   the latest granted write of that key. *)
+
+type entry = {
+  states : Replica.t array;      (* consistency ensemble per site *)
+  values : string option array;  (* data content per site *)
+  mutable last_written : string option; (* newest committed value (oracle) *)
+  mutable writes : int;
+}
+
+type t = {
+  ctx : Operation.ctx;
+  universe : Site_set.t;
+  n_sites : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable up : Site_set.t;
+  mutable groups : Site_set.t list option;
+  mutable fresh : Site_set.t; (* continuously up since last crash+recovery *)
+  mutable granted_reads : int;
+  mutable granted_writes : int;
+  mutable denied : int;
+}
+
+type error = [ `Unavailable | `Site_down | `Not_a_copy_site ]
+
+let pp_error ppf = function
+  | `Unavailable -> Fmt.string ppf "no majority partition reachable"
+  | `Site_down -> Fmt.string ppf "requesting site is down"
+  | `Not_a_copy_site -> Fmt.string ppf "site holds no copy"
+
+let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun _ -> 0) ~universe () =
+  if Site_set.is_empty universe then invalid_arg "Replicated_kv.create: empty universe";
+  let n_sites = Site_set.max_elt universe + 1 in
+  {
+    ctx = { Operation.flavor; ordering = Ordering.default n_sites; segment_of };
+    universe;
+    n_sites;
+    entries = Hashtbl.create 64;
+    up = universe;
+    groups = None;
+    fresh = universe;
+    granted_reads = 0;
+    granted_writes = 0;
+    denied = 0;
+  }
+
+let universe t = t.universe
+let up_sites t = t.up
+let granted_reads t = t.granted_reads
+let granted_writes t = t.granted_writes
+let denied t = t.denied
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.entries []
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          states = Array.make t.n_sites (Replica.initial t.universe);
+          values = Array.make t.n_sites None;
+          last_written = None;
+          writes = 0;
+        }
+      in
+      Hashtbl.add t.entries key e;
+      e
+
+(* Topology control — store-wide. *)
+
+let fail t site =
+  t.up <- Site_set.remove site t.up;
+  t.fresh <- Site_set.remove site t.fresh
+
+let partition t groups =
+  let covered = List.fold_left Site_set.union Site_set.empty groups in
+  if not (Site_set.equal covered t.universe) then
+    invalid_arg "Replicated_kv.partition: groups must cover the universe";
+  t.groups <- Some groups
+
+let heal t = t.groups <- None
+
+let component_of t site =
+  if not (Site_set.mem site t.up) then Site_set.empty
+  else
+    let group =
+      match t.groups with
+      | None -> t.universe
+      | Some groups -> (
+          match List.find_opt (fun g -> Site_set.mem site g) groups with
+          | Some g -> g
+          | None -> Site_set.singleton site)
+    in
+    Site_set.inter group t.up
+
+let check_requester t ~at =
+  if not (Site_set.mem at t.universe) then Error `Not_a_copy_site
+  else if not (Site_set.mem at t.up) then Error `Site_down
+  else Ok (component_of t at)
+
+(* Propagate the newest value within the committed set: the sites of S hold
+   the current data; after a read-commit the op-stale members of S must
+   receive it too (they are version-current by definition, so only the
+   recovery path actually copies data). *)
+let sync_values entry ~granted_set ~value =
+  Site_set.iter (fun site -> entry.values.(site) <- value) granted_set
+
+let get t ~at key =
+  match check_requester t ~at with
+  | Error e ->
+      t.denied <- t.denied + 1;
+      Error (e :> error)
+  | Ok reachable -> (
+      let e = entry t key in
+      match Operation.read t.ctx e.states ~fresh:t.fresh ~reachable () with
+      | Decision.Denied _ ->
+          t.denied <- t.denied + 1;
+          Error `Unavailable
+      | Decision.Granted g ->
+          t.granted_reads <- t.granted_reads + 1;
+          (* The requester reads from any up-to-date copy in S. *)
+          let source = Site_set.min_elt g.Decision.s in
+          Ok e.values.(source))
+
+let put t ~at key value =
+  match check_requester t ~at with
+  | Error e ->
+      t.denied <- t.denied + 1;
+      Error (e :> error)
+  | Ok reachable -> (
+      let e = entry t key in
+      match Operation.write t.ctx e.states ~fresh:t.fresh ~reachable () with
+      | Decision.Denied _ ->
+          t.denied <- t.denied + 1;
+          Error `Unavailable
+      | Decision.Granted g ->
+          t.granted_writes <- t.granted_writes + 1;
+          e.writes <- e.writes + 1;
+          e.last_written <- Some value;
+          sync_values e ~granted_set:g.Decision.s ~value:(Some value);
+          Ok ())
+
+(* Bring a site up and run recovery for every key it can rejoin. *)
+let recover t site =
+  if not (Site_set.mem site t.universe) then invalid_arg "Replicated_kv.recover";
+  t.up <- Site_set.add site t.up;
+  let reachable = component_of t site in
+  let rejoined = ref 0 in
+  let total_keys = Hashtbl.length t.entries in
+  Hashtbl.iter
+    (fun _key e ->
+      match Operation.recover t.ctx e.states ~fresh:t.fresh ~site ~reachable () with
+      | Decision.Granted g ->
+          incr rejoined;
+          (* Copy the data from an up-to-date site. *)
+          let source = Site_set.min_elt g.Decision.s in
+          e.values.(site) <- e.values.(source)
+      | Decision.Denied _ -> ())
+    t.entries;
+  (* The site regains freshness only once it has rejoined every key (a
+     conservative, safe condition for topological claiming). *)
+  if !rejoined = total_keys then t.fresh <- Site_set.add site t.fresh;
+  !rejoined
+
+(* One-copy equivalence oracle: every granted read of [key] must return the
+   latest granted write.  Exposed for tests and demos. *)
+let oracle t key = (entry t key).last_written
+
+(* Internal consistency: among the sites holding the highest version number
+   of a key, all values agree with the oracle. *)
+let check_consistency t =
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun key e ->
+      let best = Site_set.fold (fun s acc -> max acc (Replica.version e.states.(s))) t.universe min_int in
+      Site_set.iter
+        (fun site ->
+          if Replica.version e.states.(site) = best && e.writes > 0 then
+            if e.values.(site) <> e.last_written then
+              violations := (key, site) :: !violations)
+        t.universe)
+    t.entries;
+  !violations

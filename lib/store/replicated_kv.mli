@@ -1,0 +1,55 @@
+(** A replicated key-value store managed by dynamic voting.
+
+    Every key is an independently replicated file: each site keeps the
+    key's (operation number, version number, partition set) ensemble and
+    its copy of the value.  Site failures and partitions are store-wide.
+    Reads and writes are granted only inside the majority partition, so
+    one-copy equivalence holds across any failure/partition history. *)
+
+type t
+
+type error = [ `Unavailable | `Site_down | `Not_a_copy_site ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  ?flavor:Decision.flavor ->
+  ?segment_of:(Site_set.site -> int) ->
+  universe:Site_set.t ->
+  unit ->
+  t
+(** [universe] is the set of sites holding copies of every key.
+    @raise Invalid_argument on an empty universe. *)
+
+val universe : t -> Site_set.t
+val up_sites : t -> Site_set.t
+
+val fail : t -> Site_set.site -> unit
+
+val recover : t -> Site_set.site -> int
+(** Bring a site up and run recovery for every key; returns how many keys
+    it rejoined. *)
+
+val partition : t -> Site_set.t list -> unit
+(** @raise Invalid_argument when groups do not cover the universe. *)
+
+val heal : t -> unit
+
+val component_of : t -> Site_set.site -> Site_set.t
+
+val get : t -> at:Site_set.site -> string -> (string option, error) result
+(** Read a key through the site [at].  [Ok None] = key never written. *)
+
+val put : t -> at:Site_set.site -> string -> string -> (unit, error) result
+
+val keys : t -> string list
+val granted_reads : t -> int
+val granted_writes : t -> int
+val denied : t -> int
+
+val oracle : t -> string -> string option
+(** The latest granted write of a key (the one-copy equivalence oracle). *)
+
+val check_consistency : t -> (string * Site_set.site) list
+(** Sites holding the newest version of a key but the wrong value — always
+    empty unless the protocol is broken (used by property tests). *)

@@ -1,0 +1,18 @@
+Exact Markov analysis is fully deterministic (no simulation involved).
+
+  $ ../../bin/dynvote_cli.exe reliability --copies 2 --mttf 10 --mttr 1
+  Exact Markov analysis: 2 identical copies on one segment,
+  MTTF 10 days, exponential repair of mean 1 days.
+  
+  +----------------------+----------+-------------+---------------+----------+--------+---------+
+  | Policy               | Unavail  | Mean up (d) | Mean down (d) | MTTF (d) | R(30d) | R(365d) |
+  +----------------------+----------+-------------+---------------+----------+--------+---------+
+  | DV                   | 0.173554 |        5.00 |        1.0500 |      5.0 | 0.0025 |  0.0000 |
+  | LDV                  | 0.090909 |       10.00 |        1.0000 |     10.0 | 0.0498 |  0.0000 |
+  | TDV (paper)          | 0.008264 |       60.00 |        0.5000 |     65.0 | 0.6345 |  0.0034 |
+  | TDV (safe)           | 0.015778 |       62.38 |        1.0000 |     65.0 | 0.6345 |  0.0034 |
+  | ODV (Poisson 1/day)  | 0.090909 |       10.00 |        1.0000 |     10.0 | 0.0498 |  0.0000 |
+  | OTDV (Poisson 1/day) | 0.008264 |       60.00 |        0.5000 |     65.0 | 0.6345 |  0.0034 |
+  +----------------------+----------+-------------+---------------+----------+--------+---------+
+  
+  (static MCV closed form: unavailability 0.090909)

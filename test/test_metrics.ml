@@ -1,0 +1,124 @@
+(* Metrics: indicator integration, warm-up, batches, outage accounting. *)
+
+open Helpers
+module Metrics = Dynvote_sim.Metrics
+
+let test_basic_integration () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:100.0 () in
+  (* Available for 60, unavailable for 40. *)
+  Metrics.advance m ~upto:60.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:100.0;
+  check_float "unavailable time" 40.0 (Metrics.unavailable_time m);
+  check_float "observed" 100.0 (Metrics.observed_time m);
+  check_float_tol 1e-12 "unavailability" 0.4 (Metrics.unavailability m);
+  Alcotest.(check int) "one outage" 1 (Metrics.outages m)
+
+let test_warmup_discarded () =
+  let m = Metrics.create ~warmup:50.0 ~batch_length:100.0 () in
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:50.0;
+  (* Everything so far was warm-up. *)
+  check_float "no observed time" 0.0 (Metrics.observed_time m);
+  Metrics.advance m ~upto:150.0;
+  check_float "observed after warmup" 100.0 (Metrics.observed_time m);
+  check_float "unavailable after warmup" 100.0 (Metrics.unavailable_time m)
+
+let test_batch_boundaries () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:10.0 () in
+  (* Batch 1: unavailable 2 of 10; batch 2: 10 of 10; batch 3: 0. *)
+  Metrics.advance m ~upto:8.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:20.0;
+  Metrics.set_available m true;
+  Metrics.advance m ~upto:30.0;
+  let b = Metrics.batch_means m in
+  Alcotest.(check int) "three batches" 3 (Dynvote_stats.Batch_means.batches b);
+  Alcotest.(check (list (float 1e-12))) "per-batch unavailability" [ 0.2; 1.0; 0.0 ]
+    (Dynvote_stats.Batch_means.observations b)
+
+let test_one_advance_spanning_batches () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:10.0 () in
+  Metrics.set_available m false;
+  (* A single advance across 5 batches must split correctly. *)
+  Metrics.advance m ~upto:50.0;
+  Alcotest.(check (list (float 1e-12))) "five full batches"
+    [ 1.0; 1.0; 1.0; 1.0; 1.0 ]
+    (Dynvote_stats.Batch_means.observations (Metrics.batch_means m))
+
+let test_outage_durations () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:1000.0 () in
+  Metrics.advance m ~upto:10.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:14.0; (* 4-day outage *)
+  Metrics.set_available m true;
+  Metrics.advance m ~upto:50.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:52.0; (* 2-day outage *)
+  Metrics.set_available m true;
+  Metrics.finish m ~upto:100.0;
+  Alcotest.(check int) "two outages" 2 (Metrics.outages m);
+  check_float_tol 1e-12 "mean duration" 3.0 (Metrics.mean_outage_duration m);
+  check_float "longest up" 48.0 (Metrics.longest_up m)
+
+let test_no_outage_nan () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:10.0 () in
+  Metrics.finish m ~upto:100.0;
+  Alcotest.(check bool) "mean duration nan" true (Float.is_nan (Metrics.mean_outage_duration m));
+  check_float "longest up = whole run" 100.0 (Metrics.longest_up m);
+  check_float "zero unavailability" 0.0 (Metrics.unavailability m)
+
+let test_time_backwards_rejected () =
+  let m = Metrics.create ~warmup:0.0 ~batch_length:10.0 () in
+  Metrics.advance m ~upto:5.0;
+  Alcotest.check_raises "backwards" (Invalid_argument "Metrics.advance: time going backwards")
+    (fun () -> Metrics.advance m ~upto:4.0)
+
+let test_outage_straddling_warmup () =
+  (* An outage that starts inside warm-up: its post-warm-up time counts,
+     and it is not counted as a started period. *)
+  let m = Metrics.create ~warmup:10.0 ~batch_length:100.0 () in
+  Metrics.advance m ~upto:5.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:20.0;
+  Metrics.set_available m true;
+  Metrics.finish m ~upto:110.0;
+  check_float "post-warmup unavailable time" 10.0 (Metrics.unavailable_time m);
+  Alcotest.(check int) "not counted as started" 0 (Metrics.outages m)
+
+let test_outage_duration_stats () =
+  let m = Metrics.create ~warmup:10.0 ~batch_length:100.0 () in
+  (* One outage straddling the warm-up boundary: excluded from duration
+     statistics (as from the period counter)... *)
+  Metrics.advance m ~upto:5.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:15.0;
+  Metrics.set_available m true;
+  (* ...and two clean post-warm-up outages of 2 and 4 days. *)
+  Metrics.advance m ~upto:20.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:22.0;
+  Metrics.set_available m true;
+  Metrics.advance m ~upto:30.0;
+  Metrics.set_available m false;
+  Metrics.advance m ~upto:34.0;
+  Metrics.set_available m true;
+  Metrics.finish m ~upto:110.0;
+  let stats = Metrics.outage_duration_stats m in
+  Alcotest.(check int) "two recorded durations" 2 (Dynvote_stats.Welford.count stats);
+  check_float_tol 1e-12 "mean duration" 3.0 (Dynvote_stats.Welford.mean stats);
+  check_float_tol 1e-12 "max duration" 4.0 (Dynvote_stats.Welford.max_value stats);
+  Alcotest.(check int) "period counter agrees" 2 (Metrics.outages m)
+
+let suite =
+  [
+    Alcotest.test_case "basic integration" `Quick test_basic_integration;
+    Alcotest.test_case "warm-up discarded" `Quick test_warmup_discarded;
+    Alcotest.test_case "batch boundaries" `Quick test_batch_boundaries;
+    Alcotest.test_case "advance spanning batches" `Quick test_one_advance_spanning_batches;
+    Alcotest.test_case "outage durations" `Quick test_outage_durations;
+    Alcotest.test_case "no outage -> nan" `Quick test_no_outage_nan;
+    Alcotest.test_case "time backwards rejected" `Quick test_time_backwards_rejected;
+    Alcotest.test_case "outage straddling warm-up" `Quick test_outage_straddling_warmup;
+    Alcotest.test_case "outage duration statistics" `Quick test_outage_duration_stats;
+  ]

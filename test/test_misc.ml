@@ -1,0 +1,146 @@
+(* Coverage for the small supporting modules: Replica, Driver, Config,
+   Paper_values, the table producers. *)
+
+open Helpers
+module Config = Dynvote_sim.Config
+module Paper = Dynvote_sim.Paper_values
+module Table = Dynvote_sim.Table
+module Study = Dynvote_sim.Study
+module Site_spec = Dynvote_failures.Site_spec
+module Text_table = Dynvote_report.Text_table
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- Replica --- *)
+
+let test_replica_basics () =
+  let universe = ss [ 0; 1; 2 ] in
+  let r = Replica.initial universe in
+  Alcotest.(check int) "initial o" 1 (Replica.op_no r);
+  Alcotest.(check int) "initial v" 1 (Replica.version r);
+  Alcotest.check set_testable "initial P" universe (Replica.partition r);
+  let r' = Replica.with_commit r ~op_no:5 ~version:3 ~partition:(ss [ 0; 1 ]) in
+  Alcotest.(check int) "committed o" 5 (Replica.op_no r');
+  Alcotest.(check bool) "original untouched" true (Replica.op_no r = 1);
+  Alcotest.(check bool) "equal reflexive" true (Replica.equal r' r');
+  Alcotest.(check bool) "not equal" false (Replica.equal r r');
+  Alcotest.check_raises "negative op" (Invalid_argument "Replica.make: negative operation number")
+    (fun () -> ignore (Replica.make ~op_no:(-1) ~version:0 ~partition:universe));
+  Alcotest.(check string) "pp" "o=5 v=3 P={0, 1}" (Fmt.str "%a" Replica.pp r');
+  Alcotest.(check string) "pp names" "o=5 v=3 P={A, B}"
+    (Fmt.str "%a" (Replica.pp_names [| "A"; "B"; "C" |]) r')
+
+(* --- Driver --- *)
+
+let test_driver_stateless () =
+  let calls = ref 0 in
+  let d =
+    Driver.stateless ~name:"probe" (fun view ->
+        incr calls;
+        view.Policy.components <> [])
+  in
+  Alcotest.(check string) "name" "probe" d.Driver.name;
+  Alcotest.(check bool) "not optimistic" false d.Driver.optimistic;
+  d.Driver.on_topology_change { Policy.components = [] };
+  d.Driver.on_repair { Policy.components = [] } 0;
+  Alcotest.(check bool) "available delegates" true
+    (d.Driver.available { Policy.components = [ ss [ 0 ] ] });
+  Alcotest.(check bool) "access = availability" false
+    (d.Driver.on_access { Policy.components = [] });
+  Alcotest.(check int) "probe called twice" 2 !calls
+
+(* --- Config --- *)
+
+let test_config () =
+  Alcotest.(check int) "eight configurations" 8 (List.length Config.ucsd_configurations);
+  let b = Option.get (Config.find "b") in
+  Alcotest.(check string) "case-insensitive lookup" "B" (Config.label b);
+  Alcotest.(check (list int)) "paper site numbers" [ 1; 2; 6 ] (Config.paper_sites b);
+  Alcotest.(check bool) "unknown label" true (Config.find "Z" = None);
+  Alcotest.check_raises "empty copies" (Invalid_argument "Config.create: no copies")
+    (fun () -> ignore (Config.create ~label:"x" ~copies:Site_set.empty ()));
+  Alcotest.(check bool) "pp mentions description" true
+    (contains ~needle:"partition point" (Fmt.str "%a" Config.pp b))
+
+(* --- Paper values --- *)
+
+let test_paper_values () =
+  Alcotest.(check int) "kind columns" 6 (List.length Paper.kinds);
+  Alcotest.(check (list string)) "labels" [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
+    Paper.config_labels;
+  Alcotest.(check (option (float 1e-9))) "Table 2 F/DV" (Some 0.108034)
+    (Paper.table2_value ~config:"F" ~kind:Policy.Dv);
+  Alcotest.(check (option (float 1e-9))) "Table 3 A/MCV" (Some 0.101968)
+    (Paper.table3_value ~config:"A" ~kind:Policy.Mcv);
+  (* The paper's "-" cells decode as None. *)
+  Alcotest.(check (option (float 0.0))) "Table 3 E/TDV dash" None
+    (Paper.table3_value ~config:"E" ~kind:Policy.Tdv);
+  Alcotest.(check (option (float 0.0))) "unknown config" None
+    (Paper.table2_value ~config:"Z" ~kind:Policy.Mcv);
+  (* Every configuration has a full row in both tables. *)
+  List.iter
+    (fun config ->
+      List.iter
+        (fun kind ->
+          Alcotest.(check bool)
+            (config ^ " table2 cell present")
+            true
+            (Paper.table2_value ~config ~kind <> None))
+        Paper.kinds)
+    Paper.config_labels
+
+(* --- Table producers --- *)
+
+let small_results =
+  lazy
+    (Study.run
+       ~parameters:{ Study.default_parameters with horizon = 5_360.0; batches = 2 }
+       ~configs:[ Option.get (Config.find "A") ]
+       ())
+
+let test_table_producers () =
+  let results = Lazy.force small_results in
+  let t2 = Fmt.str "%a" Text_table.pp (Table.table2 results) in
+  Alcotest.(check bool) "table2 row label" true (contains ~needle:"A: 1, 2, 4" t2);
+  Alcotest.(check bool) "table2 columns" true (contains ~needle:"OTDV" t2);
+  let t3 = Fmt.str "%a" Text_table.pp (Table.table3 results) in
+  Alcotest.(check bool) "table3 rendered" true (contains ~needle:"A: 1, 2, 4" t3);
+  let cmp = Fmt.str "%a" Text_table.pp (Table.comparison Table.Unavailability results) in
+  Alcotest.(check bool) "comparison includes paper value" true
+    (contains ~needle:"0.002130" cmp);
+  let iv = Fmt.str "%a" Text_table.pp (Table.intervals results) in
+  Alcotest.(check bool) "intervals include outages column" true
+    (contains ~needle:"Outages" iv);
+  let t1 = Fmt.str "%a" Text_table.pp (Table.table1 Site_spec.ucsd_sites) in
+  Alcotest.(check bool) "table1 names" true (contains ~needle:"beowulf" t1)
+
+(* --- Scenario restart without recovery --- *)
+
+let test_scenario_restart () =
+  let s = Scenario.create ~names:[| "A"; "B"; "C" |] () in
+  ignore (Scenario.writes s 3);
+  Scenario.fail s "C";
+  ignore (Scenario.writes s 2);
+  (* A silent restart leaves C stale and outside the quorum... *)
+  Scenario.restart s "C";
+  Alcotest.check replica_testable "C still stale"
+    (Replica.make ~op_no:4 ~version:4 ~partition:(ss [ 0; 1; 2 ]))
+    (Scenario.state s "C");
+  (* ...but the next granted operation merges it back (refresh-on-read is
+     not automatic; a read commits only to S). *)
+  ignore (Scenario.read s);
+  Alcotest.(check bool) "file available with majority" true (Scenario.is_available s);
+  Alcotest.(check bool) "log narrates" true (List.length (Scenario.log s) > 5)
+
+let suite =
+  [
+    Alcotest.test_case "replica basics" `Quick test_replica_basics;
+    Alcotest.test_case "stateless driver" `Quick test_driver_stateless;
+    Alcotest.test_case "configurations" `Quick test_config;
+    Alcotest.test_case "paper values" `Quick test_paper_values;
+    Alcotest.test_case "table producers" `Quick test_table_producers;
+    Alcotest.test_case "scenario restart" `Quick test_scenario_restart;
+  ]

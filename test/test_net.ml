@@ -1,0 +1,242 @@
+(* Network model: the Figure 8 topology, reachability under failures,
+   partition enumeration. *)
+
+open Helpers
+module Topology = Dynvote_net.Topology
+module Connectivity = Dynvote_net.Connectivity
+module Partition_enum = Dynvote_net.Partition_enum
+
+let ucsd = Topology.ucsd
+let conn = Connectivity.create ucsd
+let all = Topology.all_sites ucsd
+
+let components ~up = Connectivity.components conn ~up:(ss up)
+
+let test_ucsd_shape () =
+  Alcotest.(check int) "8 sites" 8 (Topology.n_sites ucsd);
+  Alcotest.(check int) "3 segments" 3 (Topology.n_segments ucsd);
+  Alcotest.check set_testable "alpha holds sites 1-5" (ss [ 0; 1; 2; 3; 4 ])
+    (Topology.sites_on_segment ucsd 0);
+  Alcotest.check set_testable "beta holds site 6" (ss [ 5 ]) (Topology.sites_on_segment ucsd 1);
+  Alcotest.check set_testable "gamma holds sites 7-8" (ss [ 6; 7 ])
+    (Topology.sites_on_segment ucsd 2);
+  Alcotest.check set_testable "gateways are 4 and 5" (ss [ 3; 4 ]) (Topology.gateways ucsd);
+  Alcotest.(check string) "site names" "wizard" (Topology.site_name ucsd 3)
+
+let test_all_up_single_component () =
+  match components ~up:[ 0; 1; 2; 3; 4; 5; 6; 7 ] with
+  | [ c ] -> Alcotest.check set_testable "everyone" all c
+  | cs -> Alcotest.failf "expected one component, got %d" (List.length cs)
+
+let test_gateway_failure_partitions () =
+  (* Site 4 (id 3) down: beta (site 6 = id 5) is cut off. *)
+  let cs = components ~up:[ 0; 1; 2; 4; 5; 6; 7 ] in
+  Alcotest.(check int) "two components" 2 (List.length cs);
+  Alcotest.(check bool) "beta isolated" true
+    (List.exists (fun c -> Site_set.equal c (ss [ 5 ])) cs);
+  Alcotest.(check bool) "rest together" true
+    (List.exists (fun c -> Site_set.equal c (ss [ 0; 1; 2; 4; 6; 7 ])) cs)
+
+let test_both_gateways_down () =
+  let cs = components ~up:[ 0; 1; 2; 5; 6; 7 ] in
+  Alcotest.(check int) "three components" 3 (List.length cs);
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Fmt.str "component %a" Site_set.pp expected)
+        true
+        (List.exists (Site_set.equal expected) cs))
+    [ ss [ 0; 1; 2 ]; ss [ 5 ]; ss [ 6; 7 ] ]
+
+let test_non_gateway_failures_never_partition () =
+  (* Failing any subset of non-gateway sites leaves one component. *)
+  let non_gateways = [ 0; 1; 2; 5; 6; 7 ] in
+  List.iter
+    (fun down ->
+      let up = List.filter (fun s -> not (List.mem s down)) [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+      let cs = components ~up in
+      Alcotest.(check int)
+        (Fmt.str "down=%a" Fmt.(list int) down)
+        1 (List.length cs))
+    [ [ 0 ]; [ 1; 2 ]; [ 5 ]; [ 6; 7 ]; non_gateways ]
+
+let test_connected_pairs () =
+  let up = Site_set.remove 3 (Site_set.universe 8) in
+  Alcotest.(check bool) "1-2 connected" true (Connectivity.connected conn ~up 0 1);
+  Alcotest.(check bool) "1-6 cut" false (Connectivity.connected conn ~up 0 5);
+  Alcotest.(check bool) "7-8 connected via gamma" true (Connectivity.connected conn ~up 6 7);
+  Alcotest.(check bool) "down site unreachable" false
+    (Connectivity.connected conn ~up 3 0);
+  Alcotest.check set_testable "component of 6 and 8"
+    (ss [ 0; 1; 2; 4; 6; 7 ])
+    (Connectivity.component_of conn ~up 7);
+  Alcotest.check set_testable "component of down site" Site_set.empty
+    (Connectivity.component_of conn ~up 3)
+
+let test_is_partitioned () =
+  let up = Site_set.remove 3 (Site_set.universe 8) in
+  Alcotest.(check bool) "copies {1,2,6} split by site 4" true
+    (Connectivity.is_partitioned conn ~up ~among:(ss [ 0; 1; 5 ]));
+  Alcotest.(check bool) "copies {1,2,4} not split" false
+    (Connectivity.is_partitioned conn ~up ~among:(ss [ 0; 1; 3 ]))
+
+(* §3 example: copies A, B on alpha; C alone behind gateway X; D alone
+   behind gateway Y.  The only partitions are {{A,B,C},{D}}, {{A,B,D},{C}}
+   and {{A,B},{C},{D}}. *)
+let section3_topology =
+  Topology.create
+    ~site_names:[| "A"; "B"; "C"; "D"; "X"; "Y" |]
+    ~n_segments:3
+    ~home_segment:[| 0; 0; 1; 2; 0; 0 |]
+    ~bridges:
+      [ { Topology.gateway = 4; segment_a = 0; segment_b = 1 };
+        { Topology.gateway = 5; segment_a = 0; segment_b = 2 } ]
+    ()
+
+let test_section3_partition_enumeration () =
+  let among = ss [ 0; 1; 2; 3 ] in
+  let partitions = Partition_enum.gateway_partitions section3_topology ~among in
+  let canon groups =
+    List.sort compare (List.map Site_set.to_list groups)
+  in
+  let got = List.sort compare (List.map canon partitions) in
+  let expected =
+    List.sort compare
+      [
+        canon [ ss [ 0; 1; 2; 3 ] ];            (* no failure *)
+        canon [ ss [ 0; 1; 2 ]; ss [ 3 ] ];     (* Y down *)
+        canon [ ss [ 0; 1; 3 ]; ss [ 2 ] ];     (* X down *)
+        canon [ ss [ 0; 1 ]; ss [ 2 ]; ss [ 3 ] ] (* both down *);
+      ]
+  in
+  Alcotest.(check bool) "exactly the paper's three partitions (plus intact)" true
+    (got = expected)
+
+let test_partition_points () =
+  (* Configuration B {1,2,6}: single partition point at site 4 (id 3). *)
+  Alcotest.check set_testable "config B" (ss [ 3 ])
+    (Partition_enum.partition_points ucsd ~among:(ss [ 0; 1; 5 ]));
+  (* Configuration C {1,6,8}: partition points at sites 4 and 5. *)
+  Alcotest.check set_testable "config C" (ss [ 3; 4 ])
+    (Partition_enum.partition_points ucsd ~among:(ss [ 0; 5; 7 ]));
+  (* Configuration A {1,2,4}: no partitions possible. *)
+  Alcotest.check set_testable "config A" Site_set.empty
+    (Partition_enum.partition_points ucsd ~among:(ss [ 0; 1; 3 ]));
+  Alcotest.(check bool) "config A cannot partition" false
+    (Partition_enum.can_partition ucsd ~among:(ss [ 0; 1; 3 ]));
+  (* Configuration D {6,7,8}: either gateway splits it. *)
+  Alcotest.check set_testable "config D" (ss [ 3; 4 ])
+    (Partition_enum.partition_points ucsd ~among:(ss [ 5; 6; 7 ]))
+
+let test_topology_validation () =
+  Alcotest.check_raises "gateway must touch its segments"
+    (Invalid_argument "Topology: gateway must live on one of its bridged segments")
+    (fun () ->
+      ignore
+        (Topology.create ~n_segments:3 ~home_segment:[| 0; 1; 2 |]
+           ~bridges:[ { Topology.gateway = 0; segment_a = 1; segment_b = 2 } ]
+           ()));
+  Alcotest.check_raises "self bridge" (Invalid_argument "Topology: bridge loops a segment")
+    (fun () ->
+      ignore
+        (Topology.create ~n_segments:2 ~home_segment:[| 0; 1 |]
+           ~bridges:[ { Topology.gateway = 0; segment_a = 0; segment_b = 0 } ]
+           ()))
+
+let test_single_segment () =
+  let t = Topology.single_segment 4 in
+  let c = Connectivity.create t in
+  Alcotest.(check int) "one component always" 1
+    (List.length (Connectivity.components c ~up:(ss [ 0; 3 ])));
+  Alcotest.(check bool) "cannot partition" false
+    (Partition_enum.can_partition t ~among:(ss [ 0; 1; 2; 3 ]))
+
+(* Random topologies: structural invariants over thousands of shapes. *)
+module Topology_gen = Dynvote_net.Topology_gen
+
+let prop_random_topologies_wellformed =
+  Helpers.qcheck_case ~count:300 ~name:"random topologies are well-formed"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Dynvote_prng.Rng.of_seed seed in
+      let t = Topology_gen.random rng in
+      let c = Connectivity.create t in
+      (* All-up: a tree of segments is connected. *)
+      List.length (Connectivity.components c ~up:(Topology.all_sites t)) = 1)
+
+let prop_non_gateways_never_partition =
+  Helpers.qcheck_case ~count:300 ~name:"failing non-gateways never partitions"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Dynvote_prng.Rng.of_seed seed in
+      let t = Topology_gen.random rng in
+      let c = Connectivity.create t in
+      let gateways = Topology.gateways t in
+      let up =
+        Site_set.filter
+          (fun site -> Site_set.mem site gateways || Dynvote_prng.Rng.bool rng)
+          (Topology.all_sites t)
+      in
+      List.length (Connectivity.components c ~up) <= 1
+      || (* several components can only mean some are empty of... no:
+            with all gateways up the segment graph is connected, so all
+            live sites are mutually reachable. *)
+      false)
+
+let prop_components_partition_the_up_set =
+  Helpers.qcheck_case ~count:300 ~name:"components partition the up set"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Dynvote_prng.Rng.of_seed seed in
+      let t = Topology_gen.random rng in
+      let c = Connectivity.create t in
+      let up = Topology_gen.random_up_set rng t in
+      let components = Connectivity.components c ~up in
+      let union = List.fold_left Site_set.union Site_set.empty components in
+      Site_set.equal union up
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b -> Site_set.equal a b || Site_set.disjoint a b)
+               components)
+           components)
+
+let prop_same_segment_same_component =
+  Helpers.qcheck_case ~count:300 ~name:"segment mates are never separated"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Dynvote_prng.Rng.of_seed seed in
+      let t = Topology_gen.random rng in
+      let c = Connectivity.create t in
+      let up = Topology_gen.random_up_set rng t in
+      let components = Connectivity.components c ~up in
+      Site_set.for_all
+        (fun a ->
+          Site_set.for_all
+            (fun b ->
+              Topology.home_segment t a <> Topology.home_segment t b
+              || List.exists
+                   (fun comp -> Site_set.mem a comp && Site_set.mem b comp)
+                   components)
+            up)
+        up)
+
+let suite =
+  [
+    Alcotest.test_case "UCSD topology shape" `Quick test_ucsd_shape;
+    Alcotest.test_case "all up: one component" `Quick test_all_up_single_component;
+    Alcotest.test_case "gateway failure partitions" `Quick test_gateway_failure_partitions;
+    Alcotest.test_case "both gateways down" `Quick test_both_gateways_down;
+    Alcotest.test_case "non-gateways never partition" `Quick
+      test_non_gateway_failures_never_partition;
+    Alcotest.test_case "pairwise connectivity" `Quick test_connected_pairs;
+    Alcotest.test_case "is_partitioned" `Quick test_is_partitioned;
+    Alcotest.test_case "§3 partition enumeration" `Quick test_section3_partition_enumeration;
+    Alcotest.test_case "partition points of configs" `Quick test_partition_points;
+    Alcotest.test_case "topology validation" `Quick test_topology_validation;
+    Alcotest.test_case "single segment" `Quick test_single_segment;
+    prop_random_topologies_wellformed;
+    prop_non_gateways_never_partition;
+    prop_components_partition_the_up_set;
+    prop_same_segment_same_component;
+  ]

@@ -1,0 +1,183 @@
+(* Operation: the COMMIT effects of READ / WRITE / RECOVER / refresh. *)
+
+open Helpers
+
+let ordering = Ordering.default 8
+
+let ctx ?(flavor = Decision.ldv_flavor) ?(segment_of = fun _ -> 0) () =
+  { Operation.flavor; ordering; segment_of }
+
+let fresh universe = Array.make 8 (Replica.initial (ss universe))
+
+let test_write_updates_all () =
+  let states = fresh [ 0; 1; 2 ] in
+  (match Operation.write (ctx ()) states ~reachable:(ss [ 0; 1; 2 ]) () with
+  | Decision.Granted _ -> ()
+  | v -> Alcotest.failf "write denied: %a" Decision.pp_verdict v);
+  List.iter
+    (fun site ->
+      Alcotest.check replica_testable
+        (Printf.sprintf "site %d after write" site)
+        (Replica.make ~op_no:2 ~version:2 ~partition:(ss [ 0; 1; 2 ]))
+        states.(site))
+    [ 0; 1; 2 ]
+
+let test_read_increments_op_only () =
+  let states = fresh [ 0; 1; 2 ] in
+  ignore (Operation.read (ctx ()) states ~reachable:(ss [ 0; 1; 2 ]) ());
+  Alcotest.check replica_testable "read bumps o, not v"
+    (Replica.make ~op_no:2 ~version:1 ~partition:(ss [ 0; 1; 2 ]))
+    states.(0)
+
+let test_denied_leaves_state () =
+  let states = fresh [ 0; 1; 2 ] in
+  let before = Array.copy states in
+  (match Operation.write (ctx ()) states ~reachable:(ss [ 2 ]) () with
+  | Decision.Denied _ -> ()
+  | v -> Alcotest.failf "expected denial, got %a" Decision.pp_verdict v);
+  Array.iteri
+    (fun i expected -> Alcotest.check replica_testable "unchanged" expected states.(i))
+    before
+
+(* Quorum shrinks with operations performed while a site is down: the
+   paper's §2 sequence. *)
+let test_quorum_shrinks () =
+  let states = fresh [ 0; 1; 2 ] in
+  (* Seven successful writes with everyone up: o = v = 8. *)
+  for _ = 1 to 7 do
+    ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 1; 2 ]) ())
+  done;
+  Alcotest.check replica_testable "after 7 writes"
+    (Replica.make ~op_no:8 ~version:8 ~partition:(ss [ 0; 1; 2 ]))
+    states.(1);
+  (* B (site 1) fails; three more writes shrink the quorum to {A, C}. *)
+  for _ = 1 to 3 do
+    ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 2 ]) ())
+  done;
+  Alcotest.check replica_testable "A after 3 more writes"
+    (Replica.make ~op_no:11 ~version:11 ~partition:(ss [ 0; 2 ]))
+    states.(0);
+  (* B still has its pre-failure state: information moves at access time. *)
+  Alcotest.check replica_testable "B unchanged while down"
+    (Replica.make ~op_no:8 ~version:8 ~partition:(ss [ 0; 1; 2 ]))
+    states.(1)
+
+let test_recover_reinserts () =
+  let states = fresh [ 0; 1; 2 ] in
+  ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 2 ]) ());
+  (* Site 1 was down during the write; now it can reach the quorum. *)
+  (match Operation.recover (ctx ()) states ~site:1 ~reachable:(ss [ 0; 1; 2 ]) () with
+  | Decision.Granted _ -> ()
+  | v -> Alcotest.failf "recover denied: %a" Decision.pp_verdict v);
+  Alcotest.check replica_testable "recovered copy is current"
+    (Replica.make ~op_no:3 ~version:2 ~partition:(ss [ 0; 1; 2 ]))
+    states.(1);
+  Alcotest.check replica_testable "quorum members updated too"
+    (Replica.make ~op_no:3 ~version:2 ~partition:(ss [ 0; 1; 2 ]))
+    states.(0)
+
+let test_recover_requires_membership () =
+  let states = fresh [ 0; 1; 2 ] in
+  Alcotest.check_raises "recovering site must be reachable"
+    (Invalid_argument "Operation.recover: recovering site not in reachable set") (fun () ->
+      ignore (Operation.recover (ctx ()) states ~site:1 ~reachable:(ss [ 0; 2 ]) ()))
+
+let test_recover_denied_in_minority () =
+  let states = fresh [ 0; 1; 2 ] in
+  (* Writes in {0, 2} advance past site 1. *)
+  ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 2 ]) ());
+  (* Site 1 restarts but can only reach itself: denied. *)
+  match Operation.recover (ctx ()) states ~site:1 ~reachable:(ss [ 1 ]) () with
+  | Decision.Denied _ -> ()
+  | v -> Alcotest.failf "expected denial, got %a" Decision.pp_verdict v
+
+let test_refresh_merges_component () =
+  let states = fresh [ 0; 1; 2; 3 ] in
+  (* Writes while 2 and 3 are away. *)
+  ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 1 ]) ());
+  ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 1 ]) ());
+  (* Everyone reconnects; a single refresh reunifies the file. *)
+  (match Operation.refresh (ctx ()) states ~reachable:(ss [ 0; 1; 2; 3 ]) () with
+  | Decision.Granted _ -> ()
+  | v -> Alcotest.failf "refresh denied: %a" Decision.pp_verdict v);
+  let expected_partition = ss [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun site ->
+      let r = states.(site) in
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d current" site)
+        true
+        (Replica.version r = 3 && Site_set.equal (Replica.partition r) expected_partition))
+    [ 0; 1; 2; 3 ]
+
+let test_refresh_denied_stale_group () =
+  let states = fresh [ 0; 1; 2 ] in
+  ignore (Operation.write (ctx ()) states ~reachable:(ss [ 0; 1 ]) ());
+  match Operation.refresh (ctx ()) states ~reachable:(ss [ 2 ]) () with
+  | Decision.Denied _ -> ()
+  | v -> Alcotest.failf "expected denial, got %a" Decision.pp_verdict v
+
+(* Invariant: after any history of refreshes, for every component the
+   up-to-date reachable members equal Q — i.e. P_m ∩ R = Q (used by the
+   analytic model). *)
+let prop_pm_inter_r_is_q =
+  qcheck_case ~count:300 ~name:"P_m ∩ R = Q after any history"
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 25) (int_bound 30)))
+    (fun (_, masks) ->
+      let universe = ss [ 0; 1; 2; 3; 4 ] in
+      let states = Array.make 8 (Replica.initial universe) in
+      let c = ctx () in
+      List.iter
+        (fun mask ->
+          let live = Site_set.inter (Site_set.of_int_unsafe mask) universe in
+          if not (Site_set.is_empty live) then
+            ignore (Operation.refresh c states ~reachable:live ()))
+        masks;
+      (* Check the invariant on every subset that could be a component. *)
+      List.for_all
+        (fun mask ->
+          let r = Site_set.inter (Site_set.of_int_unsafe mask) universe in
+          Site_set.is_empty r
+          ||
+          match Operation.evaluate c states ~reachable:r () with
+          | Decision.Granted g ->
+              Site_set.equal (Site_set.inter g.Decision.p_m r) g.Decision.q
+          | Decision.Denied _ -> true)
+        (List.init 31 (fun i -> i + 1)))
+
+(* Version numbers never decrease at any site. *)
+let prop_versions_monotonic =
+  qcheck_case ~count:300 ~name:"versions monotonic under refresh histories"
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 30))
+    (fun masks ->
+      let universe = ss [ 0; 1; 2; 3; 4 ] in
+      let states = Array.make 8 (Replica.initial universe) in
+      let c = ctx () in
+      let ok = ref true in
+      List.iter
+        (fun mask ->
+          let before = Array.map Replica.version states in
+          let live = Site_set.inter (Site_set.of_int_unsafe mask) universe in
+          if not (Site_set.is_empty live) then begin
+            (* Alternate writes and refreshes. *)
+            ignore (Operation.write c states ~reachable:live ());
+            ignore (Operation.refresh c states ~reachable:live ())
+          end;
+          Array.iteri (fun i v -> if Replica.version states.(i) < v then ok := false) before)
+        masks;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "write updates o, v, P" `Quick test_write_updates_all;
+    Alcotest.test_case "read increments o only" `Quick test_read_increments_op_only;
+    Alcotest.test_case "denied op leaves state intact" `Quick test_denied_leaves_state;
+    Alcotest.test_case "quorum shrinks (paper §2)" `Quick test_quorum_shrinks;
+    Alcotest.test_case "recover reinserts a copy" `Quick test_recover_reinserts;
+    Alcotest.test_case "recover requires membership" `Quick test_recover_requires_membership;
+    Alcotest.test_case "recover denied in minority" `Quick test_recover_denied_in_minority;
+    Alcotest.test_case "refresh merges a component" `Quick test_refresh_merges_component;
+    Alcotest.test_case "refresh denied for stale group" `Quick test_refresh_denied_stale_group;
+    prop_pm_inter_r_is_q;
+    prop_versions_monotonic;
+  ]

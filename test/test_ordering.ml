@@ -1,0 +1,57 @@
+(* Ordering: the lexicographic ranking used for tie-breaking. *)
+
+open Helpers
+
+let test_default () =
+  let o = Ordering.default 4 in
+  (* Site 0 ranks highest — the paper's "site 1 is the maximum". *)
+  Alcotest.(check bool) "0 > 1" true (Ordering.greater o 0 1);
+  Alcotest.(check bool) "1 > 3" true (Ordering.greater o 1 3);
+  Alcotest.(check bool) "3 > 0 false" false (Ordering.greater o 3 0);
+  Alcotest.(check int) "max of {1,2,3}" 1 (Ordering.max_element o (ss [ 1; 2; 3 ]));
+  Alcotest.(check int) "max of {0,3}" 0 (Ordering.max_element o (ss [ 0; 3 ]))
+
+let test_custom_ranking () =
+  (* Ranking [2; 0; 1] means 2 > 0 > 1. *)
+  let o = Ordering.of_ranking [ 2; 0; 1 ] in
+  Alcotest.(check bool) "2 > 0" true (Ordering.greater o 2 0);
+  Alcotest.(check bool) "0 > 1" true (Ordering.greater o 0 1);
+  Alcotest.(check int) "max of {0,1}" 0 (Ordering.max_element o (ss [ 0; 1 ]));
+  Alcotest.(check int) "max of {1,2}" 2 (Ordering.max_element o (ss [ 1; 2 ]))
+
+let test_validation () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Ordering.of_ranking: duplicate site")
+    (fun () -> ignore (Ordering.of_ranking [ 0; 1; 0 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Ordering.of_ranking: empty ranking")
+    (fun () -> ignore (Ordering.of_ranking []));
+  Alcotest.check_raises "unranked site"
+    (Invalid_argument "Ordering.rank: site 5 not ranked") (fun () ->
+      ignore (Ordering.rank (Ordering.default 3) 5));
+  Alcotest.check_raises "max of empty" Not_found (fun () ->
+      ignore (Ordering.max_element (Ordering.default 3) Site_set.empty))
+
+let test_rank_values () =
+  let o = Ordering.of_ranking [ 4; 2; 0 ] in
+  Alcotest.(check bool) "rank decreases down the list" true
+    (Ordering.rank o 4 > Ordering.rank o 2 && Ordering.rank o 2 > Ordering.rank o 0)
+
+let prop_max_element_is_member =
+  qcheck_case ~name:"max_element is a member with maximal rank"
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_bound 7))
+    (fun sites ->
+      let sites = List.sort_uniq compare sites in
+      QCheck.assume (sites <> []);
+      let o = Ordering.default 8 in
+      let set = ss sites in
+      let m = Ordering.max_element o set in
+      Site_set.mem m set
+      && Site_set.for_all (fun s -> s = m || Ordering.greater o m s) set)
+
+let suite =
+  [
+    Alcotest.test_case "default ordering" `Quick test_default;
+    Alcotest.test_case "custom ranking" `Quick test_custom_ranking;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "rank values" `Quick test_rank_values;
+    prop_max_element_is_member;
+  ]

@@ -1,0 +1,247 @@
+(* Extension policies: strict MCV, weighted voting, the Jajodia-Mutchler
+   integer protocol, available copy, witnesses. *)
+
+open Helpers
+
+let ordering = Ordering.default 8
+let one_segment = fun _ -> 0
+let view components = { Policy.components = List.map ss components }
+
+let test_strict_mcv () =
+  let d = Policy_extra.strict_mcv ~universe:(ss [ 0; 1; 2; 3 ]) in
+  Alcotest.(check bool) "3 of 4" true (d.Driver.available (view [ [ 0; 1; 2 ] ]));
+  (* Unlike the tie-breaking MCV, an exact half is never enough. *)
+  Alcotest.(check bool) "2 of 4 with max" false (d.Driver.available (view [ [ 0; 1 ] ]));
+  Alcotest.(check bool) "2 of 4 without max" false (d.Driver.available (view [ [ 2; 3 ] ]))
+
+let test_weighted_mcv () =
+  (* Site 0 carries 2 votes; total 5; quorum > 2.5 means 3 votes. *)
+  let weights = [| 2; 1; 1; 1; 0; 0; 0; 0 |] in
+  let d =
+    Policy_extra.weighted_mcv ~weights ~universe:(ss [ 0; 1; 2; 3 ]) ~ordering ()
+  in
+  Alcotest.(check bool) "site 0 + any = 3 votes" true (d.Driver.available (view [ [ 0; 1 ] ]));
+  Alcotest.(check bool) "three weak sites = 3 votes" true
+    (d.Driver.available (view [ [ 1; 2; 3 ] ]));
+  Alcotest.(check bool) "two weak sites = 2 votes" false
+    (d.Driver.available (view [ [ 2; 3 ] ]));
+  Alcotest.(check bool) "site 0 alone = 2 votes" false (d.Driver.available (view [ [ 0 ] ]))
+
+let test_weighted_mcv_even_total_tie () =
+  (* Equal weights, total 4: an exact half holding the max site wins. *)
+  let weights = [| 1; 1; 1; 1; 0; 0; 0; 0 |] in
+  let d =
+    Policy_extra.weighted_mcv ~weights ~universe:(ss [ 0; 1; 2; 3 ]) ~ordering ()
+  in
+  Alcotest.(check bool) "half with max" true (d.Driver.available (view [ [ 0; 3 ] ]));
+  Alcotest.(check bool) "half without max" false (d.Driver.available (view [ [ 1; 2 ] ]));
+  let strict =
+    Policy_extra.weighted_mcv ~tie_break:false ~weights ~universe:(ss [ 0; 1; 2; 3 ])
+      ~ordering ()
+  in
+  Alcotest.(check bool) "no tie-break" false (strict.Driver.available (view [ [ 0; 3 ] ]))
+
+let test_weighted_validation () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Policy_extra.weighted_mcv: bad weight vector") (fun () ->
+      ignore
+        (Policy_extra.weighted_mcv ~weights:[| -1; 1 |] ~universe:(ss [ 0; 1 ]) ~ordering ()))
+
+(* JM-DV must match plain DV on every availability decision along random
+   event histories (their difference is representation, not behaviour). *)
+let prop_jm_dv_equals_dv =
+  qcheck_case ~count:300 ~name:"JM-DV ≡ DV along random histories"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_bound 31))
+    (fun masks ->
+      let universe = ss [ 0; 1; 2; 3; 4 ] in
+      let dv =
+        Driver.of_policy
+          (Policy.create Policy.Dv ~universe ~n_sites:8 ~segment_of:one_segment ~ordering)
+      in
+      let jm = Policy_extra.jm_dv ~universe ~n_sites:8 in
+      List.for_all
+        (fun mask ->
+          let live = Site_set.inter (Site_set.of_int_unsafe mask) universe in
+          let v = { Policy.components = (if Site_set.is_empty live then [] else [ live ]) } in
+          dv.Driver.on_topology_change v;
+          jm.Driver.on_topology_change v;
+          dv.Driver.available v = jm.Driver.available v)
+        masks)
+
+(* Weighted dynamic voting: with unit weights it must coincide with LDV
+   on every decision along any history. *)
+let prop_wdv_unit_weights_equals_ldv =
+  qcheck_case ~count:200 ~name:"WDV with unit weights ≡ LDV"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_bound 31))
+    (fun masks ->
+      let universe = ss [ 0; 1; 2; 3; 4 ] in
+      let ldv =
+        Driver.of_policy
+          (Policy.create Policy.Ldv ~universe ~n_sites:8 ~segment_of:one_segment ~ordering)
+      in
+      let wdv =
+        Policy_extra.weighted_dv ~weights:(Array.make 8 1) ~universe ~n_sites:8 ~ordering ()
+      in
+      List.for_all
+        (fun mask ->
+          let live = Site_set.inter (Site_set.of_int_unsafe mask) universe in
+          let v = { Policy.components = (if Site_set.is_empty live then [] else [ live ]) } in
+          ldv.Driver.on_topology_change v;
+          wdv.Driver.on_topology_change v;
+          ldv.Driver.available v = wdv.Driver.available v)
+        masks)
+
+let test_wdv_weight_dominance () =
+  (* Site 0 carries 3 votes out of 5: its group always wins; quorums still
+     adjust dynamically when it is down. *)
+  let weights = [| 3; 1; 1; 0; 0; 0; 0; 0 |] in
+  let d = Policy_extra.weighted_dv ~weights ~universe:(ss [ 0; 1; 2 ]) ~n_sites:8 ~ordering () in
+  d.Driver.on_topology_change (view [ [ 0 ]; [ 1; 2 ] ]);
+  Alcotest.(check bool) "heavy site alone wins" true
+    (d.Driver.available { Policy.components = [ ss [ 0 ] ] });
+  Alcotest.(check bool) "light pair loses" false
+    (d.Driver.available { Policy.components = [ ss [ 1; 2 ] ] });
+  (* Site 0 fails with the quorum at {0,1,2}; 2 of 5 votes is not enough... *)
+  let d = Policy_extra.weighted_dv ~weights ~universe:(ss [ 0; 1; 2 ]) ~n_sites:8 ~ordering () in
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "survivors below weighted majority" false
+    (d.Driver.available (view [ [ 1; 2 ] ]))
+
+let test_wdv_quorum_adjusts () =
+  (* After the heavy site's group operates alone, the quorum is just {0};
+     when 0 then dies, nobody can proceed until it returns. *)
+  let weights = [| 3; 1; 1; 0; 0; 0; 0; 0 |] in
+  let d = Policy_extra.weighted_dv ~weights ~universe:(ss [ 0; 1; 2 ]) ~n_sites:8 ~ordering () in
+  d.Driver.on_topology_change (view [ [ 0 ]; [ 1; 2 ] ]);
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "its quorum died with it" false (d.Driver.available (view [ [ 1; 2 ] ]));
+  (* 0 returns: its singleton quorum is immediately a majority of itself. *)
+  d.Driver.on_topology_change (view [ [ 0; 1; 2 ] ]);
+  Alcotest.(check bool) "back with the heavy site" true
+    (d.Driver.available (view [ [ 0; 1; 2 ] ]))
+
+let test_wdv_validation () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Policy_extra.weighted_dv: bad weight vector") (fun () ->
+      ignore
+        (Policy_extra.weighted_dv ~weights:[| -1 |] ~universe:(ss [ 0 ]) ~n_sites:1
+           ~ordering ()))
+
+let test_available_copy_single_segment () =
+  let ac, d = Policy_extra.available_copy ~universe:(ss [ 0; 1; 2 ]) in
+  (* One copy left: still available. *)
+  d.Driver.on_topology_change (view [ [ 2 ] ]);
+  Alcotest.(check bool) "one copy suffices" true (d.Driver.available (view [ [ 2 ] ]));
+  (* All copies down: unavailable... *)
+  d.Driver.on_topology_change (view []);
+  Alcotest.(check bool) "none up" false (d.Driver.available (view []));
+  (* ...and a returning non-current copy does not resurrect the file. *)
+  d.Driver.on_topology_change (view [ [ 0 ] ]);
+  Alcotest.(check bool) "stale copy alone" false (d.Driver.available (view [ [ 0 ] ]));
+  (* The last current copy (2) returns: available again, and 0 syncs. *)
+  d.Driver.on_topology_change (view [ [ 0; 2 ] ]);
+  Alcotest.(check bool) "current copy back" true (d.Driver.available (view [ [ 0; 2 ] ]));
+  Alcotest.(check int) "no violations on one segment" 0
+    (Policy_extra.Available_copy.violations ac)
+
+let test_available_copy_partition_violation () =
+  let ac, d = Policy_extra.available_copy ~universe:(ss [ 0; 1; 2; 3 ]) in
+  (* A partition splits current copies into two groups: both sides think
+     they may proceed — the violation TDV's segment rule avoids. *)
+  d.Driver.on_topology_change (view [ [ 0; 1 ]; [ 2; 3 ] ]);
+  Alcotest.(check bool) "left side up" true
+    (d.Driver.available { Policy.components = [ ss [ 0; 1 ] ] });
+  Alcotest.(check bool) "right side up too" true
+    (d.Driver.available { Policy.components = [ ss [ 2; 3 ] ] });
+  Alcotest.(check bool) "violation recorded" true
+    (Policy_extra.Available_copy.violations ac > 0)
+
+let test_witness_basics () =
+  (* Two data copies (0, 1) plus one witness (2): behaves like three-site
+     LDV as long as a data copy is present. *)
+  let d =
+    Policy_extra.witness ~data_sites:(ss [ 0; 1 ]) ~witnesses:(ss [ 2 ]) ~n_sites:8
+      ~segment_of:one_segment ~ordering ()
+  in
+  Alcotest.(check bool) "all three" true (d.Driver.available (view [ [ 0; 1; 2 ] ]));
+  (* Copy 0 + witness: a majority, with data present. *)
+  d.Driver.on_topology_change (view [ [ 0; 2 ] ]);
+  Alcotest.(check bool) "copy + witness" true (d.Driver.available (view [ [ 0; 2 ] ]));
+  (* Witness alone: quorum may be formable later but there is no data. *)
+  d.Driver.on_topology_change (view [ [ 2 ] ]);
+  Alcotest.(check bool) "witness alone" false (d.Driver.available (view [ [ 2 ] ]))
+
+let test_witness_prevents_stale_read () =
+  (* One data copy, two witnesses: the witnesses alone can assemble a vote
+     majority, but without the data copy the access must still be denied. *)
+  let d =
+    Policy_extra.witness ~data_sites:(ss [ 0 ]) ~witnesses:(ss [ 1; 2 ]) ~n_sites:8
+      ~segment_of:one_segment ~ordering ()
+  in
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "vote majority without data denied" false
+    (d.Driver.available (view [ [ 1; 2 ] ]));
+  (* The data copy returns: available again. *)
+  d.Driver.on_topology_change (view [ [ 0; 1; 2 ] ]);
+  Alcotest.(check bool) "data copy back" true (d.Driver.available (view [ [ 0; 1; 2 ] ]))
+
+let test_witness_optimistic_path () =
+  (* The optimistic witness variant defers quorum adjustment to access
+     time, like ODV. *)
+  let d =
+    Policy_extra.witness ~optimistic:true ~data_sites:(ss [ 0; 1 ]) ~witnesses:(ss [ 2 ])
+      ~n_sites:8 ~segment_of:one_segment ~ordering ()
+  in
+  Alcotest.(check bool) "flagged optimistic" true d.Driver.optimistic;
+  (* Site 0 fails: no adjustment yet (topology changes are ignored). *)
+  d.Driver.on_topology_change (view [ [ 1; 2 ] ]);
+  Alcotest.(check bool) "still available on stale quorum" true
+    (d.Driver.available (view [ [ 1; 2 ] ]));
+  (* An access commits the shrink to {1, 2}; site 1 now ranks highest in
+     the quorum, so it carries the tie alone while the witness does not. *)
+  Alcotest.(check bool) "access granted" true (d.Driver.on_access (view [ [ 1; 2 ] ]));
+  Alcotest.(check bool) "copy 1 carries the tie" true (d.Driver.available (view [ [ 1 ] ]));
+  Alcotest.(check bool) "witness alone loses the tie" false
+    (d.Driver.available (view [ [ 2 ] ]))
+
+let test_jm_dv_multiple_components () =
+  let universe = ss [ 0; 1; 2; 3 ] in
+  let d = Policy_extra.jm_dv ~universe ~n_sites:8 in
+  (* A 2-2 split: plain cardinality voting cannot proceed on either side. *)
+  d.Driver.on_topology_change (view [ [ 0; 1 ]; [ 2; 3 ] ]);
+  Alcotest.(check bool) "left tie" false
+    (d.Driver.available { Policy.components = [ ss [ 0; 1 ] ] });
+  Alcotest.(check bool) "right tie" false
+    (d.Driver.available { Policy.components = [ ss [ 2; 3 ] ] });
+  (* Heal: the full set is again a majority of its stored cardinality. *)
+  d.Driver.on_topology_change (view [ [ 0; 1; 2; 3 ] ]);
+  Alcotest.(check bool) "healed" true (d.Driver.available (view [ [ 0; 1; 2; 3 ] ]))
+
+let test_witness_validation () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Policy_extra.witness: a site cannot be both copy and witness")
+    (fun () ->
+      ignore
+        (Policy_extra.witness ~data_sites:(ss [ 0 ]) ~witnesses:(ss [ 0 ]) ~n_sites:8
+           ~segment_of:one_segment ~ordering ()))
+
+let suite =
+  [
+    Alcotest.test_case "strict MCV" `Quick test_strict_mcv;
+    Alcotest.test_case "weighted MCV" `Quick test_weighted_mcv;
+    Alcotest.test_case "weighted MCV tie rule" `Quick test_weighted_mcv_even_total_tie;
+    Alcotest.test_case "weighted validation" `Quick test_weighted_validation;
+    Alcotest.test_case "available copy, one segment" `Quick test_available_copy_single_segment;
+    Alcotest.test_case "available copy violates on partition" `Quick
+      test_available_copy_partition_violation;
+    Alcotest.test_case "witness basics" `Quick test_witness_basics;
+    Alcotest.test_case "witness prevents stale reads" `Quick test_witness_prevents_stale_read;
+    Alcotest.test_case "witness validation" `Quick test_witness_validation;
+    Alcotest.test_case "witness optimistic path" `Quick test_witness_optimistic_path;
+    Alcotest.test_case "JM-DV across components" `Quick test_jm_dv_multiple_components;
+    prop_jm_dv_equals_dv;
+    prop_wdv_unit_weights_equals_ldv;
+    Alcotest.test_case "WDV weight dominance" `Quick test_wdv_weight_dominance;
+    Alcotest.test_case "WDV quorum adjusts" `Quick test_wdv_quorum_adjusts;
+    Alcotest.test_case "WDV validation" `Quick test_wdv_validation;
+  ]

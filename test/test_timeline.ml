@@ -1,0 +1,87 @@
+(* Timeline: downtime intervals and the ASCII renderer. *)
+
+open Helpers
+module Timeline = Dynvote_sim.Timeline
+module Config = Dynvote_sim.Config
+module Study = Dynvote_sim.Study
+
+let config_f = Option.get (Config.find "F")
+
+let timeline =
+  lazy
+    (Timeline.collect
+       ~parameters:{ Study.default_parameters with seed = 42 }
+       ~config:config_f ~start:0.0 ~duration:5000.0 ())
+
+let test_intervals_within_window () =
+  let t = Lazy.force timeline in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (from, till) ->
+          if from < 0.0 || till > 5000.0 || from >= till then
+            Alcotest.failf "%s: bad interval [%f, %f)" (Policy.kind_name kind) from till)
+        (Timeline.outages t kind))
+    Policy.all_kinds
+
+let test_downtime_is_interval_sum () =
+  let t = Lazy.force timeline in
+  List.iter
+    (fun kind ->
+      let total =
+        List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 (Timeline.outages t kind)
+      in
+      check_float_tol 1e-9
+        (Policy.kind_name kind ^ " downtime")
+        total (Timeline.downtime t kind))
+    Policy.all_kinds
+
+let test_matches_study_unavailability () =
+  (* With no warm-up, the window's downtime fraction must equal the study's
+     unavailability on the same horizon and seed. *)
+  let t = Lazy.force timeline in
+  let parameters =
+    { Study.default_parameters with seed = 42; horizon = 5000.0; warmup = 0.0; batches = 2 }
+  in
+  let results = Study.run ~parameters ~configs:[ config_f ] () in
+  List.iter
+    (fun r ->
+      check_float_tol 1e-9
+        (Policy.kind_name r.Study.kind ^ " fraction")
+        r.Study.unavailability
+        (Timeline.downtime t r.Study.kind /. 5000.0))
+    results
+
+let test_known_orderings () =
+  let t = Lazy.force timeline in
+  Alcotest.(check bool) "DV down the longest on F" true
+    (List.for_all
+       (fun kind -> Timeline.downtime t Policy.Dv >= Timeline.downtime t kind)
+       Policy.all_kinds);
+  Alcotest.(check bool) "TDV-family down the least" true
+    (Timeline.downtime t Policy.Tdv <= Timeline.downtime t Policy.Ldv)
+
+let test_rendering () =
+  let t = Lazy.force timeline in
+  let out = Fmt.str "%a" (Timeline.pp ~columns:40) t in
+  let lines = String.split_on_char '\n' out in
+  (* Header plus one strip per policy. *)
+  Alcotest.(check bool) "seven non-empty lines" true
+    (List.length (List.filter (fun l -> String.length l > 0) lines) >= 7);
+  Alcotest.(check bool) "strips contain availability cells" true
+    (String.contains out '#')
+
+let test_window_validation () =
+  Alcotest.check_raises "bad window" (Invalid_argument "Timeline.collect: bad window")
+    (fun () ->
+      ignore (Timeline.collect ~config:config_f ~start:0.0 ~duration:0.0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "intervals within window" `Quick test_intervals_within_window;
+    Alcotest.test_case "downtime = interval sum" `Quick test_downtime_is_interval_sum;
+    Alcotest.test_case "matches study unavailability" `Quick test_matches_study_unavailability;
+    Alcotest.test_case "known orderings" `Quick test_known_orderings;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+    Alcotest.test_case "window validation" `Quick test_window_validation;
+  ]
