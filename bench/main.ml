@@ -12,6 +12,8 @@
      VALIDATE   E3: simulator vs exact CTMC / closed forms
      EXTENSIONS E4: strict MCV, weighted voting, JM-DV, available copy,
                     witnesses, and the TDV safety-correction ablation
+     CHAOS      fault-injection campaign throughput and the cost of
+                    relaxed (Deadline) delivery vs the quiet network
      MICRO      bechamel micro-benchmarks
 
    The environment variable DYNVOTE_BENCH_HORIZON (simulated days,
@@ -29,6 +31,7 @@ module Text_table = Dynvote_report.Text_table
 module Voting_model = Dynvote_analytic.Voting_model
 module Kofn = Dynvote_analytic.Kofn
 module Cluster = Dynvote_msgsim.Cluster
+module Harness = Dynvote_chaos.Harness
 
 let section name description =
   Fmt.pr "@.=================== %s ===================@." name;
@@ -541,6 +544,66 @@ let replications () =
          else "LDV significantly better"))
     [ "E"; "F"; "H" ]
 
+(* Chaos-harness throughput and the price of relaxed delivery. *)
+let chaos () =
+  section "CHAOS"
+    "Fault-injection campaign throughput (randomized schedules per second,\n\
+     safety oracle attached), and what relaxed [Deadline] delivery costs\n\
+     over the paper's quiet network on a fault-free 5-site cluster.";
+  let schedules = 500 in
+  let table =
+    Text_table.create
+      ~aligns:[ Text_table.Left; Text_table.Right; Text_table.Right; Text_table.Left ]
+      ~header:[ "Policy"; "Schedules/s"; "Ops/s"; "Verdict" ] ()
+  in
+  List.iter
+    (fun (p : Harness.policy) ->
+      let t0 = Unix.gettimeofday () in
+      let s = Harness.run_many ~policy:p ~seed:2026L ~schedules () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Text_table.add_row table
+        [ p.Harness.name;
+          Printf.sprintf "%.0f" (float_of_int schedules /. dt);
+          Printf.sprintf "%.0f"
+            (float_of_int (s.Harness.granted + s.Harness.denied + s.Harness.aborted) /. dt);
+          (if s.Harness.failures = 0 then "OK"
+           else if s.Harness.expect_safe then
+             Printf.sprintf "%d VIOLATIONS" s.Harness.failures
+           else Printf.sprintf "%d violations (expected)" s.Harness.failures) ])
+    Harness.policies;
+  Text_table.print table;
+  (* Deadline vs Quiet on the same operation mix, no faults: the retry
+     machinery costs time when nothing goes wrong, while piggybacking the
+     data on COMMIT saves the separate data round — this measures both. *)
+  let universe = Site_set.universe 5 in
+  let time_delivery delivery =
+    let cluster = Cluster.create ~universe ?delivery () in
+    let iterations = 20_000 in
+    let messages = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to iterations - 1 do
+      let at = i mod 5 in
+      let outcome =
+        if i mod 3 = 0 then Cluster.write cluster ~at ~content:"x"
+        else Cluster.read cluster ~at
+      in
+      messages := !messages + outcome.Cluster.messages
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( 1e9 *. dt /. float_of_int iterations,
+      float_of_int !messages /. float_of_int iterations )
+  in
+  let quiet_ns, quiet_msgs = time_delivery None in
+  let deadline_ns, deadline_msgs =
+    time_delivery (Some (Cluster.Deadline { timeout = 0.25; retries = 2; backoff = 2.0 }))
+  in
+  Fmt.pr
+    "@.Fault-free operation cost (5 copies, 1 write : 2 reads):@.\
+    \  quiet network  %8.0f ns/op  %.1f msgs/op@.\
+    \  deadline mode  %8.0f ns/op  %.1f msgs/op  (%.0f%% time overhead)@."
+    quiet_ns quiet_msgs deadline_ns deadline_msgs
+    (100.0 *. (deadline_ns -. quiet_ns) /. quiet_ns)
+
 (* Bechamel micro-benchmarks of the hot primitives. *)
 let micro () =
   section "MICRO" "Bechamel micro-benchmarks of the core primitives (ns per call).";
@@ -623,5 +686,6 @@ let () =
   reliability ();
   extensions ();
   replications ();
+  chaos ();
   micro ();
   Fmt.pr "@.done.@."

@@ -16,6 +16,7 @@ module Text_table = Dynvote_report.Text_table
 module Csv = Dynvote_report.Csv
 module Voting_model = Dynvote_analytic.Voting_model
 module Kofn = Dynvote_analytic.Kofn
+module Harness = Dynvote_chaos.Harness
 
 open Cmdliner
 
@@ -364,10 +365,74 @@ let reliability_cmd =
        ~doc:"Exact Markov analysis of availability and reliability (no simulation).")
     Term.(const run $ copies_arg $ mttf_arg $ mttr_arg)
 
+(* Subcommand: chaos (adversarial fault injection + safety oracle). *)
+
+let chaos_cmd =
+  let schedules_arg =
+    Arg.(value & opt int 1000
+         & info [ "schedules" ] ~docv:"K" ~doc:"Randomized fault schedules per policy.")
+  in
+  let policy_arg =
+    let doc =
+      "Policy to attack (dv, ldv, odv, tdv, otdv, tdv-safe, otdv-safe, or 'all'). \
+       MCV is stateless at the message level and is not driven by the chaos engine."
+    in
+    Arg.(value & opt string "all" & info [ "policy" ] ~docv:"P" ~doc)
+  in
+  let unsafe_commits_arg =
+    Arg.(value & flag
+         & info [ "unsafe-commits" ]
+             ~doc:"Drop the paper's atomic-update assumption: expose COMMIT messages \
+                   to faults and strike coordinators mid-commit.  The oracle then \
+                   reports the resulting divergences for every policy.")
+  in
+  let run seed schedules policy_text unsafe_commits verbose =
+    let policies =
+      if String.lowercase_ascii policy_text = "all" then Harness.policies
+      else
+        match Harness.policy_of_string policy_text with
+        | Some p -> [ p ]
+        | None ->
+            Fmt.epr "dynvote: unknown policy %S (try --policy all)@." policy_text;
+            exit 2
+    in
+    let exit_code = ref 0 in
+    List.iter
+      (fun (p : Harness.policy) ->
+        let p = if unsafe_commits then { p with Harness.expect_safe = false } else p in
+        let config =
+          let c = Harness.default_config ~flavor:p.Harness.flavor () in
+          if unsafe_commits then
+            { c with Harness.crash_point = `Mid_commit; expose_commits = true }
+          else c
+        in
+        let summary =
+          Harness.run_many ~config ~policy:p ~seed:(Int64.of_int seed) ~schedules ()
+        in
+        Fmt.pr "%a@." Harness.pp_summary summary;
+        if verbose && summary.Harness.failures > 0 then
+          Fmt.pr "@[<v>%a@]@." Harness.pp_failure summary;
+        if not (Harness.verdict_ok summary) then exit_code := 1)
+      policies;
+    if !exit_code <> 0 then exit !exit_code
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Print the first failing schedule and its violations.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Attack the message-level protocols with seeded fault schedules (loss, \
+          duplication, delay, link flaps, crashes, torn stable records) and check the \
+          safety oracle.  Deterministic for a fixed seed; exits non-zero if a policy \
+          expected to be safe shows a violation.")
+    Term.(const run $ seed $ schedules_arg $ policy_arg $ unsafe_commits_arg $ verbose)
+
 let main_cmd =
   let doc = "Dynamic voting algorithms for replicated data (Paris & Long, ICDE 1988)." in
   Cmd.group (Cmd.info "dynvote" ~version:"1.0.0" ~doc)
     [ table1_cmd; table2_cmd; table3_cmd; topology_cmd; simulate_cmd; sweep_cmd;
-      partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd ]
+      partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

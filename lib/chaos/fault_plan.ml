@@ -1,0 +1,108 @@
+(* Seeded, composable fault plans over the message transport.
+
+   A plan is consulted once per send; this module builds one from a
+   declarative configuration and a splitmix64 stream, so the same seed
+   always injects the same faults at the same messages.  Faults compose
+   in a fixed order: scheduled link flaps first (an outage window beats
+   everything), then Bernoulli loss, then duplication, then bounded
+   random delay.
+
+   The [atomic_commits] switch exempts COMMIT messages from every fault.
+   The paper's protocols assume update operations are atomic: a COMMIT
+   that reaches only part of its recipient set (loss, flap, or a delay
+   that outlives the operation) leaves two groups believing different
+   pasts, and a later quorum drawn entirely from the group that missed
+   the commit re-issues the same generation number with different
+   contents — the exact hole the atomic-action assumption closes.  With
+   [atomic_commits = true] (the default) the harness honours that model
+   and the safe flavors must show zero violations; switching it off
+   reproduces the hole on demand, and the oracle duly reports it. *)
+
+module Transport = Dynvote_msgsim.Transport
+module Message = Dynvote_msgsim.Message
+module Splitmix64 = Dynvote_prng.Splitmix64
+
+type flap = {
+  site_a : Site_set.site;
+  site_b : Site_set.site;
+  from_t : float;
+  till : float;
+}
+
+type config = {
+  loss : float;            (* per-message Bernoulli loss probability *)
+  duplicate : float;       (* probability of injecting an extra copy *)
+  delay : float;           (* probability of extra latency *)
+  delay_bound : float;     (* extra latency is uniform in [0, bound) *)
+  flaps : flap list;       (* scheduled link outage windows *)
+  atomic_commits : bool;   (* exempt COMMITs (the paper's atomic updates) *)
+}
+
+let silent =
+  {
+    loss = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    delay_bound = 0.0;
+    flaps = [];
+    atomic_commits = true;
+  }
+
+let validate config =
+  let prob name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault_plan: %s must be a probability" name)
+  in
+  prob "loss" config.loss;
+  prob "duplicate" config.duplicate;
+  prob "delay" config.delay;
+  if config.delay_bound < 0.0 then invalid_arg "Fault_plan: negative delay bound";
+  List.iter
+    (fun { from_t; till; _ } ->
+      if till < from_t then invalid_arg "Fault_plan: flap window ends before it starts")
+    config.flaps
+
+let flapped config ~now message =
+  let a = message.Message.src and b = message.Message.dst in
+  List.exists
+    (fun flap ->
+      ((flap.site_a = a && flap.site_b = b) || (flap.site_a = b && flap.site_b = a))
+      && now >= flap.from_t && now < flap.till)
+    config.flaps
+
+let make ~rng ?(reliable = fun _ _ -> false) config =
+  validate config;
+  fun ~now message ->
+    (* [reliable] links (same-LAN pairs under the topological flavors)
+       never lose or flap: the segment model reads same-segment silence
+       as death, so a lossy intra-segment link would break its premise.
+       Duplication and bounded delay keep applying — they are harmless
+       to that reading. *)
+    let lossy = not (reliable message.Message.src message.Message.dst) in
+    match message.Message.payload with
+    | Message.Commit _ when config.atomic_commits -> Transport.Pass
+    | _ ->
+        if lossy && flapped config ~now message then Transport.Drop_it Transport.Flap
+        else if lossy && config.loss > 0.0 && Splitmix64.next_float rng < config.loss
+        then Transport.Drop_it Transport.Loss
+        else begin
+          let copies =
+            if config.duplicate > 0.0 && Splitmix64.next_float rng < config.duplicate
+            then [ 0.0; 0.0 ]
+            else [ 0.0 ]
+          in
+          let delay_one d =
+            if config.delay > 0.0 && Splitmix64.next_float rng < config.delay then
+              d +. (Splitmix64.next_float rng *. config.delay_bound)
+            else d
+          in
+          match List.map delay_one copies with
+          | [ 0.0 ] -> Transport.Pass
+          | copies -> Transport.Deliver_copies copies
+        end
+
+let pp_config ppf config =
+  Fmt.pf ppf "loss=%.3f dup=%.3f delay=%.3f/%.3fs flaps=%d commits=%s"
+    config.loss config.duplicate config.delay config.delay_bound
+    (List.length config.flaps)
+    (if config.atomic_commits then "atomic" else "faulty")

@@ -1,0 +1,48 @@
+(** Seeded, composable fault plans for the message transport.
+
+    Builds a {!Dynvote_msgsim.Transport.plan} from a declarative
+    configuration and a splitmix64 stream: per-link Bernoulli loss,
+    duplication, bounded random delay (reordering) and scheduled link
+    outage windows, applied in that fixed order.  The same seed replays
+    the same faults against the same message sequence. *)
+
+type flap = {
+  site_a : Site_set.site;
+  site_b : Site_set.site;
+  from_t : float;  (** window start (simulated seconds, inclusive) *)
+  till : float;    (** window end (exclusive) *)
+}
+(** A scheduled outage of one link, in both directions. *)
+
+type config = {
+  loss : float;          (** per-message Bernoulli loss probability *)
+  duplicate : float;     (** probability of injecting an extra copy *)
+  delay : float;         (** probability of extra latency *)
+  delay_bound : float;   (** extra latency is uniform in [0, bound) *)
+  flaps : flap list;     (** scheduled link outage windows *)
+  atomic_commits : bool;
+      (** exempt COMMIT messages from every fault.  The paper's model
+          makes update operations atomic; a partially delivered COMMIT
+          breaks that assumption and lets a later quorum re-issue an
+          already-used generation number.  [true] honours the model (the
+          safe flavors must then show zero violations); [false]
+          reproduces the hole for the oracle to catch. *)
+}
+
+val silent : config
+(** No faults, atomic commits — the identity plan. *)
+
+val make :
+  rng:Dynvote_prng.Splitmix64.t ->
+  ?reliable:(Site_set.site -> Site_set.site -> bool) ->
+  config ->
+  Dynvote_msgsim.Transport.plan
+(** [make ~rng config] draws every probabilistic choice from [rng].
+    [reliable a b] (default: never) marks links that cannot lose or flap
+    — same-segment pairs under the topological flavors, whose model
+    reads same-segment silence as site death.  Duplication and delay
+    still apply to reliable links.
+    @raise Invalid_argument on out-of-range probabilities or negative
+    bounds. *)
+
+val pp_config : Format.formatter -> config -> unit

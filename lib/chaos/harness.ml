@@ -1,0 +1,315 @@
+(* The chaos harness: execute fault schedules against the message-level
+   protocol engine with the safety oracle attached, and aggregate what
+   the adversary managed to do.
+
+   Each schedule gets its own cluster (relaxed [Deadline] delivery — the
+   paper's quiet-network model has nothing to be chaotic about), its own
+   seeded fault plan on the transport, and its own oracle.  Crash steps
+   use the cluster's chaos hooks to kill coordinators at the configured
+   crash point; restart steps optionally mangle the stable record first,
+   so the codec's recovery path is exercised end to end. *)
+
+module Cluster = Dynvote_msgsim.Cluster
+module Node = Dynvote_msgsim.Node
+module Transport = Dynvote_msgsim.Transport
+module Splitmix64 = Dynvote_prng.Splitmix64
+
+type config = {
+  flavor : Decision.flavor;
+  universe : Site_set.t;
+  segment_of : Site_set.site -> int;
+  delivery : Cluster.delivery;
+  initial_content : string;
+  crash_point : [ `After_decide | `Mid_commit ];
+      (* where Crash_coordinator steps strike.  [`After_decide] aborts
+         before anything is distributed and is safe under every flavor;
+         [`Mid_commit] tears the commit wave in half — outside the
+         paper's atomic-update model, and duly flagged by the oracle. *)
+  expose_commits : bool;
+      (* force [atomic_commits = false] on every fault plan, subjecting
+         COMMITs to loss/flap/delay like any other message — the second
+         half of dropping the atomic-update assumption. *)
+}
+
+let default_config ?(flavor = Decision.ldv_flavor) () =
+  {
+    flavor;
+    universe = Site_set.of_list [ 0; 1; 2; 3; 4 ];
+    segment_of = (fun site -> site / 2);
+    delivery = Cluster.Deadline { timeout = 0.25; retries = 2; backoff = 2.0 };
+    initial_content = "g0";
+    crash_point = `After_decide;
+    expose_commits = false;
+  }
+
+type result = {
+  violations : Oracle.violation list;
+  granted : int;
+  denied : int;
+  aborted : int;
+  commits : int;
+  corrupted : int;          (* stable records mangled before a restart *)
+  op_log : (Schedule.step * bool * string option) list;
+      (* executed operations in order: step, granted, read content *)
+}
+
+let corrupt_record ~rng node corruption =
+  let record = Node.stable_record node in
+  let mangled =
+    match corruption with
+    | Schedule.Zero -> ""
+    | Schedule.Truncate -> String.sub record 0 (String.length record / 2)
+    | Schedule.Bit_flip ->
+        if String.length record = 0 then ""
+        else begin
+          let bytes = Bytes.of_string record in
+          let i = Splitmix64.next_int rng (Bytes.length bytes) in
+          let bit = Splitmix64.next_int rng 8 in
+          Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl bit)));
+          Bytes.to_string bytes
+        end
+  in
+  Node.set_stable_record node mangled
+
+let run ?(rng = Splitmix64.create 0x51D1CEL) config (schedule : Schedule.t) =
+  let cluster =
+    Cluster.create ~flavor:config.flavor ~segment_of:config.segment_of
+      ~initial_content:config.initial_content ~delivery:config.delivery
+      ~universe:config.universe ()
+  in
+  let transport = Cluster.transport cluster in
+  (* Topological flavors read same-segment silence as site death: their
+     network model (LAN segments joined by gateways) permits neither
+     lossy intra-segment links nor partitions that cut a segment in two.
+     Chaos must honour that model to make a fair safety claim, so for
+     those flavors intra-segment links are reliable and partition masks
+     select whole segments. *)
+  let topological = config.flavor.Decision.topological in
+  let reliable a b = topological && config.segment_of a = config.segment_of b in
+  let faults =
+    if config.expose_commits then { schedule.faults with Fault_plan.atomic_commits = false }
+    else schedule.faults
+  in
+  Transport.set_plan transport (Fault_plan.make ~rng:(Splitmix64.split rng) ~reliable faults);
+  let oracle = Oracle.create ~initial_content:config.initial_content in
+  Oracle.attach oracle cluster;
+  let granted = ref 0 and denied = ref 0 and aborted = ref 0 and corrupted = ref 0 in
+  let op_log = ref [] in
+  let writes = ref 0 in
+  let note step (outcome : Cluster.outcome) =
+    if outcome.Cluster.granted then incr granted
+    else if outcome.Cluster.aborted then incr aborted
+    else incr denied;
+    op_log := (step, outcome.Cluster.granted, outcome.Cluster.content) :: !op_log
+  in
+  let up site = Site_set.mem site (Cluster.up_sites cluster) in
+  let can_coordinate site = up site && not (Node.is_amnesiac (Cluster.node cluster site)) in
+  let ranked = Site_set.to_list config.universe in
+  let do_write step site ~with_crash =
+    incr writes;
+    let content = Printf.sprintf "w%d" !writes in
+    if with_crash then begin
+      let armed = ref true in
+      Cluster.set_chaos_hook cluster (fun event ->
+          match (event, config.crash_point) with
+          | Cluster.After_decide { coordinator; granted = true }, `After_decide
+            when !armed && coordinator = site ->
+              armed := false;
+              Cluster.crash cluster site
+          | Cluster.After_commit_send { coordinator; sent; total; _ }, `Mid_commit
+            when !armed && coordinator = site && sent >= max 1 (total / 2) ->
+              armed := false;
+              Cluster.crash cluster site
+          | _ -> ())
+    end;
+    let finish () = if with_crash then Cluster.clear_chaos_hook cluster in
+    let outcome = Fun.protect ~finally:finish (fun () -> Cluster.write cluster ~at:site ~content) in
+    Oracle.note_write oracle ~content outcome;
+    note step outcome
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Schedule.Write site -> if can_coordinate site then do_write step site ~with_crash:false
+      | Schedule.Crash_coordinator site ->
+          if can_coordinate site then do_write step site ~with_crash:true
+      | Schedule.Read site ->
+          if can_coordinate site then begin
+            let outcome = Cluster.read cluster ~at:site in
+            Oracle.note_read oracle ~at:site outcome;
+            note step outcome
+          end
+      | Schedule.Crash site -> if up site then Cluster.crash cluster site
+      | Schedule.Restart (site, corruption) ->
+          if not (up site) then begin
+            (match corruption with
+            | Some c ->
+                incr corrupted;
+                corrupt_record ~rng (Cluster.node cluster site) c
+            | None -> ());
+            Cluster.restart_silently cluster site
+          end
+      | Schedule.Recover site -> note step (Cluster.recover cluster ~site)
+      | Schedule.Partition mask ->
+          let selected i site =
+            if topological then mask land (1 lsl (config.segment_of site)) <> 0
+            else mask land (1 lsl i) <> 0
+          in
+          let group_a = Site_set.of_list (List.filteri selected ranked) in
+          let group_b = Site_set.diff config.universe group_a in
+          if Site_set.is_empty group_a || Site_set.is_empty group_b then
+            Cluster.heal cluster
+          else Cluster.partition cluster [ group_a; group_b ]
+      | Schedule.Heal -> Cluster.heal cluster)
+    schedule.steps;
+  Oracle.final_check oracle cluster;
+  let stats = Transport.stats transport in
+  ( {
+      violations = Oracle.violations oracle;
+      granted = !granted;
+      denied = !denied;
+      aborted = !aborted;
+      commits = Oracle.commits_seen oracle;
+      corrupted = !corrupted;
+      op_log = List.rev !op_log;
+    },
+    stats )
+
+(* Integer-encoded entry point: what the qcheck properties shrink. *)
+let run_ints ?rng ?(faults = Fault_plan.silent) config codes =
+  let n_sites = Site_set.cardinal config.universe in
+  fst (run ?rng config (Schedule.of_ints ~n_sites ~faults codes))
+
+(* --- Policies --- *)
+
+type policy = { name : string; flavor : Decision.flavor; expect_safe : bool }
+
+(* The message engine drives the dynamic policies; MCV is stateless (no
+   (o, v, P) protocol rounds) and has nothing for the chaos harness to
+   attack, so it is not listed.  TDV/OTDV appear twice: as published
+   (expected unsafe — the stale-claim hole) and with the freshness
+   correction. *)
+let policies =
+  [
+    { name = "dv"; flavor = Decision.dv_flavor; expect_safe = true };
+    { name = "ldv"; flavor = Decision.ldv_flavor; expect_safe = true };
+    { name = "odv"; flavor = Decision.ldv_flavor; expect_safe = true };
+    { name = "tdv"; flavor = Decision.tdv_flavor; expect_safe = false };
+    { name = "otdv"; flavor = Decision.tdv_flavor; expect_safe = false };
+    { name = "tdv-safe"; flavor = Decision.tdv_safe_flavor; expect_safe = true };
+    { name = "otdv-safe"; flavor = Decision.tdv_safe_flavor; expect_safe = true };
+  ]
+
+let policy_of_string name =
+  List.find_opt (fun p -> p.name = String.lowercase_ascii name) policies
+
+(* --- Campaigns --- *)
+
+type summary = {
+  policy : string;
+  expect_safe : bool;
+  schedules : int;
+  steps : int;
+  granted : int;
+  denied : int;
+  aborted : int;
+  commits : int;
+  corrupted : int;
+  sent : int;
+  delivered : int;
+  dropped_partition : int;
+  dropped_fault : int;
+  duplicated : int;
+  delayed : int;
+  flapped : int;
+  failure : (int * Schedule.t * Oracle.violation list) option;
+      (* first failing schedule: index, schedule, its violations *)
+  failures : int; (* schedules with at least one violation *)
+}
+
+let run_many ?config ~policy ~seed ~schedules () =
+  let config =
+    match config with Some c -> c | None -> default_config ~flavor:policy.flavor ()
+  in
+  let n_sites = Site_set.cardinal config.universe in
+  let master = Splitmix64.create seed in
+  let acc =
+    ref
+      {
+        policy = policy.name;
+        expect_safe = policy.expect_safe;
+        schedules = 0;
+        steps = 0;
+        granted = 0;
+        denied = 0;
+        aborted = 0;
+        commits = 0;
+        corrupted = 0;
+        sent = 0;
+        delivered = 0;
+        dropped_partition = 0;
+        dropped_fault = 0;
+        duplicated = 0;
+        delayed = 0;
+        flapped = 0;
+        failure = None;
+        failures = 0;
+      }
+  in
+  for index = 0 to schedules - 1 do
+    let rng = Splitmix64.split master in
+    let length = 12 + Splitmix64.next_int rng 24 in
+    let intensity = Splitmix64.next_float rng in
+    let schedule = Schedule.random ~rng ~n_sites ~intensity ~length () in
+    let result, stats = run ~rng config schedule in
+    let s = !acc in
+    acc :=
+      {
+        s with
+        schedules = s.schedules + 1;
+        steps = s.steps + List.length schedule.steps;
+        granted = s.granted + result.granted;
+        denied = s.denied + result.denied;
+        aborted = s.aborted + result.aborted;
+        commits = s.commits + result.commits;
+        corrupted = s.corrupted + result.corrupted;
+        sent = s.sent + stats.Transport.sent;
+        delivered = s.delivered + stats.Transport.delivered;
+        dropped_partition = s.dropped_partition + stats.Transport.dropped_partition;
+        dropped_fault = s.dropped_fault + stats.Transport.dropped_fault;
+        duplicated = s.duplicated + stats.Transport.duplicated;
+        delayed = s.delayed + stats.Transport.delayed;
+        flapped = s.flapped + stats.Transport.flapped;
+        failures = (s.failures + if result.violations = [] then 0 else 1);
+        failure =
+          (match s.failure with
+          | Some _ as f -> f
+          | None ->
+              if result.violations = [] then None
+              else Some (index, schedule, result.violations));
+      }
+  done;
+  !acc
+
+let verdict_ok summary = summary.failures = 0 || not summary.expect_safe
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%-9s %5d schedules %6d ops (%d granted / %d denied / %d aborted) %7d msgs \
+     (lost=%d flapped=%d dup=%d delayed=%d partition=%d) %d corrupt records | %s"
+    s.policy s.schedules
+    (s.granted + s.denied + s.aborted)
+    s.granted s.denied s.aborted s.sent
+    (s.dropped_fault - s.flapped)
+    s.flapped s.duplicated s.delayed s.dropped_partition s.corrupted
+    (if s.failures = 0 then "safety: OK"
+     else if s.expect_safe then Printf.sprintf "safety: %d VIOLATIONS" s.failures
+     else Printf.sprintf "safety: %d violations (expected unsafe)" s.failures)
+
+let pp_failure ppf s =
+  match s.failure with
+  | None -> ()
+  | Some (index, schedule, violations) ->
+      Fmt.pf ppf "first failing schedule #%d: %a@,%a" index Schedule.pp schedule
+        Fmt.(list ~sep:cut Oracle.pp_violation)
+        violations

@@ -1,0 +1,185 @@
+(* The safety oracle: watches every commit any node applies, plus the
+   client-visible outcomes, and reports violations of the protocols'
+   safety contract.
+
+   Three invariants are checked online from the commit-witness stream:
+
+   - Generation agreement: at most one component may be granted per
+     generation, so every commit carrying operation number [o] must carry
+     the same (version, partition) everywhere.  Two different ensembles
+     for one generation is the split-brain signature.
+
+   - Per-site monotonicity: the operation numbers a site applies must be
+     strictly increasing (the nodes promise this; the oracle re-verifies
+     it independently).
+
+   - Version monotonicity along the witness stream per site: a commit may
+     never lower a site's version number.
+
+   One-copy equivalence is checked against a Jepsen-style register model:
+   a granted read must return the latest cleanly committed write, or the
+   content of a later write whose coordinator died mid-operation (a
+   "maybe committed" write — the client was told it aborted, but its
+   effects may have partially escaped).  Finally, [final_check] scans the
+   end state for content forks: two sites agreeing on a committed version
+   number while holding different bytes. *)
+
+module Cluster = Dynvote_msgsim.Cluster
+module Node = Dynvote_msgsim.Node
+
+type violation =
+  | Generation_conflict of {
+      op_no : int;
+      site_a : Site_set.site;
+      version_a : int;
+      partition_a : Site_set.t;
+      site_b : Site_set.site;
+      version_b : int;
+      partition_b : Site_set.t;
+    }
+  | Non_monotone_op of { site : Site_set.site; before : int; after : int }
+  | Version_regression of { site : Site_set.site; before : int; after : int }
+  | Stale_read of { at : Site_set.site; got : string; wanted : string list }
+  | Content_fork of {
+      version : int;
+      site_a : Site_set.site;
+      content_a : string;
+      site_b : Site_set.site;
+      content_b : string;
+    }
+
+type t = {
+  mutable violations : violation list; (* newest first *)
+  mutable committed : string;          (* latest cleanly committed content *)
+  mutable maybe : string list;         (* contents of aborted writes since *)
+  generations : (int, int * Site_set.t * Site_set.site) Hashtbl.t;
+      (* op_no -> first witnessed (version, partition, site) *)
+  committed_versions : (int, unit) Hashtbl.t;
+  last_op : (Site_set.site, int) Hashtbl.t;
+  last_version : (Site_set.site, int) Hashtbl.t;
+  mutable commits_seen : int;
+  mutable reads_checked : int;
+}
+
+let create ~initial_content =
+  {
+    violations = [];
+    committed = initial_content;
+    maybe = [];
+    generations = Hashtbl.create 64;
+    committed_versions = Hashtbl.create 64;
+    last_op = Hashtbl.create 8;
+    last_version = Hashtbl.create 8;
+    commits_seen = 0;
+    reads_checked = 0;
+  }
+
+let flag t violation = t.violations <- violation :: t.violations
+
+let witness t site replica =
+  t.commits_seen <- t.commits_seen + 1;
+  let op_no = Replica.op_no replica in
+  let version = Replica.version replica in
+  let partition = Replica.partition replica in
+  Hashtbl.replace t.committed_versions version ();
+  (match Hashtbl.find_opt t.generations op_no with
+  | None -> Hashtbl.add t.generations op_no (version, partition, site)
+  | Some (version_a, partition_a, site_a) ->
+      if version_a <> version || not (Site_set.equal partition_a partition) then
+        flag t
+          (Generation_conflict
+             {
+               op_no;
+               site_a;
+               version_a;
+               partition_a;
+               site_b = site;
+               version_b = version;
+               partition_b = partition;
+             }));
+  (match Hashtbl.find_opt t.last_op site with
+  | Some before when before >= op_no ->
+      flag t (Non_monotone_op { site; before; after = op_no })
+  | _ -> ());
+  Hashtbl.replace t.last_op site op_no;
+  (match Hashtbl.find_opt t.last_version site with
+  | Some before when before > version ->
+      flag t (Version_regression { site; before; after = version })
+  | _ -> ());
+  Hashtbl.replace t.last_version site version
+
+let attach t cluster = Cluster.set_commit_witness cluster (witness t)
+
+(* Client-visible outcomes feed the register model.  A write that aborted
+   after its decision may or may not have escaped; its content joins the
+   maybe set until the next clean write supersedes it. *)
+let note_write t ~content (outcome : Cluster.outcome) =
+  if outcome.Cluster.granted then begin
+    t.committed <- content;
+    t.maybe <- []
+  end
+  else if outcome.Cluster.aborted then t.maybe <- content :: t.maybe
+
+let note_read t ~at (outcome : Cluster.outcome) =
+  if outcome.Cluster.granted then begin
+    t.reads_checked <- t.reads_checked + 1;
+    match outcome.Cluster.content with
+    | None -> ()
+    | Some got ->
+        if got <> t.committed && not (List.mem got t.maybe) then
+          flag t (Stale_read { at; got; wanted = t.committed :: t.maybe })
+  end
+
+(* End-of-run scan: among versions some commit actually carried, equal
+   version numbers must mean equal bytes.  (Residue of an aborted write
+   sits at a version no commit ever used and is skipped — the client was
+   told that write failed.) *)
+let final_check t cluster =
+  let sites = Site_set.to_list (Cluster.universe cluster) in
+  List.iter
+    (fun site_a ->
+      List.iter
+        (fun site_b ->
+          if site_a < site_b then begin
+            let a = Cluster.node cluster site_a and b = Cluster.node cluster site_b in
+            let version = Node.data_version a in
+            if
+              version = Node.data_version b
+              && Hashtbl.mem t.committed_versions version
+              && Node.content a <> Node.content b
+            then
+              flag t
+                (Content_fork
+                   {
+                     version;
+                     site_a;
+                     content_a = Node.content a;
+                     site_b;
+                     content_b = Node.content b;
+                   })
+          end)
+        sites)
+    sites
+
+let violations t = List.rev t.violations
+let is_safe t = t.violations = []
+let commits_seen t = t.commits_seen
+let reads_checked t = t.reads_checked
+
+let pp_violation ppf = function
+  | Generation_conflict g ->
+      Fmt.pf ppf
+        "generation %d committed twice: site %d saw (v%d, %a) but site %d saw (v%d, %a)"
+        g.op_no g.site_a g.version_a Site_set.pp g.partition_a g.site_b g.version_b
+        Site_set.pp g.partition_b
+  | Non_monotone_op { site; before; after } ->
+      Fmt.pf ppf "site %d applied operation %d after %d" site after before
+  | Version_regression { site; before; after } ->
+      Fmt.pf ppf "site %d regressed from version %d to %d" site before after
+  | Stale_read { at; got; wanted } ->
+      Fmt.pf ppf "read at site %d returned %S, legal: %a" at got
+        Fmt.(list ~sep:comma (quote string))
+        wanted
+  | Content_fork { version; site_a; content_a; site_b; content_b } ->
+      Fmt.pf ppf "version %d forked: site %d holds %S, site %d holds %S" version
+        site_a content_a site_b content_b

@@ -1,0 +1,60 @@
+(** The safety oracle of the chaos harness.
+
+    Attached to a cluster, it watches every commit any node applies (via
+    the commit-witness hook) and the client-visible outcomes, checking:
+
+    - {e generation agreement}: at most one component granted per
+      generation — every commit with operation number [o] carries the
+      same (version, partition);
+    - {e monotonicity}: per site, applied operation numbers strictly
+      increase and version numbers never regress;
+    - {e one-copy equivalence}: a granted read returns the latest cleanly
+      committed write, or the content of a later aborted ("maybe
+      committed") write;
+    - {e no content forks}: at the end of a run, sites agreeing on a
+      committed version number hold identical bytes. *)
+
+type violation =
+  | Generation_conflict of {
+      op_no : int;
+      site_a : Site_set.site;
+      version_a : int;
+      partition_a : Site_set.t;
+      site_b : Site_set.site;
+      version_b : int;
+      partition_b : Site_set.t;
+    }  (** split-brain: one generation, two ensembles *)
+  | Non_monotone_op of { site : Site_set.site; before : int; after : int }
+  | Version_regression of { site : Site_set.site; before : int; after : int }
+  | Stale_read of { at : Site_set.site; got : string; wanted : string list }
+  | Content_fork of {
+      version : int;
+      site_a : Site_set.site;
+      content_a : string;
+      site_b : Site_set.site;
+      content_b : string;
+    }
+
+type t
+
+val create : initial_content:string -> t
+
+val attach : t -> Dynvote_msgsim.Cluster.t -> unit
+(** Install the commit witness on every node of the cluster. *)
+
+val note_write : t -> content:string -> Dynvote_msgsim.Cluster.outcome -> unit
+(** Feed a write's outcome to the register model. *)
+
+val note_read : t -> at:Site_set.site -> Dynvote_msgsim.Cluster.outcome -> unit
+(** Check a granted read against the register model. *)
+
+val final_check : t -> Dynvote_msgsim.Cluster.t -> unit
+(** Scan the end state for content forks at committed versions. *)
+
+val violations : t -> violation list
+(** In discovery order. *)
+
+val is_safe : t -> bool
+val commits_seen : t -> int
+val reads_checked : t -> int
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,108 @@
+(* Randomized fault schedules.
+
+   A schedule is a list of steps (operations, crash/restart events,
+   stable-storage corruption, partition changes) plus a fault-plan
+   configuration for the transport.  Steps decode deterministically from
+   plain integers, which keeps two properties for free: a splitmix64
+   stream of integers is a reproducible schedule generator, and qcheck
+   can shrink a failing schedule by shrinking its integer encoding —
+   the minimal counterexample falls out of the standard list shrinker. *)
+
+module Splitmix64 = Dynvote_prng.Splitmix64
+
+type corruption = Truncate | Bit_flip | Zero
+
+type step =
+  | Write of Site_set.site
+  | Read of Site_set.site
+  | Crash of Site_set.site
+  | Crash_coordinator of Site_set.site
+      (* a write whose coordinator is killed at the configured crash
+         point (after the decision, or mid-commit in unsafe mode) *)
+  | Restart of Site_set.site * corruption option
+      (* restart without recovery; an optional torn/corrupted stable
+         record is discovered at reload *)
+  | Recover of Site_set.site
+  | Partition of int (* bitmask over the universe's sites, rank order *)
+  | Heal
+
+type t = { steps : step list; faults : Fault_plan.config }
+
+let corruption_name = function
+  | Truncate -> "truncate"
+  | Bit_flip -> "bit-flip"
+  | Zero -> "zero"
+
+let pp_step ppf = function
+  | Write site -> Fmt.pf ppf "write@%d" site
+  | Read site -> Fmt.pf ppf "read@%d" site
+  | Crash site -> Fmt.pf ppf "crash %d" site
+  | Crash_coordinator site -> Fmt.pf ppf "write@%d+crash" site
+  | Restart (site, None) -> Fmt.pf ppf "restart %d" site
+  | Restart (site, Some c) -> Fmt.pf ppf "restart %d (%s)" site (corruption_name c)
+  | Recover site -> Fmt.pf ppf "recover %d" site
+  | Partition mask -> Fmt.pf ppf "partition %#x" mask
+  | Heal -> Fmt.pf ppf "heal"
+
+let pp ppf t =
+  Fmt.pf ppf "[%a] %a" Fmt.(list ~sep:semi pp_step) t.steps Fault_plan.pp_config t.faults
+
+(* Every non-negative integer decodes to a step; operations dominate the
+   distribution so schedules do real work between the faults. *)
+let step_of_int ~n_sites code =
+  let code = abs code in
+  let site = code mod n_sites in
+  let detail = code / (n_sites * 12) in
+  match code / n_sites mod 12 with
+  | 0 | 1 | 2 -> Write site
+  | 3 | 4 | 5 -> Read site
+  | 6 -> Crash site
+  | 7 -> Recover site
+  | 8 ->
+      let corruption =
+        match detail mod 4 with
+        | 0 -> None
+        | 1 -> Some Truncate
+        | 2 -> Some Bit_flip
+        | _ -> Some Zero
+      in
+      Restart (site, corruption)
+  | 9 ->
+      let mask = detail mod (1 lsl n_sites) in
+      if mask = 0 || mask = (1 lsl n_sites) - 1 then Heal else Partition mask
+  | 10 -> Heal
+  | _ -> Crash_coordinator site
+
+let of_ints ~n_sites ?(faults = Fault_plan.silent) codes =
+  { steps = List.map (step_of_int ~n_sites) codes; faults }
+
+(* Seeded generation: a burst of integers decoded as above, plus a fault
+   configuration drawn from the same stream.  [intensity] scales every
+   fault probability; 0 is a fault-free schedule. *)
+let random_faults ~rng ~horizon ~n_sites ~intensity =
+  let scaled bound = Splitmix64.next_float rng *. bound *. intensity in
+  let flap () =
+    let site_a = Splitmix64.next_int rng n_sites in
+    let site_b = (site_a + 1 + Splitmix64.next_int rng (n_sites - 1)) mod n_sites in
+    let from_t = Splitmix64.next_float rng *. horizon in
+    { Fault_plan.site_a; site_b; from_t; till = from_t +. Splitmix64.next_float rng }
+  in
+  let n_flaps =
+    if intensity = 0.0 then 0 else Splitmix64.next_int rng 3
+  in
+  {
+    Fault_plan.loss = scaled 0.15;
+    duplicate = scaled 0.15;
+    delay = scaled 0.3;
+    delay_bound = 0.05;
+    flaps = List.init n_flaps (fun _ -> flap ());
+    atomic_commits = true;
+  }
+
+let random ~rng ~n_sites ?(intensity = 1.0) ~length () =
+  let codes = List.init length (fun _ -> Splitmix64.next_int rng (n_sites * 12 * 4096)) in
+  (* Each operation drains at most (1 + retries) timeouts; a generous
+     per-step horizon keeps flap windows inside the run. *)
+  let horizon = float_of_int length *. 2.0 in
+  let faults = random_faults ~rng ~horizon ~n_sites ~intensity in
+  of_ints ~n_sites ~faults codes

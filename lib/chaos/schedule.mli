@@ -1,0 +1,51 @@
+(** Randomized fault schedules for the chaos harness.
+
+    A schedule is a step list (operations, crashes, restarts with
+    optional stable-record corruption, partition changes) plus a
+    transport fault configuration.  Steps decode deterministically from
+    integers: a seeded integer stream is a reproducible generator, and
+    qcheck shrinks failing schedules through their integer encoding. *)
+
+type corruption =
+  | Truncate  (** torn write: record cut in half *)
+  | Bit_flip  (** bit rot: one flipped bit *)
+  | Zero      (** record lost entirely *)
+
+type step =
+  | Write of Site_set.site
+  | Read of Site_set.site
+  | Crash of Site_set.site
+  | Crash_coordinator of Site_set.site
+      (** a write whose coordinator is killed at the harness's configured
+          crash point *)
+  | Restart of Site_set.site * corruption option
+      (** restart without recovery; the corruption, if any, is applied to
+          the stable record and discovered at reload *)
+  | Recover of Site_set.site
+  | Partition of int
+      (** bitmask over the universe's sites in rank order; bit set =
+          first group *)
+  | Heal
+
+type t = { steps : step list; faults : Fault_plan.config }
+
+val step_of_int : n_sites:int -> int -> step
+(** Total: every integer is some step; operations dominate. *)
+
+val of_ints : n_sites:int -> ?faults:Fault_plan.config -> int list -> t
+(** [faults] defaults to {!Fault_plan.silent}. *)
+
+val random :
+  rng:Dynvote_prng.Splitmix64.t ->
+  n_sites:int ->
+  ?intensity:float ->
+  length:int ->
+  unit ->
+  t
+(** Draw a [length]-step schedule and a fault configuration from [rng].
+    [intensity] scales the fault probabilities (default 1.0; 0.0 is
+    fault-free).  Generated configurations keep commits atomic. *)
+
+val corruption_name : corruption -> string
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

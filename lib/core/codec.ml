@@ -61,6 +61,14 @@ let decode_replica data =
     raise (Corrupt "partition mask has illegal bits");
   Replica.make ~op_no ~version ~partition:(Site_set.of_int_unsafe mask)
 
+(* Total variants: corruption as data, not control flow.  Recovery code
+   paths (and fuzzers) want to inspect a bad record without wrapping every
+   call in an exception handler. *)
+let decode_result data =
+  match decode_replica data with
+  | replica -> Ok replica
+  | exception Corrupt reason -> Error reason
+
 (* Persist / restore through plain files (write to a temporary name and
    rename, so a crash mid-write leaves the previous record intact). *)
 let save_replica ~path replica =
@@ -78,3 +86,9 @@ let load_replica ~path =
     (fun () ->
       let len = in_channel_length ic in
       decode_replica (really_input_string ic len))
+
+let load_result ~path =
+  match load_replica ~path with
+  | replica -> Ok replica
+  | exception Corrupt reason -> Error reason
+  | exception Sys_error reason -> Error reason

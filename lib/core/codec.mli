@@ -15,8 +15,17 @@ val decode_replica : string -> Replica.t
 (** @raise Corrupt on wrong size, bad magic, checksum mismatch or
     out-of-range fields. *)
 
+val decode_result : string -> (Replica.t, string) result
+(** Total {!decode_replica}: never raises; [Error] carries the corruption
+    reason.  Truncated, bit-flipped and zero-length records all return
+    [Error]. *)
+
 val save_replica : path:string -> Replica.t -> unit
 (** Atomic (write-then-rename) persistence. *)
 
 val load_replica : path:string -> Replica.t
 (** @raise Corrupt as {!decode_replica}; [Sys_error] if unreadable. *)
+
+val load_result : path:string -> (Replica.t, string) result
+(** Total {!load_replica}: corruption and I/O failures both come back as
+    [Error] — the crash-recovery path must never die on a torn record. *)

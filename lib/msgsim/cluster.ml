@@ -1,9 +1,26 @@
 (* A replicated file executed over real (simulated) message exchanges:
    START gathers states by broadcast and reply, the majority-partition
    test runs on whatever answered, COMMIT distributes the new ensembles,
-   and recoveries move the file data.  Operations are atomic with respect
-   to topology changes (the paper's model: reliable in-order delivery
-   within the current partition, fail-stop sites).
+   and recoveries move the file data.
+
+   Two delivery models are supported.  [Quiet] is the paper's: reliable
+   in-order delivery within the current partition, operations atomic with
+   respect to topology changes, and the coordinator simply waits for the
+   network to go quiet.  [Deadline] removes those assumptions for the
+   chaos harness: the coordinator gathers replies under a timeout with
+   bounded retry/backoff, verifies data transfers, and aborts (rather
+   than hangs or commits blindly) when the network eats its traffic.
+   Under [Deadline], writes piggyback the new content on COMMIT so data
+   and ensemble install atomically — the residue of an aborted write can
+   then never masquerade as a committed version.
+
+   Chaos hooks expose the crash points of the broadcast-gather-decide-
+   commit round: a schedule can kill the coordinator right after the
+   decision or between two COMMIT sends, so only a subset of the
+   reachable copies learns the new (o, v, P).  Crash-recovery always
+   reloads the ensemble through the {!Dynvote.Codec} stable-storage path;
+   a torn or corrupted record leaves the site amnesiac until a RECOVER
+   sponsored by sites that still remember succeeds.
 
    The per-operation message counts are the basis of the overhead
    comparison: the paper's claim is that optimistic dynamic voting costs
@@ -11,20 +28,37 @@
    non-optimistic dynamic voting additionally pays for the connection
    vector (state exchange on every topology change). *)
 
+type delivery =
+  | Quiet
+  | Deadline of { timeout : float; retries : int; backoff : float }
+
+type chaos_event =
+  | After_decide of { coordinator : Site_set.site; granted : bool }
+  | After_commit_send of {
+      coordinator : Site_set.site;
+      recipient : Site_set.site;
+      sent : int;
+      total : int;
+    }
+
 type t = {
   universe : Site_set.t;
   n_sites : int;
   nodes : Node.t array;
   transport : Transport.t;
   ctx : Operation.ctx;
+  delivery : delivery;
   mutable up : Site_set.t;
   mutable groups : Site_set.t list option; (* None = fully connected *)
   mutable fresh : Site_set.t; (* continuously up since last commit *)
+  mutable round : int; (* unique id per gather / fetch exchange *)
+  mutable chaos_hook : (chaos_event -> unit) option;
 }
 
 type outcome = {
   granted : bool;
   verdict : Decision.verdict;
+  aborted : bool; (* decided, but the coordinator crashed or gave up *)
   messages : int;
   bytes : int;
   content : string option; (* what a read returned *)
@@ -38,7 +72,13 @@ let connected t a b =
   | Some groups -> List.exists (fun g -> Site_set.mem a g && Site_set.mem b g) groups
 
 let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun _ -> 0)
-    ?(latency = fun _ _ -> 0.001) ?(initial_content = "") ~universe () =
+    ?(latency = fun _ _ -> 0.001) ?(initial_content = "") ?(delivery = Quiet)
+    ~universe () =
+  (match delivery with
+  | Quiet -> ()
+  | Deadline { timeout; retries; backoff } ->
+      if timeout <= 0.0 || retries < 0 || backoff < 1.0 then
+        invalid_arg "Cluster.create: bad deadline parameters");
   let n_sites = Site_set.max_elt universe + 1 in
   let ordering = Ordering.default n_sites in
   let nodes =
@@ -52,9 +92,12 @@ let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun _ -> 0)
       nodes;
       transport;
       ctx = { Operation.flavor; ordering; segment_of };
+      delivery;
       up = universe;
       groups = None;
       fresh = universe;
+      round = 0;
+      chaos_hook = None;
     }
   in
   Transport.set_connectivity transport (fun a b -> connected t a b);
@@ -68,6 +111,21 @@ let node t site = t.nodes.(site)
 let universe t = t.universe
 let transport t = t.transport
 let up_sites t = t.up
+let fresh_sites t = t.fresh
+
+let set_chaos_hook t hook = t.chaos_hook <- Some hook
+let clear_chaos_hook t = t.chaos_hook <- None
+
+let fire t event = match t.chaos_hook with Some hook -> hook event | None -> ()
+
+let set_commit_witness t witness =
+  Array.iter (fun node -> Node.set_commit_witness node witness) t.nodes
+
+let clear_commit_witness t =
+  Array.iter Node.clear_commit_witness t.nodes
+
+let amnesiac_sites t =
+  Site_set.filter (fun site -> Node.is_amnesiac t.nodes.(site)) t.universe
 
 let fail t site =
   t.up <- Site_set.remove site t.up;
@@ -75,7 +133,20 @@ let fail t site =
   (* A crash loses all volatile state, including operation locks. *)
   Node.clear_lock t.nodes.(site)
 
-let restart_silently t site = t.up <- Site_set.add site t.up
+let crash = fail
+
+(* Drain the network according to the delivery model: completely (paper)
+   or only up to the coordinator's deadline (chaos). *)
+let drain t =
+  match t.delivery with
+  | Quiet -> Transport.run_until_quiet t.transport
+  | Deadline { timeout; _ } -> Transport.run_for t.transport ~timeout
+
+let restart_silently t site =
+  t.up <- Site_set.add site t.up;
+  (* A restart reloads the ensemble from stable storage; a corrupt record
+     leaves the site amnesiac (and silent) until a RECOVER succeeds. *)
+  ignore (Node.reload_from_stable t.nodes.(site) : (unit, string) result)
 
 let partition t groups =
   let covered = List.fold_left Site_set.union Site_set.empty groups in
@@ -85,29 +156,63 @@ let partition t groups =
 
 let heal t = t.groups <- None
 
-(* START: broadcast a state request from [requester], deliver everything,
-   and collect the replies.  Returns R (including the requester) and the
-   states learned. *)
+let next_round t =
+  t.round <- t.round + 1;
+  t.round
+
+(* START: broadcast a state request from [requester] and collect the
+   replies for this round.  Under [Quiet] everything in flight is
+   delivered; under [Deadline] the coordinator waits [timeout], then
+   re-asks the silent sites up to [retries] times with [backoff]-scaled
+   patience, and finally proceeds with whatever answered — a lost reply
+   degrades the reachable set (possibly to an ABORT), never to a hang.
+   Replies of earlier rounds are discarded by the round tag.  Returns R
+   (including the requester unless it is amnesiac) and the states
+   learned. *)
 let start t ~requester =
+  let round = next_round t in
   let replies = Hashtbl.create 8 in
   let requester_node = t.nodes.(requester) in
   Node.set_collector requester_node (fun message ->
       match message.Message.payload with
-      | Message.State_reply replica -> Hashtbl.replace replies message.Message.src replica
-      | Message.State_request | Message.Commit _ | Message.Data_request | Message.Data _
-      | Message.Ack | Message.Lock_request _ | Message.Lock_reply _ | Message.Unlock _ ->
-          ());
-  Transport.broadcast t.transport ~src:requester ~targets:t.universe Message.State_request;
-  Transport.run_until_quiet t.transport;
+      | Message.State_reply { round = r; replica } when r = round ->
+          Hashtbl.replace replies message.Message.src replica
+      | _ -> ());
+  (match t.delivery with
+  | Quiet ->
+      Transport.broadcast t.transport ~src:requester ~targets:t.universe
+        (Message.State_request { round });
+      Transport.run_until_quiet t.transport
+  | Deadline { timeout; retries; backoff } ->
+      let rec attempt n patience =
+        let missing =
+          Site_set.filter
+            (fun site -> site <> requester && not (Hashtbl.mem replies site))
+            t.universe
+        in
+        if not (Site_set.is_empty missing) then begin
+          Site_set.iter
+            (fun dst ->
+              Transport.send t.transport ~src:requester ~dst
+                (Message.State_request { round }))
+            missing;
+          Transport.run_for t.transport ~timeout:patience;
+          if n < retries then attempt (n + 1) (patience *. backoff)
+        end
+      in
+      attempt 0 timeout);
   Node.clear_collector requester_node;
   let states = Array.make t.n_sites (Node.replica requester_node) in
+  let self =
+    if Node.is_amnesiac requester_node then Site_set.empty
+    else Site_set.singleton requester
+  in
   let reachable =
     Hashtbl.fold
       (fun site replica acc ->
         states.(site) <- replica;
         Site_set.add site acc)
-      replies
-      (Site_set.singleton requester)
+      replies self
   in
   states.(requester) <- Node.replica requester_node;
   (reachable, states)
@@ -115,97 +220,207 @@ let start t ~requester =
 let ensure_member t site =
   if not (Site_set.mem site t.universe) then
     invalid_arg "Cluster: requester does not hold a copy";
-  if not (Site_set.mem site t.up) then invalid_arg "Cluster: requester is down"
+  if not (Site_set.mem site t.up) then invalid_arg "Cluster: requester is down";
+  if Node.is_amnesiac t.nodes.(site) then
+    invalid_arg "Cluster: requester is amnesiac (must RECOVER first)"
 
-(* Fetch current data to [dst] from [src] (two messages), delivered now. *)
+(* Fetch current data to [dst] from [src] (two messages), delivered now —
+   the paper's unconditional transfer, valid under reliable delivery. *)
 let transfer_data t ~src ~dst =
-  Transport.send t.transport ~src:dst ~dst:src Message.Data_request;
+  let round = next_round t in
+  Transport.send t.transport ~src:dst ~dst:src (Message.Data_request { round });
   Transport.run_until_quiet t.transport
+
+(* Verified fetch for the chaos world: ask members of [sources] in turn
+   until [dst] demonstrably holds data of at least [want_version], with
+   the same bounded patience as the gather.  The reply matching this
+   round force-installs (a recovering site's local data may be the
+   residue of an uncommitted write and cannot be trusted, whatever its
+   version number says); stray replies fall back to the monotone path. *)
+let fetch_data t ~dst ~sources ~want_version =
+  match t.delivery with
+  | Quiet ->
+      transfer_data t ~src:(Site_set.choose sources) ~dst;
+      Node.data_version t.nodes.(dst) >= want_version
+  | Deadline { timeout; retries; backoff } ->
+      let sources = Site_set.to_list sources in
+      let n_sources = List.length sources in
+      let rec attempt n patience =
+        if Node.data_version t.nodes.(dst) >= want_version then true
+        else if n > retries then false
+        else begin
+          let src = List.nth sources (n mod n_sources) in
+          let round = next_round t in
+          Node.set_fetch_round t.nodes.(dst) (Some round);
+          Transport.send t.transport ~src:dst ~dst:src (Message.Data_request { round });
+          Transport.run_for t.transport ~timeout:patience;
+          Node.set_fetch_round t.nodes.(dst) None;
+          attempt (n + 1) (patience *. backoff)
+        end
+      in
+      attempt 0 timeout
 
 let with_counters t f =
   let before_msgs = Transport.messages_sent t.transport in
   let before_bytes = Transport.bytes_sent t.transport in
-  let verdict, content = f () in
+  let verdict, content, aborted = f () in
   {
-    granted = Decision.is_granted verdict;
+    granted = Decision.is_granted verdict && not aborted;
     verdict;
+    aborted;
     messages = Transport.messages_sent t.transport - before_msgs;
     bytes = Transport.bytes_sent t.transport - before_bytes;
     content;
   }
 
 (* Distribute COMMIT(recipients, o, v, P) from the coordinator; the
-   coordinator applies its own share locally. *)
-let distribute_commit t ~coordinator ~recipients ~op_no ~version ~partition =
-  Site_set.iter
-    (fun site ->
-      if site = coordinator then
-        Node.install_commit t.nodes.(site) ~op_no ~version ~partition
-      else
-        Transport.send t.transport ~src:coordinator ~dst:site
-          (Message.Commit { op_no; version; partition }))
-    recipients;
-  Transport.run_until_quiet t.transport;
-  (* Every recipient that is up just committed: it is fresh again. *)
-  t.fresh <- Site_set.union t.fresh (Site_set.inter recipients t.up)
+   coordinator applies its own share locally.  The loop stops the moment
+   the coordinator is crashed (by a chaos hook), so only a prefix of the
+   recipients ever hears about the new ensemble — the classic mid-commit
+   crash.  Returns whether the coordinator survived the whole loop. *)
+let distribute_commit t ~coordinator ~recipients ~op_no ~version ~partition ?data () =
+  let total = Site_set.cardinal recipients in
+  let sent = ref 0 in
+  let survived = ref true in
+  (try
+     Site_set.iter
+       (fun site ->
+         if not (Site_set.mem coordinator t.up) then begin
+           survived := false;
+           raise Exit
+         end;
+         incr sent;
+         if site = coordinator then
+           Node.install_commit t.nodes.(site) ~op_no ~version ~partition ?data ()
+         else
+           Transport.send t.transport ~src:coordinator ~dst:site
+             (Message.Commit { op_no; version; partition; data });
+         fire t
+           (After_commit_send { coordinator; recipient = site; sent = !sent; total }))
+       recipients
+   with Exit -> ());
+  if !survived && not (Site_set.mem coordinator t.up) then survived := false;
+  drain t;
+  (* Only the recipients that demonstrably applied the commit are fresh
+     again; a copy whose COMMIT the network ate is still running on its
+     previous ensemble. *)
+  let applied =
+    Site_set.filter
+      (fun site ->
+        Site_set.mem site t.up && Replica.op_no (Node.replica t.nodes.(site)) >= op_no)
+      recipients
+  in
+  t.fresh <- Site_set.union t.fresh applied;
+  !survived
+
+(* Shared head of every operation: decide, fire the post-decision crash
+   point, and tell the caller whether the coordinator is still standing. *)
+let decide t ~coordinator ~states ~reachable =
+  let verdict = Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () in
+  fire t (After_decide { coordinator; granted = Decision.is_granted verdict });
+  (verdict, Site_set.mem coordinator t.up)
 
 let read t ~at =
   ensure_member t at;
   with_counters t (fun () ->
       let reachable, states = start t ~requester:at in
-      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
-      | Decision.Denied _ as verdict -> (verdict, None)
-      | Decision.Granted g as verdict ->
+      match decide t ~coordinator:at ~states ~reachable with
+      | (Decision.Denied _ as verdict), alive -> (verdict, None, not alive)
+      | (Decision.Granted _ as verdict), false -> (verdict, None, true)
+      | (Decision.Granted g as verdict), true ->
           let m = g.Decision.m in
           let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
           (* Serve the read: fetch data from an up-to-date copy if the
-             requester's own copy is stale. *)
-          if not (Site_set.mem at g.Decision.s) then transfer_data t ~src:m ~dst:at;
-          distribute_commit t ~coordinator:at ~recipients:g.Decision.s ~op_no:(o + 1)
-            ~version:v ~partition:g.Decision.s;
-          (verdict, Some (Node.content t.nodes.(at))))
+             requester's own copy is stale — and under chaos, verify the
+             fetch actually landed before serving anything. *)
+          if (not (Site_set.mem at g.Decision.s)) && not (fetch_data t ~dst:at ~sources:g.Decision.s ~want_version:v)
+          then (verdict, None, true)
+          else begin
+            let survived =
+              distribute_commit t ~coordinator:at ~recipients:g.Decision.s
+                ~op_no:(o + 1) ~version:v ~partition:g.Decision.s ()
+            in
+            (verdict, Some (Node.content t.nodes.(at)), not survived)
+          end)
 
 let write t ~at ~content =
   ensure_member t at;
   with_counters t (fun () ->
       let reachable, states = start t ~requester:at in
-      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
-      | Decision.Denied _ as verdict -> (verdict, None)
-      | Decision.Granted g as verdict ->
+      match decide t ~coordinator:at ~states ~reachable with
+      | (Decision.Denied _ as verdict), alive -> (verdict, None, not alive)
+      | (Decision.Granted _ as verdict), false -> (verdict, None, true)
+      | (Decision.Granted g as verdict), true -> (
           let m = g.Decision.m in
           let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
-          (* Perform the write at every up-to-date copy... *)
-          Site_set.iter
-            (fun site ->
-              if site = at then Node.write_local t.nodes.(site) ~version:(v + 1) ~content
-              else
-                Transport.send t.transport ~src:at ~dst:site
-                  (Message.Data { version = v + 1; content }))
-            g.Decision.s;
-          Transport.run_until_quiet t.transport;
-          (* ...then commit the new ensemble. *)
-          distribute_commit t ~coordinator:at ~recipients:g.Decision.s ~op_no:(o + 1)
-            ~version:(v + 1) ~partition:g.Decision.s;
-          (verdict, None))
+          match t.delivery with
+          | Quiet ->
+              (* Paper model: perform the write at every up-to-date copy,
+                 then commit the new ensemble. *)
+              let round = t.round in
+              Site_set.iter
+                (fun site ->
+                  if site = at then
+                    Node.write_local t.nodes.(site) ~version:(v + 1) ~content
+                  else
+                    Transport.send t.transport ~src:at ~dst:site
+                      (Message.Data { round; version = v + 1; content }))
+                g.Decision.s;
+              Transport.run_until_quiet t.transport;
+              let survived =
+                distribute_commit t ~coordinator:at ~recipients:g.Decision.s
+                  ~op_no:(o + 1) ~version:(v + 1) ~partition:g.Decision.s ()
+              in
+              (verdict, None, not survived)
+          | Deadline _ ->
+              (* Chaos model: a separate data round could be partially
+                 lost, leaving committed-but-dataless copies; instead the
+                 content rides inside COMMIT and installs atomically with
+                 the ensemble. *)
+              Node.write_local t.nodes.(at) ~version:(v + 1) ~content;
+              let survived =
+                distribute_commit t ~coordinator:at ~recipients:g.Decision.s
+                  ~op_no:(o + 1) ~version:(v + 1) ~partition:g.Decision.s
+                  ~data:content ()
+              in
+              (verdict, None, not survived)))
 
-(* RECOVER, coordinated by the recovering site itself (Figure 3). *)
+(* RECOVER, coordinated by the recovering site itself (Figure 3).  The
+   restart always goes through stable storage: a corrupt record makes the
+   site amnesiac, in which case its own (lost) state takes no part in the
+   decision — only the answering peers vote, and a successful commit
+   reinstates the ensemble. *)
 let recover t ~site =
   if not (Site_set.mem site t.universe) then
     invalid_arg "Cluster.recover: site does not hold a copy";
-  t.up <- Site_set.add site t.up;
+  if not (Site_set.mem site t.up) then begin
+    t.up <- Site_set.add site t.up;
+    ignore (Node.reload_from_stable t.nodes.(site) : (unit, string) result)
+  end;
   with_counters t (fun () ->
       let reachable, states = start t ~requester:site in
-      match Operation.evaluate t.ctx states ~fresh:t.fresh ~reachable () with
-      | Decision.Denied _ as verdict -> (verdict, None)
-      | Decision.Granted g as verdict ->
+      match decide t ~coordinator:site ~states ~reachable with
+      | (Decision.Denied _ as verdict), alive -> (verdict, None, not alive)
+      | (Decision.Granted _ as verdict), false -> (verdict, None, true)
+      | (Decision.Granted g as verdict), true ->
           let m = g.Decision.m in
           let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
-          if Replica.version (Node.replica t.nodes.(site)) < v then
-            transfer_data t ~src:m ~dst:site;
-          let recipients = Site_set.add site g.Decision.s in
-          distribute_commit t ~coordinator:site ~recipients ~op_no:(o + 1) ~version:v
-            ~partition:recipients;
-          (verdict, None))
+          let node = t.nodes.(site) in
+          let must_fetch =
+            Node.is_amnesiac node
+            || Replica.version (Node.replica node) < v
+            || Node.data_version node < v
+          in
+          if must_fetch && not (fetch_data t ~dst:site ~sources:g.Decision.s ~want_version:v)
+          then (verdict, None, true)
+          else begin
+            let recipients = Site_set.add site g.Decision.s in
+            let survived =
+              distribute_commit t ~coordinator:site ~recipients ~op_no:(o + 1)
+                ~version:v ~partition:recipients ()
+            in
+            (verdict, None, not survived)
+          end)
 
 let replica_states t =
   Array.map Node.replica t.nodes
@@ -244,7 +459,7 @@ let lock t ~at ~op =
       | _ -> ());
   Transport.broadcast t.transport ~src:at ~targets:t.universe
     (Message.Lock_request { op });
-  Transport.run_until_quiet t.transport;
+  drain t;
   Node.clear_collector at_node;
   let all_granted =
     self_granted && Hashtbl.fold (fun _ granted acc -> acc && granted) replies true
@@ -256,7 +471,7 @@ let lock t ~at ~op =
        conflict; the caller retries later, so no deadlock can form. *)
     Transport.broadcast t.transport ~src:at ~targets:t.universe (Message.Unlock { op });
     if Node.locked_by at_node = Some op && self_granted then Node.clear_lock at_node;
-    Transport.run_until_quiet t.transport;
+    drain t;
     `Denied
   end
 
@@ -264,7 +479,7 @@ let unlock t ~at ~op =
   ensure_member t at;
   if Node.locked_by t.nodes.(at) = Some op then Node.clear_lock t.nodes.(at);
   Transport.broadcast t.transport ~src:at ~targets:t.universe (Message.Unlock { op });
-  Transport.run_until_quiet t.transport
+  drain t
 
 (* The cost the non-optimistic algorithms pay that the optimistic ones do
    not: maintaining (an approximation of) the connection vector requires a

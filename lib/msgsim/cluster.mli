@@ -2,14 +2,46 @@
 
     Implements READ / WRITE / RECOVER (Figures 1–3, or 5–7 with a
     topological flavor) as broadcast-gather-decide-commit message rounds,
-    with per-operation traffic accounting.  Operations are atomic with
-    respect to topology changes, per the paper's delivery assumptions. *)
+    with per-operation traffic accounting.
+
+    Under the default {!Quiet} delivery model, operations are atomic with
+    respect to topology changes, per the paper's delivery assumptions.
+    Under {!Deadline}, the coordinator instead runs with real timeouts
+    and bounded retry/backoff, verifies data transfers, piggybacks write
+    content on COMMIT (atomic data+ensemble install) and aborts rather
+    than hangs when the network loses its traffic — the hardened protocol
+    the chaos harness exercises.  Crash-recovery always reloads the
+    ensemble through the {!Dynvote.Codec} stable-storage path. *)
 
 type t
 
+type delivery =
+  | Quiet
+      (** the paper's model: reliable in-order delivery within the
+          current partition; the coordinator waits until the network
+          goes quiet *)
+  | Deadline of { timeout : float; retries : int; backoff : float }
+      (** relaxed delivery: wait [timeout] (simulated seconds) per
+          round, re-ask silent sites up to [retries] times with
+          [backoff]-scaled patience ([>= 1.0]), then proceed with
+          whatever answered *)
+
+type chaos_event =
+  | After_decide of { coordinator : Site_set.site; granted : bool }
+      (** the majority-partition test just ran, nothing distributed yet *)
+  | After_commit_send of {
+      coordinator : Site_set.site;
+      recipient : Site_set.site;
+      sent : int;
+      total : int;
+    }  (** a COMMIT just left for [recipient] ([sent] of [total]) *)
+
 type outcome = {
-  granted : bool;
+  granted : bool;   (** decided yes {e and} the coordinator completed *)
   verdict : Decision.verdict;
+  aborted : bool;
+      (** the decision was made but the coordinator crashed or gave up
+          mid-operation; any partial effects are unknown to the client *)
   messages : int;   (** messages sent by this operation *)
   bytes : int;      (** nominal bytes sent *)
   content : string option; (** what a read returned *)
@@ -20,20 +52,49 @@ val create :
   ?segment_of:(Site_set.site -> int) ->
   ?latency:(Site_set.site -> Site_set.site -> float) ->
   ?initial_content:string ->
+  ?delivery:delivery ->
   universe:Site_set.t ->
   unit ->
   t
 (** All copies start up, connected, identical.  Site ordering: lowest id
-    ranks highest. *)
+    ranks highest.  [delivery] defaults to {!Quiet}.
+    @raise Invalid_argument on bad deadline parameters. *)
 
 val node : t -> Site_set.site -> Node.t
 val universe : t -> Site_set.t
 val transport : t -> Transport.t
 val up_sites : t -> Site_set.t
 
+val fresh_sites : t -> Site_set.t
+(** Sites continuously up since a commit they demonstrably applied. *)
+
+val amnesiac_sites : t -> Site_set.t
+(** Sites whose stable record was corrupt at restart: they hold no
+    trustworthy ensemble and must RECOVER before coordinating. *)
+
+val set_chaos_hook : t -> (chaos_event -> unit) -> unit
+(** Install the fault-injection hook; it fires at the protocol's crash
+    points and may call {!crash} on any site (coordinator included —
+    a crash mid-commit stops the remaining COMMIT sends). *)
+
+val clear_chaos_hook : t -> unit
+
+val set_commit_witness : t -> (Site_set.site -> Replica.t -> unit) -> unit
+(** Observe every commit applied at every node (safety-oracle hook). *)
+
+val clear_commit_witness : t -> unit
+
 val fail : t -> Site_set.site -> unit
+
+val crash : t -> Site_set.site -> unit
+(** Alias of {!fail}: fail-stop crash losing all volatile state.  The
+    ensemble survives only as the node's stable record (which chaos may
+    corrupt before the restart — see {!Node.set_stable_record}). *)
+
 val restart_silently : t -> Site_set.site -> unit
-(** Mark up without running recovery (the site stays stale). *)
+(** Mark up without running recovery (the site stays stale).  The
+    ensemble is reloaded through the codec; a corrupt record leaves the
+    site amnesiac. *)
 
 val partition : t -> Site_set.t list -> unit
 (** @raise Invalid_argument when the groups do not cover the universe. *)
@@ -42,13 +103,16 @@ val heal : t -> unit
 
 val read : t -> at:Site_set.site -> outcome
 (** Figure 1 coordinated at [at].
-    @raise Invalid_argument if [at] holds no copy or is down. *)
+    @raise Invalid_argument if [at] holds no copy, is down or amnesiac. *)
 
 val write : t -> at:Site_set.site -> content:string -> outcome
 (** Figure 2. *)
 
 val recover : t -> site:Site_set.site -> outcome
-(** Figure 3: brings [site] up and runs its recovery protocol once. *)
+(** Figure 3: brings [site] up (reloading its ensemble from stable
+    storage; a corrupt record demotes it to an amnesiac participant whose
+    own state takes no part in the decision) and runs its recovery
+    protocol once. *)
 
 val lock : t -> at:Site_set.site -> op:int -> [ `Granted of Site_set.t | `Denied ]
 (** Serialize operations: acquire the volatile lock for operation [op] at

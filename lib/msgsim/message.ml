@@ -3,14 +3,27 @@
    data transfer.  Payload sizes are nominal byte counts used by the
    overhead accounting (consistency-control state is tiny; data transfers
    dominate, which is why the paper treats "message traffic" as message
-   counts). *)
+   counts).
+
+   State requests and replies carry a round identifier so that, under
+   relaxed delivery (delay, duplication, retries), a coordinator can tell
+   a reply to the current gather apart from a straggler of an earlier one.
+   Commits need no round: they are applied monotonically by operation
+   number.  Data transfers are monotone on the version number. *)
 
 type payload =
-  | State_request                          (* START: who is there, send your ensemble *)
-  | State_reply of Replica.t               (* the (o, v, P) ensemble *)
-  | Commit of { op_no : int; version : int; partition : Site_set.t }
-  | Data_request                           (* recovering site asks for the file *)
-  | Data of { version : int; content : string }
+  | State_request of { round : int }       (* START: who is there, send your ensemble *)
+  | State_reply of { round : int; replica : Replica.t }  (* the (o, v, P) ensemble *)
+  | Commit of {
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      data : string option;
+          (* relaxed-delivery writes piggyback the content so data and
+             ensemble install atomically; None under the paper model *)
+    }
+  | Data_request of { round : int }        (* recovering site asks for the file *)
+  | Data of { round : int; version : int; content : string }
   | Ack
   (* Operation serialization: the paper's algorithms assume one operation
      at a time; these messages provide it.  Locks are volatile (lost on a
@@ -27,10 +40,10 @@ type t = {
 }
 
 let kind_name = function
-  | State_request -> "state_request"
+  | State_request _ -> "state_request"
   | State_reply _ -> "state_reply"
   | Commit _ -> "commit"
-  | Data_request -> "data_request"
+  | Data_request _ -> "data_request"
   | Data _ -> "data"
   | Ack -> "ack"
   | Lock_request _ -> "lock_request"
@@ -38,10 +51,11 @@ let kind_name = function
   | Unlock _ -> "unlock"
 
 let nominal_size = function
-  | State_request -> 16
+  | State_request _ -> 16
   | State_reply _ -> 48
-  | Commit _ -> 48
-  | Data_request -> 16
+  | Commit { data = None; _ } -> 48
+  | Commit { data = Some content; _ } -> 64 + String.length content
+  | Data_request _ -> 16
   | Data { content; _ } -> 64 + String.length content
   | Ack -> 16
   | Lock_request _ | Lock_reply _ | Unlock _ -> 24

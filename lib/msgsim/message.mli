@@ -1,11 +1,23 @@
-(** Wire messages of the voting protocols. *)
+(** Wire messages of the voting protocols.
+
+    State requests and replies are tagged with the coordinator's gather
+    round, so stale replies delivered late (delay, duplication, retry) can
+    be discarded.  Commits and data transfers are applied monotonically
+    and need no round. *)
 
 type payload =
-  | State_request
-  | State_reply of Replica.t
-  | Commit of { op_no : int; version : int; partition : Site_set.t }
-  | Data_request
-  | Data of { version : int; content : string }
+  | State_request of { round : int }
+  | State_reply of { round : int; replica : Replica.t }
+  | Commit of {
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      data : string option;
+          (** relaxed-delivery writes piggyback the content so data and
+              ensemble install atomically; [None] under the paper model *)
+    }
+  | Data_request of { round : int }
+  | Data of { round : int; version : int; content : string }
   | Ack
   | Lock_request of { op : int }
       (** serialize operations: volatile, all-or-nothing locks *)

@@ -3,28 +3,53 @@
    state requests, installs commits and answers data transfers.  All state
    changes at remote sites happen through messages — the point of this
    library is to validate that the wire protocol reproduces the pure
-   state-transition semantics of {!Dynvote.Operation}. *)
+   state-transition semantics of {!Dynvote.Operation}.
+
+   The ensemble is persisted through the {!Dynvote.Codec} stable-storage
+   path on every commit, mirroring the paper's requirement that (o, v, P)
+   survive crashes.  A crash-restart reloads it from the stable record; a
+   torn or corrupted record (injectable by the chaos harness) leaves the
+   site *amnesiac* — it remembers nothing it can safely vote with, so it
+   stays silent to state requests until a successful RECOVER, sponsored by
+   sites that do remember, reinstates it. *)
 
 type t = {
   site : Site_set.site;
+  universe : Site_set.t;
   mutable replica : Replica.t;
   mutable data_version : int;
   mutable content : string;
+  (* Stable storage: the Codec-encoded ensemble, rewritten on every
+     commit.  Chaos can corrupt it to model torn writes. *)
+  mutable stable : string;
+  mutable amnesiac : bool;
   (* When an operation coordinated at this site is in flight, replies are
      routed to this collector instead of the normal handler. *)
   mutable collector : (Message.t -> unit) option;
   (* Volatile operation lock: cleared by a crash, never persisted. *)
   mutable lock : int option;
+  (* While a verified data fetch is in flight, the Data reply carrying
+     this round id force-installs: the local copy may be the residue of
+     an uncommitted write, so its version number proves nothing. *)
+  mutable fetch_round : int option;
+  (* Safety-oracle witness: observes every applied commit. *)
+  mutable on_commit : (Site_set.site -> Replica.t -> unit) option;
 }
 
 let create ~site ~universe ~initial_content =
+  let replica = Replica.initial universe in
   {
     site;
-    replica = Replica.initial universe;
+    universe;
+    replica;
     data_version = 1;
     content = initial_content;
+    stable = Codec.encode_replica replica;
+    amnesiac = false;
     collector = None;
     lock = None;
+    fetch_round = None;
+    on_commit = None;
   }
 
 let site t = t.site
@@ -43,9 +68,35 @@ let try_lock t ~op =
 let replica t = t.replica
 let content t = t.content
 let data_version t = t.data_version
+let is_amnesiac t = t.amnesiac
 
 let set_collector t f = t.collector <- Some f
 let clear_collector t = t.collector <- None
+
+let set_fetch_round t round = t.fetch_round <- round
+
+let set_commit_witness t f = t.on_commit <- Some f
+let clear_commit_witness t = t.on_commit <- None
+
+let stable_record t = t.stable
+let set_stable_record t record = t.stable <- record
+
+(* A crash loses all volatile state; the ensemble survives only as the
+   stable record.  Reloading goes through the codec: a clean record
+   restores the ensemble, a corrupt one (torn write, bit rot) leaves the
+   site amnesiac — it must RECOVER before it may vote again. *)
+let reload_from_stable t =
+  t.collector <- None;
+  t.lock <- None;
+  t.fetch_round <- None;
+  match Codec.decode_result t.stable with
+  | Ok replica ->
+      t.replica <- replica;
+      t.amnesiac <- false;
+      Ok ()
+  | Error reason ->
+      t.amnesiac <- true;
+      Error reason
 
 let install_data t ~version ~content =
   if version > t.data_version then begin
@@ -59,22 +110,40 @@ let write_local t ~version ~content =
 
 (* Commits are applied monotonically: a delayed, duplicated or otherwise
    stale COMMIT (operation number not beyond the current one) is ignored,
-   so out-of-order delivery can never regress a copy's state. *)
-let install_commit t ~op_no ~version ~partition =
-  if op_no > Replica.op_no t.replica then
-    t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition
+   so out-of-order delivery can never regress a copy's state.  Every
+   applied commit is persisted before it is acknowledged to the oracle —
+   a freshly committed ensemble is never held only in memory.  A commit
+   carrying piggybacked data installs content and ensemble atomically. *)
+let install_commit t ~op_no ~version ~partition ?data () =
+  if op_no > Replica.op_no t.replica then begin
+    t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition;
+    t.stable <- Codec.encode_replica t.replica;
+    t.amnesiac <- false;
+    (match data with
+    | Some content ->
+        t.data_version <- version;
+        t.content <- content
+    | None -> ());
+    match t.on_commit with Some f -> f t.site t.replica | None -> ()
+  end
 
 let handler t transport message =
   match message.Message.payload with
-  | Message.State_request ->
+  | Message.State_request { round } ->
+      (* An amnesiac site cannot answer: its record is gone and a guessed
+         ensemble could be counted as a vote.  Silence is safe — to the
+         coordinator it looks exactly like a down site. *)
+      if not t.amnesiac then
+        Transport.send transport ~src:t.site ~dst:message.Message.src
+          (Message.State_reply { round; replica = t.replica })
+  | Message.Commit { op_no; version; partition; data } ->
+      install_commit t ~op_no ~version ~partition ?data ()
+  | Message.Data_request { round } ->
       Transport.send transport ~src:t.site ~dst:message.Message.src
-        (Message.State_reply t.replica)
-  | Message.Commit { op_no; version; partition } ->
-      install_commit t ~op_no ~version ~partition
-  | Message.Data_request ->
-      Transport.send transport ~src:t.site ~dst:message.Message.src
-        (Message.Data { version = t.data_version; content = t.content })
-  | Message.Data { version; content } -> install_data t ~version ~content
+        (Message.Data { round; version = t.data_version; content = t.content })
+  | Message.Data { round; version; content } ->
+      if t.fetch_round = Some round then write_local t ~version ~content
+      else install_data t ~version ~content
   | Message.Lock_request { op } ->
       Transport.send transport ~src:t.site ~dst:message.Message.src
         (Message.Lock_reply { op; granted = try_lock t ~op })

@@ -1,5 +1,9 @@
 (** A participating site: consistency ensemble, file data, and the message
-    handler that serves the wire protocol. *)
+    handler that serves the wire protocol.
+
+    The ensemble is persisted through {!Dynvote.Codec} on every commit.  A
+    crash-restart reloads it; a corrupt stable record leaves the site
+    {e amnesiac} — silent to state requests until a successful RECOVER. *)
 
 type t
 
@@ -21,19 +25,48 @@ val replica : t -> Replica.t
 val content : t -> string
 val data_version : t -> int
 
+val is_amnesiac : t -> bool
+(** True after a restart from a corrupt stable record: the site holds no
+    trustworthy ensemble and does not answer state requests. *)
+
 val set_collector : t -> (Message.t -> unit) -> unit
 (** Route incoming replies to an in-flight coordinator. *)
 
 val clear_collector : t -> unit
+
+val set_fetch_round : t -> int option -> unit
+(** While set, the [Data] reply carrying this round id force-installs
+    (overwriting even an equal-or-newer local version — the local copy
+    may be uncommitted residue); stray data falls back to the monotone
+    path. *)
+
+val set_commit_witness : t -> (Site_set.site -> Replica.t -> unit) -> unit
+(** Observe every commit this node applies (safety-oracle hook). *)
+
+val clear_commit_witness : t -> unit
+
+val stable_record : t -> string
+(** The Codec-encoded ensemble as last persisted. *)
+
+val set_stable_record : t -> string -> unit
+(** Overwrite the stable record — the chaos harness's torn-write /
+    bit-rot injection point. *)
+
+val reload_from_stable : t -> (unit, string) result
+(** Crash-restart: drop volatile state and reload the ensemble from the
+    stable record.  [Error reason] marks the site amnesiac. *)
 
 val install_data : t -> version:int -> content:string -> unit
 (** Adopt newer data (ignored if not newer). *)
 
 val write_local : t -> version:int -> content:string -> unit
 
-val install_commit : t -> op_no:int -> version:int -> partition:Site_set.t -> unit
+val install_commit :
+  t -> op_no:int -> version:int -> partition:Site_set.t -> ?data:string -> unit -> unit
 (** Monotone: ignored unless [op_no] exceeds the copy's current operation
-    number, so stale or duplicated commits cannot regress state. *)
+    number, so stale or duplicated commits cannot regress state.  Applied
+    commits are persisted to the stable record and clear amnesia; [data]
+    (piggybacked write content) installs atomically with the ensemble. *)
 
 val handler : t -> Transport.t -> Message.t -> unit
 (** The node's protocol automaton, to be registered with the transport. *)

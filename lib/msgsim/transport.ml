@@ -3,12 +3,45 @@
    order (FIFO per channel follows from the deterministic event queue);
    messages to unreachable sites are silently dropped — exactly the
    paper's failure model, where "no answer" is how a site learns that a
-   peer is down or partitioned away. *)
+   peer is down or partitioned away.
+
+   On top of that friendly baseline sits an adversarial layer: a
+   composable *fault plan* consulted on every send.  A plan may lose the
+   message (per-link Bernoulli loss or a scheduled link flap), duplicate
+   it, or add bounded extra delay (which reorders it past later traffic).
+   Each injected fault is accounted separately from partition loss, so a
+   chaos run can tell "the network ate it" apart from "the partition ate
+   it". *)
+
+type fault =
+  | Loss        (* Bernoulli per-link loss *)
+  | Flap        (* scheduled link outage window *)
+  | Duplicate   (* extra copy injected *)
+  | Delay       (* bounded extra latency (reordering) *)
+
+let fault_name = function
+  | Loss -> "loss"
+  | Flap -> "flap"
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+
+type verdict =
+  | Pass
+  | Drop_it of fault          (* Loss or Flap *)
+  | Deliver_copies of float list
+      (* extra delay per delivered copy; [0.] is a normal delivery,
+         [0.; 0.] a duplicate, [d] a delayed message *)
+
+type plan = now:float -> Message.t -> verdict
 
 type stats = {
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable dropped_partition : int;  (* destination unreachable *)
+  mutable dropped_fault : int;      (* eaten by the fault plan *)
+  mutable duplicated : int;         (* extra copies injected *)
+  mutable delayed : int;            (* copies given extra latency *)
+  mutable flapped : int;            (* share of dropped_fault due to flaps *)
   mutable bytes : int;
   by_kind : (string, int) Hashtbl.t;
 }
@@ -17,31 +50,51 @@ type t = {
   engine : Message.t Dynvote_des.Engine.t;
   latency : Site_set.site -> Site_set.site -> float;
   mutable connected : Site_set.site -> Site_set.site -> bool;
-  mutable fault : Message.t -> bool; (* true = drop this message *)
+  mutable plan : plan;
   handlers : (Site_set.site, t -> Message.t -> unit) Hashtbl.t;
   stats : stats;
 }
+
+let no_plan : plan = fun ~now:_ _ -> Pass
 
 let create ?(latency = fun _ _ -> 0.001) ?(connected = fun _ _ -> true) () =
   {
     engine = Dynvote_des.Engine.create ();
     latency;
     connected;
-    fault = (fun _ -> false);
+    plan = no_plan;
     handlers = Hashtbl.create 16;
-    stats = { sent = 0; delivered = 0; dropped = 0; bytes = 0; by_kind = Hashtbl.create 8 };
+    stats =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped_partition = 0;
+        dropped_fault = 0;
+        duplicated = 0;
+        delayed = 0;
+        flapped = 0;
+        bytes = 0;
+        by_kind = Hashtbl.create 8;
+      };
   }
 
 let set_connectivity t connected = t.connected <- connected
 
-(* Fault injection for tests: messages matching the predicate vanish (and
-   are counted as dropped). *)
-let set_fault t fault = t.fault <- fault
-let clear_fault t = t.fault <- (fun _ -> false)
+let set_plan t plan = t.plan <- plan
+let clear_plan t = t.plan <- no_plan
+
+(* The seed interface — a single drop predicate — is kept as sugar over
+   the plan: matching messages are lost. *)
+let set_fault t fault =
+  t.plan <- (fun ~now:_ message -> if fault message then Drop_it Loss else Pass)
+
+let clear_fault = clear_plan
 
 let register t site handler = Hashtbl.replace t.handlers site handler
 
 let now t = Dynvote_des.Engine.now t.engine
+
+let in_flight t = Dynvote_des.Engine.pending t.engine
 
 let count_kind t payload =
   let kind = Message.kind_name payload in
@@ -53,27 +106,44 @@ let send t ~src ~dst payload =
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes <- t.stats.bytes + Message.nominal_size payload;
   count_kind t payload;
-  if t.fault message then t.stats.dropped <- t.stats.dropped + 1
-  else if t.connected src dst then
-    Dynvote_des.Engine.schedule_after t.engine ~delay:(t.latency src dst) message
-  else t.stats.dropped <- t.stats.dropped + 1
+  if not (t.connected src dst) then
+    t.stats.dropped_partition <- t.stats.dropped_partition + 1
+  else
+    match t.plan ~now:(now t) message with
+    | Pass ->
+        Dynvote_des.Engine.schedule_after t.engine ~delay:(t.latency src dst) message
+    | Drop_it fault ->
+        t.stats.dropped_fault <- t.stats.dropped_fault + 1;
+        if fault = Flap then t.stats.flapped <- t.stats.flapped + 1
+    | Deliver_copies [] ->
+        (* A plan may also express loss as zero deliveries. *)
+        t.stats.dropped_fault <- t.stats.dropped_fault + 1
+    | Deliver_copies extras ->
+        let base = t.latency src dst in
+        List.iteri
+          (fun i extra ->
+            if i > 0 then t.stats.duplicated <- t.stats.duplicated + 1;
+            if extra > 0.0 then t.stats.delayed <- t.stats.delayed + 1;
+            Dynvote_des.Engine.schedule_after t.engine ~delay:(base +. extra) message)
+          extras
 
 let broadcast t ~src ~targets payload =
   Site_set.iter (fun dst -> if dst <> src then send t ~src ~dst payload) targets
+
+let deliver t message =
+  if t.connected message.Message.src message.Message.dst then begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    match Hashtbl.find_opt t.handlers message.Message.dst with
+    | Some f -> f t message
+    | None -> ()
+  end
+  else t.stats.dropped_partition <- t.stats.dropped_partition + 1
 
 (* Deliver every in-flight message (and those they trigger) in timestamp
    order.  Connectivity is rechecked at delivery time, so a partition that
    forms mid-flight loses the affected messages. *)
 let run_until_quiet t =
-  let handler _engine _time message =
-    if t.connected message.Message.src message.Message.dst then begin
-      t.stats.delivered <- t.stats.delivered + 1;
-      match Hashtbl.find_opt t.handlers message.Message.dst with
-      | Some f -> f t message
-      | None -> ()
-    end
-    else t.stats.dropped <- t.stats.dropped + 1
-  in
+  let handler _engine _time message = deliver t message in
   let rec drain () =
     match Dynvote_des.Engine.step t.engine ~handler with
     | Some _ -> drain ()
@@ -81,18 +151,41 @@ let run_until_quiet t =
   in
   drain ()
 
+(* Deliver only what arrives within the next [timeout] simulated seconds
+   and advance the clock to the deadline.  Later messages stay in flight:
+   they may arrive during a subsequent round (stale — the protocol must
+   tolerate them) or never be waited for again. *)
+let run_for t ~timeout =
+  if timeout < 0.0 then invalid_arg "Transport.run_for: negative timeout";
+  let deadline = now t +. timeout in
+  Dynvote_des.Engine.run t.engine ~until:deadline ~handler:(fun _engine _time message ->
+      deliver t message)
+
 let stats t = t.stats
 
 let messages_sent t = t.stats.sent
 let messages_delivered t = t.stats.delivered
-let messages_dropped t = t.stats.dropped
+let messages_dropped t = t.stats.dropped_partition + t.stats.dropped_fault
+let messages_dropped_partition t = t.stats.dropped_partition
+let messages_dropped_fault t = t.stats.dropped_fault
 let bytes_sent t = t.stats.bytes
 
 let kind_count t kind = Option.value (Hashtbl.find_opt t.stats.by_kind kind) ~default:0
 
+let fault_count t fault =
+  match fault with
+  | Loss -> t.stats.dropped_fault - t.stats.flapped
+  | Flap -> t.stats.flapped
+  | Duplicate -> t.stats.duplicated
+  | Delay -> t.stats.delayed
+
 let reset_stats t =
   t.stats.sent <- 0;
   t.stats.delivered <- 0;
-  t.stats.dropped <- 0;
+  t.stats.dropped_partition <- 0;
+  t.stats.dropped_fault <- 0;
+  t.stats.duplicated <- 0;
+  t.stats.delayed <- 0;
+  t.stats.flapped <- 0;
   t.stats.bytes <- 0;
   Hashtbl.reset t.stats.by_kind

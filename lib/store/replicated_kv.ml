@@ -189,3 +189,25 @@ let check_consistency t =
         t.universe)
     t.entries;
   !violations
+
+(* Version forks: the defining split-brain symptom.  Two sites agreeing on
+   a key's version number while holding different values means two
+   partitions both believed they were the majority and committed
+   divergent writes — exactly what the safety oracle of the chaos harness
+   looks for at the message level. *)
+let version_forks t =
+  let forks = ref [] in
+  Hashtbl.iter
+    (fun key e ->
+      Site_set.iter
+        (fun s1 ->
+          Site_set.iter
+            (fun s2 ->
+              if s1 < s2
+                 && Replica.version e.states.(s1) = Replica.version e.states.(s2)
+                 && e.values.(s1) <> e.values.(s2)
+              then forks := (key, s1, s2) :: !forks)
+            t.universe)
+        t.universe)
+    t.entries;
+  !forks

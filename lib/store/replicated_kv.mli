@@ -53,3 +53,8 @@ val oracle : t -> string -> string option
 val check_consistency : t -> (string * Site_set.site) list
 (** Sites holding the newest version of a key but the wrong value — always
     empty unless the protocol is broken (used by property tests). *)
+
+val version_forks : t -> (string * Site_set.site * Site_set.site) list
+(** Site pairs agreeing on a key's version number while holding different
+    values — the split-brain symptom the safety oracle hunts for.  Always
+    empty for the safe policies. *)

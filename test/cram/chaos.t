@@ -1,0 +1,37 @@
+The chaos harness attacks the message-level protocols with seeded fault
+schedules and checks the safety oracle.  Output is bit-identical for a
+fixed seed.
+
+  $ export CLI=../../bin/dynvote_cli.exe
+
+All policies, a short campaign.  The safe flavors must report OK; TDV as
+published (and its optimistic variant) trips the oracle organically and
+is annotated as expected-unsafe:
+
+  $ $CLI chaos --seed 7 --schedules 150
+  dv          150 schedules   1760 ops (1239 granted / 375 denied / 146 aborted)   21107 msgs (lost=447 flapped=6 dup=369 delayed=877 partition=7530) 46 corrupt records | safety: OK
+  ldv         150 schedules   1752 ops (1284 granted / 314 denied / 154 aborted)   21051 msgs (lost=445 flapped=6 dup=369 delayed=872 partition=7482) 46 corrupt records | safety: OK
+  odv         150 schedules   1752 ops (1284 granted / 314 denied / 154 aborted)   21051 msgs (lost=445 flapped=6 dup=369 delayed=872 partition=7482) 46 corrupt records | safety: OK
+  tdv         150 schedules   1736 ops (1341 granted / 225 denied / 170 aborted)   20816 msgs (lost=329 flapped=4 dup=390 delayed=861 partition=6861) 50 corrupt records | safety: 1 violations (expected unsafe)
+  otdv        150 schedules   1736 ops (1341 granted / 225 denied / 170 aborted)   20816 msgs (lost=329 flapped=4 dup=390 delayed=861 partition=6861) 50 corrupt records | safety: 1 violations (expected unsafe)
+  tdv-safe    150 schedules   1736 ops (1329 granted / 237 denied / 170 aborted)   20806 msgs (lost=329 flapped=4 dup=390 delayed=861 partition=6861) 50 corrupt records | safety: OK
+  otdv-safe   150 schedules   1736 ops (1329 granted / 237 denied / 170 aborted)   20806 msgs (lost=329 flapped=4 dup=390 delayed=861 partition=6861) 50 corrupt records | safety: OK
+
+A single policy:
+
+  $ $CLI chaos --seed 7 --schedules 150 --policy ldv
+  ldv         150 schedules   1752 ops (1284 granted / 314 denied / 154 aborted)   21051 msgs (lost=445 flapped=6 dup=369 delayed=872 partition=7482) 46 corrupt records | safety: OK
+
+Dropping the paper's atomic-update assumption (COMMITs exposed to faults,
+coordinators killed mid-commit) breaks every policy — the harness
+reproduces why the paper requires update operations to be atomic.  The
+command still exits 0 because nothing *expected* to be safe failed:
+
+  $ $CLI chaos --seed 7 --schedules 150 --policy ldv --unsafe-commits | sed 's/.*| //'
+  safety: 57 violations (expected unsafe)
+
+Unknown policies are rejected:
+
+  $ $CLI chaos --policy paxos
+  dynvote: unknown policy "paxos" (try --policy all)
+  [2]

@@ -21,6 +21,7 @@ let () =
       ("report", Test_report.suite);
       ("timeline", Test_timeline.suite);
       ("codec", Test_codec.suite);
+      ("chaos", Test_chaos.suite);
       ("adaptive_witness", Test_adaptive_witness.suite);
       ("misc", Test_misc.suite);
     ]

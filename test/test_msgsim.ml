@@ -13,7 +13,7 @@ let test_transport_delivery () =
   let transport = Transport.create () in
   let received = ref [] in
   Transport.register transport 1 (fun _ msg -> received := msg :: !received);
-  Transport.send transport ~src:0 ~dst:1 Message.State_request;
+  Transport.send transport ~src:0 ~dst:1 (Message.State_request { round = 0 });
   Transport.send transport ~src:0 ~dst:1 Message.Ack;
   Transport.run_until_quiet transport;
   Alcotest.(check int) "both delivered" 2 (List.length !received);
@@ -23,8 +23,9 @@ let test_transport_delivery () =
   (match List.rev !received with
   | [ first; second ] ->
       Alcotest.(check bool) "order" true
-        (first.Message.payload = Message.State_request
-        && second.Message.payload = Message.Ack)
+        (match (first.Message.payload, second.Message.payload) with
+        | Message.State_request _, Message.Ack -> true
+        | _ -> false)
   | _ -> Alcotest.fail "wrong count")
 
 let test_transport_drop_disconnected () =
@@ -34,27 +35,31 @@ let test_transport_drop_disconnected () =
   Transport.send transport ~src:0 ~dst:1 Message.Ack;
   Transport.run_until_quiet transport;
   Alcotest.(check int) "nothing delivered" 0 !received;
-  Alcotest.(check int) "counted as dropped" 1 (Transport.messages_dropped transport)
+  Alcotest.(check int) "counted as dropped" 1 (Transport.messages_dropped transport);
+  (* The drop is attributed to the partition, not to an injected fault. *)
+  Alcotest.(check int) "partition drop" 1 (Transport.messages_dropped_partition transport);
+  Alcotest.(check int) "no fault drop" 0 (Transport.messages_dropped_fault transport)
 
 let test_transport_replies_chain () =
   (* A handler that replies; run_until_quiet must deliver the reply too. *)
   let transport = Transport.create () in
   let got_reply = ref false in
   Transport.register transport 1 (fun tr msg ->
-      if msg.Message.payload = Message.State_request then
-        Transport.send tr ~src:1 ~dst:0 Message.Ack);
+      match msg.Message.payload with
+      | Message.State_request _ -> Transport.send tr ~src:1 ~dst:0 Message.Ack
+      | _ -> ());
   Transport.register transport 0 (fun _ msg ->
       if msg.Message.payload = Message.Ack then got_reply := true);
-  Transport.send transport ~src:0 ~dst:1 Message.State_request;
+  Transport.send transport ~src:0 ~dst:1 (Message.State_request { round = 0 });
   Transport.run_until_quiet transport;
   Alcotest.(check bool) "round trip" true !got_reply
 
 let test_transport_kind_accounting () =
   let transport = Transport.create () in
   Transport.register transport 1 (fun _ _ -> ());
-  Transport.send transport ~src:0 ~dst:1 Message.State_request;
-  Transport.send transport ~src:0 ~dst:1 Message.State_request;
-  Transport.send transport ~src:0 ~dst:1 Message.Data_request;
+  Transport.send transport ~src:0 ~dst:1 (Message.State_request { round = 0 });
+  Transport.send transport ~src:0 ~dst:1 (Message.State_request { round = 1 });
+  Transport.send transport ~src:0 ~dst:1 (Message.Data_request { round = 0 });
   Transport.run_until_quiet transport;
   Alcotest.(check int) "state requests" 2 (Transport.kind_count transport "state_request");
   Alcotest.(check int) "data requests" 1 (Transport.kind_count transport "data_request");
@@ -182,13 +187,13 @@ let test_larger_cluster_counts () =
    recovery path. *)
 let test_stale_commit_ignored () =
   let node = Node.create ~site:0 ~universe:universe3 ~initial_content:"" in
-  Node.install_commit node ~op_no:5 ~version:3 ~partition:(ss [ 0; 1 ]);
+  Node.install_commit node ~op_no:5 ~version:3 ~partition:(ss [ 0; 1 ]) ();
   let snapshot = Node.replica node in
   (* A delayed duplicate and an outright stale commit change nothing. *)
-  Node.install_commit node ~op_no:5 ~version:3 ~partition:(ss [ 0; 1 ]);
-  Node.install_commit node ~op_no:2 ~version:9 ~partition:universe3;
+  Node.install_commit node ~op_no:5 ~version:3 ~partition:(ss [ 0; 1 ]) ();
+  Node.install_commit node ~op_no:2 ~version:9 ~partition:universe3 ();
   Alcotest.check replica_testable "unchanged" snapshot (Node.replica node);
-  Node.install_commit node ~op_no:6 ~version:4 ~partition:(ss [ 0 ]);
+  Node.install_commit node ~op_no:6 ~version:4 ~partition:(ss [ 0 ]) ();
   Alcotest.(check int) "newer applies" 6 (Replica.op_no (Node.replica node))
 
 let test_lost_commit_self_heals () =
@@ -199,6 +204,11 @@ let test_lost_commit_self_heals () =
       && match msg.Message.payload with Message.Commit _ -> true | _ -> false);
   let w = Cluster.write c ~at:0 ~content:"v1" in
   Alcotest.(check bool) "write still granted" true w.Cluster.granted;
+  (* Exactly the injected drop, attributed to the fault counter. *)
+  Alcotest.(check int) "fault drop counted" 1
+    (Transport.messages_dropped_fault (Cluster.transport c));
+  Alcotest.(check int) "no partition drop" 0
+    (Transport.messages_dropped_partition (Cluster.transport c));
   Transport.clear_fault (Cluster.transport c);
   (* Site 2 missed the commit: it is op-stale but received the data. *)
   Alcotest.(check bool) "site 2 behind" true
