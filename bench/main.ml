@@ -14,6 +14,7 @@
                     witnesses, and the TDV safety-correction ablation
      CHAOS      fault-injection campaign throughput and the cost of
                     relaxed (Deadline) delivery vs the quiet network
+     MC         bounded model-checking throughput on the §3 example
      MICRO      bechamel micro-benchmarks
 
    The environment variable DYNVOTE_BENCH_HORIZON (simulated days,
@@ -32,6 +33,8 @@ module Voting_model = Dynvote_analytic.Voting_model
 module Kofn = Dynvote_analytic.Kofn
 module Cluster = Dynvote_msgsim.Cluster
 module Harness = Dynvote_chaos.Harness
+module Checker = Dynvote_mc.Checker
+module Explorer = Dynvote_mc.Explorer
 
 let section name description =
   Fmt.pr "@.=================== %s ===================@." name;
@@ -604,6 +607,56 @@ let chaos () =
     quiet_ns quiet_msgs deadline_ns deadline_msgs
     (100.0 *. (deadline_ns -. quiet_ns) /. quiet_ns)
 
+(* Bounded model checking throughput on the paper's four-copy example:
+   distinct states, transition rate and the seen-table high-water mark
+   per policy.  DYNVOTE_MC_DEPTH picks the bound (default 6; the
+   acceptance sweep uses 8, roughly a minute for all four policies). *)
+let mc () =
+  let depth =
+    match Sys.getenv_opt "DYNVOTE_MC_DEPTH" with
+    | Some v when v <> "" -> int_of_string v
+    | _ -> 6
+  in
+  section "MC"
+    (Printf.sprintf
+       "Exhaustive bounded search of the message protocols, 4 sites on the\n\
+        paper's §3 topology, depth %d (DYNVOTE_MC_DEPTH to change)." depth);
+  let table =
+    Text_table.create
+      ~aligns:
+        [ Text_table.Left; Text_table.Right; Text_table.Right; Text_table.Right;
+          Text_table.Right; Text_table.Left ]
+      ~header:[ "Policy"; "States"; "Transitions"; "Trans/s"; "Peak seen"; "Verdict" ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let p = Option.get (Harness.policy_of_string name) in
+      let t0 = Unix.gettimeofday () in
+      let report = Checker.check ~policy:p ~depth (Checker.paper_config ()) in
+      let dt = Unix.gettimeofday () -. t0 in
+      let r = report.Checker.result in
+      let verdict =
+        match report.Checker.verdict with
+        | Checker.Clean { closed } ->
+            Printf.sprintf "safe to depth %d%s" r.Explorer.depth
+              (if closed then " (closed)" else "")
+        | Checker.Counterexample { schedule; replay_matches; _ } ->
+            Printf.sprintf "violation in %d steps%s"
+              (List.length schedule.Dynvote_chaos.Schedule.steps)
+              (if replay_matches then ", replays" else ", REPLAY DIVERGED")
+        | Checker.Inconclusive -> "out of budget"
+      in
+      Text_table.add_row table
+        [ name;
+          string_of_int r.Explorer.distinct;
+          string_of_int r.Explorer.transitions;
+          Printf.sprintf "%.0f" (float_of_int r.Explorer.transitions /. dt);
+          string_of_int r.Explorer.peak_seen;
+          verdict ])
+    [ "dv"; "odv"; "tdv"; "tdv-safe" ];
+  Text_table.print table
+
 (* Bechamel micro-benchmarks of the hot primitives. *)
 let micro () =
   section "MICRO" "Bechamel micro-benchmarks of the core primitives (ns per call).";
@@ -687,5 +740,6 @@ let () =
   extensions ();
   replications ();
   chaos ();
+  mc ();
   micro ();
   Fmt.pr "@.done.@."

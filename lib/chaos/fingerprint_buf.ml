@@ -1,0 +1,18 @@
+(* Compact self-delimiting integer encoding for state fingerprints.
+
+   Zigzag maps small magnitudes of either sign onto small naturals, which
+   then fit a single byte almost always (fingerprint fields are tiny:
+   rebased counters, rename ids, site ids, partition masks).  The escape
+   byte 0xff introduces a fixed eight-byte little-endian tail, so decoding
+   never needs look-ahead and no separator bytes are required — callers
+   length-prefix variable-length sections instead. *)
+
+let add_int buf n =
+  let z = (n lsl 1) lxor (n asr 62) in
+  if z >= 0 && z < 255 then Buffer.add_char buf (Char.unsafe_chr z)
+  else begin
+    Buffer.add_char buf '\255';
+    for i = 0 to 7 do
+      Buffer.add_char buf (Char.unsafe_chr ((z lsr (8 * i)) land 0xff))
+    done
+  end

@@ -1,0 +1,7 @@
+(** Compact self-delimiting integer encoding for state fingerprints. *)
+
+val add_int : Buffer.t -> int -> unit
+(** Append [n] zigzag-encoded: one byte for |n| < 127, an escape byte
+    plus eight little-endian bytes otherwise.  Self-delimiting, so
+    callers length-prefix variable-length sections rather than inserting
+    separator bytes (which a value byte could collide with). *)

@@ -71,13 +71,34 @@ let corrupt_record ~rng node corruption =
   in
   Node.set_stable_record node mangled
 
-let run ?(rng = Splitmix64.create 0x51D1CEL) config (schedule : Schedule.t) =
+(* A session is one live schedule execution: the cluster, its oracle and
+   the running tallies, with steps applied one at a time.  [run] below is
+   a session driven start to finish; the model checker drives a session
+   step by step, branching via checkpoint/rollback — both execute the
+   exact same transition code, which is what makes counterexamples
+   portable between the two. *)
+type session = {
+  s_config : config;
+  cluster : Cluster.t;
+  oracle : Oracle.t;
+  rng : Splitmix64.t;
+  topological : bool;
+  ranked : Site_set.site list;
+  mutable s_granted : int;
+  mutable s_denied : int;
+  mutable s_aborted : int;
+  mutable s_corrupted : int;
+  mutable writes : int;
+  mutable log : (Schedule.step * bool * string option) list; (* newest first *)
+}
+
+let make_session ?(rng = Splitmix64.create 0x51D1CEL) ?(faults = Fault_plan.silent)
+    config =
   let cluster =
     Cluster.create ~flavor:config.flavor ~segment_of:config.segment_of
       ~initial_content:config.initial_content ~delivery:config.delivery
       ~universe:config.universe ()
   in
-  let transport = Cluster.transport cluster in
   (* Topological flavors read same-segment silence as site death: their
      network model (LAN segments joined by gateways) permits neither
      lossy intra-segment links nor partitions that cut a segment in two.
@@ -87,93 +108,164 @@ let run ?(rng = Splitmix64.create 0x51D1CEL) config (schedule : Schedule.t) =
   let topological = config.flavor.Decision.topological in
   let reliable a b = topological && config.segment_of a = config.segment_of b in
   let faults =
-    if config.expose_commits then { schedule.faults with Fault_plan.atomic_commits = false }
-    else schedule.faults
+    if config.expose_commits then { faults with Fault_plan.atomic_commits = false }
+    else faults
   in
-  Transport.set_plan transport (Fault_plan.make ~rng:(Splitmix64.split rng) ~reliable faults);
+  Transport.set_plan (Cluster.transport cluster)
+    (Fault_plan.make ~rng:(Splitmix64.split rng) ~reliable faults);
   let oracle = Oracle.create ~initial_content:config.initial_content in
   Oracle.attach oracle cluster;
-  let granted = ref 0 and denied = ref 0 and aborted = ref 0 and corrupted = ref 0 in
-  let op_log = ref [] in
-  let writes = ref 0 in
-  let note step (outcome : Cluster.outcome) =
-    if outcome.Cluster.granted then incr granted
-    else if outcome.Cluster.aborted then incr aborted
-    else incr denied;
-    op_log := (step, outcome.Cluster.granted, outcome.Cluster.content) :: !op_log
+  {
+    s_config = config;
+    cluster;
+    oracle;
+    rng;
+    topological;
+    ranked = Site_set.to_list config.universe;
+    s_granted = 0;
+    s_denied = 0;
+    s_aborted = 0;
+    s_corrupted = 0;
+    writes = 0;
+    log = [];
+  }
+
+let cluster s = s.cluster
+let oracle s = s.oracle
+
+let note s step (outcome : Cluster.outcome) =
+  if outcome.Cluster.granted then s.s_granted <- s.s_granted + 1
+  else if outcome.Cluster.aborted then s.s_aborted <- s.s_aborted + 1
+  else s.s_denied <- s.s_denied + 1;
+  s.log <- (step, outcome.Cluster.granted, outcome.Cluster.content) :: s.log
+
+(* Write contents are "w<n>"; a model-checking session applies millions
+   of write transitions and rolls the counter back constantly, so the
+   strings are interned rather than formatted each time. *)
+let write_content =
+  let cache = Hashtbl.create 64 in
+  fun n ->
+    match Hashtbl.find_opt cache n with
+    | Some content -> content
+    | None ->
+        let content = Printf.sprintf "w%d" n in
+        Hashtbl.add cache n content;
+        content
+
+let do_write s step site ~with_crash =
+  s.writes <- s.writes + 1;
+  let content = write_content s.writes in
+  if with_crash then begin
+    let armed = ref true in
+    Cluster.set_chaos_hook s.cluster (fun event ->
+        match (event, s.s_config.crash_point) with
+        | Cluster.After_decide { coordinator; granted = true }, `After_decide
+          when !armed && coordinator = site ->
+            armed := false;
+            Cluster.crash s.cluster site
+        | Cluster.After_commit_send { coordinator; sent; total; _ }, `Mid_commit
+          when !armed && coordinator = site && sent >= max 1 (total / 2) ->
+            armed := false;
+            Cluster.crash s.cluster site
+        | _ -> ())
+  end;
+  let finish () = if with_crash then Cluster.clear_chaos_hook s.cluster in
+  let outcome =
+    Fun.protect ~finally:finish (fun () -> Cluster.write s.cluster ~at:site ~content)
   in
-  let up site = Site_set.mem site (Cluster.up_sites cluster) in
-  let can_coordinate site = up site && not (Node.is_amnesiac (Cluster.node cluster site)) in
-  let ranked = Site_set.to_list config.universe in
-  let do_write step site ~with_crash =
-    incr writes;
-    let content = Printf.sprintf "w%d" !writes in
-    if with_crash then begin
-      let armed = ref true in
-      Cluster.set_chaos_hook cluster (fun event ->
-          match (event, config.crash_point) with
-          | Cluster.After_decide { coordinator; granted = true }, `After_decide
-            when !armed && coordinator = site ->
-              armed := false;
-              Cluster.crash cluster site
-          | Cluster.After_commit_send { coordinator; sent; total; _ }, `Mid_commit
-            when !armed && coordinator = site && sent >= max 1 (total / 2) ->
-              armed := false;
-              Cluster.crash cluster site
-          | _ -> ())
-    end;
-    let finish () = if with_crash then Cluster.clear_chaos_hook cluster in
-    let outcome = Fun.protect ~finally:finish (fun () -> Cluster.write cluster ~at:site ~content) in
-    Oracle.note_write oracle ~content outcome;
-    note step outcome
+  Oracle.note_write s.oracle ~content outcome;
+  note s step outcome
+
+let apply_step s step =
+  let up site = Site_set.mem site (Cluster.up_sites s.cluster) in
+  let can_coordinate site =
+    up site && not (Node.is_amnesiac (Cluster.node s.cluster site))
   in
-  List.iter
-    (fun step ->
-      match step with
-      | Schedule.Write site -> if can_coordinate site then do_write step site ~with_crash:false
-      | Schedule.Crash_coordinator site ->
-          if can_coordinate site then do_write step site ~with_crash:true
-      | Schedule.Read site ->
-          if can_coordinate site then begin
-            let outcome = Cluster.read cluster ~at:site in
-            Oracle.note_read oracle ~at:site outcome;
-            note step outcome
-          end
-      | Schedule.Crash site -> if up site then Cluster.crash cluster site
-      | Schedule.Restart (site, corruption) ->
-          if not (up site) then begin
-            (match corruption with
-            | Some c ->
-                incr corrupted;
-                corrupt_record ~rng (Cluster.node cluster site) c
-            | None -> ());
-            Cluster.restart_silently cluster site
-          end
-      | Schedule.Recover site -> note step (Cluster.recover cluster ~site)
-      | Schedule.Partition mask ->
-          let selected i site =
-            if topological then mask land (1 lsl (config.segment_of site)) <> 0
-            else mask land (1 lsl i) <> 0
-          in
-          let group_a = Site_set.of_list (List.filteri selected ranked) in
-          let group_b = Site_set.diff config.universe group_a in
-          if Site_set.is_empty group_a || Site_set.is_empty group_b then
-            Cluster.heal cluster
-          else Cluster.partition cluster [ group_a; group_b ]
-      | Schedule.Heal -> Cluster.heal cluster)
-    schedule.steps;
-  Oracle.final_check oracle cluster;
-  let stats = Transport.stats transport in
-  ( {
-      violations = Oracle.violations oracle;
-      granted = !granted;
-      denied = !denied;
-      aborted = !aborted;
-      commits = Oracle.commits_seen oracle;
-      corrupted = !corrupted;
-      op_log = List.rev !op_log;
-    },
-    stats )
+  match step with
+  | Schedule.Write site -> if can_coordinate site then do_write s step site ~with_crash:false
+  | Schedule.Crash_coordinator site ->
+      if can_coordinate site then do_write s step site ~with_crash:true
+  | Schedule.Read site ->
+      if can_coordinate site then begin
+        let outcome = Cluster.read s.cluster ~at:site in
+        Oracle.note_read s.oracle ~at:site outcome;
+        note s step outcome
+      end
+  | Schedule.Crash site -> if up site then Cluster.crash s.cluster site
+  | Schedule.Restart (site, corruption) ->
+      if not (up site) then begin
+        (match corruption with
+        | Some c ->
+            s.s_corrupted <- s.s_corrupted + 1;
+            corrupt_record ~rng:s.rng (Cluster.node s.cluster site) c
+        | None -> ());
+        Cluster.restart_silently s.cluster site
+      end
+  | Schedule.Recover site -> note s step (Cluster.recover s.cluster ~site)
+  | Schedule.Partition mask ->
+      let selected i site =
+        if s.topological then mask land (1 lsl (s.s_config.segment_of site)) <> 0
+        else mask land (1 lsl i) <> 0
+      in
+      let group_a = Site_set.of_list (List.filteri selected s.ranked) in
+      let group_b = Site_set.diff s.s_config.universe group_a in
+      if Site_set.is_empty group_a || Site_set.is_empty group_b then
+        Cluster.heal s.cluster
+      else Cluster.partition s.cluster [ group_a; group_b ]
+  | Schedule.Heal -> Cluster.heal s.cluster
+
+let session_result s =
+  {
+    violations = Oracle.violations s.oracle;
+    granted = s.s_granted;
+    denied = s.s_denied;
+    aborted = s.s_aborted;
+    commits = Oracle.commits_seen s.oracle;
+    corrupted = s.s_corrupted;
+    op_log = List.rev s.log;
+  }
+
+(* Checkpoints snapshot everything [apply_step] mutates except the rng
+   stream (only consumed by [Bit_flip] corruption, which an explorer's
+   action alphabet excludes precisely so its branches stay rng-free). *)
+type checkpoint = {
+  ck_cluster : Cluster.snapshot;
+  ck_oracle : Oracle.snapshot;
+  ck_granted : int;
+  ck_denied : int;
+  ck_aborted : int;
+  ck_corrupted : int;
+  ck_writes : int;
+  ck_log : (Schedule.step * bool * string option) list;
+}
+
+let checkpoint s =
+  {
+    ck_cluster = Cluster.snapshot s.cluster;
+    ck_oracle = Oracle.snapshot s.oracle;
+    ck_granted = s.s_granted;
+    ck_denied = s.s_denied;
+    ck_aborted = s.s_aborted;
+    ck_corrupted = s.s_corrupted;
+    ck_writes = s.writes;
+    ck_log = s.log;
+  }
+
+let rollback s ck =
+  Cluster.restore s.cluster ck.ck_cluster;
+  Oracle.restore s.oracle ck.ck_oracle;
+  s.s_granted <- ck.ck_granted;
+  s.s_denied <- ck.ck_denied;
+  s.s_aborted <- ck.ck_aborted;
+  s.s_corrupted <- ck.ck_corrupted;
+  s.writes <- ck.ck_writes;
+  s.log <- ck.ck_log
+
+let run ?rng config (schedule : Schedule.t) =
+  let s = make_session ?rng ~faults:schedule.faults config in
+  List.iter (apply_step s) schedule.steps;
+  Oracle.final_check s.oracle s.cluster;
+  (session_result s, Transport.stats (Cluster.transport s.cluster))
 
 (* Integer-encoded entry point: what the qcheck properties shrink. *)
 let run_ints ?rng ?(faults = Fault_plan.silent) config codes =

@@ -56,6 +56,43 @@ val run_ints :
 (** Decode integers as a {!Schedule} and run it — the entry point qcheck
     properties shrink through. *)
 
+(** {2 Step-at-a-time execution}
+
+    A {e session} is one live schedule execution.  {!run} is a session
+    driven start to finish; the model checker drives one step by step,
+    branching with {!checkpoint}/{!rollback}.  Both paths execute the
+    same transition code, so a counterexample found by exhaustive search
+    replays verbatim under {!run} (and vice versa). *)
+
+type session
+
+val make_session :
+  ?rng:Dynvote_prng.Splitmix64.t -> ?faults:Fault_plan.config -> config -> session
+(** A fresh cluster with the fault plan installed ([faults] defaults to
+    {!Fault_plan.silent}) and the oracle attached. *)
+
+val cluster : session -> Dynvote_msgsim.Cluster.t
+val oracle : session -> Oracle.t
+
+val apply_step : session -> Schedule.step -> unit
+(** Execute one schedule step exactly as {!run} would: inapplicable steps
+    (writing at a down site, restarting an up one, …) are no-ops. *)
+
+val session_result : session -> result
+(** The tallies so far.  Does not run the oracle's final check — call
+    {!Oracle.final_check} (or {!Oracle.check_step} per step) yourself. *)
+
+type checkpoint
+(** Everything {!apply_step} mutates, except the rng stream — it is only
+    consumed by [Bit_flip] corruption, which branching explorers exclude
+    from their action alphabet precisely to stay rng-free. *)
+
+val checkpoint : session -> checkpoint
+
+val rollback : session -> checkpoint -> unit
+(** Rewind the session; replaying the same steps after a rollback is
+    bit-identical to the first execution. *)
+
 type policy = { name : string; flavor : Decision.flavor; expect_safe : bool }
 
 val policies : policy list

@@ -48,15 +48,30 @@ type violation =
       content_b : string;
     }
 
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+module Fork_set = Set.Make (struct
+  type t = int * Site_set.site * Site_set.site
+
+  let compare = compare
+end)
+
+(* All tables are immutable maps rebound in place: a backtracking
+   explorer checkpoints and restores the oracle on every transition, and
+   persistent structures make both operations constant-time pointer
+   copies (the tables are tiny, so the log-time updates are noise). *)
 type t = {
   mutable violations : violation list; (* newest first *)
   mutable committed : string;          (* latest cleanly committed content *)
   mutable maybe : string list;         (* contents of aborted writes since *)
-  generations : (int, int * Site_set.t * Site_set.site) Hashtbl.t;
+  mutable generations : (int * Site_set.t * Site_set.site) Int_map.t;
       (* op_no -> first witnessed (version, partition, site) *)
-  committed_versions : (int, unit) Hashtbl.t;
-  last_op : (Site_set.site, int) Hashtbl.t;
-  last_version : (Site_set.site, int) Hashtbl.t;
+  mutable committed_versions : Int_set.t;
+  mutable last_op : int Int_map.t;     (* site -> last applied op_no *)
+  mutable last_version : int Int_map.t;
+  mutable flagged_forks : Fork_set.t;
+      (* forks already reported, so the per-step scan flags each once *)
   mutable commits_seen : int;
   mutable reads_checked : int;
 }
@@ -66,10 +81,11 @@ let create ~initial_content =
     violations = [];
     committed = initial_content;
     maybe = [];
-    generations = Hashtbl.create 64;
-    committed_versions = Hashtbl.create 64;
-    last_op = Hashtbl.create 8;
-    last_version = Hashtbl.create 8;
+    generations = Int_map.empty;
+    committed_versions = Int_set.empty;
+    last_op = Int_map.empty;
+    last_version = Int_map.empty;
+    flagged_forks = Fork_set.empty;
     commits_seen = 0;
     reads_checked = 0;
   }
@@ -81,9 +97,9 @@ let witness t site replica =
   let op_no = Replica.op_no replica in
   let version = Replica.version replica in
   let partition = Replica.partition replica in
-  Hashtbl.replace t.committed_versions version ();
-  (match Hashtbl.find_opt t.generations op_no with
-  | None -> Hashtbl.add t.generations op_no (version, partition, site)
+  t.committed_versions <- Int_set.add version t.committed_versions;
+  (match Int_map.find_opt op_no t.generations with
+  | None -> t.generations <- Int_map.add op_no (version, partition, site) t.generations
   | Some (version_a, partition_a, site_a) ->
       if version_a <> version || not (Site_set.equal partition_a partition) then
         flag t
@@ -97,16 +113,16 @@ let witness t site replica =
                version_b = version;
                partition_b = partition;
              }));
-  (match Hashtbl.find_opt t.last_op site with
+  (match Int_map.find_opt site t.last_op with
   | Some before when before >= op_no ->
       flag t (Non_monotone_op { site; before; after = op_no })
   | _ -> ());
-  Hashtbl.replace t.last_op site op_no;
-  (match Hashtbl.find_opt t.last_version site with
+  t.last_op <- Int_map.add site op_no t.last_op;
+  (match Int_map.find_opt site t.last_version with
   | Some before when before > version ->
       flag t (Version_regression { site; before; after = version })
   | _ -> ());
-  Hashtbl.replace t.last_version site version
+  t.last_version <- Int_map.add site version t.last_version
 
 let attach t cluster = Cluster.set_commit_witness cluster (witness t)
 
@@ -130,24 +146,30 @@ let note_read t ~at (outcome : Cluster.outcome) =
           flag t (Stale_read { at; got; wanted = t.committed :: t.maybe })
   end
 
-(* End-of-run scan: among versions some commit actually carried, equal
+(* Content-fork scan: among versions some commit actually carried, equal
    version numbers must mean equal bytes.  (Residue of an aborted write
    sits at a version no commit ever used and is skipped — the client was
-   told that write failed.) *)
-let final_check t cluster =
-  let sites = Site_set.to_list (Cluster.universe cluster) in
-  List.iter
+   told that write failed.)  The scan is incremental: it may run after
+   every schedule step, so the model checker reports the {e first}
+   violating state; a (version, pair) already flagged is not re-reported
+   on later calls. *)
+let check_step t cluster =
+  let universe = Cluster.universe cluster in
+  Site_set.iter
     (fun site_a ->
-      List.iter
+      let a = Cluster.node cluster site_a in
+      let version = Node.data_version a in
+      Site_set.iter
         (fun site_b ->
           if site_a < site_b then begin
-            let a = Cluster.node cluster site_a and b = Cluster.node cluster site_b in
-            let version = Node.data_version a in
+            let b = Cluster.node cluster site_b in
             if
               version = Node.data_version b
-              && Hashtbl.mem t.committed_versions version
+              && Int_set.mem version t.committed_versions
               && Node.content a <> Node.content b
-            then
+              && not (Fork_set.mem (version, site_a, site_b) t.flagged_forks)
+            then begin
+              t.flagged_forks <- Fork_set.add (version, site_a, site_b) t.flagged_forks;
               flag t
                 (Content_fork
                    {
@@ -157,9 +179,126 @@ let final_check t cluster =
                      site_b;
                      content_b = Node.content b;
                    })
+            end
           end)
-        sites)
-    sites
+        universe)
+    universe
+
+let final_check = check_step
+
+(* Snapshots let a backtracking explorer unwind the oracle along with the
+   cluster.  Every field is immutable data rebound in place, so both
+   directions are constant-time field copies. *)
+type snapshot = {
+  snap_violations : violation list;
+  snap_committed : string;
+  snap_maybe : string list;
+  snap_generations : (int * Site_set.t * Site_set.site) Int_map.t;
+  snap_committed_versions : Int_set.t;
+  snap_last_op : int Int_map.t;
+  snap_last_version : int Int_map.t;
+  snap_flagged_forks : Fork_set.t;
+  snap_commits_seen : int;
+  snap_reads_checked : int;
+}
+
+let snapshot t =
+  {
+    snap_violations = t.violations;
+    snap_committed = t.committed;
+    snap_maybe = t.maybe;
+    snap_generations = t.generations;
+    snap_committed_versions = t.committed_versions;
+    snap_last_op = t.last_op;
+    snap_last_version = t.last_version;
+    snap_flagged_forks = t.flagged_forks;
+    snap_commits_seen = t.commits_seen;
+    snap_reads_checked = t.reads_checked;
+  }
+
+let restore t s =
+  t.violations <- s.snap_violations;
+  t.committed <- s.snap_committed;
+  t.maybe <- s.snap_maybe;
+  t.generations <- s.snap_generations;
+  t.committed_versions <- s.snap_committed_versions;
+  t.last_op <- s.snap_last_op;
+  t.last_version <- s.snap_last_version;
+  t.flagged_forks <- s.snap_flagged_forks;
+  t.commits_seen <- s.snap_commits_seen;
+  t.reads_checked <- s.snap_reads_checked
+
+let mem_committed_version t version = Int_set.mem version t.committed_versions
+
+(* Serialize the oracle's memory — the part of the product state that
+   determines which {e future} violations it can still detect — into
+   [buf], canonically.  [rename] canonicalizes content strings (the
+   literal bytes of "w3" vs "w5" are schedule artifacts); [map_site] /
+   [map_set] apply a site permutation so a symmetry-reducing explorer can
+   fold equivalent states.  Already-flagged forks are deliberately
+   excluded: any state carrying one also carries a violation and is never
+   expanded further.
+
+   Two liveness filters keep the serialization from growing with history
+   length (the monotone tables would otherwise make every state
+   path-dependent and defeat the explorer's seen set):
+
+   - Generation entries with op_no < [min_live_op] are dropped.  A future
+     commit's operation number exceeds its coordinator's current one, so
+     with [min_live_op] = the minimum operation number any site could
+     still present as coordinator, entries strictly below it can never be
+     re-witnessed — they are inert for Generation_conflict detection.
+     (The caller owns the soundness argument; pass 0 to keep everything,
+     e.g. when amnesiac restarts can revive arbitrarily stale ensembles.)
+
+   - The committed-versions set is NOT serialized here.  The fork check
+     only consults it for a version two sites currently hold, and a
+     version with no holder anywhere can only be re-acquired through a
+     fresh commit — which re-inserts its membership.  Callers instead
+     record one bit per site ("this site's data version is a committed
+     version"), which is the live content of the set.
+
+   [map_op] / [map_version] canonicalize the two counter domains (the
+   protocols and these checks compare operation and version numbers only
+   for order and equality and advance them by increments, so a caller may
+   rebase them to collapse histories differing by a committed prefix).
+   [min_live_op] is compared against raw, unmapped operation numbers. *)
+let fingerprint_memory t ~buf ~rename ~map_site ~map_set ~map_op ~map_version
+    ~min_live_op =
+  let add_int = Fingerprint_buf.add_int buf in
+  add_int (List.length t.violations);
+  add_int (rename t.committed);
+  add_int (List.length t.maybe);
+  List.iter (fun content -> add_int (rename content)) t.maybe;
+  (* Map iteration is already in ascending key order. *)
+  let live = ref 0 in
+  Int_map.iter
+    (fun op_no _ -> if op_no >= min_live_op then incr live)
+    t.generations;
+  add_int !live;
+  Int_map.iter
+    (fun op_no (version, partition, _site) ->
+      (* The stored first-witness site is report attribution only — the
+         conflict predicate compares version and partition — so it stays
+         out of the fingerprint: states differing in nothing but which
+         site happened to witness a generation first flag the same future
+         violations. *)
+      if op_no >= min_live_op then begin
+        add_int (map_op op_no);
+        add_int (map_version version);
+        add_int (Site_set.to_int (map_set partition))
+      end)
+    t.generations;
+  let per_site table =
+    List.sort compare
+      (Int_map.fold (fun site v acc -> (map_site site, v) :: acc) table [])
+  in
+  let ops = per_site t.last_op in
+  add_int (List.length ops);
+  List.iter (fun (site, op) -> add_int site; add_int (map_op op)) ops;
+  let versions = per_site t.last_version in
+  add_int (List.length versions);
+  List.iter (fun (site, v) -> add_int site; add_int (map_version v)) versions
 
 let violations t = List.rev t.violations
 let is_safe t = t.violations = []

@@ -48,8 +48,13 @@ val note_write : t -> content:string -> Dynvote_msgsim.Cluster.outcome -> unit
 val note_read : t -> at:Site_set.site -> Dynvote_msgsim.Cluster.outcome -> unit
 (** Check a granted read against the register model. *)
 
+val check_step : t -> Dynvote_msgsim.Cluster.t -> unit
+(** Scan the current state for content forks at committed versions.  Safe
+    to call after every schedule step — each fork is flagged once, at the
+    first state exhibiting it, and not re-reported by later calls. *)
+
 val final_check : t -> Dynvote_msgsim.Cluster.t -> unit
-(** Scan the end state for content forks at committed versions. *)
+(** Alias of {!check_step}, kept for the end-of-run call site. *)
 
 val violations : t -> violation list
 (** In discovery order. *)
@@ -58,3 +63,37 @@ val is_safe : t -> bool
 val commits_seen : t -> int
 val reads_checked : t -> int
 val pp_violation : Format.formatter -> violation -> unit
+
+type snapshot
+(** An immutable copy of the oracle's full memory, for backtracking
+    explorers that unwind the oracle along with the cluster. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val mem_committed_version : t -> int -> bool
+(** Has some commit carried this version number? *)
+
+val fingerprint_memory :
+  t ->
+  buf:Buffer.t ->
+  rename:(string -> int) ->
+  map_site:(Site_set.site -> Site_set.site) ->
+  map_set:(Site_set.t -> Site_set.t) ->
+  map_op:(int -> int) ->
+  map_version:(int -> int) ->
+  min_live_op:int ->
+  unit
+(** Serialize the oracle's memory (register model, generation table,
+    per-site monotonicity watermarks) canonically into [buf] — the part
+    of the model checker's product state that determines which future
+    violations remain detectable.  [rename] canonicalizes content
+    strings; [map_site]/[map_set] apply a site permutation for symmetry
+    reduction; [map_op]/[map_version] canonicalize the counter domains
+    (they must be strictly monotone — the checks compare counters only
+    for order and equality).  Generation entries below [min_live_op]
+    (raw, unmapped) are dropped as inert — the caller asserts no future
+    commit can carry such an operation number (pass 0 to keep
+    everything).  The committed-versions set is not serialized: its live
+    content is the per-site {!mem_committed_version} bit, which the
+    caller records alongside each site's data version. *)

@@ -1,0 +1,141 @@
+(* Bounded explicit-state exploration: iterative-deepening DFS over the
+   enabled actions, with a seen-state table and the safety oracle checked
+   at every state.
+
+   One chaos session carries the whole search; branching rewinds it with
+   {!Dynvote_chaos.Harness.checkpoint}/[rollback], so every explored path
+   executes the exact code a chaos replay would.  The seen table maps a
+   canonical fingerprint to the largest remaining-depth budget it was
+   expanded with: a revisit with no more budget is pruned, a revisit with
+   more budget is re-expanded (the standard transposition rule that keeps
+   iterative deepening sound).
+
+   Iterative deepening guarantees the first counterexample found is one
+   of minimum length.  When an iteration completes without ever hitting
+   the depth cutoff, the entire reachable space (under the configured
+   alphabet) has been exhausted and deeper iterations are skipped — the
+   search is [closed]. *)
+
+module Cluster = Dynvote_msgsim.Cluster
+module Harness = Dynvote_chaos.Harness
+module Oracle = Dynvote_chaos.Oracle
+module Schedule = Dynvote_chaos.Schedule
+
+type outcome =
+  | Safe of { closed : bool }
+  | Violation of { trace : Schedule.step list; violations : Oracle.violation list }
+  | Out_of_budget
+
+type result = {
+  outcome : outcome;
+  depth : int;
+  visited : int;
+  distinct : int;
+  transitions : int;
+  peak_seen : int;
+}
+
+exception Found of Schedule.step list * Oracle.violation list
+exception Budget
+
+let search ?(space = Space.default) ?symmetry ?(max_states = 1_000_000) ?progress
+    ~(config : Harness.config) ~depth () =
+  (* Site relabeling commutes with the transition relation only without
+     the lexicographic tie-break (site identity is load-bearing in the
+     ordering), so symmetry reduction defaults off for tie-break
+     flavors. *)
+  let symmetry =
+    match symmetry with
+    | Some s -> s
+    | None -> not config.Harness.flavor.Decision.tie_break
+  in
+  let perms =
+    if symmetry then
+      Fingerprint.segment_perms ~universe:config.Harness.universe
+        ~segment_of:config.Harness.segment_of
+    else [ Fingerprint.identity ~n_sites:(Site_set.max_elt config.Harness.universe + 1) ]
+  in
+  let session = Harness.make_session config in
+  let cluster = Harness.cluster session in
+  let oracle = Harness.oracle session in
+  let buf = Buffer.create 256 in
+  let gc = Space.amnesia_free space in
+  let fingerprint () = Fingerprint.canonical ~buf ~gc ~perms session in
+  let visited = ref 0 in
+  let transitions = ref 0 in
+  let peak_seen = ref 0 in
+  let distinct = ref 0 in
+  let cutoff = ref false in
+  let root = Harness.checkpoint session in
+  let search_to bound =
+    let seen = Hashtbl.create 4096 in
+    cutoff := false;
+    Hashtbl.replace seen (fingerprint ()) bound;
+    incr visited;
+    let rec dfs remaining trace =
+      if remaining = 0 then cutoff := true
+      else begin
+        let ck = Harness.checkpoint session in
+        List.iter
+          (fun step ->
+            incr transitions;
+            Harness.apply_step session step;
+            Oracle.check_step oracle cluster;
+            if not (Oracle.is_safe oracle) then
+              raise (Found (List.rev (step :: trace), Oracle.violations oracle));
+            let fp = fingerprint () in
+            let budget = remaining - 1 in
+            (match Hashtbl.find_opt seen fp with
+            | Some prior when prior >= budget -> ()
+            | _ ->
+                if Hashtbl.length seen >= max_states then raise Budget;
+                Hashtbl.replace seen fp budget;
+                incr visited;
+                dfs budget (step :: trace));
+            Harness.rollback session ck)
+          (Space.enabled space ~config ~cluster)
+      end
+    in
+    let outcome =
+      try
+        dfs bound [];
+        `Exhausted
+      with
+      | Found (trace, violations) -> `Found (trace, violations)
+      | Budget -> `Budget
+    in
+    distinct := Hashtbl.length seen;
+    peak_seen := max !peak_seen !distinct;
+    (match progress with
+    | Some f -> f ~depth:bound ~distinct:!distinct ~transitions:!transitions
+    | None -> ());
+    outcome
+  in
+  let result outcome depth =
+    {
+      outcome;
+      depth;
+      visited = !visited;
+      distinct = !distinct;
+      transitions = !transitions;
+      peak_seen = !peak_seen;
+    }
+  in
+  let rec iterate bound =
+    Harness.rollback session root;
+    match search_to bound with
+    | `Found (trace, violations) ->
+        result (Violation { trace; violations }) (List.length trace)
+    | `Budget -> result Out_of_budget (bound - 1)
+    | `Exhausted ->
+        if not !cutoff then result (Safe { closed = true }) bound
+        else if bound >= depth then result (Safe { closed = false }) bound
+        else iterate (bound + 1)
+  in
+  (* The initial state could in principle already violate (it never does
+     for a sane config, but the oracle decides that, not us). *)
+  Oracle.check_step oracle cluster;
+  if not (Oracle.is_safe oracle) then
+    result (Violation { trace = []; violations = Oracle.violations oracle }) 0
+  else if depth <= 0 then result (Safe { closed = false }) 0
+  else iterate 1

@@ -1,0 +1,44 @@
+(** Bounded explicit-state search: iterative-deepening DFS over the
+    {!Space} alphabet, pruned by a seen-state table of canonical
+    {!Fingerprint}s, with the safety oracle checked at every state. *)
+
+type outcome =
+  | Safe of { closed : bool }
+      (** no reachable violation within the bound; [closed] means the
+          entire reachable space (under the alphabet) was exhausted
+          before the bound, so no depth would ever find one *)
+  | Violation of {
+      trace : Dynvote_chaos.Schedule.step list;
+      violations : Dynvote_chaos.Oracle.violation list;
+    }
+      (** a minimum-length path to an unsafe state (iterative deepening
+          finds shortest counterexamples first) *)
+  | Out_of_budget  (** the seen table hit [max_states] *)
+
+type result = {
+  outcome : outcome;
+  depth : int;
+      (** bound fully exhausted (or closed at); for a violation, the
+          trace length; for out-of-budget, the last completed bound *)
+  visited : int;  (** states stored, cumulative over all iterations *)
+  distinct : int;  (** seen-table size of the final iteration *)
+  transitions : int;  (** actions applied, cumulative *)
+  peak_seen : int;  (** largest seen-table size — the memory high-water *)
+}
+
+val search :
+  ?space:Space.t ->
+  ?symmetry:bool ->
+  ?max_states:int ->
+  ?progress:(depth:int -> distinct:int -> transitions:int -> unit) ->
+  config:Dynvote_chaos.Harness.config ->
+  depth:int ->
+  unit ->
+  result
+(** Explore from the initial state of a fresh session of [config].
+    [symmetry] (within-segment site relabeling in the fingerprint)
+    defaults to on exactly when the flavor has no lexicographic
+    tie-break — relabeling does not commute with the site ordering.
+    [max_states] (default 1_000_000) bounds the seen table.  [progress]
+    is called after each completed deepening iteration.
+    Deterministic: no randomness, no wall-clock dependence. *)

@@ -1,0 +1,225 @@
+(* Canonical state fingerprints for the explorer's seen set.
+
+   A fingerprint serializes everything that determines a session's future
+   behavior: every site's ensemble (o, v, P), data version and content,
+   amnesia and stable-record status; the cluster's up/fresh sets and
+   declared partition groups; and the safety oracle's memory (its
+   register model and monotonicity watermarks are part of the product
+   state — two cluster states are only interchangeable if the oracle can
+   still detect the same future violations from both).
+
+   Content strings are canonicalized by first-occurrence renaming: the
+   literal bytes "w3" vs "w5" record how many write steps a path
+   attempted, not anything the protocol can branch on, so states that
+   differ only in those labels collapse.  (Violation reports quote the
+   literal strings, but a violating state terminates the search — it is
+   never fingerprinted for re-expansion.)
+
+   An optional site permutation relabels sites before serialization; the
+   canonical form under a symmetry group is the minimum serialization
+   over its permutations.  Relabeling is only sound when the transition
+   relation commutes with it — which the lexicographic tie-break breaks,
+   so callers restrict symmetry to tie-break-free flavors and to
+   permutations within a segment (preserving [segment_of]). *)
+
+module Cluster = Dynvote_msgsim.Cluster
+module Node = Dynvote_msgsim.Node
+module Harness = Dynvote_chaos.Harness
+module Oracle = Dynvote_chaos.Oracle
+
+let identity ~n_sites = Array.init n_sites Fun.id
+
+(* All permutations of the universe that map every segment onto itself,
+   identity included (it is the identity of the group, hence always
+   first).  Sites outside the universe map to themselves. *)
+let segment_perms ~universe ~segment_of =
+  let n_sites = Site_set.max_elt universe + 1 in
+  let by_segment = Hashtbl.create 4 in
+  Site_set.iter
+    (fun site ->
+      let seg = segment_of site in
+      Hashtbl.replace by_segment seg (site :: (Option.value ~default:[] (Hashtbl.find_opt by_segment seg))))
+    universe;
+  let rec permutations = function
+    | [] -> [ [] ]
+    | items ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) items in
+            List.map (fun p -> x :: p) (permutations rest))
+          items
+  in
+  (* One (members, images) choice per segment; the cartesian product of
+     per-segment permutations is the full symmetry group. *)
+  let groups =
+    List.sort compare
+      (Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc) by_segment [])
+  in
+  let assignments =
+    List.fold_left
+      (fun acc members ->
+        let perms = permutations members in
+        List.concat_map
+          (fun assignment ->
+            List.map (fun images -> List.combine members images :: assignment) perms)
+          acc)
+      [ [] ] groups
+  in
+  let arrays =
+    List.map
+      (fun assignment ->
+        let perm = identity ~n_sites in
+        List.iter (List.iter (fun (site, image) -> perm.(site) <- image)) assignment;
+        perm)
+      assignments
+  in
+  (* Deterministic order with the identity first. *)
+  let id = identity ~n_sites in
+  id :: List.filter (fun p -> p <> id) (List.sort compare arrays)
+
+let serialize ~buf ~perm ~gc session =
+  let cluster = Harness.cluster session in
+  let oracle = Harness.oracle session in
+  let universe = Cluster.universe cluster in
+  let map_site site = perm.(site) in
+  let map_set set =
+    Site_set.fold (fun site acc -> Site_set.add perm.(site) acc) set Site_set.empty
+  in
+  Buffer.clear buf;
+  let add_int = Dynvote_chaos.Fingerprint_buf.add_int buf in
+  (* Counter rebasing.  Operation and version numbers are only ever
+     compared for order and equality (within their own domain — versions
+     also against data versions) and advance by increments, so subtracting
+     each domain's per-state minimum preserves behavior exactly while
+     collapsing states that differ by a uniformly committed prefix — the
+     rebasing is what lets the reachable space close instead of growing
+     with history length.  Amnesiac sites' decodable stable records can
+     resurface as replicas, so their counters join the minima. *)
+  let o_base = ref max_int and v_base = ref max_int in
+  Site_set.iter
+    (fun site ->
+      let node = Cluster.node cluster site in
+      let replica = Node.replica node in
+      o_base := min !o_base (Replica.op_no replica);
+      v_base := min !v_base (min (Replica.version replica) (Node.data_version node));
+      if Node.is_amnesiac node then
+        match Codec.decode_result (Node.stable_record node) with
+        | Ok r ->
+            o_base := min !o_base (Replica.op_no r);
+            v_base := min !v_base (Replica.version r)
+        | Error _ -> ())
+    universe;
+  let map_op o = o - !o_base and map_version v = v - !v_base in
+  let renames = Hashtbl.create 8 in
+  let rename content =
+    match Hashtbl.find_opt renames content with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length renames in
+        Hashtbl.add renames content id;
+        id
+  in
+  let serialize_site site =
+    let node = Cluster.node cluster site in
+    let replica = Node.replica node in
+    add_int (map_op (Replica.op_no replica));
+    add_int (map_version (Replica.version replica));
+    add_int (Site_set.to_int (map_set (Replica.partition replica)));
+    add_int (map_version (Node.data_version node));
+    (* The live content of the oracle's committed-versions set: membership
+       of the versions sites currently hold.  A version nobody holds can
+       only be re-acquired through a fresh commit, which re-inserts it —
+       so these bits replace serializing the (monotonically growing) set
+       itself. *)
+    add_int (if Oracle.mem_committed_version oracle (Node.data_version node) then 1 else 0);
+    add_int (rename (Node.content node));
+    (* Stable-record status.  Steps keep record and ensemble in sync for
+       every non-amnesiac site (commits rewrite the record; a clean
+       reload restores the ensemble from it; corruption is applied only
+       immediately before the reload that discovers it), so the record
+       carries extra information only on the amnesiac path — where it
+       either still decodes to some stale ensemble or is mangled. *)
+    if not (Node.is_amnesiac node) then add_int 0
+    else
+      match Codec.decode_result (Node.stable_record node) with
+      | Ok r ->
+          add_int 1;
+          add_int (map_op (Replica.op_no r));
+          add_int (map_version (Replica.version r));
+          add_int (Site_set.to_int (map_set (Replica.partition r)))
+      | Error _ -> add_int 2
+  in
+  let is_identity =
+    let ok = ref true in
+    Array.iteri (fun i v -> if i <> v then ok := false) perm;
+    !ok
+  in
+  (if is_identity then
+     (* Ascending site order is already canonical under the identity. *)
+     Site_set.iter serialize_site universe
+   else begin
+     (* Serialize in ascending canonical-id order; the ids themselves are
+        the sorted universe under any in-group permutation, hence carry no
+        information and are omitted — keeping the identity and permuted
+        shapes byte-compatible (the min over the group must compare
+        like with like). *)
+     let canonical_order =
+       List.sort compare (List.map (fun s -> (perm.(s), s)) (Site_set.to_list universe))
+     in
+     List.iter (fun (_canonical_site, site) -> serialize_site site) canonical_order
+   end);
+  add_int (Site_set.to_int (map_set (Cluster.up_sites cluster)));
+  add_int (Site_set.to_int (map_set (Cluster.fresh_sites cluster)));
+  (match Cluster.groups cluster with
+  | None -> add_int (-1)
+  | Some groups ->
+      add_int (List.length groups);
+      List.iter add_int
+        (List.sort compare (List.map (fun g -> Site_set.to_int (map_set g)) groups)));
+  (* Generation-table GC floor: a future commit's operation number always
+     exceeds its coordinator's, and without amnesiac restarts in the
+     alphabet no site's operation number ever decreases (clean restarts
+     reload a record kept in sync with the replica), so the floor is
+     monotone along every path and entries below it stay inert forever.
+     Recovery re-witnesses an {e adopted} ensemble at a peer's own
+     operation number — hence strictly-below, not at-or-below.  With
+     amnesia in the alphabet the floor can drop (a corrupted site revives
+     an arbitrarily stale ensemble), so the caller must disable GC. *)
+  let min_live_op =
+    if not gc then 0
+    else
+      Site_set.fold
+        (fun site floor ->
+          min floor (Replica.op_no (Node.replica (Cluster.node cluster site))))
+        universe max_int
+  in
+  Oracle.fingerprint_memory oracle ~buf ~rename ~map_site ~map_set ~map_op
+    ~map_version ~min_live_op
+
+let of_session ?perm ?(gc = false) session =
+  let buf = Buffer.create 256 in
+  let perm =
+    match perm with
+    | Some p -> p
+    | None ->
+        let universe = Cluster.universe (Harness.cluster session) in
+        identity ~n_sites:(Site_set.max_elt universe + 1)
+  in
+  serialize ~buf ~perm ~gc session;
+  Buffer.contents buf
+
+let canonical ?buf ?(gc = false) ~perms session =
+  let buf = match buf with Some b -> b | None -> Buffer.create 256 in
+  match perms with
+  | [] -> of_session ~gc session
+  | [ perm ] ->
+      serialize ~buf ~perm ~gc session;
+      Buffer.contents buf
+  | first :: rest ->
+      serialize ~buf ~perm:first ~gc session;
+      List.fold_left
+        (fun best perm ->
+          serialize ~buf ~perm ~gc session;
+          let fp = Buffer.contents buf in
+          if fp < best then fp else best)
+        (Buffer.contents buf) rest

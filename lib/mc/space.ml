@@ -1,0 +1,148 @@
+(* The action alphabet: which Schedule steps the explorer branches on at
+   a given state.
+
+   Every emitted step is {e enabled} — it changes state when applied by
+   {!Dynvote_chaos.Harness.apply_step} (crashing a down site, restarting
+   an up one and similar no-ops are skipped at the source; a redundant
+   partition still gets emitted and is pruned by the seen set, which is
+   cheaper than computing redundancy here).
+
+   The alphabet is deliberately coarser than single message deliveries:
+   the cluster's coordinators run their broadcast-gather-decide-commit
+   rounds synchronously, so one client operation is one atomic transition
+   — exactly a {!Dynvote_chaos.Schedule.step}, which is what makes every
+   counterexample replay verbatim in the chaos harness.  Message-level
+   nondeterminism enters through the dedicated crash points
+   ([Crash_coordinator]) instead.
+
+   Restart corruption variants default to [None] (clean record) and
+   [Zero] (record lost): [Truncate] behaves identically to [Zero] (both
+   fail the codec checksum, leaving the site amnesiac) and [Bit_flip]
+   draws on the rng, which would break checkpoint/rollback determinism.
+
+   Partition masks mirror the harness's decoding.  For topological
+   flavors only whole-segment cuts are generated (their network model
+   cannot partition a segment); either way the group containing the
+   lowest-ranked site/segment carries the set bit, halving the
+   complement-duplicate masks. *)
+
+module Cluster = Dynvote_msgsim.Cluster
+module Harness = Dynvote_chaos.Harness
+module Schedule = Dynvote_chaos.Schedule
+
+type t = {
+  reads : bool;
+  coordinator_crashes : bool;
+  recoveries : bool;
+  partitions : bool;
+  corruptions : Schedule.corruption option list;
+}
+
+(* The default alphabet trades breadth for reachable-depth: reads run the
+   same voting round as writes (committing (o+1, v, S) instead of
+   (o+1, v+1, S)) and record corruption only widens amnesia windows that
+   clean crash/restart interleavings already open, so both roughly double
+   the branching factor without enabling qualitatively new histories.
+   Every known protocol violation — including the published TDV hole —
+   is reachable without them; [full] turns them back on for exhaustive
+   sweeps. *)
+let default =
+  {
+    reads = false;
+    coordinator_crashes = true;
+    recoveries = true;
+    partitions = true;
+    corruptions = [ None ];
+  }
+
+let full =
+  {
+    default with
+    reads = true;
+    corruptions = [ None; Some Schedule.Zero ];
+  }
+
+let amnesia_free t = List.for_all (fun c -> c = None) t.corruptions
+
+(* Proper two-way splits as harness-compatible masks: bits index the
+   ranked site list (plain flavors) or segment ids (topological). *)
+let partition_masks ~(config : Harness.config) =
+  let ranked = Site_set.to_list config.Harness.universe in
+  if config.Harness.flavor.Decision.topological then begin
+    let segments =
+      List.sort_uniq compare (List.map config.Harness.segment_of ranked)
+    in
+    match segments with
+    | [] | [ _ ] -> []
+    | first :: rest ->
+        (* Subsets of the remaining segments joined to the first one;
+           excluding the all-segments subset leaves the proper splits. *)
+        let rec subsets = function
+          | [] -> [ [] ]
+          | seg :: rest ->
+              let without = subsets rest in
+              without @ List.map (fun s -> seg :: s) without
+        in
+        List.filter_map
+          (fun subset ->
+            if List.length subset = List.length rest then None
+            else
+              Some
+                (List.fold_left
+                   (fun mask seg -> mask lor (1 lsl seg))
+                   (1 lsl first) subset))
+          (subsets rest)
+        |> List.sort compare
+  end
+  else begin
+    let n = List.length ranked in
+    if n < 2 then []
+    else
+      (* Masks over rank indices with bit 0 set, excluding the full set:
+         2^(n-1) - 1 distinct proper splits. *)
+      let rec loop mask acc =
+        if mask >= (1 lsl n) - 1 then List.rev acc
+        else loop (mask + 2) (mask :: acc)
+      in
+      loop 1 []
+  end
+
+let enabled t ~(config : Harness.config) ~cluster =
+  let universe = Cluster.universe cluster in
+  let up = Cluster.up_sites cluster in
+  let amnesiac = Cluster.amnesiac_sites cluster in
+  let can_coordinate site =
+    Site_set.mem site up && not (Site_set.mem site amnesiac)
+  in
+  let acc = ref [] in
+  let emit step = acc := step :: !acc in
+  Site_set.iter
+    (fun site -> if can_coordinate site then emit (Schedule.Write site))
+    universe;
+  if t.reads then
+    Site_set.iter
+      (fun site -> if can_coordinate site then emit (Schedule.Read site))
+      universe;
+  if t.coordinator_crashes then
+    Site_set.iter
+      (fun site -> if can_coordinate site then emit (Schedule.Crash_coordinator site))
+      universe;
+  Site_set.iter (fun site -> emit (Schedule.Crash site)) up;
+  Site_set.iter
+    (fun site ->
+      if not (Site_set.mem site up) then
+        List.iter (fun c -> emit (Schedule.Restart (site, c))) t.corruptions)
+    universe;
+  if t.recoveries then
+    Site_set.iter
+      (fun site ->
+        if (not (Site_set.mem site up)) || Site_set.mem site amnesiac then
+          emit (Schedule.Recover site))
+      universe;
+  if t.partitions then begin
+    List.iter (fun mask -> emit (Schedule.Partition mask)) (partition_masks ~config);
+    match Cluster.groups cluster with
+    | Some _ -> emit Schedule.Heal
+    | None -> ()
+  end;
+  List.rev !acc

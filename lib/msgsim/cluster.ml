@@ -422,6 +422,53 @@ let recover t ~site =
             (verdict, None, not survived)
           end)
 
+let groups t = t.groups
+
+(* Live connectivity components: the declared partition groups restricted
+   to up sites (one component of every up site when unpartitioned). *)
+let components t =
+  match t.groups with
+  | None -> if Site_set.is_empty t.up then [] else [ t.up ]
+  | Some groups ->
+      List.filter_map
+        (fun g ->
+          let live = Site_set.inter g t.up in
+          if Site_set.is_empty live then None else Some live)
+        groups
+
+(* Snapshots capture the inter-operation cluster state: every node plus
+   the topology bookkeeping.  The transport carries no state worth saving
+   between operations — snapshots are only valid while it is quiet, which
+   is also the only moment a model checker branches.  The round counter is
+   saved so a restored run is bit-identical to a fresh one. *)
+type snapshot = {
+  snap_nodes : Node.snapshot array;
+  snap_up : Site_set.t;
+  snap_groups : Site_set.t list option;
+  snap_fresh : Site_set.t;
+  snap_round : int;
+}
+
+let snapshot t =
+  if Transport.in_flight t.transport > 0 then
+    invalid_arg "Cluster.snapshot: traffic in flight";
+  {
+    snap_nodes = Array.map Node.snapshot t.nodes;
+    snap_up = t.up;
+    snap_groups = t.groups;
+    snap_fresh = t.fresh;
+    snap_round = t.round;
+  }
+
+let restore t s =
+  if Transport.in_flight t.transport > 0 then
+    invalid_arg "Cluster.restore: traffic in flight";
+  Array.iteri (fun i node -> Node.restore t.nodes.(i) node) s.snap_nodes;
+  t.up <- s.snap_up;
+  t.groups <- s.snap_groups;
+  t.fresh <- s.snap_fresh;
+  t.round <- s.snap_round
+
 let replica_states t =
   Array.map Node.replica t.nodes
 

@@ -124,6 +124,26 @@ val lock : t -> at:Site_set.site -> op:int -> [ `Granted of Site_set.t | `Denied
 val unlock : t -> at:Site_set.site -> op:int -> unit
 (** Release operation [op]'s locks everywhere reachable. *)
 
+val groups : t -> Site_set.t list option
+(** The declared partition groups ([None] = fully connected). *)
+
+val components : t -> Site_set.t list
+(** Live connectivity components: the declared groups restricted to up
+    sites, empty components dropped. *)
+
+type snapshot
+(** An immutable copy of the cluster's inter-operation state: every
+    node's persistent state plus the up/groups/fresh topology
+    bookkeeping.  Valid only while the transport is quiet. *)
+
+val snapshot : t -> snapshot
+(** @raise Invalid_argument while traffic is in flight. *)
+
+val restore : t -> snapshot -> unit
+(** Reinstate a snapshot; a restored run replays bit-identically to a
+    fresh execution of the same steps.
+    @raise Invalid_argument while traffic is in flight. *)
+
 val replica_states : t -> Replica.t array
 (** Current ensembles of every site (for equivalence tests against the
     pure {!Dynvote.Operation} semantics). *)

@@ -127,6 +127,40 @@ let install_commit t ~op_no ~version ~partition ?data () =
     match t.on_commit with Some f -> f t.site t.replica | None -> ()
   end
 
+(* Snapshots capture everything that persists between operations: the
+   ensemble, the data, the stable record, amnesia, and the volatile lock
+   (which a crashed coordinator can leave held at its participants).  The
+   collector and fetch round are strictly intra-operation state and are a
+   quiescent [None]; restore resets them rather than saving them. *)
+type snapshot = {
+  snap_replica : Replica.t;
+  snap_data_version : int;
+  snap_content : string;
+  snap_stable : string;
+  snap_amnesiac : bool;
+  snap_lock : int option;
+}
+
+let snapshot t =
+  {
+    snap_replica = t.replica;
+    snap_data_version = t.data_version;
+    snap_content = t.content;
+    snap_stable = t.stable;
+    snap_amnesiac = t.amnesiac;
+    snap_lock = t.lock;
+  }
+
+let restore t s =
+  t.replica <- s.snap_replica;
+  t.data_version <- s.snap_data_version;
+  t.content <- s.snap_content;
+  t.stable <- s.snap_stable;
+  t.amnesiac <- s.snap_amnesiac;
+  t.lock <- s.snap_lock;
+  t.collector <- None;
+  t.fetch_round <- None
+
 let handler t transport message =
   match message.Message.payload with
   | Message.State_request { round } ->

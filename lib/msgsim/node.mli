@@ -70,3 +70,14 @@ val install_commit :
 
 val handler : t -> Transport.t -> Message.t -> unit
 (** The node's protocol automaton, to be registered with the transport. *)
+
+type snapshot
+(** An immutable copy of the node's inter-operation state: ensemble, data,
+    stable record, amnesia flag and the volatile lock. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Reinstate a snapshot.  The collector and fetch round — meaningful only
+    inside an in-flight operation — are reset, so restoring while an
+    operation is running is not supported. *)

@@ -1,0 +1,21 @@
+(* Shared qcheck generators for the randomized suites (chaos, msgsim,
+   differential, model checker).  Kept together so every suite shrinks in
+   the same spaces and a counterexample found by one is directly
+   replayable in another. *)
+
+(* Integer-coded chaos schedules, decoded by
+   {!Dynvote_chaos.Schedule.of_ints}.  Codes stay below 96 so every value
+   decodes to a step with detail 0..3 — the space qcheck shrinks in. *)
+let schedule_codes = QCheck.(list_of_size Gen.(int_range 5 25) (int_range 0 95))
+
+(* Command scripts against a small cluster: each code selects a site
+   ([cmd mod n_sites]) and an action ([cmd / n_sites mod 4]:
+   fail / recover / write / read).  [int_bound 99] keeps three-site
+   scripts in the decodable range while shrinking toward short prefixes. *)
+let cluster_script = QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 99))
+
+(* As {!cluster_script}, for four-site universes with two extra actions:
+   [cmd / 4 mod 6] selects fail / recover / write / read / partition /
+   heal, and a partition code picks one of three fixed two-way splits by
+   [cmd mod 3].  [int_bound 95] = 4 sites x 24 covers every combination. *)
+let partition_script = QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 95))

@@ -55,7 +55,7 @@ let two_sites flavor =
 let no_violations flavor codes =
   (Harness.run_ints (two_sites flavor) codes).Harness.violations = []
 
-let schedule_codes = QCheck.(list_of_size Gen.(int_range 5 25) (int_range 0 95))
+let schedule_codes = Generators.schedule_codes
 
 let test_tdv_hole_caught () =
   let cell =

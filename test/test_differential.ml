@@ -1,0 +1,340 @@
+(* Differential layer: the message-level cluster (lib/msgsim) against a
+   lockstep twin driven by the pure Operation semantics (lib/core).
+
+   Both sides execute the same script.  The cluster runs every operation
+   as real broadcast-gather-decide-commit message rounds; the twin calls
+   Operation.{read,write,recover} directly on a replica array while
+   mirroring the cluster's topology bookkeeping (up sites, declared
+   partition groups, and the continuously-up-since-last-commit "fresh"
+   set that gates topological vote claiming).  After every step the two
+   must agree on the verdict, the granted bit, the up and fresh sets, and
+   the full (operation number, version, partition) ensemble at every
+   site.  Any divergence means the wire protocol and the paper's pure
+   semantics have drifted apart.
+
+   A last section cross-checks the MCV availability probe of the Policy
+   layer against an independent majority computation over the cluster's
+   live components. *)
+
+open Helpers
+module Cluster = Dynvote_msgsim.Cluster
+
+(* --- The pure lockstep twin --- *)
+
+module Twin = struct
+  type t = {
+    states : Replica.t array;
+    ctx : Operation.ctx;
+    universe : Site_set.t;
+    mutable up : Site_set.t;
+    mutable fresh : Site_set.t;
+    mutable groups : Site_set.t list option;
+  }
+
+  let create ?flavor ?segment_of ~universe () =
+    let n_sites = Site_set.max_elt universe + 1 in
+    {
+      states = Array.make n_sites (Replica.initial universe);
+      ctx = Operation.make_ctx ?flavor ?segment_of (Ordering.default n_sites);
+      universe;
+      up = universe;
+      fresh = universe;
+      groups = None;
+    }
+
+  (* R as the cluster's gather sees it: the up sites of the requester's
+     declared group (everything up when unpartitioned). *)
+  let reachable t site =
+    let component =
+      match t.groups with
+      | None -> t.universe
+      | Some groups -> List.find (fun g -> Site_set.mem site g) groups
+    in
+    Site_set.inter component t.up
+
+  let fail t site =
+    t.up <- Site_set.remove site t.up;
+    t.fresh <- Site_set.remove site t.fresh
+
+  let partition t groups = t.groups <- Some groups
+  let heal t = t.groups <- None
+
+  (* A grant makes the commit recipients fresh again (they all just
+     applied the new ensemble). *)
+  let committed t recipients =
+    t.fresh <- Site_set.union t.fresh (Site_set.inter recipients t.up)
+
+  let read t ~at =
+    let verdict =
+      Operation.read t.ctx t.states ~fresh:t.fresh ~reachable:(reachable t at) ()
+    in
+    (match verdict with
+    | Decision.Granted g -> committed t g.Decision.s
+    | Decision.Denied _ -> ());
+    verdict
+
+  let write t ~at =
+    let verdict =
+      Operation.write t.ctx t.states ~fresh:t.fresh ~reachable:(reachable t at) ()
+    in
+    (match verdict with
+    | Decision.Granted g -> committed t g.Decision.s
+    | Decision.Denied _ -> ());
+    verdict
+
+  let recover t ~site =
+    t.up <- Site_set.add site t.up;
+    let verdict =
+      Operation.recover t.ctx t.states ~fresh:t.fresh ~site
+        ~reachable:(reachable t site) ()
+    in
+    (match verdict with
+    | Decision.Granted g -> committed t (Site_set.add site g.Decision.s)
+    | Decision.Denied _ -> ());
+    verdict
+end
+
+(* --- Lockstep driver --- *)
+
+type step =
+  | Fail of Site_set.site
+  | Recover of Site_set.site
+  | Write of Site_set.site
+  | Read of Site_set.site
+  | Partition of Site_set.t list
+  | Heal
+
+let verdict_equal a b =
+  match (a, b) with
+  | Decision.Granted x, Decision.Granted y ->
+      x.Decision.m = y.Decision.m
+      && Site_set.equal x.Decision.q y.Decision.q
+      && Site_set.equal x.Decision.s y.Decision.s
+      && Site_set.equal x.Decision.p_m y.Decision.p_m
+      && Site_set.equal x.Decision.claimed y.Decision.claimed
+  | Decision.Denied x, Decision.Denied y -> x = y
+  | _ -> false
+
+type pair = { cluster : Cluster.t; twin : Twin.t; mutable writes : int }
+
+let make_pair ?flavor ?segment_of universe =
+  {
+    cluster = Cluster.create ?flavor ?segment_of ~universe ~initial_content:"g0" ();
+    twin = Twin.create ?flavor ?segment_of ~universe ();
+    writes = 0;
+  }
+
+(* Execute one step on both sides; return the agreed granted bit (or None
+   for pure topology steps), raising on any disagreement. *)
+let lockstep p step =
+  let op =
+    match step with
+    | Fail site ->
+        Cluster.fail p.cluster site;
+        Twin.fail p.twin site;
+        None
+    | Partition groups ->
+        Cluster.partition p.cluster groups;
+        Twin.partition p.twin groups;
+        None
+    | Heal ->
+        Cluster.heal p.cluster;
+        Twin.heal p.twin;
+        None
+    | Recover site ->
+        Some (Cluster.recover p.cluster ~site, Twin.recover p.twin ~site)
+    | Write site ->
+        p.writes <- p.writes + 1;
+        let content = Printf.sprintf "w%d" p.writes in
+        Some (Cluster.write p.cluster ~at:site ~content, Twin.write p.twin ~at:site)
+    | Read site -> Some (Cluster.read p.cluster ~at:site, Twin.read p.twin ~at:site)
+  in
+  let granted =
+    match op with
+    | None -> None
+    | Some (outcome, twin_verdict) ->
+        if not (verdict_equal outcome.Cluster.verdict twin_verdict) then
+          Alcotest.failf "verdicts diverge: cluster %a, twin %a" Decision.pp_verdict
+            outcome.Cluster.verdict Decision.pp_verdict twin_verdict;
+        (* Quiet delivery, no injected faults: granted iff the decision
+           granted. *)
+        Alcotest.(check bool) "granted bit" outcome.Cluster.granted
+          (Decision.is_granted twin_verdict);
+        Some outcome.Cluster.granted
+  in
+  Alcotest.check set_testable "up sets agree" p.twin.Twin.up
+    (Cluster.up_sites p.cluster);
+  Alcotest.check set_testable "fresh sets agree" p.twin.Twin.fresh
+    (Cluster.fresh_sites p.cluster);
+  let wire = Cluster.replica_states p.cluster in
+  Site_set.iter
+    (fun site ->
+      Alcotest.check replica_testable
+        (Printf.sprintf "site %d ensembles agree" site)
+        p.twin.Twin.states.(site) wire.(site))
+    p.twin.Twin.universe;
+  granted
+
+let run_lockstep p steps = List.iter (fun step -> ignore (lockstep p step)) steps
+
+let expect name expected p step =
+  match lockstep p step with
+  | Some granted -> Alcotest.(check bool) name expected granted
+  | None -> Alcotest.fail (name ^ ": step produced no verdict")
+
+(* --- Deterministic scenarios --- *)
+
+let universe4 = ss [ 0; 1; 2; 3 ]
+let segment_of4 site = site / 2
+
+(* The paper's four-site, two-segment block through partitions, an even
+   split (where the lexicographic tie-break decides), failures and
+   recoveries — checked ensemble-by-ensemble at every step. *)
+let test_partition_scenario () =
+  List.iter
+    (fun flavor ->
+      let p = make_pair ~flavor ~segment_of:segment_of4 universe4 in
+      expect "initial write" true p (Write 0);
+      run_lockstep p [ Partition [ ss [ 0; 1 ]; ss [ 2; 3 ] ] ];
+      (* An even split of the quorum {0,1,2,3}: only the tie-breaking
+         flavors may proceed, and only on the side ranking highest. *)
+      let tie = flavor.Decision.tie_break in
+      expect "majority-side write" tie p (Write 0);
+      expect "minority side denied" false p (Read 2);
+      run_lockstep p [ Heal ];
+      expect "healed read" true p (Read 2);
+      expect "stale site reintegrates" true p (Recover 2);
+      run_lockstep p [ Fail 3 ];
+      expect "3-of-4 write" true p (Write 1);
+      expect "failed site recovers" true p (Recover 3);
+      expect "final read" true p (Read 3))
+    [ Decision.dv_flavor; Decision.ldv_flavor; Decision.tdv_safe_flavor ]
+
+(* The published-TDV counterexample, replayed differentially: both sides
+   must agree that TDV as published grants the stale site's recovery (the
+   split-brain) and that the freshness correction refuses it. *)
+let universe2 = ss [ 0; 1 ]
+
+let test_tdv_hole_lockstep () =
+  let run flavor =
+    let p = make_pair ~flavor ~segment_of:(fun _ -> 0) universe2 in
+    run_lockstep p [ Fail 1 ];
+    expect "survivor claims the dead vote" true p (Write 0);
+    run_lockstep p [ Fail 0 ];
+    p
+  in
+  let tdv = run Decision.tdv_flavor in
+  expect "published tdv resurrects the stale site" true tdv (Recover 1);
+  let safe = run Decision.tdv_safe_flavor in
+  expect "freshness condition refuses the stale claim" false safe (Recover 1)
+
+(* --- Randomized lockstep equivalence --- *)
+
+(* Decode a script code exactly like the msgsim random-history test:
+   site = cmd mod n, action = cmd / n mod 4 (fail / recover / write /
+   read), skipping operations whose requester is in the wrong state. *)
+let decode_simple n_sites up cmd =
+  let site = cmd mod n_sites in
+  match cmd / n_sites mod 4 with
+  | 0 -> Some (Fail site)
+  | 1 -> if Site_set.mem site up then None else Some (Recover site)
+  | 2 -> if Site_set.mem site up then Some (Write site) else None
+  | _ -> if Site_set.mem site up then Some (Read site) else None
+
+let run_script p decode script =
+  List.iter
+    (fun cmd ->
+      match decode (Cluster.up_sites p.cluster) cmd with
+      | Some step -> ignore (lockstep p step)
+      | None -> ())
+    script;
+  true
+
+let prop_lockstep name flavor =
+  qcheck_case ~count:100 ~name Generators.cluster_script (fun script ->
+      let p = make_pair ~flavor ~segment_of:(fun site -> site / 2) (ss [ 0; 1; 2 ]) in
+      run_script p (decode_simple 3) script)
+
+(* Four sites, two segments, with partitions and heals in the action
+   alphabet — the §3 topology under random histories. *)
+let splits4 =
+  [|
+    [ ss [ 0 ]; ss [ 1; 2; 3 ] ];
+    [ ss [ 0; 1 ]; ss [ 2; 3 ] ];
+    [ ss [ 0; 1; 2 ]; ss [ 3 ] ];
+  |]
+
+let decode_partition up cmd =
+  let site = cmd mod 4 in
+  match cmd / 4 mod 6 with
+  | 0 -> Some (Fail site)
+  | 1 -> if Site_set.mem site up then None else Some (Recover site)
+  | 2 -> if Site_set.mem site up then Some (Write site) else None
+  | 3 -> if Site_set.mem site up then Some (Read site) else None
+  | 4 -> Some (Partition splits4.(site mod 3))
+  | _ -> Some Heal
+
+let prop_lockstep_partitions name flavor =
+  qcheck_case ~count:100 ~name Generators.partition_script (fun script ->
+      let p = make_pair ~flavor ~segment_of:segment_of4 universe4 in
+      run_script p decode_partition script)
+
+(* --- MCV availability vs. the Policy probe --- *)
+
+(* MCV is stateless, so the cluster has no wire implementation to race;
+   instead the Policy probe is checked against an independent majority
+   computation over the cluster's live components as a random
+   fail/recover history unfolds. *)
+let prop_mcv_availability =
+  qcheck_case ~count:100 ~name:"mcv probe = majority of live components"
+    Generators.cluster_script (fun script ->
+      let universe = ss [ 0; 1; 2 ] in
+      let c = Cluster.create ~universe () in
+      let policy =
+        Policy.create Policy.Mcv ~universe ~n_sites:3 ~segment_of:(fun _ -> 0)
+          ~ordering:(Ordering.default 3)
+      in
+      let total = Site_set.cardinal universe in
+      let top = Ordering.max_element (Ordering.default 3) universe in
+      List.iter
+        (fun cmd ->
+          let site = cmd mod 3 in
+          (match cmd / 3 mod 4 with
+          | 0 -> Cluster.fail c site
+          | 1 ->
+              if not (Site_set.mem site (Cluster.up_sites c)) then
+                ignore (Cluster.recover c ~site)
+          | _ -> ());
+          let components = Cluster.components c in
+          let view = { Policy.components } in
+          let expected =
+            List.exists
+              (fun component ->
+                let have = Site_set.cardinal (Site_set.inter component universe) in
+                (2 * have > total) || (2 * have = total && Site_set.mem top component))
+              components
+          in
+          if Policy.is_available policy view <> expected then
+            QCheck.Test.fail_reportf "mcv probe diverges on %a"
+              Fmt.(Dump.list Site_set.pp)
+              components)
+        script;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "partition scenario stays in lockstep" `Quick
+      test_partition_scenario;
+    Alcotest.test_case "tdv hole replays differentially" `Quick
+      test_tdv_hole_lockstep;
+    prop_lockstep "dv: random histories stay in lockstep" Decision.dv_flavor;
+    prop_lockstep "ldv/odv: random histories stay in lockstep" Decision.ldv_flavor;
+    prop_lockstep "tdv: random histories stay in lockstep" Decision.tdv_flavor;
+    prop_lockstep "tdv-safe: random histories stay in lockstep"
+      Decision.tdv_safe_flavor;
+    prop_lockstep_partitions "dv: partitioned histories stay in lockstep"
+      Decision.dv_flavor;
+    prop_lockstep_partitions "tdv-safe: partitioned histories stay in lockstep"
+      Decision.tdv_safe_flavor;
+    prop_mcv_availability;
+  ]

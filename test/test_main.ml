@@ -17,11 +17,13 @@ let () =
       ("study", Test_study.suite);
       ("analytic", Test_analytic.suite);
       ("msgsim", Test_msgsim.suite);
+      ("differential", Test_differential.suite);
       ("store", Test_store.suite);
       ("report", Test_report.suite);
       ("timeline", Test_timeline.suite);
       ("codec", Test_codec.suite);
       ("chaos", Test_chaos.suite);
+      ("mc", Test_mc.suite);
       ("adaptive_witness", Test_adaptive_witness.suite);
       ("misc", Test_misc.suite);
     ]

@@ -1,0 +1,128 @@
+(* Bounded model checker: the published-TDV hole is found as a
+   minimum-length counterexample that replays verbatim in the chaos
+   harness; the corrected flavors exhaust small scopes clean; the search
+   is deterministic; symmetry reduction only shrinks the state count.
+   Set DYNVOTE_MC_DEPTH to also sweep the paper's four-copy example at a
+   chosen bound (the cram test covers depth 8 of that scope). *)
+
+module Checker = Dynvote_mc.Checker
+module Explorer = Dynvote_mc.Explorer
+module Space = Dynvote_mc.Space
+module Harness = Dynvote_chaos.Harness
+
+let policy name =
+  match Harness.policy_of_string name with
+  | Some p -> p
+  | None -> Alcotest.failf "no policy %S" name
+
+(* Two sites on one segment: the smallest scope exhibiting the hole. *)
+let two_sites flavor =
+  Checker.make_config ~flavor ~universe:(Site_set.of_list [ 0; 1 ])
+    ~segment_of:(fun _ -> 0) ()
+
+let config_for p = two_sites p.Harness.flavor
+
+let test_tdv_hole_found () =
+  let p = policy "tdv" in
+  let report = Checker.check ~policy:p ~depth:5 (config_for p) in
+  (match report.Checker.verdict with
+  | Checker.Counterexample { schedule; violations; replay_matches; _ } ->
+      Alcotest.(check bool) "replays identically in the harness" true
+        replay_matches;
+      Alcotest.(check bool) "at most five steps" true
+        (List.length schedule.Dynvote_chaos.Schedule.steps <= 5);
+      Alcotest.(check bool) "a violation is reported" true (violations <> [])
+  | Checker.Clean _ -> Alcotest.fail "tdv hole not found at depth 5"
+  | Checker.Inconclusive -> Alcotest.fail "state budget exhausted");
+  Alcotest.(check bool) "counterexample on an expected-unsafe policy is ok" true
+    (Checker.verdict_ok report)
+
+let test_safe_policies_clean () =
+  List.iter
+    (fun name ->
+      let p = policy name in
+      let report = Checker.check ~policy:p ~depth:6 (config_for p) in
+      (match report.Checker.verdict with
+      | Checker.Clean _ -> ()
+      | Checker.Counterexample { violations; _ } ->
+          Alcotest.failf "%s unsafe: %a" name
+            Fmt.(Dump.list Dynvote_chaos.Oracle.pp_violation)
+            violations
+      | Checker.Inconclusive -> Alcotest.failf "%s: budget exhausted" name);
+      Alcotest.(check bool) (name ^ " verdict ok") true (Checker.verdict_ok report))
+    [ "dv"; "odv"; "tdv-safe" ]
+
+let test_deterministic () =
+  let run () =
+    Explorer.search ~config:(two_sites Decision.ldv_flavor) ~depth:5 ()
+  in
+  Alcotest.(check bool) "two searches, identical results" true (run () = run ())
+
+(* Relabeling sites within a segment must never change the verdict, only
+   fold equivalent states: same outcome, no larger seen table. *)
+let test_symmetry_sound () =
+  let config = Checker.paper_config ~flavor:Decision.dv_flavor () in
+  let folded = Explorer.search ~symmetry:true ~config ~depth:4 () in
+  let plain = Explorer.search ~symmetry:false ~config ~depth:4 () in
+  (match (folded.Explorer.outcome, plain.Explorer.outcome) with
+  | Explorer.Safe _, Explorer.Safe _ -> ()
+  | _ -> Alcotest.fail "dv must be safe at depth 4 with and without symmetry");
+  Alcotest.(check bool) "symmetry never grows the state count" true
+    (folded.Explorer.distinct <= plain.Explorer.distinct);
+  Alcotest.(check bool) "symmetry actually folds states" true
+    (folded.Explorer.distinct < plain.Explorer.distinct)
+
+let test_budget_exhaustion () =
+  let result =
+    Explorer.search ~max_states:50 ~config:(two_sites Decision.dv_flavor)
+      ~depth:8 ()
+  in
+  match result.Explorer.outcome with
+  | Explorer.Out_of_budget -> ()
+  | _ -> Alcotest.fail "a 50-state budget cannot cover depth 8"
+
+(* The paper's §3 four-copy topology: the published violation surfaces as
+   a short schedule even at a shallow bound. *)
+let test_paper_example_tdv () =
+  let p = policy "tdv" in
+  let report = Checker.check ~policy:p ~depth:5 (Checker.paper_config ()) in
+  match report.Checker.verdict with
+  | Checker.Counterexample { replay_matches; _ } ->
+      Alcotest.(check bool) "replays identically" true replay_matches
+  | _ -> Alcotest.fail "tdv hole not found on the paper example at depth 5"
+
+(* Deep sweep of the paper scope, opt-in: DYNVOTE_MC_DEPTH=8 runs the
+   full acceptance bound (~1 minute for all four policies). *)
+let test_deep_sweep () =
+  match Sys.getenv_opt "DYNVOTE_MC_DEPTH" with
+  | None | Some "" -> ()
+  | Some depth ->
+      let depth = int_of_string depth in
+      List.iter
+        (fun name ->
+          let p = policy name in
+          let report =
+            Checker.check ~policy:p ~depth (Checker.paper_config ())
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s verdict ok at depth %d" name depth)
+            true (Checker.verdict_ok report);
+          match (p.Harness.expect_safe, report.Checker.verdict) with
+          | true, Checker.Counterexample _ ->
+              Alcotest.failf "%s expected safe, found a counterexample" name
+          | false, Checker.Clean _ ->
+              Alcotest.failf "%s expected unsafe, swept clean" name
+          | _ -> ())
+        [ "dv"; "odv"; "tdv"; "tdv-safe" ]
+
+let suite =
+  [
+    Alcotest.test_case "tdv hole found and replayed" `Quick test_tdv_hole_found;
+    Alcotest.test_case "safe policies sweep clean" `Quick test_safe_policies_clean;
+    Alcotest.test_case "search is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "symmetry reduction is sound" `Quick test_symmetry_sound;
+    Alcotest.test_case "state budget reported" `Quick test_budget_exhaustion;
+    Alcotest.test_case "paper example: tdv counterexample" `Quick
+      test_paper_example_tdv;
+    Alcotest.test_case "deep sweep (DYNVOTE_MC_DEPTH)" `Slow test_deep_sweep;
+  ]

@@ -281,7 +281,7 @@ let test_lock_lost_on_crash () =
    the wire-level states consistent and identical to the pure oracle. *)
 let prop_random_histories_consistent =
   qcheck_case ~count:60 ~name:"random wire histories stay consistent"
-    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 99))
+    Generators.cluster_script
     (fun script ->
       let c = Cluster.create ~universe:universe3 ~initial_content:"0" () in
       let counter = ref 0 in
