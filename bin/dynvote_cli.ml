@@ -564,10 +564,252 @@ let mc_cmd =
     Term.(const run $ policy_arg $ sites_arg $ segments_arg $ depth_arg
           $ max_states_arg $ symmetry_arg $ full_arg $ verbose_arg)
 
+(* Subcommands: serve / loadgen (the live socket-backed service). *)
+
+module Live = Dynvote_live.Cluster
+module Loadgen = Dynvote_live.Loadgen
+module Live_node = Dynvote_live.Node
+module Oracle = Dynvote_chaos.Oracle
+
+let live_sites =
+  let doc = "Number of replica sites (one server thread each)." in
+  Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc)
+
+let live_policy =
+  let doc = "Voting policy (dv, ldv, odv, tdv, otdv, tdv-safe, otdv-safe)." in
+  Arg.(value & opt string "ldv" & info [ "policy" ] ~docv:"P" ~doc)
+
+let live_buffered =
+  let doc =
+    "Skip the per-commit fsyncs (atomic replace only).  Faster, but a power cut \
+     can lose the stable record the paper's protocol depends on."
+  in
+  Arg.(value & flag & info [ "buffered" ] ~doc)
+
+let live_flavor text =
+  match Harness.policy_of_string text with
+  | Some p -> p.Harness.flavor
+  | None ->
+      Fmt.epr "dynvote: unknown policy %S@." text;
+      exit 2
+
+(* Loopback tuning: the library default (0.2 s rounds) is patience for a
+   real network; here every peer is micro-seconds away and snappy rounds
+   keep lock contention cheap. *)
+let live_config ~buffered =
+  {
+    Live_node.default_config with
+    Live_node.gather_timeout = 0.05;
+    lock_backoff = 0.02;
+    durable = not buffered;
+  }
+
+let fresh_temp_dir () =
+  let base = Filename.temp_file "dynvote-live" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let pp_audit ppf (audit : Live.audit) =
+  let violations = Oracle.violations audit.Live.oracle in
+  Fmt.pf ppf "audit: %d log records, %d commits, %d reads checked@,"
+    audit.Live.records
+    (Oracle.commits_seen audit.Live.oracle)
+    (Oracle.reads_checked audit.Live.oracle);
+  if not (Site_set.is_empty audit.Live.torn) then
+    Fmt.pf ppf "torn log tails at sites %a (mid-append kill)@," Site_set.pp
+      audit.Live.torn;
+  match violations with
+  | [] -> Fmt.pf ppf "audit: SAFE (0 violations)"
+  | vs ->
+      List.iter (fun v -> Fmt.pf ppf "%a@," Oracle.pp_violation v) vs;
+      Fmt.pf ppf "audit: UNSAFE (%d violations)" (List.length vs)
+
+(* The serve console: one command per line, usable both from a script
+   and interactively.  Groups are comma-separated sites split by '/'. *)
+
+let parse_groups text =
+  text
+  |> String.split_on_char '/'
+  |> List.map (fun g ->
+         g
+         |> String.split_on_char ','
+         |> List.filter_map (fun s ->
+                match String.trim s with "" -> None | s -> Some (int_of_string s))
+         |> Site_set.of_list)
+
+let pp_reply ppf (r : Live.reply) =
+  match r.Live.status with
+  | Dynvote_live.Wire.Granted -> (
+      match r.Live.value with
+      | Some v -> Fmt.pf ppf "granted %S" v
+      | None ->
+          if r.Live.info = "" then Fmt.string ppf "granted"
+          else Fmt.pf ppf "granted (%s)" r.Live.info)
+  | Dynvote_live.Wire.Denied -> Fmt.pf ppf "denied (%s)" r.Live.info
+  | Dynvote_live.Wire.Aborted -> Fmt.pf ppf "aborted (%s)" r.Live.info
+
+let serve_command cluster client line =
+  let fail reason = Fmt.pr "error: %s@." reason in
+  match
+    line |> String.split_on_char ' ' |> List.filter (fun s -> s <> "")
+  with
+  | [] -> ()
+  | cmd :: _ when cmd.[0] = '#' -> ()
+  | [ "put"; site; key; value ] ->
+      Fmt.pr "%a@." pp_reply
+        (Live.put client ~at:(int_of_string site) ~key ~value)
+  | [ "get"; site; key ] ->
+      Fmt.pr "%a@." pp_reply (Live.get client ~at:(int_of_string site) ~key)
+  | [ "recover"; site ] ->
+      Fmt.pr "%a@." pp_reply (Live.recover_site client (int_of_string site))
+  | [ "partition"; groups ] -> (
+      match Live.partition cluster (parse_groups groups) with
+      | () -> Fmt.pr "partitioned %s@." groups
+      | exception Invalid_argument reason -> fail reason)
+  | [ "heal" ] ->
+      Live.heal cluster;
+      Fmt.pr "healed@."
+  | [ "kill"; site ] ->
+      Live.kill cluster (int_of_string site);
+      Fmt.pr "killed %s@." site
+  | [ "restart"; site ] ->
+      Live.restart cluster (int_of_string site);
+      Fmt.pr "restarted %s@." site
+  | [ "status" ] ->
+      Fmt.pr "up: %a@." Site_set.pp (Live.up_sites cluster)
+  | [ "check" ] -> Fmt.pr "@[<v>%a@]@." pp_audit (Live.check cluster)
+  | [ "sleep"; seconds ] -> Thread.delay (float_of_string seconds)
+  | _ ->
+      fail
+        (Printf.sprintf
+           "unknown command %S (put/get/recover/partition/heal/kill/restart/\
+            status/check/sleep)"
+           line)
+
+let serve_cmd =
+  let dir_arg =
+    let doc =
+      "State directory (one subdirectory per site; reused across runs, so a \
+       stopped cluster resumes from its stable records)."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let script_arg =
+    let doc = "Run commands from $(docv) instead of stdin; lines are echoed." in
+    Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let run sites policy_text buffered dir script =
+    let dir = match dir with Some d -> d | None -> fresh_temp_dir () in
+    let universe = Site_set.universe sites in
+    let cluster =
+      Live.create ~flavor:(live_flavor policy_text)
+        ~config:(live_config ~buffered) ~universe ~dir ()
+    in
+    Fmt.pr "serving %d sites from %s (port %d)@." sites dir (Live.port cluster);
+    let client = Live.client cluster in
+    (match script with
+    | Some path ->
+        let ic = open_in path in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then Fmt.pr "> %s@." (String.trim line);
+             serve_command cluster client line
+           done
+         with End_of_file -> close_in ic)
+    | None -> (
+        try
+          while true do
+            Fmt.epr "dynvote> %!";
+            serve_command cluster client (input_line stdin)
+          done
+        with End_of_file -> ()));
+    Live.shutdown cluster;
+    Fmt.pr "stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a live replicated KV cluster: one server thread per site behind \
+          real sockets, a console for client operations (put/get/recover) and \
+          fault injection (partition/heal/kill/restart), and an on-demand \
+          safety audit that replays every node's on-disk operation log \
+          through the oracle.")
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ dir_arg
+          $ script_arg)
+
+let loadgen_cmd =
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client workers.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Length of the run.")
+  in
+  let write_ratio_arg =
+    Arg.(value & opt float 0.3
+         & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of operations that are puts.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 16 & info [ "keys" ] ~docv:"K" ~doc:"Key-space size.")
+  in
+  let value_bytes_arg =
+    Arg.(value & opt int 64
+         & info [ "value-bytes" ] ~docv:"B" ~doc:"Payload bytes per put.")
+  in
+  let rate_arg =
+    let doc =
+      "Open-loop target rate (ops/s, Poisson arrivals; latency measured from \
+       the intended start).  Default: closed loop."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"OPS" ~doc)
+  in
+  let no_check_arg =
+    Arg.(value & flag
+         & info [ "no-check" ] ~doc:"Skip the end-of-run safety audit.")
+  in
+  let run sites policy_text buffered seed clients duration write_ratio keys
+      value_bytes rate no_check =
+    let dir = fresh_temp_dir () in
+    let universe = Site_set.universe sites in
+    let cluster =
+      Live.create ~flavor:(live_flavor policy_text)
+        ~config:(live_config ~buffered) ~universe ~dir ()
+    in
+    let config =
+      { Loadgen.clients; duration; write_ratio; keys; value_bytes; rate; seed;
+        sites = None }
+    in
+    let result = Loadgen.run cluster config in
+    Fmt.pr "%a@." Loadgen.pp_result result;
+    let ok =
+      no_check
+      ||
+      let audit = Live.check cluster in
+      Fmt.pr "@[<v>%a@]@." pp_audit audit;
+      Oracle.is_safe audit.Live.oracle
+    in
+    Live.shutdown cluster;
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Boot a live cluster in a temporary directory and drive it with \
+          concurrent client workers (closed loop, or open loop with --rate).  \
+          Reports goodput with a batch-means 95% confidence interval, exact \
+          latency percentiles, and the end-of-run safety audit.")
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
+          $ clients_arg $ duration_arg $ write_ratio_arg $ keys_arg
+          $ value_bytes_arg $ rate_arg $ no_check_arg)
+
 let main_cmd =
   let doc = "Dynamic voting algorithms for replicated data (Paris & Long, ICDE 1988)." in
   Cmd.group (Cmd.info "dynvote" ~version:"1.0.0" ~doc)
     [ table1_cmd; table2_cmd; table3_cmd; topology_cmd; simulate_cmd; sweep_cmd;
-      partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd; chaos_cmd; mc_cmd ]
+      partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd; chaos_cmd; mc_cmd;
+      serve_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

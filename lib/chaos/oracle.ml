@@ -129,22 +129,29 @@ let attach t cluster = Cluster.set_commit_witness cluster (witness t)
 (* Client-visible outcomes feed the register model.  A write that aborted
    after its decision may or may not have escaped; its content joins the
    maybe set until the next clean write supersedes it. *)
-let note_write t ~content (outcome : Cluster.outcome) =
-  if outcome.Cluster.granted then begin
+let write_flags t ~granted ~aborted ~content =
+  if granted then begin
     t.committed <- content;
     t.maybe <- []
   end
-  else if outcome.Cluster.aborted then t.maybe <- content :: t.maybe
+  else if aborted then t.maybe <- content :: t.maybe
 
-let note_read t ~at (outcome : Cluster.outcome) =
-  if outcome.Cluster.granted then begin
+let read_flags t ~at ~granted ~content =
+  if granted then begin
     t.reads_checked <- t.reads_checked + 1;
-    match outcome.Cluster.content with
+    match content with
     | None -> ()
     | Some got ->
         if got <> t.committed && not (List.mem got t.maybe) then
           flag t (Stale_read { at; got; wanted = t.committed :: t.maybe })
   end
+
+let note_write t ~content (outcome : Cluster.outcome) =
+  write_flags t ~granted:outcome.Cluster.granted ~aborted:outcome.Cluster.aborted
+    ~content
+
+let note_read t ~at (outcome : Cluster.outcome) =
+  read_flags t ~at ~granted:outcome.Cluster.granted ~content:outcome.Cluster.content
 
 (* Content-fork scan: among versions some commit actually carried, equal
    version numbers must mean equal bytes.  (Residue of an aborted write
@@ -153,38 +160,64 @@ let note_read t ~at (outcome : Cluster.outcome) =
    every schedule step, so the model checker reports the {e first}
    violating state; a (version, pair) already flagged is not re-reported
    on later calls. *)
-let check_step t cluster =
-  let universe = Cluster.universe cluster in
-  Site_set.iter
-    (fun site_a ->
-      let a = Cluster.node cluster site_a in
-      let version = Node.data_version a in
-      Site_set.iter
-        (fun site_b ->
-          if site_a < site_b then begin
-            let b = Cluster.node cluster site_b in
-            if
-              version = Node.data_version b
-              && Int_set.mem version t.committed_versions
-              && Node.content a <> Node.content b
-              && not (Fork_set.mem (version, site_a, site_b) t.flagged_forks)
-            then begin
-              t.flagged_forks <- Fork_set.add (version, site_a, site_b) t.flagged_forks;
-              flag t
-                (Content_fork
-                   {
-                     version;
-                     site_a;
-                     content_a = Node.content a;
-                     site_b;
-                     content_b = Node.content b;
-                   })
-            end
+let check_states t holders =
+  List.iter
+    (fun (site_a, version, content_a) ->
+      List.iter
+        (fun (site_b, version_b, content_b) ->
+          if
+            site_a < site_b && version = version_b
+            && Int_set.mem version t.committed_versions
+            && content_a <> content_b
+            && not (Fork_set.mem (version, site_a, site_b) t.flagged_forks)
+          then begin
+            t.flagged_forks <- Fork_set.add (version, site_a, site_b) t.flagged_forks;
+            flag t (Content_fork { version; site_a; content_a; site_b; content_b })
           end)
-        universe)
-    universe
+        holders)
+    holders
+
+let check_step t cluster =
+  let holders =
+    Site_set.fold
+      (fun site acc ->
+        let node = Cluster.node cluster site in
+        (site, Node.data_version node, Node.content node) :: acc)
+      (Cluster.universe cluster) []
+  in
+  check_states t holders
 
 let final_check = check_step
+
+(* Replay: the same invariants, fed from recorded events instead of a
+   live cluster — the entry point the networked service's per-node
+   operation logs go through.  A write's content is tracked from its
+   intent record: the moment a coordinator starts distributing COMMITs
+   the content may escape, so it joins the maybe set immediately and is
+   promoted to cleanly-committed only when the matching granted outcome
+   appears.  An intent whose coordinator died mid-wave never produces an
+   outcome and simply stays maybe — exactly the aborted-write semantics
+   of {!note_write}. *)
+type replay_event =
+  | Replay_commit of { site : Site_set.site; replica : Replica.t }
+  | Replay_intent of { content : string }
+  | Replay_write of { granted : bool; content : string }
+  | Replay_read of { at : Site_set.site; granted : bool; content : string option }
+
+let replay ~initial_content ?(final = []) events =
+  let t = create ~initial_content in
+  List.iter
+    (function
+      | Replay_commit { site; replica } -> witness t site replica
+      | Replay_intent { content } -> t.maybe <- content :: t.maybe
+      | Replay_write { granted; content } ->
+          (* The intent already holds the maybe slot; a granted outcome
+             promotes it, anything else leaves it there. *)
+          write_flags t ~granted ~aborted:false ~content
+      | Replay_read { at; granted; content } -> read_flags t ~at ~granted ~content)
+    events;
+  check_states t final;
+  t
 
 (* Snapshots let a backtracking explorer unwind the oracle along with the
    cluster.  Every field is immutable data rebound in place, so both

@@ -56,6 +56,40 @@ val check_step : t -> Dynvote_msgsim.Cluster.t -> unit
 val final_check : t -> Dynvote_msgsim.Cluster.t -> unit
 (** Alias of {!check_step}, kept for the end-of-run call site. *)
 
+val check_states : t -> (Site_set.site * int * string) list -> unit
+(** The content-fork scan of {!check_step} over explicit
+    [(site, data_version, content)] triples — for checkers that are not
+    attached to a msgsim cluster (the live service's log replay). *)
+
+(** {2 Log replay}
+
+    The live replication service records every commit each node applies
+    and every client-visible outcome to per-node operation logs; merging
+    them in sequence order and replaying through {!replay} subjects the
+    real networked system to exactly the invariants above. *)
+
+type replay_event =
+  | Replay_commit of { site : Site_set.site; replica : Replica.t }
+      (** a node applied this ensemble (the commit-witness stream) *)
+  | Replay_intent of { content : string }
+      (** a write coordinator is about to distribute COMMITs carrying
+          [content]: from this moment the content may escape, so it joins
+          the maybe set; the matching {!Replay_write} promotes it.  An
+          intent with no outcome is a coordinator that died mid-wave —
+          the aborted ("maybe committed") write of {!note_write}. *)
+  | Replay_write of { granted : bool; content : string }
+  | Replay_read of { at : Site_set.site; granted : bool; content : string option }
+
+val replay :
+  initial_content:string ->
+  ?final:(Site_set.site * int * string) list ->
+  replay_event list ->
+  t
+(** Feed recorded events through a fresh oracle (events must be in
+    serialization order; the service's global sequence numbers provide
+    it), then run the content-fork scan over [final] — each surviving
+    node's last persisted [(site, data_version, content)]. *)
+
 val violations : t -> violation list
 (** In discovery order. *)
 

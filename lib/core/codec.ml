@@ -69,23 +69,59 @@ let decode_result data =
   | replica -> Ok replica
   | exception Corrupt reason -> Error reason
 
-(* Persist / restore through plain files (write to a temporary name and
-   rename, so a crash mid-write leaves the previous record intact). *)
-let save_replica ~path replica =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode_replica replica));
-  Sys.rename tmp path
+let checksum = adler32
 
-let load_replica ~path =
+(* Durable atomic replace.  Write-then-rename alone is atomic with
+   respect to crashes of the *writer*, but not to power loss: the rename
+   can reach the journal while the temp file's bytes are still in the
+   page cache, leaving a zero-length or torn file after the crash.  The
+   full discipline is: flush the data (fsync the temp file), then make
+   the name switch durable (fsync the containing directory after the
+   rename).  A crash at any point leaves either the complete old record
+   or the complete new one. *)
+let write_file_atomic ?(fsync = true) ~path data =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let bytes = Bytes.unsafe_of_string data in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      if fsync then Unix.fsync fd);
+  Sys.rename tmp path;
+  (* Directory fsync makes the rename itself durable.  Some filesystems
+     refuse fsync on directories; the rename is then as durable as the
+     platform allows, which is all we can do. *)
+  if fsync then
+    let dir = Filename.dirname path in
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | dir_fd ->
+        Fun.protect
+          ~finally:(fun () -> Unix.close dir_fd)
+          (fun () -> try Unix.fsync dir_fd with Unix.Unix_error _ -> ())
+
+let read_file ~path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
-      decode_replica (really_input_string ic len))
+      really_input_string ic len)
+
+let read_file_result ~path =
+  match read_file ~path with
+  | data -> Ok data
+  | exception Sys_error reason -> Error reason
+
+(* Persist / restore through plain files. *)
+let save_replica ~path replica = write_file_atomic ~path (encode_replica replica)
+
+let load_replica ~path = decode_replica (read_file ~path)
 
 let load_result ~path =
   match load_replica ~path with

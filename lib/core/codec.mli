@@ -21,7 +21,12 @@ val decode_result : string -> (Replica.t, string) result
     [Error]. *)
 
 val save_replica : path:string -> Replica.t -> unit
-(** Atomic (write-then-rename) persistence. *)
+(** Durable atomic persistence: the record is written to [path ^ ".tmp"],
+    fsynced, renamed over [path], and the parent directory is fsynced so
+    the rename itself survives power loss.  After a crash at any point a
+    reader finds either the complete previous record or the complete new
+    one — never a torn or empty file.  (On filesystems that refuse
+    directory fsync the rename is as durable as the platform allows.) *)
 
 val load_replica : path:string -> Replica.t
 (** @raise Corrupt as {!decode_replica}; [Sys_error] if unreadable. *)
@@ -29,3 +34,23 @@ val load_replica : path:string -> Replica.t
 val load_result : path:string -> (Replica.t, string) result
 (** Total {!load_replica}: corruption and I/O failures both come back as
     [Error] — the crash-recovery path must never die on a torn record. *)
+
+(** {2 Stable-storage building blocks}
+
+    The same write-then-rename-with-fsync discipline and checksum, exposed
+    for other on-disk records (the live service's data blobs and operation
+    logs) so every persistent artifact shares one durability story. *)
+
+val write_file_atomic : ?fsync:bool -> path:string -> string -> unit
+(** Durable atomic replace of [path] with the given bytes, with the same
+    crash guarantee as {!save_replica}.  [~fsync:false] keeps the
+    write-then-rename atomicity (a reader never sees a torn file) but
+    skips both fsyncs, trading the power-loss guarantee for speed —
+    throughput experiments only.  Default [true]. *)
+
+val read_file_result : path:string -> (string, string) result
+(** Whole-file read; I/O failures come back as [Error]. *)
+
+val checksum : Bytes.t -> off:int -> len:int -> int32
+(** The codec's Adler-32 (RFC 1950) checksum, for records framed in this
+    codec's style. *)

@@ -1,0 +1,271 @@
+(* Wiring a real cluster out of the pieces: switchboard + node threads +
+   client connections, plus the two things only an orchestrator can own —
+   the global sequence stamp that orders log records across nodes, and
+   the end-of-run audit that merges those logs and replays them through
+   the safety oracle. *)
+
+module Oracle = Dynvote_chaos.Oracle
+
+type t = {
+  universe : Site_set.t;
+  dir : string;
+  flavor : Decision.flavor;
+  segment_of : Site_set.site -> int;
+  config : Node.config;
+  client_timeout : float;
+  sw : Switchboard.t;
+  nodes : (Site_set.site, Node.t) Hashtbl.t;
+  threads : (Site_set.site, Thread.t) Hashtbl.t;
+  next_seq : unit -> int;
+}
+
+let universe t = t.universe
+let dir t = t.dir
+let port t = Switchboard.port t.sw
+let up_sites t = Switchboard.up_sites t.sw
+
+let spawn t site ~was_restarted =
+  let node =
+    Node.boot ~site ~universe:t.universe ~flavor:t.flavor
+      ~segment_of:t.segment_of ~config:t.config ~dir:t.dir
+      ~next_seq:t.next_seq ~port:(Switchboard.port t.sw) ~was_restarted
+  in
+  Hashtbl.replace t.nodes site node;
+  Hashtbl.replace t.threads site (Thread.create Node.serve node)
+
+let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
+    ?(config = Node.default_config) ?(client_timeout = 10.0) ~universe ~dir () =
+  let sw = Switchboard.create ~universe ~segment_of () in
+  (* Resuming over old logs: the global stamp must keep growing, or the
+     merged replay would interleave the incarnations. *)
+  let seq0 =
+    Site_set.fold
+      (fun site acc ->
+        let records, _ = Persist.read_log ~path:(Persist.oplog_path ~dir site) in
+        List.fold_left (fun acc r -> max acc (Persist.seq_of r)) acc records)
+      universe 0
+  in
+  let seq = ref seq0 in
+  let seq_mutex = Mutex.create () in
+  let next_seq () =
+    Mutex.lock seq_mutex;
+    incr seq;
+    let v = !seq in
+    Mutex.unlock seq_mutex;
+    v
+  in
+  let t =
+    {
+      universe;
+      dir;
+      flavor;
+      segment_of;
+      config;
+      client_timeout;
+      sw;
+      nodes = Hashtbl.create 8;
+      threads = Hashtbl.create 8;
+      next_seq;
+    }
+  in
+  Site_set.iter
+    (fun site ->
+      ignore (Persist.ensure_site_dir ~dir site : string);
+      let epath = Persist.ensemble_path ~dir site in
+      let existed = Sys.file_exists epath in
+      if not existed then begin
+        (* The paper's initial state: every copy current, one partition. *)
+        Codec.save_replica ~path:epath (Replica.initial universe);
+        Persist.save_data ~path:(Persist.data_path ~dir site) ~version:1 []
+      end;
+      spawn t site ~was_restarted:existed)
+    universe;
+  t
+
+(* --- fault injection ------------------------------------------------ *)
+
+let partition t groups = Switchboard.partition t.sw groups
+let heal t = Switchboard.heal t.sw
+
+let join_thread t site =
+  match Hashtbl.find_opt t.threads site with
+  | Some thread ->
+      Thread.join thread;
+      Hashtbl.remove t.threads site
+  | None -> ()
+
+let kill t site =
+  Switchboard.crash t.sw site;
+  join_thread t site;
+  Hashtbl.remove t.nodes site
+
+let restart t site =
+  (* The struck thread (if any) exits on its closed socket; reap it so
+     two incarnations never share an oplog channel. *)
+  Switchboard.crash t.sw site;
+  join_thread t site;
+  spawn t site ~was_restarted:true
+
+let kill_async t site = Switchboard.crash t.sw site
+
+let set_commit_hook t site hook =
+  match Hashtbl.find_opt t.nodes site with
+  | None -> invalid_arg "Cluster.set_commit_hook: site not running"
+  | Some node -> Node.set_commit_hook node hook
+
+let strike_after t site n =
+  set_commit_hook t site
+    (Some (fun ~sent ~total:_ -> if sent = n then raise Node.Killed))
+
+(* --- clients -------------------------------------------------------- *)
+
+type client = { t : t; conn : Wire.conn; id : int; mutable req : int }
+
+type reply = { status : Wire.status; value : string option; info : string }
+
+let client t =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port t));
+     Unix.setsockopt sock Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let conn = Wire.conn sock in
+  Wire.send conn { Wire.src = 0; dst = Wire.broker_id; payload = Wire.Hello_client };
+  match Wire.recv ~deadline:(Unix.gettimeofday () +. 5.0) conn with
+  | Ok { Wire.payload = Wire.Welcome { id }; _ } -> { t; conn; id; req = 0 }
+  | _ ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      failwith "live client: switchboard handshake failed"
+
+let call client ~at payload_of_req =
+  if not (Site_set.mem at client.t.universe) then
+    { status = Wire.Denied; value = None; info = "no such site" }
+  else if not (Switchboard.is_up client.t.sw at) then
+    { status = Wire.Denied; value = None; info = "site down" }
+  else begin
+    client.req <- client.req + 1;
+    let req = client.req in
+    match
+      Wire.send client.conn
+        { Wire.src = client.id; dst = at; payload = payload_of_req req }
+    with
+    | exception Unix.Unix_error _ ->
+        { status = Wire.Aborted; value = None; info = "connection lost" }
+    | () ->
+        let deadline = Unix.gettimeofday () +. client.t.client_timeout in
+        let rec wait () =
+          match Wire.recv ~deadline client.conn with
+          | Error `Timeout ->
+              (* The site may be mid-commit for all we know. *)
+              { status = Wire.Aborted; value = None; info = "timeout: no reply" }
+          | Error (`Closed | `Corrupt _) ->
+              { status = Wire.Aborted; value = None; info = "connection lost" }
+          | Ok { Wire.payload = Wire.Client_reply { req = r; status; value; info }; _ }
+            when r = req ->
+              { status; value; info }
+          | Ok _ -> wait () (* a stale reply from a timed-out operation *)
+        in
+        wait ()
+  end
+
+let put client ~at ~key ~value =
+  call client ~at (fun req -> Wire.Client_put { req; key; value })
+
+let get client ~at ~key = call client ~at (fun req -> Wire.Client_get { req; key })
+
+let recover_site client site =
+  call client ~at:site (fun req -> Wire.Client_recover { req })
+
+(* --- audit ---------------------------------------------------------- *)
+
+type audit = { oracle : Oracle.t; torn : Site_set.t; records : int }
+
+let check_dir ~universe ~dir =
+  let torn = ref Site_set.empty in
+  let tagged = ref [] in
+  Site_set.iter
+    (fun site ->
+      let records, was_torn =
+        Persist.read_log ~path:(Persist.oplog_path ~dir site)
+      in
+      if was_torn then torn := Site_set.add site !torn;
+      List.iter (fun r -> tagged := (site, r) :: !tagged) records)
+    universe;
+  let ordered =
+    List.sort
+      (fun (_, a) (_, b) -> compare (Persist.seq_of a) (Persist.seq_of b))
+      !tagged
+  in
+  let events =
+    List.filter_map
+      (fun (site, record) ->
+        match record with
+        | Persist.Log_commit { op_no; version; partition; _ } ->
+            Some
+              (Oracle.Replay_commit
+                 { site; replica = Replica.make ~op_no ~version ~partition })
+        | Persist.Log_intent { content; _ } -> Some (Oracle.Replay_intent { content })
+        | Persist.Log_outcome { kind = `Write; granted; content = Some content; _ } ->
+            Some (Oracle.Replay_write { granted; content })
+        | Persist.Log_outcome { kind = `Write; content = None; _ }
+        | Persist.Log_outcome { kind = `Recover; _ } ->
+            None
+        | Persist.Log_outcome { kind = `Read; granted; content; _ } ->
+            Some (Oracle.Replay_read { at = site; granted; content }))
+      ordered
+  in
+  (* Final on-disk stores feed the content-fork scan; an unreadable blob
+     belongs to a mid-replace kill and is simply absent. *)
+  let final =
+    Site_set.fold
+      (fun site acc ->
+        match Persist.load_data_result ~path:(Persist.data_path ~dir site) with
+        | Ok (version, entries) -> (site, version, Persist.encode_entries entries) :: acc
+        | Error _ -> acc)
+      universe []
+  in
+  let oracle =
+    Oracle.replay ~initial_content:(Persist.encode_entries []) ~final events
+  in
+  { oracle; torn = !torn; records = List.length ordered }
+
+(* COMMIT waves are fire-and-forget, so a client can hold a granted
+   reply while the last participants are still applying.  Pinging each
+   up site with a Data_request and waiting for its reply drains the
+   race: per-connection FIFO means every commit the broker routed
+   before our ping is applied — and persisted, synchronously — before
+   the node answers us. *)
+let quiesce t =
+  match client t with
+  | exception _ -> ()
+  | c ->
+      Site_set.iter
+        (fun site ->
+          match
+            Wire.send c.conn
+              { Wire.src = c.id; dst = site; payload = Wire.Data_request { round = 0 } }
+          with
+          | exception Unix.Unix_error _ -> ()
+          | () ->
+              let deadline = Unix.gettimeofday () +. 1.0 in
+              let rec wait () =
+                match Wire.recv ~deadline c.conn with
+                | Ok { Wire.payload = Wire.Data_reply _; src; _ } when src = site ->
+                    ()
+                | Ok _ -> wait ()
+                | Error _ -> ()
+              in
+              wait ())
+        (up_sites t);
+      (try Unix.close (Wire.fd c.conn) with Unix.Unix_error _ -> ())
+
+let check t =
+  quiesce t;
+  check_dir ~universe:t.universe ~dir:t.dir
+
+let shutdown t =
+  Switchboard.shutdown t.sw;
+  Site_set.iter (fun site -> join_thread t site) t.universe;
+  Hashtbl.reset t.nodes

@@ -1,0 +1,113 @@
+(** Orchestration of a live cluster: the switchboard, one server thread
+    per site, client connections, fault injection, and the end-of-run
+    safety audit that replays every node's on-disk operation log through
+    the chaos {!Dynvote_chaos.Oracle}.
+
+    All state lives under one directory ([dir/site-<k>/...]); {!create}
+    seeds initial ensembles for sites that have none and reuses whatever
+    a previous incarnation left behind, so a whole cluster can be
+    stopped and resumed. *)
+
+type t
+
+val create :
+  ?flavor:Decision.flavor ->
+  ?segment_of:(Site_set.site -> int) ->
+  ?config:Node.config ->
+  ?client_timeout:float ->
+  universe:Site_set.t ->
+  dir:string ->
+  unit ->
+  t
+(** Start the switchboard and boot one node thread per site.  A site
+    whose ensemble file already exists restarts from it (and is not
+    fresh until its next commit); otherwise it is seeded with the
+    paper's initial state (o = v = 1, P = universe, empty store at
+    data version 1).  [client_timeout] (default 10 s) bounds every
+    client call.
+
+    [segment_of] defaults to point-to-point links (each site its own
+    segment), so any partition is physically possible.  A coarser map
+    declares shared-medium segments: the switchboard then refuses to
+    split same-segment sites, and TDV tie-breaks see the co-location. *)
+
+val universe : t -> Site_set.t
+val dir : t -> string
+val port : t -> int
+val up_sites : t -> Site_set.t
+
+(** {2 Fault injection} *)
+
+val partition : t -> Site_set.t list -> unit
+(** Forwarded to {!Switchboard.partition} (segment-aware validation). *)
+
+val heal : t -> unit
+
+val kill : t -> Site_set.site -> unit
+(** Sever the node's socket and join its thread: a process kill.  All
+    volatile state (locks, amnesia-free store cache) dies; the three
+    files survive. *)
+
+val restart : t -> Site_set.site -> unit
+(** Boot a fresh node thread for a killed site from its on-disk state.
+    The node claims no freshness until it applies a commit; a corrupt
+    record leaves it amnesiac until a RECOVER succeeds. *)
+
+val kill_async : t -> Site_set.site -> unit
+(** {!kill} without joining the victim's thread — safe to call from a
+    commit hook running {e inside} another node's thread.  {!restart}
+    reaps the thread. *)
+
+val set_commit_hook :
+  t -> Site_set.site -> (sent:int -> total:int -> unit) option -> unit
+(** Install a fault-injection hook on the site's node: it fires after
+    each COMMIT send of a wave that node coordinates.  Raising
+    {!Node.Killed} from it strikes the coordinator itself; calling
+    {!kill_async} strikes a participant mid-wave. *)
+
+val strike_after : t -> Site_set.site -> int -> unit
+(** Arm the deterministic mid-commit killer: the next COMMIT wave this
+    site coordinates raises {!Node.Killed} after its [n]-th send, so
+    only a prefix of the recipients hears the commit.  The thread dies
+    exactly as under {!kill}; pair with {!restart}. *)
+
+(** {2 Clients} *)
+
+type client
+
+val client : t -> client
+(** Open a client connection through the switchboard.  A client is
+    single-threaded: one outstanding operation at a time. *)
+
+type reply = { status : Wire.status; value : string option; info : string }
+
+val put : client -> at:Site_set.site -> key:string -> value:string -> reply
+val get : client -> at:Site_set.site -> key:string -> reply
+
+val recover_site : client -> Site_set.site -> reply
+(** Ask a (restarted) site to run the paper's RECOVER protocol. *)
+
+(** {2 Audit}
+
+    The merged per-node logs, ordered by the global sequence stamp,
+    replayed through the safety oracle; final on-disk stores feed the
+    content-fork scan. *)
+
+type audit = {
+  oracle : Dynvote_chaos.Oracle.t;
+  torn : Site_set.t;  (** sites whose log ended in a torn record *)
+  records : int;
+}
+
+val check : t -> audit
+(** Read every [oplog.dvl] and the final data blobs from disk.  Run only
+    while the cluster is quiescent (no client operation in flight). *)
+
+val check_dir : universe:Site_set.t -> dir:string -> audit
+(** The same audit against a directory with no cluster running — what
+    [dynvote loadgen --check] uses after the service stopped. *)
+
+(** {2 Shutdown} *)
+
+val shutdown : t -> unit
+(** Close every connection, stop the broker, join all node threads. *)

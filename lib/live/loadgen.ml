@@ -1,0 +1,202 @@
+(* Worker threads hammer the cluster through ordinary clients; every
+   completed call is recorded locally (no shared state on the hot path)
+   and the per-worker journals are merged once the run ends.  Percentiles
+   are exact — the journals are sorted, not binned — and goodput gets a
+   batch-means interval in the style of the paper's §4 methodology. *)
+
+module Welford = Dynvote_stats.Welford
+module Batch_means = Dynvote_stats.Batch_means
+module Rng = Dynvote_prng.Rng
+
+type config = {
+  clients : int;
+  duration : float;
+  write_ratio : float;
+  keys : int;
+  value_bytes : int;
+  rate : float option;
+  seed : int;
+  sites : Site_set.t option;
+}
+
+let default =
+  {
+    clients = 4;
+    duration = 5.0;
+    write_ratio = 0.3;
+    keys = 16;
+    value_bytes = 64;
+    rate = None;
+    seed = 1;
+    sites = None;
+  }
+
+type op_stats = {
+  issued : int;
+  granted : int;
+  denied : int;
+  aborted : int;
+  latency : Welford.t;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type result = {
+  wall : float;
+  reads : op_stats;
+  writes : op_stats;
+  goodput : Batch_means.interval;
+}
+
+(* One completed call: kind, status, completion time, latency. *)
+type sample = {
+  s_write : bool;
+  s_status : Wire.status;
+  s_finish : float;
+  s_latency : float;
+}
+
+let worker cluster config ~index ~t_start ~t_end journal =
+  let rng = Rng.of_seed ((config.seed * 65599) + index) in
+  let client = Cluster.client cluster in
+  let targets =
+    match config.sites with
+    | Some sites -> Array.of_list (Site_set.to_list sites)
+    | None -> Array.of_list (Site_set.to_list (Cluster.universe cluster))
+  in
+  let payload = String.make (max 1 config.value_bytes) 'x' in
+  (* Open loop: Poisson arrivals at rate/clients per worker; latency is
+     measured from the intended start, never from the actual one. *)
+  let interarrival =
+    match config.rate with
+    | None -> None
+    | Some rate -> Some (float_of_int config.clients /. Float.max rate 1e-9)
+  in
+  let intended = ref t_start in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let start =
+      match interarrival with
+      | None -> Unix.gettimeofday ()
+      | Some mean ->
+          intended := !intended +. Rng.exponential rng ~mean;
+          let now = Unix.gettimeofday () in
+          if !intended > now then Thread.delay (!intended -. now);
+          !intended
+    in
+    if start >= t_end then continue := false
+    else begin
+      incr n;
+      let at = targets.(Rng.int rng (Array.length targets)) in
+      let key = Printf.sprintf "k%d" (Rng.int rng (max 1 config.keys)) in
+      let is_write = Rng.float rng < config.write_ratio in
+      let reply =
+        if is_write then
+          Cluster.put client ~at ~key
+            ~value:(Printf.sprintf "%d.%d:%s" index !n payload)
+        else Cluster.get client ~at ~key
+      in
+      let finish = Unix.gettimeofday () in
+      journal :=
+        {
+          s_write = is_write;
+          s_status = reply.Cluster.status;
+          s_finish = finish;
+          s_latency = finish -. start;
+        }
+        :: !journal
+    end
+  done
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+
+let stats_of samples =
+  let latency = Welford.create () in
+  let granted = ref 0 and denied = ref 0 and aborted = ref 0 in
+  List.iter
+    (fun s ->
+      Welford.add latency s.s_latency;
+      match s.s_status with
+      | Wire.Granted -> incr granted
+      | Wire.Denied -> incr denied
+      | Wire.Aborted -> incr aborted)
+    samples;
+  let sorted = Array.of_list (List.map (fun s -> s.s_latency) samples) in
+  Array.sort compare sorted;
+  {
+    issued = List.length samples;
+    granted = !granted;
+    denied = !denied;
+    aborted = !aborted;
+    latency;
+    p50 = percentile sorted 0.50;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+  }
+
+let run cluster config =
+  if config.clients < 1 then invalid_arg "Loadgen.run: need at least one client";
+  if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration";
+  let t_start = Unix.gettimeofday () in
+  let t_end = t_start +. config.duration in
+  let journals = Array.init config.clients (fun _ -> ref []) in
+  let threads =
+    Array.mapi
+      (fun index journal ->
+        Thread.create
+          (fun () -> worker cluster config ~index ~t_start ~t_end journal)
+          ())
+      journals
+  in
+  Array.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t_start in
+  let all = Array.fold_left (fun acc j -> List.rev_append !j acc) [] journals in
+  let reads, writes = List.partition (fun s -> not s.s_write) all in
+  (* Goodput: granted completions bucketed into ten fixed windows; the
+     per-window rates are the batch means. *)
+  let batches = 10 in
+  let batch_length = wall /. float_of_int batches in
+  let bm = Batch_means.create ~batch_length in
+  let granted_finishes =
+    List.filter_map
+      (fun s -> if s.s_status = Wire.Granted then Some s.s_finish else None)
+      all
+  in
+  for b = 0 to batches - 1 do
+    let lo = t_start +. (float_of_int b *. batch_length) in
+    let hi = lo +. batch_length in
+    let count =
+      List.length (List.filter (fun f -> f >= lo && f < hi) granted_finishes)
+    in
+    Batch_means.add_batch bm (float_of_int count /. batch_length)
+  done;
+  {
+    wall;
+    reads = stats_of reads;
+    writes = stats_of writes;
+    goodput = Batch_means.interval bm;
+  }
+
+let pp_ms ppf seconds =
+  if Float.is_nan seconds then Fmt.string ppf "-"
+  else Fmt.pf ppf "%.2f ms" (seconds *. 1e3)
+
+let pp_op_stats ppf (name, s) =
+  Fmt.pf ppf "%-6s %5d issued  %5d granted  %4d denied  %4d aborted@," name
+    s.issued s.granted s.denied s.aborted;
+  if s.issued > 0 then
+    Fmt.pf ppf "       mean %a  p50 %a  p95 %a  p99 %a@,"
+      pp_ms (Welford.mean s.latency) pp_ms s.p50 pp_ms s.p95 pp_ms s.p99
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>";
+  pp_op_stats ppf ("reads", r.reads);
+  pp_op_stats ppf ("writes", r.writes);
+  let i = r.goodput in
+  Fmt.pf ppf "goodput %.1f ops/s  +/- %.1f (95%% CI, %d batches)  over %.2f s@]"
+    i.Batch_means.mean i.Batch_means.half_width i.Batch_means.batches r.wall

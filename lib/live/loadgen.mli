@@ -1,0 +1,52 @@
+(** Load generator for the live service: concurrent client workers
+    driving a read/write mix against real sockets, reporting goodput
+    with a batch-means 95% confidence interval and exact latency
+    percentiles.
+
+    Two arrival models: {e closed loop} (each worker issues its next
+    operation the moment the previous reply lands — measures capacity)
+    and {e open loop} (operations are scheduled by a Poisson process at a
+    target rate; latency is measured from the {e intended} start, so
+    queueing delay is charged to the service rather than hidden —
+    coordinated omission accounted for). *)
+
+type config = {
+  clients : int;  (** worker threads, one connection each *)
+  duration : float;  (** seconds of load *)
+  write_ratio : float;  (** fraction of operations that are puts *)
+  keys : int;  (** key space size (uniform) *)
+  value_bytes : int;  (** payload size per put *)
+  rate : float option;
+      (** [Some r]: open loop at [r] ops/s total; [None]: closed loop *)
+  seed : int;  (** deterministic worker randomness *)
+  sites : Site_set.t option;
+      (** coordinate at these sites (uniform); default: the universe *)
+}
+
+val default : config
+(** 4 clients, 5 s, 30% writes, 16 keys, 64-byte values, closed loop. *)
+
+type op_stats = {
+  issued : int;
+  granted : int;
+  denied : int;
+  aborted : int;
+  latency : Dynvote_stats.Welford.t;  (** seconds, every completed call *)
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** exact (sorted-sample) percentiles, seconds *)
+}
+
+type result = {
+  wall : float;  (** measured wall-clock duration *)
+  reads : op_stats;
+  writes : op_stats;
+  goodput : Dynvote_stats.Batch_means.interval;
+      (** granted ops/s, Student-t 95% over ten batches *)
+}
+
+val run : Cluster.t -> config -> result
+(** Blocks for [config.duration]; the cluster keeps running afterwards. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** The human report ([dynvote loadgen] output). *)

@@ -1,0 +1,528 @@
+(* One live site.  The thread body is a single dispatch loop over the
+   node's switchboard connection; coordination re-enters that loop with a
+   deadline, so a coordinator waiting for its own replies keeps answering
+   peer requests on the same socket — two rival coordinators always make
+   progress.
+
+   Persistence mirrors the msgsim node but through real files: the
+   ensemble goes through {!Dynvote.Codec}'s atomic save on every applied
+   commit, the data blob rides with it, and the append-only operation log
+   records commits, write intents and client-visible outcomes for the
+   {!Dynvote_chaos.Oracle} replay.  Ordering rule: an outcome record
+   takes its global sequence number *before* the locks are released, so
+   no later operation that could have observed this one's effects can be
+   stamped earlier. *)
+
+module SMap = Map.Make (String)
+
+type config = {
+  gather_timeout : float;
+  retries : int;
+  backoff : float;
+  lock_lease : float;
+  lock_retries : int;
+  lock_backoff : float;
+  durable : bool;
+}
+
+let default_config =
+  {
+    gather_timeout = 0.2;
+    retries = 1;
+    backoff = 2.0;
+    lock_lease = 2.0;
+    lock_retries = 8;
+    lock_backoff = 0.05;
+    durable = true;
+  }
+
+exception Killed
+
+(* The switchboard severed our socket (crash) or went away entirely. *)
+exception Dead
+
+type t = {
+  site : Site_set.site;
+  universe : Site_set.t;
+  n_sites : int;
+  ctx : Operation.ctx;
+  config : config;
+  dir : string;
+  next_seq : unit -> int;
+  conn : Wire.conn;
+  oplog : out_channel;
+  mutable replica : Replica.t;
+  mutable data_version : int;
+  mutable store : string SMap.t;
+  mutable amnesiac : bool;
+  mutable fresh : bool;
+  (* Volatile lock: holder op and lease expiry.  The lease is what frees
+     a lock abandoned by a coordinator that died mid-operation. *)
+  mutable lock : (int * float) option;
+  mutable round : int;
+  mutable op_counter : int;
+  mutable commit_hook : (sent:int -> total:int -> unit) option;
+  (* Client requests arriving while this node is itself coordinating are
+     parked here and served after the current operation finishes. *)
+  pending_clients : Wire.envelope Queue.t;
+}
+
+let site t = t.site
+let is_amnesiac t = t.amnesiac
+let set_commit_hook t hook = t.commit_hook <- hook
+
+let boot ~site ~universe ~flavor ~segment_of ~config ~dir ~next_seq ~port
+    ~was_restarted =
+  ignore (Persist.ensure_site_dir ~dir site : string);
+  let n_sites = Site_set.max_elt universe + 1 in
+  let ctx = Operation.make_ctx ~flavor ~segment_of (Ordering.default n_sites) in
+  (* A corrupt or missing record on either file leaves the node amnesiac:
+     it holds no ensemble it could safely vote with. *)
+  let replica, data_version, store, amnesiac =
+    match Codec.load_result ~path:(Persist.ensemble_path ~dir site) with
+    | Error _ -> (Replica.initial universe, 0, SMap.empty, true)
+    | Ok replica -> (
+        match Persist.load_data_result ~path:(Persist.data_path ~dir site) with
+        | Error _ -> (replica, 0, SMap.empty, true)
+        | Ok (version, entries) ->
+            ( replica,
+              version,
+              List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries,
+              false ))
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.setsockopt sock Unix.TCP_NODELAY true
+   with e -> (try Unix.close sock with Unix.Unix_error _ -> ()); raise e);
+  let conn = Wire.conn sock in
+  Wire.send conn { Wire.src = site; dst = Wire.broker_id; payload = Wire.Hello_site { site } };
+  (match Wire.recv ~deadline:(Unix.gettimeofday () +. 5.0) conn with
+  | Ok { Wire.payload = Wire.Welcome _; _ } -> ()
+  | _ ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      failwith (Printf.sprintf "live node %d: switchboard handshake failed" site));
+  let oplog =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
+      (Persist.oplog_path ~dir site)
+  in
+  {
+    site;
+    universe;
+    n_sites;
+    ctx;
+    config;
+    dir;
+    next_seq;
+    conn;
+    oplog;
+    replica;
+    data_version;
+    store;
+    amnesiac;
+    fresh = (not was_restarted) && not amnesiac;
+    lock = None;
+    round = 0;
+    op_counter = 0;
+    commit_hook = None;
+    pending_clients = Queue.create ();
+  }
+
+let send_to t dst payload =
+  try Wire.send t.conn { Wire.src = t.site; dst; payload }
+  with Unix.Unix_error _ -> raise Dead
+
+let persist t =
+  let fsync = t.config.durable in
+  Codec.write_file_atomic ~fsync ~path:(Persist.ensemble_path ~dir:t.dir t.site)
+    (Codec.encode_replica t.replica);
+  Persist.save_data ~fsync ~path:(Persist.data_path ~dir:t.dir t.site)
+    ~version:t.data_version (SMap.bindings t.store)
+
+let log t record = Persist.append t.oplog record
+
+let blob t = Persist.encode_entries (SMap.bindings t.store)
+
+(* Monotone install, as in the paper's COMMIT: stale or duplicated
+   commits can never regress the ensemble.  The ensemble (and any
+   piggybacked write) hits disk before the log claims it was applied, so
+   a crash between the two under-reports a commit rather than inventing
+   one. *)
+let apply_commit t ~op_no ~version ~partition ~put =
+  if op_no > Replica.op_no t.replica then begin
+    t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition;
+    (match put with
+    | Some (key, value) ->
+        t.store <- SMap.add key value t.store;
+        t.data_version <- version
+    | None -> ());
+    t.amnesiac <- false;
+    t.fresh <- true;
+    persist t;
+    log t (Persist.Log_commit { seq = t.next_seq (); op_no; version; partition })
+  end
+
+let try_lock t op =
+  let now = Unix.gettimeofday () in
+  match t.lock with
+  | Some (holder, _) when holder = op ->
+      t.lock <- Some (op, now +. t.config.lock_lease);
+      true
+  | Some (_, expiry) when now < expiry -> false
+  | _ ->
+      t.lock <- Some (op, now +. t.config.lock_lease);
+      true
+
+let release_lock t op =
+  match t.lock with
+  | Some (holder, _) when holder = op -> t.lock <- None
+  | _ -> ()
+
+(* Serve one frame of the peer protocol.  Client requests are parked; a
+   coordinator calls this from inside its own wait loops, which is what
+   keeps concurrent coordinators deadlock-free. *)
+let serve_protocol t (env : Wire.envelope) =
+  match env.Wire.payload with
+  | Wire.State_request { round } ->
+      (* An amnesiac site stays silent: a guessed ensemble could be
+         counted as a vote.  To the coordinator it looks down. *)
+      if not t.amnesiac then
+        send_to t env.Wire.src
+          (Wire.State_reply { round; fresh = t.fresh; replica = t.replica })
+  | Wire.Lock_request { op } ->
+      send_to t env.Wire.src (Wire.Lock_reply { op; granted = try_lock t op })
+  | Wire.Unlock { op } -> release_lock t op
+  | Wire.Data_request { round } ->
+      send_to t env.Wire.src
+        (Wire.Data_reply
+           { round; version = t.data_version; entries = SMap.bindings t.store })
+  | Wire.Commit { op_no; version; partition; put } ->
+      apply_commit t ~op_no ~version ~partition ~put
+  | Wire.Client_put _ | Wire.Client_get _ | Wire.Client_recover _ ->
+      Queue.add env t.pending_clients
+  | Wire.Hello_site _ | Wire.Hello_client | Wire.Welcome _ | Wire.State_reply _
+  | Wire.Lock_reply _ | Wire.Data_reply _ | Wire.Client_reply _ ->
+      (* Stray replies of a finished or abandoned exchange. *)
+      ()
+
+(* Wait until [deadline] for a frame satisfying [match_reply], serving
+   everything else that arrives in the meantime. *)
+let await t ~deadline ~match_reply =
+  let rec wait () =
+    match Wire.recv ~deadline t.conn with
+    | Error `Timeout -> None
+    | Error (`Closed | `Corrupt _) -> raise Dead
+    | Ok env -> (
+        match match_reply env with
+        | Some _ as hit -> hit
+        | None ->
+            serve_protocol t env;
+            wait ())
+  in
+  wait ()
+
+let peers t = Site_set.remove t.site t.universe
+
+(* The volatile lock round: all-or-nothing over the peers that answer.
+   Silent peers are simply unreachable — they hold no lock and take no
+   part in the gather either.  Any refusal releases everything acquired
+   (and our own), so two rivals cannot deadlock; they just retry. *)
+let lock_round t op =
+  if not (try_lock t op) then `Denied
+  else begin
+    Site_set.iter (fun dst -> send_to t dst (Wire.Lock_request { op })) (peers t);
+    let replies = Hashtbl.create 8 in
+    let deadline = Unix.gettimeofday () +. t.config.gather_timeout in
+    let want = Site_set.cardinal (peers t) in
+    let rec collect () =
+      if Hashtbl.length replies < want then
+        match
+          await t ~deadline ~match_reply:(fun env ->
+              match env.Wire.payload with
+              | Wire.Lock_reply { op = o; granted } when o = op ->
+                  Some (env.Wire.src, granted)
+              | _ -> None)
+        with
+        | Some (src, granted) ->
+            Hashtbl.replace replies src granted;
+            collect ()
+        | None -> ()
+    in
+    collect ();
+    let all_granted = Hashtbl.fold (fun _ granted acc -> acc && granted) replies true in
+    if all_granted then `Granted
+    else begin
+      Site_set.iter (fun dst -> send_to t dst (Wire.Unlock { op })) (peers t);
+      release_lock t op;
+      `Denied
+    end
+  end
+
+let unlock_all t op =
+  Site_set.iter (fun dst -> send_to t dst (Wire.Unlock { op })) (peers t);
+  release_lock t op
+
+(* START: broadcast a state request and gather replies under the bounded
+   retry/backoff discipline of the msgsim Deadline model.  Freshness is
+   distributed here: each reply carries the replier's own claim.  Returns
+   (reachable, states, fresh). *)
+let gather t =
+  t.round <- t.round + 1;
+  let round = t.round in
+  let replies = Hashtbl.create 8 in
+  let missing () =
+    Site_set.filter
+      (fun s -> (s <> t.site) && not (Hashtbl.mem replies s))
+      t.universe
+  in
+  let rec attempt n patience =
+    let absent = missing () in
+    if not (Site_set.is_empty absent) then begin
+      Site_set.iter (fun dst -> send_to t dst (Wire.State_request { round })) absent;
+      let deadline = Unix.gettimeofday () +. patience in
+      let rec collect () =
+        if not (Site_set.is_empty (missing ())) then
+          match
+            await t ~deadline ~match_reply:(fun env ->
+                match env.Wire.payload with
+                | Wire.State_reply { round = r; fresh; replica } when r = round ->
+                    Some (env.Wire.src, fresh, replica)
+                | _ -> None)
+          with
+          | Some (src, fresh, replica) ->
+              Hashtbl.replace replies src (fresh, replica);
+              collect ()
+          | None -> ()
+      in
+      collect ();
+      if n < t.config.retries then attempt (n + 1) (patience *. t.config.backoff)
+    end
+  in
+  attempt 0 t.config.gather_timeout;
+  let states = Array.make t.n_sites t.replica in
+  let self = if t.amnesiac then Site_set.empty else Site_set.singleton t.site in
+  let self_fresh = if t.fresh && not t.amnesiac then self else Site_set.empty in
+  let reachable, fresh =
+    Hashtbl.fold
+      (fun src (fresh, replica) (reach, fr) ->
+        states.(src) <- replica;
+        (Site_set.add src reach, if fresh then Site_set.add src fr else fr))
+      replies (self, self_fresh)
+  in
+  (reachable, states, fresh)
+
+(* Verified data fetch: ask the up-to-date sites in turn until a snapshot
+   of at least [want_version] lands.  The install is wholesale — local
+   data may be the residue of an uncommitted write (or amnesiac garbage)
+   whatever its version number says. *)
+let fetch_data t ~sources ~want_version =
+  let sources = Site_set.to_list sources in
+  let n_sources = List.length sources in
+  let attempts = max t.config.retries (n_sources - 1) in
+  let rec attempt n patience =
+    if n > attempts then false
+    else begin
+      let src = List.nth sources (n mod n_sources) in
+      t.round <- t.round + 1;
+      let round = t.round in
+      send_to t src (Wire.Data_request { round });
+      let deadline = Unix.gettimeofday () +. patience in
+      match
+        await t ~deadline ~match_reply:(fun env ->
+            match env.Wire.payload with
+            | Wire.Data_reply { round = r; version; entries } when r = round ->
+                Some (version, entries)
+            | _ -> None)
+      with
+      | Some (version, entries) when version >= want_version ->
+          t.store <-
+            List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries;
+          t.data_version <- version;
+          true
+      | Some _ | None -> attempt (n + 1) (patience *. t.config.backoff)
+    end
+  in
+  attempt 0 t.config.gather_timeout
+
+(* The COMMIT wave.  The coordinator applies its own share through the
+   same monotone install as everyone else; the hook between sends is the
+   crash point — {!Killed} unwinds the whole thread, leaving the prefix
+   of recipients that already heard the commit, held locks to expire by
+   lease, and no outcome record: exactly a coordinator dead mid-wave. *)
+let commit_wave t ~recipients ~op_no ~version ~partition ~put =
+  let total = Site_set.cardinal recipients in
+  let sent = ref 0 in
+  Site_set.iter
+    (fun dst ->
+      if dst = t.site then apply_commit t ~op_no ~version ~partition ~put
+      else send_to t dst (Wire.Commit { op_no; version; partition; put });
+      incr sent;
+      match t.commit_hook with
+      | Some hook -> hook ~sent:!sent ~total
+      | None -> ())
+    recipients
+
+let reply_client t ~client ~req status value info =
+  try Wire.send t.conn
+        { Wire.src = t.site; dst = client; payload = Wire.Client_reply { req; status; value; info } }
+  with Unix.Unix_error _ -> raise Dead
+
+let denial_text denial = Fmt.str "%a" Decision.pp_denial denial
+
+(* One client operation, coordinated at this node: lock round (with
+   bounded retry on rivalry), gather, decide, fetch if stale, COMMIT
+   wave, outcome record, unlock, reply — the paper's protocol as genuine
+   request/reply exchanges. *)
+let client_op t ~client ~req kind =
+  let kind_tag =
+    match kind with `Read _ -> `Read | `Write _ -> `Write | `Recover -> `Recover
+  in
+  if t.amnesiac && kind_tag <> `Recover then
+    reply_client t ~client ~req Wire.Denied None
+      "amnesiac: stable record lost, RECOVER first"
+  else begin
+    t.op_counter <- t.op_counter + 1;
+    let op = (t.site lsl 24) lor (t.op_counter land 0xFFFFFF) in
+    (* Site-dependent backoff skew breaks retry symmetry between rivals. *)
+    let skew = 1.0 +. (0.13 *. float_of_int (t.site mod 7)) in
+    let rec acquire i =
+      match lock_round t op with
+      | `Granted -> true
+      | `Denied when i < t.config.lock_retries ->
+          (* Back off without going deaf: keep serving protocol frames so
+             rivals' lock rounds converge instead of timing out on us. *)
+          let deadline =
+            Unix.gettimeofday ()
+            +. (t.config.lock_backoff *. float_of_int (i + 1) *. skew)
+          in
+          ignore
+            (await t ~deadline ~match_reply:(fun _ -> (None : unit option))
+              : unit option);
+          acquire (i + 1)
+      | `Denied -> false
+    in
+    if not (acquire 0) then
+      reply_client t ~client ~req Wire.Denied None "busy: rival operation holds the locks"
+    else begin
+      let reachable, states, fresh = gather t in
+      match Operation.evaluate t.ctx states ~fresh ~reachable () with
+      | Decision.Denied denial ->
+          (match kind_tag with
+          | `Write ->
+              log t
+                (Persist.Log_outcome
+                   { seq = t.next_seq (); kind = `Write; granted = false; content = None })
+          | `Read ->
+              log t
+                (Persist.Log_outcome
+                   { seq = t.next_seq (); kind = `Read; granted = false; content = None })
+          | `Recover -> ());
+          unlock_all t op;
+          reply_client t ~client ~req Wire.Denied None (denial_text denial)
+      | Decision.Granted g ->
+          let m = g.Decision.m in
+          let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
+          let in_s = Site_set.mem t.site g.Decision.s in
+          let abort info =
+            log t
+              (Persist.Log_outcome
+                 {
+                   seq = t.next_seq ();
+                   kind = kind_tag;
+                   granted = false;
+                   content = None;
+                 });
+            unlock_all t op;
+            reply_client t ~client ~req Wire.Aborted None info
+          in
+          (match kind with
+          | `Read key ->
+              if (not in_s) && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else begin
+                commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1) ~version:v
+                  ~partition:g.Decision.s ~put:None;
+                let value = SMap.find_opt key t.store in
+                log t
+                  (Persist.Log_outcome
+                     {
+                       seq = t.next_seq ();
+                       kind = `Read;
+                       granted = true;
+                       content = Some (blob t);
+                     });
+                unlock_all t op;
+                reply_client t ~client ~req Wire.Granted value ""
+              end
+          | `Write (key, value) ->
+              if (not in_s) && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else begin
+                (* The intent records the post-write content before the
+                   first COMMIT can escape; a coordinator dead mid-wave
+                   leaves intent-without-outcome = maybe-committed. *)
+                let new_blob =
+                  Persist.encode_entries (SMap.bindings (SMap.add key value t.store))
+                in
+                log t (Persist.Log_intent { seq = t.next_seq (); content = new_blob });
+                commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1)
+                  ~version:(v + 1) ~partition:g.Decision.s ~put:(Some (key, value));
+                log t
+                  (Persist.Log_outcome
+                     {
+                       seq = t.next_seq ();
+                       kind = `Write;
+                       granted = true;
+                       content = Some new_blob;
+                     });
+                unlock_all t op;
+                reply_client t ~client ~req Wire.Granted None ""
+              end
+          | `Recover ->
+              let must_fetch =
+                t.amnesiac || Replica.version t.replica < v || t.data_version < v
+              in
+              if must_fetch && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else begin
+                let recipients = Site_set.add t.site g.Decision.s in
+                commit_wave t ~recipients ~op_no:(o + 1) ~version:v
+                  ~partition:recipients ~put:None;
+                log t
+                  (Persist.Log_outcome
+                     {
+                       seq = t.next_seq ();
+                       kind = `Recover;
+                       granted = true;
+                       content = None;
+                     });
+                unlock_all t op;
+                reply_client t ~client ~req Wire.Granted None ""
+              end)
+    end
+  end
+
+let dispatch t (env : Wire.envelope) =
+  match env.Wire.payload with
+  | Wire.Client_get { req; key } -> client_op t ~client:env.Wire.src ~req (`Read key)
+  | Wire.Client_put { req; key; value } ->
+      client_op t ~client:env.Wire.src ~req (`Write (key, value))
+  | Wire.Client_recover { req } -> client_op t ~client:env.Wire.src ~req `Recover
+  | _ -> serve_protocol t env
+
+let serve t =
+  (try
+     while true do
+       (match Wire.recv t.conn with
+       | Error (`Closed | `Corrupt _) -> raise Dead
+       | Error `Timeout -> ()
+       | Ok env -> dispatch t env);
+       (* Client requests parked while we were coordinating. *)
+       while not (Queue.is_empty t.pending_clients) do
+         dispatch t (Queue.pop t.pending_clients)
+       done
+     done
+   with Dead | Killed | Unix.Unix_error _ -> ());
+  (* Volatile state dies with the thread; only the files survive. *)
+  (try close_out t.oplog with Sys_error _ -> ());
+  try Unix.close (Wire.fd t.conn) with Unix.Unix_error _ -> ()

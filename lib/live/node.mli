@@ -1,0 +1,66 @@
+(** One live site: a server thread behind a real socket, holding the
+    (o, v, P) ensemble, the key-value data, and the volatile lock, all
+    persisted through {!Persist} so a kill-and-restart recovers from
+    disk.
+
+    The node serves the peer protocol (state / lock / data / commit) and
+    coordinates client operations itself, running the paper's protocol as
+    genuine request/reply exchanges: volatile lock round, broadcast
+    gather, majority-partition decision, verified data fetch, then the
+    COMMIT wave (or an ABORT that releases the locks).  While a
+    coordinator waits for its own replies it keeps serving incoming peer
+    requests on the same connection, so concurrent coordinators never
+    deadlock. *)
+
+type config = {
+  gather_timeout : float;  (** seconds to wait per gather round *)
+  retries : int;  (** re-ask silent sites this many times *)
+  backoff : float;  (** patience multiplier per retry, >= 1 *)
+  lock_lease : float;
+      (** seconds before an abandoned volatile lock self-releases (a
+          coordinator that died mid-operation cannot unlock) *)
+  lock_retries : int;  (** lock-round attempts before reporting busy *)
+  lock_backoff : float;  (** seconds between lock-round attempts *)
+  durable : bool;
+      (** fsync ensemble and data on every commit ([true], the paper's
+          stable-storage requirement); [false] keeps the atomic replace
+          but skips the fsyncs — for throughput experiments only *)
+}
+
+val default_config : config
+(** 0.2 s gather rounds, 1 retry, backoff 2.0, 2 s lock lease, durable. *)
+
+type t
+
+exception Killed
+(** Raised inside the node thread by a crash hook: the thread unwinds
+    instantly, losing all volatile state — the deterministic stand-in for
+    "the process died at this exact instant". *)
+
+val boot :
+  site:Site_set.site ->
+  universe:Site_set.t ->
+  flavor:Decision.flavor ->
+  segment_of:(Site_set.site -> int) ->
+  config:config ->
+  dir:string ->
+  next_seq:(unit -> int) ->
+  port:int ->
+  was_restarted:bool ->
+  t
+(** Load the ensemble and data from [dir] (a corrupt or missing record
+    leaves the node {e amnesiac}: silent to state requests, refusing to
+    coordinate until a RECOVER succeeds), connect to the switchboard on
+    [port], and register.  [was_restarted] clears the freshness claim
+    until the node applies its next commit. *)
+
+val serve : t -> unit
+(** The node thread body: handle frames until the connection dies. *)
+
+val site : t -> Site_set.site
+val is_amnesiac : t -> bool
+
+val set_commit_hook : t -> (sent:int -> total:int -> unit) option -> unit
+(** Fired after each COMMIT send of a wave this node coordinates
+    ([sent] of [total]); the hook may raise {!Killed} to strike the
+    coordinator mid-commit. *)

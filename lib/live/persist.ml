@@ -1,0 +1,237 @@
+(* Per-site stable storage: ensemble (Codec record), data blob, and the
+   append-only operation log.  All three share the codec's durability
+   discipline — the data blob is replaced atomically with fsync, and log
+   records are framed and checksummed so a torn tail is detected and
+   dropped rather than trusted. *)
+
+let site_dir ~dir site = Filename.concat dir (Printf.sprintf "site-%d" site)
+
+let ensure_site_dir ~dir site =
+  let path = site_dir ~dir site in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  path
+
+let ensemble_path ~dir site = Filename.concat (site_dir ~dir site) "ensemble.dvt"
+let data_path ~dir site = Filename.concat (site_dir ~dir site) "data.dvl"
+let oplog_path ~dir site = Filename.concat (site_dir ~dir site) "oplog.dvl"
+
+(* --- data blobs ---------------------------------------------------- *)
+
+let data_magic = "DVD1"
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let add_u16 b v = Buffer.add_uint16_le b v
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_entries b entries =
+  let entries = List.sort (fun (a, _) (c, _) -> String.compare a c) entries in
+  add_u32 b (List.length entries);
+  List.iter
+    (fun (k, v) ->
+      if String.length k > 0xffff then invalid_arg "Persist: key longer than 65535 bytes";
+      add_u16 b (String.length k);
+      Buffer.add_string b k;
+      add_u32 b (String.length v);
+      Buffer.add_string b v)
+    entries
+
+let encode_entries entries =
+  let b = Buffer.create 256 in
+  add_entries b entries;
+  Buffer.contents b
+
+let save_data ?(fsync = true) ~path ~version entries =
+  let b = Buffer.create 256 in
+  Buffer.add_string b data_magic;
+  add_u32 b 0 (* checksum slot *);
+  add_u64 b version;
+  add_entries b entries;
+  let body = Buffer.to_bytes b in
+  Bytes.set_int32_le body 4 (Codec.checksum body ~off:8 ~len:(Bytes.length body - 8));
+  Codec.write_file_atomic ~fsync ~path (Bytes.to_string body)
+
+exception Bad of string
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.data then raise (Bad "record truncated")
+
+let u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_le c.data c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_le c.data c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let u64 c =
+  need c 8;
+  let v = Bytes.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    raise (Bad "field out of range");
+  Int64.to_int v
+
+let str c len =
+  need c len;
+  let s = Bytes.sub_string c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let read_entries c =
+  let n = u32 c in
+  if n > Bytes.length c.data then raise (Bad "entry count out of range");
+  List.init n (fun _ ->
+      let k = str c (u16 c) in
+      (k, str c (u32 c)))
+
+let load_data_result ~path =
+  match Codec.read_file_result ~path with
+  | Error reason -> Error reason
+  | Ok data -> (
+      try
+        let body = Bytes.of_string data in
+        if Bytes.length body < 16 then raise (Bad "data file too short");
+        if Bytes.sub_string body 0 4 <> data_magic then raise (Bad "bad magic");
+        let stored = Bytes.get_int32_le body 4 in
+        let computed = Codec.checksum body ~off:8 ~len:(Bytes.length body - 8) in
+        if not (Int32.equal stored computed) then raise (Bad "checksum mismatch");
+        let c = { data = body; pos = 8 } in
+        let version = u64 c in
+        let entries = read_entries c in
+        if c.pos <> Bytes.length body then raise (Bad "trailing garbage");
+        Ok (version, entries)
+      with Bad reason -> Error reason)
+
+(* --- operation log -------------------------------------------------- *)
+
+let log_magic = "DVO1"
+
+type record =
+  | Log_commit of { seq : int; op_no : int; version : int; partition : Site_set.t }
+  | Log_intent of { seq : int; content : string }
+  | Log_outcome of {
+      seq : int;
+      kind : [ `Read | `Write | `Recover ];
+      granted : bool;
+      content : string option;
+    }
+
+let seq_of = function
+  | Log_commit { seq; _ } | Log_intent { seq; _ } | Log_outcome { seq; _ } -> seq
+
+let kind_code = function `Read -> 0 | `Write -> 1 | `Recover -> 2
+
+let encode_record record =
+  let b = Buffer.create 64 in
+  Buffer.add_string b log_magic;
+  add_u32 b 0 (* checksum slot *);
+  (match record with
+  | Log_commit { seq; op_no; version; partition } ->
+      add_u8 b 0;
+      add_u64 b seq;
+      add_u64 b op_no;
+      add_u64 b version;
+      add_u64 b (Site_set.to_int partition)
+  | Log_intent { seq; content } ->
+      add_u8 b 1;
+      add_u64 b seq;
+      add_u32 b (String.length content);
+      Buffer.add_string b content
+  | Log_outcome { seq; kind; granted; content } ->
+      add_u8 b 2;
+      add_u64 b seq;
+      add_u8 b (kind_code kind);
+      add_u8 b (if granted then 1 else 0);
+      (match content with
+      | None -> add_u8 b 0
+      | Some content ->
+          add_u8 b 1;
+          add_u32 b (String.length content);
+          Buffer.add_string b content));
+  let body = Buffer.to_bytes b in
+  Bytes.set_int32_le body 4 (Codec.checksum body ~off:8 ~len:(Bytes.length body - 8));
+  let frame = Bytes.create (4 + Bytes.length body) in
+  Bytes.set_int32_le frame 0 (Int32.of_int (Bytes.length body));
+  Bytes.blit body 0 frame 4 (Bytes.length body);
+  Bytes.to_string frame
+
+let append oc record =
+  output_string oc (encode_record record);
+  flush oc
+
+let decode_record body =
+  let c = { data = body; pos = 0 } in
+  if str c 4 <> log_magic then raise (Bad "bad magic");
+  let stored = Bytes.get_int32_le body 4 in
+  c.pos <- 8;
+  let computed = Codec.checksum body ~off:8 ~len:(Bytes.length body - 8) in
+  if not (Int32.equal stored computed) then raise (Bad "checksum mismatch");
+  let record =
+    match u8 c with
+    | 0 ->
+        let seq = u64 c in
+        let op_no = u64 c in
+        let version = u64 c in
+        let mask = u64 c in
+        Log_commit { seq; op_no; version; partition = Site_set.of_int_unsafe mask }
+    | 1 ->
+        let seq = u64 c in
+        Log_intent { seq; content = str c (u32 c) }
+    | 2 ->
+        let seq = u64 c in
+        let kind =
+          match u8 c with
+          | 0 -> `Read
+          | 1 -> `Write
+          | 2 -> `Recover
+          | _ -> raise (Bad "bad kind")
+        in
+        let granted = match u8 c with 0 -> false | 1 -> true | _ -> raise (Bad "bad flag") in
+        let content =
+          match u8 c with
+          | 0 -> None
+          | 1 -> Some (str c (u32 c))
+          | _ -> raise (Bad "bad content flag")
+        in
+        Log_outcome { seq; kind; granted; content }
+    | _ -> raise (Bad "unknown record tag")
+  in
+  if c.pos <> Bytes.length body then raise (Bad "trailing garbage");
+  record
+
+(* A killed node leaves at worst one partial frame at the tail; anything
+   after the first bad record is dropped and flagged, never trusted. *)
+let read_log ~path =
+  match Codec.read_file_result ~path with
+  | Error _ -> ([], false)
+  | Ok data ->
+      let raw = Bytes.of_string data in
+      let total = Bytes.length raw in
+      let records = ref [] in
+      let pos = ref 0 in
+      let truncated = ref false in
+      (try
+         while !pos < total do
+           if !pos + 4 > total then raise Exit;
+           let len = Int32.to_int (Bytes.get_int32_le raw !pos) land 0xFFFFFFFF in
+           if len <= 0 || !pos + 4 + len > total then raise Exit;
+           (match decode_record (Bytes.sub raw (!pos + 4) len) with
+           | record -> records := record :: !records
+           | exception Bad _ -> raise Exit);
+           pos := !pos + 4 + len
+         done
+       with Exit -> truncated := true);
+      (List.rev !records, !truncated)

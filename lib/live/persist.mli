@@ -1,0 +1,64 @@
+(** Per-site stable storage of the live service.
+
+    Each node owns one directory holding three artifacts:
+
+    - [ensemble.dvt] — the (o, v, P) consistency ensemble, in the
+      {!Dynvote.Codec} record format, replaced durably on every commit;
+    - [data.dvl] — the key-value store (version number + entries),
+      replaced durably on every commit through the same
+      write-fsync-rename discipline;
+    - [oplog.dvl] — an append-only log of every commit this node applied
+      and every client-visible outcome it coordinated, framed and
+      checksummed per record; the merged logs of all nodes replay through
+      the chaos {!Dynvote_chaos.Oracle}.
+
+    A node killed at any instant restarts from these three files. *)
+
+val site_dir : dir:string -> Site_set.site -> string
+val ensure_site_dir : dir:string -> Site_set.site -> string
+val ensemble_path : dir:string -> Site_set.site -> string
+val data_path : dir:string -> Site_set.site -> string
+val oplog_path : dir:string -> Site_set.site -> string
+
+(** {2 Data blobs} *)
+
+val encode_entries : (string * string) list -> string
+(** Canonical (key-sorted, length-framed) serialization of the store
+    entries — the "content" string the safety oracle compares; injective,
+    so distinct stores never collide. *)
+
+val save_data :
+  ?fsync:bool -> path:string -> version:int -> (string * string) list -> unit
+(** Durable atomic replace ({!Dynvote.Codec.write_file_atomic}); [?fsync]
+    is forwarded there. *)
+
+val load_data_result : path:string -> (int * (string * string) list, string) result
+(** Total load: corruption and I/O failures as [Error]. *)
+
+(** {2 Operation log} *)
+
+type record =
+  | Log_commit of { seq : int; op_no : int; version : int; partition : Site_set.t }
+      (** this node applied a commit (site is implied by whose log it is) *)
+  | Log_intent of { seq : int; content : string }
+      (** a write coordinator is about to distribute COMMITs installing
+          [content]; an intent with no later outcome marks a coordinator
+          killed mid-wave *)
+  | Log_outcome of {
+      seq : int;
+      kind : [ `Read | `Write | `Recover ];
+      granted : bool;
+      content : string option;
+          (** the store serialization the operation served (granted reads)
+              or installed (granted writes) *)
+    }
+
+val seq_of : record -> int
+
+val append : out_channel -> record -> unit
+(** Framed, checksummed, flushed. *)
+
+val read_log : path:string -> record list * bool
+(** All intact records in order, plus whether a torn tail was dropped — a
+    node killed mid-append leaves a partial final frame, which replay
+    tolerates.  A missing file is ([], false). *)

@@ -1,0 +1,287 @@
+(* The in-process network fabric.  One broker thread selects over every
+   registered connection and routes frames subject to the current
+   topology; the control API (partition / heal / crash) mutates that
+   topology under a mutex and pokes the broker through a self-pipe so
+   changes take effect immediately, even while the broker is blocked in
+   select.
+
+   Fault semantics are chosen to match what a real LAN does:
+   - a partition silently eats frames crossing the cut;
+   - a crash closes the victim's socket (the node thread dies on EOF);
+   - nothing is ever reordered or duplicated on a surviving path (TCP). *)
+
+type endpoint = { id : int; conn : Wire.conn }
+
+type stats = { routed : int; dropped_partition : int; dropped_down : int }
+
+type t = {
+  listen : Unix.file_descr;
+  port : int;
+  universe : Site_set.t;
+  segment_of : Site_set.site -> int;
+  mutex : Mutex.t;
+  mutable endpoints : endpoint list;
+  mutable pending : Wire.conn list; (* accepted, awaiting Hello *)
+  mutable up : Site_set.t;
+  mutable groups : Site_set.t list option;
+  mutable kill_queue : Site_set.site list;
+  mutable next_client : int;
+  mutable running : bool;
+  mutable routed : int;
+  mutable dropped_partition : int;
+  mutable dropped_down : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable broker : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+(* Both endpoints up and on the same side of the cut.  Clients are
+   treated as co-located with whatever site they address (the paper's
+   user-at-a-site model), so only the site's liveness matters to them. *)
+let connected_locked t a b =
+  let site_ok s = (not (Wire.is_site s)) || Site_set.mem s t.up in
+  site_ok a && site_ok b
+  &&
+  if Wire.is_site a && Wire.is_site b then
+    match t.groups with
+    | None -> true
+    | Some groups ->
+        List.exists (fun g -> Site_set.mem a g && Site_set.mem b g) groups
+  else true
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let drop_endpoint t ep =
+  t.endpoints <- List.filter (fun e -> e != ep) t.endpoints;
+  if Wire.is_site ep.id then t.up <- Site_set.remove ep.id t.up;
+  close_quietly (Wire.fd ep.conn)
+
+let route t ep (env : Wire.envelope) =
+  locked t (fun () ->
+      (* The registered id is authoritative; a frame cannot spoof its
+         source. *)
+      let env = { env with Wire.src = ep.id } in
+      if not (connected_locked t ep.id env.Wire.dst) then
+        if Wire.is_site ep.id && Wire.is_site env.Wire.dst then
+          t.dropped_partition <- t.dropped_partition + 1
+        else t.dropped_down <- t.dropped_down + 1
+      else
+        match List.find_opt (fun e -> e.id = env.Wire.dst) t.endpoints with
+        | None -> t.dropped_down <- t.dropped_down + 1
+        | Some target -> (
+            match Wire.send target.conn env with
+            | () -> t.routed <- t.routed + 1
+            | exception Unix.Unix_error _ ->
+                t.dropped_down <- t.dropped_down + 1;
+                drop_endpoint t target))
+
+let register t conn (env : Wire.envelope) =
+  locked t (fun () ->
+      t.pending <- List.filter (fun c -> c != conn) t.pending;
+      match env.Wire.payload with
+      | Wire.Hello_site { site }
+        when Site_set.mem site t.universe && not (Site_set.mem site t.up) ->
+          (* A stale registration for this site (a crashed node whose
+             socket we have not reaped yet) is replaced. *)
+          List.iter
+            (fun e -> if e.id = site then drop_endpoint t e)
+            (List.filter (fun e -> e.id = site) t.endpoints);
+          t.endpoints <- { id = site; conn } :: t.endpoints;
+          t.up <- Site_set.add site t.up;
+          (try Wire.send conn { Wire.src = Wire.broker_id; dst = site; payload = Wire.Welcome { id = site } }
+           with Unix.Unix_error _ -> ())
+      | Wire.Hello_client ->
+          let id = t.next_client in
+          t.next_client <- id + 1;
+          t.endpoints <- { id; conn } :: t.endpoints;
+          (try Wire.send conn { Wire.src = Wire.broker_id; dst = id; payload = Wire.Welcome { id } }
+           with Unix.Unix_error _ -> ())
+      | _ -> close_quietly (Wire.fd conn))
+
+let process_kills t =
+  locked t (fun () ->
+      List.iter
+        (fun site ->
+          List.iter
+            (fun e -> if e.id = site then drop_endpoint t e)
+            (List.filter (fun e -> e.id = site) t.endpoints))
+        t.kill_queue;
+      t.kill_queue <- [])
+
+let drain_frames t source conn =
+  let continue = ref true in
+  while !continue do
+    match Wire.next_frame conn with
+    | None -> continue := false
+    | Some (Error _) ->
+        (* A corrupt frame means the stream is unframed garbage; the
+           connection cannot be trusted any further. *)
+        (match source with
+        | `Endpoint ep -> locked t (fun () -> drop_endpoint t ep)
+        | `Pending _ ->
+            locked t (fun () -> t.pending <- List.filter (fun c -> c != conn) t.pending);
+            close_quietly (Wire.fd conn));
+        continue := false
+    | Some (Ok env) -> (
+        match source with
+        | `Endpoint ep -> route t ep env
+        | `Pending _ ->
+            register t conn env;
+            continue := false)
+  done
+
+let broker_loop t =
+  while locked t (fun () -> t.running) do
+    let conns =
+      locked t (fun () ->
+          List.map (fun ep -> `Endpoint ep) t.endpoints
+          @ List.map (fun c -> `Pending c) t.pending)
+    in
+    let fd_of = function `Endpoint ep -> Wire.fd ep.conn | `Pending c -> Wire.fd c in
+    let fds = t.listen :: t.wake_r :: List.map fd_of conns in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> process_kills t
+    | ready, _, _ ->
+        if List.mem t.wake_r ready then begin
+          (try ignore (Unix.read t.wake_r (Bytes.create 16) 0 16) with _ -> ());
+          process_kills t
+        end;
+        if List.mem t.listen ready then begin
+          match Unix.accept t.listen with
+          | fd, _ ->
+              (* Tiny request/reply frames: Nagle would serialize every
+                 exchange into 40 ms delayed-ACK stalls. *)
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              locked t (fun () -> t.pending <- Wire.conn fd :: t.pending)
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun source ->
+            let conn = match source with `Endpoint ep -> ep.conn | `Pending c -> c in
+            if List.mem (fd_of source) ready then
+              match Wire.read_once conn with
+              | `Closed -> (
+                  match source with
+                  | `Endpoint ep -> locked t (fun () -> drop_endpoint t ep)
+                  | `Pending _ ->
+                      locked t (fun () ->
+                          t.pending <- List.filter (fun c -> c != conn) t.pending);
+                      close_quietly (Wire.fd conn))
+              | `Data -> drain_frames t source conn
+              | exception Unix.Unix_error _ -> (
+                  match source with
+                  | `Endpoint ep -> locked t (fun () -> drop_endpoint t ep)
+                  | `Pending _ -> ()))
+          conns
+  done;
+  (* Shutdown: close everything we own. *)
+  locked t (fun () ->
+      List.iter (fun ep -> close_quietly (Wire.fd ep.conn)) t.endpoints;
+      List.iter (fun c -> close_quietly (Wire.fd c)) t.pending;
+      t.endpoints <- [];
+      t.pending <- []);
+  close_quietly t.listen;
+  close_quietly t.wake_r;
+  close_quietly t.wake_w
+
+let create ~universe ~segment_of () =
+  (* A routed frame to a just-crashed socket must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen Unix.SO_REUSEADDR true;
+  Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen 64;
+  let port =
+    match Unix.getsockname listen with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      listen;
+      port;
+      universe;
+      segment_of;
+      mutex = Mutex.create ();
+      endpoints = [];
+      pending = [];
+      up = Site_set.empty;
+      groups = None;
+      kill_queue = [];
+      next_client = Wire.first_client_id;
+      running = true;
+      routed = 0;
+      dropped_partition = 0;
+      dropped_down = 0;
+      wake_r;
+      wake_w;
+      broker = None;
+    }
+  in
+  t.broker <- Some (Thread.create broker_loop t);
+  t
+
+let port t = t.port
+
+let partition t groups =
+  let covered = List.fold_left Site_set.union Site_set.empty groups in
+  if not (Site_set.equal covered t.universe) then
+    invalid_arg "Switchboard.partition: groups must cover the universe";
+  let total = List.fold_left (fun acc g -> acc + Site_set.cardinal g) 0 groups in
+  if total <> Site_set.cardinal t.universe then
+    invalid_arg "Switchboard.partition: groups overlap";
+  (* Segments are physically unsplittable (carrier-sense wire / token
+     ring): every pair of same-segment sites must land in one group. *)
+  Site_set.iter
+    (fun a ->
+      Site_set.iter
+        (fun b ->
+          if a < b && t.segment_of a = t.segment_of b then
+            let together =
+              List.exists (fun g -> Site_set.mem a g && Site_set.mem b g) groups
+            in
+            if not together then
+              invalid_arg
+                (Printf.sprintf
+                   "Switchboard.partition: sites %d and %d share a segment and \
+                    cannot be separated"
+                   a b))
+        t.universe)
+    t.universe;
+  locked t (fun () -> t.groups <- Some groups);
+  wake t
+
+let heal t =
+  locked t (fun () -> t.groups <- None);
+  wake t
+
+let crash t site =
+  locked t (fun () ->
+      t.up <- Site_set.remove site t.up;
+      t.kill_queue <- site :: t.kill_queue);
+  wake t
+
+let up_sites t = locked t (fun () -> t.up)
+let is_up t site = locked t (fun () -> Site_set.mem site t.up)
+let groups t = locked t (fun () -> t.groups)
+
+let stats t =
+  locked t (fun () ->
+      {
+        routed = t.routed;
+        dropped_partition = t.dropped_partition;
+        dropped_down = t.dropped_down;
+      })
+
+let shutdown t =
+  locked t (fun () -> t.running <- false);
+  wake t;
+  match t.broker with None -> () | Some thread -> Thread.join thread

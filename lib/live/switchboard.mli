@@ -1,0 +1,54 @@
+(** The in-process network: one broker thread owning every inter-node
+    connection, so partitions, heals and crashes can be injected into a
+    *live* cluster of real sockets.
+
+    Every node and client dials the switchboard's TCP listener and
+    registers with a [Hello]; from then on the broker routes its frames.
+    The broker is segment-topology-aware in the paper's sense: sites on
+    one carrier-sense segment can never be separated, so {!partition}
+    rejects any grouping that splits a segment — the injectable faults
+    are exactly the gateway failures of Figure 8.  A frame whose
+    endpoints are in different groups (or whose destination site is
+    down) is silently dropped, which is what a partition looks like to
+    the protocol.
+
+    {!crash} severs a site's connection: its node thread observes EOF /
+    EPIPE on its next socket operation and dies with all volatile state,
+    exactly like a killed process; only its on-disk files survive. *)
+
+type t
+
+val create : universe:Site_set.t -> segment_of:(Site_set.site -> int) -> unit -> t
+(** Bind a loopback listener on an ephemeral port and start the broker
+    thread.  All sites start connected and no site is considered up until
+    its node registers. *)
+
+val port : t -> int
+
+val partition : t -> Site_set.t list -> unit
+(** Install a partition.  @raise Invalid_argument when the groups do not
+    cover the universe, overlap, or separate two sites that share a
+    network segment (segments are unsplittable; only gateways fail). *)
+
+val heal : t -> unit
+
+val crash : t -> Site_set.site -> unit
+(** Sever the site's connection and mark it down.  Idempotent. *)
+
+val up_sites : t -> Site_set.t
+(** Sites with a live registered connection. *)
+
+val is_up : t -> Site_set.site -> bool
+
+val groups : t -> Site_set.t list option
+
+type stats = {
+  routed : int;  (** frames delivered *)
+  dropped_partition : int;  (** frames eaten by a partition *)
+  dropped_down : int;  (** frames to a dead or unregistered endpoint *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Close every connection and stop the broker thread. *)

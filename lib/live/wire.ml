@@ -1,0 +1,380 @@
+(* Wire protocol of the live replication service.
+
+   Frames are self-delimiting and self-checking:
+
+       len:u32 | magic "DVW1" | adler32:u32 | src:u16 | dst:u16 | tag:u8 | fields
+
+   The checksum covers everything after itself.  Integers are
+   little-endian fixed width; keys carry u16 lengths, values u32.  The
+   consistency ensemble inside State_reply reuses the Codec stable-storage
+   encoding byte for byte, so the protocol state that crosses the wire is
+   the same record that sits on disk. *)
+
+let magic = "DVW1"
+let max_frame = 16 * 1024 * 1024
+let broker_id = 0xFFFF
+let first_client_id = 64
+let is_site id = id >= 0 && id < Site_set.max_sites
+
+type status = Granted | Denied | Aborted
+
+type payload =
+  | Hello_site of { site : Site_set.site }
+  | Hello_client
+  | Welcome of { id : int }
+  | State_request of { round : int }
+  | State_reply of { round : int; fresh : bool; replica : Replica.t }
+  | Lock_request of { op : int }
+  | Lock_reply of { op : int; granted : bool }
+  | Unlock of { op : int }
+  | Data_request of { round : int }
+  | Data_reply of { round : int; version : int; entries : (string * string) list }
+  | Commit of {
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      put : (string * string) option;
+    }
+  | Client_put of { req : int; key : string; value : string }
+  | Client_get of { req : int; key : string }
+  | Client_recover of { req : int }
+  | Client_reply of { req : int; status : status; value : string option; info : string }
+
+type envelope = { src : int; dst : int; payload : payload }
+
+let kind_name = function
+  | Hello_site _ -> "hello-site"
+  | Hello_client -> "hello-client"
+  | Welcome _ -> "welcome"
+  | State_request _ -> "state-request"
+  | State_reply _ -> "state-reply"
+  | Lock_request _ -> "lock-request"
+  | Lock_reply _ -> "lock-reply"
+  | Unlock _ -> "unlock"
+  | Data_request _ -> "data-request"
+  | Data_reply _ -> "data-reply"
+  | Commit _ -> "commit"
+  | Client_put _ -> "client-put"
+  | Client_get _ -> "client-get"
+  | Client_recover _ -> "client-recover"
+  | Client_reply _ -> "client-reply"
+
+let pp ppf e = Fmt.pf ppf "%d->%d %s" e.src e.dst (kind_name e.payload)
+
+(* --- encoding ----------------------------------------------------- *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let add_u16 b v = Buffer.add_uint16_le b v
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_bool b v = add_u8 b (if v then 1 else 0)
+
+let add_key b k =
+  if String.length k > 0xffff then invalid_arg "Wire: key longer than 65535 bytes";
+  add_u16 b (String.length k);
+  Buffer.add_string b k
+
+let add_value b v =
+  add_u32 b (String.length v);
+  Buffer.add_string b v
+
+let add_status b = function
+  | Granted -> add_u8 b 0
+  | Denied -> add_u8 b 1
+  | Aborted -> add_u8 b 2
+
+let tag_of = function
+  | Hello_site _ -> 0
+  | Hello_client -> 1
+  | Welcome _ -> 2
+  | State_request _ -> 3
+  | State_reply _ -> 4
+  | Lock_request _ -> 5
+  | Lock_reply _ -> 6
+  | Unlock _ -> 7
+  | Data_request _ -> 8
+  | Data_reply _ -> 9
+  | Commit _ -> 10
+  | Client_put _ -> 11
+  | Client_get _ -> 12
+  | Client_recover _ -> 13
+  | Client_reply _ -> 14
+
+let encode_payload b = function
+  | Hello_site { site } -> add_u16 b site
+  | Hello_client -> ()
+  | Welcome { id } -> add_u16 b id
+  | State_request { round } -> add_u32 b round
+  | State_reply { round; fresh; replica } ->
+      add_u32 b round;
+      add_bool b fresh;
+      Buffer.add_string b (Codec.encode_replica replica)
+  | Lock_request { op } -> add_u32 b op
+  | Lock_reply { op; granted } ->
+      add_u32 b op;
+      add_bool b granted
+  | Unlock { op } -> add_u32 b op
+  | Data_request { round } -> add_u32 b round
+  | Data_reply { round; version; entries } ->
+      add_u32 b round;
+      add_u64 b version;
+      add_u32 b (List.length entries);
+      List.iter
+        (fun (k, v) ->
+          add_key b k;
+          add_value b v)
+        entries
+  | Commit { op_no; version; partition; put } ->
+      add_u64 b op_no;
+      add_u64 b version;
+      add_u64 b (Site_set.to_int partition);
+      (match put with
+      | None -> add_u8 b 0
+      | Some (k, v) ->
+          add_u8 b 1;
+          add_key b k;
+          add_value b v)
+  | Client_put { req; key; value } ->
+      add_u32 b req;
+      add_key b key;
+      add_value b value
+  | Client_get { req; key } ->
+      add_u32 b req;
+      add_key b key
+  | Client_recover { req } -> add_u32 b req
+  | Client_reply { req; status; value; info } ->
+      add_u32 b req;
+      add_status b status;
+      (match value with
+      | None -> add_u8 b 0
+      | Some v ->
+          add_u8 b 1;
+          add_value b v);
+      add_key b info
+
+let encode e =
+  let body = Buffer.create 64 in
+  Buffer.add_string body magic;
+  add_u32 body 0 (* checksum slot *);
+  add_u16 body e.src;
+  add_u16 body e.dst;
+  add_u8 body (tag_of e.payload);
+  encode_payload body e.payload;
+  let body = Buffer.to_bytes body in
+  Bytes.set_int32_le body 4 (Codec.checksum body ~off:8 ~len:(Bytes.length body - 8));
+  let frame = Bytes.create (4 + Bytes.length body) in
+  Bytes.set_int32_le frame 0 (Int32.of_int (Bytes.length body));
+  Bytes.blit body 0 frame 4 (Bytes.length body);
+  Bytes.to_string frame
+
+(* --- decoding ----------------------------------------------------- *)
+
+exception Bad of string
+
+(* A cursor over the body bytes; every read is bounds-checked so a
+   malformed length field turns into [Error], never an exception from
+   Bytes. *)
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.data then raise (Bad "frame truncated")
+
+let u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_le c.data c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_le c.data c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let u64 c =
+  need c 8;
+  let v = Bytes.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    raise (Bad "field out of range");
+  Int64.to_int v
+
+let bool_field c =
+  match u8 c with 0 -> false | 1 -> true | _ -> raise (Bad "bad boolean")
+
+let str c len =
+  need c len;
+  let s = Bytes.sub_string c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let key c = str c (u16 c)
+let value c = str c (u32 c)
+
+let status_field c =
+  match u8 c with
+  | 0 -> Granted
+  | 1 -> Denied
+  | 2 -> Aborted
+  | _ -> raise (Bad "bad status")
+
+let replica_field c =
+  let data = str c Codec.encoded_size in
+  match Codec.decode_result data with
+  | Ok replica -> replica
+  | Error reason -> raise (Bad ("bad replica: " ^ reason))
+
+let site_set_field c =
+  let mask = u64 c in
+  if mask land lnot (Site_set.to_int (Site_set.universe Site_set.max_sites)) <> 0 then
+    raise (Bad "partition mask has illegal bits");
+  Site_set.of_int_unsafe mask
+
+let decode_payload c tag =
+  match tag with
+  | 0 -> Hello_site { site = u16 c }
+  | 1 -> Hello_client
+  | 2 -> Welcome { id = u16 c }
+  | 3 -> State_request { round = u32 c }
+  | 4 ->
+      let round = u32 c in
+      let fresh = bool_field c in
+      State_reply { round; fresh; replica = replica_field c }
+  | 5 -> Lock_request { op = u32 c }
+  | 6 ->
+      let op = u32 c in
+      Lock_reply { op; granted = bool_field c }
+  | 7 -> Unlock { op = u32 c }
+  | 8 -> Data_request { round = u32 c }
+  | 9 ->
+      let round = u32 c in
+      let version = u64 c in
+      let n = u32 c in
+      if n > max_frame then raise (Bad "entry count out of range");
+      let entries = List.init n (fun _ -> let k = key c in (k, value c)) in
+      Data_reply { round; version; entries }
+  | 10 ->
+      let op_no = u64 c in
+      let version = u64 c in
+      let partition = site_set_field c in
+      let put =
+        match u8 c with
+        | 0 -> None
+        | 1 -> let k = key c in Some (k, value c)
+        | _ -> raise (Bad "bad put flag")
+      in
+      Commit { op_no; version; partition; put }
+  | 11 ->
+      let req = u32 c in
+      let k = key c in
+      Client_put { req; key = k; value = value c }
+  | 12 ->
+      let req = u32 c in
+      Client_get { req; key = key c }
+  | 13 -> Client_recover { req = u32 c }
+  | 14 ->
+      let req = u32 c in
+      let status = status_field c in
+      let v =
+        match u8 c with
+        | 0 -> None
+        | 1 -> Some (value c)
+        | _ -> raise (Bad "bad value flag")
+      in
+      Client_reply { req; status; value = v; info = key c }
+  | _ -> raise (Bad "unknown tag")
+
+let decode_body body =
+  try
+    if Bytes.length body < 13 then raise (Bad "frame too short");
+    if Bytes.sub_string body 0 4 <> magic then raise (Bad "bad magic");
+    let stored = Bytes.get_int32_le body 4 in
+    let computed = Codec.checksum body ~off:8 ~len:(Bytes.length body - 8) in
+    if not (Int32.equal stored computed) then raise (Bad "checksum mismatch");
+    let c = { data = body; pos = 8 } in
+    let src = u16 c in
+    let dst = u16 c in
+    let tag = u8 c in
+    let payload = decode_payload c tag in
+    if c.pos <> Bytes.length body then raise (Bad "trailing garbage");
+    Ok { src; dst; payload }
+  with Bad reason -> Error reason
+
+let decode frame =
+  if String.length frame < 4 then Error "missing length prefix"
+  else
+    let len = Int32.to_int (String.get_int32_le frame 0) land 0xFFFFFFFF in
+    if len > max_frame then Error "frame length out of range"
+    else if String.length frame - 4 <> len then Error "length prefix mismatch"
+    else decode_body (Bytes.of_string (String.sub frame 4 len))
+
+(* --- buffered connections ----------------------------------------- *)
+
+type conn = { sock : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+
+let conn sock = { sock; buf = Bytes.create 4096; len = 0 }
+let fd c = c.sock
+
+let send c e =
+  let frame = Bytes.unsafe_of_string (encode e) in
+  let total = Bytes.length frame in
+  let written = ref 0 in
+  while !written < total do
+    written := !written + Unix.write c.sock frame !written (total - !written)
+  done
+
+let ensure_capacity c extra =
+  if c.len + extra > Bytes.length c.buf then begin
+    let grown = Bytes.create (max (2 * Bytes.length c.buf) (c.len + extra)) in
+    Bytes.blit c.buf 0 grown 0 c.len;
+    c.buf <- grown
+  end
+
+let read_once c =
+  ensure_capacity c 4096;
+  match Unix.read c.sock c.buf c.len (Bytes.length c.buf - c.len) with
+  | 0 -> `Closed
+  | n ->
+      c.len <- c.len + n;
+      `Data
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+      `Closed
+
+let next_frame c =
+  if c.len < 4 then None
+  else
+    let body_len = Int32.to_int (Bytes.get_int32_le c.buf 0) land 0xFFFFFFFF in
+    if body_len > max_frame then Some (Error "frame length out of range")
+    else if c.len < 4 + body_len then None
+    else begin
+      let body = Bytes.sub c.buf 4 body_len in
+      let rest = c.len - 4 - body_len in
+      Bytes.blit c.buf (4 + body_len) c.buf 0 rest;
+      c.len <- rest;
+      Some (decode_body body)
+    end
+
+let rec recv ?deadline c =
+  match next_frame c with
+  | Some (Ok e) -> Ok e
+  | Some (Error reason) -> Error (`Corrupt reason)
+  | None -> (
+      let timeout =
+        match deadline with
+        | None -> -1.0 (* block *)
+        | Some d -> d -. Unix.gettimeofday ()
+      in
+      if deadline <> None && timeout <= 0.0 then Error `Timeout
+      else
+        match Unix.select [ c.sock ] [] [] timeout with
+        | [], _, _ -> Error `Timeout
+        | _ -> (
+            match read_once c with
+            | `Closed -> Error `Closed
+            | `Data -> recv ?deadline c)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ?deadline c)

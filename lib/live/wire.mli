@@ -1,0 +1,96 @@
+(** The live service's wire protocol: length-prefixed, versioned,
+    checksummed binary frames over real sockets, in the style of
+    {!Dynvote.Codec}.
+
+    Every frame is [length (u32) | magic "DVW1" | adler32 | src | dst |
+    payload]; the checksum covers everything after itself, so a truncated
+    or bit-flipped frame is detected rather than trusted — {!decode} is
+    total and returns the corruption reason.  Replica ensembles travel in
+    their {!Dynvote.Codec} stable-storage encoding, so the bytes a
+    {!State_reply} carries are exactly the bytes a node persists. *)
+
+(** {2 Endpoints} *)
+
+val broker_id : int
+(** Address of the switchboard itself ([Hello]/[Welcome] exchanges). *)
+
+val first_client_id : int
+(** Client endpoint ids are assigned from here up; everything below is a
+    site id. *)
+
+val is_site : int -> bool
+
+(** {2 Messages} *)
+
+type status = Granted | Denied | Aborted
+
+type payload =
+  | Hello_site of { site : Site_set.site }
+      (** a node registering its socket with the switchboard *)
+  | Hello_client  (** a client asking the switchboard for an endpoint id *)
+  | Welcome of { id : int }
+  | State_request of { round : int }
+  | State_reply of { round : int; fresh : bool; replica : Replica.t }
+      (** [fresh] is the replier's own claim: continuously up since the
+          last commit it applied (gates topological vote claiming) *)
+  | Lock_request of { op : int }
+  | Lock_reply of { op : int; granted : bool }
+  | Unlock of { op : int }
+  | Data_request of { round : int }
+  | Data_reply of { round : int; version : int; entries : (string * string) list }
+      (** full store snapshot, for recovery / stale-coordinator fetch *)
+  | Commit of {
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      put : (string * string) option;
+          (** a write's key/value rides inside COMMIT so data and ensemble
+              install atomically *)
+    }
+  | Client_put of { req : int; key : string; value : string }
+  | Client_get of { req : int; key : string }
+  | Client_recover of { req : int }
+  | Client_reply of { req : int; status : status; value : string option; info : string }
+
+type envelope = { src : int; dst : int; payload : payload }
+
+val kind_name : payload -> string
+val pp : Format.formatter -> envelope -> unit
+
+(** {2 Codec} *)
+
+val encode : envelope -> string
+(** The full frame, length prefix included. *)
+
+val decode : string -> (envelope, string) result
+(** Total inverse of {!encode}: wrong length, bad magic, checksum
+    mismatch, unknown tag, out-of-range fields and trailing garbage all
+    come back as [Error]. *)
+
+val max_frame : int
+(** Upper bound on the body length a reader will accept. *)
+
+(** {2 Buffered connections}
+
+    One reader/writer per socket end; [recv] interleaves buffered frame
+    parsing with deadline-bounded reads, which is what lets a coordinator
+    keep serving peer requests while it waits for its own replies. *)
+
+type conn
+
+val conn : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
+
+val send : conn -> envelope -> unit
+(** @raise Unix.Unix_error when the peer is gone (crash semantics). *)
+
+val recv :
+  ?deadline:float -> conn -> (envelope, [ `Timeout | `Closed | `Corrupt of string ]) result
+(** Next frame.  [deadline] is an absolute {!Unix.gettimeofday} time;
+    omitted means block until a frame or EOF. *)
+
+val read_once : conn -> [ `Data | `Closed ]
+(** One [read(2)] into the buffer (for select-driven loops). *)
+
+val next_frame : conn -> (envelope, string) result option
+(** A complete buffered frame, if any ([None] = need more bytes). *)

@@ -1,0 +1,440 @@
+(* The live replication service: wire codec round trips and fuzz, the
+   persistence layer, and end-to-end protocol runs over real sockets —
+   partition denial, heal, kill-and-restart recovery, a coordinator
+   struck mid-COMMIT, amnesia — every run audited by replaying the
+   merged on-disk operation logs through the chaos safety oracle. *)
+
+open Helpers
+module Wire = Dynvote_live.Wire
+module Persist = Dynvote_live.Persist
+module Live = Dynvote_live.Cluster
+module Loadgen = Dynvote_live.Loadgen
+module Node = Dynvote_live.Node
+module Oracle = Dynvote_chaos.Oracle
+
+(* --- scratch directories ------------------------------------------- *)
+
+let scratch_counter = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_scratch f =
+  incr scratch_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dynvote-live-%d-%d" (Unix.getpid ()) !scratch_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Fast timeouts: tests partition and kill constantly, and every denied
+   operation pays the full gather patience.  No fsync — kills here are
+   socket severs, not power cuts. *)
+let test_config =
+  {
+    Node.gather_timeout = 0.05;
+    retries = 1;
+    backoff = 2.0;
+    lock_lease = 1.0;
+    lock_retries = 6;
+    lock_backoff = 0.02;
+    durable = false;
+  }
+
+let with_cluster ?flavor ?segment_of ~universe f =
+  with_scratch (fun dir ->
+      let cluster =
+        Live.create ?flavor ?segment_of ~config:test_config ~client_timeout:3.0
+          ~universe ~dir ()
+      in
+      Fun.protect ~finally:(fun () -> Live.shutdown cluster) (fun () -> f cluster))
+
+let check_status name expected (reply : Live.reply) =
+  Alcotest.(check string)
+    (Printf.sprintf "%s (info: %s)" name reply.Live.info)
+    (match expected with
+    | Wire.Granted -> "granted"
+    | Wire.Denied -> "denied"
+    | Wire.Aborted -> "aborted")
+    (match reply.Live.status with
+    | Wire.Granted -> "granted"
+    | Wire.Denied -> "denied"
+    | Wire.Aborted -> "aborted")
+
+let check_clean name audit =
+  List.iter
+    (fun v -> Alcotest.failf "%s: %a" name Oracle.pp_violation v)
+    (Oracle.violations audit.Live.oracle);
+  Alcotest.(check bool) (name ^ ": torn logs") true (Site_set.is_empty audit.Live.torn)
+
+(* --- wire codec ----------------------------------------------------- *)
+
+let sample_replica = Replica.make ~op_no:7 ~version:5 ~partition:(ss [ 0; 1; 3 ])
+
+let sample_payloads : Wire.payload list =
+  [
+    Wire.Hello_site { site = 3 };
+    Wire.Hello_client;
+    Wire.Welcome { id = 64 };
+    Wire.State_request { round = 9 };
+    Wire.State_reply { round = 9; fresh = true; replica = sample_replica };
+    Wire.State_reply { round = 10; fresh = false; replica = sample_replica };
+    Wire.Lock_request { op = 0x3_00_00_17 };
+    Wire.Lock_reply { op = 0x3_00_00_17; granted = false };
+    Wire.Unlock { op = 1 };
+    Wire.Data_request { round = 2 };
+    Wire.Data_reply { round = 2; version = 11; entries = [ ("a", "1"); ("key two", "value\x00with bytes") ] };
+    Wire.Data_reply { round = 3; version = 0; entries = [] };
+    Wire.Commit { op_no = 8; version = 6; partition = ss [ 0; 1 ]; put = Some ("k", "v") };
+    Wire.Commit { op_no = 9; version = 6; partition = ss [ 0; 1; 2; 3 ]; put = None };
+    Wire.Client_put { req = 1; key = "k"; value = String.make 300 'q' };
+    Wire.Client_get { req = 2; key = "k" };
+    Wire.Client_recover { req = 3 };
+    Wire.Client_reply { req = 2; status = Wire.Granted; value = Some "v"; info = "" };
+    Wire.Client_reply { req = 9; status = Wire.Denied; value = None; info = "below majority" };
+    Wire.Client_reply { req = 10; status = Wire.Aborted; value = None; info = "timeout" };
+  ]
+
+let sample_envelopes =
+  List.mapi
+    (fun i payload -> { Wire.src = i mod 7; dst = (i + 3) mod 70; payload })
+    sample_payloads
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun env ->
+      match Wire.decode (Wire.encode env) with
+      | Ok decoded ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round trip %s" (Wire.kind_name env.Wire.payload))
+            true (decoded = env)
+      | Error reason ->
+          Alcotest.failf "decode %s failed: %s" (Wire.kind_name env.Wire.payload) reason)
+    sample_envelopes
+
+let test_wire_truncation () =
+  List.iter
+    (fun env ->
+      let frame = Wire.encode env in
+      for len = 0 to String.length frame - 1 do
+        match Wire.decode (String.sub frame 0 len) with
+        | Error _ -> ()
+        | Ok _ ->
+            Alcotest.failf "truncated %s frame at %d bytes accepted"
+              (Wire.kind_name env.Wire.payload) len
+      done)
+    sample_envelopes
+
+let test_wire_bitflip () =
+  List.iter
+    (fun env ->
+      let frame = Wire.encode env in
+      for i = 0 to String.length frame - 1 do
+        for bit = 0 to 7 do
+          let mutated = Bytes.of_string frame in
+          Bytes.set mutated i
+            (Char.chr (Char.code (Bytes.get mutated i) lxor (1 lsl bit)));
+          match Wire.decode (Bytes.to_string mutated) with
+          | Error _ -> ()
+          | Ok _ ->
+              Alcotest.failf "bit flip (byte %d bit %d) in %s frame accepted" i bit
+                (Wire.kind_name env.Wire.payload)
+        done
+      done)
+    sample_envelopes
+
+let prop_wire_garbage_rejected =
+  qcheck_case ~count:500 ~name:"random bytes never decode"
+    QCheck.(string_of_size Gen.(int_range 0 200))
+    (fun junk ->
+      (* Random strings lack the magic/checksum; decode must reject
+         without raising. *)
+      match Wire.decode junk with Ok _ -> false | Error _ -> true)
+
+(* --- persistence ----------------------------------------------------- *)
+
+let sample_records =
+  Persist.
+    [
+      Log_commit { seq = 1; op_no = 2; version = 2; partition = ss [ 0; 1; 2 ] };
+      Log_intent { seq = 2; content = "blob-A" };
+      Log_outcome { seq = 3; kind = `Write; granted = true; content = Some "blob-A" };
+      Log_outcome { seq = 4; kind = `Read; granted = true; content = Some "blob-A" };
+      Log_outcome { seq = 5; kind = `Recover; granted = true; content = None };
+      Log_outcome { seq = 6; kind = `Write; granted = false; content = None };
+    ]
+
+let test_oplog_roundtrip () =
+  with_scratch (fun dir ->
+      let path = Filename.concat dir "oplog.dvl" in
+      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+      List.iter (Persist.append oc) sample_records;
+      close_out oc;
+      let records, torn = Persist.read_log ~path in
+      Alcotest.(check bool) "no torn tail" false torn;
+      Alcotest.(check bool) "records round trip" true (records = sample_records))
+
+let test_oplog_torn_tail () =
+  with_scratch (fun dir ->
+      let path = Filename.concat dir "oplog.dvl" in
+      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+      List.iter (Persist.append oc) sample_records;
+      close_out oc;
+      (* Chop mid-record: everything before the tear survives, the tear is
+         reported, nothing is invented. *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let chopped = String.sub full 0 (String.length full - 3) in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc chopped);
+      let records, torn = Persist.read_log ~path in
+      Alcotest.(check bool) "torn tail detected" true torn;
+      Alcotest.(check int) "prefix survives" (List.length sample_records - 1)
+        (List.length records))
+
+let test_data_blob_roundtrip () =
+  with_scratch (fun dir ->
+      let path = Filename.concat dir "data.dvl" in
+      let entries = [ ("b", "2"); ("a", "1"); ("c", String.make 1000 'z') ] in
+      Persist.save_data ~path ~version:41 entries;
+      match Persist.load_data_result ~path with
+      | Error reason -> Alcotest.fail reason
+      | Ok (version, loaded) ->
+          Alcotest.(check int) "version" 41 version;
+          Alcotest.(check bool) "entries (sorted)" true
+            (loaded = List.sort compare entries);
+          (* Corrupt one byte: must come back as Error, not garbage. *)
+          let raw = In_channel.with_open_bin path In_channel.input_all in
+          let bad = Bytes.of_string raw in
+          Bytes.set bad (String.length raw / 2)
+            (Char.chr (Char.code (Bytes.get bad (String.length raw / 2)) lxor 0x10));
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_bytes oc bad);
+          (match Persist.load_data_result ~path with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "corrupted data blob accepted"))
+
+(* --- end to end over real sockets ----------------------------------- *)
+
+let u4 = ss [ 0; 1; 2; 3 ]
+
+let test_basic_replication () =
+  with_cluster ~universe:u4 (fun cluster ->
+      let c = Live.client cluster in
+      check_status "put a" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"1");
+      let r = Live.get c ~at:3 ~key:"a" in
+      check_status "get a at 3" Wire.Granted r;
+      Alcotest.(check (option string)) "replicated value" (Some "1") r.Live.value;
+      let r = Live.get c ~at:1 ~key:"missing" in
+      check_status "get missing" Wire.Granted r;
+      Alcotest.(check (option string)) "missing key" None r.Live.value;
+      check_clean "basic" (Live.check cluster))
+
+let test_partition_heal_recovery () =
+  with_cluster ~universe:u4 (fun cluster ->
+      let c = Live.client cluster in
+      check_status "seed write" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"1");
+
+      (* Minority side must deny both reads and writes. *)
+      Live.partition cluster [ ss [ 0; 1; 2 ]; ss [ 3 ] ];
+      check_status "minority write denied" Wire.Denied
+        (Live.put c ~at:3 ~key:"a" ~value:"rogue");
+      check_status "minority read denied" Wire.Denied (Live.get c ~at:3 ~key:"a");
+      check_status "majority write" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"2");
+
+      (* Heal: the stale side serves current data again (via verified
+         fetch — site 3 is not in S until it recovers). *)
+      Live.heal cluster;
+      let r = Live.get c ~at:3 ~key:"a" in
+      check_status "read after heal" Wire.Granted r;
+      Alcotest.(check (option string)) "healed value" (Some "2") r.Live.value;
+      check_status "recover 3" Wire.Granted (Live.recover_site c 3);
+
+      (* Kill-and-restart: the node comes back from its on-disk ensemble
+         and reintegrates. *)
+      Live.kill cluster 2;
+      check_status "dead site denied" Wire.Denied (Live.get c ~at:2 ~key:"a");
+      check_status "write while 2 down" Wire.Granted
+        (Live.put c ~at:1 ~key:"a" ~value:"3");
+      Live.restart cluster 2;
+      check_status "recover 2" Wire.Granted (Live.recover_site c 2);
+      let r = Live.get c ~at:2 ~key:"a" in
+      check_status "read at restarted site" Wire.Granted r;
+      Alcotest.(check (option string)) "recovered value" (Some "3") r.Live.value;
+
+      check_clean "partition/heal/restart" (Live.check cluster))
+
+let test_coordinator_struck_mid_commit () =
+  with_cluster ~universe:u4 (fun cluster ->
+      let c = Live.client cluster in
+      check_status "seed" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"1");
+
+      (* Strike coordinator 0 after its second COMMIT send: sites {0, 1}
+         hold the new generation, {2, 3} never hear of it.  The client is
+         told the write aborted — but its effects escaped (the paper's
+         maybe-committed window, recorded as intent-without-outcome). *)
+      Live.strike_after cluster 0 2;
+      let r = Live.put c ~at:0 ~key:"a" ~value:"2" in
+      check_status "struck write aborts to the client" Wire.Aborted r;
+
+      (* {2, 3} alone are half of the old partition and lose the
+         lexicographic tie-break (max element 0 is on the other side):
+         they stay unavailable rather than re-issuing the generation. *)
+      check_status "non-appliers alone stay blocked" Wire.Denied
+        (Live.get c ~at:2 ~key:"a");
+
+      (* The restarted coordinator completes the picture: {0, 1} + the
+         tie-break make the half-committed generation win through. *)
+      Live.restart cluster 0;
+      let r = Live.get c ~at:2 ~key:"a" in
+      check_status "read after restart" Wire.Granted r;
+      Alcotest.(check (option string)) "maybe-committed write surfaced" (Some "2")
+        r.Live.value;
+      check_status "recover 2" Wire.Granted (Live.recover_site c 2);
+      check_status "recover 3" Wire.Granted (Live.recover_site c 3);
+      check_status "next write" Wire.Granted (Live.put c ~at:3 ~key:"a" ~value:"3");
+      let r = Live.get c ~at:1 ~key:"a" in
+      Alcotest.(check (option string)) "converged" (Some "3") r.Live.value;
+
+      check_clean "mid-commit strike" (Live.check cluster))
+
+let test_participant_killed_mid_write () =
+  with_cluster ~universe:u4 (fun cluster ->
+      let c = Live.client cluster in
+      check_status "seed" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"1");
+      (* Kill participant 3 the moment the wave starts: its COMMIT is
+         eaten by the dead socket, everyone else applies.  The write
+         still succeeds (the coordinator holds the quorum), and 3 simply
+         restarts stale. *)
+      Live.set_commit_hook cluster 0
+        (Some (fun ~sent ~total:_ -> if sent = 1 then Live.kill_async cluster 3));
+      let r = Live.put c ~at:0 ~key:"a" ~value:"2" in
+      check_status "write survives participant kill" Wire.Granted r;
+      Live.set_commit_hook cluster 0 None;
+      Live.restart cluster 3;
+      check_status "recover 3" Wire.Granted (Live.recover_site c 3);
+      let r = Live.get c ~at:3 ~key:"a" in
+      Alcotest.(check (option string)) "caught up" (Some "2") r.Live.value;
+      check_clean "participant kill" (Live.check cluster))
+
+let test_amnesia_recovery () =
+  with_cluster ~universe:u4 (fun cluster ->
+      let c = Live.client cluster in
+      check_status "seed" Wire.Granted (Live.put c ~at:0 ~key:"a" ~value:"1");
+      Live.kill cluster 2;
+      (* Torch the stable record: the restarted node must come up
+         amnesiac — silent, refusing to coordinate — not trusting junk. *)
+      let path = Persist.ensemble_path ~dir:(Live.dir cluster) 2 in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "garbage");
+      Live.restart cluster 2;
+      let r = Live.get c ~at:2 ~key:"a" in
+      check_status "amnesiac refuses to coordinate" Wire.Denied r;
+      check_status "amnesiac recover" Wire.Granted (Live.recover_site c 2);
+      let r = Live.get c ~at:2 ~key:"a" in
+      check_status "read after recover" Wire.Granted r;
+      Alcotest.(check (option string)) "value restored" (Some "1") r.Live.value;
+      check_clean "amnesia" (Live.check cluster))
+
+let test_segment_partition_validation () =
+  (* Sites 0,1 share segment 0; splitting them must be rejected. *)
+  with_cluster ~universe:u4 ~segment_of:(fun s -> if s < 2 then 0 else s)
+    (fun cluster ->
+      (match Live.partition cluster [ ss [ 0; 2 ]; ss [ 1; 3 ] ] with
+      | () -> Alcotest.fail "segment-splitting partition accepted"
+      | exception Invalid_argument _ -> ());
+      Live.partition cluster [ ss [ 0; 1; 2 ]; ss [ 3 ] ];
+      Live.heal cluster)
+
+let test_loadgen_smoke () =
+  with_cluster ~universe:(ss [ 0; 1; 2 ]) (fun cluster ->
+      let config =
+        {
+          Loadgen.default with
+          Loadgen.clients = 2;
+          duration = 0.6;
+          keys = 4;
+          seed = 7;
+        }
+      in
+      let r = Loadgen.run cluster config in
+      let total = r.Loadgen.reads.Loadgen.issued + r.Loadgen.writes.Loadgen.issued in
+      Alcotest.(check bool) "operations completed" true (total > 0);
+      let granted = r.Loadgen.reads.Loadgen.granted + r.Loadgen.writes.Loadgen.granted in
+      Alcotest.(check bool) "some operations granted" true (granted > 0);
+      Alcotest.(check bool) "report renders" true
+        (String.length (Fmt.str "%a" Loadgen.pp_result r) > 0);
+      check_clean "loadgen" (Live.check cluster))
+
+(* The long soak: sustained mixed load with faults injected mid-flight,
+   then the full audit.  Gated like the deep model-checker sweep. *)
+let test_soak () =
+  match Sys.getenv_opt "DYNVOTE_LIVE_SOAK" with
+  | None -> ()
+  | Some _ ->
+      with_cluster ~universe:u4 (fun cluster ->
+          let chaos_done = ref false in
+          let chaos =
+            Thread.create
+              (fun () ->
+                let c = Live.client cluster in
+                Thread.delay 0.5;
+                Live.partition cluster [ ss [ 0; 1 ]; ss [ 2; 3 ] ];
+                Thread.delay 0.5;
+                Live.heal cluster;
+                Thread.delay 0.3;
+                Live.kill cluster 3;
+                Thread.delay 0.5;
+                Live.restart cluster 3;
+                ignore (Live.recover_site c 3 : Live.reply);
+                chaos_done := true)
+              ()
+          in
+          let config =
+            {
+              Loadgen.default with
+              Loadgen.clients = 4;
+              duration = 4.0;
+              keys = 8;
+              seed = 42;
+            }
+          in
+          let r = Loadgen.run cluster config in
+          Thread.join chaos;
+          Alcotest.(check bool) "chaos script ran" true !chaos_done;
+          let issued =
+            r.Loadgen.reads.Loadgen.issued + r.Loadgen.writes.Loadgen.issued
+          in
+          (* Disturbance windows make every gather pay its full timeout,
+             so the floor asserts sustained progress, not throughput. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "sustained load (%d issued)" issued)
+            true (issued > 20);
+          check_clean "soak" (Live.check cluster))
+
+let suite =
+  [
+    Alcotest.test_case "wire round trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire truncation rejected" `Quick test_wire_truncation;
+    Alcotest.test_case "wire bit flips rejected" `Quick test_wire_bitflip;
+    prop_wire_garbage_rejected;
+    Alcotest.test_case "oplog round trip" `Quick test_oplog_roundtrip;
+    Alcotest.test_case "oplog torn tail" `Quick test_oplog_torn_tail;
+    Alcotest.test_case "data blob round trip" `Quick test_data_blob_roundtrip;
+    Alcotest.test_case "basic replication" `Quick test_basic_replication;
+    Alcotest.test_case "partition / heal / restart" `Quick test_partition_heal_recovery;
+    Alcotest.test_case "coordinator struck mid-commit" `Quick
+      test_coordinator_struck_mid_commit;
+    Alcotest.test_case "participant killed mid-write" `Quick
+      test_participant_killed_mid_write;
+    Alcotest.test_case "amnesia recovery" `Quick test_amnesia_recovery;
+    Alcotest.test_case "segment partition validation" `Quick
+      test_segment_partition_validation;
+    Alcotest.test_case "loadgen smoke" `Quick test_loadgen_smoke;
+    Alcotest.test_case "soak (DYNVOTE_LIVE_SOAK)" `Slow test_soak;
+  ]

@@ -25,5 +25,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("mc", Test_mc.suite);
       ("adaptive_witness", Test_adaptive_witness.suite);
+      ("live", Test_live.suite);
       ("misc", Test_misc.suite);
     ]
