@@ -731,43 +731,121 @@ let micro () =
    durable (per-commit fsync) against buffered (atomic replace only) —
    the price of the paper's stable-storage requirement on this disk.   *)
 
+module Live = Dynvote_live.Cluster
+module Loadgen = Dynvote_live.Loadgen
+module Hub = Dynvote_obs.Hub
+module Batch_means = Dynvote_stats.Batch_means
+
+let serve_run ~durable ~obs () =
+  let dir = Filename.temp_file "dynvote-bench-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let config =
+    {
+      Dynvote_live.Node.default_config with
+      Dynvote_live.Node.gather_timeout = 0.05;
+      lock_backoff = 0.02;
+      durable;
+    }
+  in
+  let cluster = Live.create ~config ~obs ~universe:(Site_set.universe 4) ~dir () in
+  let result =
+    Loadgen.run cluster
+      { Loadgen.default with Loadgen.clients = 4; duration = 1.5; seed = 11 }
+  in
+  let audit = Live.check cluster in
+  Live.shutdown cluster;
+  (result, Dynvote_chaos.Oracle.is_safe audit.Live.oracle)
+
 let serve () =
   section "SERVE"
     "Live service: 4 sites on loopback sockets, 4 closed-loop clients, 30% \
      writes.\nDurable pays two fsyncs per commit per site; buffered keeps the \
      atomic\nreplace but trusts the page cache.";
-  let module Live = Dynvote_live.Cluster in
-  let module Loadgen = Dynvote_live.Loadgen in
-  let run ~durable =
-    let dir = Filename.temp_file "dynvote-bench-serve" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o700;
-    let config =
-      {
-        Dynvote_live.Node.default_config with
-        Dynvote_live.Node.gather_timeout = 0.05;
-        lock_backoff = 0.02;
-        durable;
-      }
-    in
-    let cluster =
-      Live.create ~config ~universe:(Site_set.universe 4) ~dir ()
-    in
-    let result =
-      Loadgen.run cluster
-        { Loadgen.default with Loadgen.clients = 4; duration = 1.5; seed = 11 }
-    in
-    let audit = Live.check cluster in
-    Live.shutdown cluster;
-    (result, Dynvote_chaos.Oracle.is_safe audit.Live.oracle)
-  in
-  List.iter
+  List.map
     (fun (name, durable) ->
-      let r, safe = run ~durable in
+      let r, safe = serve_run ~durable ~obs:(Hub.create ()) () in
       Fmt.pr "[%s] audit %s@.@[<v>%a@]@.@." name
         (if safe then "SAFE" else "UNSAFE")
-        Loadgen.pp_result r)
+        Loadgen.pp_result r;
+      (name, r, safe))
     [ ("durable", true); ("buffered", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* OBS: what the observability layer costs.  The same buffered run with
+   the hub live (counters + histograms + trace ring on every frame and
+   operation) and with the compiled-in no-op hub, goodput against
+   goodput.  The acceptance budget is 5%.                              *)
+
+let obs_bench () =
+  section "OBS"
+    "Instrumentation overhead: the buffered SERVE workload with the \
+     metrics+trace\nhub live vs. the compiled-in no-op hub.";
+  let live_r, live_safe = serve_run ~durable:false ~obs:(Hub.create ()) () in
+  let noop_r, noop_safe = serve_run ~durable:false ~obs:Hub.noop () in
+  let goodput (r : Loadgen.result) = r.Loadgen.goodput.Batch_means.mean in
+  let overhead_pct =
+    let g_noop = goodput noop_r in
+    if g_noop <= 0.0 then nan
+    else (g_noop -. goodput live_r) /. g_noop *. 100.0
+  in
+  let table = Text_table.create ~header:[ "hub"; "goodput ops/s"; "95% CI"; "audit" ] () in
+  List.iter
+    (fun (name, (r : Loadgen.result), safe) ->
+      Text_table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" (goodput r);
+          Printf.sprintf "+/- %.1f" r.Loadgen.goodput.Batch_means.half_width;
+          (if safe then "SAFE" else "UNSAFE");
+        ])
+    [ ("live", live_r, live_safe); ("noop", noop_r, noop_safe) ];
+  Text_table.print table;
+  Fmt.pr "instrumentation overhead: %.1f%% of no-op goodput (budget 5%%; \
+          negative = noise)@."
+    overhead_pct;
+  ((live_r, live_safe), (noop_r, noop_safe), overhead_pct)
+
+(* BENCH_SERVE.json: the machine-readable perf trajectory of the live
+   service — one record per configuration, plus the instrumentation
+   overhead, so regressions show up as a diff.                         *)
+
+let write_bench_serve ~path serve_results ((live_r, live_safe), (noop_r, noop_safe), overhead_pct) =
+  let b = Buffer.create 1024 in
+  let fl v =
+    if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+  in
+  let emit_run name (r : Loadgen.result) safe =
+    let op (o : Loadgen.op_stats) =
+      Printf.sprintf
+        "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+        o.Loadgen.issued o.Loadgen.granted o.Loadgen.denied o.Loadgen.aborted
+        (fl o.Loadgen.p50) (fl o.Loadgen.p95) (fl o.Loadgen.p99)
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"%s\":{\"goodput\":%s,\"half_width\":%s,\"batches\":%d,\"wall\":%s,\"late\":%d,\"safe\":%b,\"reads\":%s,\"writes\":%s}"
+         name
+         (fl r.Loadgen.goodput.Batch_means.mean)
+         (fl r.Loadgen.goodput.Batch_means.half_width)
+         r.Loadgen.goodput.Batch_means.batches
+         (fl r.Loadgen.wall) r.Loadgen.late safe (op r.Loadgen.reads)
+         (op r.Loadgen.writes))
+  in
+  Buffer.add_string b "{\"schema\":\"dynvote-bench-serve/1\",\"runs\":{";
+  List.iteri
+    (fun i (name, r, safe) ->
+      if i > 0 then Buffer.add_char b ',';
+      emit_run name r safe)
+    (serve_results
+    @ [ ("obs-live", live_r, live_safe); ("obs-noop", noop_r, noop_safe) ]);
+  Buffer.add_string b
+    (Printf.sprintf "},\"obs_overhead_pct\":%s}" (fl overhead_pct));
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let () =
   Fmt.pr "dynvote benchmark harness - 'Efficient Dynamic Voting Algorithms' (ICDE 1988)@.";
@@ -784,6 +862,8 @@ let () =
   replications ();
   chaos ();
   mc ();
-  serve ();
+  let serve_results = serve () in
+  let obs_results = obs_bench () in
+  write_bench_serve ~path:"BENCH_SERVE.json" serve_results obs_results;
   micro ();
   Fmt.pr "@.done.@."

@@ -570,6 +570,9 @@ module Live = Dynvote_live.Cluster
 module Loadgen = Dynvote_live.Loadgen
 module Live_node = Dynvote_live.Node
 module Oracle = Dynvote_chaos.Oracle
+module Obs_metrics = Dynvote_obs.Metrics
+module Obs_trace = Dynvote_obs.Trace
+module Obs_hub = Dynvote_obs.Hub
 
 let live_sites =
   let doc = "Number of replica sites (one server thread each)." in
@@ -679,12 +682,22 @@ let serve_command cluster client line =
   | [ "status" ] ->
       Fmt.pr "up: %a@." Site_set.pp (Live.up_sites cluster)
   | [ "check" ] -> Fmt.pr "@[<v>%a@]@." pp_audit (Live.check cluster)
+  | [ "stats" ] ->
+      let hub = Live.obs cluster in
+      Fmt.pr "%a" Obs_metrics.pp_snapshot
+        (Obs_metrics.snapshot hub.Obs_hub.metrics);
+      let entries = Obs_trace.recent ~n:12 hub.Obs_hub.trace in
+      Fmt.pr "trace: %d recorded, %d dropped, last %d:@."
+        (Obs_trace.recorded hub.Obs_hub.trace)
+        (Obs_trace.dropped hub.Obs_hub.trace)
+        (List.length entries);
+      List.iter (fun e -> Fmt.pr "  %a@." Obs_trace.pp_entry e) entries
   | [ "sleep"; seconds ] -> Thread.delay (float_of_string seconds)
   | _ ->
       fail
         (Printf.sprintf
            "unknown command %S (put/get/recover/partition/heal/kill/restart/\
-            status/check/sleep)"
+            status/check/stats/sleep)"
            line)
 
 let serve_cmd =
@@ -784,6 +797,21 @@ let loadgen_cmd =
     in
     let result = Loadgen.run cluster config in
     Fmt.pr "%a@." Loadgen.pp_result result;
+    (* The same latencies, read back from the hub's log-scaled registry
+       histograms (bucketed, vs. the exact sorted-sample numbers above). *)
+    let m = (Live.obs cluster).Obs_hub.metrics in
+    let pp_q ppf (h, q) =
+      let v = Obs_metrics.quantile h q in
+      if Float.is_nan v then Fmt.string ppf "-"
+      else Fmt.pf ppf "%.2f ms" (v *. 1e3)
+    in
+    List.iter
+      (fun (label, name) ->
+        let h = Obs_metrics.histogram m name in
+        Fmt.pr "hist %-6s n=%d  p50 %a  p95 %a  p99 %a@." label
+          (Obs_metrics.histogram_count h)
+          pp_q (h, 0.50) pp_q (h, 0.95) pp_q (h, 0.99))
+      [ ("reads", "loadgen.read.seconds"); ("writes", "loadgen.write.seconds") ];
     let ok =
       no_check
       ||
@@ -800,16 +828,64 @@ let loadgen_cmd =
          "Boot a live cluster in a temporary directory and drive it with \
           concurrent client workers (closed loop, or open loop with --rate).  \
           Reports goodput with a batch-means 95% confidence interval, exact \
-          latency percentiles, and the end-of-run safety audit.")
+          latency percentiles (plus the registry's log-scaled histograms), \
+          and the end-of-run safety audit.")
     Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
           $ clients_arg $ duration_arg $ write_ratio_arg $ keys_arg
           $ value_bytes_arg $ rate_arg $ no_check_arg)
+
+let stats_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the snapshot as machine-readable JSON.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Length of the warm-up workload.")
+  in
+  let trace_arg =
+    Arg.(value & opt int 12
+         & info [ "trace" ] ~docv:"N" ~doc:"Trace events to dump (text mode).")
+  in
+  let run sites policy_text buffered seed duration json trace_n =
+    let dir = fresh_temp_dir () in
+    let universe = Site_set.universe sites in
+    let cluster =
+      Live.create ~flavor:(live_flavor policy_text)
+        ~config:(live_config ~buffered) ~universe ~dir ()
+    in
+    let config = { Loadgen.default with Loadgen.clients = 2; duration; seed } in
+    ignore (Loadgen.run cluster config : Loadgen.result);
+    let hub = Live.obs cluster in
+    let snap = Obs_metrics.snapshot hub.Obs_hub.metrics in
+    let entries = Obs_trace.recent ~n:trace_n hub.Obs_hub.trace in
+    let recorded = Obs_trace.recorded hub.Obs_hub.trace in
+    let dropped = Obs_trace.dropped hub.Obs_hub.trace in
+    Live.shutdown cluster;
+    if json then print_endline (Obs_metrics.snapshot_to_json snap)
+    else begin
+      Fmt.pr "%a" Obs_metrics.pp_snapshot snap;
+      Fmt.pr "trace: %d recorded, %d dropped, last %d:@." recorded dropped
+        (List.length entries);
+      List.iter (fun e -> Fmt.pr "  %a@." Obs_trace.pp_entry e) entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Boot a live cluster, drive it briefly, and dump the observability \
+          snapshot: every counter and log-scaled latency histogram in the \
+          metrics registry (text or --json) plus the tail of the structured \
+          trace ring.  The same instruments a long-running serve session \
+          exposes through its console's stats command.")
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
+          $ duration_arg $ json_arg $ trace_arg)
 
 let main_cmd =
   let doc = "Dynamic voting algorithms for replicated data (Paris & Long, ICDE 1988)." in
   Cmd.group (Cmd.info "dynvote" ~version:"1.0.0" ~doc)
     [ table1_cmd; table2_cmd; table3_cmd; topology_cmd; simulate_cmd; sweep_cmd;
       partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd; chaos_cmd; mc_cmd;
-      serve_cmd; loadgen_cmd ]
+      serve_cmd; loadgen_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

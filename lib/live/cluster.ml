@@ -5,6 +5,8 @@
    the safety oracle. *)
 
 module Oracle = Dynvote_chaos.Oracle
+module Trace = Dynvote_obs.Trace
+module Hub = Dynvote_obs.Hub
 
 type t = {
   universe : Site_set.t;
@@ -13,6 +15,7 @@ type t = {
   segment_of : Site_set.site -> int;
   config : Node.config;
   client_timeout : float;
+  hub : Hub.t;
   sw : Switchboard.t;
   nodes : (Site_set.site, Node.t) Hashtbl.t;
   threads : (Site_set.site, Thread.t) Hashtbl.t;
@@ -21,21 +24,23 @@ type t = {
 
 let universe t = t.universe
 let dir t = t.dir
+let obs t = t.hub
 let port t = Switchboard.port t.sw
 let up_sites t = Switchboard.up_sites t.sw
 
 let spawn t site ~was_restarted =
   let node =
     Node.boot ~site ~universe:t.universe ~flavor:t.flavor
-      ~segment_of:t.segment_of ~config:t.config ~dir:t.dir
+      ~segment_of:t.segment_of ~config:t.config ~obs:t.hub ~dir:t.dir
       ~next_seq:t.next_seq ~port:(Switchboard.port t.sw) ~was_restarted
   in
   Hashtbl.replace t.nodes site node;
   Hashtbl.replace t.threads site (Thread.create Node.serve node)
 
 let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
-    ?(config = Node.default_config) ?(client_timeout = 10.0) ~universe ~dir () =
-  let sw = Switchboard.create ~universe ~segment_of () in
+    ?(config = Node.default_config) ?(client_timeout = 10.0)
+    ?(obs = Hub.create ()) ~universe ~dir () =
+  let sw = Switchboard.create ~obs ~universe ~segment_of () in
   (* Resuming over old logs: the global stamp must keep growing, or the
      merged replay would interleave the incarnations. *)
   let seq0 =
@@ -62,6 +67,7 @@ let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
       segment_of;
       config;
       client_timeout;
+      hub = obs;
       sw;
       nodes = Hashtbl.create 8;
       threads = Hashtbl.create 8;
@@ -104,6 +110,7 @@ let restart t site =
      two incarnations never share an oplog channel. *)
   Switchboard.crash t.sw site;
   join_thread t site;
+  Hub.event t.hub (Trace.Restart { site });
   spawn t site ~was_restarted:true
 
 let kill_async t site = Switchboard.crash t.sw site
@@ -133,7 +140,11 @@ let client t =
      raise e);
   let conn = Wire.conn sock in
   Wire.send conn { Wire.src = 0; dst = Wire.broker_id; payload = Wire.Hello_client };
-  match Wire.recv ~deadline:(Unix.gettimeofday () +. 5.0) conn with
+  match
+    Wire.recv ~clock:t.config.Node.clock
+      ~deadline:(t.config.Node.clock () +. 5.0)
+      conn
+  with
   | Ok { Wire.payload = Wire.Welcome { id }; _ } -> { t; conn; id; req = 0 }
   | _ ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -154,9 +165,10 @@ let call client ~at payload_of_req =
     | exception Unix.Unix_error _ ->
         { status = Wire.Aborted; value = None; info = "connection lost" }
     | () ->
-        let deadline = Unix.gettimeofday () +. client.t.client_timeout in
+        let clock = client.t.config.Node.clock in
+        let deadline = clock () +. client.t.client_timeout in
         let rec wait () =
-          match Wire.recv ~deadline client.conn with
+          match Wire.recv ~clock ~deadline client.conn with
           | Error `Timeout ->
               (* The site may be mid-commit for all we know. *)
               { status = Wire.Aborted; value = None; info = "timeout: no reply" }
@@ -249,9 +261,10 @@ let quiesce t =
           with
           | exception Unix.Unix_error _ -> ()
           | () ->
-              let deadline = Unix.gettimeofday () +. 1.0 in
+              let clock = t.config.Node.clock in
+              let deadline = clock () +. 1.0 in
               let rec wait () =
-                match Wire.recv ~deadline c.conn with
+                match Wire.recv ~clock ~deadline c.conn with
                 | Ok { Wire.payload = Wire.Data_reply _; src; _ } when src = site ->
                     ()
                 | Ok _ -> wait ()

@@ -15,6 +15,7 @@ val create :
   ?segment_of:(Site_set.site -> int) ->
   ?config:Node.config ->
   ?client_timeout:float ->
+  ?obs:Dynvote_obs.Hub.t ->
   universe:Site_set.t ->
   dir:string ->
   unit ->
@@ -29,10 +30,19 @@ val create :
     [segment_of] defaults to point-to-point links (each site its own
     segment), so any partition is physically possible.  A coarser map
     declares shared-medium segments: the switchboard then refuses to
-    split same-segment sites, and TDV tie-breaks see the co-location. *)
+    split same-segment sites, and TDV tie-breaks see the co-location.
+
+    [obs] defaults to a fresh live {!Dynvote_obs.Hub} shared by the
+    switchboard and every node (including restarted ones); pass
+    {!Dynvote_obs.Hub.noop} to run uninstrumented. *)
 
 val universe : t -> Site_set.t
 val dir : t -> string
+
+val obs : t -> Dynvote_obs.Hub.t
+(** The hub all components of this cluster report into — where
+    [dynvote stats] and the load generator read their numbers. *)
+
 val port : t -> int
 val up_sites : t -> Site_set.t
 

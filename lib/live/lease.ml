@@ -1,0 +1,31 @@
+(* The volatile lock with its self-release lease, factored out of the
+   node so the expiry arithmetic is testable against a hand-cranked
+   clock.  [now] always comes from the caller's injected clock: the
+   whole point is that a wall-clock step must not be able to reach this
+   arithmetic. *)
+
+type t = { mutable holder : (int * float) option }
+
+let create () = { holder = None }
+
+let try_acquire t ~now ~lease ~op =
+  match t.holder with
+  | Some (holder, _) when holder = op ->
+      (* Re-acquisition by the holder refreshes the lease. *)
+      t.holder <- Some (op, now +. lease);
+      true
+  | Some (_, expiry) when now < expiry -> false
+  | _ ->
+      (* Free, or an abandoned lock whose lease ran out. *)
+      t.holder <- Some (op, now +. lease);
+      true
+
+let release t ~op =
+  match t.holder with
+  | Some (holder, _) when holder = op -> t.holder <- None
+  | _ -> ()
+
+let holder t ~now =
+  match t.holder with
+  | Some (holder, expiry) when now < expiry -> Some holder
+  | _ -> None

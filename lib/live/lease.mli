@@ -1,0 +1,24 @@
+(** The volatile per-site lock with its self-release lease.
+
+    A coordinator that dies mid-operation can never send [Unlock]; the
+    lease is what frees its locks.  The arithmetic lives here, behind an
+    explicit [now] parameter, so it can only ever see the injected
+    monotonic clock ({!Dynvote_obs.Clock}) — and so tests can step a
+    manual clock backwards and forwards and assert a lease still expires
+    exactly once. *)
+
+type t
+
+val create : unit -> t
+(** Unheld. *)
+
+val try_acquire : t -> now:float -> lease:float -> op:int -> bool
+(** Acquire for [op], renewing to [now + lease].  Succeeds when the lock
+    is free, already held by [op] (refreshing the lease), or held under
+    an expired lease. *)
+
+val release : t -> op:int -> unit
+(** Release if held by [op]; anyone else's lock is left alone. *)
+
+val holder : t -> now:float -> int option
+(** Who holds an unexpired lease at [now], if anyone. *)

@@ -1,12 +1,20 @@
 (* Worker threads hammer the cluster through ordinary clients; every
-   completed call is recorded locally (no shared state on the hot path)
-   and the per-worker journals are merged once the run ends.  Percentiles
-   are exact — the journals are sorted, not binned — and goodput gets a
-   batch-means interval in the style of the paper's §4 methodology. *)
+   completed call is recorded locally (no shared state on the hot path
+   beyond the cluster's metrics registry) and the per-worker journals are
+   merged once the run ends.  Percentiles are exact — the journals are
+   sorted, not binned — and goodput gets a batch-means interval in the
+   style of the paper's §4 methodology.
+
+   All timing reads the monotonic {!Dynvote_obs.Clock}: latencies and
+   goodput windows must not be corruptible by a wall-clock step. *)
 
 module Welford = Dynvote_stats.Welford
 module Batch_means = Dynvote_stats.Batch_means
 module Rng = Dynvote_prng.Rng
+module Splitmix64 = Dynvote_prng.Splitmix64
+module Clock = Dynvote_obs.Clock
+module Metrics = Dynvote_obs.Metrics
+module Hub = Dynvote_obs.Hub
 
 type config = {
   clients : int;
@@ -47,6 +55,7 @@ type result = {
   reads : op_stats;
   writes : op_stats;
   goodput : Batch_means.interval;
+  late : int;
 }
 
 (* One completed call: kind, status, completion time, latency. *)
@@ -57,8 +66,24 @@ type sample = {
   s_latency : float;
 }
 
-let worker cluster config ~index ~t_start ~t_end journal =
-  let rng = Rng.of_seed ((config.seed * 65599) + index) in
+(* The old scheme ([seed * 65599 + index]) made (seed, index) collide
+   whenever seed' = seed - k and index' = index + 65599 k: workers of
+   different runs replayed each other's streams.  Splitmix64's split
+   gives every worker a statistically independent stream, and distinct
+   (seed, index) pairs distinct streams. *)
+let worker_seeds ~seed ~n =
+  let master = Splitmix64.create (Int64.of_int seed) in
+  Array.init n (fun _ -> Splitmix64.next_int64 (Splitmix64.split master))
+
+type instruments = {
+  i_read_h : Metrics.histogram;
+  i_write_h : Metrics.histogram;
+  i_issued : Metrics.counter;
+  i_granted : Metrics.counter;
+}
+
+let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
+  let rng = Rng.create ~seed:seed64 () in
   let client = Cluster.client cluster in
   let targets =
     match config.sites with
@@ -79,16 +104,17 @@ let worker cluster config ~index ~t_start ~t_end journal =
   while !continue do
     let start =
       match interarrival with
-      | None -> Unix.gettimeofday ()
+      | None -> Clock.now ()
       | Some mean ->
           intended := !intended +. Rng.exponential rng ~mean;
-          let now = Unix.gettimeofday () in
+          let now = Clock.now () in
           if !intended > now then Thread.delay (!intended -. now);
           !intended
     in
     if start >= t_end then continue := false
     else begin
       incr n;
+      Metrics.incr ins.i_issued;
       let at = targets.(Rng.int rng (Array.length targets)) in
       let key = Printf.sprintf "k%d" (Rng.int rng (max 1 config.keys)) in
       let is_write = Rng.float rng < config.write_ratio in
@@ -98,13 +124,16 @@ let worker cluster config ~index ~t_start ~t_end journal =
             ~value:(Printf.sprintf "%d.%d:%s" index !n payload)
         else Cluster.get client ~at ~key
       in
-      let finish = Unix.gettimeofday () in
+      let finish = Clock.now () in
+      let latency = finish -. start in
+      Metrics.observe (if is_write then ins.i_write_h else ins.i_read_h) latency;
+      if reply.Cluster.status = Wire.Granted then Metrics.incr ins.i_granted;
       journal :=
         {
           s_write = is_write;
           s_status = reply.Cluster.status;
           s_finish = finish;
-          s_latency = finish -. start;
+          s_latency = latency;
         }
         :: !journal
     end
@@ -142,34 +171,50 @@ let stats_of samples =
 let run cluster config =
   if config.clients < 1 then invalid_arg "Loadgen.run: need at least one client";
   if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration";
-  let t_start = Unix.gettimeofday () in
+  let hub = Cluster.obs cluster in
+  let ins =
+    {
+      i_read_h = Metrics.histogram hub.Hub.metrics "loadgen.read.seconds";
+      i_write_h = Metrics.histogram hub.Hub.metrics "loadgen.write.seconds";
+      i_issued = Metrics.counter hub.Hub.metrics "loadgen.ops.issued";
+      i_granted = Metrics.counter hub.Hub.metrics "loadgen.ops.granted";
+    }
+  in
+  let t_start = Clock.now () in
   let t_end = t_start +. config.duration in
+  let seeds = worker_seeds ~seed:config.seed ~n:config.clients in
   let journals = Array.init config.clients (fun _ -> ref []) in
   let threads =
     Array.mapi
       (fun index journal ->
         Thread.create
-          (fun () -> worker cluster config ~index ~t_start ~t_end journal)
+          (fun () ->
+            worker cluster config ~seed64:seeds.(index) ~index ~t_start ~t_end
+              ~ins journal)
           ())
       journals
   in
   Array.iter Thread.join threads;
-  let wall = Unix.gettimeofday () -. t_start in
+  let wall = Clock.now () -. t_start in
   let all = Array.fold_left (fun acc j -> List.rev_append !j acc) [] journals in
   let reads, writes = List.partition (fun s -> not s.s_write) all in
-  (* Goodput: granted completions bucketed into ten fixed windows; the
-     per-window rates are the batch means. *)
+  (* Goodput: granted completions bucketed into ten fixed windows that
+     tile exactly [t_start, t_end).  Calls issued before the cutoff but
+     completed after it (closed-loop stragglers) must neither stretch
+     the last window nor vanish silently: they are excluded from the
+     batch means and reported as [late]. *)
   let batches = 10 in
-  let batch_length = wall /. float_of_int batches in
+  let batch_length = config.duration /. float_of_int batches in
   let bm = Batch_means.create ~batch_length in
   let granted_finishes =
     List.filter_map
       (fun s -> if s.s_status = Wire.Granted then Some s.s_finish else None)
       all
   in
+  let late = List.length (List.filter (fun f -> f >= t_end) granted_finishes) in
   for b = 0 to batches - 1 do
     let lo = t_start +. (float_of_int b *. batch_length) in
-    let hi = lo +. batch_length in
+    let hi = if b = batches - 1 then t_end else lo +. batch_length in
     let count =
       List.length (List.filter (fun f -> f >= lo && f < hi) granted_finishes)
     in
@@ -180,6 +225,7 @@ let run cluster config =
     reads = stats_of reads;
     writes = stats_of writes;
     goodput = Batch_means.interval bm;
+    late;
   }
 
 let pp_ms ppf seconds =
@@ -197,6 +243,9 @@ let pp_result ppf r =
   Fmt.pf ppf "@[<v>";
   pp_op_stats ppf ("reads", r.reads);
   pp_op_stats ppf ("writes", r.writes);
+  if r.late > 0 then
+    Fmt.pf ppf "late    %d granted after the cutoff (excluded from goodput)@,"
+      r.late;
   let i = r.goodput in
   Fmt.pf ppf "goodput %.1f ops/s  +/- %.1f (95%% CI, %d batches)  over %.2f s@]"
     i.Batch_means.mean i.Batch_means.half_width i.Batch_means.batches r.wall

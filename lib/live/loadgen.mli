@@ -18,7 +18,7 @@ type config = {
   value_bytes : int;  (** payload size per put *)
   rate : float option;
       (** [Some r]: open loop at [r] ops/s total; [None]: closed loop *)
-  seed : int;  (** deterministic worker randomness *)
+  seed : int;  (** deterministic worker randomness (see {!worker_seeds}) *)
   sites : Site_set.t option;
       (** coordinate at these sites (uniform); default: the universe *)
 }
@@ -38,15 +38,33 @@ type op_stats = {
 }
 
 type result = {
-  wall : float;  (** measured wall-clock duration *)
+  wall : float;  (** measured duration (monotonic clock) *)
   reads : op_stats;
   writes : op_stats;
   goodput : Dynvote_stats.Batch_means.interval;
-      (** granted ops/s, Student-t 95% over ten batches *)
+      (** granted ops/s over ten batches tiling exactly
+          [[t_start, t_start + duration)], Student-t 95% *)
+  late : int;
+      (** granted calls that completed after the cutoff (closed-loop
+          stragglers) — excluded from the goodput windows, never
+          silently dropped *)
 }
 
 val run : Cluster.t -> config -> result
-(** Blocks for [config.duration]; the cluster keeps running afterwards. *)
+(** Blocks for [config.duration]; the cluster keeps running afterwards.
+    Worker latencies also feed the cluster hub's registry as the
+    [loadgen.read.seconds] / [loadgen.write.seconds] histograms and the
+    [loadgen.ops.*] counters. *)
+
+val worker_seeds : seed:int -> n:int -> int64 array
+(** The per-worker RNG seeds a run with [config.seed = seed] and
+    [clients = n] uses: splitmix64-split streams, so distinct
+    [(seed, index)] pairs never share a stream (the old
+    [seed * 65599 + index] derivation collided). *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p]: the exact [p]-quantile of an ascending-sorted
+    sample array (nearest-rank); [nan] on the empty array. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** The human report ([dynvote loadgen] output). *)

@@ -14,6 +14,9 @@
    stamped earlier. *)
 
 module SMap = Map.Make (String)
+module Metrics = Dynvote_obs.Metrics
+module Trace = Dynvote_obs.Trace
+module Hub = Dynvote_obs.Hub
 
 type config = {
   gather_timeout : float;
@@ -23,6 +26,7 @@ type config = {
   lock_retries : int;
   lock_backoff : float;
   durable : bool;
+  clock : unit -> float;
 }
 
 let default_config =
@@ -34,6 +38,39 @@ let default_config =
     lock_retries = 8;
     lock_backoff = 0.05;
     durable = true;
+    clock = Dynvote_obs.Clock.now;
+  }
+
+(* Instrument handles resolved once at boot; every update after that is
+   an atomic increment (or nothing, under the noop hub). *)
+type counters = {
+  c_granted : Metrics.counter;
+  c_denied : Metrics.counter;
+  c_aborted : Metrics.counter;
+  c_lock_rounds : Metrics.counter;
+  c_lock_denied : Metrics.counter;
+  c_gathers : Metrics.counter;
+  c_fetches : Metrics.counter;
+  c_fetch_failures : Metrics.counter;
+  c_commit_waves : Metrics.counter;
+  c_commits_applied : Metrics.counter;
+  h_op : Metrics.histogram;
+}
+
+let make_counters (hub : Hub.t) =
+  let m = hub.Hub.metrics in
+  {
+    c_granted = Metrics.counter m "live.op.granted";
+    c_denied = Metrics.counter m "live.op.denied";
+    c_aborted = Metrics.counter m "live.op.aborted";
+    c_lock_rounds = Metrics.counter m "live.lock.rounds";
+    c_lock_denied = Metrics.counter m "live.lock.denied";
+    c_gathers = Metrics.counter m "live.gather.rounds";
+    c_fetches = Metrics.counter m "live.fetch.attempts";
+    c_fetch_failures = Metrics.counter m "live.fetch.failures";
+    c_commit_waves = Metrics.counter m "live.commit.waves";
+    c_commits_applied = Metrics.counter m "live.commit.applied";
+    h_op = Metrics.histogram m "live.node.op.seconds";
   }
 
 exception Killed
@@ -56,9 +93,11 @@ type t = {
   mutable store : string SMap.t;
   mutable amnesiac : bool;
   mutable fresh : bool;
-  (* Volatile lock: holder op and lease expiry.  The lease is what frees
-     a lock abandoned by a coordinator that died mid-operation. *)
-  mutable lock : (int * float) option;
+  (* Volatile lock; its lease is what frees a lock abandoned by a
+     coordinator that died mid-operation. *)
+  lock : Lease.t;
+  obs : Hub.t;
+  ctrs : counters;
   mutable round : int;
   mutable op_counter : int;
   mutable commit_hook : (sent:int -> total:int -> unit) option;
@@ -71,7 +110,7 @@ let site t = t.site
 let is_amnesiac t = t.amnesiac
 let set_commit_hook t hook = t.commit_hook <- hook
 
-let boot ~site ~universe ~flavor ~segment_of ~config ~dir ~next_seq ~port
+let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ~next_seq ~port
     ~was_restarted =
   ignore (Persist.ensure_site_dir ~dir site : string);
   let n_sites = Site_set.max_elt universe + 1 in
@@ -97,7 +136,7 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~dir ~next_seq ~port
    with e -> (try Unix.close sock with Unix.Unix_error _ -> ()); raise e);
   let conn = Wire.conn sock in
   Wire.send conn { Wire.src = site; dst = Wire.broker_id; payload = Wire.Hello_site { site } };
-  (match Wire.recv ~deadline:(Unix.gettimeofday () +. 5.0) conn with
+  (match Wire.recv ~clock:config.clock ~deadline:(config.clock () +. 5.0) conn with
   | Ok { Wire.payload = Wire.Welcome _; _ } -> ()
   | _ ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -121,7 +160,9 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~dir ~next_seq ~port
     store;
     amnesiac;
     fresh = (not was_restarted) && not amnesiac;
-    lock = None;
+    lock = Lease.create ();
+    obs;
+    ctrs = make_counters obs;
     round = 0;
     op_counter = 0;
     commit_hook = None;
@@ -159,24 +200,15 @@ let apply_commit t ~op_no ~version ~partition ~put =
     t.amnesiac <- false;
     t.fresh <- true;
     persist t;
+    Metrics.incr t.ctrs.c_commits_applied;
     log t (Persist.Log_commit { seq = t.next_seq (); op_no; version; partition })
   end
 
 let try_lock t op =
-  let now = Unix.gettimeofday () in
-  match t.lock with
-  | Some (holder, _) when holder = op ->
-      t.lock <- Some (op, now +. t.config.lock_lease);
-      true
-  | Some (_, expiry) when now < expiry -> false
-  | _ ->
-      t.lock <- Some (op, now +. t.config.lock_lease);
-      true
+  Lease.try_acquire t.lock ~now:(t.config.clock ()) ~lease:t.config.lock_lease
+    ~op
 
-let release_lock t op =
-  match t.lock with
-  | Some (holder, _) when holder = op -> t.lock <- None
-  | _ -> ()
+let release_lock t op = Lease.release t.lock ~op
 
 (* Serve one frame of the peer protocol.  Client requests are parked; a
    coordinator calls this from inside its own wait loops, which is what
@@ -209,7 +241,7 @@ let serve_protocol t (env : Wire.envelope) =
    everything else that arrives in the meantime. *)
 let await t ~deadline ~match_reply =
   let rec wait () =
-    match Wire.recv ~deadline t.conn with
+    match Wire.recv ~clock:t.config.clock ~deadline t.conn with
     | Error `Timeout -> None
     | Error (`Closed | `Corrupt _) -> raise Dead
     | Ok env -> (
@@ -228,11 +260,17 @@ let peers t = Site_set.remove t.site t.universe
    part in the gather either.  Any refusal releases everything acquired
    (and our own), so two rivals cannot deadlock; they just retry. *)
 let lock_round t op =
-  if not (try_lock t op) then `Denied
+  Metrics.incr t.ctrs.c_lock_rounds;
+  Hub.event t.obs (Trace.Lock_round_start { site = t.site; op });
+  if not (try_lock t op) then begin
+    Metrics.incr t.ctrs.c_lock_denied;
+    Hub.event t.obs (Trace.Lock_denied { site = t.site; op });
+    `Denied
+  end
   else begin
     Site_set.iter (fun dst -> send_to t dst (Wire.Lock_request { op })) (peers t);
     let replies = Hashtbl.create 8 in
-    let deadline = Unix.gettimeofday () +. t.config.gather_timeout in
+    let deadline = t.config.clock () +. t.config.gather_timeout in
     let want = Site_set.cardinal (peers t) in
     let rec collect () =
       if Hashtbl.length replies < want then
@@ -254,6 +292,8 @@ let lock_round t op =
     else begin
       Site_set.iter (fun dst -> send_to t dst (Wire.Unlock { op })) (peers t);
       release_lock t op;
+      Metrics.incr t.ctrs.c_lock_denied;
+      Hub.event t.obs (Trace.Lock_denied { site = t.site; op });
       `Denied
     end
   end
@@ -279,7 +319,7 @@ let gather t =
     let absent = missing () in
     if not (Site_set.is_empty absent) then begin
       Site_set.iter (fun dst -> send_to t dst (Wire.State_request { round })) absent;
-      let deadline = Unix.gettimeofday () +. patience in
+      let deadline = t.config.clock () +. patience in
       let rec collect () =
         if not (Site_set.is_empty (missing ())) then
           match
@@ -309,6 +349,15 @@ let gather t =
         (Site_set.add src reach, if fresh then Site_set.add src fr else fr))
       replies (self, self_fresh)
   in
+  Metrics.incr t.ctrs.c_gathers;
+  Hub.event t.obs
+    (Trace.Gather
+       {
+         site = t.site;
+         round;
+         reachable = Site_set.cardinal reachable;
+         fresh = Site_set.cardinal fresh;
+       });
   (reachable, states, fresh)
 
 (* Verified data fetch: ask the up-to-date sites in turn until a snapshot
@@ -325,8 +374,9 @@ let fetch_data t ~sources ~want_version =
       let src = List.nth sources (n mod n_sources) in
       t.round <- t.round + 1;
       let round = t.round in
+      Metrics.incr t.ctrs.c_fetches;
       send_to t src (Wire.Data_request { round });
-      let deadline = Unix.gettimeofday () +. patience in
+      let deadline = t.config.clock () +. patience in
       match
         await t ~deadline ~match_reply:(fun env ->
             match env.Wire.payload with
@@ -338,8 +388,13 @@ let fetch_data t ~sources ~want_version =
           t.store <-
             List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries;
           t.data_version <- version;
+          Hub.event t.obs (Trace.Data_fetch { site = t.site; source = src; ok = true });
           true
-      | Some _ | None -> attempt (n + 1) (patience *. t.config.backoff)
+      | Some _ | None ->
+          Metrics.incr t.ctrs.c_fetch_failures;
+          Hub.event t.obs
+            (Trace.Data_fetch { site = t.site; source = src; ok = false });
+          attempt (n + 1) (patience *. t.config.backoff)
     end
   in
   attempt 0 t.config.gather_timeout
@@ -351,6 +406,9 @@ let fetch_data t ~sources ~want_version =
    lease, and no outcome record: exactly a coordinator dead mid-wave. *)
 let commit_wave t ~recipients ~op_no ~version ~partition ~put =
   let total = Site_set.cardinal recipients in
+  Metrics.incr t.ctrs.c_commit_waves;
+  Hub.event t.obs
+    (Trace.Commit_wave { site = t.site; op_no; recipients = total });
   let sent = ref 0 in
   Site_set.iter
     (fun dst ->
@@ -363,6 +421,10 @@ let commit_wave t ~recipients ~op_no ~version ~partition ~put =
     recipients
 
 let reply_client t ~client ~req status value info =
+  (match status with
+  | Wire.Granted -> Metrics.incr t.ctrs.c_granted
+  | Wire.Denied -> Metrics.incr t.ctrs.c_denied
+  | Wire.Aborted -> Metrics.incr t.ctrs.c_aborted);
   try Wire.send t.conn
         { Wire.src = t.site; dst = client; payload = Wire.Client_reply { req; status; value; info } }
   with Unix.Unix_error _ -> raise Dead
@@ -392,7 +454,7 @@ let client_op t ~client ~req kind =
           (* Back off without going deaf: keep serving protocol frames so
              rivals' lock rounds converge instead of timing out on us. *)
           let deadline =
-            Unix.gettimeofday ()
+            t.config.clock ()
             +. (t.config.lock_backoff *. float_of_int (i + 1) *. skew)
           in
           ignore
@@ -502,12 +564,22 @@ let client_op t ~client ~req kind =
     end
   end
 
+(* Coordination time as seen by this node, crash-exits included. *)
+let timed_op t f =
+  let began = t.config.clock () in
+  Fun.protect
+    ~finally:(fun () -> Metrics.observe t.ctrs.h_op (t.config.clock () -. began))
+    f
+
 let dispatch t (env : Wire.envelope) =
   match env.Wire.payload with
-  | Wire.Client_get { req; key } -> client_op t ~client:env.Wire.src ~req (`Read key)
+  | Wire.Client_get { req; key } ->
+      timed_op t (fun () -> client_op t ~client:env.Wire.src ~req (`Read key))
   | Wire.Client_put { req; key; value } ->
-      client_op t ~client:env.Wire.src ~req (`Write (key, value))
-  | Wire.Client_recover { req } -> client_op t ~client:env.Wire.src ~req `Recover
+      timed_op t (fun () ->
+          client_op t ~client:env.Wire.src ~req (`Write (key, value)))
+  | Wire.Client_recover { req } ->
+      timed_op t (fun () -> client_op t ~client:env.Wire.src ~req `Recover)
   | _ -> serve_protocol t env
 
 let serve t =

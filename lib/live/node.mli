@@ -25,10 +25,15 @@ type config = {
       (** fsync ensemble and data on every commit ([true], the paper's
           stable-storage requirement); [false] keeps the atomic replace
           but skips the fsyncs — for throughput experiments only *)
+  clock : unit -> float;
+      (** every deadline, lease and backoff reads this clock; defaults to
+          the monotonic {!Dynvote_obs.Clock.now} so wall-clock steps
+          cannot expire (or immortalize) leases.  Injectable for tests. *)
 }
 
 val default_config : config
-(** 0.2 s gather rounds, 1 retry, backoff 2.0, 2 s lock lease, durable. *)
+(** 0.2 s gather rounds, 1 retry, backoff 2.0, 2 s lock lease, durable,
+    monotonic clock. *)
 
 type t
 
@@ -43,6 +48,7 @@ val boot :
   flavor:Decision.flavor ->
   segment_of:(Site_set.site -> int) ->
   config:config ->
+  obs:Dynvote_obs.Hub.t ->
   dir:string ->
   next_seq:(unit -> int) ->
   port:int ->
@@ -52,7 +58,9 @@ val boot :
     leaves the node {e amnesiac}: silent to state requests, refusing to
     coordinate until a RECOVER succeeds), connect to the switchboard on
     [port], and register.  [was_restarted] clears the freshness claim
-    until the node applies its next commit. *)
+    until the node applies its next commit.  [obs] receives the node's
+    counters, latency histogram and trace events (pass
+    {!Dynvote_obs.Hub.noop} to compile them all down to a branch). *)
 
 val serve : t -> unit
 (** The node thread body: handle frames until the connection dies. *)

@@ -10,6 +10,10 @@
    - a crash closes the victim's socket (the node thread dies on EOF);
    - nothing is ever reordered or duplicated on a surviving path (TCP). *)
 
+module Metrics = Dynvote_obs.Metrics
+module Trace = Dynvote_obs.Trace
+module Hub = Dynvote_obs.Hub
+
 type endpoint = { id : int; conn : Wire.conn }
 
 type stats = { routed : int; dropped_partition : int; dropped_down : int }
@@ -19,6 +23,11 @@ type t = {
   port : int;
   universe : Site_set.t;
   segment_of : Site_set.site -> int;
+  obs : Hub.t;
+  net_sent : Metrics.counter;
+  net_delivered : Metrics.counter;
+  net_rejected : Metrics.counter;
+  net_dropped : Metrics.counter;
   mutex : Mutex.t;
   mutable endpoints : endpoint list;
   mutable pending : Wire.conn list; (* accepted, awaiting Hello *)
@@ -62,23 +71,50 @@ let drop_endpoint t ep =
   if Wire.is_site ep.id then t.up <- Site_set.remove ep.id t.up;
   close_quietly (Wire.fd ep.conn)
 
+let drop_frame t (env : Wire.envelope) reason =
+  Metrics.incr t.net_dropped;
+  Hub.event t.obs
+    (Trace.Frame_dropped
+       {
+         src = env.Wire.src;
+         dst = env.Wire.dst;
+         reason = reason ^ " " ^ Wire.kind_name env.Wire.payload;
+       })
+
 let route t ep (env : Wire.envelope) =
   locked t (fun () ->
       (* The registered id is authoritative; a frame cannot spoof its
          source. *)
       let env = { env with Wire.src = ep.id } in
       if not (connected_locked t ep.id env.Wire.dst) then
-        if Wire.is_site ep.id && Wire.is_site env.Wire.dst then
-          t.dropped_partition <- t.dropped_partition + 1
-        else t.dropped_down <- t.dropped_down + 1
+        if Wire.is_site ep.id && Wire.is_site env.Wire.dst then begin
+          t.dropped_partition <- t.dropped_partition + 1;
+          drop_frame t env "partition:"
+        end
+        else begin
+          t.dropped_down <- t.dropped_down + 1;
+          drop_frame t env "down:"
+        end
       else
         match List.find_opt (fun e -> e.id = env.Wire.dst) t.endpoints with
-        | None -> t.dropped_down <- t.dropped_down + 1
+        | None ->
+            t.dropped_down <- t.dropped_down + 1;
+            drop_frame t env "unregistered:"
         | Some target -> (
             match Wire.send target.conn env with
-            | () -> t.routed <- t.routed + 1
+            | () ->
+                t.routed <- t.routed + 1;
+                Metrics.incr t.net_delivered;
+                Hub.event t.obs
+                  (Trace.Frame_recv
+                     {
+                       src = env.Wire.src;
+                       dst = env.Wire.dst;
+                       kind = Wire.kind_name env.Wire.payload;
+                     })
             | exception Unix.Unix_error _ ->
                 t.dropped_down <- t.dropped_down + 1;
+                drop_frame t env "peer-gone:";
                 drop_endpoint t target))
 
 let register t conn (env : Wire.envelope) =
@@ -119,22 +155,62 @@ let drain_frames t source conn =
   while !continue do
     match Wire.next_frame conn with
     | None -> continue := false
-    | Some (Error _) ->
+    | Some (Error reason) ->
         (* A corrupt frame means the stream is unframed garbage; the
            connection cannot be trusted any further. *)
+        Metrics.incr t.net_rejected;
         (match source with
-        | `Endpoint ep -> locked t (fun () -> drop_endpoint t ep)
+        | `Endpoint ep ->
+            Hub.event t.obs (Trace.Frame_rejected { src = ep.id; reason });
+            locked t (fun () -> drop_endpoint t ep)
         | `Pending _ ->
+            Hub.event t.obs (Trace.Frame_rejected { src = -1; reason });
             locked t (fun () -> t.pending <- List.filter (fun c -> c != conn) t.pending);
             close_quietly (Wire.fd conn));
         continue := false
     | Some (Ok env) -> (
         match source with
-        | `Endpoint ep -> route t ep env
+        | `Endpoint ep ->
+            Metrics.incr t.net_sent;
+            Hub.event t.obs
+              (Trace.Frame_sent
+                 {
+                   src = ep.id;
+                   dst = env.Wire.dst;
+                   kind = Wire.kind_name env.Wire.payload;
+                 });
+            route t ep env
         | `Pending _ ->
             register t conn env;
             continue := false)
   done
+
+let fd_alive fd =
+  match Unix.fstat fd with
+  | _ -> true
+  | exception Unix.Unix_error _ -> false
+
+(* EBADF from select means some registered fd is already closed — a
+   crash raced the routing table, or a descriptor leaked shut elsewhere.
+   Retrying the select verbatim (the old EINTR treatment) spins forever;
+   instead, probe every fd we own and evict the dead ones. *)
+let reap_dead_fds t =
+  locked t (fun () ->
+      List.iter
+        (fun ep ->
+          if not (fd_alive (Wire.fd ep.conn)) then begin
+            Hub.event t.obs
+              (Trace.Note (Printf.sprintf "reaped dead fd of endpoint %d" ep.id));
+            drop_endpoint t ep
+          end)
+        t.endpoints;
+      List.iter
+        (fun c -> if not (fd_alive (Wire.fd c)) then close_quietly (Wire.fd c))
+        t.pending;
+      t.pending <- List.filter (fun c -> fd_alive (Wire.fd c)) t.pending;
+      (* Losing the listener or the self-pipe is unrecoverable: stop
+         rather than select on garbage. *)
+      if not (fd_alive t.listen && fd_alive t.wake_r) then t.running <- false)
 
 let broker_loop t =
   while locked t (fun () -> t.running) do
@@ -146,7 +222,10 @@ let broker_loop t =
     let fd_of = function `Endpoint ep -> Wire.fd ep.conn | `Pending c -> Wire.fd c in
     let fds = t.listen :: t.wake_r :: List.map fd_of conns in
     match Unix.select fds [] [] (-1.0) with
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> process_kills t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> process_kills t
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        reap_dead_fds t;
+        process_kills t
     | ready, _, _ ->
         if List.mem t.wake_r ready then begin
           (try ignore (Unix.read t.wake_r (Bytes.create 16) 0 16) with _ -> ());
@@ -191,7 +270,7 @@ let broker_loop t =
   close_quietly t.wake_r;
   close_quietly t.wake_w
 
-let create ~universe ~segment_of () =
+let create ?(obs = Hub.noop) ~universe ~segment_of () =
   (* A routed frame to a just-crashed socket must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -210,6 +289,11 @@ let create ~universe ~segment_of () =
       port;
       universe;
       segment_of;
+      obs;
+      net_sent = Metrics.counter obs.Hub.metrics "net.frames.sent";
+      net_delivered = Metrics.counter obs.Hub.metrics "net.frames.delivered";
+      net_rejected = Metrics.counter obs.Hub.metrics "net.frames.rejected";
+      net_dropped = Metrics.counter obs.Hub.metrics "net.frames.dropped";
       mutex = Mutex.create ();
       endpoints = [];
       pending = [];
@@ -257,16 +341,21 @@ let partition t groups =
         t.universe)
     t.universe;
   locked t (fun () -> t.groups <- Some groups);
+  Hub.event t.obs
+    (Trace.Partition
+       { groups = Fmt.str "%a" (Fmt.list ~sep:Fmt.sp Site_set.pp) groups });
   wake t
 
 let heal t =
   locked t (fun () -> t.groups <- None);
+  Hub.event t.obs Trace.Heal;
   wake t
 
 let crash t site =
   locked t (fun () ->
       t.up <- Site_set.remove site t.up;
       t.kill_queue <- site :: t.kill_queue);
+  Hub.event t.obs (Trace.Crash { site });
   wake t
 
 let up_sites t = locked t (fun () -> t.up)

@@ -18,10 +18,19 @@
 
 type t
 
-val create : universe:Site_set.t -> segment_of:(Site_set.site -> int) -> unit -> t
+val create :
+  ?obs:Dynvote_obs.Hub.t ->
+  universe:Site_set.t ->
+  segment_of:(Site_set.site -> int) ->
+  unit ->
+  t
 (** Bind a loopback listener on an ephemeral port and start the broker
     thread.  All sites start connected and no site is considered up until
-    its node registers. *)
+    its node registers.  [obs] (default {!Dynvote_obs.Hub.noop}) gets a
+    [net.frames.*] counter and a trace event for every frame sent into
+    the fabric, delivered to its destination, dropped by the topology,
+    or rejected by its checksum, plus the partition/heal/crash
+    injections. *)
 
 val port : t -> int
 

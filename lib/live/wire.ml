@@ -359,15 +359,15 @@ let next_frame c =
       Some (decode_body body)
     end
 
-let rec recv ?deadline c =
+(* [deadline] is an absolute reading of [clock] — the injected monotonic
+   clock by default, never the steppable wall clock. *)
+let rec recv ?(clock = Dynvote_obs.Clock.now) ?deadline c =
   match next_frame c with
   | Some (Ok e) -> Ok e
   | Some (Error reason) -> Error (`Corrupt reason)
   | None -> (
       let timeout =
-        match deadline with
-        | None -> -1.0 (* block *)
-        | Some d -> d -. Unix.gettimeofday ()
+        match deadline with None -> -1.0 (* block *) | Some d -> d -. clock ()
       in
       if deadline <> None && timeout <= 0.0 then Error `Timeout
       else
@@ -376,5 +376,5 @@ let rec recv ?deadline c =
         | _ -> (
             match read_once c with
             | `Closed -> Error `Closed
-            | `Data -> recv ?deadline c)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ?deadline c)
+            | `Data -> recv ~clock ?deadline c)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ~clock ?deadline c)

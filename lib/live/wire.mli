@@ -85,9 +85,14 @@ val send : conn -> envelope -> unit
 (** @raise Unix.Unix_error when the peer is gone (crash semantics). *)
 
 val recv :
-  ?deadline:float -> conn -> (envelope, [ `Timeout | `Closed | `Corrupt of string ]) result
-(** Next frame.  [deadline] is an absolute {!Unix.gettimeofday} time;
-    omitted means block until a frame or EOF. *)
+  ?clock:(unit -> float) ->
+  ?deadline:float ->
+  conn ->
+  (envelope, [ `Timeout | `Closed | `Corrupt of string ]) result
+(** Next frame.  [deadline] is an absolute reading of [clock], which
+    defaults to the monotonic {!Dynvote_obs.Clock.now} — wall-clock
+    steps can never stretch or collapse a wait.  An omitted deadline
+    blocks until a frame or EOF. *)
 
 val read_once : conn -> [ `Data | `Closed ]
 (** One [read(2)] into the buffer (for select-driven loops). *)

@@ -13,6 +13,10 @@
    chaos run can tell "the network ate it" apart from "the partition ate
    it". *)
 
+module Metrics = Dynvote_obs.Metrics
+module Trace = Dynvote_obs.Trace
+module Hub = Dynvote_obs.Hub
+
 type fault =
   | Loss        (* Bernoulli per-link loss *)
   | Flap        (* scheduled link outage window *)
@@ -53,6 +57,12 @@ type t = {
   mutable plan : plan;
   handlers : (Site_set.site, t -> Message.t -> unit) Hashtbl.t;
   stats : stats;
+  (* Observability mirrors the live switchboard's vocabulary: same
+     counter names, same trace events, a different network underneath. *)
+  mutable obs : Hub.t;
+  mutable o_sent : Metrics.counter;
+  mutable o_delivered : Metrics.counter;
+  mutable o_dropped : Metrics.counter;
 }
 
 let no_plan : plan = fun ~now:_ _ -> Pass
@@ -64,6 +74,10 @@ let create ?(latency = fun _ _ -> 0.001) ?(connected = fun _ _ -> true) () =
     connected;
     plan = no_plan;
     handlers = Hashtbl.create 16;
+    obs = Hub.noop;
+    o_sent = Metrics.counter Metrics.noop "net.frames.sent";
+    o_delivered = Metrics.counter Metrics.noop "net.frames.delivered";
+    o_dropped = Metrics.counter Metrics.noop "net.frames.dropped";
     stats =
       {
         sent = 0;
@@ -79,6 +93,12 @@ let create ?(latency = fun _ _ -> 0.001) ?(connected = fun _ _ -> true) () =
   }
 
 let set_connectivity t connected = t.connected <- connected
+
+let set_obs t obs =
+  t.obs <- obs;
+  t.o_sent <- Metrics.counter obs.Hub.metrics "net.frames.sent";
+  t.o_delivered <- Metrics.counter obs.Hub.metrics "net.frames.delivered";
+  t.o_dropped <- Metrics.counter obs.Hub.metrics "net.frames.dropped"
 
 let set_plan t plan = t.plan <- plan
 let clear_plan t = t.plan <- no_plan
@@ -101,23 +121,40 @@ let count_kind t payload =
   Hashtbl.replace t.stats.by_kind kind
     (1 + Option.value (Hashtbl.find_opt t.stats.by_kind kind) ~default:0)
 
+let drop_frame t (message : Message.t) reason =
+  Metrics.incr t.o_dropped;
+  Hub.event t.obs
+    (Trace.Frame_dropped
+       {
+         src = message.Message.src;
+         dst = message.Message.dst;
+         reason = reason ^ " " ^ Message.kind_name message.Message.payload;
+       })
+
 let send t ~src ~dst payload =
   let message = { Message.src; dst; payload } in
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes <- t.stats.bytes + Message.nominal_size payload;
   count_kind t payload;
-  if not (t.connected src dst) then
-    t.stats.dropped_partition <- t.stats.dropped_partition + 1
+  Metrics.incr t.o_sent;
+  Hub.event t.obs
+    (Trace.Frame_sent { src; dst; kind = Message.kind_name payload });
+  if not (t.connected src dst) then begin
+    t.stats.dropped_partition <- t.stats.dropped_partition + 1;
+    drop_frame t message "partition:"
+  end
   else
     match t.plan ~now:(now t) message with
     | Pass ->
         Dynvote_des.Engine.schedule_after t.engine ~delay:(t.latency src dst) message
     | Drop_it fault ->
         t.stats.dropped_fault <- t.stats.dropped_fault + 1;
-        if fault = Flap then t.stats.flapped <- t.stats.flapped + 1
+        if fault = Flap then t.stats.flapped <- t.stats.flapped + 1;
+        drop_frame t message (fault_name fault ^ ":")
     | Deliver_copies [] ->
         (* A plan may also express loss as zero deliveries. *)
-        t.stats.dropped_fault <- t.stats.dropped_fault + 1
+        t.stats.dropped_fault <- t.stats.dropped_fault + 1;
+        drop_frame t message "loss:"
     | Deliver_copies extras ->
         let base = t.latency src dst in
         List.iteri
@@ -133,11 +170,22 @@ let broadcast t ~src ~targets payload =
 let deliver t message =
   if t.connected message.Message.src message.Message.dst then begin
     t.stats.delivered <- t.stats.delivered + 1;
+    Metrics.incr t.o_delivered;
+    Hub.event t.obs
+      (Trace.Frame_recv
+         {
+           src = message.Message.src;
+           dst = message.Message.dst;
+           kind = Message.kind_name message.Message.payload;
+         });
     match Hashtbl.find_opt t.handlers message.Message.dst with
     | Some f -> f t message
     | None -> ()
   end
-  else t.stats.dropped_partition <- t.stats.dropped_partition + 1
+  else begin
+    t.stats.dropped_partition <- t.stats.dropped_partition + 1;
+    drop_frame t message "partition:"
+  end
 
 (* Deliver every in-flight message (and those they trigger) in timestamp
    order.  Connectivity is rechecked at delivery time, so a partition that

@@ -53,6 +53,12 @@ val create :
 
 val set_connectivity : t -> (Site_set.site -> Site_set.site -> bool) -> unit
 
+val set_obs : t -> Dynvote_obs.Hub.t -> unit
+(** Report every send, delivery and drop into [obs], with the same
+    [net.frames.*] counter names and {!Dynvote_obs.Trace} frame events
+    the live switchboard uses — one vocabulary across the simulated and
+    the real network.  Default: {!Dynvote_obs.Hub.noop}. *)
+
 val set_plan : t -> plan -> unit
 val clear_plan : t -> unit
 

@@ -1,0 +1,42 @@
+(* Deadline/lease clock: monotonic where the platform provides one,
+   otherwise the wall clock clamped so it can never run backwards (a
+   stalled clock makes a deadline late; a reversed one corrupts lease
+   arithmetic). *)
+
+type t = unit -> float
+
+external monotonic_now_stub : unit -> float = "dynvote_obs_monotonic_now"
+
+let monotonic_available = monotonic_now_stub () >= 0.0
+
+let wall = Unix.gettimeofday
+
+(* Clamped fallback: concurrent readers may each publish a fresh high
+   water mark; compare-and-set keeps the mark itself monotone. *)
+let clamped_wall () =
+  let last = Atomic.make 0.0 in
+  fun () ->
+    let t = wall () in
+    let prev = Atomic.get last in
+    if t >= prev then begin
+      ignore (Atomic.compare_and_set last prev t : bool);
+      t
+    end
+    else prev
+
+let now = if monotonic_available then monotonic_now_stub else clamped_wall ()
+
+module Manual = struct
+  type m = { mutable at : float; mutex : Mutex.t }
+
+  let create ?(at = 0.0) () = { at; mutex = Mutex.create () }
+
+  let with_lock m f =
+    Mutex.lock m.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m.mutex) f
+
+  let read m = with_lock m (fun () -> m.at)
+  let set m v = with_lock m (fun () -> m.at <- v)
+  let advance m d = with_lock m (fun () -> m.at <- m.at +. d)
+  let clock m () = read m
+end

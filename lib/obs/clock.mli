@@ -1,0 +1,48 @@
+(** Clock discipline for everything that computes deadlines, leases and
+    latency windows.
+
+    [Unix.gettimeofday] follows the wall clock: an NTP step or slew moves
+    it, forwards or backwards, by arbitrary amounts.  A lock lease or a
+    gather deadline computed from it can therefore expire prematurely
+    (clock jumps forward) or never (clock jumps backward), and a load
+    generator's latency samples can come out negative.  Every deadline in
+    the live service goes through this module instead: a monotonic clock
+    when the platform has one, a backward-clamped wall clock otherwise,
+    and a fully injectable manual clock for tests. *)
+
+type t = unit -> float
+(** A clock: seconds since an arbitrary epoch.  Only differences are
+    meaningful. *)
+
+val monotonic_available : bool
+(** Whether [now] is backed by the platform monotonic clock
+    ([clock_gettime(CLOCK_MONOTONIC)]); when [false], [now] is the wall
+    clock clamped to never run backwards. *)
+
+val now : t
+(** The process-wide monotonic clock.  Guaranteed non-decreasing even
+    across wall-clock steps. *)
+
+val wall : t
+(** [Unix.gettimeofday], for timestamps meant to be human-readable.
+    Never use it for deadlines or durations. *)
+
+(** A hand-cranked clock for tests: deterministic, steppable in both
+    directions, so lease logic can be exercised against exactly the
+    wall-clock pathologies the monotonic clock rules out. *)
+module Manual : sig
+  type m
+
+  val create : ?at:float -> unit -> m
+  (** A manual clock reading [at] (default 0). *)
+
+  val read : m -> float
+  val set : m -> float -> unit
+  (** Step the clock to an absolute reading — backwards is allowed. *)
+
+  val advance : m -> float -> unit
+  (** Step the clock forward (or backward, with a negative delta). *)
+
+  val clock : m -> t
+  (** The clock function to inject (e.g. into [Node.config]). *)
+end

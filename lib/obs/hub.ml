@@ -1,0 +1,8 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?trace_capacity () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity () }
+
+let noop = { metrics = Metrics.noop; trace = Trace.noop }
+let live t = Metrics.live t.metrics
+let event t ev = Trace.record t.trace ev

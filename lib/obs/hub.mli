@@ -1,0 +1,16 @@
+(** The observability hub a component is instrumented against: one
+    metrics registry plus one trace ring, threaded together so a caller
+    passes a single value.
+
+    {!noop} is the compiled-in off switch: all updates through it reduce
+    to a branch, which is what the OBS bench section compares against to
+    price the instrumentation. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val create : ?trace_capacity:int -> unit -> t
+val noop : t
+val live : t -> bool
+
+val event : t -> Trace.event -> unit
+(** [Trace.record t.trace]. *)

@@ -1,0 +1,28 @@
+/* Monotonic clock for the live service.  CLOCK_MONOTONIC never steps
+   when NTP disciplines the wall clock, which is exactly the property
+   lease and deadline arithmetic needs.  A platform without it reports
+   -1.0 and the OCaml side falls back to a clamped wall clock. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+CAMLprim value dynvote_obs_monotonic_now(value unit)
+{
+  (void) unit;
+  return caml_copy_double(-1.0);
+}
+#else
+#include <time.h>
+
+CAMLprim value dynvote_obs_monotonic_now(value unit)
+{
+  (void) unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+#endif
+  return caml_copy_double(-1.0);
+}
+#endif

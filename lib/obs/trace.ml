@@ -1,0 +1,98 @@
+type event =
+  | Lock_round_start of { site : int; op : int }
+  | Lock_denied of { site : int; op : int }
+  | Gather of { site : int; round : int; reachable : int; fresh : int }
+  | Data_fetch of { site : int; source : int; ok : bool }
+  | Commit_wave of { site : int; op_no : int; recipients : int }
+  | Partition of { groups : string }
+  | Heal
+  | Crash of { site : int }
+  | Restart of { site : int }
+  | Frame_sent of { src : int; dst : int; kind : string }
+  | Frame_recv of { src : int; dst : int; kind : string }
+  | Frame_rejected of { src : int; reason : string }
+  | Frame_dropped of { src : int; dst : int; reason : string }
+  | Note of string
+
+type t = {
+  is_live : bool;
+  capacity : int;
+  mutex : Mutex.t;
+  ring : (float * event) array; (* slot i holds event number i mod capacity *)
+  mutable count : int; (* total recorded *)
+  t0 : float;
+}
+
+let dummy = (0.0, Note "")
+
+let create ?(capacity = 2048) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    is_live = true;
+    capacity;
+    mutex = Mutex.create ();
+    ring = Array.make capacity dummy;
+    count = 0;
+    t0 = Clock.now ();
+  }
+
+let noop =
+  {
+    is_live = false;
+    capacity = 1;
+    mutex = Mutex.create ();
+    ring = [| dummy |];
+    count = 0;
+    t0 = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t event =
+  if t.is_live then begin
+    let at = Clock.now () -. t.t0 in
+    locked t (fun () ->
+        t.ring.(t.count mod t.capacity) <- (at, event);
+        t.count <- t.count + 1)
+  end
+
+let recorded t = locked t (fun () -> t.count)
+let dropped t = locked t (fun () -> max 0 (t.count - t.capacity))
+
+let recent ?n t =
+  locked t (fun () ->
+      let retained = min t.count t.capacity in
+      let take = match n with None -> retained | Some n -> min n retained in
+      List.init take (fun i ->
+          t.ring.((t.count - take + i) mod t.capacity)))
+
+let pp_event ppf = function
+  | Lock_round_start { site; op } ->
+      Fmt.pf ppf "lock-round site=%d op=%#x" site op
+  | Lock_denied { site; op } -> Fmt.pf ppf "lock-denied site=%d op=%#x" site op
+  | Gather { site; round; reachable; fresh } ->
+      Fmt.pf ppf "gather site=%d round=%d reachable=%d fresh=%d" site round
+        reachable fresh
+  | Data_fetch { site; source; ok } ->
+      Fmt.pf ppf "data-fetch site=%d source=%d %s" site source
+        (if ok then "ok" else "failed")
+  | Commit_wave { site; op_no; recipients } ->
+      Fmt.pf ppf "commit-wave site=%d op_no=%d recipients=%d" site op_no
+        recipients
+  | Partition { groups } -> Fmt.pf ppf "partition %s" groups
+  | Heal -> Fmt.string ppf "heal"
+  | Crash { site } -> Fmt.pf ppf "crash site=%d" site
+  | Restart { site } -> Fmt.pf ppf "restart site=%d" site
+  | Frame_sent { src; dst; kind } ->
+      Fmt.pf ppf "frame-sent %d->%d %s" src dst kind
+  | Frame_recv { src; dst; kind } ->
+      Fmt.pf ppf "frame-recv %d->%d %s" src dst kind
+  | Frame_rejected { src; reason } ->
+      Fmt.pf ppf "frame-rejected src=%d %s" src reason
+  | Frame_dropped { src; dst; reason } ->
+      Fmt.pf ppf "frame-dropped %d->%d %s" src dst reason
+  | Note note -> Fmt.pf ppf "note %s" note
+
+let pp_entry ppf (at, event) = Fmt.pf ppf "+%.6fs %a" at pp_event event

@@ -103,6 +103,25 @@ are timing-dependent, so only the shape is checked:
   audit: N log records, N commits, N reads checked
   audit: SAFE (N violations)
 
+The serve console answers `stats` with the metrics registry and the
+recent protocol trace.  Values are timing-dependent; the counter names
+are not — pick a few and check they are reported:
+
+  $ cat > script3.txt <<'EOF'
+  > put 0 k v
+  > get 1 k
+  > stats
+  > EOF
+
+  $ $CLI serve --sites 3 --dir state3 --script script3.txt \
+  >   | grep -E '(live\.(op\.granted|lock\.rounds|commit\.waves)|net\.frames\.(sent|delivered)) ' \
+  >   | sed -E 's/[0-9]+/N/g; s/ +/ /g'
+  live.commit.waves N
+  live.lock.rounds N
+  live.op.granted N
+  net.frames.delivered N
+  net.frames.sent N
+
 Unknown policies are rejected:
 
   $ $CLI serve --policy paxos --script /dev/null

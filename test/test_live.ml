@@ -10,7 +10,9 @@ module Persist = Dynvote_live.Persist
 module Live = Dynvote_live.Cluster
 module Loadgen = Dynvote_live.Loadgen
 module Node = Dynvote_live.Node
+module Lease = Dynvote_live.Lease
 module Oracle = Dynvote_chaos.Oracle
+module Manual = Dynvote_obs.Clock.Manual
 
 (* --- scratch directories ------------------------------------------- *)
 
@@ -46,6 +48,7 @@ let test_config =
     lock_retries = 6;
     lock_backoff = 0.02;
     durable = false;
+    clock = Dynvote_obs.Clock.now;
   }
 
 let with_cluster ?flavor ?segment_of ~universe f =
@@ -218,6 +221,121 @@ let test_data_blob_roundtrip () =
           (match Persist.load_data_result ~path with
           | Error _ -> ()
           | Ok _ -> Alcotest.fail "corrupted data blob accepted"))
+
+(* --- the lock lease under a hand-cranked clock ----------------------- *)
+
+(* The wall-clock bug this guards against: a lease computed from
+   [Unix.gettimeofday] expires early when NTP steps the clock forward and
+   never when it steps it backward.  With the injectable clock the lease
+   must expire exactly once — at [acquire + lease] on the clock it was
+   given — no matter how that clock is stepped. *)
+let test_lease_clock_steps () =
+  let clk = Manual.create () in
+  let now () = Manual.read clk in
+  let lease = 1.0 in
+  let l = Lease.create () in
+  let acquire op = Lease.try_acquire l ~now:(now ()) ~lease ~op in
+  Alcotest.(check bool) "op 1 acquires a free lock" true (acquire 1);
+  Alcotest.(check bool) "op 1 refreshes its own lease" true (acquire 1);
+  Manual.set clk 0.5;
+  Alcotest.(check bool) "op 2 refused mid-lease" false (acquire 2);
+  Alcotest.(check (option int)) "op 1 holds" (Some 1)
+    (Lease.holder l ~now:(now ()));
+  (* A backward step (the clock being stepped under us) must not expire
+     the lease early... *)
+  Manual.set clk (-100.0);
+  Alcotest.(check bool) "op 2 refused after backward step" false (acquire 2);
+  (* ...and refreshing at 1.4 pushes expiry to 2.4: the lease expires
+     once, at the refreshed deadline, not at the original one. *)
+  Manual.set clk 1.4;
+  Alcotest.(check bool) "op 1 refreshes at 1.4" true (acquire 1);
+  Manual.set clk 2.0;
+  Alcotest.(check bool) "op 2 still refused at 2.0" false (acquire 2);
+  Manual.set clk 2.5;
+  Alcotest.(check (option int)) "lease expired exactly once" None
+    (Lease.holder l ~now:(now ()));
+  Alcotest.(check bool) "op 2 takes the expired lock" true (acquire 2);
+  (* The old holder's lease must not resurrect when the clock steps back
+     into its window. *)
+  Manual.set clk 1.9;
+  Alcotest.(check bool) "op 1 cannot reclaim its dead lease" false (acquire 1);
+  Alcotest.(check (option int)) "op 2 holds after backward step" (Some 2)
+    (Lease.holder l ~now:(now ()));
+  Lease.release l ~op:1;
+  Alcotest.(check (option int)) "a rival release is a no-op" (Some 2)
+    (Lease.holder l ~now:(now ()));
+  Lease.release l ~op:2;
+  Alcotest.(check (option int)) "released" None (Lease.holder l ~now:(now ()))
+
+(* Grep-enforced: no deadline or lease in the live service may read the
+   raw wall clock.  The only [gettimeofday] in the tree belongs to
+   [Dynvote_obs.Clock.wall]. *)
+let test_no_wall_clock_in_live () =
+  let dir =
+    (* Tests run from [_build/default/test]; dune copies the sources. *)
+    List.find_opt Sys.file_exists [ "../lib/live"; "lib/live"; "../../lib/live" ]
+  in
+  match dir with
+  | None -> () (* sources not staged in this layout; nothing to scan *)
+  | Some dir ->
+      Array.iter
+        (fun file ->
+          if Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+          then begin
+            let path = Filename.concat dir file in
+            let src = In_channel.with_open_bin path In_channel.input_all in
+            let contains needle hay =
+              let n = String.length needle and h = String.length hay in
+              let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+              go 0
+            in
+            if contains "gettimeofday" src then
+              Alcotest.failf "%s reads the raw wall clock (gettimeofday)" path
+          end)
+        (Sys.readdir dir)
+
+(* --- loadgen arithmetic ---------------------------------------------- *)
+
+let test_percentile_edges () =
+  let check_nan name v =
+    Alcotest.(check bool) name true (Float.is_nan v)
+  in
+  check_nan "empty -> nan" (Loadgen.percentile [||] 0.5);
+  Alcotest.(check (float 0.0)) "single sample is every percentile p50" 7.0
+    (Loadgen.percentile [| 7.0 |] 0.5);
+  Alcotest.(check (float 0.0)) "single sample p99" 7.0
+    (Loadgen.percentile [| 7.0 |] 0.99);
+  Alcotest.(check (float 0.0)) "single sample p ~ 0" 7.0
+    (Loadgen.percentile [| 7.0 |] 0.0001);
+  let equal = Array.make 100 3.5 in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "all-equal p%.0f" (p *. 100.))
+        3.5 (Loadgen.percentile equal p))
+    [ 0.01; 0.5; 0.95; 0.99; 1.0 ];
+  let sorted = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0 (Loadgen.percentile sorted 0.50);
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 99.0 (Loadgen.percentile sorted 0.99);
+  Alcotest.(check (float 0.0)) "p100 of 1..100" 100.0 (Loadgen.percentile sorted 1.0)
+
+let test_worker_seeds_distinct () =
+  (* The old scheme ([seed * 65599 + index]) collided across runs:
+     (seed, index) and (seed - 1, index + 65599) produced the same
+     stream.  Check exactly that pair, and that seeds within a run are
+     distinct. *)
+  let a = (Loadgen.worker_seeds ~seed:10 ~n:1).(0) in
+  let b = (Loadgen.worker_seeds ~seed:9 ~n:65600).(65599) in
+  Alcotest.(check bool) "old collision pair now distinct" true (a <> b);
+  let seeds = Loadgen.worker_seeds ~seed:42 ~n:64 in
+  let sorted = Array.copy seeds in
+  Array.sort compare sorted;
+  let dup = ref false in
+  Array.iteri (fun i s -> if i > 0 && sorted.(i - 1) = s then dup := true) sorted;
+  Alcotest.(check bool) "64 workers, 64 distinct seeds" false !dup;
+  (* Deterministic: same seed, same streams. *)
+  Alcotest.(check bool) "reproducible" true
+    (Loadgen.worker_seeds ~seed:42 ~n:64 = seeds)
 
 (* --- end to end over real sockets ----------------------------------- *)
 
@@ -426,6 +544,10 @@ let suite =
     Alcotest.test_case "oplog round trip" `Quick test_oplog_roundtrip;
     Alcotest.test_case "oplog torn tail" `Quick test_oplog_torn_tail;
     Alcotest.test_case "data blob round trip" `Quick test_data_blob_roundtrip;
+    Alcotest.test_case "lease under clock steps" `Quick test_lease_clock_steps;
+    Alcotest.test_case "no wall clock in lib/live" `Quick test_no_wall_clock_in_live;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
+    Alcotest.test_case "worker seeds distinct" `Quick test_worker_seeds_distinct;
     Alcotest.test_case "basic replication" `Quick test_basic_replication;
     Alcotest.test_case "partition / heal / restart" `Quick test_partition_heal_recovery;
     Alcotest.test_case "coordinator struck mid-commit" `Quick

@@ -25,6 +25,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("mc", Test_mc.suite);
       ("adaptive_witness", Test_adaptive_witness.suite);
+      ("obs", Test_obs.suite);
       ("live", Test_live.suite);
       ("misc", Test_misc.suite);
     ]

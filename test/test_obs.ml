@@ -1,0 +1,240 @@
+(* The observability layer: clock discipline, thread-safe instruments,
+   log-scaled histogram accuracy against exact sorted-array quantiles,
+   the bounded trace ring, and the inertness of the no-op hub. *)
+
+module Clock = Dynvote_obs.Clock
+module Metrics = Dynvote_obs.Metrics
+module Trace = Dynvote_obs.Trace
+module Hub = Dynvote_obs.Hub
+
+(* --- clock ----------------------------------------------------------- *)
+
+let test_clock_monotone () =
+  (* Whatever backs it (CLOCK_MONOTONIC or the clamped wall clock), the
+     process clock must never run backwards. *)
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+let test_manual_clock () =
+  let m = Clock.Manual.create () in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Clock.Manual.read m);
+  Clock.Manual.set m 5.0;
+  Alcotest.(check (float 0.0)) "set" 5.0 (Clock.Manual.read m);
+  Clock.Manual.advance m 1.5;
+  Alcotest.(check (float 0.0)) "advance" 6.5 (Clock.Manual.read m);
+  Clock.Manual.advance m (-10.0);
+  Alcotest.(check (float 0.0)) "backward step allowed" (-3.5)
+    (Clock.Manual.read m);
+  let clk = Clock.Manual.clock m in
+  Clock.Manual.set m 42.0;
+  Alcotest.(check (float 0.0)) "clock function tracks" 42.0 (clk ());
+  let m2 = Clock.Manual.create ~at:7.0 () in
+  Alcotest.(check (float 0.0)) "explicit epoch" 7.0 (Clock.Manual.read m2)
+
+(* --- counters and gauges --------------------------------------------- *)
+
+let test_counter_threads () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "test.hits" in
+  let threads =
+    List.init 4 (fun _ ->
+        Thread.create (fun () -> for _ = 1 to 10_000 do Metrics.incr c done) ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no lost increments" 40_000 (Metrics.counter_value c);
+  Metrics.add c 2;
+  Alcotest.(check int) "add" 40_002 (Metrics.counter_value c);
+  Alcotest.(check bool) "find-or-create returns the same counter" true
+    (Metrics.counter_value (Metrics.counter r "test.hits") = 40_002)
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge r "test.level" in
+  Alcotest.(check (float 0.0)) "initial" 0.0 (Metrics.gauge_value g);
+  Metrics.set_gauge g 3.25;
+  Alcotest.(check (float 0.0)) "set" 3.25 (Metrics.gauge_value g)
+
+(* --- histograms ------------------------------------------------------ *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let test_histogram_vs_exact () =
+  (* Deterministic samples spanning five decades; the histogram quantile
+     must land in the same bucket as the exact sorted-array quantile —
+     that is what [quantile_bounds] promises. *)
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "test.lat" in
+  let state = ref 0x9E3779B9 in
+  let next () =
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    (* log-uniform over roughly [20 us, 2 s] *)
+    2e-5 *. (10.0 ** (5.0 *. float_of_int !state /. float_of_int 0x40000000))
+  in
+  let samples = Array.init 2000 (fun _ -> next ()) in
+  Array.iter (Metrics.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check int) "count" 2000 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "max is exact" sorted.(1999)
+    (Metrics.histogram_max h);
+  let mean = Array.fold_left ( +. ) 0.0 samples /. 2000.0 in
+  Alcotest.(check bool) "mean is exact (Welford)" true
+    (Float.abs (Metrics.histogram_mean h -. mean) < 1e-9 *. mean);
+  List.iter
+    (fun q ->
+      let exact = exact_quantile sorted q in
+      let lo, hi = Metrics.quantile_bounds h q in
+      let mid = Metrics.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f: exact %.6g in bucket [%.6g, %.6g]" q exact lo hi)
+        true
+        (exact >= lo && exact <= hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f: reported midpoint inside its own bucket" q)
+        true
+        (mid >= lo && mid <= hi))
+    [ 0.01; 0.25; 0.50; 0.90; 0.95; 0.99; 1.0 ]
+
+let test_histogram_edges () =
+  let r = Metrics.create () in
+  let empty = Metrics.histogram r "test.empty" in
+  Alcotest.(check int) "empty count" 0 (Metrics.histogram_count empty);
+  Alcotest.(check bool) "empty p50 is nan" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (Metrics.histogram_mean empty));
+  let lo, hi = Metrics.quantile_bounds empty 0.5 in
+  Alcotest.(check bool) "empty bounds are nan" true
+    (Float.is_nan lo && Float.is_nan hi);
+
+  let single = Metrics.histogram r "test.single" in
+  Metrics.observe single 0.003;
+  List.iter
+    (fun q ->
+      let lo, hi = Metrics.quantile_bounds single q in
+      Alcotest.(check bool)
+        (Printf.sprintf "single sample in bucket at q%.2f" q)
+        true
+        (0.003 >= lo && 0.003 <= hi))
+    [ 0.01; 0.5; 1.0 ];
+  Alcotest.(check (float 1e-12)) "single mean exact" 0.003
+    (Metrics.histogram_mean single);
+
+  let equal = Metrics.histogram r "test.equal" in
+  for _ = 1 to 500 do Metrics.observe equal 0.02 done;
+  let p50 = Metrics.quantile equal 0.5 and p99 = Metrics.quantile equal 0.99 in
+  Alcotest.(check (float 1e-12)) "all-equal: p50 = p99" p50 p99;
+  let lo, hi = Metrics.quantile_bounds equal 0.99 in
+  Alcotest.(check bool) "all-equal: bucket holds the value" true
+    (0.02 >= lo && 0.02 <= hi);
+
+  (* Out-of-range samples land in the underflow/overflow buckets; the
+     overflow bucket reports the exact maximum, not a midpoint. *)
+  let extreme = Metrics.histogram r "test.extreme" in
+  Metrics.observe extreme 1e-9;
+  Metrics.observe extreme 5000.0;
+  Alcotest.(check int) "extremes counted" 2 (Metrics.histogram_count extreme);
+  Alcotest.(check (float 1e-9)) "overflow quantile is the exact max" 5000.0
+    (Metrics.quantile extreme 1.0)
+
+(* --- trace ring ------------------------------------------------------ *)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.record t (Trace.Note (Printf.sprintf "event %d" i))
+  done;
+  Alcotest.(check int) "all offers counted" 20 (Trace.recorded t);
+  Alcotest.(check int) "overwritten events counted as dropped" 12
+    (Trace.dropped t);
+  let recent = Trace.recent t in
+  Alcotest.(check int) "ring retains capacity" 8 (List.length recent);
+  let notes =
+    List.map (function _, Trace.Note s -> s | _ -> assert false) recent
+  in
+  Alcotest.(check (list string)) "oldest first, newest last"
+    (List.init 8 (fun i -> Printf.sprintf "event %d" (i + 13)))
+    notes;
+  Alcotest.(check int) "recent ~n:3" 3 (List.length (Trace.recent ~n:3 t));
+  (* Entries render. *)
+  List.iter
+    (fun entry ->
+      Alcotest.(check bool) "entry renders" true
+        (String.length (Fmt.str "%a" Trace.pp_entry entry) > 0))
+    recent
+
+let test_noop_inert () =
+  let h = Hub.noop in
+  Alcotest.(check bool) "noop registry is not live" false
+    (Metrics.live h.Hub.metrics);
+  let c = Metrics.counter h.Hub.metrics "ignored" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "noop counter stays 0" 0 (Metrics.counter_value c);
+  let g = Metrics.gauge h.Hub.metrics "ignored" in
+  Metrics.set_gauge g 9.0;
+  Alcotest.(check (float 0.0)) "noop gauge stays 0" 0.0 (Metrics.gauge_value g);
+  let hist = Metrics.histogram h.Hub.metrics "ignored" in
+  Metrics.observe hist 1.0;
+  Alcotest.(check int) "noop histogram stays empty" 0
+    (Metrics.histogram_count hist);
+  Hub.event h (Trace.Note "ignored");
+  Alcotest.(check int) "noop trace records nothing" 0 (Trace.recorded h.Hub.trace);
+  Alcotest.(check int) "noop trace retains nothing" 0
+    (List.length (Trace.recent h.Hub.trace));
+  let snap = Metrics.snapshot h.Hub.metrics in
+  Alcotest.(check int) "noop snapshot is empty" 0
+    (List.length snap.Metrics.counters)
+
+(* --- snapshots ------------------------------------------------------- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_snapshot_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "b.count") 3;
+  Metrics.incr (Metrics.counter r "a.count");
+  Metrics.set_gauge (Metrics.gauge r "g.level") 2.5;
+  Metrics.observe (Metrics.histogram r "h.lat") 0.01;
+  let snap = Metrics.snapshot r in
+  Alcotest.(check (list string)) "counters sorted by name"
+    [ "a.count"; "b.count" ]
+    (List.map fst snap.Metrics.counters);
+  let text = Fmt.str "%a" Metrics.pp_snapshot snap in
+  Alcotest.(check bool) "text snapshot renders every name" true
+    (List.for_all (fun n -> contains ~needle:n text)
+       [ "a.count"; "b.count"; "g.level"; "h.lat" ]);
+  let json = Metrics.snapshot_to_json snap in
+  Alcotest.(check bool) "json mentions every instrument" true
+    (List.for_all (fun n -> contains ~needle:("\"" ^ n ^ "\"") json)
+       [ "a.count"; "b.count"; "g.level"; "h.lat" ]);
+  Alcotest.(check bool) "json is an object" true
+    (String.length json > 2 && json.[0] = '{' && json.[String.length json - 1] = '}');
+  (* An empty histogram's nan quantiles must serialize as null, never as
+     the invalid bare token [nan]. *)
+  Metrics.histogram r "h.empty" |> ignore;
+  let json = Metrics.snapshot_to_json (Metrics.snapshot r) in
+  Alcotest.(check bool) "nan serializes as null" false
+    (contains ~needle:"nan" json)
+
+let suite =
+  [
+    Alcotest.test_case "clock is monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "manual clock" `Quick test_manual_clock;
+    Alcotest.test_case "counters under threads" `Quick test_counter_threads;
+    Alcotest.test_case "gauges" `Quick test_gauge;
+    Alcotest.test_case "histogram vs exact quantiles" `Quick test_histogram_vs_exact;
+    Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+    Alcotest.test_case "trace ring overflow" `Quick test_trace_ring;
+    Alcotest.test_case "noop hub is inert" `Quick test_noop_inert;
+    Alcotest.test_case "snapshot text and json" `Quick test_snapshot_json;
+  ]
