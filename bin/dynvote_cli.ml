@@ -17,6 +17,7 @@ module Csv = Dynvote_report.Csv
 module Voting_model = Dynvote_analytic.Voting_model
 module Kofn = Dynvote_analytic.Kofn
 module Harness = Dynvote_chaos.Harness
+module Pool = Dynvote_exec.Pool
 
 open Cmdliner
 
@@ -42,6 +43,17 @@ let quiet =
   let doc = "Suppress progress output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the compute-bound paths (per-configuration study \
+     fan-out, model-checker root shards).  0 means the DYNVOTE_JOBS \
+     environment variable, falling back to the hardware's recommended \
+     domain count.  Results are independent of $(docv)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs n = if n > 0 then min n Pool.max_jobs else Pool.default_jobs ()
+
 let parameters seed horizon batches access_interval =
   { Study.default_parameters with seed; horizon; batches; access_interval }
 
@@ -54,8 +66,11 @@ let progress quiet =
           (100.0 *. completed /. total);
         if completed >= total then prerr_newline ())
 
-let run_study ~params ~quiet ?kinds ?configs () =
-  let results = Study.run ~parameters:params ?kinds ?configs ?progress:(progress quiet) () in
+let run_study ~params ~quiet ~jobs ?kinds ?configs () =
+  let results =
+    Study.run ~parameters:params ?kinds ?configs ?progress:(progress quiet)
+      ~jobs:(resolve_jobs jobs) ()
+  in
   if not quiet then prerr_newline ();
   results
 
@@ -81,9 +96,9 @@ let topology_cmd =
 (* Subcommands: table2 / table3. *)
 
 let make_tables_cmd name doc which =
-  let run seed horizon batches access_interval quiet compare csv =
+  let run seed horizon batches access_interval quiet jobs compare csv =
     let params = parameters seed horizon batches access_interval in
-    let results = run_study ~params ~quiet () in
+    let results = run_study ~params ~quiet ~jobs () in
     (match which with
     | `Two -> Text_table.print (Table.table2 results)
     | `Three -> Text_table.print (Table.table3 results));
@@ -124,7 +139,9 @@ let make_tables_cmd name doc which =
            ~doc:"Also write the full results as CSV.")
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ seed $ horizon $ batches $ access_interval $ quiet $ compare $ csv)
+    Term.(
+      const run $ seed $ horizon $ batches $ access_interval $ quiet $ jobs_arg
+      $ compare $ csv)
 
 let table2_cmd =
   make_tables_cmd "table2" "Reproduce the unavailability study (paper Table 2)." `Two
@@ -143,7 +160,7 @@ let simulate_cmd =
     let doc = "Comma-separated policies (MCV,DV,LDV,ODV,TDV,OTDV)." in
     Arg.(value & opt string "MCV,DV,LDV,ODV,TDV,OTDV" & info [ "policies" ] ~docv:"LIST" ~doc)
   in
-  let run seed horizon batches access_interval quiet config_label kinds_text =
+  let run seed horizon batches access_interval quiet jobs config_label kinds_text =
     let params = parameters seed horizon batches access_interval in
     let config =
       match Config.find config_label with
@@ -157,13 +174,13 @@ let simulate_cmd =
              | Some k -> k
              | None -> Fmt.failwith "unknown policy %S" name)
     in
-    let results = run_study ~params ~quiet ~kinds ~configs:[ config ] () in
+    let results = run_study ~params ~quiet ~jobs ~kinds ~configs:[ config ] () in
     Text_table.print (Table.intervals results)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate one configuration in detail.")
     Term.(
-      const run $ seed $ horizon $ batches $ access_interval $ quiet $ config_arg
-      $ kinds_arg)
+      const run $ seed $ horizon $ batches $ access_interval $ quiet $ jobs_arg
+      $ config_arg $ kinds_arg)
 
 (* Subcommand: sweep (access-rate ablation). *)
 
@@ -172,14 +189,17 @@ let sweep_cmd =
     let doc = "Configuration label (A-H)." in
     Arg.(value & opt string "F" & info [ "config" ] ~docv:"LABEL" ~doc)
   in
-  let run seed horizon batches quiet config_label =
+  let run seed horizon batches quiet jobs config_label =
     let params = { Study.default_parameters with seed; horizon; batches } in
     let table =
       Text_table.create
         ~aligns:[ Text_table.Right; Text_table.Right; Text_table.Right; Text_table.Right ]
         ~header:[ "Accesses/day"; "ODV"; "OTDV"; "LDV (ref)" ] ()
     in
-    let sweep_data = Study.sweep_access_rate ~parameters:params ~config_label () in
+    let sweep_data =
+      Study.sweep_access_rate ~parameters:params ~config_label
+        ~jobs:(resolve_jobs jobs) ()
+    in
     List.iter
       (fun (rate, results) ->
         let cell kind =
@@ -210,7 +230,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the access rate for the optimistic policies (ablation).")
-    Term.(const run $ seed $ horizon $ batches $ quiet $ config_arg)
+    Term.(const run $ seed $ horizon $ batches $ quiet $ jobs_arg $ config_arg)
 
 (* Subcommand: partitions. *)
 
@@ -483,7 +503,7 @@ let mc_cmd =
          & info [ "verbose"; "v" ]
              ~doc:"Report each completed deepening iteration on stderr.")
   in
-  let run policy_text sites segments_text depth max_states symmetry full verbose =
+  let run policy_text sites segments_text depth max_states symmetry full verbose jobs =
     if sites < 2 || sites > 16 then begin
       Fmt.epr "dynvote: mc needs 2..16 sites@.";
       exit 2
@@ -541,7 +561,8 @@ let mc_cmd =
       (fun (p : Harness.policy) ->
         let t0 = Sys.time () in
         let report =
-          Checker.check ~space ?symmetry ~max_states ?progress ~policy:p ~depth config
+          Checker.check ~space ?symmetry ~max_states ?progress
+            ~jobs:(resolve_jobs jobs) ~policy:p ~depth config
         in
         let elapsed = Sys.time () -. t0 in
         Fmt.pr "@[<v>%a@,  %a@]@." Report.pp report Report.pp_expectation report;
@@ -562,7 +583,7 @@ let mc_cmd =
           exits non-zero if a policy expected safe has a violation (or a replay \
           diverges).")
     Term.(const run $ policy_arg $ sites_arg $ segments_arg $ depth_arg
-          $ max_states_arg $ symmetry_arg $ full_arg $ verbose_arg)
+          $ max_states_arg $ symmetry_arg $ full_arg $ verbose_arg $ jobs_arg)
 
 (* Subcommands: serve / loadgen (the live socket-backed service). *)
 

@@ -1,82 +1,126 @@
 (* Priority queue of timestamped events, implemented as a growable binary
    min-heap.  Ties in time are broken by insertion sequence number, making
    the simulation fully deterministic: two events scheduled for the same
-   instant fire in the order they were scheduled. *)
+   instant fire in the order they were scheduled.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   The heap is a structure of arrays rather than an array of
+   [{time; seq; payload}] records: the times live in a flat [float array]
+   (unboxed in OCaml), so the hot comparison path of every sift touches
+   contiguous raw floats instead of chasing a pointer per element, and
+   inserting allocates nothing beyond the occasional capacity doubling.
+   Moving an element means three stores instead of one pointer store, so
+   the sifts shift entries into a hole and write the carried element
+   exactly once at its final position, rather than swapping at every
+   level. *)
 
 type 'a t = {
-  mutable heap : 'a entry array; (* heap.(0) unused slots beyond size *)
+  mutable times : float array; (* unboxed float array; slots >= size unused *)
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let capacity = Array.length t.heap in
+  let capacity = Array.length t.times in
   let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-  let dummy = t.heap.(0) in
-  let heap = Array.make new_capacity dummy in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+  let times = Array.make new_capacity 0.0 in
+  Array.blit t.times 0 times 0 t.size;
+  t.times <- times;
+  let seqs = Array.make new_capacity 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  t.seqs <- seqs;
+  let payloads = Array.make new_capacity t.payloads.(0) in
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.payloads <- payloads
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
+(* Shift ancestors down into the hole at [i] until [(time, seq)] fits,
+   then store the carried element there. *)
+let sift_up t i time seq payload =
+  let hole = ref i in
+  let continue = ref true in
+  while !continue && !hole > 0 do
+    let parent = (!hole - 1) / 2 in
+    if time < t.times.(parent) || (time = t.times.(parent) && seq < t.seqs.(parent))
+    then begin
+      t.times.(!hole) <- t.times.(parent);
+      t.seqs.(!hole) <- t.seqs.(parent);
+      t.payloads.(!hole) <- t.payloads.(parent);
+      hole := parent
     end
-  end
+    else continue := false
+  done;
+  t.times.(!hole) <- time;
+  t.seqs.(!hole) <- seq;
+  t.payloads.(!hole) <- payload
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  if left < t.size then begin
-    let right = left + 1 in
-    let smallest =
-      if right < t.size && precedes t.heap.(right) t.heap.(left) then right else left
-    in
-    if precedes t.heap.(smallest) t.heap.(i) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(smallest);
-      t.heap.(smallest) <- tmp;
-      sift_down t smallest
+(* Shift the smaller child up into the hole at [i] until [(time, seq)]
+   fits, then store the carried element there. *)
+let sift_down t i time seq payload =
+  let hole = ref i in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !hole) + 1 in
+    if left >= t.size then continue := false
+    else begin
+      let right = left + 1 in
+      let smallest =
+        if
+          right < t.size
+          && (t.times.(right) < t.times.(left)
+             || (t.times.(right) = t.times.(left) && t.seqs.(right) < t.seqs.(left)))
+        then right
+        else left
+      in
+      if
+        t.times.(smallest) < time
+        || (t.times.(smallest) = time && t.seqs.(smallest) < seq)
+      then begin
+        t.times.(!hole) <- t.times.(smallest);
+        t.seqs.(!hole) <- t.seqs.(smallest);
+        t.payloads.(!hole) <- t.payloads.(smallest);
+        hole := smallest
+      end
+      else continue := false
     end
-  end
+  done;
+  t.times.(!hole) <- time;
+  t.seqs.(!hole) <- seq;
+  t.payloads.(!hole) <- payload
 
 let add t ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.add: time is NaN";
-  let entry = { time; seq = t.next_seq; payload } in
+  if t.size = 0 && Array.length t.times = 0 then begin
+    t.times <- Array.make 16 0.0;
+    t.seqs <- Array.make 16 0;
+    t.payloads <- Array.make 16 payload
+  end;
+  if t.size = Array.length t.times then grow t;
+  let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1) time seq payload
 
-let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
+let peek t = if t.size = 0 then None else Some (t.times.(0), t.payloads.(0))
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let time = t.times.(0) in
+    let payload = t.payloads.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    Some (top.time, top.payload)
+    if t.size > 0 then
+      sift_down t 0 t.times.(t.size) t.seqs.(t.size) t.payloads.(t.size);
+    Some (time, payload)
   end
 
 let pop_exn t =
@@ -86,15 +130,27 @@ let pop_exn t =
 
 let clear t =
   t.size <- 0;
-  t.heap <- [||]
+  t.times <- [||];
+  t.seqs <- [||];
+  t.payloads <- [||]
 
 let to_sorted_list t =
   (* Non-destructive: copies the heap and drains the copy. *)
-  let copy = { heap = Array.sub t.heap 0 (max 1 (Array.length t.heap)); size = t.size;
-               next_seq = t.next_seq } in
-  let rec drain acc =
-    match pop copy with
-    | None -> List.rev acc
-    | Some (time, payload) -> drain ((time, payload) :: acc)
-  in
-  if t.size = 0 then [] else drain []
+  if t.size = 0 then []
+  else begin
+    let copy =
+      {
+        times = Array.copy t.times;
+        seqs = Array.copy t.seqs;
+        payloads = Array.copy t.payloads;
+        size = t.size;
+        next_seq = t.next_seq;
+      }
+    in
+    let rec drain acc =
+      match pop copy with
+      | None -> List.rev acc
+      | Some (time, payload) -> drain ((time, payload) :: acc)
+    in
+    drain []
+  end

@@ -46,10 +46,12 @@ type report = {
   verdict : verdict;
 }
 
-let check ?space ?symmetry ?max_states ?progress ~(policy : Harness.policy) ~depth
-    config =
+let check ?space ?symmetry ?max_states ?progress ?jobs ~(policy : Harness.policy)
+    ~depth config =
   let config : Harness.config = { config with Harness.flavor = policy.Harness.flavor } in
-  let result = Explorer.search ?space ?symmetry ?max_states ?progress ~config ~depth () in
+  let result =
+    Explorer.search ?space ?symmetry ?max_states ?progress ?jobs ~config ~depth ()
+  in
   let verdict =
     match result.Explorer.outcome with
     | Explorer.Safe { closed } -> Clean { closed }

@@ -14,12 +14,26 @@
    of minimum length.  When an iteration completes without ever hitting
    the depth cutoff, the entire reachable space (under the configured
    alphabet) has been exhausted and deeper iterations are skipped — the
-   search is [closed]. *)
+   search is [closed].
+
+   With [jobs > 1] each deepening iteration is parallelized in the
+   spirit of Stern & Dill's parallel Murphi: the root action alphabet is
+   sharded over a {!Dynvote_exec.Pool}, every worker drives its own
+   freshly built session (cluster and oracle are mutable and never
+   shared), and deduplication goes through one lock-striped
+   {!Striped_seen} fingerprint table so the [distinct]/[max_states]
+   accounting stays global.  The set of distinct states within a bound —
+   and with it every Safe/Out_of_budget verdict — is independent of
+   worker interleaving (the transposition rule is monotone), so verdicts
+   match the sequential search; only the traversal statistics
+   ([visited], [transitions]) and the choice among equally short
+   counterexamples may differ. *)
 
 module Cluster = Dynvote_msgsim.Cluster
 module Harness = Dynvote_chaos.Harness
 module Oracle = Dynvote_chaos.Oracle
 module Schedule = Dynvote_chaos.Schedule
+module Pool = Dynvote_exec.Pool
 
 type outcome =
   | Safe of { closed : bool }
@@ -38,23 +52,23 @@ type result = {
 exception Found of Schedule.step list * Oracle.violation list
 exception Budget
 
-let search ?(space = Space.default) ?symmetry ?(max_states = 1_000_000) ?progress
+(* Symmetry defaults off for tie-break flavors: site relabeling commutes
+   with the transition relation only without the lexicographic tie-break
+   (site identity is load-bearing in the ordering). *)
+let resolve_symmetry ?symmetry (config : Harness.config) =
+  match symmetry with
+  | Some s -> s
+  | None -> not config.Harness.flavor.Decision.tie_break
+
+let perms_for ~symmetry (config : Harness.config) =
+  if symmetry then
+    Fingerprint.segment_perms ~universe:config.Harness.universe
+      ~segment_of:config.Harness.segment_of
+  else [ Fingerprint.identity ~n_sites:(Site_set.max_elt config.Harness.universe + 1) ]
+
+let sequential_search ~space ~symmetry ~max_states ?progress
     ~(config : Harness.config) ~depth () =
-  (* Site relabeling commutes with the transition relation only without
-     the lexicographic tie-break (site identity is load-bearing in the
-     ordering), so symmetry reduction defaults off for tie-break
-     flavors. *)
-  let symmetry =
-    match symmetry with
-    | Some s -> s
-    | None -> not config.Harness.flavor.Decision.tie_break
-  in
-  let perms =
-    if symmetry then
-      Fingerprint.segment_perms ~universe:config.Harness.universe
-        ~segment_of:config.Harness.segment_of
-    else [ Fingerprint.identity ~n_sites:(Site_set.max_elt config.Harness.universe + 1) ]
-  in
+  let perms = perms_for ~symmetry config in
   let session = Harness.make_session config in
   let cluster = Harness.cluster session in
   let oracle = Harness.oracle session in
@@ -139,3 +153,191 @@ let search ?(space = Space.default) ?symmetry ?(max_states = 1_000_000) ?progres
     result (Violation { trace = []; violations = Oracle.violations oracle }) 0
   else if depth <= 0 then result (Safe { closed = false }) 0
   else iterate 1
+
+(* ------------------------------------------------------------------ *)
+(* The parallel search. *)
+
+exception Stop_worker
+
+type worker_tally = {
+  w_visited : int;
+  w_transitions : int;
+  w_cutoff : bool;
+  w_budget : bool;
+  w_violation : (int * Schedule.step list * Oracle.violation list) option;
+      (* root-action index, trace, violations *)
+}
+
+(* One worker's share of a single deepening iteration: pull root-action
+   indices from [next_root], run the same DFS as the sequential search
+   below each, dedup through the shared striped table.  The session,
+   oracle, fingerprint buffer and checkpoints are all worker-private —
+   only [seen], [next_root] and [stop] are shared. *)
+let bound_worker ~space ~gc ~perms ~(config : Harness.config)
+    ~(roots : Schedule.step array) ~seen ~next_root ~(stop : bool Atomic.t) ~bound () =
+  let session = Harness.make_session config in
+  let cluster = Harness.cluster session in
+  let oracle = Harness.oracle session in
+  let buf = Buffer.create 256 in
+  let fingerprint () = Fingerprint.canonical ~buf ~gc ~perms session in
+  let visited = ref 0 in
+  let transitions = ref 0 in
+  let cutoff = ref false in
+  let budget_hit = ref false in
+  let violation = ref None in
+  let root_ck = Harness.checkpoint session in
+  let found root_idx trace =
+    violation := Some (root_idx, trace, Oracle.violations oracle);
+    Atomic.set stop true;
+    raise_notrace Stop_worker
+  in
+  let claim root_idx fp budget recurse =
+    match Striped_seen.claim seen fp ~budget with
+    | Striped_seen.Prune -> ()
+    | Striped_seen.Budget ->
+        budget_hit := true;
+        Atomic.set stop true;
+        raise_notrace Stop_worker
+    | Striped_seen.Expand ->
+        incr visited;
+        recurse root_idx budget
+  in
+  let rec dfs root_idx remaining trace =
+    if remaining = 0 then cutoff := true
+    else begin
+      let ck = Harness.checkpoint session in
+      List.iter
+        (fun step ->
+          if Atomic.get stop then raise_notrace Stop_worker;
+          incr transitions;
+          Harness.apply_step session step;
+          Oracle.check_step oracle cluster;
+          if not (Oracle.is_safe oracle) then
+            found root_idx (List.rev (step :: trace));
+          claim root_idx (fingerprint ()) (remaining - 1) (fun root_idx budget ->
+              dfs root_idx budget (step :: trace));
+          Harness.rollback session ck)
+        (Space.enabled space ~config ~cluster)
+    end
+  in
+  (try
+     let rec next () =
+       let idx = Atomic.fetch_and_add next_root 1 in
+       if idx < Array.length roots && not (Atomic.get stop) then begin
+         let step = roots.(idx) in
+         incr transitions;
+         Harness.apply_step session step;
+         Oracle.check_step oracle cluster;
+         if not (Oracle.is_safe oracle) then found idx [ step ];
+         claim idx (fingerprint ()) (bound - 1) (fun root_idx budget ->
+             dfs root_idx budget [ step ]);
+         Harness.rollback session root_ck;
+         next ()
+       end
+     in
+     next ()
+   with Stop_worker -> ());
+  {
+    w_visited = !visited;
+    w_transitions = !transitions;
+    w_cutoff = !cutoff;
+    w_budget = !budget_hit;
+    w_violation = !violation;
+  }
+
+let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
+    ~(config : Harness.config) ~depth () =
+  let perms = perms_for ~symmetry config in
+  let gc = Space.amnesia_free space in
+  (* The caller keeps a session of its own for the initial-state check,
+     the root fingerprint and the root alphabet (constant across
+     iterations — the root state never changes). *)
+  let session = Harness.make_session config in
+  let cluster = Harness.cluster session in
+  let oracle = Harness.oracle session in
+  let buf = Buffer.create 256 in
+  let root_fp () = Fingerprint.canonical ~buf ~gc ~perms session in
+  let visited = ref 0 in
+  let transitions = ref 0 in
+  let peak_seen = ref 0 in
+  let distinct = ref 0 in
+  let result outcome depth =
+    {
+      outcome;
+      depth;
+      visited = !visited;
+      distinct = !distinct;
+      transitions = !transitions;
+      peak_seen = !peak_seen;
+    }
+  in
+  Oracle.check_step oracle cluster;
+  if not (Oracle.is_safe oracle) then
+    result (Violation { trace = []; violations = Oracle.violations oracle }) 0
+  else if depth <= 0 then result (Safe { closed = false }) 0
+  else begin
+    let roots = Array.of_list (Space.enabled space ~config ~cluster) in
+    Pool.with_pool ~jobs (fun pool ->
+        let search_to bound =
+          let seen = Striped_seen.create ~max_states () in
+          ignore (Striped_seen.claim seen (root_fp ()) ~budget:bound);
+          incr visited;
+          let next_root = Atomic.make 0 in
+          let stop = Atomic.make false in
+          let tallies =
+            Pool.map_array pool
+              (fun _worker ->
+                bound_worker ~space ~gc ~perms ~config ~roots ~seen ~next_root ~stop
+                  ~bound ())
+              (Array.init (Pool.jobs pool) Fun.id)
+          in
+          Array.iter
+            (fun t ->
+              visited := !visited + t.w_visited;
+              transitions := !transitions + t.w_transitions)
+            tallies;
+          distinct := Striped_seen.length seen;
+          peak_seen := max !peak_seen !distinct;
+          (match progress with
+          | Some f -> f ~depth:bound ~distinct:!distinct ~transitions:!transitions
+          | None -> ());
+          (* Merge in worker-index order; among counterexamples the
+             lowest root-action index wins, mirroring the sequential
+             DFS's left-to-right root scan.  A violation outranks the
+             state budget (it is the more informative verdict). *)
+          let violation =
+            Array.fold_left
+              (fun best t ->
+                match (best, t.w_violation) with
+                | None, v -> v
+                | v, None -> v
+                | Some (i, _, _), Some (j, _, _) when j < i -> t.w_violation
+                | best, _ -> best)
+              None tallies
+          in
+          match violation with
+          | Some (_, trace, violations) -> `Found (trace, violations)
+          | None ->
+              if Array.exists (fun t -> t.w_budget) tallies then `Budget
+              else if Array.exists (fun t -> t.w_cutoff) tallies then `Cutoff
+              else `Closed
+        in
+        let rec iterate bound =
+          match search_to bound with
+          | `Found (trace, violations) ->
+              result (Violation { trace; violations }) (List.length trace)
+          | `Budget -> result Out_of_budget (bound - 1)
+          | `Closed -> result (Safe { closed = true }) bound
+          | `Cutoff ->
+              if bound >= depth then result (Safe { closed = false }) bound
+              else iterate (bound + 1)
+        in
+        iterate 1)
+  end
+
+let search ?(space = Space.default) ?symmetry ?(max_states = 1_000_000) ?progress
+    ?(jobs = 1) ~(config : Harness.config) ~depth () =
+  let symmetry = resolve_symmetry ?symmetry config in
+  if jobs <= 1 || Pool.in_worker () then
+    sequential_search ~space ~symmetry ~max_states ?progress ~config ~depth ()
+  else parallel_search ~jobs ~space ~symmetry ~max_states ?progress ~config ~depth ()

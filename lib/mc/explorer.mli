@@ -31,6 +31,7 @@ val search :
   ?symmetry:bool ->
   ?max_states:int ->
   ?progress:(depth:int -> distinct:int -> transitions:int -> unit) ->
+  ?jobs:int ->
   config:Dynvote_chaos.Harness.config ->
   depth:int ->
   unit ->
@@ -41,4 +42,16 @@ val search :
     tie-break — relabeling does not commute with the site ordering.
     [max_states] (default 1_000_000) bounds the seen table.  [progress]
     is called after each completed deepening iteration.
-    Deterministic: no randomness, no wall-clock dependence. *)
+
+    [jobs] (default 1) shards the root action alphabet over a
+    {!Dynvote_exec.Pool}: each worker drives its own freshly built
+    session (cluster and oracle are mutable, never shared) and
+    deduplicates through one lock-striped fingerprint table, so
+    [distinct] and the [max_states] budget stay global.  The verdict —
+    [Safe]/[Violation]/[Out_of_budget], the [closed] flag, the trace
+    length, and [distinct] on a [Safe] outcome — is independent of
+    [jobs]; [visited], [transitions], [peak_seen], [distinct] on a
+    [Violation] (the table size when the search stopped) and the choice
+    among equally short counterexamples may differ from the sequential
+    search.  At [jobs = 1] (and inside a pool worker) the original
+    sequential search runs, byte-identical to previous releases. *)

@@ -1,0 +1,53 @@
+(* In the spirit of Stern & Dill's parallel Murphi: the only shared
+   structure of the parallel search is the fingerprint table, and it
+   only needs per-state atomicity — a mutex per shard gives that
+   without serializing unrelated states.  [Hashtbl.hash] mixes the whole
+   fingerprint string, so shard selection is uniform. *)
+
+type shard = { mutex : Mutex.t; table : (string, int) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  mask : int;
+  count : int Atomic.t; (* distinct states admitted, for the global budget *)
+  max_states : int;
+}
+
+type verdict = Expand | Prune | Budget
+
+let create ?(shards = 64) ~max_states () =
+  let n =
+    let rec pow2 n = if n >= shards then n else pow2 (n * 2) in
+    pow2 1
+  in
+  {
+    shards =
+      Array.init n (fun _ -> { mutex = Mutex.create (); table = Hashtbl.create 256 });
+    mask = n - 1;
+    count = Atomic.make 0;
+    max_states;
+  }
+
+let claim t fp ~budget =
+  let shard = t.shards.(Hashtbl.hash fp land t.mask) in
+  Mutex.lock shard.mutex;
+  let verdict =
+    match Hashtbl.find_opt shard.table fp with
+    | Some prior when prior >= budget -> Prune
+    | Some _ ->
+        Hashtbl.replace shard.table fp budget;
+        Expand
+    | None ->
+        (* fetch_and_add makes the admission decision atomic across
+           shards: exactly [max_states] fresh states ever get in. *)
+        if Atomic.fetch_and_add t.count 1 >= t.max_states then Budget
+        else begin
+          Hashtbl.replace shard.table fp budget;
+          Expand
+        end
+  in
+  Mutex.unlock shard.mutex;
+  verdict
+
+let length t =
+  Array.fold_left (fun acc shard -> acc + Hashtbl.length shard.table) 0 t.shards

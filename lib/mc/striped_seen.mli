@@ -1,0 +1,33 @@
+(** Lock-striped seen-state table for the parallel explorer.
+
+    A sharded [fingerprint -> remaining-depth budget] map: each shard is
+    a [Hashtbl] behind its own mutex, selected by the fingerprint's
+    hash, so concurrent claims on different states rarely contend.  The
+    distinct-state count is kept in one atomic counter bumped only on
+    first insertion, which makes the [max_states] budget a {e global}
+    property (exactly as in the sequential explorer) rather than a
+    per-worker one. *)
+
+type t
+
+val create : ?shards:int -> max_states:int -> unit -> t
+(** [shards] (default 64, rounded up to a power of two) is the stripe
+    count; [max_states] bounds the number of distinct fingerprints ever
+    admitted. *)
+
+type verdict =
+  | Expand  (** first visit, or a revisit with a larger budget: recurse *)
+  | Prune  (** already expanded with at least this budget *)
+  | Budget  (** admitting this state would exceed [max_states] *)
+
+val claim : t -> string -> budget:int -> verdict
+(** Atomically apply the iterative-deepening transposition rule: prune
+    when the stored budget is at least [budget], otherwise record
+    [budget] and expand.  A fresh state is admitted only while fewer
+    than [max_states] distinct states have been; the stored budget is
+    monotone per state, so [Expand]/[Prune] decisions are
+    order-insensitive at quiescence. *)
+
+val length : t -> int
+(** Exact number of distinct states stored (sums the shard sizes; call
+    it from one domain at quiescence). *)

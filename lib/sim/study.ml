@@ -19,6 +19,7 @@
 
 module Event_gen = Dynvote_failures.Event_gen
 module Site_spec = Dynvote_failures.Site_spec
+module Pool = Dynvote_exec.Pool
 
 type parameters = {
   seed : int;
@@ -168,9 +169,28 @@ let run_drivers ?(parameters = default_parameters) ?(specs = Site_spec.ucsd_site
   simulate ~parameters ~topology ~specs ~instances ?progress ?observe ();
   List.map (fun inst -> (inst.key, summarize inst.metrics)) instances
 
-let run ?(parameters = default_parameters) ?(kinds = Policy.all_kinds)
+(* Parallel fan-out happens per configuration: every (configuration x
+   policy) cell of a task replays the same deterministic failure trace a
+   sequential run would (the generator is rebuilt from the same seed in
+   each task, and instances never interact), so per-cell results are
+   bit-identical whatever [jobs] is — only wall-clock changes. *)
+let rec run ?(parameters = default_parameters) ?(kinds = Policy.all_kinds)
     ?(configs = Config.ucsd_configurations) ?(specs = Site_spec.ucsd_sites)
-    ?(topology = Dynvote_net.Topology.ucsd) ?ordering ?recovery ?progress () =
+    ?(topology = Dynvote_net.Topology.ucsd) ?ordering ?recovery ?progress ?(jobs = 1)
+    () =
+  if jobs > 1 && List.length configs > 1 then
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_list pool
+          (fun config ->
+            run ~parameters ~kinds ~configs:[ config ] ~specs ~topology ?ordering
+              ?recovery ())
+          configs)
+    |> List.concat
+  else run_sequential ~parameters ~kinds ~configs ~specs ~topology ?ordering ?recovery
+         ?progress ()
+
+and run_sequential ~parameters ~kinds ~configs ~specs ~topology ?ordering ?recovery
+    ?progress () =
   let ordering =
     match ordering with
     | Some o -> o
@@ -219,13 +239,17 @@ type replicated = {
 let replicate ?(parameters = default_parameters) ?(replications = 5)
     ?(kinds = Policy.all_kinds) ?(configs = Config.ucsd_configurations)
     ?(specs = Site_spec.ucsd_sites) ?(topology = Dynvote_net.Topology.ucsd) ?ordering
-    ?recovery () =
+    ?recovery ?(jobs = 1) () =
   if replications < 2 then invalid_arg "Study.replicate: need at least two replications";
+  (* One task per seed: replications are independent by construction. *)
   let runs =
-    List.init replications (fun i ->
-        run
-          ~parameters:{ parameters with seed = parameters.seed + (1009 * i) }
-          ~kinds ~configs ~specs ~topology ?ordering ?recovery ())
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_list pool
+          (fun i ->
+            run
+              ~parameters:{ parameters with seed = parameters.seed + (1009 * i) }
+              ~kinds ~configs ~specs ~topology ?ordering ?recovery ())
+          (List.init replications Fun.id))
   in
   List.concat_map
     (fun config ->
@@ -271,18 +295,20 @@ let replicate ?(parameters = default_parameters) ?(replications = 5)
 (* Sweep the access interval for the optimistic policies: the ablation that
    quantifies how much staleness helps or hurts (extra experiment E1). *)
 let sweep_access_rate ?(parameters = default_parameters) ?(config_label = "F")
-    ?(rates_per_day = [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 24.0 ]) () =
+    ?(rates_per_day = [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 24.0 ]) ?(jobs = 1) () =
   let config =
     match Config.find config_label with
     | Some c -> c
     | None -> invalid_arg "Study.sweep_access_rate: unknown configuration"
   in
-  List.map
-    (fun rate ->
-      let parameters = { parameters with access_interval = 1.0 /. rate } in
-      let results =
-        run ~parameters ~kinds:[ Policy.Odv; Policy.Otdv; Policy.Ldv ]
-          ~configs:[ config ] ()
-      in
-      (rate, results))
-    rates_per_day
+  (* One task per rate: each point re-runs the study independently. *)
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_list pool
+        (fun rate ->
+          let parameters = { parameters with access_interval = 1.0 /. rate } in
+          let results =
+            run ~parameters ~kinds:[ Policy.Odv; Policy.Otdv; Policy.Ldv ]
+              ~configs:[ config ] ()
+          in
+          (rate, results))
+        rates_per_day)

@@ -60,12 +60,19 @@ val run :
   ?ordering:Ordering.t ->
   ?recovery:Policy.recovery ->
   ?progress:(completed:float -> total:float -> unit) ->
+  ?jobs:int ->
   unit ->
   result list
 (** Defaults reproduce the paper: Figure 8 topology, Table 1 sites,
     configurations A–H, all six policies, site 1 ranked highest, recovery
     folded into accesses.  Results are configuration-major in the order
     given.
+
+    [jobs] (default 1) fans the configurations out over a
+    {!Dynvote_exec.Pool} domain pool, one task per configuration.  Every
+    task replays the same deterministic failure trace a sequential run
+    would, so per-cell results are bit-identical for any [jobs]; result
+    order is unchanged.  [progress] only fires on the sequential path.
     @raise Invalid_argument on inconsistent parameters. *)
 
 type replicated = {
@@ -84,17 +91,22 @@ val replicate :
   ?topology:Dynvote_net.Topology.t ->
   ?ordering:Ordering.t ->
   ?recovery:Policy.recovery ->
+  ?jobs:int ->
   unit ->
   ((Config.t * Policy.kind) * replicated) list
 (** Independent replications under distinct seeds, pooled per cell —
     run-to-run noise, complementing the within-run batch-means intervals.
+    [jobs] runs one task per seed (replications are independent by
+    construction; results are identical for any [jobs]).
     @raise Invalid_argument with fewer than two replications. *)
 
 val sweep_access_rate :
   ?parameters:parameters ->
   ?config_label:string ->
   ?rates_per_day:float list ->
+  ?jobs:int ->
   unit ->
   (float * result list) list
 (** Extra experiment E1: unavailability of ODV/OTDV (with LDV as the
-    instantaneous reference) as a function of the file access rate. *)
+    instantaneous reference) as a function of the file access rate.
+    [jobs] runs one task per rate. *)

@@ -1,6 +1,7 @@
 The CLI regenerates the paper's inputs deterministically.
 
   $ export CLI=../../bin/dynvote_cli.exe
+  $ export DYNVOTE_JOBS=1
 
 Table 1 is the published site characteristics:
 

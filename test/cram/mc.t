@@ -1,8 +1,11 @@
 The bounded model checker exhaustively explores the message-level
 protocols on the paper's §3 four-copy example (sites A,B on one segment,
-C and D alone).  Stdout is deterministic: timing goes to stderr.
+C and D alone).  Stdout is deterministic: timing goes to stderr,
+and the job count is pinned to 1 so the traversal statistics in the
+expected output stay exact.
 
   $ export CLI=../../bin/dynvote_cli.exe
+  $ export DYNVOTE_JOBS=1
 
 TDV as published: iterative deepening finds the shortest path to the
 split-brain — the §3 counterexample — and replays it through the chaos

@@ -27,5 +27,6 @@ let () =
       ("adaptive_witness", Test_adaptive_witness.suite);
       ("obs", Test_obs.suite);
       ("live", Test_live.suite);
+      ("exec", Test_exec.suite);
       ("misc", Test_misc.suite);
     ]
