@@ -1037,8 +1037,9 @@ let write_bench_serve ~path serve_results
   let emit_run name (r : Loadgen.result) safe =
     let op (o : Loadgen.op_stats) =
       Printf.sprintf
-        "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+        "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"degraded\":%d,\"retried\":%d,\"dup_acks\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
         o.Loadgen.issued o.Loadgen.granted o.Loadgen.denied o.Loadgen.aborted
+        o.Loadgen.degraded o.Loadgen.retried o.Loadgen.dup_acks
         (fl o.Loadgen.p50) (fl o.Loadgen.p95) (fl o.Loadgen.p99)
     in
     Buffer.add_string b
@@ -1051,7 +1052,7 @@ let write_bench_serve ~path serve_results
          (fl r.Loadgen.wall) r.Loadgen.late safe (op r.Loadgen.reads)
          (op r.Loadgen.writes))
   in
-  Buffer.add_string b "{\"schema\":\"dynvote-bench-serve/2\",\"runs\":{";
+  Buffer.add_string b "{\"schema\":\"dynvote-bench-serve/3\",\"runs\":{";
   List.iteri
     (fun i (name, r, safe) ->
       if i > 0 then Buffer.add_char b ',';
@@ -1063,6 +1064,169 @@ let write_bench_serve ~path serve_results
        "},\"obs_overhead_pct\":%s,\"obs_ci_overlap\":%b,\"obs_duration_s\":%s,\"obs_gate\":\"%s\"}"
        (fl overhead_pct) ci_overlap (fl obs_duration)
        (if ci_overlap || overhead_pct <= 5.0 then "pass" else "fail"));
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* CRASH: what surviving a disk costs.  A slice of the crash-point
+   recovery matrix (restart-to-verdict times per cell), then goodput
+   with one of four sites fenced after a storage fault — clients retry
+   across sites under the same request number, so the run also counts
+   dedup acknowledgements and fenced-site rejections.                  *)
+
+module Crash_matrix = Dynvote_live.Crash_matrix
+module Faultfs = Dynvote_faultfs.Faultfs
+module Storage = Dynvote_chaos.Fault_plan.Storage
+
+let crash_serve_run ?(duration = 1.5) ~fenced () =
+  let dir = Filename.temp_file "dynvote-bench-crash" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let config =
+    {
+      Dynvote_live.Node.default_config with
+      Dynvote_live.Node.gather_timeout = 0.05;
+      lock_backoff = 0.02;
+      durable = false;
+    }
+  in
+  let ff = Faultfs.create ~seed:3 () in
+  let vfs_of site =
+    if fenced && site = 0 then Faultfs.vfs ff else Vfs.real
+  in
+  let cluster =
+    Live.create ~config ~obs:(Hub.create ()) ~vfs_of
+      ~universe:(Site_set.universe 4) ~dir ()
+  in
+  (* Site 0's very next data write fails: the first commit that touches
+     it fences it for the whole run. *)
+  if fenced then
+    Faultfs.arm_next ff
+      { Storage.fault = Storage.Eio; file = Storage.Data;
+        op = Storage.Write; nth = 1 };
+  let result =
+    Loadgen.run cluster
+      { Loadgen.default with Loadgen.clients = 4; duration; seed = 11;
+        retries = 2 }
+  in
+  let audit = Live.check cluster in
+  let fenced_sites =
+    Site_set.filter (fun s -> Live.degraded cluster s <> None)
+      (Live.universe cluster)
+  in
+  Live.shutdown cluster;
+  ( result,
+    Dynvote_chaos.Oracle.is_safe audit.Live.oracle
+    && audit.Live.dup_applies = 0,
+    Site_set.cardinal fenced_sites )
+
+let crash_bench () =
+  section "CRASH"
+    "Crash-point recovery matrix (one point per file class x {eio, \
+     fsync-lie, crash}),\nthen degraded-mode goodput: the same closed-loop \
+     load with site 0 fenced by a\ndisk fault, clients retrying across \
+     sites under the same request number.";
+  let dir = Filename.temp_file "dynvote-bench-crashmat" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let points =
+    List.filter
+      (fun p ->
+        List.mem (Crash_matrix.point_name p)
+          [ "ensemble.rename"; "data.fsync"; "oplog.write" ])
+      Crash_matrix.points
+  in
+  let faults = [ Storage.Eio; Storage.Fsync_lie; Storage.Crash ] in
+  let cells = Crash_matrix.run ~jobs ~seed:1 ~faults ~points ~dir () in
+  Fmt.pr "@[<v>%a@]@.@." Crash_matrix.pp_table cells;
+  let recoveries = List.map (fun c -> c.Crash_matrix.c_recovery) cells in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let fenced_cells =
+    List.length
+      (List.filter
+         (fun c ->
+           match c.Crash_matrix.c_outcome with
+           | Crash_matrix.Fenced _ -> true
+           | _ -> false)
+         cells)
+  in
+  Fmt.pr
+    "restart-to-verdict: min %.0f ms, mean %.0f ms, max %.0f ms over %d \
+     cells (%d fenced)@.@."
+    (1000.0 *. List.fold_left Float.min infinity recoveries)
+    (1000.0 *. mean recoveries)
+    (1000.0 *. List.fold_left Float.max 0.0 recoveries)
+    (List.length cells) fenced_cells;
+  let (healthy_r, healthy_safe, _) = crash_serve_run ~fenced:false () in
+  let (degraded_r, degraded_safe, fenced_sites) = crash_serve_run ~fenced:true () in
+  let goodput (r : Loadgen.result) = r.Loadgen.goodput.Dynvote_stats.Batch_means.mean in
+  let table =
+    Text_table.create
+      ~header:[ "run"; "goodput ops/s"; "retries"; "dup acks"; "fenced replies"; "audit" ]
+      ()
+  in
+  List.iter
+    (fun (name, (r : Loadgen.result), safe) ->
+      Text_table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" (goodput r);
+          string_of_int (r.Loadgen.reads.Loadgen.retried + r.Loadgen.writes.Loadgen.retried);
+          string_of_int (r.Loadgen.reads.Loadgen.dup_acks + r.Loadgen.writes.Loadgen.dup_acks);
+          string_of_int (r.Loadgen.reads.Loadgen.degraded + r.Loadgen.writes.Loadgen.degraded);
+          (if safe then "SAFE" else "UNSAFE");
+        ])
+    [ ("healthy", healthy_r, healthy_safe);
+      ("one site fenced", degraded_r, degraded_safe) ];
+  Text_table.print table;
+  let g_h = goodput healthy_r and g_d = goodput degraded_r in
+  if g_h > 0.0 then
+    Fmt.pr "degraded-mode goodput: %.0f%% of healthy (%d site(s) fenced)@."
+      (100.0 *. g_d /. g_h) fenced_sites;
+  (cells, (healthy_r, healthy_safe), (degraded_r, degraded_safe, fenced_sites))
+
+let write_bench_crash ~path
+    (cells, (healthy_r, healthy_safe), (degraded_r, degraded_safe, fenced_sites)) =
+  let b = Buffer.create 1024 in
+  let fl v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+  Buffer.add_string b "{\"schema\":\"dynvote-bench-crash/1\",\"cells\":[";
+  List.iteri
+    (fun i (c : Crash_matrix.cell) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"point\":\"%s\",\"fault\":\"%s\",\"outcome\":\"%c\",\"recovery_s\":%s,\"injected\":%d}"
+           (Crash_matrix.point_name c.Crash_matrix.c_point)
+           (Storage.fault_name c.Crash_matrix.c_fault)
+           (Crash_matrix.outcome_letter c.Crash_matrix.c_outcome)
+           (fl c.Crash_matrix.c_recovery) c.Crash_matrix.c_injected))
+    cells;
+  let emit_run name (r : Loadgen.result) safe extra =
+    let ops (o : Loadgen.op_stats) =
+      Printf.sprintf
+        "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"degraded\":%d,\"retried\":%d,\"dup_acks\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+        o.Loadgen.issued o.Loadgen.granted o.Loadgen.denied o.Loadgen.aborted
+        o.Loadgen.degraded o.Loadgen.retried o.Loadgen.dup_acks
+        (fl o.Loadgen.p50) (fl o.Loadgen.p95) (fl o.Loadgen.p99)
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"%s\":{\"goodput\":%s,\"half_width\":%s,\"safe\":%b%s,\"reads\":%s,\"writes\":%s}"
+         name
+         (fl r.Loadgen.goodput.Dynvote_stats.Batch_means.mean)
+         (fl r.Loadgen.goodput.Dynvote_stats.Batch_means.half_width)
+         safe extra
+         (ops r.Loadgen.reads) (ops r.Loadgen.writes))
+  in
+  Buffer.add_string b "],\"runs\":{";
+  emit_run "healthy" healthy_r healthy_safe "";
+  Buffer.add_char b ',';
+  emit_run "degraded" degraded_r degraded_safe
+    (Printf.sprintf ",\"fenced_sites\":%d" fenced_sites);
+  Buffer.add_string b "}}";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   output_char oc '\n';
@@ -1090,5 +1254,7 @@ let () =
   let serve_results = serve () in
   let obs_results = obs_bench () in
   write_bench_serve ~path:"BENCH_SERVE.json" serve_results obs_results;
+  let crash_results = crash_bench () in
+  write_bench_crash ~path:"BENCH_CRASH.json" crash_results;
   micro ();
   Fmt.pr "@.done.@."

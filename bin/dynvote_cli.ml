@@ -590,7 +590,10 @@ let mc_cmd =
 module Live = Dynvote_live.Cluster
 module Loadgen = Dynvote_live.Loadgen
 module Live_node = Dynvote_live.Node
+module Crash_matrix = Dynvote_live.Crash_matrix
 module Oracle = Dynvote_chaos.Oracle
+module Storage_fault = Dynvote_chaos.Fault_plan.Storage
+module Faultfs = Dynvote_faultfs.Faultfs
 module Obs_metrics = Dynvote_obs.Metrics
 module Obs_trace = Dynvote_obs.Trace
 module Obs_hub = Dynvote_obs.Hub
@@ -643,8 +646,16 @@ let pp_audit ppf (audit : Live.audit) =
   if not (Site_set.is_empty audit.Live.torn) then
     Fmt.pf ppf "torn log tails at sites %a (mid-append kill)@," Site_set.pp
       audit.Live.torn;
+  if audit.Live.corrupt > 0 then
+    Fmt.pf ppf "mid-log corrupt records: %d (damage no crash explains)@,"
+      audit.Live.corrupt;
+  if audit.Live.dup_applies > 0 then
+    Fmt.pf ppf "requests applied more than once: %d (exactly-once violated)@,"
+      audit.Live.dup_applies;
   match violations with
-  | [] -> Fmt.pf ppf "audit: SAFE (0 violations)"
+  | [] ->
+      if audit.Live.dup_applies = 0 then Fmt.pf ppf "audit: SAFE (0 violations)"
+      else Fmt.pf ppf "audit: UNSAFE (duplicate applies)"
   | vs ->
       List.iter (fun v -> Fmt.pf ppf "%a@," Oracle.pp_violation v) vs;
       Fmt.pf ppf "audit: UNSAFE (%d violations)" (List.length vs)
@@ -672,54 +683,130 @@ let pp_reply ppf (r : Live.reply) =
           else Fmt.pf ppf "granted (%s)" r.Live.info)
   | Dynvote_live.Wire.Denied -> Fmt.pf ppf "denied (%s)" r.Live.info
   | Dynvote_live.Wire.Aborted -> Fmt.pf ppf "aborted (%s)" r.Live.info
+  | Dynvote_live.Wire.Degraded -> Fmt.pf ppf "degraded (%s)" r.Live.info
 
-let serve_command cluster client line =
+(* "SITE:FAULT[@nth][:file]", e.g. "0:fsync-lie:data" — the part after
+   the first colon is a Fault_plan.Storage trigger spec. *)
+let parse_fault_spec text =
+  match String.index_opt text ':' with
+  | None -> Error "expected SITE:FAULT[@nth][:file], e.g. 0:fsync-lie:data"
+  | Some i -> (
+      match int_of_string_opt (String.sub text 0 i) with
+      | None -> Error (Printf.sprintf "bad site %S" (String.sub text 0 i))
+      | Some site -> (
+          let spec = String.sub text (i + 1) (String.length text - i - 1) in
+          match Storage_fault.trigger_of_string spec with
+          | Error reason -> Error reason
+          | Ok trigger -> Ok (site, trigger)))
+
+let serve_command cluster ~faultfs_of client line =
   let fail reason = Fmt.pr "error: %s@." reason in
-  match
-    line |> String.split_on_char ' ' |> List.filter (fun s -> s <> "")
-  with
-  | [] -> ()
-  | cmd :: _ when cmd.[0] = '#' -> ()
-  | [ "put"; site; key; value ] ->
-      Fmt.pr "%a@." pp_reply
-        (Live.put client ~at:(int_of_string site) ~key ~value)
-  | [ "get"; site; key ] ->
-      Fmt.pr "%a@." pp_reply (Live.get client ~at:(int_of_string site) ~key)
-  | [ "recover"; site ] ->
-      Fmt.pr "%a@." pp_reply (Live.recover_site client (int_of_string site))
-  | [ "partition"; groups ] -> (
-      match Live.partition cluster (parse_groups groups) with
-      | () -> Fmt.pr "partitioned %s@." groups
-      | exception Invalid_argument reason -> fail reason)
-  | [ "heal" ] ->
-      Live.heal cluster;
-      Fmt.pr "healed@."
-  | [ "kill"; site ] ->
-      Live.kill cluster (int_of_string site);
-      Fmt.pr "killed %s@." site
-  | [ "restart"; site ] ->
-      Live.restart cluster (int_of_string site);
-      Fmt.pr "restarted %s@." site
-  | [ "status" ] ->
-      Fmt.pr "up: %a@." Site_set.pp (Live.up_sites cluster)
-  | [ "check" ] -> Fmt.pr "@[<v>%a@]@." pp_audit (Live.check cluster)
-  | [ "stats" ] ->
-      let hub = Live.obs cluster in
-      Fmt.pr "%a" Obs_metrics.pp_snapshot
-        (Obs_metrics.snapshot hub.Obs_hub.metrics);
-      let entries = Obs_trace.recent ~n:12 hub.Obs_hub.trace in
-      Fmt.pr "trace: %d recorded, %d dropped, last %d:@."
-        (Obs_trace.recorded hub.Obs_hub.trace)
-        (Obs_trace.dropped hub.Obs_hub.trace)
-        (List.length entries);
-      List.iter (fun e -> Fmt.pr "  %a@." Obs_trace.pp_entry e) entries
-  | [ "sleep"; seconds ] -> Thread.delay (float_of_string seconds)
-  | _ ->
-      fail
-        (Printf.sprintf
-           "unknown command %S (put/get/recover/partition/heal/kill/restart/\
-            status/check/stats/sleep)"
-           line)
+  let dispatch () =
+    match
+      line |> String.split_on_char ' ' |> List.filter (fun s -> s <> "")
+    with
+    | [] -> `Ok
+    | cmd :: _ when cmd.[0] = '#' -> `Ok
+    | [ "put"; site; key; value ] ->
+        Fmt.pr "%a@." pp_reply
+          (Live.put client ~at:(int_of_string site) ~key ~value);
+        `Ok
+    | [ "get"; site; key ] ->
+        Fmt.pr "%a@." pp_reply (Live.get client ~at:(int_of_string site) ~key);
+        `Ok
+    | [ "recover"; site ] ->
+        Fmt.pr "%a@." pp_reply (Live.recover_site client (int_of_string site));
+        `Ok
+    | [ "partition"; groups ] -> (
+        match Live.partition cluster (parse_groups groups) with
+        | () -> Fmt.pr "partitioned %s@." groups
+        | exception Invalid_argument reason -> fail reason);
+        `Ok
+    | [ "heal" ] ->
+        Live.heal cluster;
+        Fmt.pr "healed@.";
+        `Ok
+    | [ "kill"; site ] ->
+        Live.kill cluster (int_of_string site);
+        Fmt.pr "killed %s@." site;
+        `Ok
+    | [ "restart"; site ] ->
+        Live.restart cluster (int_of_string site);
+        Fmt.pr "restarted %s@." site;
+        `Ok
+    | [ "fault"; spec ] ->
+        (match parse_fault_spec spec with
+        | Error reason -> fail reason
+        | Ok (site, trigger) ->
+            if not (Site_set.mem site (Live.universe cluster)) then
+              fail (Printf.sprintf "no such site %d" site)
+            else if not (Site_set.mem site (Live.up_sites cluster)) then
+              fail
+                (Printf.sprintf "site %d is down — restart it before arming"
+                   site)
+            else begin
+              (* Relative arming: "the next matching operation", however
+                 many the site has already done. *)
+              Faultfs.arm_next (faultfs_of site) trigger;
+              Fmt.pr "armed %a at site %d@." Storage_fault.pp_trigger trigger
+                site
+            end);
+        `Ok
+    | [ "crash-sim"; site ] ->
+        (* A power cut, not just a process kill: un-fsynced bytes and
+           volatile renames are rolled back before any restart. *)
+        let site_no = int_of_string site in
+        if Site_set.mem site_no (Live.up_sites cluster) then
+          fail (Printf.sprintf "site %d is up — kill it first" site_no)
+        else begin
+          Faultfs.simulate_crash (faultfs_of site_no);
+          Fmt.pr "simulated power cut at site %s@." site
+        end;
+        `Ok
+    | [ "degraded" ] ->
+        Site_set.iter
+          (fun site ->
+            match Live.degraded cluster site with
+            | Some reason -> Fmt.pr "site %d: degraded (%s)@." site reason
+            | None -> ())
+          (Live.up_sites cluster);
+        Fmt.pr "up: %a@." Site_set.pp (Live.up_sites cluster);
+        `Ok
+    | [ "status" ] ->
+        Fmt.pr "up: %a@." Site_set.pp (Live.up_sites cluster);
+        `Ok
+    | [ "check" ] ->
+        Fmt.pr "@[<v>%a@]@." pp_audit (Live.check cluster);
+        `Ok
+    | [ "stats" ] ->
+        let hub = Live.obs cluster in
+        Fmt.pr "%a" Obs_metrics.pp_snapshot
+          (Obs_metrics.snapshot hub.Obs_hub.metrics);
+        let entries = Obs_trace.recent ~n:12 hub.Obs_hub.trace in
+        Fmt.pr "trace: %d recorded, %d dropped, last %d:@."
+          (Obs_trace.recorded hub.Obs_hub.trace)
+          (Obs_trace.dropped hub.Obs_hub.trace)
+          (List.length entries);
+        List.iter (fun e -> Fmt.pr "  %a@." Obs_trace.pp_entry e) entries;
+        `Ok
+    | [ "sleep"; seconds ] ->
+        Thread.delay (float_of_string seconds);
+        `Ok
+    | _ ->
+        fail
+          (Printf.sprintf
+             "unknown command %S (put/get/recover/partition/heal/kill/restart/\
+              fault/crash-sim/degraded/status/check/stats/sleep)"
+             line);
+        `Ok
+  in
+  (* A malformed operand (non-numeric site, bad sleep time) must not tear
+     down the whole console: scripts keep going past a bad line. *)
+  match dispatch () with
+  | `Ok -> ()
+  | exception Failure _ -> fail (Printf.sprintf "malformed command %S" line)
+  | exception Invalid_argument reason ->
+      fail (Printf.sprintf "%s (in %S)" reason line)
 
 let serve_cmd =
   let dir_arg =
@@ -733,13 +820,52 @@ let serve_cmd =
     let doc = "Run commands from $(docv) instead of stdin; lines are echoed." in
     Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE" ~doc)
   in
-  let run sites policy_text buffered dir script =
+  let fault_arg =
+    let doc =
+      "Arm a storage-fault trigger at boot: SITE:FAULT[@nth][:file], e.g. \
+       0:fsync-lie:data or 2:eio\\@2:oplog.  Repeatable.  Faults are eio, \
+       enospc, short-write, fsync-fail, fsync-lie, rename-loss, read-eio, \
+       crash; files are ensemble, data, oplog.  The console's fault command \
+       arms more at runtime."
+    in
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+  in
+  let run sites policy_text buffered seed dir script fault_specs =
     let dir = match dir with Some d -> d | None -> fresh_temp_dir () in
     let universe = Site_set.universe sites in
+    (* Every site's storage runs through its own fault-injection
+       filesystem (pass-through until a trigger is armed), so the
+       console can arm faults or simulate power cuts at any moment. *)
+    let instances = Hashtbl.create 8 in
+    let faultfs_of site =
+      match Hashtbl.find_opt instances site with
+      | Some ff -> ff
+      | None ->
+          let ff = Faultfs.create ~seed:(seed + site) () in
+          Hashtbl.add instances site ff;
+          ff
+    in
+    let boot_triggers =
+      List.map
+        (fun spec ->
+          match parse_fault_spec spec with
+          | Ok st -> st
+          | Error reason ->
+              Fmt.epr "bad --fault %S: %s@." spec reason;
+              exit 2)
+        fault_specs
+    in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~buffered) ~universe ~dir ()
+        ~config:(live_config ~buffered)
+        ~vfs_of:(fun site -> Faultfs.vfs (faultfs_of site))
+        ~universe ~dir ()
     in
+    (* Arm after boot: triggers mean "the nth matching operation of the
+       workload", not of the boot sequence. *)
+    List.iter
+      (fun (site, trigger) -> Faultfs.arm_next (faultfs_of site) trigger)
+      boot_triggers;
     Fmt.pr "serving %d sites from %s (port %d)@." sites dir (Live.port cluster);
     let client = Live.client cluster in
     (match script with
@@ -749,14 +875,14 @@ let serve_cmd =
            while true do
              let line = input_line ic in
              if String.trim line <> "" then Fmt.pr "> %s@." (String.trim line);
-             serve_command cluster client line
+             serve_command cluster ~faultfs_of client line
            done
          with End_of_file -> close_in ic)
     | None -> (
         try
           while true do
             Fmt.epr "dynvote> %!";
-            serve_command cluster client (input_line stdin)
+            serve_command cluster ~faultfs_of client (input_line stdin)
           done
         with End_of_file -> ()));
     Live.shutdown cluster;
@@ -766,12 +892,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a live replicated KV cluster: one server thread per site behind \
-          real sockets, a console for client operations (put/get/recover) and \
-          fault injection (partition/heal/kill/restart), and an on-demand \
+          real sockets, a console for client operations (put/get/recover), \
+          fault injection (partition/heal/kill/restart, plus storage faults \
+          via --fault and the fault/crash-sim commands), and an on-demand \
           safety audit that replays every node's on-disk operation log \
           through the oracle.")
-    Term.(const run $ live_sites $ live_policy $ live_buffered $ dir_arg
-          $ script_arg)
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
+          $ dir_arg $ script_arg $ fault_arg)
 
 let loadgen_cmd =
   let clients_arg =
@@ -804,8 +931,16 @@ let loadgen_cmd =
     Arg.(value & flag
          & info [ "no-check" ] ~doc:"Skip the end-of-run safety audit.")
   in
+  let retries_arg =
+    let doc =
+      "Retry an aborted or degraded-site call at up to $(docv) other sites, \
+       under the same request number (exactly-once via the sites' dedup \
+       tables)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let run sites policy_text buffered seed clients duration write_ratio keys
-      value_bytes rate no_check =
+      value_bytes rate retries no_check =
     let dir = fresh_temp_dir () in
     let universe = Site_set.universe sites in
     let cluster =
@@ -814,7 +949,7 @@ let loadgen_cmd =
     in
     let config =
       { Loadgen.clients; duration; write_ratio; keys; value_bytes; rate; seed;
-        sites = None }
+        sites = None; retries }
     in
     let result = Loadgen.run cluster config in
     Fmt.pr "%a@." Loadgen.pp_result result;
@@ -838,7 +973,7 @@ let loadgen_cmd =
       ||
       let audit = Live.check cluster in
       Fmt.pr "@[<v>%a@]@." pp_audit audit;
-      Oracle.is_safe audit.Live.oracle
+      Oracle.is_safe audit.Live.oracle && audit.Live.dup_applies = 0
     in
     Live.shutdown cluster;
     if not ok then exit 1
@@ -853,7 +988,7 @@ let loadgen_cmd =
           and the end-of-run safety audit.")
     Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
           $ clients_arg $ duration_arg $ write_ratio_arg $ keys_arg
-          $ value_bytes_arg $ rate_arg $ no_check_arg)
+          $ value_bytes_arg $ rate_arg $ retries_arg $ no_check_arg)
 
 let stats_cmd =
   let json_arg =
@@ -902,11 +1037,110 @@ let stats_cmd =
     Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
           $ duration_arg $ json_arg $ trace_arg)
 
+let crashmat_cmd =
+  let full_arg =
+    let doc =
+      "Run the full cross product (every persist point x every fault class). \
+       Default: a representative slice, unless DYNVOTE_CRASH_SOAK=1."
+    in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let points_arg =
+    let doc =
+      "Comma-separated persist points (e.g. data.fsync,oplog.write); default \
+       depends on --full."
+    in
+    Arg.(value & opt (some string) None & info [ "points" ] ~docv:"LIST" ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "Comma-separated fault classes (e.g. fsync-lie,crash); default depends \
+       on --full."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"LIST" ~doc)
+  in
+  let dir_arg =
+    let doc = "Keep cell state under $(docv) (default: a temp directory)." in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let split_list text = String.split_on_char ',' text |> List.map String.trim in
+  let run seed jobs full points_text faults_text dir =
+    let soak =
+      full || (match Sys.getenv_opt "DYNVOTE_CRASH_SOAK" with
+              | Some ("" | "0") | None -> false
+              | Some _ -> true)
+    in
+    let points =
+      match points_text with
+      | Some text ->
+          List.map
+            (fun name ->
+              match
+                List.find_opt
+                  (fun p -> Crash_matrix.point_name p = name)
+                  Crash_matrix.points
+              with
+              | Some p -> p
+              | None ->
+                  Fmt.epr "unknown persist point %S (have: %s)@." name
+                    (String.concat ", "
+                       (List.map Crash_matrix.point_name Crash_matrix.points));
+                  exit 2)
+            (split_list text)
+      | None ->
+          if soak then Crash_matrix.points
+          else
+            (* One point per file: the slice still exercises the replace
+               discipline of both blobs and the append path. *)
+            List.filter
+              (fun p ->
+                List.mem (Crash_matrix.point_name p)
+                  [ "ensemble.rename"; "data.fsync"; "oplog.write" ])
+              Crash_matrix.points
+    in
+    let faults =
+      match faults_text with
+      | Some text ->
+          List.map
+            (fun name ->
+              match Storage_fault.fault_of_name name with
+              | Some f -> f
+              | None ->
+                  Fmt.epr "unknown fault %S (have: %s)@." name
+                    (String.concat ", "
+                       (List.map Storage_fault.fault_name
+                          Storage_fault.all_faults));
+                  exit 2)
+            (split_list text)
+      | None ->
+          if soak then Storage_fault.all_faults
+          else [ Storage_fault.Eio; Storage_fault.Fsync_lie; Storage_fault.Crash ]
+    in
+    let dir = match dir with Some d -> d | None -> fresh_temp_dir () in
+    let cells =
+      Crash_matrix.run ~jobs:(resolve_jobs jobs) ~seed ~faults ~points ~dir ()
+    in
+    Fmt.pr "%a@." Crash_matrix.pp_table cells;
+    if List.exists (fun c -> not (Crash_matrix.ok c.Crash_matrix.c_outcome)) cells
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashmat"
+       ~doc:
+         "The crash-point recovery matrix: for every persist point of the \
+          commit path crossed with every storage fault class, boot a small \
+          live cluster, strike a victim site at exactly that point, simulate \
+          a power cut, restart, and grade recovery.  Every cell must end \
+          Recovered or explicitly Fenced; Unavailable or Corrupt cells fail \
+          the run (exit 1).")
+    Term.(const run $ seed $ jobs_arg $ full_arg $ points_arg $ faults_arg
+          $ dir_arg)
+
 let main_cmd =
   let doc = "Dynamic voting algorithms for replicated data (Paris & Long, ICDE 1988)." in
   Cmd.group (Cmd.info "dynvote" ~version:"1.0.0" ~doc)
     [ table1_cmd; table2_cmd; table3_cmd; topology_cmd; simulate_cmd; sweep_cmd;
       partitions_cmd; timeline_cmd; trace_cmd; reliability_cmd; chaos_cmd; mc_cmd;
-      serve_cmd; loadgen_cmd; stats_cmd ]
+      serve_cmd; loadgen_cmd; stats_cmd; crashmat_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -23,6 +23,7 @@ let show label (reply : Live.reply) =
       | None -> Fmt.pr "%-28s granted@." label)
   | Wire.Denied -> Fmt.pr "%-28s denied (%s)@." label reply.Live.info
   | Wire.Aborted -> Fmt.pr "%-28s aborted (%s)@." label reply.Live.info
+  | Wire.Degraded -> Fmt.pr "%-28s degraded (%s)@." label reply.Live.info
 
 let () =
   let dir = Filename.temp_file "dynvote-live-example" "" in

@@ -106,3 +106,119 @@ let pp_config ppf config =
     config.loss config.duplicate config.delay config.delay_bound
     (List.length config.flaps)
     (if config.atomic_commits then "atomic" else "faulty")
+
+(* --- storage fault vocabulary --------------------------------------- *)
+
+(* The disk-side counterpart of the message plan above: one shared
+   vocabulary naming what can go wrong beneath the persistence layer, so
+   the fault-injecting filesystem (lib/faultfs), the crash-point matrix,
+   and the CLI flags all speak the same language.  A trigger is
+   deterministic, not probabilistic: "the [nth] operation of this class
+   on this file fails this way" — which is what makes every matrix cell
+   reproducible. *)
+
+module Storage = struct
+  type fault =
+    | Eio            (* write fails outright *)
+    | Enospc         (* write fails: device full *)
+    | Short_write    (* write lands partially, then the device dies *)
+    | Fsync_fail     (* fsync raises; nothing promised durable *)
+    | Fsync_lie      (* fsync "succeeds" but flushes nothing *)
+    | Rename_loss    (* the directory fsync is dropped: the rename is
+                        not durable and a crash undoes it *)
+    | Read_eio       (* read fails (surfaces as [Sys_error]) *)
+    | Crash          (* the process dies at this exact operation *)
+
+  type file_class = Ensemble | Data | Oplog | Any_file
+
+  type op = Create | Write | Fsync | Rename | Fsync_dir | Read
+
+  type trigger = { fault : fault; file : file_class; op : op; nth : int }
+
+  let all_faults =
+    [ Eio; Enospc; Short_write; Fsync_fail; Fsync_lie; Rename_loss; Read_eio; Crash ]
+
+  let fault_name = function
+    | Eio -> "eio"
+    | Enospc -> "enospc"
+    | Short_write -> "short-write"
+    | Fsync_fail -> "fsync-fail"
+    | Fsync_lie -> "fsync-lie"
+    | Rename_loss -> "rename-loss"
+    | Read_eio -> "read-eio"
+    | Crash -> "crash"
+
+  let fault_of_name name =
+    List.find_opt (fun f -> fault_name f = name) all_faults
+
+  (* The operation class each fault naturally strikes; [Crash] defaults
+     to the write but the matrix places it at every operation
+     explicitly. *)
+  let default_op = function
+    | Eio | Enospc | Short_write | Crash -> Write
+    | Fsync_fail | Fsync_lie -> Fsync
+    | Rename_loss -> Fsync_dir
+    | Read_eio -> Read
+
+  let file_name = function
+    | Ensemble -> "ensemble"
+    | Data -> "data"
+    | Oplog -> "oplog"
+    | Any_file -> "any"
+
+  let file_of_name = function
+    | "ensemble" -> Some Ensemble
+    | "data" -> Some Data
+    | "oplog" -> Some Oplog
+    | "any" -> Some Any_file
+    | _ -> None
+
+  let op_name = function
+    | Create -> "create"
+    | Write -> "write"
+    | Fsync -> "fsync"
+    | Rename -> "rename"
+    | Fsync_dir -> "fsync-dir"
+    | Read -> "read"
+
+  let trigger ?(file = Any_file) ?(nth = 1) fault =
+    { fault; file; op = default_op fault; nth }
+
+  (* "<fault>[@nth][:file]", e.g. "fsync-fail@2:data".  The operation is
+     the fault's default; programmatic triggers can place any fault at
+     any operation. *)
+  let trigger_of_string text =
+    let fault_part, file =
+      match String.index_opt text ':' with
+      | None -> (text, Ok Any_file)
+      | Some i ->
+          let name = String.sub text (i + 1) (String.length text - i - 1) in
+          ( String.sub text 0 i,
+            match file_of_name name with
+            | Some f -> Ok f
+            | None -> Error (Printf.sprintf "unknown file class %S" name) )
+    in
+    let name_part, nth =
+      match String.index_opt fault_part '@' with
+      | None -> (fault_part, Ok 1)
+      | Some i -> (
+          let digits =
+            String.sub fault_part (i + 1) (String.length fault_part - i - 1)
+          in
+          ( String.sub fault_part 0 i,
+            match int_of_string_opt digits with
+            | Some n when n >= 1 -> Ok n
+            | Some _ | None ->
+                Error (Printf.sprintf "bad occurrence count %S" digits) ))
+    in
+    match (fault_of_name name_part, nth, file) with
+    | _, Error reason, _ | _, _, Error reason -> Error reason
+    | None, _, _ ->
+        Error
+          (Printf.sprintf "unknown fault %S (one of %s)" name_part
+             (String.concat ", " (List.map fault_name all_faults)))
+    | Some fault, Ok nth, Ok file -> Ok { fault; file; op = default_op fault; nth }
+
+  let pp_trigger ppf { fault; file; op; nth } =
+    Fmt.pf ppf "%s@@%d:%s/%s" (fault_name fault) nth (file_name file) (op_name op)
+end

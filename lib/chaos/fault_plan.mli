@@ -46,3 +46,58 @@ val make :
     bounds. *)
 
 val pp_config : Format.formatter -> config -> unit
+
+(** {2 Storage faults}
+
+    The disk-side fault vocabulary, shared by the fault-injecting
+    filesystem ([Dynvote_faultfs]), the crash-point recovery matrix, and
+    the CLI's [--fault] flags.  Unlike the probabilistic message plan, a
+    storage trigger is deterministic — "the [nth] operation of this
+    class on this file fails this way" — so every matrix cell replays
+    identically. *)
+
+module Storage : sig
+  type fault =
+    | Eio  (** write fails outright *)
+    | Enospc  (** write fails: device full *)
+    | Short_write
+        (** write lands partially, then the device dies (every further
+            write on the file fails) *)
+    | Fsync_fail  (** fsync raises; nothing is promised durable *)
+    | Fsync_lie
+        (** fsync returns success but flushes nothing — the silent
+            failure mode of consumer disks and some fsync bugs *)
+    | Rename_loss
+        (** the directory fsync after a rename is dropped: the name
+            switch is not durable and a crash undoes it *)
+    | Read_eio  (** read fails (surfaces as [Sys_error]) *)
+    | Crash  (** the process dies at this exact operation *)
+
+  type file_class = Ensemble | Data | Oplog | Any_file
+
+  type op = Create | Write | Fsync | Rename | Fsync_dir | Read
+
+  type trigger = { fault : fault; file : file_class; op : op; nth : int }
+  (** Strike the [nth] (1-based) [op] on a file of class [file] with
+      [fault].  A trigger fires at most once. *)
+
+  val all_faults : fault list
+  val fault_name : fault -> string
+  val fault_of_name : string -> fault option
+
+  val default_op : fault -> op
+  (** The operation class each fault naturally strikes. *)
+
+  val file_name : file_class -> string
+  val file_of_name : string -> file_class option
+  val op_name : op -> string
+
+  val trigger : ?file:file_class -> ?nth:int -> fault -> trigger
+  (** A trigger at the fault's {!default_op}. *)
+
+  val trigger_of_string : string -> (trigger, string) result
+  (** Parse ["<fault>[@nth][:file]"] — e.g. ["fsync-fail@2:data"],
+      ["eio:oplog"], ["crash"].  The operation is the fault's default. *)
+
+  val pp_trigger : Format.formatter -> trigger -> unit
+end

@@ -78,53 +78,41 @@ let checksum = adler32
    full discipline is: flush the data (fsync the temp file), then make
    the name switch durable (fsync the containing directory after the
    rename).  A crash at any point leaves either the complete old record
-   or the complete new one. *)
-let write_file_atomic ?(fsync = true) ~path data =
+   or the complete new one.
+
+   Every storage call goes through [vfs] so a fault-injecting
+   implementation can strike any single operation of the discipline. *)
+let write_file_atomic ?(vfs = Vfs.real) ?(fsync = true) ~path data =
   let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let file = vfs.Vfs.create tmp in
   Fun.protect
-    ~finally:(fun () -> Unix.close fd)
+    ~finally:(fun () -> file.Vfs.close ())
     (fun () ->
       let bytes = Bytes.unsafe_of_string data in
       let len = Bytes.length bytes in
       let written = ref 0 in
       while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
+        written := !written + file.Vfs.write bytes !written (len - !written)
       done;
-      if fsync then Unix.fsync fd);
-  Sys.rename tmp path;
-  (* Directory fsync makes the rename itself durable.  Some filesystems
-     refuse fsync on directories; the rename is then as durable as the
-     platform allows, which is all we can do. *)
-  if fsync then
-    let dir = Filename.dirname path in
-    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-    | exception Unix.Unix_error _ -> ()
-    | dir_fd ->
-        Fun.protect
-          ~finally:(fun () -> Unix.close dir_fd)
-          (fun () -> try Unix.fsync dir_fd with Unix.Unix_error _ -> ())
+      if fsync then file.Vfs.fsync ());
+  vfs.Vfs.rename ~src:tmp ~dst:path;
+  if fsync then vfs.Vfs.fsync_dir (Filename.dirname path)
 
-let read_file ~path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      really_input_string ic len)
+let read_file ?(vfs = Vfs.real) ~path () = vfs.Vfs.read path
 
-let read_file_result ~path =
-  match read_file ~path with
+let read_file_result ?vfs ~path () =
+  match read_file ?vfs ~path () with
   | data -> Ok data
   | exception Sys_error reason -> Error reason
 
 (* Persist / restore through plain files. *)
-let save_replica ~path replica = write_file_atomic ~path (encode_replica replica)
+let save_replica ?vfs ~path replica =
+  write_file_atomic ?vfs ~path (encode_replica replica)
 
-let load_replica ~path = decode_replica (read_file ~path)
+let load_replica ?vfs ~path () = decode_replica (read_file ?vfs ~path ())
 
-let load_result ~path =
-  match load_replica ~path with
+let load_result ?vfs ~path () =
+  match load_replica ?vfs ~path () with
   | replica -> Ok replica
   | exception Corrupt reason -> Error reason
   | exception Sys_error reason -> Error reason

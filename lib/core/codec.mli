@@ -20,7 +20,7 @@ val decode_result : string -> (Replica.t, string) result
     reason.  Truncated, bit-flipped and zero-length records all return
     [Error]. *)
 
-val save_replica : path:string -> Replica.t -> unit
+val save_replica : ?vfs:Vfs.t -> path:string -> Replica.t -> unit
 (** Durable atomic persistence: the record is written to [path ^ ".tmp"],
     fsynced, renamed over [path], and the parent directory is fsynced so
     the rename itself survives power loss.  After a crash at any point a
@@ -28,10 +28,10 @@ val save_replica : path:string -> Replica.t -> unit
     one — never a torn or empty file.  (On filesystems that refuse
     directory fsync the rename is as durable as the platform allows.) *)
 
-val load_replica : path:string -> Replica.t
+val load_replica : ?vfs:Vfs.t -> path:string -> unit -> Replica.t
 (** @raise Corrupt as {!decode_replica}; [Sys_error] if unreadable. *)
 
-val load_result : path:string -> (Replica.t, string) result
+val load_result : ?vfs:Vfs.t -> path:string -> unit -> (Replica.t, string) result
 (** Total {!load_replica}: corruption and I/O failures both come back as
     [Error] — the crash-recovery path must never die on a torn record. *)
 
@@ -41,14 +41,16 @@ val load_result : path:string -> (Replica.t, string) result
     for other on-disk records (the live service's data blobs and operation
     logs) so every persistent artifact shares one durability story. *)
 
-val write_file_atomic : ?fsync:bool -> path:string -> string -> unit
+val write_file_atomic : ?vfs:Vfs.t -> ?fsync:bool -> path:string -> string -> unit
 (** Durable atomic replace of [path] with the given bytes, with the same
     crash guarantee as {!save_replica}.  [~fsync:false] keeps the
     write-then-rename atomicity (a reader never sees a torn file) but
     skips both fsyncs, trading the power-loss guarantee for speed —
-    throughput experiments only.  Default [true]. *)
+    throughput experiments only.  Default [true].  [?vfs] (default
+    {!Vfs.real}) is the storage seam every byte flows through — the
+    fault-injection layer substitutes its own. *)
 
-val read_file_result : path:string -> (string, string) result
+val read_file_result : ?vfs:Vfs.t -> path:string -> unit -> (string, string) result
 (** Whole-file read; I/O failures come back as [Error]. *)
 
 val checksum : Bytes.t -> off:int -> len:int -> int32

@@ -1,0 +1,59 @@
+(* The storage seam.  See the interface for the rationale; this file is
+   only the real POSIX implementation — the fault-injecting one lives in
+   lib/faultfs, built over these same five operations. *)
+
+exception Fault of { op : string; path : string; reason : string }
+exception Crash_point of { op : string; path : string }
+
+type file = {
+  write : Bytes.t -> int -> int -> int;
+  fsync : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  create : string -> file;
+  append : string -> file;
+  rename : src:string -> dst:string -> unit;
+  fsync_dir : string -> unit;
+  read : string -> string;
+  truncate : string -> int -> unit;
+}
+
+let of_fd fd =
+  {
+    write = (fun buf off len -> Unix.write fd buf off len);
+    fsync = (fun () -> Unix.fsync fd);
+    close = (fun () -> Unix.close fd);
+  }
+
+let real =
+  {
+    create =
+      (fun path ->
+        of_fd (Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644));
+    append =
+      (fun path ->
+        of_fd (Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644));
+    rename = (fun ~src ~dst -> Sys.rename src dst);
+    fsync_dir =
+      (fun dir ->
+        (* Some filesystems refuse fsync on directories; the rename is
+           then as durable as the platform allows, which is all we can
+           do. *)
+        match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+        | exception Unix.Unix_error _ -> ()
+        | dir_fd ->
+            Fun.protect
+              ~finally:(fun () -> Unix.close dir_fd)
+              (fun () -> try Unix.fsync dir_fd with Unix.Unix_error _ -> ()));
+    read =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            really_input_string ic len));
+    truncate = (fun path len -> Unix.truncate path len);
+  }

@@ -1,0 +1,64 @@
+(** Seeded fault-injection filesystem: a {!Dynvote.Vfs} implementation
+    that passes every operation through to the real filesystem while (a)
+    striking armed {!Dynvote_chaos.Fault_plan.Storage} triggers and (b)
+    tracking what is actually {e durable} — which bytes a power cut
+    could not take back — so {!simulate_crash} can rewrite the real
+    files to their post-crash contents.
+
+    The durability model is the strict reading of POSIX:
+
+    - written bytes are volatile until the file's [fsync] succeeds
+      (a lying fsync promotes nothing);
+    - a rename is volatile until the directory's fsync succeeds — a
+      crash before it restores the old name bindings (the temp file
+      reappears, the target reverts);
+    - a durable rename whose source was never fsynced leaves the target
+      durably {e empty} — the name switch survived, the bytes did not;
+    - for append-mode files the unsynced suffix survives only as a
+      random-length prefix (deterministic from [seed]), so a simulated
+      crash produces exactly the torn log tails the recovery path must
+      tolerate.
+
+    Whatever a path holds when this filesystem first touches it is
+    taken as durable (it predates the simulation). *)
+
+module Storage = Dynvote_chaos.Fault_plan.Storage
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A fresh instance with no triggers armed.  [seed] (default 1) drives
+    only the unsynced-suffix truncation lengths. *)
+
+val vfs : t -> Vfs.t
+(** The injecting filesystem.  Faults surface as {!Vfs.Fault}
+    ({!Storage.Crash} as {!Vfs.Crash_point}, {!Storage.Read_eio} as
+    [Sys_error], matching what total load paths absorb). *)
+
+val arm : t -> Storage.trigger -> unit
+(** Arm a trigger; each fires at most once.  Operations of the matching
+    class are counted per (op, file-class) from the moment the instance
+    was created, so arm triggers before the workload they target. *)
+
+val arm_next : t -> Storage.trigger -> unit
+(** {!arm}, but [nth] counts from {e now}: the trigger fires at the
+    [nth] matching operation after this call, however many already
+    happened.  What a console operator (or the crash matrix, arming
+    after the boot-time operations) actually means. *)
+
+val disarm : t -> unit
+(** Drop every armed trigger (fired or not). *)
+
+val injected : t -> (string * int) list
+(** Fault-name / count pairs for every trigger that actually fired,
+    sorted by name. *)
+
+val injected_total : t -> int
+
+val simulate_crash : t -> unit
+(** Rewrite every tracked file on the real filesystem to its durable
+    content: un-fsynced replaces revert, lost renames are undone, and
+    append-mode files keep only a seeded-random prefix of their
+    unsynced suffix.  Call with no node using the vfs (after the kill).
+    Pending renames are cleared and the restored state becomes the new
+    durable baseline; armed triggers stay armed. *)

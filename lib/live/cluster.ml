@@ -17,6 +17,7 @@ type t = {
   client_timeout : float;
   hub : Hub.t;
   sw : Switchboard.t;
+  vfs_of : Site_set.site -> Vfs.t;
   nodes : (Site_set.site, Node.t) Hashtbl.t;
   threads : (Site_set.site, Thread.t) Hashtbl.t;
   next_seq : unit -> int;
@@ -28,27 +29,61 @@ let obs t = t.hub
 let port t = Switchboard.port t.sw
 let up_sites t = Switchboard.up_sites t.sw
 
+let degraded t site =
+  match Hashtbl.find_opt t.nodes site with
+  | None -> None
+  | Some node -> Node.degraded node
+
 let spawn t site ~was_restarted =
   let node =
     Node.boot ~site ~universe:t.universe ~flavor:t.flavor
       ~segment_of:t.segment_of ~config:t.config ~obs:t.hub ~dir:t.dir
-      ~next_seq:t.next_seq ~port:(Switchboard.port t.sw) ~was_restarted
+      ~vfs:(t.vfs_of site) ~next_seq:t.next_seq ~port:(Switchboard.port t.sw)
+      ~was_restarted ()
   in
   Hashtbl.replace t.nodes site node;
   Hashtbl.replace t.threads site (Thread.create Node.serve node)
 
 let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
     ?(config = Node.default_config) ?(client_timeout = 10.0)
-    ?(obs = Hub.create ()) ~universe ~dir () =
-  let sw = Switchboard.create ~obs ~universe ~segment_of () in
+    ?(obs = Hub.create ()) ?(vfs_of = fun _ -> Vfs.real) ~universe ~dir () =
   (* Resuming over old logs: the global stamp must keep growing, or the
-     merged replay would interleave the incarnations. *)
-  let seq0 =
+     merged replay would interleave the incarnations.  Client endpoint
+     ids must not be recycled either — the persisted dedup tables are
+     keyed by them, so a fresh client under a reused id would see its
+     first writes acknowledged as duplicates of the previous
+     incarnation's. *)
+  let seq0, client0 =
     Site_set.fold
-      (fun site acc ->
+      (fun site (seq, client) ->
         let records, _ = Persist.read_log ~path:(Persist.oplog_path ~dir site) in
-        List.fold_left (fun acc r -> max acc (Persist.seq_of r)) acc records)
-      universe 0
+        let seq, client =
+          List.fold_left
+            (fun (seq, client) r ->
+              let rid =
+                match r with
+                | Persist.Log_commit { rid; _ } | Persist.Log_outcome { rid; _ }
+                  ->
+                    rid
+                | Persist.Log_intent _ -> 0
+              in
+              (max seq (Persist.seq_of r), max client (rid lsr 32)))
+            (seq, client) records
+        in
+        let client =
+          match
+            Persist.load_data_result ~path:(Persist.data_path ~dir site) ()
+          with
+          | Ok (_, _, rids) ->
+              List.fold_left (fun acc (c, _) -> max acc c) client rids
+          | Error _ -> client
+        in
+        (seq, client))
+      universe
+      (0, Wire.first_client_id - 1)
+  in
+  let sw =
+    Switchboard.create ~obs ~first_client:(client0 + 1) ~universe ~segment_of ()
   in
   let seq = ref seq0 in
   let seq_mutex = Mutex.create () in
@@ -69,6 +104,7 @@ let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
       client_timeout;
       hub = obs;
       sw;
+      vfs_of;
       nodes = Hashtbl.create 8;
       threads = Hashtbl.create 8;
       next_seq;
@@ -128,7 +164,12 @@ let strike_after t site n =
 
 type client = { t : t; conn : Wire.conn; id : int; mutable req : int }
 
-type reply = { status : Wire.status; value : string option; info : string }
+type reply = {
+  status : Wire.status;
+  value : string option;
+  info : string;
+  retries : int;
+}
 
 let client t =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -150,20 +191,21 @@ let client t =
       (try Unix.close sock with Unix.Unix_error _ -> ());
       failwith "live client: switchboard handshake failed"
 
-let call client ~at payload_of_req =
+(* One exchange with one site, under an already-chosen request number.
+   The number does NOT advance here: a retry of the same request reuses
+   it, which is what lets the sites deduplicate. *)
+let call_once client ~at ~req payload_of_req =
   if not (Site_set.mem at client.t.universe) then
-    { status = Wire.Denied; value = None; info = "no such site" }
+    { status = Wire.Denied; value = None; info = "no such site"; retries = 0 }
   else if not (Switchboard.is_up client.t.sw at) then
-    { status = Wire.Denied; value = None; info = "site down" }
+    { status = Wire.Denied; value = None; info = "site down"; retries = 0 }
   else begin
-    client.req <- client.req + 1;
-    let req = client.req in
     match
       Wire.send client.conn
         { Wire.src = client.id; dst = at; payload = payload_of_req req }
     with
     | exception Unix.Unix_error _ ->
-        { status = Wire.Aborted; value = None; info = "connection lost" }
+        { status = Wire.Aborted; value = None; info = "connection lost"; retries = 0 }
     | () ->
         let clock = client.t.config.Node.clock in
         let deadline = clock () +. client.t.client_timeout in
@@ -171,39 +213,102 @@ let call client ~at payload_of_req =
           match Wire.recv ~clock ~deadline client.conn with
           | Error `Timeout ->
               (* The site may be mid-commit for all we know. *)
-              { status = Wire.Aborted; value = None; info = "timeout: no reply" }
+              { status = Wire.Aborted; value = None; info = "timeout: no reply"; retries = 0 }
           | Error (`Closed | `Corrupt _) ->
-              { status = Wire.Aborted; value = None; info = "connection lost" }
+              { status = Wire.Aborted; value = None; info = "connection lost"; retries = 0 }
           | Ok { Wire.payload = Wire.Client_reply { req = r; status; value; info }; _ }
             when r = req ->
-              { status; value; info }
+              { status; value; info; retries = 0 }
           | Ok _ -> wait () (* a stale reply from a timed-out operation *)
         in
         wait ()
   end
 
-let put client ~at ~key ~value =
-  call client ~at (fun req -> Wire.Client_put { req; key; value })
+(* An aborted or degraded-site exchange is ambiguous — the operation may
+   or may not have committed — so the retry reuses the same request
+   number at the next up site, and the dedup table makes the ambiguity
+   harmless: re-coordinating an already-committed write acknowledges it
+   without applying it again. *)
+let call ?(retries = 0) client ~at payload_of_req =
+  client.req <- client.req + 1;
+  let req = client.req in
+  let next_site exclude =
+    let candidates = Site_set.remove exclude (up_sites client.t) in
+    if Site_set.is_empty candidates then None
+    else Some (Site_set.min_elt candidates)
+  in
+  let rec attempt ~at n =
+    let reply = call_once client ~at ~req payload_of_req in
+    match reply.status with
+    | Wire.Granted | Wire.Denied -> { reply with retries = n }
+    | Wire.Aborted | Wire.Degraded ->
+        if n >= retries then { reply with retries = n }
+        else (
+          match next_site at with
+          | None -> { reply with retries = n }
+          | Some at -> attempt ~at (n + 1))
+  in
+  attempt ~at 0
 
-let get client ~at ~key = call client ~at (fun req -> Wire.Client_get { req; key })
+let put ?retries client ~at ~key ~value =
+  call ?retries client ~at (fun req -> Wire.Client_put { req; key; value })
+
+let get ?retries client ~at ~key =
+  call ?retries client ~at (fun req -> Wire.Client_get { req; key })
 
 let recover_site client site =
   call client ~at:site (fun req -> Wire.Client_recover { req })
 
 (* --- audit ---------------------------------------------------------- *)
 
-type audit = { oracle : Oracle.t; torn : Site_set.t; records : int }
+type audit = {
+  oracle : Oracle.t;
+  torn : Site_set.t;
+  corrupt : int;
+  dup_applies : int;
+  records : int;
+}
+
+(* Exactly-once accounting over the merged logs.  A request id is
+   double-applied when the history shows it committing under two
+   distinct operation numbers (the same logical commit fanning out to
+   many sites shares one op_no, so that is not a duplicate), or when two
+   granted write outcomes both claim to have installed content for it. *)
+let count_dup_applies tagged =
+  let commit_ops = Hashtbl.create 16 in
+  let applied_outcomes = Hashtbl.create 16 in
+  List.iter
+    (fun (_site, record) ->
+      match record with
+      | Persist.Log_commit { op_no; rid; _ } when rid <> 0 ->
+          let ops = Option.value ~default:[] (Hashtbl.find_opt commit_ops rid) in
+          if not (List.mem op_no ops) then
+            Hashtbl.replace commit_ops rid (op_no :: ops)
+      | Persist.Log_outcome { kind = `Write; granted = true; content = Some _; rid; _ }
+        when rid <> 0 ->
+          Hashtbl.replace applied_outcomes rid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt applied_outcomes rid))
+      | _ -> ())
+    tagged;
+  let dups = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun rid ops -> if List.length ops >= 2 then Hashtbl.replace dups rid ())
+    commit_ops;
+  Hashtbl.iter
+    (fun rid n -> if n >= 2 then Hashtbl.replace dups rid ())
+    applied_outcomes;
+  Hashtbl.length dups
 
 let check_dir ~universe ~dir =
   let torn = ref Site_set.empty in
+  let corrupt = ref 0 in
   let tagged = ref [] in
   Site_set.iter
     (fun site ->
-      let records, was_torn =
-        Persist.read_log ~path:(Persist.oplog_path ~dir site)
-      in
-      if was_torn then torn := Site_set.add site !torn;
-      List.iter (fun r -> tagged := (site, r) :: !tagged) records)
+      let scan = Persist.scan_log ~path:(Persist.oplog_path ~dir site) () in
+      if scan.Persist.torn then torn := Site_set.add site !torn;
+      corrupt := !corrupt + scan.Persist.corrupt;
+      List.iter (fun r -> tagged := (site, r) :: !tagged) scan.Persist.records)
     universe;
   let ordered =
     List.sort
@@ -233,15 +338,22 @@ let check_dir ~universe ~dir =
   let final =
     Site_set.fold
       (fun site acc ->
-        match Persist.load_data_result ~path:(Persist.data_path ~dir site) with
-        | Ok (version, entries) -> (site, version, Persist.encode_entries entries) :: acc
+        match Persist.load_data_result ~path:(Persist.data_path ~dir site) () with
+        | Ok (version, entries, _) ->
+            (site, version, Persist.encode_entries entries) :: acc
         | Error _ -> acc)
       universe []
   in
   let oracle =
     Oracle.replay ~initial_content:(Persist.encode_entries []) ~final events
   in
-  { oracle; torn = !torn; records = List.length ordered }
+  {
+    oracle;
+    torn = !torn;
+    corrupt = !corrupt;
+    dup_applies = count_dup_applies ordered;
+    records = List.length ordered;
+  }
 
 (* COMMIT waves are fire-and-forget, so a client can hold a granted
    reply while the last participants are still applying.  Pinging each

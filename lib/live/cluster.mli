@@ -16,6 +16,7 @@ val create :
   ?config:Node.config ->
   ?client_timeout:float ->
   ?obs:Dynvote_obs.Hub.t ->
+  ?vfs_of:(Site_set.site -> Vfs.t) ->
   universe:Site_set.t ->
   dir:string ->
   unit ->
@@ -34,7 +35,14 @@ val create :
 
     [obs] defaults to a fresh live {!Dynvote_obs.Hub} shared by the
     switchboard and every node (including restarted ones); pass
-    {!Dynvote_obs.Hub.noop} to run uninstrumented. *)
+    {!Dynvote_obs.Hub.noop} to run uninstrumented.
+
+    [vfs_of] (default: {!Dynvote.Vfs.real} everywhere) picks the
+    filesystem each site's stable storage goes through — a
+    fault-injecting vfs on one site turns that site into the victim of a
+    storage-fault experiment.  Restarted incarnations ask [vfs_of]
+    again, so a closure over a mutable ref can repair the disk between
+    incarnations. *)
 
 val universe : t -> Site_set.t
 val dir : t -> string
@@ -45,6 +53,11 @@ val obs : t -> Dynvote_obs.Hub.t
 
 val port : t -> int
 val up_sites : t -> Site_set.t
+
+val degraded : t -> Site_set.site -> string option
+(** [Some reason] when the site's running node has fenced itself
+    read-only after a storage failure; [None] for healthy or dead
+    sites. *)
 
 (** {2 Fault injection} *)
 
@@ -89,10 +102,22 @@ val client : t -> client
 (** Open a client connection through the switchboard.  A client is
     single-threaded: one outstanding operation at a time. *)
 
-type reply = { status : Wire.status; value : string option; info : string }
+type reply = {
+  status : Wire.status;
+  value : string option;
+  info : string;
+  retries : int;  (** how many times the call moved to another site *)
+}
 
-val put : client -> at:Site_set.site -> key:string -> value:string -> reply
-val get : client -> at:Site_set.site -> key:string -> reply
+val put :
+  ?retries:int -> client -> at:Site_set.site -> key:string -> value:string -> reply
+(** [retries] (default 0) bounds how many times an [Aborted] or
+    [Degraded] reply is retried at another up site — {e with the same
+    request number}, so a write whose first coordinator died mid-commit
+    is deduplicated rather than applied twice.  [Granted] and [Denied]
+    are definitive and never retried. *)
+
+val get : ?retries:int -> client -> at:Site_set.site -> key:string -> reply
 
 val recover_site : client -> Site_set.site -> reply
 (** Ask a (restarted) site to run the paper's RECOVER protocol. *)
@@ -106,6 +131,13 @@ val recover_site : client -> Site_set.site -> reply
 type audit = {
   oracle : Dynvote_chaos.Oracle.t;
   torn : Site_set.t;  (** sites whose log ended in a torn record *)
+  corrupt : int;
+      (** checksum-failing records found {e mid-log} (intact records
+          after them) across all sites — damage an honest crash cannot
+          produce *)
+  dup_applies : int;
+      (** request ids the merged history shows committing more than once
+          — an exactly-once violation *)
   records : int;
 }
 

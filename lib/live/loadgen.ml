@@ -25,6 +25,7 @@ type config = {
   rate : float option;
   seed : int;
   sites : Site_set.t option;
+  retries : int;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     rate = None;
     seed = 1;
     sites = None;
+    retries = 0;
   }
 
 type op_stats = {
@@ -44,6 +46,9 @@ type op_stats = {
   granted : int;
   denied : int;
   aborted : int;
+  degraded : int;
+  retried : int;
+  dup_acks : int;
   latency : Welford.t;
   p50 : float;
   p95 : float;
@@ -58,12 +63,16 @@ type result = {
   late : int;
 }
 
-(* One completed call: kind, status, completion time, latency. *)
+(* One completed call: kind, status, completion time, latency, how many
+   sites it was retried at, and whether the grant was a dedup ack (the
+   write had already committed under an earlier attempt). *)
 type sample = {
   s_write : bool;
   s_status : Wire.status;
   s_finish : float;
   s_latency : float;
+  s_retries : int;
+  s_dup : bool;
 }
 
 (* The old scheme ([seed * 65599 + index]) made (seed, index) collide
@@ -80,7 +89,15 @@ type instruments = {
   i_write_h : Metrics.histogram;
   i_issued : Metrics.counter;
   i_granted : Metrics.counter;
+  i_retries : Metrics.counter;
+  i_dup_acks : Metrics.counter;
+  i_fenced : Metrics.counter;
 }
+
+let is_dup_ack (reply : Cluster.reply) =
+  reply.Cluster.status = Wire.Granted
+  && String.length reply.Cluster.info >= 9
+  && String.sub reply.Cluster.info 0 9 = "duplicate"
 
 let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
   let rng = Rng.create ~seed:seed64 () in
@@ -120,20 +137,26 @@ let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
       let is_write = Rng.float rng < config.write_ratio in
       let reply =
         if is_write then
-          Cluster.put client ~at ~key
+          Cluster.put ~retries:config.retries client ~at ~key
             ~value:(Printf.sprintf "%d.%d:%s" index !n payload)
-        else Cluster.get client ~at ~key
+        else Cluster.get ~retries:config.retries client ~at ~key
       in
       let finish = Clock.now () in
       let latency = finish -. start in
       Metrics.observe (if is_write then ins.i_write_h else ins.i_read_h) latency;
       if reply.Cluster.status = Wire.Granted then Metrics.incr ins.i_granted;
+      if reply.Cluster.status = Wire.Degraded then Metrics.incr ins.i_fenced;
+      Metrics.add ins.i_retries reply.Cluster.retries;
+      let dup = is_dup_ack reply in
+      if dup then Metrics.incr ins.i_dup_acks;
       journal :=
         {
           s_write = is_write;
           s_status = reply.Cluster.status;
           s_finish = finish;
           s_latency = latency;
+          s_retries = reply.Cluster.retries;
+          s_dup = dup;
         }
         :: !journal
     end
@@ -147,13 +170,17 @@ let percentile sorted p =
 let stats_of samples =
   let latency = Welford.create () in
   let granted = ref 0 and denied = ref 0 and aborted = ref 0 in
+  let degraded = ref 0 and retried = ref 0 and dup_acks = ref 0 in
   List.iter
     (fun s ->
       Welford.add latency s.s_latency;
+      retried := !retried + s.s_retries;
+      if s.s_dup then incr dup_acks;
       match s.s_status with
       | Wire.Granted -> incr granted
       | Wire.Denied -> incr denied
-      | Wire.Aborted -> incr aborted)
+      | Wire.Aborted -> incr aborted
+      | Wire.Degraded -> incr degraded)
     samples;
   let sorted = Array.of_list (List.map (fun s -> s.s_latency) samples) in
   Array.sort compare sorted;
@@ -162,6 +189,9 @@ let stats_of samples =
     granted = !granted;
     denied = !denied;
     aborted = !aborted;
+    degraded = !degraded;
+    retried = !retried;
+    dup_acks = !dup_acks;
     latency;
     p50 = percentile sorted 0.50;
     p95 = percentile sorted 0.95;
@@ -178,6 +208,9 @@ let run cluster config =
       i_write_h = Metrics.histogram hub.Hub.metrics "loadgen.write.seconds";
       i_issued = Metrics.counter hub.Hub.metrics "loadgen.ops.issued";
       i_granted = Metrics.counter hub.Hub.metrics "loadgen.ops.granted";
+      i_retries = Metrics.counter hub.Hub.metrics "loadgen.ops.retries";
+      i_dup_acks = Metrics.counter hub.Hub.metrics "loadgen.ops.dup_acks";
+      i_fenced = Metrics.counter hub.Hub.metrics "loadgen.ops.fenced";
     }
   in
   let t_start = Clock.now () in
@@ -235,6 +268,9 @@ let pp_ms ppf seconds =
 let pp_op_stats ppf (name, s) =
   Fmt.pf ppf "%-6s %5d issued  %5d granted  %4d denied  %4d aborted@," name
     s.issued s.granted s.denied s.aborted;
+  if s.degraded > 0 || s.retried > 0 || s.dup_acks > 0 then
+    Fmt.pf ppf "       %d fenced  %d retries  %d duplicate acks@," s.degraded
+      s.retried s.dup_acks;
   if s.issued > 0 then
     Fmt.pf ppf "       mean %a  p50 %a  p95 %a  p99 %a@,"
       pp_ms (Welford.mean s.latency) pp_ms s.p50 pp_ms s.p95 pp_ms s.p99

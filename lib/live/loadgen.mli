@@ -21,16 +21,27 @@ type config = {
   seed : int;  (** deterministic worker randomness (see {!worker_seeds}) *)
   sites : Site_set.t option;
       (** coordinate at these sites (uniform); default: the universe *)
+  retries : int;
+      (** forwarded to {!Cluster.put}/{!Cluster.get}: how many times an
+          aborted or degraded-site call moves to another up site under
+          the same request number (exactly-once via the sites' dedup
+          tables) *)
 }
 
 val default : config
-(** 4 clients, 5 s, 30% writes, 16 keys, 64-byte values, closed loop. *)
+(** 4 clients, 5 s, 30% writes, 16 keys, 64-byte values, closed loop,
+    no retries. *)
 
 type op_stats = {
   issued : int;
   granted : int;
   denied : int;
   aborted : int;
+  degraded : int;  (** calls whose final reply came from a fenced site *)
+  retried : int;  (** total cross-site retries performed *)
+  dup_acks : int;
+      (** granted writes acknowledged by dedup rather than a fresh
+          commit — a retry whose first attempt had already landed *)
   latency : Dynvote_stats.Welford.t;  (** seconds, every completed call *)
   p50 : float;
   p95 : float;
@@ -54,7 +65,8 @@ val run : Cluster.t -> config -> result
 (** Blocks for [config.duration]; the cluster keeps running afterwards.
     Worker latencies also feed the cluster hub's registry as the
     [loadgen.read.seconds] / [loadgen.write.seconds] histograms and the
-    [loadgen.ops.*] counters. *)
+    [loadgen.ops.*] counters (issued, granted, retries, dup_acks,
+    fenced). *)
 
 val worker_seeds : seed:int -> n:int -> int64 array
 (** The per-worker RNG seeds a run with [config.seed = seed] and

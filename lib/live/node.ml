@@ -11,9 +11,17 @@
    {!Dynvote_chaos.Oracle} replay.  Ordering rule: an outcome record
    takes its global sequence number *before* the locks are released, so
    no later operation that could have observed this one's effects can be
-   stamped earlier. *)
+   stamped earlier.
+
+   Storage failures never kill the thread and never produce a lie: a
+   persist that faults mid-way rolls the volatile state back and fences
+   the site into degraded (read-only) mode — silent to gathers, refusing
+   commits and client coordination — because a site that cannot persist
+   must not vote or ack.  Only a restart against repaired storage
+   un-fences it. *)
 
 module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
 module Metrics = Dynvote_obs.Metrics
 module Trace = Dynvote_obs.Trace
 module Hub = Dynvote_obs.Hub
@@ -41,6 +49,41 @@ let default_config =
     clock = Dynvote_obs.Clock.now;
   }
 
+(* --- request ids ----------------------------------------------------
+
+   A client request is globally identified by (client endpoint id,
+   per-client request number), packed into one integer.  Each site
+   remembers, per client, the highest request number it has applied a
+   write for; a retried request at or below that mark has already
+   committed and is acknowledged without re-applying.  The table is
+   persisted inside the data blob and travels with every data fetch, so
+   dedup memory is exactly as durable — and exactly as distributed — as
+   the data it guards. *)
+
+let make_rid ~client ~req = (client lsl 32) lor (req land 0xFFFFFFFF)
+let rid_client rid = rid lsr 32
+let rid_req rid = rid land 0xFFFFFFFF
+
+let rid_seen rids rid =
+  match IMap.find_opt (rid_client rid) rids with
+  | Some seen -> rid_req rid <= seen
+  | None -> false
+
+let rid_add rids rid =
+  IMap.update (rid_client rid)
+    (function None -> Some (rid_req rid) | Some seen -> Some (max seen (rid_req rid)))
+    rids
+
+let rid_list rids = IMap.bindings rids
+
+let rids_of_list pairs =
+  List.fold_left
+    (fun m (client, req) ->
+      IMap.update client
+        (function None -> Some req | Some seen -> Some (max seen req))
+        m)
+    IMap.empty pairs
+
 (* Instrument handles resolved once at boot; every update after that is
    an atomic increment (or nothing, under the noop hub). *)
 type counters = {
@@ -54,6 +97,11 @@ type counters = {
   c_fetch_failures : Metrics.counter;
   c_commit_waves : Metrics.counter;
   c_commits_applied : Metrics.counter;
+  c_storage_faults : Metrics.counter;
+  c_degraded_entered : Metrics.counter;
+  c_degraded_refused : Metrics.counter;
+  c_dedup_hits : Metrics.counter;
+  c_oplog_corrupt : Metrics.counter;
   h_op : Metrics.histogram;
 }
 
@@ -70,6 +118,11 @@ let make_counters (hub : Hub.t) =
     c_fetch_failures = Metrics.counter m "live.fetch.failures";
     c_commit_waves = Metrics.counter m "live.commit.waves";
     c_commits_applied = Metrics.counter m "live.commit.applied";
+    c_storage_faults = Metrics.counter m "live.storage.faults";
+    c_degraded_entered = Metrics.counter m "live.degraded.entered";
+    c_degraded_refused = Metrics.counter m "live.degraded.refused";
+    c_dedup_hits = Metrics.counter m "live.dedup.hits";
+    c_oplog_corrupt = Metrics.counter m "live.oplog.corrupt";
     h_op = Metrics.histogram m "live.node.op.seconds";
   }
 
@@ -85,14 +138,17 @@ type t = {
   ctx : Operation.ctx;
   config : config;
   dir : string;
+  vfs : Vfs.t;
   next_seq : unit -> int;
   conn : Wire.conn;
-  oplog : out_channel;
+  oplog : Persist.log;
   mutable replica : Replica.t;
   mutable data_version : int;
   mutable store : string SMap.t;
+  mutable rids : int IMap.t; (* client -> highest applied write req *)
   mutable amnesiac : bool;
   mutable fresh : bool;
+  mutable degraded : string option; (* Some reason = fenced read-only *)
   (* Volatile lock; its lease is what frees a lock abandoned by a
      coordinator that died mid-operation. *)
   lock : Lease.t;
@@ -108,27 +164,80 @@ type t = {
 
 let site t = t.site
 let is_amnesiac t = t.amnesiac
+let degraded t = t.degraded
 let set_commit_hook t hook = t.commit_hook <- hook
 
-let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ~next_seq ~port
-    ~was_restarted =
+let degrade t reason =
+  if t.degraded = None then begin
+    t.degraded <- Some reason;
+    Metrics.incr t.ctrs.c_degraded_entered;
+    Hub.event t.obs (Trace.Degraded { site = t.site; reason })
+  end
+
+(* Run one stable-storage action, converting its failure modes: an
+   injected crash point dies like the process it models, every other
+   fault comes back as [Error] for the caller to fence on. *)
+let storage t f =
+  try Ok (f ()) with
+  | Vfs.Crash_point _ -> raise Killed
+  | Vfs.Fault { op; path; reason } ->
+      Metrics.incr t.ctrs.c_storage_faults;
+      Hub.event t.obs (Trace.Storage_fault { site = t.site; op; path });
+      Error reason
+  | Sys_error reason ->
+      Metrics.incr t.ctrs.c_storage_faults;
+      Hub.event t.obs (Trace.Storage_fault { site = t.site; op = "io"; path = "" });
+      Error reason
+
+let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
+    ~next_seq ~port ~was_restarted () =
   ignore (Persist.ensure_site_dir ~dir site : string);
   let n_sites = Site_set.max_elt universe + 1 in
   let ctx = Operation.make_ctx ~flavor ~segment_of (Ordering.default n_sites) in
+  let ctrs = make_counters obs in
   (* A corrupt or missing record on either file leaves the node amnesiac:
-     it holds no ensemble it could safely vote with. *)
-  let replica, data_version, store, amnesiac =
-    match Codec.load_result ~path:(Persist.ensemble_path ~dir site) with
-    | Error _ -> (Replica.initial universe, 0, SMap.empty, true)
+     it holds no ensemble it could safely vote with.  So does a version
+     mismatch between the two — the residue of a persist that died
+     between the ensemble replace and the data replace; neither file is
+     corrupt, but together they are not a state this site ever held. *)
+  let replica, data_version, store, rids, amnesiac =
+    match Codec.load_result ~vfs ~path:(Persist.ensemble_path ~dir site) () with
+    | Error _ -> (Replica.initial universe, 0, SMap.empty, IMap.empty, true)
     | Ok replica -> (
-        match Persist.load_data_result ~path:(Persist.data_path ~dir site) with
-        | Error _ -> (replica, 0, SMap.empty, true)
-        | Ok (version, entries) ->
+        match Persist.load_data_result ~vfs ~path:(Persist.data_path ~dir site) () with
+        | Error _ -> (replica, 0, SMap.empty, IMap.empty, true)
+        | Ok (version, _, _) when version <> Replica.version replica ->
+            (replica, 0, SMap.empty, IMap.empty, true)
+        | Ok (version, entries, rids) ->
             ( replica,
               version,
               List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries,
+              rids_of_list rids,
               false ))
   in
+  (* A checksum-failing record in the *middle* of the log — intact
+     records after it — is damage no crash explains; the history has a
+     hole and this site must not present itself as a witness. *)
+  let oplog_scan = Persist.scan_log ~vfs ~path:(Persist.oplog_path ~dir site) () in
+  let degraded =
+    if oplog_scan.Persist.corrupt > 0 then begin
+      Metrics.add ctrs.c_oplog_corrupt oplog_scan.Persist.corrupt;
+      Some
+        (Printf.sprintf "oplog corrupt mid-log (%d record%s)"
+           oplog_scan.Persist.corrupt
+           (if oplog_scan.Persist.corrupt = 1 then "" else "s"))
+    end
+    else None
+  in
+  (* A purely torn tail (honest crash damage, nothing mid-log) is cut
+     off before reopening for append: new records written after a
+     partial frame would be unreadable, and the next scan would call
+     them mid-log corruption.  A corrupt log is left untouched — it is
+     evidence, and this node is fencing itself anyway. *)
+  if oplog_scan.Persist.torn && oplog_scan.Persist.corrupt = 0 then
+    vfs.Vfs.truncate
+      (Persist.oplog_path ~dir site)
+      oplog_scan.Persist.valid_prefix;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -141,33 +250,37 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ~next_seq ~port
   | _ ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       failwith (Printf.sprintf "live node %d: switchboard handshake failed" site));
-  let oplog =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
-      (Persist.oplog_path ~dir site)
+  let oplog = Persist.open_log ~vfs ~path:(Persist.oplog_path ~dir site) () in
+  let t =
+    {
+      site;
+      universe;
+      n_sites;
+      ctx;
+      config;
+      dir;
+      vfs;
+      next_seq;
+      conn;
+      oplog;
+      replica;
+      data_version;
+      store;
+      rids;
+      amnesiac;
+      fresh = (not was_restarted) && not amnesiac;
+      degraded = None;
+      lock = Lease.create ();
+      obs;
+      ctrs;
+      round = 0;
+      op_counter = 0;
+      commit_hook = None;
+      pending_clients = Queue.create ();
+    }
   in
-  {
-    site;
-    universe;
-    n_sites;
-    ctx;
-    config;
-    dir;
-    next_seq;
-    conn;
-    oplog;
-    replica;
-    data_version;
-    store;
-    amnesiac;
-    fresh = (not was_restarted) && not amnesiac;
-    lock = Lease.create ();
-    obs;
-    ctrs = make_counters obs;
-    round = 0;
-    op_counter = 0;
-    commit_hook = None;
-    pending_clients = Queue.create ();
-  }
+  (match degraded with Some reason -> degrade t reason | None -> ());
+  t
 
 let send_to t dst payload =
   try Wire.send t.conn { Wire.src = t.site; dst; payload }
@@ -175,12 +288,20 @@ let send_to t dst payload =
 
 let persist t =
   let fsync = t.config.durable in
-  Codec.write_file_atomic ~fsync ~path:(Persist.ensemble_path ~dir:t.dir t.site)
+  Codec.write_file_atomic ~vfs:t.vfs ~fsync
+    ~path:(Persist.ensemble_path ~dir:t.dir t.site)
     (Codec.encode_replica t.replica);
-  Persist.save_data ~fsync ~path:(Persist.data_path ~dir:t.dir t.site)
+  Persist.save_data ~vfs:t.vfs ~fsync ~rids:(rid_list t.rids)
+    ~path:(Persist.data_path ~dir:t.dir t.site)
     ~version:t.data_version (SMap.bindings t.store)
 
-let log t record = Persist.append t.oplog record
+(* Log or fence: a record that cannot reach the oplog leaves a hole in
+   the history this site would later present — better to stop presenting
+   it. *)
+let log t record =
+  match storage t (fun () -> Persist.append t.oplog record) with
+  | Ok () -> ()
+  | Error reason -> degrade t ("oplog append failed: " ^ reason)
 
 let blob t = Persist.encode_entries (SMap.bindings t.store)
 
@@ -188,20 +309,37 @@ let blob t = Persist.encode_entries (SMap.bindings t.store)
    commits can never regress the ensemble.  The ensemble (and any
    piggybacked write) hits disk before the log claims it was applied, so
    a crash between the two under-reports a commit rather than inventing
-   one. *)
-let apply_commit t ~op_no ~version ~partition ~put =
-  if op_no > Replica.op_no t.replica then begin
+   one.  A persist that faults rolls the volatile state back to match
+   the disk and fences the site: acking a commit we could not persist
+   would make our next vote a lie. *)
+let apply_commit t ~op_no ~version ~partition ~put ~rid =
+  if t.degraded <> None then Metrics.incr t.ctrs.c_degraded_refused
+  else if op_no > Replica.op_no t.replica then begin
+    let rollback =
+      (t.replica, t.data_version, t.store, t.rids, t.amnesiac, t.fresh)
+    in
     t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition;
     (match put with
     | Some (key, value) ->
         t.store <- SMap.add key value t.store;
-        t.data_version <- version
+        t.data_version <- version;
+        if rid <> 0 then t.rids <- rid_add t.rids rid
     | None -> ());
     t.amnesiac <- false;
     t.fresh <- true;
-    persist t;
-    Metrics.incr t.ctrs.c_commits_applied;
-    log t (Persist.Log_commit { seq = t.next_seq (); op_no; version; partition })
+    match storage t (fun () -> persist t) with
+    | Ok () ->
+        Metrics.incr t.ctrs.c_commits_applied;
+        log t (Persist.Log_commit { seq = t.next_seq (); op_no; version; partition; rid })
+    | Error reason ->
+        let replica, data_version, store, rids, amnesiac, fresh = rollback in
+        t.replica <- replica;
+        t.data_version <- data_version;
+        t.store <- store;
+        t.rids <- rids;
+        t.amnesiac <- amnesiac;
+        t.fresh <- fresh;
+        degrade t ("persist failed: " ^ reason)
   end
 
 let try_lock t op =
@@ -212,28 +350,44 @@ let release_lock t op = Lease.release t.lock ~op
 
 (* Serve one frame of the peer protocol.  Client requests are parked; a
    coordinator calls this from inside its own wait loops, which is what
-   keeps concurrent coordinators deadlock-free. *)
+   keeps concurrent coordinators deadlock-free.
+
+   A degraded site answers nothing that could count as a vote: state
+   requests and lock requests go unanswered (to the coordinator it looks
+   down, so new partitions form without it), commits are refused.  Data
+   requests are still served — they are read-only, and the fetcher
+   verifies the version before installing. *)
 let serve_protocol t (env : Wire.envelope) =
   match env.Wire.payload with
   | Wire.State_request { round } ->
-      (* An amnesiac site stays silent: a guessed ensemble could be
-         counted as a vote.  To the coordinator it looks down. *)
-      if not t.amnesiac then
+      (* An amnesiac site must not vote: a guessed ensemble could be
+         counted.  It (and a fenced site) abstains explicitly, so the
+         coordinator excludes it without waiting out the gather. *)
+      if t.amnesiac || t.degraded <> None then
+        send_to t env.Wire.src (Wire.Abstain { round })
+      else
         send_to t env.Wire.src
           (Wire.State_reply { round; fresh = t.fresh; replica = t.replica })
   | Wire.Lock_request { op } ->
-      send_to t env.Wire.src (Wire.Lock_reply { op; granted = try_lock t op })
+      if t.degraded = None then
+        send_to t env.Wire.src (Wire.Lock_reply { op; granted = try_lock t op })
+      else send_to t env.Wire.src (Wire.Abstain { round = op })
   | Wire.Unlock { op } -> release_lock t op
   | Wire.Data_request { round } ->
       send_to t env.Wire.src
         (Wire.Data_reply
-           { round; version = t.data_version; entries = SMap.bindings t.store })
-  | Wire.Commit { op_no; version; partition; put } ->
-      apply_commit t ~op_no ~version ~partition ~put
+           {
+             round;
+             version = t.data_version;
+             entries = SMap.bindings t.store;
+             rids = rid_list t.rids;
+           })
+  | Wire.Commit { op_no; version; partition; put; rid } ->
+      apply_commit t ~op_no ~version ~partition ~put ~rid
   | Wire.Client_put _ | Wire.Client_get _ | Wire.Client_recover _ ->
       Queue.add env t.pending_clients
   | Wire.Hello_site _ | Wire.Hello_client | Wire.Welcome _ | Wire.State_reply _
-  | Wire.Lock_reply _ | Wire.Data_reply _ | Wire.Client_reply _ ->
+  | Wire.Lock_reply _ | Wire.Data_reply _ | Wire.Client_reply _ | Wire.Abstain _ ->
       (* Stray replies of a finished or abandoned exchange. *)
       ()
 
@@ -270,19 +424,27 @@ let lock_round t op =
   else begin
     Site_set.iter (fun dst -> send_to t dst (Wire.Lock_request { op })) (peers t);
     let replies = Hashtbl.create 8 in
+    let abstained = Hashtbl.create 4 in
     let deadline = t.config.clock () +. t.config.gather_timeout in
     let want = Site_set.cardinal (peers t) in
     let rec collect () =
-      if Hashtbl.length replies < want then
+      if Hashtbl.length replies + Hashtbl.length abstained < want then
         match
           await t ~deadline ~match_reply:(fun env ->
               match env.Wire.payload with
               | Wire.Lock_reply { op = o; granted } when o = op ->
-                  Some (env.Wire.src, granted)
+                  Some (env.Wire.src, `Vote granted)
+              | Wire.Abstain { round } when round = op ->
+                  (* A fenced site holds no lock and casts no vote; its
+                     answer only stops the wait. *)
+                  Some (env.Wire.src, `Abstain)
               | _ -> None)
         with
-        | Some (src, granted) ->
+        | Some (src, `Vote granted) ->
             Hashtbl.replace replies src granted;
+            collect ()
+        | Some (src, `Abstain) ->
+            Hashtbl.replace abstained src ();
             collect ()
         | None -> ()
     in
@@ -310,9 +472,13 @@ let gather t =
   t.round <- t.round + 1;
   let round = t.round in
   let replies = Hashtbl.create 8 in
+  let abstained = Hashtbl.create 4 in
   let missing () =
     Site_set.filter
-      (fun s -> (s <> t.site) && not (Hashtbl.mem replies s))
+      (fun s ->
+        (s <> t.site)
+        && (not (Hashtbl.mem replies s))
+        && not (Hashtbl.mem abstained s))
       t.universe
   in
   let rec attempt n patience =
@@ -326,11 +492,18 @@ let gather t =
             await t ~deadline ~match_reply:(fun env ->
                 match env.Wire.payload with
                 | Wire.State_reply { round = r; fresh; replica } when r = round ->
-                    Some (env.Wire.src, fresh, replica)
+                    Some (env.Wire.src, `State (fresh, replica))
+                | Wire.Abstain { round = r } when r = round ->
+                    (* Fenced or amnesiac: counts as reached-but-voteless,
+                       exactly like silence, minus the timeout. *)
+                    Some (env.Wire.src, `Abstain)
                 | _ -> None)
           with
-          | Some (src, fresh, replica) ->
+          | Some (src, `State (fresh, replica)) ->
               Hashtbl.replace replies src (fresh, replica);
+              collect ()
+          | Some (src, `Abstain) ->
+              Hashtbl.replace abstained src ();
               collect ()
           | None -> ()
       in
@@ -363,7 +536,8 @@ let gather t =
 (* Verified data fetch: ask the up-to-date sites in turn until a snapshot
    of at least [want_version] lands.  The install is wholesale — local
    data may be the residue of an uncommitted write (or amnesiac garbage)
-   whatever its version number says. *)
+   whatever its version number says — and brings the applied-request
+   table with it. *)
 let fetch_data t ~sources ~want_version =
   let sources = Site_set.to_list sources in
   let n_sources = List.length sources in
@@ -380,14 +554,15 @@ let fetch_data t ~sources ~want_version =
       match
         await t ~deadline ~match_reply:(fun env ->
             match env.Wire.payload with
-            | Wire.Data_reply { round = r; version; entries } when r = round ->
-                Some (version, entries)
+            | Wire.Data_reply { round = r; version; entries; rids } when r = round ->
+                Some (version, entries, rids)
             | _ -> None)
       with
-      | Some (version, entries) when version >= want_version ->
+      | Some (version, entries, rids) when version >= want_version ->
           t.store <-
             List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries;
           t.data_version <- version;
+          t.rids <- rids_of_list rids;
           Hub.event t.obs (Trace.Data_fetch { site = t.site; source = src; ok = true });
           true
       | Some _ | None ->
@@ -404,7 +579,7 @@ let fetch_data t ~sources ~want_version =
    crash point — {!Killed} unwinds the whole thread, leaving the prefix
    of recipients that already heard the commit, held locks to expire by
    lease, and no outcome record: exactly a coordinator dead mid-wave. *)
-let commit_wave t ~recipients ~op_no ~version ~partition ~put =
+let commit_wave t ~recipients ~op_no ~version ~partition ~put ~rid =
   let total = Site_set.cardinal recipients in
   Metrics.incr t.ctrs.c_commit_waves;
   Hub.event t.obs
@@ -412,8 +587,8 @@ let commit_wave t ~recipients ~op_no ~version ~partition ~put =
   let sent = ref 0 in
   Site_set.iter
     (fun dst ->
-      if dst = t.site then apply_commit t ~op_no ~version ~partition ~put
-      else send_to t dst (Wire.Commit { op_no; version; partition; put });
+      if dst = t.site then apply_commit t ~op_no ~version ~partition ~put ~rid
+      else send_to t dst (Wire.Commit { op_no; version; partition; put; rid });
       incr sent;
       match t.commit_hook with
       | Some hook -> hook ~sent:!sent ~total
@@ -424,7 +599,8 @@ let reply_client t ~client ~req status value info =
   (match status with
   | Wire.Granted -> Metrics.incr t.ctrs.c_granted
   | Wire.Denied -> Metrics.incr t.ctrs.c_denied
-  | Wire.Aborted -> Metrics.incr t.ctrs.c_aborted);
+  | Wire.Aborted -> Metrics.incr t.ctrs.c_aborted
+  | Wire.Degraded -> Metrics.incr t.ctrs.c_degraded_refused);
   try Wire.send t.conn
         { Wire.src = t.site; dst = client; payload = Wire.Client_reply { req; status; value; info } }
   with Unix.Unix_error _ -> raise Dead
@@ -439,6 +615,17 @@ let client_op t ~client ~req kind =
   let kind_tag =
     match kind with `Read _ -> `Read | `Write _ -> `Write | `Recover -> `Recover
   in
+  let rid = match kind_tag with `Write -> make_rid ~client ~req | _ -> 0 in
+  match t.degraded with
+  | Some reason ->
+      (* Fenced: serve nothing that could ack or mutate.  A get still
+         reports the local value — visibly marked Degraded so the client
+         retries at a live site. *)
+      let value =
+        match kind with `Read key -> SMap.find_opt key t.store | _ -> None
+      in
+      reply_client t ~client ~req Wire.Degraded value ("degraded: " ^ reason)
+  | None ->
   if t.amnesiac && kind_tag <> `Recover then
     reply_client t ~client ~req Wire.Denied None
       "amnesiac: stable record lost, RECOVER first"
@@ -473,11 +660,11 @@ let client_op t ~client ~req kind =
           | `Write ->
               log t
                 (Persist.Log_outcome
-                   { seq = t.next_seq (); kind = `Write; granted = false; content = None })
+                   { seq = t.next_seq (); kind = `Write; granted = false; content = None; rid })
           | `Read ->
               log t
                 (Persist.Log_outcome
-                   { seq = t.next_seq (); kind = `Read; granted = false; content = None })
+                   { seq = t.next_seq (); kind = `Read; granted = false; content = None; rid })
           | `Recover -> ());
           unlock_all t op;
           reply_client t ~client ~req Wire.Denied None (denial_text denial)
@@ -493,32 +680,69 @@ let client_op t ~client ~req kind =
                    kind = kind_tag;
                    granted = false;
                    content = None;
+                   rid;
                  });
             unlock_all t op;
             reply_client t ~client ~req Wire.Aborted None info
           in
+          (* A coordinator inside the majority partition can still hold
+             stale data — the residue of a persist that died between the
+             ensemble and data replaces on an earlier incarnation.  Trust
+             the version number, not the membership. *)
+          let must_fetch = (not in_s) || t.data_version < v in
+          let guard_degraded () =
+            (* The operation's own apply (or log) may have fenced us
+               mid-flight; the reply must say so rather than ack. *)
+            match t.degraded with
+            | Some reason ->
+                unlock_all t op;
+                reply_client t ~client ~req Wire.Degraded None ("degraded: " ^ reason);
+                true
+            | None -> false
+          in
           (match kind with
           | `Read key ->
-              if (not in_s) && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
+              if must_fetch && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
               then abort "verified data fetch failed"
               else begin
                 commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1) ~version:v
-                  ~partition:g.Decision.s ~put:None;
-                let value = SMap.find_opt key t.store in
+                  ~partition:g.Decision.s ~put:None ~rid:0;
+                if not (guard_degraded ()) then begin
+                  let value = SMap.find_opt key t.store in
+                  log t
+                    (Persist.Log_outcome
+                       {
+                         seq = t.next_seq ();
+                         kind = `Read;
+                         granted = true;
+                         content = Some (blob t);
+                         rid = 0;
+                       });
+                  unlock_all t op;
+                  reply_client t ~client ~req Wire.Granted value ""
+                end
+              end
+          | `Write (key, value) ->
+              if must_fetch && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else if rid_seen t.rids rid then begin
+                (* The retried request already committed (here or fetched
+                   from the partition's table): acknowledge, do not
+                   re-apply. *)
+                Metrics.incr t.ctrs.c_dedup_hits;
                 log t
                   (Persist.Log_outcome
                      {
                        seq = t.next_seq ();
-                       kind = `Read;
+                       kind = `Write;
                        granted = true;
-                       content = Some (blob t);
+                       content = None;
+                       rid;
                      });
                 unlock_all t op;
-                reply_client t ~client ~req Wire.Granted value ""
+                reply_client t ~client ~req Wire.Granted None
+                  "duplicate: write already committed"
               end
-          | `Write (key, value) ->
-              if (not in_s) && not (fetch_data t ~sources:g.Decision.s ~want_version:v)
-              then abort "verified data fetch failed"
               else begin
                 (* The intent records the post-write content before the
                    first COMMIT can escape; a coordinator dead mid-wave
@@ -528,17 +752,21 @@ let client_op t ~client ~req kind =
                 in
                 log t (Persist.Log_intent { seq = t.next_seq (); content = new_blob });
                 commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1)
-                  ~version:(v + 1) ~partition:g.Decision.s ~put:(Some (key, value));
-                log t
-                  (Persist.Log_outcome
-                     {
-                       seq = t.next_seq ();
-                       kind = `Write;
-                       granted = true;
-                       content = Some new_blob;
-                     });
-                unlock_all t op;
-                reply_client t ~client ~req Wire.Granted None ""
+                  ~version:(v + 1) ~partition:g.Decision.s ~put:(Some (key, value))
+                  ~rid;
+                if not (guard_degraded ()) then begin
+                  log t
+                    (Persist.Log_outcome
+                       {
+                         seq = t.next_seq ();
+                         kind = `Write;
+                         granted = true;
+                         content = Some new_blob;
+                         rid;
+                       });
+                  unlock_all t op;
+                  reply_client t ~client ~req Wire.Granted None ""
+                end
               end
           | `Recover ->
               let must_fetch =
@@ -549,17 +777,20 @@ let client_op t ~client ~req kind =
               else begin
                 let recipients = Site_set.add t.site g.Decision.s in
                 commit_wave t ~recipients ~op_no:(o + 1) ~version:v
-                  ~partition:recipients ~put:None;
-                log t
-                  (Persist.Log_outcome
-                     {
-                       seq = t.next_seq ();
-                       kind = `Recover;
-                       granted = true;
-                       content = None;
-                     });
-                unlock_all t op;
-                reply_client t ~client ~req Wire.Granted None ""
+                  ~partition:recipients ~put:None ~rid:0;
+                if not (guard_degraded ()) then begin
+                  log t
+                    (Persist.Log_outcome
+                       {
+                         seq = t.next_seq ();
+                         kind = `Recover;
+                         granted = true;
+                         content = None;
+                         rid = 0;
+                       });
+                  unlock_all t op;
+                  reply_client t ~client ~req Wire.Granted None ""
+                end
               end)
     end
   end
@@ -596,5 +827,5 @@ let serve t =
      done
    with Dead | Killed | Unix.Unix_error _ -> ());
   (* Volatile state dies with the thread; only the files survive. *)
-  (try close_out t.oplog with Sys_error _ -> ());
+  (try Persist.close_log t.oplog with Sys_error _ -> ());
   try Unix.close (Wire.fd t.conn) with Unix.Unix_error _ -> ()

@@ -50,15 +50,23 @@ val boot :
   config:config ->
   obs:Dynvote_obs.Hub.t ->
   dir:string ->
+  ?vfs:Vfs.t ->
   next_seq:(unit -> int) ->
   port:int ->
   was_restarted:bool ->
+  unit ->
   t
-(** Load the ensemble and data from [dir] (a corrupt or missing record
-    leaves the node {e amnesiac}: silent to state requests, refusing to
-    coordinate until a RECOVER succeeds), connect to the switchboard on
-    [port], and register.  [was_restarted] clears the freshness claim
-    until the node applies its next commit.  [obs] receives the node's
+(** Load the ensemble and data from [dir] (a corrupt or missing record —
+    or an ensemble/data version mismatch, the residue of a persist that
+    died between the two replaces — leaves the node {e amnesiac}: silent
+    to state requests, refusing to coordinate until a RECOVER succeeds),
+    connect to the switchboard on [port], and register.  A mid-log
+    corrupt oplog — checksum-failing records with intact ones after them,
+    damage no crash explains — boots the node straight into degraded
+    mode.  [vfs] (default {!Dynvote.Vfs.real}) carries every
+    stable-storage byte, so a fault-injecting filesystem can strike any
+    single operation.  [was_restarted] clears the freshness claim until
+    the node applies its next commit.  [obs] receives the node's
     counters, latency histogram and trace events (pass
     {!Dynvote_obs.Hub.noop} to compile them all down to a branch). *)
 
@@ -67,6 +75,12 @@ val serve : t -> unit
 
 val site : t -> Site_set.site
 val is_amnesiac : t -> bool
+
+val degraded : t -> string option
+(** [Some reason] when a storage failure has fenced this site read-only:
+    silent to state and lock requests, refusing commits, answering every
+    client request with {!Wire.Degraded}.  Cleared only by rebooting the
+    site. *)
 
 val set_commit_hook : t -> (sent:int -> total:int -> unit) option -> unit
 (** Fired after each COMMIT send of a wave this node coordinates

@@ -2,7 +2,8 @@
    append-only operation log.  All three share the codec's durability
    discipline — the data blob is replaced atomically with fsync, and log
    records are framed and checksummed so a torn tail is detected and
-   dropped rather than trusted. *)
+   dropped rather than trusted.  Every byte flows through a {!Vfs}, so
+   the fault-injection layer can strike any single storage operation. *)
 
 let site_dir ~dir site = Filename.concat dir (Printf.sprintf "site-%d" site)
 
@@ -42,15 +43,28 @@ let encode_entries entries =
   add_entries b entries;
   Buffer.contents b
 
-let save_data ?(fsync = true) ~path ~version entries =
+(* The applied-request table rides inside the blob: a site's dedup
+   memory must be exactly as durable as the data it guards, and a
+   wholesale data fetch must install both or neither. *)
+let add_rids b rids =
+  let rids = List.sort compare rids in
+  add_u32 b (List.length rids);
+  List.iter
+    (fun (client, req) ->
+      add_u32 b client;
+      add_u64 b req)
+    rids
+
+let save_data ?vfs ?(fsync = true) ?(rids = []) ~path ~version entries =
   let b = Buffer.create 256 in
   Buffer.add_string b data_magic;
   add_u32 b 0 (* checksum slot *);
   add_u64 b version;
   add_entries b entries;
+  add_rids b rids;
   let body = Buffer.to_bytes b in
   Bytes.set_int32_le body 4 (Codec.checksum body ~off:8 ~len:(Bytes.length body - 8));
-  Codec.write_file_atomic ~fsync ~path (Bytes.to_string body)
+  Codec.write_file_atomic ?vfs ~fsync ~path (Bytes.to_string body)
 
 exception Bad of string
 
@@ -97,8 +111,20 @@ let read_entries c =
       let k = str c (u16 c) in
       (k, str c (u32 c)))
 
-let load_data_result ~path =
-  match Codec.read_file_result ~path with
+(* Blobs written before the request table existed simply end after the
+   entries; they decode with an empty table. *)
+let read_rids c =
+  if c.pos = Bytes.length c.data then []
+  else begin
+    let n = u32 c in
+    if n > Bytes.length c.data then raise (Bad "rid count out of range");
+    List.init n (fun _ ->
+        let client = u32 c in
+        (client, u64 c))
+  end
+
+let load_data_result ?vfs ~path () =
+  match Codec.read_file_result ?vfs ~path () with
   | Error reason -> Error reason
   | Ok data -> (
       try
@@ -111,22 +137,31 @@ let load_data_result ~path =
         let c = { data = body; pos = 8 } in
         let version = u64 c in
         let entries = read_entries c in
+        let rids = read_rids c in
         if c.pos <> Bytes.length body then raise (Bad "trailing garbage");
-        Ok (version, entries)
+        Ok (version, entries, rids)
       with Bad reason -> Error reason)
 
 (* --- operation log -------------------------------------------------- *)
 
 let log_magic = "DVO1"
+let max_record = 16 * 1024 * 1024
 
 type record =
-  | Log_commit of { seq : int; op_no : int; version : int; partition : Site_set.t }
+  | Log_commit of {
+      seq : int;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      rid : int;
+    }
   | Log_intent of { seq : int; content : string }
   | Log_outcome of {
       seq : int;
       kind : [ `Read | `Write | `Recover ];
       granted : bool;
       content : string option;
+      rid : int;
     }
 
 let seq_of = function
@@ -139,18 +174,19 @@ let encode_record record =
   Buffer.add_string b log_magic;
   add_u32 b 0 (* checksum slot *);
   (match record with
-  | Log_commit { seq; op_no; version; partition } ->
+  | Log_commit { seq; op_no; version; partition; rid } ->
       add_u8 b 0;
       add_u64 b seq;
       add_u64 b op_no;
       add_u64 b version;
-      add_u64 b (Site_set.to_int partition)
+      add_u64 b (Site_set.to_int partition);
+      add_u64 b rid
   | Log_intent { seq; content } ->
       add_u8 b 1;
       add_u64 b seq;
       add_u32 b (String.length content);
       Buffer.add_string b content
-  | Log_outcome { seq; kind; granted; content } ->
+  | Log_outcome { seq; kind; granted; content; rid } ->
       add_u8 b 2;
       add_u64 b seq;
       add_u8 b (kind_code kind);
@@ -160,7 +196,8 @@ let encode_record record =
       | Some content ->
           add_u8 b 1;
           add_u32 b (String.length content);
-          Buffer.add_string b content));
+          Buffer.add_string b content);
+      add_u64 b rid);
   let body = Buffer.to_bytes b in
   Bytes.set_int32_le body 4 (Codec.checksum body ~off:8 ~len:(Bytes.length body - 8));
   let frame = Bytes.create (4 + Bytes.length body) in
@@ -168,9 +205,31 @@ let encode_record record =
   Bytes.blit body 0 frame 4 (Bytes.length body);
   Bytes.to_string frame
 
-let append oc record =
-  output_string oc (encode_record record);
-  flush oc
+(* An open append channel over the vfs: each record is written through
+   in full (straight to the OS, no userland buffering), so a process
+   kill leaves at worst one partial frame at the tail.  Like the old
+   out_channel discipline, appends are not fsynced — a power cut may
+   truncate the unsynced suffix, which replay tolerates as a torn
+   tail. *)
+type log = { file : Vfs.file; path : string }
+
+let open_log ?(vfs = Vfs.real) ~path () = { file = vfs.Vfs.append path; path }
+
+let append log record =
+  let frame = Bytes.unsafe_of_string (encode_record record) in
+  let len = Bytes.length frame in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + log.file.Vfs.write frame !written (len - !written)
+  done
+
+let log_path log = log.path
+let close_log log = log.file.Vfs.close ()
+
+(* A trailing rid field is optional on commit and outcome records:
+   records written before it existed decode with rid 0 (no request
+   id). *)
+let optional_rid c = if c.pos = Bytes.length c.data then 0 else u64 c
 
 let decode_record body =
   let c = { data = body; pos = 0 } in
@@ -186,7 +245,8 @@ let decode_record body =
         let op_no = u64 c in
         let version = u64 c in
         let mask = u64 c in
-        Log_commit { seq; op_no; version; partition = Site_set.of_int_unsafe mask }
+        let rid = optional_rid c in
+        Log_commit { seq; op_no; version; partition = Site_set.of_int_unsafe mask; rid }
     | 1 ->
         let seq = u64 c in
         Log_intent { seq; content = str c (u32 c) }
@@ -206,32 +266,77 @@ let decode_record body =
           | 1 -> Some (str c (u32 c))
           | _ -> raise (Bad "bad content flag")
         in
-        Log_outcome { seq; kind; granted; content }
+        let rid = optional_rid c in
+        Log_outcome { seq; kind; granted; content; rid }
     | _ -> raise (Bad "unknown record tag")
   in
   if c.pos <> Bytes.length body then raise (Bad "trailing garbage");
   record
 
-(* A killed node leaves at worst one partial frame at the tail; anything
-   after the first bad record is dropped and flagged, never trusted. *)
-let read_log ~path =
-  match Codec.read_file_result ~path with
-  | Error _ -> ([], false)
+type scan = { records : record list; torn : bool; corrupt : int; valid_prefix : int }
+
+(* A killed node leaves at worst one partial frame at the tail — that is
+   the only corruption an honest crash can produce, and replay tolerates
+   it as [torn].  A checksum-failing record *followed by intact ones* is
+   a different animal entirely: the tail proves the log kept growing
+   past the damage, so bytes were altered in place (bit rot, a lying
+   disk) and the history has a hole.  Those records are counted in
+   [corrupt] so recovery can refuse to trust the site instead of
+   silently replaying around the gap.
+
+   Frames whose length prefix is intact are skipped and scanning
+   resumes at the next frame; an implausible length ends the scan (we
+   cannot resynchronize without trusting damaged bytes). *)
+let scan_log ?vfs ~path () =
+  match Codec.read_file_result ?vfs ~path () with
+  | Error _ -> { records = []; torn = false; corrupt = 0; valid_prefix = 0 }
   | Ok data ->
       let raw = Bytes.of_string data in
       let total = Bytes.length raw in
-      let records = ref [] in
+      (* Good records and bad-frame markers, in file order. *)
+      let items = ref [] in
       let pos = ref 0 in
-      let truncated = ref false in
+      let ragged_tail = ref false in
+      (* Byte length of the damage-free prefix: everything before the
+         first bad frame (or the structural end of the scan).  A booting
+         node may cut a purely-torn log back to this point before
+         appending over it — appending *past* a partial frame would make
+         the new records unreadable, indistinguishable from mid-log
+         corruption on the next scan. *)
+      let damaged = ref false in
+      let valid_prefix = ref 0 in
       (try
          while !pos < total do
            if !pos + 4 > total then raise Exit;
            let len = Int32.to_int (Bytes.get_int32_le raw !pos) land 0xFFFFFFFF in
-           if len <= 0 || !pos + 4 + len > total then raise Exit;
+           if len <= 0 || len > max_record || !pos + 4 + len > total then raise Exit;
            (match decode_record (Bytes.sub raw (!pos + 4) len) with
-           | record -> records := record :: !records
-           | exception Bad _ -> raise Exit);
+           | record ->
+               items := `Good record :: !items;
+               if not !damaged then valid_prefix := !pos + 4 + len
+           | exception Bad _ ->
+               items := `Bad :: !items;
+               damaged := true);
            pos := !pos + 4 + len
          done
-       with Exit -> truncated := true);
-      (List.rev !records, !truncated)
+       with Exit -> ragged_tail := true);
+      (* Bad frames at the very end are the torn tail; bad frames with
+         an intact record after them are mid-log corruption. *)
+      let rec split_tail = function
+        | `Bad :: rest -> ragged_tail := true; split_tail rest
+        | items -> items
+      in
+      let interior = split_tail !items in
+      let records, corrupt =
+        List.fold_left
+          (fun (records, corrupt) item ->
+            match item with
+            | `Good r -> (r :: records, corrupt)
+            | `Bad -> (records, corrupt + 1))
+          ([], 0) interior
+      in
+      { records; torn = !ragged_tail; corrupt; valid_prefix = !valid_prefix }
+
+let read_log ~path =
+  let scan = scan_log ~path () in
+  (scan.records, scan.torn || scan.corrupt > 0)

@@ -4,15 +4,18 @@
 
     - [ensemble.dvt] — the (o, v, P) consistency ensemble, in the
       {!Dynvote.Codec} record format, replaced durably on every commit;
-    - [data.dvl] — the key-value store (version number + entries),
-      replaced durably on every commit through the same
-      write-fsync-rename discipline;
+    - [data.dvl] — the key-value store (version number + entries + the
+      applied-request table used for exactly-once retries), replaced
+      durably on every commit through the same write-fsync-rename
+      discipline;
     - [oplog.dvl] — an append-only log of every commit this node applied
       and every client-visible outcome it coordinated, framed and
       checksummed per record; the merged logs of all nodes replay through
       the chaos {!Dynvote_chaos.Oracle}.
 
-    A node killed at any instant restarts from these three files. *)
+    A node killed at any instant restarts from these three files.  Every
+    byte flows through a {!Dynvote.Vfs} ([Vfs.real] by default), so the
+    fault-injection filesystem can strike any single operation. *)
 
 val site_dir : dir:string -> Site_set.site -> string
 val ensure_site_dir : dir:string -> Site_set.site -> string
@@ -28,17 +31,36 @@ val encode_entries : (string * string) list -> string
     so distinct stores never collide. *)
 
 val save_data :
-  ?fsync:bool -> path:string -> version:int -> (string * string) list -> unit
+  ?vfs:Vfs.t ->
+  ?fsync:bool ->
+  ?rids:(int * int) list ->
+  path:string ->
+  version:int ->
+  (string * string) list ->
+  unit
 (** Durable atomic replace ({!Dynvote.Codec.write_file_atomic}); [?fsync]
-    is forwarded there. *)
+    is forwarded there.  [rids] is the applied-request table — (client,
+    highest applied request) pairs — stored inside the blob so dedup
+    memory is exactly as durable as the data it guards. *)
 
-val load_data_result : path:string -> (int * (string * string) list, string) result
-(** Total load: corruption and I/O failures as [Error]. *)
+val load_data_result :
+  ?vfs:Vfs.t ->
+  path:string ->
+  unit ->
+  (int * (string * string) list * (int * int) list, string) result
+(** Total load: corruption and I/O failures as [Error].  Blobs written
+    before the request table existed load with an empty table. *)
 
 (** {2 Operation log} *)
 
 type record =
-  | Log_commit of { seq : int; op_no : int; version : int; partition : Site_set.t }
+  | Log_commit of {
+      seq : int;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      rid : int;  (** request id the commit applied, 0 if none *)
+    }
       (** this node applied a commit (site is implied by whose log it is) *)
   | Log_intent of { seq : int; content : string }
       (** a write coordinator is about to distribute COMMITs installing
@@ -51,14 +73,44 @@ type record =
       content : string option;
           (** the store serialization the operation served (granted reads)
               or installed (granted writes) *)
+      rid : int;  (** request id the outcome answered, 0 if none *)
     }
 
 val seq_of : record -> int
 
-val append : out_channel -> record -> unit
-(** Framed, checksummed, flushed. *)
+type log
+(** An open append channel over a {!Dynvote.Vfs}. *)
+
+val open_log : ?vfs:Vfs.t -> path:string -> unit -> log
+val log_path : log -> string
+
+val append : log -> record -> unit
+(** Framed, checksummed, written through in full (no userland
+    buffering).  Appends are not fsynced; a power cut may truncate the
+    unsynced suffix, which replay tolerates as a torn tail. *)
+
+val close_log : log -> unit
+
+type scan = {
+  records : record list;  (** intact records, in file order *)
+  torn : bool;  (** a damaged tail was dropped — what an honest crash leaves *)
+  corrupt : int;
+      (** checksum-failing records {e followed by intact ones} — a hole in
+          the middle of the history that no crash can explain; recovery
+          must not trust a site whose log shows these *)
+  valid_prefix : int;
+      (** byte length of the damage-free prefix (every record before the
+          first bad frame).  A booting node cuts a purely-torn log back to
+          this point before appending: appending past a partial frame
+          would leave the new records unreadable and look like mid-log
+          corruption on the next scan *)
+}
+
+val scan_log : ?vfs:Vfs.t -> path:string -> unit -> scan
+(** Parse the whole log, resynchronizing past complete-but-corrupt frames
+    (their length prefix is trusted when plausible).  A missing file is
+    an empty scan. *)
 
 val read_log : path:string -> record list * bool
-(** All intact records in order, plus whether a torn tail was dropped — a
-    node killed mid-append leaves a partial final frame, which replay
-    tolerates.  A missing file is ([], false). *)
+(** [scan_log] collapsed to (records, any damage seen) — the shape the
+    audit replay consumes. *)

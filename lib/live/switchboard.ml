@@ -270,7 +270,8 @@ let broker_loop t =
   close_quietly t.wake_r;
   close_quietly t.wake_w
 
-let create ?(obs = Hub.noop) ~universe ~segment_of () =
+let create ?(obs = Hub.noop) ?(first_client = Wire.first_client_id) ~universe
+    ~segment_of () =
   (* A routed frame to a just-crashed socket must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -300,7 +301,7 @@ let create ?(obs = Hub.noop) ~universe ~segment_of () =
       up = Site_set.empty;
       groups = None;
       kill_queue = [];
-      next_client = Wire.first_client_id;
+      next_client = first_client;
       running = true;
       routed = 0;
       dropped_partition = 0;

@@ -20,13 +20,19 @@ type t
 
 val create :
   ?obs:Dynvote_obs.Hub.t ->
+  ?first_client:int ->
   universe:Site_set.t ->
   segment_of:(Site_set.site -> int) ->
   unit ->
   t
 (** Bind a loopback listener on an ephemeral port and start the broker
     thread.  All sites start connected and no site is considered up until
-    its node registers.  [obs] (default {!Dynvote_obs.Hub.noop}) gets a
+    its node registers.  [first_client] (default
+    {!Wire.first_client_id}) is the first client endpoint id to hand
+    out — a cluster resuming over persisted state passes one past the
+    highest id its dedup tables have seen, because a recycled id would
+    make a fresh client's first writes look like replays of the previous
+    incarnation's.  [obs] (default {!Dynvote_obs.Hub.noop}) gets a
     [net.frames.*] counter and a trace event for every frame sent into
     the fabric, delivered to its destination, dropped by the topology,
     or rejected by its checksum, plus the partition/heal/crash

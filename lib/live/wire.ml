@@ -16,7 +16,7 @@ let broker_id = 0xFFFF
 let first_client_id = 64
 let is_site id = id >= 0 && id < Site_set.max_sites
 
-type status = Granted | Denied | Aborted
+type status = Granted | Denied | Aborted | Degraded
 
 type payload =
   | Hello_site of { site : Site_set.site }
@@ -28,17 +28,27 @@ type payload =
   | Lock_reply of { op : int; granted : bool }
   | Unlock of { op : int }
   | Data_request of { round : int }
-  | Data_reply of { round : int; version : int; entries : (string * string) list }
+  | Data_reply of {
+      round : int;
+      version : int;
+      entries : (string * string) list;
+      rids : (int * int) list;
+    }
   | Commit of {
       op_no : int;
       version : int;
       partition : Site_set.t;
       put : (string * string) option;
+      rid : int;
     }
   | Client_put of { req : int; key : string; value : string }
   | Client_get of { req : int; key : string }
   | Client_recover of { req : int }
   | Client_reply of { req : int; status : status; value : string option; info : string }
+  | Abstain of { round : int }
+      (* a fenced or amnesiac site answering a state or lock gather:
+         alive but taking no part, so the coordinator can stop waiting
+         without counting it as a vote (for locks, [round] is the op) *)
 
 type envelope = { src : int; dst : int; payload : payload }
 
@@ -58,6 +68,7 @@ let kind_name = function
   | Client_get _ -> "client-get"
   | Client_recover _ -> "client-recover"
   | Client_reply _ -> "client-reply"
+  | Abstain _ -> "abstain"
 
 let pp ppf e = Fmt.pf ppf "%d->%d %s" e.src e.dst (kind_name e.payload)
 
@@ -82,6 +93,7 @@ let add_status b = function
   | Granted -> add_u8 b 0
   | Denied -> add_u8 b 1
   | Aborted -> add_u8 b 2
+  | Degraded -> add_u8 b 3
 
 let tag_of = function
   | Hello_site _ -> 0
@@ -99,6 +111,7 @@ let tag_of = function
   | Client_get _ -> 12
   | Client_recover _ -> 13
   | Client_reply _ -> 14
+  | Abstain _ -> 15
 
 let encode_payload b = function
   | Hello_site { site } -> add_u16 b site
@@ -115,7 +128,7 @@ let encode_payload b = function
       add_bool b granted
   | Unlock { op } -> add_u32 b op
   | Data_request { round } -> add_u32 b round
-  | Data_reply { round; version; entries } ->
+  | Data_reply { round; version; entries; rids } ->
       add_u32 b round;
       add_u64 b version;
       add_u32 b (List.length entries);
@@ -123,8 +136,14 @@ let encode_payload b = function
         (fun (k, v) ->
           add_key b k;
           add_value b v)
-        entries
-  | Commit { op_no; version; partition; put } ->
+        entries;
+      add_u32 b (List.length rids);
+      List.iter
+        (fun (client, req) ->
+          add_u32 b client;
+          add_u64 b req)
+        rids
+  | Commit { op_no; version; partition; put; rid } ->
       add_u64 b op_no;
       add_u64 b version;
       add_u64 b (Site_set.to_int partition);
@@ -133,7 +152,8 @@ let encode_payload b = function
       | Some (k, v) ->
           add_u8 b 1;
           add_key b k;
-          add_value b v)
+          add_value b v);
+      add_u64 b rid
   | Client_put { req; key; value } ->
       add_u32 b req;
       add_key b key;
@@ -151,6 +171,7 @@ let encode_payload b = function
           add_u8 b 1;
           add_value b v);
       add_key b info
+  | Abstain { round } -> add_u32 b round
 
 let encode e =
   let body = Buffer.create 64 in
@@ -221,6 +242,7 @@ let status_field c =
   | 0 -> Granted
   | 1 -> Denied
   | 2 -> Aborted
+  | 3 -> Degraded
   | _ -> raise (Bad "bad status")
 
 let replica_field c =
@@ -257,7 +279,10 @@ let decode_payload c tag =
       let n = u32 c in
       if n > max_frame then raise (Bad "entry count out of range");
       let entries = List.init n (fun _ -> let k = key c in (k, value c)) in
-      Data_reply { round; version; entries }
+      let nr = u32 c in
+      if nr > max_frame then raise (Bad "rid count out of range");
+      let rids = List.init nr (fun _ -> let client = u32 c in (client, u64 c)) in
+      Data_reply { round; version; entries; rids }
   | 10 ->
       let op_no = u64 c in
       let version = u64 c in
@@ -268,7 +293,8 @@ let decode_payload c tag =
         | 1 -> let k = key c in Some (k, value c)
         | _ -> raise (Bad "bad put flag")
       in
-      Commit { op_no; version; partition; put }
+      let rid = u64 c in
+      Commit { op_no; version; partition; put; rid }
   | 11 ->
       let req = u32 c in
       let k = key c in
@@ -287,6 +313,7 @@ let decode_payload c tag =
         | _ -> raise (Bad "bad value flag")
       in
       Client_reply { req; status; value = v; info = key c }
+  | 15 -> Abstain { round = u32 c }
   | _ -> raise (Bad "unknown tag")
 
 let decode_body body =

@@ -22,7 +22,13 @@ val is_site : int -> bool
 
 (** {2 Messages} *)
 
-type status = Granted | Denied | Aborted
+type status =
+  | Granted
+  | Denied
+  | Aborted
+  | Degraded
+      (** the site's storage has failed; it is read-only and refuses to
+          coordinate — retry elsewhere *)
 
 type payload =
   | Hello_site of { site : Site_set.site }
@@ -37,7 +43,13 @@ type payload =
   | Lock_reply of { op : int; granted : bool }
   | Unlock of { op : int }
   | Data_request of { round : int }
-  | Data_reply of { round : int; version : int; entries : (string * string) list }
+  | Data_reply of {
+      round : int;
+      version : int;
+      entries : (string * string) list;
+      rids : (int * int) list;
+          (** the applied-request table travels with the data it guards *)
+    }
       (** full store snapshot, for recovery / stale-coordinator fetch *)
   | Commit of {
       op_no : int;
@@ -46,11 +58,21 @@ type payload =
       put : (string * string) option;
           (** a write's key/value rides inside COMMIT so data and ensemble
               install atomically *)
+      rid : int;
+          (** request id the commit applies (0 = none), recorded in every
+              participant's applied-request table for retry dedup *)
     }
   | Client_put of { req : int; key : string; value : string }
   | Client_get of { req : int; key : string }
   | Client_recover of { req : int }
   | Client_reply of { req : int; status : status; value : string option; info : string }
+  | Abstain of { round : int }
+      (** a fenced or amnesiac site answering a state or lock gather:
+          alive but taking no part — lets the coordinator stop waiting
+          immediately instead of paying the full gather timeout, while
+          still being excluded from votes and new partitions exactly as
+          if it were silent.  For lock gathers, [round] carries the op
+          number. *)
 
 type envelope = { src : int; dst : int; payload : payload }
 

@@ -12,6 +12,8 @@ type event =
   | Frame_recv of { src : int; dst : int; kind : string }
   | Frame_rejected of { src : int; reason : string }
   | Frame_dropped of { src : int; dst : int; reason : string }
+  | Storage_fault of { site : int; op : string; path : string }
+  | Degraded of { site : int; reason : string }
   | Note of string
 
 type t = {
@@ -93,6 +95,10 @@ let pp_event ppf = function
       Fmt.pf ppf "frame-rejected src=%d %s" src reason
   | Frame_dropped { src; dst; reason } ->
       Fmt.pf ppf "frame-dropped %d->%d %s" src dst reason
+  | Storage_fault { site; op; path } ->
+      Fmt.pf ppf "storage-fault site=%d op=%s path=%s" site op
+        (Filename.basename path)
+  | Degraded { site; reason } -> Fmt.pf ppf "degraded site=%d %s" site reason
   | Note note -> Fmt.pf ppf "note %s" note
 
 let pp_entry ppf (at, event) = Fmt.pf ppf "+%.6fs %a" at pp_event event

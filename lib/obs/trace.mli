@@ -30,6 +30,11 @@ type event =
       (** an unframeable or checksum-failing byte stream *)
   | Frame_dropped of { src : int; dst : int; reason : string }
       (** eaten by a partition or addressed to a dead endpoint *)
+  | Storage_fault of { site : int; op : string; path : string }
+      (** a stable-storage operation failed (only the path's basename is
+          rendered — site directories carry no information) *)
+  | Degraded of { site : int; reason : string }
+      (** the site fenced itself read-only after a storage failure *)
   | Note of string
 
 type t

@@ -1,0 +1,124 @@
+The crash-point recovery matrix and the storage-fault console.  Jobs
+are pinned to 1 so cells run in a fixed order; the table itself is
+deterministic by construction (letters, not timings).
+
+  $ export CLI=../../bin/dynvote_cli.exe
+  $ export DYNVOTE_JOBS=1
+
+A slice of the matrix: one persist point per file class crossed with a
+hard error, a lying fsync, and a crash.  Every cell must come back
+Recovered (R) or explicitly Fenced (F) — Unavailable or Corrupt cells
+fail the run.
+
+  $ $CLI crashmat --dir cells --points ensemble.rename,data.fsync,oplog.write --faults eio,fsync-lie,crash
+  persist point       eio         fsync-lie   crash
+  ensemble.rename     R           R           R
+  data.fsync          R           R           R
+  oplog.write         R           R           R
+  9 cells: R recovered, F fenced (explicit, safe), U unavailable, C corrupt
+  matrix: PASS (every cell recovered or fenced)
+
+Unknown points and faults are rejected up front, listing the valid
+names.
+
+  $ $CLI crashmat --points bogus.point
+  unknown persist point "bogus.point" (have: ensemble.write, ensemble.fsync, ensemble.rename, ensemble.fsync-dir, data.write, data.fsync, data.rename, data.fsync-dir, oplog.write)
+  [2]
+
+  $ $CLI crashmat --faults gremlins
+  unknown fault "gremlins" (have: eio, enospc, short-write, fsync-fail, fsync-lie, rename-loss, read-eio, crash)
+  [2]
+
+The storage-fault console: arm a disk fault on a live site, watch the
+struck write fence it read-only, keep serving from the healthy
+majority, then power-cycle the victim through a simulated crash and
+bring it back with RECOVER.
+
+  $ cat > flow.txt <<'EOF'
+  > put 0 color blue
+  > fault 0:eio:data
+  > put 0 color red
+  > degraded
+  > put 1 color green
+  > get 0 color
+  > kill 0
+  > crash-sim 0
+  > restart 0
+  > recover 0
+  > get 0 color
+  > check
+  > EOF
+
+  $ $CLI serve --sites 4 --dir state --seed 7 --script flow.txt | sed -E 's/port [0-9]+/port PORT/'
+  serving 4 sites from state (port PORT)
+  > put 0 color blue
+  granted
+  > fault 0:eio:data
+  armed eio@1:data/write at site 0
+  > put 0 color red
+  degraded (degraded: persist failed: EIO (injected))
+  > degraded
+  site 0: degraded (persist failed: EIO (injected))
+  up: {0, 1, 2, 3}
+  > put 1 color green
+  granted
+  > get 0 color
+  degraded (degraded: persist failed: EIO (injected))
+  > kill 0
+  killed 0
+  > crash-sim 0
+  simulated power cut at site 0
+  > restart 0
+  restarted 0
+  > recover 0
+  granted
+  > get 0 color
+  granted "green"
+  > check
+  audit: 22 log records, 17 commits, 1 reads checked
+  audit: SAFE (0 violations)
+  stopped
+
+Console error paths: unknown commands list the vocabulary, malformed
+arguments are reported without killing the session, and fault-injection
+commands check the target site's state first.
+
+  $ cat > errs.txt <<'EOF'
+  > frobnicate
+  > kill abc
+  > kill 2
+  > fault 2:eio:data
+  > fault 9:eio
+  > fault 2:gremlins
+  > crash-sim 0
+  > restart 2
+  > status
+  > EOF
+
+  $ $CLI serve --sites 4 --dir state-errs --script errs.txt | sed -E 's/port [0-9]+/port PORT/'
+  serving 4 sites from state-errs (port PORT)
+  > frobnicate
+  error: unknown command "frobnicate" (put/get/recover/partition/heal/kill/restart/fault/crash-sim/degraded/status/check/stats/sleep)
+  > kill abc
+  error: malformed command "kill abc"
+  > kill 2
+  killed 2
+  > fault 2:eio:data
+  error: site 2 is down — restart it before arming
+  > fault 9:eio
+  error: no such site 9
+  > fault 2:gremlins
+  error: unknown fault "gremlins" (one of eio, enospc, short-write, fsync-fail, fsync-lie, rename-loss, read-eio, crash)
+  > crash-sim 0
+  error: site 0 is up — kill it first
+  > restart 2
+  restarted 2
+  > status
+  up: {0, 1, 2, 3}
+  stopped
+
+A bad --fault spec on the command line is a usage error, not a boot.
+
+  $ $CLI serve --sites 2 --dir state-bad --fault nonsense --script errs.txt
+  bad --fault "nonsense": expected SITE:FAULT[@nth][:file], e.g. 0:fsync-lie:data
+  [2]

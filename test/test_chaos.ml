@@ -202,11 +202,11 @@ let test_load_result_total () =
     close_out oc
   in
   write_raw "torn";
-  (match Codec.load_result ~path with
+  (match Codec.load_result ~path () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "torn file accepted");
   Sys.remove path;
-  match Codec.load_result ~path with
+  match Codec.load_result ~path () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing file accepted"
 

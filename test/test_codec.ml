@@ -31,11 +31,11 @@ let test_corruption_detected () =
 let test_file_persistence () =
   let path = Filename.temp_file "dynvote" ".state" in
   Codec.save_replica ~path sample;
-  Alcotest.check replica_testable "load after save" sample (Codec.load_replica ~path);
+  Alcotest.check replica_testable "load after save" sample (Codec.load_replica ~path ());
   (* Overwrite with a newer state; the latest wins. *)
   let newer = Replica.make ~op_no:43 ~version:18 ~partition:(ss [ 0; 2 ]) in
   Codec.save_replica ~path newer;
-  Alcotest.check replica_testable "latest state" newer (Codec.load_replica ~path);
+  Alcotest.check replica_testable "latest state" newer (Codec.load_replica ~path ());
   Sys.remove path
 
 let prop_roundtrip =

@@ -65,11 +65,13 @@ let check_status name expected (reply : Live.reply) =
     (match expected with
     | Wire.Granted -> "granted"
     | Wire.Denied -> "denied"
-    | Wire.Aborted -> "aborted")
+    | Wire.Aborted -> "aborted"
+    | Wire.Degraded -> "degraded")
     (match reply.Live.status with
     | Wire.Granted -> "granted"
     | Wire.Denied -> "denied"
-    | Wire.Aborted -> "aborted")
+    | Wire.Aborted -> "aborted"
+    | Wire.Degraded -> "degraded")
 
 let check_clean name audit =
   List.iter
@@ -93,16 +95,19 @@ let sample_payloads : Wire.payload list =
     Wire.Lock_reply { op = 0x3_00_00_17; granted = false };
     Wire.Unlock { op = 1 };
     Wire.Data_request { round = 2 };
-    Wire.Data_reply { round = 2; version = 11; entries = [ ("a", "1"); ("key two", "value\x00with bytes") ] };
-    Wire.Data_reply { round = 3; version = 0; entries = [] };
-    Wire.Commit { op_no = 8; version = 6; partition = ss [ 0; 1 ]; put = Some ("k", "v") };
-    Wire.Commit { op_no = 9; version = 6; partition = ss [ 0; 1; 2; 3 ]; put = None };
+    Wire.Data_reply { round = 2; version = 11; entries = [ ("a", "1"); ("key two", "value\x00with bytes") ];
+                      rids = [ (1, 42); (7, 3) ] };
+    Wire.Data_reply { round = 3; version = 0; entries = []; rids = [] };
+    Wire.Commit { op_no = 8; version = 6; partition = ss [ 0; 1 ]; put = Some ("k", "v");
+                  rid = (1 lsl 32) lor 42 };
+    Wire.Commit { op_no = 9; version = 6; partition = ss [ 0; 1; 2; 3 ]; put = None; rid = 0 };
     Wire.Client_put { req = 1; key = "k"; value = String.make 300 'q' };
     Wire.Client_get { req = 2; key = "k" };
     Wire.Client_recover { req = 3 };
     Wire.Client_reply { req = 2; status = Wire.Granted; value = Some "v"; info = "" };
     Wire.Client_reply { req = 9; status = Wire.Denied; value = None; info = "below majority" };
     Wire.Client_reply { req = 10; status = Wire.Aborted; value = None; info = "timeout" };
+    Wire.Abstain { round = 12 };
   ]
 
 let sample_envelopes =
@@ -166,20 +171,22 @@ let prop_wire_garbage_rejected =
 let sample_records =
   Persist.
     [
-      Log_commit { seq = 1; op_no = 2; version = 2; partition = ss [ 0; 1; 2 ] };
+      Log_commit { seq = 1; op_no = 2; version = 2; partition = ss [ 0; 1; 2 ];
+                   rid = (3 lsl 32) lor 9 };
       Log_intent { seq = 2; content = "blob-A" };
-      Log_outcome { seq = 3; kind = `Write; granted = true; content = Some "blob-A" };
-      Log_outcome { seq = 4; kind = `Read; granted = true; content = Some "blob-A" };
-      Log_outcome { seq = 5; kind = `Recover; granted = true; content = None };
-      Log_outcome { seq = 6; kind = `Write; granted = false; content = None };
+      Log_outcome { seq = 3; kind = `Write; granted = true; content = Some "blob-A";
+                    rid = (3 lsl 32) lor 9 };
+      Log_outcome { seq = 4; kind = `Read; granted = true; content = Some "blob-A"; rid = 0 };
+      Log_outcome { seq = 5; kind = `Recover; granted = true; content = None; rid = 0 };
+      Log_outcome { seq = 6; kind = `Write; granted = false; content = None; rid = 0 };
     ]
 
 let test_oplog_roundtrip () =
   with_scratch (fun dir ->
       let path = Filename.concat dir "oplog.dvl" in
-      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-      List.iter (Persist.append oc) sample_records;
-      close_out oc;
+      let log = Persist.open_log ~path () in
+      List.iter (Persist.append log) sample_records;
+      Persist.close_log log;
       let records, torn = Persist.read_log ~path in
       Alcotest.(check bool) "no torn tail" false torn;
       Alcotest.(check bool) "records round trip" true (records = sample_records))
@@ -187,9 +194,9 @@ let test_oplog_roundtrip () =
 let test_oplog_torn_tail () =
   with_scratch (fun dir ->
       let path = Filename.concat dir "oplog.dvl" in
-      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-      List.iter (Persist.append oc) sample_records;
-      close_out oc;
+      let log = Persist.open_log ~path () in
+      List.iter (Persist.append log) sample_records;
+      Persist.close_log log;
       (* Chop mid-record: everything before the tear survives, the tear is
          reported, nothing is invented. *)
       let full = In_channel.with_open_bin path In_channel.input_all in
@@ -205,9 +212,9 @@ let test_data_blob_roundtrip () =
       let path = Filename.concat dir "data.dvl" in
       let entries = [ ("b", "2"); ("a", "1"); ("c", String.make 1000 'z') ] in
       Persist.save_data ~path ~version:41 entries;
-      match Persist.load_data_result ~path with
+      match Persist.load_data_result ~path () with
       | Error reason -> Alcotest.fail reason
-      | Ok (version, loaded) ->
+      | Ok (version, loaded, _rids) ->
           Alcotest.(check int) "version" 41 version;
           Alcotest.(check bool) "entries (sorted)" true
             (loaded = List.sort compare entries);
@@ -218,7 +225,7 @@ let test_data_blob_roundtrip () =
             (Char.chr (Char.code (Bytes.get bad (String.length raw / 2)) lxor 0x10));
           Out_channel.with_open_bin path (fun oc ->
               Out_channel.output_bytes oc bad);
-          (match Persist.load_data_result ~path with
+          (match Persist.load_data_result ~path () with
           | Error _ -> ()
           | Ok _ -> Alcotest.fail "corrupted data blob accepted"))
 
