@@ -923,7 +923,61 @@ module Loadgen = Dynvote_live.Loadgen
 module Hub = Dynvote_obs.Hub
 module Batch_means = Dynvote_stats.Batch_means
 
-let serve_run ?(duration = 1.5) ~durable ~obs () =
+module Obs_metrics = Dynvote_obs.Metrics
+
+type hist_summary = { hs_n : int; hs_mean : float; hs_max : float }
+
+(* Per-run facts beyond the loadgen result: the readiness backend, the
+   exactly-once audit, and the event-loop/pipelining shape (batch sizes,
+   rounds in flight, anchor reuse) read back from the hub registry. *)
+type serve_extras = {
+  x_backend : string;
+  x_dup_applies : int;
+  x_lock_rounds : int;
+  x_gather_reused : int;
+  x_batch_frames : hist_summary;
+  x_inflight : hist_summary;
+  x_commit_batch : hist_summary;
+}
+
+(* The shape of one serve configuration; [coordinator] funnels every
+   call to one site (where anchoring and pipelining pay off). *)
+type serve_shape = {
+  sh_clients : int;
+  sh_mode : Loadgen.mode;
+  sh_pipeline : int;
+  sh_max_reuse : int;
+  sh_coordinator : int option;
+}
+
+let baseline_shape =
+  {
+    sh_clients = 4;
+    sh_mode = `Threads;
+    sh_pipeline = 1;
+    sh_max_reuse = 0;
+    sh_coordinator = None;
+  }
+
+let pipelined_shape =
+  {
+    sh_clients = 32;
+    sh_mode = `Mux;
+    sh_pipeline = 8;
+    sh_max_reuse = 64;
+    sh_coordinator = Some 1;
+  }
+
+let hist_summary m name =
+  let h = Obs_metrics.histogram m name in
+  {
+    hs_n = Obs_metrics.histogram_count h;
+    hs_mean = Obs_metrics.histogram_mean h;
+    hs_max = Obs_metrics.histogram_max h;
+  }
+
+let serve_run ?(duration = 1.5) ?(shape = baseline_shape) ?(driver = Loadgen.run)
+    ~durable ~obs () =
   let dir = Filename.temp_file "dynvote-bench-serve" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
@@ -933,30 +987,252 @@ let serve_run ?(duration = 1.5) ~durable ~obs () =
       Dynvote_live.Node.gather_timeout = 0.05;
       lock_backoff = 0.02;
       durable;
+      pipeline = shape.sh_pipeline;
+      max_reuse = shape.sh_max_reuse;
     }
   in
   let cluster = Live.create ~config ~obs ~universe:(Site_set.universe 4) ~dir () in
   let result =
-    Loadgen.run cluster
-      { Loadgen.default with Loadgen.clients = 4; duration; seed = 11 }
+    driver cluster
+      {
+        Loadgen.default with
+        Loadgen.clients = shape.sh_clients;
+        duration;
+        seed = 11;
+        mode = shape.sh_mode;
+        sites = Option.map Site_set.singleton shape.sh_coordinator;
+      }
   in
   let audit = Live.check cluster in
+  let m = (Live.obs cluster).Hub.metrics in
+  let counter name = Obs_metrics.counter_value (Obs_metrics.counter m name) in
+  let extras =
+    {
+      x_backend = Live.backend cluster;
+      x_dup_applies = audit.Live.dup_applies;
+      x_lock_rounds = counter "live.lock.rounds";
+      x_gather_reused = counter "live.gather.reused";
+      x_batch_frames = hist_summary m "net.batch.frames";
+      x_inflight = hist_summary m "live.rounds.inflight";
+      x_commit_batch = hist_summary m "live.commit.batch";
+    }
+  in
   Live.shutdown cluster;
-  (result, Dynvote_chaos.Oracle.is_safe audit.Live.oracle)
+  ( result,
+    Dynvote_chaos.Oracle.is_safe audit.Live.oracle && audit.Live.dup_applies = 0,
+    extras )
 
+let serve_goodput (r : Loadgen.result) = r.Loadgen.goodput.Batch_means.mean
+
+(* Baseline (sequential coordinator, thread-per-client generator) against
+   the event-driven pipelined service (mux generator, one coordinator,
+   anchored lock rounds).  The acceptance gate is >= 10x goodput at equal
+   safety: audits green and zero duplicate applies on both sides. *)
 let serve () =
   section "SERVE"
-    "Live service: 4 sites on loopback sockets, 4 closed-loop clients, 30% \
-     writes.\nDurable pays two fsyncs per commit per site; buffered keeps the \
-     atomic\nreplace but trusts the page cache.";
-  List.map
-    (fun (name, durable) ->
-      let r, safe = serve_run ~durable ~obs:(Hub.create ()) () in
-      Fmt.pr "[%s] audit %s@.@[<v>%a@]@.@." name
-        (if safe then "SAFE" else "UNSAFE")
-        Loadgen.pp_result r;
-      (name, r, safe))
-    [ ("durable", true); ("buffered", false) ]
+    "Live service: 4 sites on loopback sockets, 30% writes.  Baseline is \
+     the\nsequential coordinator (pipeline 1, thread-per-client); pipelined \
+     funnels a\nmux client herd at one coordinator (pipeline 8, anchor reuse \
+     64).  Durable\npays two fsyncs per commit per site; buffered keeps the \
+     atomic replace but\ntrusts the page cache.";
+  let runs =
+    List.map
+      (fun (name, durable, shape) ->
+        let r, safe, extras = serve_run ~duration:2.0 ~shape ~durable ~obs:(Hub.create ()) () in
+        Fmt.pr "[%s] audit %s  loop %s@.@[<v>%a@]@." name
+          (if safe then "SAFE" else "UNSAFE")
+          extras.x_backend Loadgen.pp_result r;
+        if shape.sh_pipeline > 1 then
+          Fmt.pr
+            "pipeline: %d lock rounds for %d granted (%d joined an anchor)  \
+             commit batch mean %.1f  frame batch mean %.2f@."
+            extras.x_lock_rounds
+            (r.Loadgen.reads.Loadgen.granted + r.Loadgen.writes.Loadgen.granted)
+            extras.x_gather_reused extras.x_commit_batch.hs_mean
+            extras.x_batch_frames.hs_mean;
+        Fmt.pr "@.";
+        (name, shape, r, safe, extras))
+      [
+        ("durable", true, baseline_shape);
+        ("buffered", false, baseline_shape);
+        ("pipelined-durable", true, pipelined_shape);
+        ("pipelined-buffered", false, pipelined_shape);
+      ]
+  in
+  let find name =
+    let _, _, r, safe, _ =
+      List.find (fun (n, _, _, _, _) -> n = name) runs
+    in
+    (r, safe)
+  in
+  let speedup base pipelined =
+    let b, b_safe = find base and p, p_safe = find pipelined in
+    let ratio =
+      if serve_goodput b > 0.0 then serve_goodput p /. serve_goodput b else nan
+    in
+    (ratio, b_safe && p_safe)
+  in
+  let durable_speedup, durable_safe = speedup "durable" "pipelined-durable" in
+  let buffered_speedup, buffered_safe = speedup "buffered" "pipelined-buffered" in
+  let gate = buffered_speedup >= 10.0 && buffered_safe in
+  Fmt.pr
+    "speedup: durable %.1fx (%s), buffered %.1fx (%s)@.gate: %s - pipelined \
+     buffered >= 10x baseline at equal safety@.@."
+    durable_speedup
+    (if durable_safe then "safe" else "UNSAFE")
+    buffered_speedup
+    (if buffered_safe then "safe" else "UNSAFE")
+    (if gate then "PASS" else "FAIL");
+  (runs, (durable_speedup, buffered_speedup, gate))
+
+(* One sweep step's client herd in a separate process.  RLIMIT_NOFILE
+   is per-process, and without CAP_SYS_RESOURCE the hard cap cannot be
+   raised — so when both ends of ten thousand loopback sockets cannot
+   share one descriptor table, the herd's end moves out: the child
+   re-executes this binary with a hidden flag, drives
+   [Loadgen.run_at] against the parent's switchboard port, and ships
+   the marshalled result back over a pipe. *)
+let mux_child_flag = "--mux-child"
+
+let mux_child_config ~clients ~duration ~seed =
+  {
+    Loadgen.default with
+    Loadgen.clients;
+    duration;
+    seed;
+    mode = `Mux;
+    sites = Option.map Site_set.singleton pipelined_shape.sh_coordinator;
+  }
+
+let mux_child_main () =
+  match Sys.argv with
+  | [| _; flag; port; clients; duration; seed |] when flag = mux_child_flag ->
+      let config =
+        mux_child_config ~clients:(int_of_string clients)
+          ~duration:(float_of_string duration) ~seed:(int_of_string seed)
+      in
+      let result =
+        Loadgen.run_at ~port:(int_of_string port)
+          ~universe:(Site_set.universe 4) config
+      in
+      set_binary_mode_out stdout true;
+      Marshal.to_channel stdout result [];
+      exit 0
+  | _ -> ()
+
+let run_mux_in_child cluster (config : Loadgen.config) =
+  let rd, wr = Unix.pipe () in
+  let argv =
+    [|
+      Sys.executable_name;
+      mux_child_flag;
+      string_of_int (Live.port cluster);
+      string_of_int config.Loadgen.clients;
+      Printf.sprintf "%.17g" config.Loadgen.duration;
+      string_of_int config.Loadgen.seed;
+    |]
+  in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin wr Unix.stderr in
+  Unix.close wr;
+  let ic = Unix.in_channel_of_descr rd in
+  set_binary_mode_in ic true;
+  let result =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        (Marshal.from_channel ic : Loadgen.result))
+  in
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> failwith "mux herd child exited abnormally");
+  result
+
+(* The goodput/latency knee: the same pipelined-buffered service under a
+   widening mux client herd.  Ten thousand clients are ten thousand
+   sockets on each side of the broker, so the fd limit is raised first;
+   a step whose two socket ends cannot share the descriptor table runs
+   its herd in a child process (each process has its own limit), and a
+   step that cannot fit even then is dropped loudly, never silently. *)
+let serve_sweep () =
+  section "SERVE-SWEEP"
+    "Client scaling, 10 -> 10k: the pipelined-buffered configuration under \
+     a\ngrowing mux herd.  Goodput saturates at the coordinator's capacity; \
+     the\nlatency knee is where queueing for the pipeline begins.";
+  let steps = [ 10; 32; 100; 320; 1000; 3200; 10000 ] in
+  let limit = Dynvote_live.Evloop.raise_fd_limit (2 * 10000 + 4096) in
+  let fits_in_process c = (2 * c) + 512 <= limit in
+  let fits_with_child c = c + 512 <= limit in
+  let rows =
+    List.filter_map
+      (fun clients ->
+        let shape = { pipelined_shape with sh_clients = clients } in
+        let driver =
+          if fits_in_process clients then Some Loadgen.run
+          else if fits_with_child clients then begin
+            Fmt.pr
+              "%d clients: both socket ends exceed the fd limit (%d); running \
+               the herd in a child process@."
+              clients limit;
+            Some run_mux_in_child
+          end
+          else begin
+            Fmt.pr "skipping %d clients: fd limit %d is too low even split \
+                    across two processes@."
+              clients limit;
+            None
+          end
+        in
+        (* The measurement window opens before the herd connects, and a
+           ten-thousand-client handshake wave takes several seconds on
+           its own — scale the window so the biggest herds still get a
+           few seconds of steady state inside it. *)
+        let duration = Float.max 2.5 (float_of_int clients /. 800.) in
+        Option.map
+          (fun driver ->
+            let r, safe, _ =
+              serve_run ~duration ~shape ~driver ~durable:false
+                ~obs:(Hub.create ()) ()
+            in
+            (clients, r, safe))
+          driver)
+      steps
+  in
+  let table =
+    Text_table.create
+      ~aligns:
+        [ Text_table.Right; Text_table.Right; Text_table.Right;
+          Text_table.Right; Text_table.Right; Text_table.Right; Text_table.Left ]
+      ~header:
+        [ "clients"; "goodput"; "p50 ms"; "p95 ms"; "p99 ms"; "late"; "audit" ]
+      ()
+  in
+  List.iter
+    (fun (clients, (r : Loadgen.result), safe) ->
+      let ms v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" (v *. 1e3) in
+      let p q =
+        (* reads and writes see the same queue; report the slower side *)
+        Float.max
+          (match q with
+          | `P50 -> r.Loadgen.reads.Loadgen.p50
+          | `P95 -> r.Loadgen.reads.Loadgen.p95
+          | `P99 -> r.Loadgen.reads.Loadgen.p99)
+          (match q with
+          | `P50 -> r.Loadgen.writes.Loadgen.p50
+          | `P95 -> r.Loadgen.writes.Loadgen.p95
+          | `P99 -> r.Loadgen.writes.Loadgen.p99)
+      in
+      Text_table.add_row table
+        [
+          string_of_int clients;
+          Printf.sprintf "%.0f" (serve_goodput r);
+          ms (p `P50);
+          ms (p `P95);
+          ms (p `P99);
+          string_of_int r.Loadgen.late;
+          (if safe then "SAFE" else "UNSAFE");
+        ])
+    rows;
+  Text_table.print table;
+  Fmt.pr "@.";
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* OBS: what the observability layer costs.  The same buffered run with
@@ -982,8 +1258,9 @@ let obs_bench () =
   in
   let target = 0.10 and max_duration = 12.0 in
   let rec measure duration =
-    let ((live_r, _) as live) = serve_run ~duration ~durable:false ~obs:(Hub.create ()) () in
-    let ((noop_r, _) as noop) = serve_run ~duration ~durable:false ~obs:Hub.noop () in
+    let live_r, live_safe, _ = serve_run ~duration ~durable:false ~obs:(Hub.create ()) () in
+    let noop_r, noop_safe, _ = serve_run ~duration ~durable:false ~obs:Hub.noop () in
+    let live = (live_r, live_safe) and noop = (noop_r, noop_safe) in
     let worst = Float.max (rel_hw live_r) (rel_hw noop_r) in
     if worst > target && duration *. 2.0 <= max_duration then begin
       Fmt.pr "  (%.1f s runs leave a +/-%.0f%% goodput CI - above the %.0f%% \
@@ -1028,40 +1305,82 @@ let obs_bench () =
    service — one record per configuration, plus the instrumentation
    overhead, so regressions show up as a diff.                         *)
 
-let write_bench_serve ~path serve_results
+let write_bench_serve ~path
+    (serve_results, (durable_speedup, buffered_speedup, speedup_gate)) sweep
     ((live_r, live_safe), (noop_r, noop_safe), overhead_pct, ci_overlap, obs_duration) =
-  let b = Buffer.create 1024 in
+  let b = Buffer.create 4096 in
   let fl v =
     if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
   in
-  let emit_run name (r : Loadgen.result) safe =
-    let op (o : Loadgen.op_stats) =
-      Printf.sprintf
-        "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"degraded\":%d,\"retried\":%d,\"dup_acks\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
-        o.Loadgen.issued o.Loadgen.granted o.Loadgen.denied o.Loadgen.aborted
-        o.Loadgen.degraded o.Loadgen.retried o.Loadgen.dup_acks
-        (fl o.Loadgen.p50) (fl o.Loadgen.p95) (fl o.Loadgen.p99)
-    in
-    Buffer.add_string b
-      (Printf.sprintf
-         "\"%s\":{\"goodput\":%s,\"half_width\":%s,\"batches\":%d,\"wall\":%s,\"late\":%d,\"safe\":%b,\"reads\":%s,\"writes\":%s}"
-         name
-         (fl r.Loadgen.goodput.Batch_means.mean)
-         (fl r.Loadgen.goodput.Batch_means.half_width)
-         r.Loadgen.goodput.Batch_means.batches
-         (fl r.Loadgen.wall) r.Loadgen.late safe (op r.Loadgen.reads)
-         (op r.Loadgen.writes))
+  let op (o : Loadgen.op_stats) =
+    Printf.sprintf
+      "{\"issued\":%d,\"granted\":%d,\"denied\":%d,\"aborted\":%d,\"degraded\":%d,\"retried\":%d,\"dup_acks\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+      o.Loadgen.issued o.Loadgen.granted o.Loadgen.denied o.Loadgen.aborted
+      o.Loadgen.degraded o.Loadgen.retried o.Loadgen.dup_acks
+      (fl o.Loadgen.p50) (fl o.Loadgen.p95) (fl o.Loadgen.p99)
   in
-  Buffer.add_string b "{\"schema\":\"dynvote-bench-serve/3\",\"runs\":{";
+  let result_fields (r : Loadgen.result) safe =
+    Printf.sprintf
+      "\"goodput\":%s,\"half_width\":%s,\"batches\":%d,\"wall\":%s,\"late\":%d,\"safe\":%b,\"reads\":%s,\"writes\":%s"
+      (fl r.Loadgen.goodput.Batch_means.mean)
+      (fl r.Loadgen.goodput.Batch_means.half_width)
+      r.Loadgen.goodput.Batch_means.batches
+      (fl r.Loadgen.wall) r.Loadgen.late safe (op r.Loadgen.reads)
+      (op r.Loadgen.writes)
+  in
+  let shape_fields s =
+    Printf.sprintf
+      "\"clients\":%d,\"mode\":\"%s\",\"pipeline\":%d,\"max_reuse\":%d,\"coordinator\":%s"
+      s.sh_clients
+      (match s.sh_mode with `Threads -> "threads" | `Mux -> "mux")
+      s.sh_pipeline s.sh_max_reuse
+      (match s.sh_coordinator with None -> "null" | Some c -> string_of_int c)
+  in
+  let hist h =
+    Printf.sprintf "{\"n\":%d,\"mean\":%s,\"max\":%s}" h.hs_n (fl h.hs_mean)
+      (fl h.hs_max)
+  in
+  let extras_fields x =
+    Printf.sprintf
+      "\"dup_applies\":%d,\"lock_rounds\":%d,\"gather_reused\":%d,\"batch_frames\":%s,\"rounds_inflight\":%s,\"commit_batch\":%s"
+      x.x_dup_applies x.x_lock_rounds x.x_gather_reused
+      (hist x.x_batch_frames) (hist x.x_inflight) (hist x.x_commit_batch)
+  in
+  let loop_backend =
+    match serve_results with
+    | (_, _, _, _, x) :: _ -> x.x_backend
+    | [] -> "unknown"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"dynvote-bench-serve/4\",\"loop_backend\":\"%s\",\"runs\":{"
+       loop_backend);
   List.iteri
-    (fun i (name, r, safe) ->
+    (fun i (name, shape, r, safe, x) ->
       if i > 0 then Buffer.add_char b ',';
-      emit_run name r safe)
-    (serve_results
-    @ [ ("obs-live", live_r, live_safe); ("obs-noop", noop_r, noop_safe) ]);
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{%s,%s,%s}" name (shape_fields shape)
+           (result_fields r safe) (extras_fields x)))
+    serve_results;
+  List.iter
+    (fun (name, r, safe) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":{%s,%s}" name (shape_fields baseline_shape)
+           (result_fields r safe)))
+    [ ("obs-live", live_r, live_safe); ("obs-noop", noop_r, noop_safe) ];
   Buffer.add_string b
     (Printf.sprintf
-       "},\"obs_overhead_pct\":%s,\"obs_ci_overlap\":%b,\"obs_duration_s\":%s,\"obs_gate\":\"%s\"}"
+       "},\"speedup\":{\"durable\":%s,\"buffered\":%s,\"gate\":\"%s\",\"floor\":10.0},\"sweep\":["
+       (fl durable_speedup) (fl buffered_speedup)
+       (if speedup_gate then "pass" else "fail"));
+  List.iteri
+    (fun i (clients, (r : Loadgen.result), safe) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"clients\":%d,%s}" clients (result_fields r safe)))
+    sweep;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"obs_overhead_pct\":%s,\"obs_ci_overlap\":%b,\"obs_duration_s\":%s,\"obs_gate\":\"%s\"}"
        (fl overhead_pct) ci_overlap (fl obs_duration)
        (if ci_overlap || overhead_pct <= 5.0 then "pass" else "fail"));
   let oc = open_out path in
@@ -1234,6 +1553,8 @@ let write_bench_crash ~path
   Fmt.pr "wrote %s@." path
 
 let () =
+  (* A child herd re-exec sees the flag before anything prints. *)
+  mux_child_main ();
   Fmt.pr "dynvote benchmark harness - 'Efficient Dynamic Voting Algorithms' (ICDE 1988)@.";
   Fmt.pr "jobs: %d (-j N or DYNVOTE_JOBS to change; hardware recommends %d)@." jobs
     (Pool.recommended ());
@@ -1252,8 +1573,10 @@ let () =
   mc ();
   par ();
   let serve_results = serve () in
+  let sweep_results = serve_sweep () in
   let obs_results = obs_bench () in
-  write_bench_serve ~path:"BENCH_SERVE.json" serve_results obs_results;
+  write_bench_serve ~path:"BENCH_SERVE.json" serve_results sweep_results
+    obs_results;
   let crash_results = crash_bench () in
   write_bench_crash ~path:"BENCH_CRASH.json" crash_results;
   micro ();

@@ -613,6 +613,22 @@ let live_buffered =
   in
   Arg.(value & flag & info [ "buffered" ] ~doc)
 
+let live_pipeline =
+  let doc =
+    "Client operations a coordinator admits concurrently, as \
+     effect-suspended fibers behind a ticket turnstile.  1 (the default) \
+     is the fully sequential coordinator."
+  in
+  Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"N" ~doc)
+
+let live_max_reuse =
+  let doc =
+    "Operations that may join an anchored lock round and decide against \
+     its cached gather before a fresh round is forced.  0 (the default) \
+     disables anchoring: every operation runs its own lock round."
+  in
+  Arg.(value & opt int 0 & info [ "max-reuse" ] ~docv:"N" ~doc)
+
 let live_flavor text =
   match Harness.policy_of_string text with
   | Some p -> p.Harness.flavor
@@ -623,12 +639,14 @@ let live_flavor text =
 (* Loopback tuning: the library default (0.2 s rounds) is patience for a
    real network; here every peer is micro-seconds away and snappy rounds
    keep lock contention cheap. *)
-let live_config ~buffered =
+let live_config ?(pipeline = 1) ?(max_reuse = 0) ~buffered () =
   {
     Live_node.default_config with
     Live_node.gather_timeout = 0.05;
     lock_backoff = 0.02;
     durable = not buffered;
+    pipeline;
+    max_reuse;
   }
 
 let fresh_temp_dir () =
@@ -830,7 +848,8 @@ let serve_cmd =
     in
     Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
   in
-  let run sites policy_text buffered seed dir script fault_specs =
+  let run sites policy_text buffered pipeline max_reuse seed dir script
+      fault_specs =
     let dir = match dir with Some d -> d | None -> fresh_temp_dir () in
     let universe = Site_set.universe sites in
     (* Every site's storage runs through its own fault-injection
@@ -857,7 +876,7 @@ let serve_cmd =
     in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~buffered)
+        ~config:(live_config ~pipeline ~max_reuse ~buffered ())
         ~vfs_of:(fun site -> Faultfs.vfs (faultfs_of site))
         ~universe ~dir ()
     in
@@ -897,8 +916,8 @@ let serve_cmd =
           via --fault and the fault/crash-sim commands), and an on-demand \
           safety audit that replays every node's on-disk operation log \
           through the oracle.")
-    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
-          $ dir_arg $ script_arg $ fault_arg)
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ live_pipeline
+          $ live_max_reuse $ seed $ dir_arg $ script_arg $ fault_arg)
 
 let loadgen_cmd =
   let clients_arg =
@@ -939,17 +958,53 @@ let loadgen_cmd =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  let run sites policy_text buffered seed clients duration write_ratio keys
-      value_bytes rate retries no_check =
+  let mux_arg =
+    let doc =
+      "Multiplex every client onto one thread through a readiness loop of \
+       nonblocking connections (closed loop only, no cross-site retries).  \
+       Thousands of clients are thousands of descriptors, not threads."
+    in
+    Arg.(value & flag & info [ "mux" ] ~doc)
+  in
+  let site_arg =
+    let doc =
+      "Coordinate every call at site $(docv) (default: spread uniformly \
+       over all sites).  A single coordinator is where lock anchoring and \
+       pipelining pay off — rival coordinators at other sites contend for \
+       the same global locks."
+    in
+    Arg.(value & opt (some int) None & info [ "site" ] ~docv:"S" ~doc)
+  in
+  let net_stats_arg =
+    Arg.(value & flag
+         & info [ "net-stats" ]
+             ~doc:
+               "Also print the event-loop and pipelining counters (wakeups, \
+                batch sizes, rounds in flight, anchor reuse).")
+  in
+  let run sites policy_text buffered pipeline max_reuse seed clients duration
+      write_ratio keys value_bytes rate retries mux site net_stats no_check =
     let dir = fresh_temp_dir () in
     let universe = Site_set.universe sites in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~buffered) ~universe ~dir ()
+        ~config:(live_config ~pipeline ~max_reuse ~buffered ())
+        ~universe ~dir ()
+    in
+    let target_sites =
+      match site with
+      | None -> None
+      | Some s ->
+          if not (Site_set.mem s universe) then begin
+            Fmt.epr "dynvote: --site %d is not in the universe@." s;
+            exit 2
+          end;
+          Some (Site_set.singleton s)
     in
     let config =
       { Loadgen.clients; duration; write_ratio; keys; value_bytes; rate; seed;
-        sites = None; retries }
+        sites = target_sites; retries;
+        mode = (if mux then `Mux else `Threads) }
     in
     let result = Loadgen.run cluster config in
     Fmt.pr "%a@." Loadgen.pp_result result;
@@ -968,6 +1023,27 @@ let loadgen_cmd =
           (Obs_metrics.histogram_count h)
           pp_q (h, 0.50) pp_q (h, 0.95) pp_q (h, 0.99))
       [ ("reads", "loadgen.read.seconds"); ("writes", "loadgen.write.seconds") ];
+    if net_stats then begin
+      Fmt.pr "loop %s: %d wakeups@." (Live.backend cluster)
+        (Obs_metrics.counter_value
+           (Obs_metrics.counter m "net.loop.wakeups"));
+      List.iter
+        (fun (label, name) ->
+          let h = Obs_metrics.histogram m name in
+          Fmt.pr "hist %-16s n=%-7d mean %.2f  max %.0f@." label
+            (Obs_metrics.histogram_count h)
+            (Obs_metrics.histogram_mean h)
+            (Obs_metrics.histogram_max h))
+        [ ("batch.frames", "net.batch.frames");
+          ("rounds.inflight", "live.rounds.inflight");
+          ("commit.batch", "live.commit.batch") ];
+      List.iter
+        (fun name ->
+          Fmt.pr "ctr  %-20s %d@." name
+            (Obs_metrics.counter_value (Obs_metrics.counter m name)))
+        [ "live.lock.rounds"; "live.gather.reused"; "live.commit.waves";
+          "live.op.granted" ]
+    end;
     let ok =
       no_check
       ||
@@ -986,9 +1062,10 @@ let loadgen_cmd =
           Reports goodput with a batch-means 95% confidence interval, exact \
           latency percentiles (plus the registry's log-scaled histograms), \
           and the end-of-run safety audit.")
-    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
-          $ clients_arg $ duration_arg $ write_ratio_arg $ keys_arg
-          $ value_bytes_arg $ rate_arg $ retries_arg $ no_check_arg)
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ live_pipeline
+          $ live_max_reuse $ seed $ clients_arg $ duration_arg
+          $ write_ratio_arg $ keys_arg $ value_bytes_arg $ rate_arg
+          $ retries_arg $ mux_arg $ site_arg $ net_stats_arg $ no_check_arg)
 
 let stats_cmd =
   let json_arg =
@@ -1008,7 +1085,7 @@ let stats_cmd =
     let universe = Site_set.universe sites in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~buffered) ~universe ~dir ()
+        ~config:(live_config ~buffered ()) ~universe ~dir ()
     in
     let config = { Loadgen.default with Loadgen.clients = 2; duration; seed } in
     ignore (Loadgen.run cluster config : Loadgen.result);

@@ -27,6 +27,7 @@ let universe t = t.universe
 let dir t = t.dir
 let obs t = t.hub
 let port t = Switchboard.port t.sw
+let backend t = Switchboard.backend t.sw
 let up_sites t = Switchboard.up_sites t.sw
 
 let degraded t site =

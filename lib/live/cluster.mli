@@ -52,6 +52,12 @@ val obs : t -> Dynvote_obs.Hub.t
     [dynvote stats] and the load generator read their numbers. *)
 
 val port : t -> int
+
+val backend : t -> string
+(** The switchboard's readiness backend (["epoll"] or ["poll"]) —
+    recorded in bench output. *)
+
+
 val up_sites : t -> Site_set.t
 
 val degraded : t -> Site_set.site -> string option

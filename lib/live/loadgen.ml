@@ -16,6 +16,8 @@ module Clock = Dynvote_obs.Clock
 module Metrics = Dynvote_obs.Metrics
 module Hub = Dynvote_obs.Hub
 
+type mode = [ `Threads | `Mux ]
+
 type config = {
   clients : int;
   duration : float;
@@ -26,6 +28,7 @@ type config = {
   seed : int;
   sites : Site_set.t option;
   retries : int;
+  mode : mode;
 }
 
 let default =
@@ -39,6 +42,7 @@ let default =
     seed = 1;
     sites = None;
     retries = 0;
+    mode = `Threads;
   }
 
 type op_stats = {
@@ -94,10 +98,13 @@ type instruments = {
   i_fenced : Metrics.counter;
 }
 
+let dup_info ~status ~info =
+  status = Wire.Granted
+  && String.length info >= 9
+  && String.sub info 0 9 = "duplicate"
+
 let is_dup_ack (reply : Cluster.reply) =
-  reply.Cluster.status = Wire.Granted
-  && String.length reply.Cluster.info >= 9
-  && String.sub reply.Cluster.info 0 9 = "duplicate"
+  dup_info ~status:reply.Cluster.status ~info:reply.Cluster.info
 
 let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
   let rng = Rng.create ~seed:seed64 () in
@@ -198,37 +205,217 @@ let stats_of samples =
     p99 = percentile sorted 0.99;
   }
 
-let run cluster config =
-  if config.clients < 1 then invalid_arg "Loadgen.run: need at least one client";
-  if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration";
-  let hub = Cluster.obs cluster in
-  let ins =
-    {
-      i_read_h = Metrics.histogram hub.Hub.metrics "loadgen.read.seconds";
-      i_write_h = Metrics.histogram hub.Hub.metrics "loadgen.write.seconds";
-      i_issued = Metrics.counter hub.Hub.metrics "loadgen.ops.issued";
-      i_granted = Metrics.counter hub.Hub.metrics "loadgen.ops.granted";
-      i_retries = Metrics.counter hub.Hub.metrics "loadgen.ops.retries";
-      i_dup_acks = Metrics.counter hub.Hub.metrics "loadgen.ops.dup_acks";
-      i_fenced = Metrics.counter hub.Hub.metrics "loadgen.ops.fenced";
-    }
+(* --- multiplexed mode ---------------------------------------------------
+
+   One thread drives every client through an {!Evloop}: each client is a
+   nonblocking socket with an {!Evconn} framing layer and a single
+   outstanding operation (closed loop).  Ten thousand clients are ten
+   thousand descriptors, not ten thousand threads — this is the shape
+   that finds the goodput/latency knee of the event-driven service.
+   Cross-site retries need the blocking client's site-hopping logic, so
+   the mux mode runs with [retries = 0] semantics regardless. *)
+
+type mux_client = {
+  mc_index : int;
+  mc_fd : Unix.file_descr;
+  mc_conn : Evconn.t;
+  mc_rng : Rng.t;
+  mutable mc_id : int;  (* endpoint id; 0 until Welcome *)
+  mutable mc_req : int;
+  mutable mc_outstanding : (float * bool) option;  (* start, is_write *)
+  mutable mc_writing : bool;  (* current write-interest registration *)
+  mutable mc_done : bool;
+  mc_journal : sample list ref;
+}
+
+let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
+  if config.rate <> None then
+    invalid_arg "Loadgen.run: open-loop arrivals need mode = `Threads";
+  let targets =
+    match config.sites with
+    | Some sites -> Array.of_list (Site_set.to_list sites)
+    | None -> Array.of_list (Site_set.to_list universe)
   in
-  let t_start = Clock.now () in
-  let t_end = t_start +. config.duration in
+  let payload = String.make (max 1 config.value_bytes) 'x' in
   let seeds = worker_seeds ~seed:config.seed ~n:config.clients in
-  let journals = Array.init config.clients (fun _ -> ref []) in
-  let threads =
-    Array.mapi
-      (fun index journal ->
-        Thread.create
-          (fun () ->
-            worker cluster config ~seed64:seeds.(index) ~index ~t_start ~t_end
-              ~ins journal)
-          ())
-      journals
+  let loop = Evloop.create () in
+  let by_fd : (Unix.file_descr, mux_client) Hashtbl.t =
+    Hashtbl.create (2 * config.clients)
   in
-  Array.iter Thread.join threads;
-  let wall = Clock.now () -. t_start in
+  let clients =
+    Array.init config.clients (fun index ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+           Unix.setsockopt sock Unix.TCP_NODELAY true
+         with e ->
+           (try Unix.close sock with Unix.Unix_error _ -> ());
+           raise e);
+        let conn = Evconn.of_fd sock in
+        let c =
+          {
+            mc_index = index;
+            mc_fd = sock;
+            mc_conn = conn;
+            mc_rng = Rng.create ~seed:seeds.(index) ();
+            mc_id = 0;
+            mc_req = 0;
+            mc_outstanding = None;
+            mc_writing = false;
+            mc_done = false;
+            mc_journal = ref [];
+          }
+        in
+        Hashtbl.replace by_fd sock c;
+        Evloop.add loop sock ~read:true ~write:false;
+        ignore
+          (Evconn.enqueue conn
+             { Wire.src = 0; dst = Wire.broker_id; payload = Wire.Hello_client }
+            : [ `Ok | `Overflow ]);
+        c)
+  in
+  let live = ref (Array.length clients) in
+  let finish_client c =
+    if not c.mc_done then begin
+      c.mc_done <- true;
+      decr live;
+      Evloop.remove loop c.mc_fd;
+      Hashtbl.remove by_fd c.mc_fd;
+      Evconn.close c.mc_conn
+    end
+  in
+  let record c ~status ~is_write ~start ~dup =
+    let finish = Clock.now () in
+    let latency = finish -. start in
+    Metrics.observe (if is_write then ins.i_write_h else ins.i_read_h) latency;
+    if status = Wire.Granted then Metrics.incr ins.i_granted;
+    if status = Wire.Degraded then Metrics.incr ins.i_fenced;
+    if dup then Metrics.incr ins.i_dup_acks;
+    c.mc_journal :=
+      {
+        s_write = is_write;
+        s_status = status;
+        s_finish = finish;
+        s_latency = latency;
+        s_retries = 0;
+        s_dup = dup;
+      }
+      :: !(c.mc_journal)
+  in
+  let sync_write c =
+    match Evconn.flush c.mc_conn with
+    | `Closed -> finish_client c
+    | `Idle | `Blocked ->
+        let want = Evconn.want_write c.mc_conn in
+        if want <> c.mc_writing then begin
+          c.mc_writing <- want;
+          Evloop.modify loop c.mc_fd ~read:true ~write:want
+        end
+  in
+  let issue c =
+    let now = Clock.now () in
+    if now >= t_end then finish_client c
+    else begin
+      Metrics.incr ins.i_issued;
+      c.mc_req <- c.mc_req + 1;
+      let at = targets.(Rng.int c.mc_rng (Array.length targets)) in
+      let key = Printf.sprintf "k%d" (Rng.int c.mc_rng (max 1 config.keys)) in
+      let is_write = Rng.float c.mc_rng < config.write_ratio in
+      let frame =
+        if is_write then
+          Wire.Client_put
+            {
+              req = c.mc_req;
+              key;
+              value = Printf.sprintf "%d.%d:%s" c.mc_index c.mc_req payload;
+            }
+        else Wire.Client_get { req = c.mc_req; key }
+      in
+      c.mc_outstanding <- Some (now, is_write);
+      match Evconn.enqueue c.mc_conn { Wire.src = c.mc_id; dst = at; payload = frame }
+      with
+      | `Overflow -> finish_client c
+      | `Ok -> sync_write c
+    end
+  in
+  let on_frame c (env : Wire.envelope) =
+    if not c.mc_done then
+      match env.Wire.payload with
+      | Wire.Welcome { id } ->
+          c.mc_id <- id;
+          issue c
+      | Wire.Client_reply { req; status; value = _; info } when req = c.mc_req
+        -> (
+          match c.mc_outstanding with
+          | Some (start, is_write) ->
+              c.mc_outstanding <- None;
+              record c ~status ~is_write ~start ~dup:(dup_info ~status ~info);
+              issue c
+          | None -> ())
+      | _ -> ()  (* a stale reply from an abandoned request number *)
+  in
+  let on_readable c =
+    let frames, state = Evconn.on_readable c.mc_conn in
+    List.iter
+      (function Ok env -> on_frame c env | Error _ -> finish_client c)
+      frames;
+    if state = `Eof then finish_client c
+  in
+  Array.iter sync_write clients;
+  (* A reply in flight at the cutoff still deserves its sample; an
+     unanswered one is charged below as an abort.  The grace bound keeps
+     a dead cluster from hanging the generator. *)
+  let hard_end = t_end +. 5.0 in
+  while !live > 0 && Clock.now () < hard_end do
+    let now = Clock.now () in
+    let timeout = Float.min 0.05 (Float.max 0.001 (hard_end -. now)) in
+    let events = Evloop.wait loop ~timeout in
+    List.iter
+      (fun (ev : Evloop.event) ->
+        match Hashtbl.find_opt by_fd ev.Evloop.fd with
+        | None -> ()
+        | Some c ->
+            if ev.Evloop.error then finish_client c
+            else begin
+              if ev.Evloop.writable && not c.mc_done then sync_write c;
+              if ev.Evloop.readable && not c.mc_done then on_readable c
+            end)
+      events;
+    if Clock.now () >= t_end then
+      Array.iter
+        (fun c ->
+          if (not c.mc_done) && c.mc_outstanding = None then finish_client c)
+        clients
+  done;
+  Array.iter
+    (fun c ->
+      if not c.mc_done then begin
+        (match c.mc_outstanding with
+        | Some (start, is_write) ->
+            record c ~status:Wire.Aborted ~is_write ~start ~dup:false
+        | None -> ());
+        finish_client c
+      end)
+    clients;
+  Evloop.close loop;
+  Array.map (fun c -> c.mc_journal) clients
+
+let validate config =
+  if config.clients < 1 then invalid_arg "Loadgen.run: need at least one client";
+  if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration"
+
+let instruments (hub : Hub.t) =
+  {
+    i_read_h = Metrics.histogram hub.Hub.metrics "loadgen.read.seconds";
+    i_write_h = Metrics.histogram hub.Hub.metrics "loadgen.write.seconds";
+    i_issued = Metrics.counter hub.Hub.metrics "loadgen.ops.issued";
+    i_granted = Metrics.counter hub.Hub.metrics "loadgen.ops.granted";
+    i_retries = Metrics.counter hub.Hub.metrics "loadgen.ops.retries";
+    i_dup_acks = Metrics.counter hub.Hub.metrics "loadgen.ops.dup_acks";
+    i_fenced = Metrics.counter hub.Hub.metrics "loadgen.ops.fenced";
+  }
+
+let summarise config ~t_start ~t_end ~wall journals =
   let all = Array.fold_left (fun acc j -> List.rev_append !j acc) [] journals in
   let reads, writes = List.partition (fun s -> not s.s_write) all in
   (* Goodput: granted completions bucketed into ten fixed windows that
@@ -260,6 +447,48 @@ let run cluster config =
     goodput = Batch_means.interval bm;
     late;
   }
+
+let run cluster config =
+  validate config;
+  let ins = instruments (Cluster.obs cluster) in
+  let t_start = Clock.now () in
+  let t_end = t_start +. config.duration in
+  let journals =
+    match config.mode with
+    | `Mux ->
+        run_mux ~port:(Cluster.port cluster)
+          ~universe:(Cluster.universe cluster) config ~ins ~t_start ~t_end
+    | `Threads ->
+        let seeds = worker_seeds ~seed:config.seed ~n:config.clients in
+        let journals = Array.init config.clients (fun _ -> ref []) in
+        let threads =
+          Array.mapi
+            (fun index journal ->
+              Thread.create
+                (fun () ->
+                  worker cluster config ~seed64:seeds.(index) ~index ~t_start
+                    ~t_end ~ins journal)
+                ())
+            journals
+        in
+        Array.iter Thread.join threads;
+        journals
+  in
+  let wall = Clock.now () -. t_start in
+  summarise config ~t_start ~t_end ~wall journals
+
+let run_at ?(obs = Hub.noop) ~port ~universe config =
+  validate config;
+  (match config.mode with
+  | `Mux -> ()
+  | `Threads ->
+      invalid_arg "Loadgen.run_at: thread workers need a Cluster.t; use run");
+  let ins = instruments obs in
+  let t_start = Clock.now () in
+  let t_end = t_start +. config.duration in
+  let journals = run_mux ~port ~universe config ~ins ~t_start ~t_end in
+  let wall = Clock.now () -. t_start in
+  summarise config ~t_start ~t_end ~wall journals
 
 let pp_ms ppf seconds =
   if Float.is_nan seconds then Fmt.string ppf "-"

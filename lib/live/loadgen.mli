@@ -10,8 +10,17 @@
     queueing delay is charged to the service rather than hidden —
     coordinated omission accounted for). *)
 
+type mode = [ `Threads | `Mux ]
+(** [`Threads]: one blocking worker thread per client (the original
+    model — supports open-loop arrivals and cross-site retries).
+    [`Mux]: every client multiplexed onto one thread through an
+    {!Evloop} of nonblocking {!Evconn} connections, each a closed loop
+    with a single outstanding operation — ten thousand clients are ten
+    thousand descriptors, not threads.  Mux is closed-loop only
+    ([rate] must be [None]) and never retries cross-site. *)
+
 type config = {
-  clients : int;  (** worker threads, one connection each *)
+  clients : int;  (** concurrent clients, one connection each *)
   duration : float;  (** seconds of load *)
   write_ratio : float;  (** fraction of operations that are puts *)
   keys : int;  (** key space size (uniform) *)
@@ -25,12 +34,13 @@ type config = {
       (** forwarded to {!Cluster.put}/{!Cluster.get}: how many times an
           aborted or degraded-site call moves to another up site under
           the same request number (exactly-once via the sites' dedup
-          tables) *)
+          tables).  Ignored by [`Mux]. *)
+  mode : mode;
 }
 
 val default : config
 (** 4 clients, 5 s, 30% writes, 16 keys, 64-byte values, closed loop,
-    no retries. *)
+    no retries, [`Threads]. *)
 
 type op_stats = {
   issued : int;
@@ -67,6 +77,20 @@ val run : Cluster.t -> config -> result
     [loadgen.read.seconds] / [loadgen.write.seconds] histograms and the
     [loadgen.ops.*] counters (issued, granted, retries, dup_acks,
     fenced). *)
+
+val run_at :
+  ?obs:Dynvote_obs.Hub.t ->
+  port:int ->
+  universe:Site_set.t ->
+  config ->
+  result
+(** {!run} against a bare switchboard port — no [Cluster.t] in hand, so
+    the generator can live in a {e different process} from the service
+    (each process then has its own descriptor budget, which is what a
+    ten-thousand-connection herd needs under a hard [RLIMIT_NOFILE]).
+    Only [`Mux] mode: thread workers route retries through cluster
+    clients and stay in-process.  [obs] (default
+    {!Dynvote_obs.Hub.noop}) receives the [loadgen.*] instruments. *)
 
 val worker_seeds : seed:int -> n:int -> int64 array
 (** The per-worker RNG seeds a run with [config.seed = seed] and

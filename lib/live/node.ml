@@ -1,17 +1,37 @@
-(* One live site.  The thread body is a single dispatch loop over the
-   node's switchboard connection; coordination re-enters that loop with a
-   deadline, so a coordinator waiting for its own replies keeps answering
-   peer requests on the same socket — two rival coordinators always make
-   progress.
+(* One live site.  The node is a single thread, but inside it client
+   operations run as effect-suspended fibers under a small scheduler: an
+   operation that would block on the network performs [Await_frame] and
+   parks; the scheduler keeps reading the switchboard connection, serving
+   peer requests, resuming whichever fiber the arriving frame belongs to,
+   and admitting up to [config.pipeline] client operations concurrently.
+   A ticket turnstile serializes the gather -> decide -> commit -> outcome
+   critical sections, so pipelining changes scheduling, never the order
+   of effects.  With the defaults (pipeline = 1, max_reuse = 0) the node
+   is frame-for-frame identical to a fully sequential coordinator.
+
+   Two fast paths pay for the machinery:
+
+   - Lock anchoring: the first operation's lock round becomes an
+     {e anchor} that later pipelined operations join without any lock
+     traffic; the anchor rotates (fresh round under a new op id) after
+     [max_reuse] joins or 0.4 x the lock lease, keeping well inside the
+     lease at every peer.
+   - Gather reuse: the anchor caches its gather; joined operations decide
+     against the cached view, which is kept current by our own commit
+     waves and invalidated by any inbound commit, a denial, a fetch
+     failure, or rotation.
 
    Persistence mirrors the msgsim node but through real files: the
    ensemble goes through {!Dynvote.Codec}'s atomic save on every applied
    commit, the data blob rides with it, and the append-only operation log
    records commits, write intents and client-visible outcomes for the
    {!Dynvote_chaos.Oracle} replay.  Ordering rule: an outcome record
-   takes its global sequence number *before* the locks are released, so
-   no later operation that could have observed this one's effects can be
-   stamped earlier.
+   takes its global sequence number *before* the turnstile advances and
+   the locks are released, so no later operation that could have observed
+   this one's effects can be stamped earlier.  Inbound commit frames are
+   coalesced — a run of consecutive commits is applied volatile-first and
+   persisted once — which is crash-equivalent to applying the prefix that
+   reached disk.
 
    Storage failures never kill the thread and never produce a lie: a
    persist that faults mid-way rolls the volatile state back and fences
@@ -35,6 +55,8 @@ type config = {
   lock_backoff : float;
   durable : bool;
   clock : unit -> float;
+  pipeline : int;
+  max_reuse : int;
 }
 
 let default_config =
@@ -47,6 +69,8 @@ let default_config =
     lock_backoff = 0.05;
     durable = true;
     clock = Dynvote_obs.Clock.now;
+    pipeline = 1;
+    max_reuse = 0;
   }
 
 (* --- request ids ----------------------------------------------------
@@ -93,6 +117,7 @@ type counters = {
   c_lock_rounds : Metrics.counter;
   c_lock_denied : Metrics.counter;
   c_gathers : Metrics.counter;
+  c_gather_reused : Metrics.counter;
   c_fetches : Metrics.counter;
   c_fetch_failures : Metrics.counter;
   c_commit_waves : Metrics.counter;
@@ -103,6 +128,8 @@ type counters = {
   c_dedup_hits : Metrics.counter;
   c_oplog_corrupt : Metrics.counter;
   h_op : Metrics.histogram;
+  h_inflight : Metrics.histogram;
+  h_commit_batch : Metrics.histogram;
 }
 
 let make_counters (hub : Hub.t) =
@@ -114,6 +141,7 @@ let make_counters (hub : Hub.t) =
     c_lock_rounds = Metrics.counter m "live.lock.rounds";
     c_lock_denied = Metrics.counter m "live.lock.denied";
     c_gathers = Metrics.counter m "live.gather.rounds";
+    c_gather_reused = Metrics.counter m "live.gather.reused";
     c_fetches = Metrics.counter m "live.fetch.attempts";
     c_fetch_failures = Metrics.counter m "live.fetch.failures";
     c_commit_waves = Metrics.counter m "live.commit.waves";
@@ -124,12 +152,44 @@ let make_counters (hub : Hub.t) =
     c_dedup_hits = Metrics.counter m "live.dedup.hits";
     c_oplog_corrupt = Metrics.counter m "live.oplog.corrupt";
     h_op = Metrics.histogram m "live.node.op.seconds";
+    h_inflight = Metrics.histogram m "live.rounds.inflight";
+    h_commit_batch = Metrics.histogram m "live.commit.batch";
   }
 
 exception Killed
 
 (* The switchboard severed our socket (crash) or went away entirely. *)
 exception Dead
+
+(* --- operation fibers -----------------------------------------------
+
+   A coordinating operation suspends wherever the old code re-entered a
+   blocking receive loop.  [Await_frame] parks the fiber until a frame
+   satisfies [match_reply] (resumed with [Some _]) or [deadline] passes
+   (resumed with [None]); [wake_on_unlock] additionally resumes it — with
+   [None], as if timed out — when a rival's [Unlock] lands, so lock
+   backoff ends the moment the contended lock frees.  [Await_turn] parks
+   the fiber until the turnstile serves its ticket. *)
+
+type _ Effect.t +=
+  | Await_frame : {
+      deadline : float;
+      match_reply : Wire.envelope -> 'a option;
+      wake_on_unlock : bool;
+    }
+      -> 'a option Effect.t
+  | Await_turn : int -> unit Effect.t
+
+type fwaiter =
+  | FW : {
+      deadline : float;
+      match_reply : Wire.envelope -> 'a option;
+      wake_on_unlock : bool;
+      k : ('a option, unit) Effect.Deep.continuation;
+    }
+      -> fwaiter
+
+type twaiter = TW of int * (unit, unit) Effect.Deep.continuation
 
 type t = {
   site : Site_set.site;
@@ -157,9 +217,37 @@ type t = {
   mutable round : int;
   mutable op_counter : int;
   mutable commit_hook : (sent:int -> total:int -> unit) option;
-  (* Client requests arriving while this node is itself coordinating are
-     parked here and served after the current operation finishes. *)
+  (* Client requests arriving while [inflight] is at the pipeline bound
+     are parked here and admitted as operations complete. *)
   pending_clients : Wire.envelope Queue.t;
+  (* Scheduler state: parked fibers, the admission count, the ticket
+     turnstile, the lock anchor with its cached gather, and the inbound
+     commit-coalescing buffer. *)
+  mutable fwaiters : fwaiter list;
+  mutable twaiters : twaiter list;
+  mutable unlock_pulse : bool;
+  mutable inflight : int;
+  mutable ticket_next : int;
+  mutable ticket_serving : int;
+  mutable anchor : int option;
+  mutable anchor_since : float;
+  mutable reuse_count : int;
+  mutable gcache : (Site_set.t * Replica.t array * Site_set.t) option;
+  commit_batch :
+    (int * int * Site_set.t * (string * string) option * int) Queue.t;
+  (* Outbound staging: in pipelined mode frames accumulate here and leave
+     in one write per scheduler burst, so a peer receives a whole burst's
+     commits in one wakeup and coalesces their persists.  In the serial
+     default every frame is written immediately — byte-for-byte the old
+     behaviour, which the crash tests' deterministic strike points rely
+     on. *)
+  out : Buffer.t;
+  staged : bool;
+  (* The data blob (entries + request table) on disk matches the volatile
+     store when false: a persist covering only read commits can skip the
+     blob rewrite, because reads advance the ensemble but never the
+     data. *)
+  mutable data_dirty : bool;
 }
 
 let site t = t.site
@@ -277,23 +365,61 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
       op_counter = 0;
       commit_hook = None;
       pending_clients = Queue.create ();
+      fwaiters = [];
+      twaiters = [];
+      unlock_pulse = false;
+      inflight = 0;
+      ticket_next = 0;
+      ticket_serving = 0;
+      anchor = None;
+      anchor_since = neg_infinity;
+      reuse_count = 0;
+      gcache = None;
+      commit_batch = Queue.create ();
+      out = Buffer.create 4096;
+      staged = config.pipeline > 1 || config.max_reuse > 0;
+      data_dirty = true;
     }
   in
   (match degraded with Some reason -> degrade t reason | None -> ());
   t
 
 let send_to t dst payload =
-  try Wire.send t.conn { Wire.src = t.site; dst; payload }
-  with Unix.Unix_error _ -> raise Dead
+  let env = { Wire.src = t.site; dst; payload } in
+  if t.staged then Buffer.add_string t.out (Wire.encode env)
+  else try Wire.send t.conn env with Unix.Unix_error _ -> raise Dead
+
+(* Push every staged frame in one write.  The broker side never blocks
+   (its connections are nonblocking queues), so a blocking write here
+   always drains. *)
+let flush_out t =
+  if Buffer.length t.out > 0 then begin
+    let bytes = Buffer.to_bytes t.out in
+    Buffer.clear t.out;
+    let fd = Wire.fd t.conn in
+    let len = Bytes.length bytes in
+    let written = ref 0 in
+    try
+      while !written < len do
+        match Unix.write fd bytes !written (len - !written) with
+        | 0 -> raise Dead
+        | n -> written := !written + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done
+    with Unix.Unix_error _ -> raise Dead
+  end
 
 let persist t =
   let fsync = t.config.durable in
   Codec.write_file_atomic ~vfs:t.vfs ~fsync
     ~path:(Persist.ensemble_path ~dir:t.dir t.site)
     (Codec.encode_replica t.replica);
-  Persist.save_data ~vfs:t.vfs ~fsync ~rids:(rid_list t.rids)
-    ~path:(Persist.data_path ~dir:t.dir t.site)
-    ~version:t.data_version (SMap.bindings t.store)
+  if t.data_dirty then begin
+    Persist.save_data ~vfs:t.vfs ~fsync ~rids:(rid_list t.rids)
+      ~path:(Persist.data_path ~dir:t.dir t.site)
+      ~version:t.data_version (SMap.bindings t.store);
+    t.data_dirty <- false
+  end
 
 (* Log or fence: a record that cannot reach the oplog leaves a hole in
    the history this site would later present — better to stop presenting
@@ -323,7 +449,8 @@ let apply_commit t ~op_no ~version ~partition ~put ~rid =
     | Some (key, value) ->
         t.store <- SMap.add key value t.store;
         t.data_version <- version;
-        if rid <> 0 then t.rids <- rid_add t.rids rid
+        if rid <> 0 then t.rids <- rid_add t.rids rid;
+        t.data_dirty <- true
     | None -> ());
     t.amnesiac <- false;
     t.fresh <- true;
@@ -339,7 +466,66 @@ let apply_commit t ~op_no ~version ~partition ~put ~rid =
         t.rids <- rids;
         t.amnesiac <- amnesiac;
         t.fresh <- fresh;
+        t.data_dirty <- true;
         degrade t ("persist failed: " ^ reason)
+  end
+
+(* Apply a coalesced run of inbound commits: every applicable commit
+   installs volatile-first, then ONE persist covers the batch, then each
+   applied commit logs in arrival order.  Crash-equivalent to the
+   one-persist-per-commit discipline — a crash before the persist
+   under-reports the whole run, never part of a record.  Any inbound
+   commit means a rival coordinated while we were unlocked, so the
+   anchor's cached gather (if any) is stale: drop it. *)
+let flush_commits t =
+  if not (Queue.is_empty t.commit_batch) then begin
+    let rollback =
+      (t.replica, t.data_version, t.store, t.rids, t.amnesiac, t.fresh)
+    in
+    let applied = ref [] in
+    while not (Queue.is_empty t.commit_batch) do
+      let op_no, version, partition, put, rid = Queue.pop t.commit_batch in
+      if t.degraded <> None then Metrics.incr t.ctrs.c_degraded_refused
+      else if op_no > Replica.op_no t.replica then begin
+        t.replica <- Replica.with_commit t.replica ~op_no ~version ~partition;
+        (match put with
+        | Some (key, value) ->
+            t.store <- SMap.add key value t.store;
+            t.data_version <- version;
+            if rid <> 0 then t.rids <- rid_add t.rids rid;
+            t.data_dirty <- true
+        | None -> ());
+        t.amnesiac <- false;
+        t.fresh <- true;
+        applied := (op_no, version, partition, rid) :: !applied
+      end
+    done;
+    t.gcache <- None;
+    match !applied with
+    | [] -> ()
+    | applied -> (
+        let applied = List.rev applied in
+        match storage t (fun () -> persist t) with
+        | Ok () ->
+            Metrics.observe t.ctrs.h_commit_batch
+              (float_of_int (List.length applied));
+            List.iter
+              (fun (op_no, version, partition, rid) ->
+                Metrics.incr t.ctrs.c_commits_applied;
+                log t
+                  (Persist.Log_commit
+                     { seq = t.next_seq (); op_no; version; partition; rid }))
+              applied
+        | Error reason ->
+            let replica, data_version, store, rids, amnesiac, fresh = rollback in
+            t.replica <- replica;
+            t.data_version <- data_version;
+            t.store <- store;
+            t.rids <- rids;
+            t.amnesiac <- amnesiac;
+            t.fresh <- fresh;
+            t.data_dirty <- true;
+            degrade t ("persist failed: " ^ reason))
   end
 
 let try_lock t op =
@@ -348,9 +534,7 @@ let try_lock t op =
 
 let release_lock t op = Lease.release t.lock ~op
 
-(* Serve one frame of the peer protocol.  Client requests are parked; a
-   coordinator calls this from inside its own wait loops, which is what
-   keeps concurrent coordinators deadlock-free.
+(* Serve one frame of the peer protocol.
 
    A degraded site answers nothing that could count as a vote: state
    requests and lock requests go unanswered (to the coordinator it looks
@@ -372,7 +556,11 @@ let serve_protocol t (env : Wire.envelope) =
       if t.degraded = None then
         send_to t env.Wire.src (Wire.Lock_reply { op; granted = try_lock t op })
       else send_to t env.Wire.src (Wire.Abstain { round = op })
-  | Wire.Unlock { op } -> release_lock t op
+  | Wire.Unlock { op } ->
+      release_lock t op;
+      (* A rival freed its locks: fibers backing off a denied lock round
+         should retry now rather than sleep out their deadline. *)
+      t.unlock_pulse <- true
   | Wire.Data_request { round } ->
       send_to t env.Wire.src
         (Wire.Data_reply
@@ -383,6 +571,8 @@ let serve_protocol t (env : Wire.envelope) =
              rids = rid_list t.rids;
            })
   | Wire.Commit { op_no; version; partition; put; rid } ->
+      (* Normally intercepted and coalesced by the scheduler; kept as the
+         direct path for any stray delivery. *)
       apply_commit t ~op_no ~version ~partition ~put ~rid
   | Wire.Client_put _ | Wire.Client_get _ | Wire.Client_recover _ ->
       Queue.add env t.pending_clients
@@ -391,21 +581,10 @@ let serve_protocol t (env : Wire.envelope) =
       (* Stray replies of a finished or abandoned exchange. *)
       ()
 
-(* Wait until [deadline] for a frame satisfying [match_reply], serving
-   everything else that arrives in the meantime. *)
-let await t ~deadline ~match_reply =
-  let rec wait () =
-    match Wire.recv ~clock:t.config.clock ~deadline t.conn with
-    | Error `Timeout -> None
-    | Error (`Closed | `Corrupt _) -> raise Dead
-    | Ok env -> (
-        match match_reply env with
-        | Some _ as hit -> hit
-        | None ->
-            serve_protocol t env;
-            wait ())
-  in
-  wait ()
+(* Park this fiber until [deadline] for a frame satisfying [match_reply];
+   the scheduler keeps the connection drained meanwhile. *)
+let await _t ~deadline ~match_reply =
+  Effect.perform (Await_frame { deadline; match_reply; wake_on_unlock = false })
 
 let peers t = Site_set.remove t.site t.universe
 
@@ -563,6 +742,7 @@ let fetch_data t ~sources ~want_version =
             List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty entries;
           t.data_version <- version;
           t.rids <- rids_of_list rids;
+          t.data_dirty <- true;
           Hub.event t.obs (Trace.Data_fetch { site = t.site; source = src; ok = true });
           true
       | Some _ | None ->
@@ -591,7 +771,11 @@ let commit_wave t ~recipients ~op_no ~version ~partition ~put ~rid =
       else send_to t dst (Wire.Commit { op_no; version; partition; put; rid });
       incr sent;
       match t.commit_hook with
-      | Some hook -> hook ~sent:!sent ~total
+      | Some hook ->
+          (* The strike point models "died between two sends": frames
+             already sent must genuinely be on the wire when it fires. *)
+          flush_out t;
+          hook ~sent:!sent ~total
       | None -> ())
     recipients
 
@@ -601,16 +785,68 @@ let reply_client t ~client ~req status value info =
   | Wire.Denied -> Metrics.incr t.ctrs.c_denied
   | Wire.Aborted -> Metrics.incr t.ctrs.c_aborted
   | Wire.Degraded -> Metrics.incr t.ctrs.c_degraded_refused);
-  try Wire.send t.conn
-        { Wire.src = t.site; dst = client; payload = Wire.Client_reply { req; status; value; info } }
-  with Unix.Unix_error _ -> raise Dead
+  send_to t client (Wire.Client_reply { req; status; value; info })
 
 let denial_text denial = Fmt.str "%a" Decision.pp_denial denial
 
+(* --- ticket turnstile -----------------------------------------------
+
+   Pipelined operations run their protocol sections in strict admission
+   order: each takes a ticket on admission and may not gather, commit or
+   log its outcome until the turnstile serves it.  The turn passes only
+   AFTER the outcome record has taken its global sequence number — the
+   audit's ordering rule — with an idempotent flag so the Fun.protect
+   backstop cannot double-advance. *)
+
+let take_turn t =
+  let ticket = t.ticket_next in
+  t.ticket_next <- ticket + 1;
+  if t.ticket_serving <> ticket then Effect.perform (Await_turn ticket)
+
+let pass_turn t passed =
+  if not !passed then begin
+    passed := true;
+    t.ticket_serving <- t.ticket_serving + 1
+  end
+
+(* --- lock anchor ----------------------------------------------------- *)
+
+let release_anchor t =
+  match t.anchor with
+  | Some a ->
+      unlock_all t a;
+      t.anchor <- None;
+      t.gcache <- None
+  | None -> ()
+
+(* Hold the anchor between operations only while reuse is enabled and
+   more work is already queued; with the defaults this releases exactly
+   where the sequential coordinator called [unlock_all].  ([inflight]
+   still counts the calling fiber, so [<= 1] means "no one behind me".) *)
+let maybe_release t =
+  if
+    t.config.max_reuse = 0
+    || (t.inflight <= 1 && Queue.is_empty t.pending_clients)
+    || t.degraded <> None
+  then release_anchor t
+
+(* Our own commit wave advances the cached gather in place of a fresh
+   one: every recipient now holds the committed ensemble and is fresh. *)
+let note_commit t ~recipients ~op_no ~version ~partition =
+  match t.gcache with
+  | Some (reachable, states, fresh) ->
+      Site_set.iter
+        (fun s ->
+          states.(s) <- Replica.with_commit states.(s) ~op_no ~version ~partition)
+        recipients;
+      t.gcache <- Some (reachable, states, Site_set.union fresh recipients)
+  | None -> ()
+
 (* One client operation, coordinated at this node: lock round (with
-   bounded retry on rivalry), gather, decide, fetch if stale, COMMIT
-   wave, outcome record, unlock, reply — the paper's protocol as genuine
-   request/reply exchanges. *)
+   bounded retry on rivalry) or anchor join, gather (or cached view),
+   decide, fetch if stale, COMMIT wave, outcome record, unlock, reply —
+   the paper's protocol as genuine request/reply exchanges, running as a
+   suspendable fiber. *)
 let client_op t ~client ~req kind =
   let kind_tag =
     match kind with `Read _ -> `Read | `Write _ -> `Write | `Recover -> `Recover
@@ -632,30 +868,94 @@ let client_op t ~client ~req kind =
   else begin
     t.op_counter <- t.op_counter + 1;
     let op = (t.site lsl 24) lor (t.op_counter land 0xFFFFFF) in
+    let passed = ref false in
+    take_turn t;
+    Fun.protect ~finally:(fun () -> pass_turn t passed) @@ fun () ->
     (* Site-dependent backoff skew breaks retry symmetry between rivals. *)
     let skew = 1.0 +. (0.13 *. float_of_int (t.site mod 7)) in
-    let rec acquire i =
-      match lock_round t op with
-      | `Granted -> true
-      | `Denied when i < t.config.lock_retries ->
-          (* Back off without going deaf: keep serving protocol frames so
-             rivals' lock rounds converge instead of timing out on us. *)
-          let deadline =
-            t.config.clock ()
-            +. (t.config.lock_backoff *. float_of_int (i + 1) *. skew)
-          in
-          ignore
-            (await t ~deadline ~match_reply:(fun _ -> (None : unit option))
-              : unit option);
-          acquire (i + 1)
-      | `Denied -> false
+    let acquire_fresh () =
+      let rec acquire i =
+        match lock_round t op with
+        | `Granted -> true
+        | `Denied when i < t.config.lock_retries ->
+            (* Back off without going deaf: the scheduler keeps serving
+               protocol frames, and a rival's Unlock ends the sleep. *)
+            let deadline =
+              t.config.clock ()
+              +. (t.config.lock_backoff *. float_of_int (i + 1) *. skew)
+            in
+            ignore
+              (Effect.perform
+                 (Await_frame
+                    {
+                      deadline;
+                      match_reply = (fun _ -> (None : unit option));
+                      wake_on_unlock = true;
+                    })
+                : unit option);
+            acquire (i + 1)
+        | `Denied -> false
+      in
+      if acquire 0 then begin
+        t.anchor <- Some op;
+        t.anchor_since <- t.config.clock ();
+        t.reuse_count <- 0;
+        t.gcache <- None;
+        true
+      end
+      else false
     in
-    if not (acquire 0) then
-      reply_client t ~client ~req Wire.Denied None "busy: rival operation holds the locks"
+    (* Rotate the anchor before any peer's lease could lapse under it:
+       after [max_reuse] joins, at 0.4 x the lease's age, and always for
+       RECOVER (membership changes deserve a fresh round). *)
+    let rotation_due () =
+      t.reuse_count >= t.config.max_reuse
+      || t.config.clock () -. t.anchor_since > 0.4 *. t.config.lock_lease
+      || kind_tag = `Recover
+    in
+    let locked =
+      match t.anchor with
+      | Some a when (not (rotation_due ())) && try_lock t a ->
+          (* Join the anchor: the locks are already held cluster-wide
+             under [a]; refreshing our own lease is the only touch.  (A
+             failed refresh means the lease lapsed and a rival took the
+             local lock — the anchor is gone.) *)
+          t.reuse_count <- t.reuse_count + 1;
+          true
+      | Some a ->
+          unlock_all t a;
+          t.anchor <- None;
+          t.gcache <- None;
+          acquire_fresh ()
+      | None -> acquire_fresh ()
+    in
+    if not locked then
+      reply_client t ~client ~req Wire.Denied None
+        "busy: rival operation holds the locks"
     else begin
-      let reachable, states, fresh = gather t in
-      match Operation.evaluate t.ctx states ~fresh ~reachable () with
-      | Decision.Denied denial ->
+      let decide () =
+        match t.gcache with
+        | Some (reachable, states, fresh) when kind_tag <> `Recover ->
+            Metrics.incr t.ctrs.c_gather_reused;
+            (reachable, states, fresh, true)
+        | _ ->
+            let reachable, states, fresh = gather t in
+            if t.config.max_reuse > 0 && kind_tag <> `Recover then
+              t.gcache <- Some (reachable, states, fresh);
+            (reachable, states, fresh, false)
+      in
+      let rec evaluate_round retried =
+        let reachable, states, fresh, cached = decide () in
+        match Operation.evaluate t.ctx states ~fresh ~reachable () with
+        | Decision.Denied _ when cached && not retried ->
+            (* The cached view denied us; it may merely be stale.  One
+               fresh gather settles it. *)
+            t.gcache <- None;
+            evaluate_round true
+        | decision -> (decision, states)
+      in
+      match evaluate_round false with
+      | Decision.Denied denial, _ ->
           (match kind_tag with
           | `Write ->
               log t
@@ -666,9 +966,10 @@ let client_op t ~client ~req kind =
                 (Persist.Log_outcome
                    { seq = t.next_seq (); kind = `Read; granted = false; content = None; rid })
           | `Recover -> ());
-          unlock_all t op;
+          pass_turn t passed;
+          maybe_release t;
           reply_client t ~client ~req Wire.Denied None (denial_text denial)
-      | Decision.Granted g ->
+      | Decision.Granted g, states ->
           let m = g.Decision.m in
           let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
           let in_s = Site_set.mem t.site g.Decision.s in
@@ -682,7 +983,9 @@ let client_op t ~client ~req kind =
                    content = None;
                    rid;
                  });
-            unlock_all t op;
+            pass_turn t passed;
+            t.gcache <- None;
+            maybe_release t;
             reply_client t ~client ~req Wire.Aborted None info
           in
           (* A coordinator inside the majority partition can still hold
@@ -695,7 +998,8 @@ let client_op t ~client ~req kind =
                mid-flight; the reply must say so rather than ack. *)
             match t.degraded with
             | Some reason ->
-                unlock_all t op;
+                pass_turn t passed;
+                release_anchor t;
                 reply_client t ~client ~req Wire.Degraded None ("degraded: " ^ reason);
                 true
             | None -> false
@@ -707,6 +1011,8 @@ let client_op t ~client ~req kind =
               else begin
                 commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1) ~version:v
                   ~partition:g.Decision.s ~put:None ~rid:0;
+                note_commit t ~recipients:g.Decision.s ~op_no:(o + 1) ~version:v
+                  ~partition:g.Decision.s;
                 if not (guard_degraded ()) then begin
                   let value = SMap.find_opt key t.store in
                   log t
@@ -718,7 +1024,8 @@ let client_op t ~client ~req kind =
                          content = Some (blob t);
                          rid = 0;
                        });
-                  unlock_all t op;
+                  pass_turn t passed;
+                  maybe_release t;
                   reply_client t ~client ~req Wire.Granted value ""
                 end
               end
@@ -739,7 +1046,8 @@ let client_op t ~client ~req kind =
                        content = None;
                        rid;
                      });
-                unlock_all t op;
+                pass_turn t passed;
+                maybe_release t;
                 reply_client t ~client ~req Wire.Granted None
                   "duplicate: write already committed"
               end
@@ -754,6 +1062,8 @@ let client_op t ~client ~req kind =
                 commit_wave t ~recipients:g.Decision.s ~op_no:(o + 1)
                   ~version:(v + 1) ~partition:g.Decision.s ~put:(Some (key, value))
                   ~rid;
+                note_commit t ~recipients:g.Decision.s ~op_no:(o + 1)
+                  ~version:(v + 1) ~partition:g.Decision.s;
                 if not (guard_degraded ()) then begin
                   log t
                     (Persist.Log_outcome
@@ -764,7 +1074,8 @@ let client_op t ~client ~req kind =
                          content = Some new_blob;
                          rid;
                        });
-                  unlock_all t op;
+                  pass_turn t passed;
+                  maybe_release t;
                   reply_client t ~client ~req Wire.Granted None ""
                 end
               end
@@ -788,7 +1099,8 @@ let client_op t ~client ~req kind =
                          content = None;
                          rid = 0;
                        });
-                  unlock_all t op;
+                  pass_turn t passed;
+                  maybe_release t;
                   reply_client t ~client ~req Wire.Granted None ""
                 end
               end)
@@ -802,28 +1114,190 @@ let timed_op t f =
     ~finally:(fun () -> Metrics.observe t.ctrs.h_op (t.config.clock () -. began))
     f
 
-let dispatch t (env : Wire.envelope) =
+(* --- the fiber scheduler --------------------------------------------- *)
+
+(* Start a client operation as a fiber.  It runs until its first
+   suspension (or completion) right here; the effect handler only files
+   continuations — all resumption happens in the scheduler loop. *)
+let spawn_op t (env : Wire.envelope) =
+  let client = env.Wire.src in
+  let run ~req body =
+    t.inflight <- t.inflight + 1;
+    let opid = make_rid ~client ~req in
+    Hub.event t.obs
+      (Trace.Round_start { site = t.site; op = opid; in_flight = t.inflight });
+    Metrics.observe t.ctrs.h_inflight (float_of_int t.inflight);
+    let finish () =
+      Hub.event t.obs
+        (Trace.Round_end { site = t.site; op = opid; in_flight = t.inflight });
+      t.inflight <- t.inflight - 1
+    in
+    Effect.Deep.match_with
+      (fun () -> Fun.protect ~finally:finish (fun () -> timed_op t body))
+      ()
+      {
+        Effect.Deep.retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Await_frame { deadline; match_reply; wake_on_unlock } ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    t.fwaiters <-
+                      t.fwaiters @ [ FW { deadline; match_reply; wake_on_unlock; k } ])
+            | Await_turn ticket ->
+                Some
+                  (fun (k : (b, unit) Effect.Deep.continuation) ->
+                    t.twaiters <- t.twaiters @ [ TW (ticket, k) ])
+            | _ -> None);
+      }
+  in
   match env.Wire.payload with
   | Wire.Client_get { req; key } ->
-      timed_op t (fun () -> client_op t ~client:env.Wire.src ~req (`Read key))
+      run ~req (fun () -> client_op t ~client ~req (`Read key))
   | Wire.Client_put { req; key; value } ->
-      timed_op t (fun () ->
-          client_op t ~client:env.Wire.src ~req (`Write (key, value)))
+      run ~req (fun () -> client_op t ~client ~req (`Write (key, value)))
   | Wire.Client_recover { req } ->
-      timed_op t (fun () -> client_op t ~client:env.Wire.src ~req `Recover)
+      run ~req (fun () -> client_op t ~client ~req `Recover)
   | _ -> serve_protocol t env
 
+(* Resume every fiber whose ticket the turnstile now serves.  Each resume
+   runs the fiber to its next suspension and may advance the turnstile
+   again, so scan from scratch until quiescent. *)
+let rec run_turns t =
+  let rec find acc = function
+    | [] -> None
+    | TW (ticket, k) :: rest when ticket = t.ticket_serving ->
+        t.twaiters <- List.rev_append acc rest;
+        Some k
+    | tw :: rest -> find (tw :: acc) rest
+  in
+  match find [] t.twaiters with
+  | Some k ->
+      Effect.Deep.continue k ();
+      run_turns t
+  | None -> ()
+
+(* Offer a frame to the parked fibers, oldest first; the first taker is
+   resumed with its match.  The waiter is unhooked before the resume, so
+   a fiber re-suspending inside [continue] files a fresh waiter. *)
+let try_deliver t env =
+  let rec scan acc = function
+    | [] -> false
+    | FW w :: rest -> (
+        match w.match_reply env with
+        | Some _ as hit ->
+            t.fwaiters <- List.rev_append acc rest;
+            Effect.Deep.continue w.k hit;
+            true
+        | None -> scan (FW w :: acc) rest)
+  in
+  scan [] t.fwaiters
+
+(* Resume (with None = timed out) every fiber whose deadline has passed. *)
+let rec expire_due t now =
+  let rec find acc = function
+    | [] -> None
+    | FW w :: rest when w.deadline <= now ->
+        t.fwaiters <- List.rev_append acc rest;
+        Some (fun () -> Effect.Deep.continue w.k None)
+    | fw :: rest -> find (fw :: acc) rest
+  in
+  match find [] t.fwaiters with
+  | Some resume ->
+      resume ();
+      run_turns t;
+      expire_due t now
+  | None -> ()
+
+(* A rival's Unlock: end every lock-backoff sleep now. *)
+let wake_unlockers t =
+  let wake, keep = List.partition (fun (FW w) -> w.wake_on_unlock) t.fwaiters in
+  t.fwaiters <- keep;
+  List.iter (fun (FW w) -> Effect.Deep.continue w.k None) wake;
+  if wake <> [] then run_turns t
+
+let next_deadline t =
+  List.fold_left
+    (fun acc (FW w) ->
+      match acc with None -> Some w.deadline | Some d -> Some (min d w.deadline))
+    None t.fwaiters
+
+(* One inbound frame.  Commits are deferred into the coalescing buffer;
+   everything else flushes that buffer first (observable FIFO: a state or
+   data request must see every commit that preceded it on the wire), then
+   goes to a parked fiber, a new operation slot, or the peer protocol. *)
+let handle_frame t (env : Wire.envelope) =
+  (match env.Wire.payload with
+  | Wire.Commit { op_no; version; partition; put; rid } ->
+      Queue.add (op_no, version, partition, put, rid) t.commit_batch
+  | _ ->
+      flush_commits t;
+      if try_deliver t env then run_turns t
+      else begin
+        match env.Wire.payload with
+        | Wire.Client_put _ | Wire.Client_get _ | Wire.Client_recover _ ->
+            if t.inflight < t.config.pipeline then begin
+              spawn_op t env;
+              run_turns t
+            end
+            else Queue.add env t.pending_clients
+        | _ -> serve_protocol t env
+      end);
+  if t.unlock_pulse then begin
+    t.unlock_pulse <- false;
+    wake_unlockers t
+  end
+
+let admit_pending t =
+  while
+    t.inflight < t.config.pipeline && not (Queue.is_empty t.pending_clients)
+  do
+    flush_commits t;
+    spawn_op t (Queue.pop t.pending_clients);
+    run_turns t
+  done
+
+(* The node thread body: a readiness-style loop over one connection.
+   Each iteration serves the turnstile, admits parked clients up to the
+   pipeline bound, drains every frame already buffered (so a burst of
+   commits coalesces into one persist), then sleeps until the next fiber
+   deadline — or blocks outright when nothing is parked. *)
 let serve t =
   (try
      while true do
-       (match Wire.recv t.conn with
-       | Error (`Closed | `Corrupt _) -> raise Dead
-       | Error `Timeout -> ()
-       | Ok env -> dispatch t env);
-       (* Client requests parked while we were coordinating. *)
-       while not (Queue.is_empty t.pending_clients) do
-         dispatch t (Queue.pop t.pending_clients)
-       done
+       run_turns t;
+       admit_pending t;
+       let rec drain () =
+         match
+           Wire.recv ~clock:t.config.clock ~deadline:(t.config.clock ()) t.conn
+         with
+         | Ok env ->
+             handle_frame t env;
+             run_turns t;
+             drain ()
+         | Error `Timeout -> ()
+         | Error (`Closed | `Corrupt _) -> raise Dead
+       in
+       drain ();
+       flush_commits t;
+       admit_pending t;
+       (* Everything this burst produced — replies, commit waves, protocol
+          frames — leaves in one write before the loop sleeps, so a fiber
+          waiting on a peer's answer always has its question on the wire. *)
+       flush_out t;
+       (match next_deadline t with
+       | None -> (
+           match Wire.recv t.conn with
+           | Ok env -> handle_frame t env
+           | Error `Timeout -> ()
+           | Error (`Closed | `Corrupt _) -> raise Dead)
+       | Some deadline -> (
+           match Wire.recv ~clock:t.config.clock ~deadline t.conn with
+           | Ok env -> handle_frame t env
+           | Error `Timeout -> expire_due t (t.config.clock ())
+           | Error (`Closed | `Corrupt _) -> raise Dead))
      done
    with Dead | Killed | Unix.Unix_error _ -> ());
   (* Volatile state dies with the thread; only the files survive. *)

@@ -29,11 +29,22 @@ type config = {
       (** every deadline, lease and backoff reads this clock; defaults to
           the monotonic {!Dynvote_obs.Clock.now} so wall-clock steps
           cannot expire (or immortalize) leases.  Injectable for tests. *)
+  pipeline : int;
+      (** client operations admitted concurrently (as effect-suspended
+          fibers; a ticket turnstile keeps their protocol sections in
+          admission order).  [1] — the default — is the fully sequential
+          coordinator, frame-for-frame identical to earlier behaviour *)
+  max_reuse : int;
+      (** operations that may join an anchored lock round and decide
+          against its cached gather before a fresh round is forced (the
+          anchor also rotates at 0.4 x [lock_lease] regardless).  [0] —
+          the default — disables anchoring: every operation runs its own
+          lock round and gather *)
 }
 
 val default_config : config
 (** 0.2 s gather rounds, 1 retry, backoff 2.0, 2 s lock lease, durable,
-    monotonic clock. *)
+    monotonic clock, no pipelining ([pipeline = 1], [max_reuse = 0]). *)
 
 type t
 

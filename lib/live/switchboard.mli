@@ -21,24 +21,37 @@ type t
 val create :
   ?obs:Dynvote_obs.Hub.t ->
   ?first_client:int ->
+  ?clock:Dynvote_obs.Clock.t ->
+  ?stall_timeout:float ->
+  ?backend:Evloop.backend ->
   universe:Site_set.t ->
   segment_of:(Site_set.site -> int) ->
   unit ->
   t
 (** Bind a loopback listener on an ephemeral port and start the broker
-    thread.  All sites start connected and no site is considered up until
-    its node registers.  [first_client] (default
+    thread — an {!Evloop} readiness loop (epoll on Linux, poll
+    elsewhere; [backend] forces one), so connection count is bounded by
+    descriptors, not FD_SETSIZE.  All sites start connected and no site
+    is considered up until its node registers.  [first_client] (default
     {!Wire.first_client_id}) is the first client endpoint id to hand
     out — a cluster resuming over persisted state passes one past the
     highest id its dedup tables have seen, because a recycled id would
     make a fresh client's first writes look like replays of the previous
-    incarnation's.  [obs] (default {!Dynvote_obs.Hub.noop}) gets a
-    [net.frames.*] counter and a trace event for every frame sent into
-    the fabric, delivered to its destination, dropped by the topology,
-    or rejected by its checksum, plus the partition/heal/crash
-    injections. *)
+    incarnation's.  [stall_timeout] (default: never) reaps, on the
+    injected [clock], any connection holding a frame open without
+    feeding it (slow loris) or connected without completing a Hello —
+    the loop is the timeout mechanism; no read ever blocks.  [obs]
+    (default {!Dynvote_obs.Hub.noop}) gets a [net.frames.*] counter and
+    a trace event for every frame sent into the fabric, delivered to
+    its destination, dropped by the topology, or rejected by its
+    checksum, plus the partition/heal/crash injections, a
+    [net.loop.wakeups] counter and a [net.batch.frames] histogram of
+    frames coalesced per flush. *)
 
 val port : t -> int
+
+val backend : t -> string
+(** ["epoll"] or ["poll"] — recorded in bench output. *)
 
 val partition : t -> Site_set.t list -> unit
 (** Install a partition.  @raise Invalid_argument when the groups do not

@@ -1,0 +1,167 @@
+(* The virtual socket seam.  Real sockets are switched to non-blocking
+   mode and their errno families folded into small variant types; fakes
+   replay a deterministic script.  Nothing above this layer may touch
+   Unix.read/Unix.write directly. *)
+
+type read_result =
+  | Read of int
+  | Read_eof
+  | Read_block
+  | Read_intr
+
+type write_result =
+  | Wrote of int
+  | Write_block
+  | Write_intr
+  | Write_closed
+
+type t = {
+  read : Bytes.t -> int -> int -> read_result;
+  write : Bytes.t -> int -> int -> write_result;
+  close : unit -> unit;
+  fd : Unix.file_descr option;
+}
+
+let of_fd fd =
+  Unix.set_nonblock fd;
+  let closed = ref false in
+  let read buf off len =
+    match Unix.read fd buf off len with
+    | 0 -> Read_eof
+    | n -> Read n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Read_block
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Read_intr
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        Read_eof
+  in
+  let write buf off len =
+    match Unix.write fd buf off len with
+    | n -> Wrote n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Write_block
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Write_intr
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        Write_closed
+  in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  { read; write; close; fd = Some fd }
+
+module Fake = struct
+  type step = Chunk of string | Again | Intr | Eof
+
+  type fake = {
+    mutable script : step list;
+    mutable partial : string option; (* remainder of a part-delivered chunk *)
+    read_cap : int;
+    mutable credit : int;
+    mutable write_script : step list;
+    sink : Buffer.t;
+    mutable sink_closed : bool;
+    mutable n_reads : int;
+    mutable n_writes : int;
+    mutable is_closed : bool;
+    mutable at_eof : bool;
+  }
+
+  let create ?(script = []) ?(read_cap = max_int) ?(write_credit = max_int)
+      ?(write_script = []) () =
+    {
+      script;
+      partial = None;
+      read_cap;
+      credit = write_credit;
+      write_script;
+      sink = Buffer.create 256;
+      sink_closed = false;
+      n_reads = 0;
+      n_writes = 0;
+      is_closed = false;
+      at_eof = false;
+    }
+
+  let feed f steps = f.script <- f.script @ steps
+  let grant f n = f.credit <- (if f.credit = max_int then max_int else f.credit + n)
+  let written f = Buffer.contents f.sink
+  let reads f = f.n_reads
+  let writes f = f.n_writes
+  let closed f = f.is_closed
+
+  let deliver f buf off len bytes =
+    let take = min (min len f.read_cap) (String.length bytes) in
+    Bytes.blit_string bytes 0 buf off take;
+    let rest = String.length bytes - take in
+    f.partial <-
+      (if rest > 0 then Some (String.sub bytes take rest) else None);
+    Read take
+
+  let read f buf off len =
+    f.n_reads <- f.n_reads + 1;
+    if f.at_eof then Read_eof
+    else if len = 0 then Read 0
+    else
+      match f.partial with
+      | Some bytes -> deliver f buf off len bytes
+      | None -> (
+          match f.script with
+          | [] -> Read_block
+          | Again :: rest ->
+              f.script <- rest;
+              Read_block
+          | Intr :: rest ->
+              f.script <- rest;
+              Read_intr
+          | Eof :: rest ->
+              f.script <- rest;
+              f.at_eof <- true;
+              Read_eof
+          | Chunk "" :: rest ->
+              f.script <- rest;
+              (* an empty chunk is a spurious wakeup too *)
+              Read_block
+          | Chunk bytes :: rest ->
+              f.script <- rest;
+              deliver f buf off len bytes)
+
+  let write f buf off len =
+    f.n_writes <- f.n_writes + 1;
+    if f.sink_closed then Write_closed
+    else
+      match f.write_script with
+      | Again :: rest ->
+          f.write_script <- rest;
+          Write_block
+      | Intr :: rest ->
+          f.write_script <- rest;
+          Write_intr
+      | Eof :: rest ->
+          f.write_script <- rest;
+          f.sink_closed <- true;
+          Write_closed
+      | Chunk _ :: rest ->
+          f.write_script <- rest;
+          Wrote 0
+      | [] ->
+          if f.credit <= 0 then Write_block
+          else begin
+            let take = min len f.credit in
+            Buffer.add_subbytes f.sink buf off take;
+            if f.credit <> max_int then f.credit <- f.credit - take;
+            Wrote take
+          end
+
+  let vio f =
+    {
+      read = read f;
+      write = write f;
+      close = (fun () -> f.is_closed <- true);
+      fd = None;
+    }
+end

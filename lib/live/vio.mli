@@ -1,0 +1,89 @@
+(** The virtual socket: the seam between the event loop and the bytes.
+
+    Everything above this interface — frame reassembly, outbound
+    batching, backpressure, the readiness loops of the switchboard and
+    the nodes — is written against [t], never against [Unix.read] and
+    [Unix.write] directly.  {!of_fd} wraps a real socket (switched to
+    non-blocking mode); {!Fake} builds a deterministic in-memory
+    endpoint whose read results, write acceptance and error injections
+    are scripted, so every readiness edge case — a frame split at any
+    byte boundary, EAGAIN on write, EINTR mid-call, a spurious wakeup
+    that reads nothing, a slow consumer that stops accepting bytes — is
+    unit-testable without sockets, threads or timing. *)
+
+type read_result =
+  | Read of int  (** [> 0] bytes landed in the buffer *)
+  | Read_eof  (** orderly close from the peer *)
+  | Read_block  (** EAGAIN/EWOULDBLOCK: nothing buffered, try after readiness *)
+  | Read_intr  (** EINTR: retry immediately *)
+
+type write_result =
+  | Wrote of int  (** [>= 0] bytes accepted (short writes allowed) *)
+  | Write_block  (** EAGAIN: kernel buffer full, wait for writability *)
+  | Write_intr  (** EINTR: retry immediately *)
+  | Write_closed  (** EPIPE/ECONNRESET: the peer is gone *)
+
+type t = {
+  read : Bytes.t -> int -> int -> read_result;
+  write : Bytes.t -> int -> int -> write_result;
+  close : unit -> unit;  (** idempotent *)
+  fd : Unix.file_descr option;
+      (** the descriptor to register with an event loop; [None] for
+          fakes, which are driven directly *)
+}
+
+val of_fd : Unix.file_descr -> t
+(** Wrap a real descriptor, switching it to non-blocking mode.  [read]
+    maps [EAGAIN]/[EWOULDBLOCK] to {!Read_block}, [EINTR] to
+    {!Read_intr}, and connection-reset errors to {!Read_eof}; [write]
+    maps the same families to their write results.  [close] swallows
+    [EBADF] (crash injection may have closed the socket first). *)
+
+(** Deterministic in-memory endpoint for tests.
+
+    The read side replays a script of steps; the write side accepts at
+    most the granted credit, modelling a peer (or kernel buffer) that
+    drains slowly.  Everything is synchronous and single-threaded. *)
+module Fake : sig
+  type step =
+    | Chunk of string  (** deliver these bytes (possibly split further by [read_cap]) *)
+    | Again  (** one EAGAIN — a spurious wakeup *)
+    | Intr  (** one EINTR *)
+    | Eof  (** orderly close; later reads keep returning EOF *)
+
+  type fake
+
+  val create :
+    ?script:step list ->
+    ?read_cap:int ->
+    ?write_credit:int ->
+    ?write_script:step list ->
+    unit ->
+    fake
+  (** [read_cap] (default unbounded) caps bytes returned per [read]
+      call, so one [Chunk] can span many reads.  [write_credit]
+      (default unbounded) is the initial number of bytes the sink
+      accepts; when exhausted, writes return {!Write_block} until
+      {!grant} adds more.  [write_script] injects [Again]/[Intr]/[Eof]
+      ahead of acceptances ([Eof] makes the sink closed: writes return
+      {!Write_closed}; [Chunk] is ignored on the write side). *)
+
+  val vio : fake -> t
+
+  val feed : fake -> step list -> unit
+  (** Append steps to the read script (e.g. more bytes arriving). *)
+
+  val grant : fake -> int -> unit
+  (** Add write credit: the slow consumer drained some bytes. *)
+
+  val written : fake -> string
+  (** Everything the sink accepted so far, in order. *)
+
+  val reads : fake -> int
+  (** Number of [read] calls made (spurious wakeups included). *)
+
+  val writes : fake -> int
+  (** Number of [write] calls made (blocked attempts included). *)
+
+  val closed : fake -> bool
+end

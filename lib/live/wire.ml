@@ -340,51 +340,83 @@ let decode frame =
     else if String.length frame - 4 <> len then Error "length prefix mismatch"
     else decode_body (Bytes.of_string (String.sub frame 4 len))
 
+(* --- incremental decoder ------------------------------------------ *)
+
+(* Frame reassembly with no socket attached: bytes go in at whatever
+   boundaries the transport produced them, complete frames come out.
+   This is the piece the event loop (and the deterministic fake-socket
+   tests) drive directly. *)
+module Decoder = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+  let buffered d = d.len
+
+  let ensure_capacity d extra =
+    if d.len + extra > Bytes.length d.buf then begin
+      let grown = Bytes.create (max (2 * Bytes.length d.buf) (d.len + extra)) in
+      Bytes.blit d.buf 0 grown 0 d.len;
+      d.buf <- grown
+    end
+
+  let feed d bytes off len =
+    ensure_capacity d len;
+    Bytes.blit bytes off d.buf d.len len;
+    d.len <- d.len + len
+
+  let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  let next d =
+    if d.len < 4 then None
+    else
+      let body_len = Int32.to_int (Bytes.get_int32_le d.buf 0) land 0xFFFFFFFF in
+      if body_len > max_frame then Some (Error "frame length out of range")
+      else if d.len < 4 + body_len then None
+      else begin
+        let body = Bytes.sub d.buf 4 body_len in
+        let rest = d.len - 4 - body_len in
+        Bytes.blit d.buf (4 + body_len) d.buf 0 rest;
+        d.len <- rest;
+        Some (decode_body body)
+      end
+end
+
 (* --- buffered connections ----------------------------------------- *)
 
-type conn = { sock : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+type conn = {
+  sock : Unix.file_descr;
+  dec : Decoder.t;
+  scratch : Bytes.t;
+}
 
-let conn sock = { sock; buf = Bytes.create 4096; len = 0 }
+let conn sock = { sock; dec = Decoder.create (); scratch = Bytes.create 4096 }
 let fd c = c.sock
 
+(* Blocking-style send that also survives non-blocking descriptors:
+   EAGAIN waits for writability through poll (never select — client
+   descriptor numbers can exceed FD_SETSIZE), EINTR retries. *)
 let send c e =
   let frame = Bytes.unsafe_of_string (encode e) in
   let total = Bytes.length frame in
   let written = ref 0 in
   while !written < total do
-    written := !written + Unix.write c.sock frame !written (total - !written)
+    match Unix.write c.sock frame !written (total - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Evloop.wait_fd c.sock ~read:false ~write:true ~timeout:(-1.0))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let ensure_capacity c extra =
-  if c.len + extra > Bytes.length c.buf then begin
-    let grown = Bytes.create (max (2 * Bytes.length c.buf) (c.len + extra)) in
-    Bytes.blit c.buf 0 grown 0 c.len;
-    c.buf <- grown
-  end
-
 let read_once c =
-  ensure_capacity c 4096;
-  match Unix.read c.sock c.buf c.len (Bytes.length c.buf - c.len) with
+  match Unix.read c.sock c.scratch 0 (Bytes.length c.scratch) with
   | 0 -> `Closed
   | n ->
-      c.len <- c.len + n;
+      Decoder.feed c.dec c.scratch 0 n;
       `Data
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
       `Closed
 
-let next_frame c =
-  if c.len < 4 then None
-  else
-    let body_len = Int32.to_int (Bytes.get_int32_le c.buf 0) land 0xFFFFFFFF in
-    if body_len > max_frame then Some (Error "frame length out of range")
-    else if c.len < 4 + body_len then None
-    else begin
-      let body = Bytes.sub c.buf 4 body_len in
-      let rest = c.len - 4 - body_len in
-      Bytes.blit c.buf (4 + body_len) c.buf 0 rest;
-      c.len <- rest;
-      Some (decode_body body)
-    end
+let next_frame c = Decoder.next c.dec
 
 (* [deadline] is an absolute reading of [clock] — the injected monotonic
    clock by default, never the steppable wall clock. *)
@@ -398,10 +430,15 @@ let rec recv ?(clock = Dynvote_obs.Clock.now) ?deadline c =
       in
       if deadline <> None && timeout <= 0.0 then Error `Timeout
       else
-        match Unix.select [ c.sock ] [] [] timeout with
-        | [], _, _ -> Error `Timeout
-        | _ -> (
+        match Evloop.wait_fd c.sock ~read:true ~write:false ~timeout with
+        | None -> Error `Timeout
+        | Some _ -> (
             match read_once c with
             | `Closed -> Error `Closed
-            | `Data -> recv ~clock ?deadline c)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ~clock ?deadline c)
+            | `Data -> recv ~clock ?deadline c
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                (* spurious wakeup on a non-blocking socket *)
+                recv ~clock ?deadline c
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                recv ~clock ?deadline c))

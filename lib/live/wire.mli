@@ -92,6 +92,31 @@ val decode : string -> (envelope, string) result
 val max_frame : int
 (** Upper bound on the body length a reader will accept. *)
 
+(** {2 Incremental decoding}
+
+    Frame reassembly detached from any socket: the event loop (and the
+    deterministic fake-socket tests) feed whatever byte runs the
+    transport produced — split at arbitrary boundaries — and pull out
+    complete frames.  [conn] below is this decoder plus a descriptor. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** Append [len] bytes at [off] to the reassembly buffer. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> (envelope, string) result option
+  (** A complete buffered frame, if any ([None] = need more bytes).
+      Call repeatedly after each [feed] — one feed can complete many
+      frames. *)
+
+  val buffered : t -> int
+  (** Bytes currently awaiting frame completion. *)
+end
+
 (** {2 Buffered connections}
 
     One reader/writer per socket end; [recv] interleaves buffered frame

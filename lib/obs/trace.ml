@@ -14,6 +14,8 @@ type event =
   | Frame_dropped of { src : int; dst : int; reason : string }
   | Storage_fault of { site : int; op : string; path : string }
   | Degraded of { site : int; reason : string }
+  | Round_start of { site : int; op : int; in_flight : int }
+  | Round_end of { site : int; op : int; in_flight : int }
   | Note of string
 
 type t = {
@@ -99,6 +101,10 @@ let pp_event ppf = function
       Fmt.pf ppf "storage-fault site=%d op=%s path=%s" site op
         (Filename.basename path)
   | Degraded { site; reason } -> Fmt.pf ppf "degraded site=%d %s" site reason
+  | Round_start { site; op; in_flight } ->
+      Fmt.pf ppf "round-start site=%d op=%#x in-flight=%d" site op in_flight
+  | Round_end { site; op; in_flight } ->
+      Fmt.pf ppf "round-end site=%d op=%#x in-flight=%d" site op in_flight
   | Note note -> Fmt.pf ppf "note %s" note
 
 let pp_entry ppf (at, event) = Fmt.pf ppf "+%.6fs %a" at pp_event event

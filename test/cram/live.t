@@ -127,3 +127,34 @@ Unknown policies are rejected:
   $ $CLI serve --policy paxos --script /dev/null
   dynvote: unknown policy "paxos"
   [2]
+
+The pipelined service (anchored lock rounds, gather reuse, staged
+outbound frames) answers a serial console byte-for-byte like the
+sequential default: pipelining changes the wire traffic, never the
+replies or the audit.
+
+  $ cat > pscript.txt <<'EOF2'
+  > status
+  > put 0 color blue
+  > get 3 color
+  > put 1 color green
+  > get 2 color
+  > check
+  > EOF2
+
+  $ $CLI serve --sites 4 --dir pstate --pipeline 8 --max-reuse 64 --script pscript.txt | sed -E 's/port [0-9]+/port PORT/'
+  serving 4 sites from pstate (port PORT)
+  > status
+  up: {0, 1, 2, 3}
+  > put 0 color blue
+  granted
+  > get 3 color
+  granted "blue"
+  > put 1 color green
+  granted
+  > get 2 color
+  granted "green"
+  > check
+  audit: 22 log records, 16 commits, 2 reads checked
+  audit: SAFE (0 violations)
+  stopped

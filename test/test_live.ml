@@ -49,6 +49,8 @@ let test_config =
     lock_backoff = 0.02;
     durable = false;
     clock = Dynvote_obs.Clock.now;
+    pipeline = 1;
+    max_reuse = 0;
   }
 
 let with_cluster ?flavor ?segment_of ~universe f =

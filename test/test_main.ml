@@ -27,6 +27,8 @@ let () =
       ("adaptive_witness", Test_adaptive_witness.suite);
       ("obs", Test_obs.suite);
       ("live", Test_live.suite);
+      ("evloop", Test_evloop.suite);
+      ("serve", Test_evloop.serve_suite);
       ("crash", Test_crash.suite);
       ("exec", Test_exec.suite);
       ("misc", Test_misc.suite);
