@@ -21,6 +21,10 @@
                     -j 1 and -j N, results asserted identical, wall
                     times and speedup recorded in BENCH_PAR.json
 
+     SHARD      the sharded object space: per-op cost 10^3 -> 10^6
+                    keys under the residency cap, and the live
+                    group-quorum batch payoff (BENCH_SHARD.json)
+
    The environment variable DYNVOTE_BENCH_HORIZON (simulated days,
    default 400360 - about 1100 years) scales the main study.  The
    compute-bound sections (TABLE2, SWEEP, REPLICATIONS, MC) fan out over
@@ -1552,6 +1556,218 @@ let write_bench_crash ~path
   close_out oc;
   Fmt.pr "wrote %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* SHARD: the sharded object space at scale.  Per-operation cost of the
+   storage spine plus the LRU residency layer as the key space grows
+   10^3 -> 10^6 (the million-object claim: cost is bounded by the
+   residency cap, not the key count), then the live group-quorum
+   payoff — keys per lock round under a skewed mux herd.              *)
+
+module Shard_store = Dynvote_shard.Shard_store
+module Shard_map = Dynvote_shard.Shard_map
+module Zipf = Dynvote_shard.Zipf
+
+type shard_tier = {
+  t_keys : int;
+  t_populate_s : float;  (** wall time to commit every key once *)
+  t_ns_per_op : float;  (** skewed get/update mix through the LRU layer *)
+  t_materialized : int;
+  t_evicted : int;
+}
+
+let shard_resident_cap = 4096
+let shard_tier_ops = 200_000
+
+let shard_tier ~keys =
+  let dir = Filename.temp_file "dynvote-bench-shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let universe = Site_set.universe 4 in
+  let store, _info =
+    Shard_store.open_store ~durable:false ~dir ~site:0 ~shards:64 ()
+  in
+  let key = Printf.sprintf "key-%07d" in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to keys - 1 do
+    Shard_store.commit store ~key:(key k) ~rid:0
+      {
+        Shard_store.op_no = 2;
+        version = 2;
+        partition = universe;
+        data_version = 2;
+        value = Some "seed";
+      }
+  done;
+  let populate_s = Unix.gettimeofday () -. t0 in
+  let map =
+    Shard_map.create ~store ~resident:shard_resident_cap ~universe ()
+  in
+  let zipf = Zipf.create ~n:keys ~s:1.1 in
+  let rng = Dynvote_prng.Rng.of_seed 42 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to shard_tier_ops - 1 do
+    let k = key (Zipf.sample zipf (Dynvote_prng.Rng.float rng)) in
+    let e = Shard_map.find map k in
+    Shard_map.pin e;
+    if i mod 3 = 0 then begin
+      let r = Shard_map.replica e in
+      Shard_map.set_replica e
+        (Replica.with_commit r ~op_no:(Replica.op_no r + 1)
+           ~version:(Replica.version r + 1) ~partition:universe);
+      Shard_map.set_data_version e (Replica.version (Shard_map.replica e));
+      Shard_map.set_value e (Some "update");
+      Shard_store.commit store ~key:k ~rid:0 (Shard_map.state_of e)
+    end
+    else ignore (Shard_map.value e);
+    Shard_map.unpin e
+  done;
+  let ns_per_op =
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int shard_tier_ops
+  in
+  let tier =
+    {
+      t_keys = keys;
+      t_populate_s = populate_s;
+      t_ns_per_op = ns_per_op;
+      t_materialized = Shard_map.materializations map;
+      t_evicted = Shard_map.evictions map;
+    }
+  in
+  Shard_store.close store;
+  tier
+
+(* The live side: a sharded pipelined cluster under a skewed mux herd
+   funnelled at one coordinator, so scheduler bursts carry many keys
+   and the group path locks them in one wire round. *)
+let shard_live_run () =
+  let dir = Filename.temp_file "dynvote-bench-shardlive" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let config =
+    {
+      Dynvote_live.Node.default_config with
+      Dynvote_live.Node.gather_timeout = 0.05;
+      lock_backoff = 0.02;
+      durable = false;
+      pipeline = 8;
+      max_reuse = 64;
+      shards = 64;
+      resident = shard_resident_cap;
+    }
+  in
+  let cluster =
+    Live.create ~config ~obs:(Hub.create ()) ~universe:(Site_set.universe 4)
+      ~dir ()
+  in
+  let result =
+    Loadgen.run cluster
+      {
+        Loadgen.default with
+        Loadgen.clients = 32;
+        duration = 2.0;
+        seed = 11;
+        keys = 512;
+        zipf = 1.1;
+        mode = `Mux;
+        sites = Some (Site_set.singleton 1);
+      }
+  in
+  let audit = Live.check cluster in
+  let m = (Live.obs cluster).Hub.metrics in
+  let batch = hist_summary m "live.shard.group.batch" in
+  Live.shutdown cluster;
+  let safe =
+    Dynvote_chaos.Oracle.is_safe audit.Live.oracle
+    && audit.Live.kviolations = [] && audit.Live.dup_applies = 0
+  in
+  (result, safe, audit.Live.keys, batch)
+
+let shard_bench () =
+  section "SHARD"
+    "The sharded object space: per-operation cost of the spine + LRU\n\
+     residency layer as the key space grows 1k -> 1M (Zipf 1.1 mix, one\n\
+     update per two reads), then the live group-quorum payoff under a\n\
+     skewed mux herd.  The gate: the million-key per-op cost stays within\n\
+     2x of the thousand-key cost — residency, not key count, bounds it.";
+  let tiers =
+    List.map (fun keys -> shard_tier ~keys) [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let table =
+    Text_table.create
+      ~aligns:
+        [ Text_table.Right; Text_table.Right; Text_table.Right;
+          Text_table.Right; Text_table.Right ]
+      ~header:[ "keys"; "populate s"; "ns/op"; "materialized"; "evicted" ]
+      ()
+  in
+  List.iter
+    (fun t ->
+      Text_table.add_row table
+        [
+          string_of_int t.t_keys;
+          Printf.sprintf "%.2f" t.t_populate_s;
+          Printf.sprintf "%.0f" t.t_ns_per_op;
+          string_of_int t.t_materialized;
+          string_of_int t.t_evicted;
+        ])
+    tiers;
+  Text_table.print table;
+  let cost keys =
+    (List.find (fun t -> t.t_keys = keys) tiers).t_ns_per_op
+  in
+  let ratio = cost 1_000_000 /. cost 1_000 in
+  let gate = ratio <= 2.0 in
+  Fmt.pr
+    "@.per-op cost at 1M keys: %.2fx the 1k-key cost (floor: a key space\n\
+     1000x larger may cost at most 2x per op)@.gate: %s@.@."
+    ratio
+    (if gate then "PASS" else "FAIL");
+  let live_r, live_safe, live_keys, batch = shard_live_run () in
+  Fmt.pr "[group quorums] audit %s  %d keys audited@.@[<v>%a@]@."
+    (if live_safe then "SAFE" else "UNSAFE")
+    live_keys Loadgen.pp_result live_r;
+  Fmt.pr
+    "group path: %d lock rounds, %.2f keys per round (max %.0f) — the\n\
+     batching the per-key protocol buys back@."
+    batch.hs_n batch.hs_mean batch.hs_max;
+  (tiers, (ratio, gate), (live_r, live_safe, live_keys, batch))
+
+let write_bench_shard ~path
+    (tiers, (ratio, gate), ((live_r : Loadgen.result), live_safe, live_keys, batch)) =
+  let b = Buffer.create 1024 in
+  let fl v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"dynvote-bench-shard/1\",\"resident_cap\":%d,\"ops_per_tier\":%d,\"tiers\":["
+       shard_resident_cap shard_tier_ops);
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"keys\":%d,\"populate_s\":%s,\"ns_per_op\":%s,\"materialized\":%d,\"evicted\":%d}"
+           t.t_keys (fl t.t_populate_s) (fl t.t_ns_per_op) t.t_materialized
+           t.t_evicted))
+    tiers;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"gate\":{\"ratio_1m_over_1k\":%s,\"ceiling\":2.0,\"verdict\":\"%s\"},"
+       (fl ratio)
+       (if gate then "pass" else "fail"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"live\":{\"clients\":32,\"keys\":512,\"zipf\":1.1,\"goodput\":%s,\"half_width\":%s,\"safe\":%b,\"keys_audited\":%d,\"hotset_distinct\":%d,\"hotset_top_share\":%s,\"group_batch\":{\"n\":%d,\"mean\":%s,\"max\":%s}}}"
+       (fl live_r.Loadgen.goodput.Batch_means.mean)
+       (fl live_r.Loadgen.goodput.Batch_means.half_width)
+       live_safe live_keys live_r.Loadgen.hotset.Loadgen.distinct
+       (fl live_r.Loadgen.hotset.Loadgen.top_share)
+       batch.hs_n (fl batch.hs_mean) (fl batch.hs_max));
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
 let () =
   (* A child herd re-exec sees the flag before anything prints. *)
   mux_child_main ();
@@ -1579,5 +1795,7 @@ let () =
     obs_results;
   let crash_results = crash_bench () in
   write_bench_crash ~path:"BENCH_CRASH.json" crash_results;
+  let shard_results = shard_bench () in
+  write_bench_shard ~path:"BENCH_SHARD.json" shard_results;
   micro ();
   Fmt.pr "@.done.@."

@@ -629,6 +629,23 @@ let live_max_reuse =
   in
   Arg.(value & opt int 0 & info [ "max-reuse" ] ~docv:"N" ~doc)
 
+let live_shards =
+  let doc =
+    "Turn on the sharded object space: every key is an independently-voted \
+     (o, v, P) object, persisted across $(docv) per-site append logs and \
+     coordinated by group-quorum rounds that cover every key of a scheduler \
+     burst in one wire exchange.  0 (the default) is the classic \
+     single-object engine."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let live_resident =
+  let doc =
+    "Keys materialized in volatile memory at once (the shard map's LRU \
+     capacity); only meaningful with --shards."
+  in
+  Arg.(value & opt int 4096 & info [ "resident" ] ~docv:"N" ~doc)
+
 let live_flavor text =
   match Harness.policy_of_string text with
   | Some p -> p.Harness.flavor
@@ -639,7 +656,8 @@ let live_flavor text =
 (* Loopback tuning: the library default (0.2 s rounds) is patience for a
    real network; here every peer is micro-seconds away and snappy rounds
    keep lock contention cheap. *)
-let live_config ?(pipeline = 1) ?(max_reuse = 0) ~buffered () =
+let live_config ?(pipeline = 1) ?(max_reuse = 0) ?(shards = 0) ?(resident = 4096)
+    ~buffered () =
   {
     Live_node.default_config with
     Live_node.gather_timeout = 0.05;
@@ -647,6 +665,8 @@ let live_config ?(pipeline = 1) ?(max_reuse = 0) ~buffered () =
     durable = not buffered;
     pipeline;
     max_reuse;
+    shards;
+    resident;
   }
 
 let fresh_temp_dir () =
@@ -670,13 +690,19 @@ let pp_audit ppf (audit : Live.audit) =
   if audit.Live.dup_applies > 0 then
     Fmt.pf ppf "requests applied more than once: %d (exactly-once violated)@,"
       audit.Live.dup_applies;
-  match violations with
-  | [] ->
+  if audit.Live.keys > 0 then
+    Fmt.pf ppf "sharded object space: %d keys audited, each via its own oracle@,"
+      audit.Live.keys;
+  List.iter
+    (fun (key, v) -> Fmt.pf ppf "key %S: %a@," key Oracle.pp_violation v)
+    audit.Live.kviolations;
+  match (violations, audit.Live.kviolations) with
+  | [], [] ->
       if audit.Live.dup_applies = 0 then Fmt.pf ppf "audit: SAFE (0 violations)"
       else Fmt.pf ppf "audit: UNSAFE (duplicate applies)"
-  | vs ->
+  | vs, kvs ->
       List.iter (fun v -> Fmt.pf ppf "%a@," Oracle.pp_violation v) vs;
-      Fmt.pf ppf "audit: UNSAFE (%d violations)" (List.length vs)
+      Fmt.pf ppf "audit: UNSAFE (%d violations)" (List.length vs + List.length kvs)
 
 (* The serve console: one command per line, usable both from a script
    and interactively.  Groups are comma-separated sites split by '/'. *)
@@ -848,8 +874,8 @@ let serve_cmd =
     in
     Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
   in
-  let run sites policy_text buffered pipeline max_reuse seed dir script
-      fault_specs =
+  let run sites policy_text buffered pipeline max_reuse shards resident seed dir
+      script fault_specs =
     let dir = match dir with Some d -> d | None -> fresh_temp_dir () in
     let universe = Site_set.universe sites in
     (* Every site's storage runs through its own fault-injection
@@ -876,7 +902,7 @@ let serve_cmd =
     in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~pipeline ~max_reuse ~buffered ())
+        ~config:(live_config ~pipeline ~max_reuse ~shards ~resident ~buffered ())
         ~vfs_of:(fun site -> Faultfs.vfs (faultfs_of site))
         ~universe ~dir ()
     in
@@ -917,7 +943,8 @@ let serve_cmd =
           safety audit that replays every node's on-disk operation log \
           through the oracle.")
     Term.(const run $ live_sites $ live_policy $ live_buffered $ live_pipeline
-          $ live_max_reuse $ seed $ dir_arg $ script_arg $ fault_arg)
+          $ live_max_reuse $ live_shards $ live_resident $ seed $ dir_arg
+          $ script_arg $ fault_arg)
 
 let loadgen_cmd =
   let clients_arg =
@@ -933,7 +960,17 @@ let loadgen_cmd =
          & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of operations that are puts.")
   in
   let keys_arg =
-    Arg.(value & opt int 16 & info [ "keys" ] ~docv:"K" ~doc:"Key-space size.")
+    Arg.(value & opt (some int) None
+         & info [ "keys" ] ~docv:"K" ~doc:"Key-space size (default 16).")
+  in
+  let zipf_arg =
+    let doc =
+      "Zipf key-popularity exponent: rank k is drawn with probability \
+       proportional to 1/(k+1)^s.  Requires an explicit --keys (a skewed \
+       draw over an unstated key space is almost never what you meant).  \
+       Default: uniform."
+    in
+    Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"S" ~doc)
   in
   let value_bytes_arg =
     Arg.(value & opt int 64
@@ -982,13 +1019,25 @@ let loadgen_cmd =
                "Also print the event-loop and pipelining counters (wakeups, \
                 batch sizes, rounds in flight, anchor reuse).")
   in
-  let run sites policy_text buffered pipeline max_reuse seed clients duration
-      write_ratio keys value_bytes rate retries mux site net_stats no_check =
+  let run sites policy_text buffered pipeline max_reuse shards resident seed
+      clients duration write_ratio keys zipf value_bytes rate retries mux site
+      net_stats no_check =
+    let zipf =
+      match (zipf, keys) with
+      | Some _, None ->
+          Fmt.epr
+            "dynvote: --zipf needs an explicit --keys (the skew is over the \
+             key space; say how big it is)@.";
+          exit 2
+      | Some s, Some _ -> s
+      | None, _ -> 0.0
+    in
+    let keys = Option.value ~default:16 keys in
     let dir = fresh_temp_dir () in
     let universe = Site_set.universe sites in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~pipeline ~max_reuse ~buffered ())
+        ~config:(live_config ~pipeline ~max_reuse ~shards ~resident ~buffered ())
         ~universe ~dir ()
     in
     let target_sites =
@@ -1002,8 +1051,8 @@ let loadgen_cmd =
           Some (Site_set.singleton s)
     in
     let config =
-      { Loadgen.clients; duration; write_ratio; keys; value_bytes; rate; seed;
-        sites = target_sites; retries;
+      { Loadgen.clients; duration; write_ratio; keys; zipf; value_bytes; rate;
+        seed; sites = target_sites; retries;
         mode = (if mux then `Mux else `Threads) }
     in
     let result = Loadgen.run cluster config in
@@ -1049,7 +1098,9 @@ let loadgen_cmd =
       ||
       let audit = Live.check cluster in
       Fmt.pr "@[<v>%a@]@." pp_audit audit;
-      Oracle.is_safe audit.Live.oracle && audit.Live.dup_applies = 0
+      Oracle.is_safe audit.Live.oracle
+      && audit.Live.dup_applies = 0
+      && audit.Live.kviolations = []
     in
     Live.shutdown cluster;
     if not ok then exit 1
@@ -1063,9 +1114,10 @@ let loadgen_cmd =
           latency percentiles (plus the registry's log-scaled histograms), \
           and the end-of-run safety audit.")
     Term.(const run $ live_sites $ live_policy $ live_buffered $ live_pipeline
-          $ live_max_reuse $ seed $ clients_arg $ duration_arg
-          $ write_ratio_arg $ keys_arg $ value_bytes_arg $ rate_arg
-          $ retries_arg $ mux_arg $ site_arg $ net_stats_arg $ no_check_arg)
+          $ live_max_reuse $ live_shards $ live_resident $ seed $ clients_arg
+          $ duration_arg $ write_ratio_arg $ keys_arg $ zipf_arg
+          $ value_bytes_arg $ rate_arg $ retries_arg $ mux_arg $ site_arg
+          $ net_stats_arg $ no_check_arg)
 
 let stats_cmd =
   let json_arg =
@@ -1080,12 +1132,14 @@ let stats_cmd =
     Arg.(value & opt int 12
          & info [ "trace" ] ~docv:"N" ~doc:"Trace events to dump (text mode).")
   in
-  let run sites policy_text buffered seed duration json trace_n =
+  let run sites policy_text buffered shards resident seed duration json trace_n
+      =
     let dir = fresh_temp_dir () in
     let universe = Site_set.universe sites in
     let cluster =
       Live.create ~flavor:(live_flavor policy_text)
-        ~config:(live_config ~buffered ()) ~universe ~dir ()
+        ~config:(live_config ~shards ~resident ~buffered ())
+        ~universe ~dir ()
     in
     let config = { Loadgen.default with Loadgen.clients = 2; duration; seed } in
     ignore (Loadgen.run cluster config : Loadgen.result);
@@ -1111,8 +1165,8 @@ let stats_cmd =
           metrics registry (text or --json) plus the tail of the structured \
           trace ring.  The same instruments a long-running serve session \
           exposes through its console's stats command.")
-    Term.(const run $ live_sites $ live_policy $ live_buffered $ seed
-          $ duration_arg $ json_arg $ trace_arg)
+    Term.(const run $ live_sites $ live_policy $ live_buffered $ live_shards
+          $ live_resident $ seed $ duration_arg $ json_arg $ trace_arg)
 
 let crashmat_cmd =
   let full_arg =

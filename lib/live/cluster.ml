@@ -7,6 +7,7 @@
 module Oracle = Dynvote_chaos.Oracle
 module Trace = Dynvote_obs.Trace
 module Hub = Dynvote_obs.Hub
+module Shard_store = Dynvote_shard.Shard_store
 
 type t = {
   universe : Site_set.t;
@@ -63,10 +64,12 @@ let create ?(flavor = Decision.ldv_flavor) ?(segment_of = fun s -> s)
             (fun (seq, client) r ->
               let rid =
                 match r with
-                | Persist.Log_commit { rid; _ } | Persist.Log_outcome { rid; _ }
-                  ->
+                | Persist.Log_commit { rid; _ }
+                | Persist.Log_outcome { rid; _ }
+                | Persist.Log_kcommit { rid; _ }
+                | Persist.Log_koutcome { rid; _ } ->
                     rid
-                | Persist.Log_intent _ -> 0
+                | Persist.Log_intent _ | Persist.Log_kintent _ -> 0
               in
               (max seq (Persist.seq_of r), max client (rid lsr 32)))
             (seq, client) records
@@ -268,27 +271,41 @@ type audit = {
   corrupt : int;
   dup_applies : int;
   records : int;
+  keys : int;
+  kviolations : (string * Oracle.violation) list;
 }
 
-(* Exactly-once accounting over the merged logs.  A request id is
-   double-applied when the history shows it committing under two
-   distinct operation numbers (the same logical commit fanning out to
-   many sites shares one op_no, so that is not a duplicate), or when two
-   granted write outcomes both claim to have installed content for it. *)
+(* Exactly-once accounting over the merged logs, both engines at once:
+   the request-id space is global (client lsl 32 lor req), so one table
+   serves.  A request id is double-applied when the history shows it
+   committing under two distinct logical commits — distinct op numbers
+   for the single-object engine, distinct (key, op_no) pairs for the
+   sharded one (the same logical commit fanning out to many sites shares
+   its identity, so that is not a duplicate) — or when two granted write
+   outcomes both claim to have installed content for it. *)
 let count_dup_applies tagged =
   let commit_ops = Hashtbl.create 16 in
   let applied_outcomes = Hashtbl.create 16 in
+  let note_commit rid ident =
+    let ops = Option.value ~default:[] (Hashtbl.find_opt commit_ops rid) in
+    if not (List.mem ident ops) then Hashtbl.replace commit_ops rid (ident :: ops)
+  in
+  let note_outcome rid =
+    Hashtbl.replace applied_outcomes rid
+      (1 + Option.value ~default:0 (Hashtbl.find_opt applied_outcomes rid))
+  in
   List.iter
     (fun (_site, record) ->
       match record with
       | Persist.Log_commit { op_no; rid; _ } when rid <> 0 ->
-          let ops = Option.value ~default:[] (Hashtbl.find_opt commit_ops rid) in
-          if not (List.mem op_no ops) then
-            Hashtbl.replace commit_ops rid (op_no :: ops)
+          note_commit rid (None, op_no)
+      | Persist.Log_kcommit { key; op_no; rid; _ } when rid <> 0 ->
+          note_commit rid (Some key, op_no)
       | Persist.Log_outcome { kind = `Write; granted = true; content = Some _; rid; _ }
+      | Persist.Log_koutcome
+          { kind = `Write; granted = true; content = Some _; rid; _ }
         when rid <> 0 ->
-          Hashtbl.replace applied_outcomes rid
-            (1 + Option.value ~default:0 (Hashtbl.find_opt applied_outcomes rid))
+          note_outcome rid
       | _ -> ())
     tagged;
   let dups = Hashtbl.create 8 in
@@ -331,7 +348,11 @@ let check_dir ~universe ~dir =
         | Persist.Log_outcome { kind = `Recover; _ } ->
             None
         | Persist.Log_outcome { kind = `Read; granted; content; _ } ->
-            Some (Oracle.Replay_read { at = site; granted; content }))
+            Some (Oracle.Replay_read { at = site; granted; content })
+        | Persist.Log_kcommit _ | Persist.Log_kintent _ | Persist.Log_koutcome _
+          ->
+            (* keyed records replay through their per-key oracles below *)
+            None)
       ordered
   in
   (* Final on-disk stores feed the content-fork scan; an unreadable blob
@@ -348,12 +369,71 @@ let check_dir ~universe ~dir =
   let oracle =
     Oracle.replay ~initial_content:(Persist.encode_entries []) ~final events
   in
+  (* The sharded object space: every key is its own register, so every
+     key gets its own oracle — its commits, intents and outcomes in
+     global stamp order, its final per-site states from the shard logs.
+     A run that never touched the sharded engine audits zero keys. *)
+  let kevents = Hashtbl.create 64 in
+  let korder = ref [] in
+  let kadd key ev =
+    match Hashtbl.find_opt kevents key with
+    | Some evs -> Hashtbl.replace kevents key (ev :: evs)
+    | None ->
+        korder := key :: !korder;
+        Hashtbl.replace kevents key [ ev ]
+  in
+  List.iter
+    (fun (site, record) ->
+      match record with
+      | Persist.Log_kcommit { key; op_no; version; partition; _ } ->
+          kadd key
+            (Oracle.Replay_commit
+               { site; replica = Replica.make ~op_no ~version ~partition })
+      | Persist.Log_kintent { key; content; _ } ->
+          kadd key (Oracle.Replay_intent { content })
+      | Persist.Log_koutcome
+          { key; kind = `Write; granted; content = Some content; _ } ->
+          kadd key (Oracle.Replay_write { granted; content })
+      | Persist.Log_koutcome { key; kind = `Read; granted; content; _ } ->
+          kadd key (Oracle.Replay_read { at = site; granted; content })
+      | _ -> ())
+    ordered;
+  let kfinal = Hashtbl.create 64 in
+  Site_set.iter
+    (fun site ->
+      List.iter
+        (fun (key, st) ->
+          let entry =
+            ( site,
+              st.Shard_store.data_version,
+              Node.encode_kvalue st.Shard_store.value )
+          in
+          match Hashtbl.find_opt kfinal key with
+          | Some fs -> Hashtbl.replace kfinal key (entry :: fs)
+          | None ->
+              if not (Hashtbl.mem kevents key) then korder := key :: !korder;
+              Hashtbl.replace kfinal key [ entry ])
+        (Shard_store.read_states ~dir ~site))
+    universe;
+  let kviolations =
+    List.concat_map
+      (fun key ->
+        let events =
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt kevents key))
+        in
+        let final = Option.value ~default:[] (Hashtbl.find_opt kfinal key) in
+        let o = Oracle.replay ~initial_content:"" ~final events in
+        List.map (fun v -> (key, v)) (Oracle.violations o))
+      (List.rev !korder)
+  in
   {
     oracle;
     torn = !torn;
     corrupt = !corrupt;
     dup_applies = count_dup_applies ordered;
     records = List.length ordered;
+    keys = List.length !korder;
+    kviolations;
   }
 
 (* COMMIT waves are fire-and-forget, so a client can hold a granted

@@ -143,8 +143,19 @@ type audit = {
           produce *)
   dup_applies : int;
       (** request ids the merged history shows committing more than once
-          — an exactly-once violation *)
+          — an exactly-once violation; counted across both the
+          single-object and the sharded engine (the request-id space is
+          global) *)
   records : int;
+  keys : int;
+      (** distinct keys of the sharded object space seen in the merged
+          logs or the shard-log finals; [0] for a purely single-object
+          run *)
+  kviolations : (string * Dynvote_chaos.Oracle.violation) list;
+      (** per-key oracle violations: every key replays through its own
+          oracle (each key is an independent register), with its final
+          per-site (data_version, content) states read offline from the
+          shard logs *)
 }
 
 val check : t -> audit

@@ -15,6 +15,7 @@ module Splitmix64 = Dynvote_prng.Splitmix64
 module Clock = Dynvote_obs.Clock
 module Metrics = Dynvote_obs.Metrics
 module Hub = Dynvote_obs.Hub
+module Zipf = Dynvote_shard.Zipf
 
 type mode = [ `Threads | `Mux ]
 
@@ -23,6 +24,7 @@ type config = {
   duration : float;
   write_ratio : float;
   keys : int;
+  zipf : float;
   value_bytes : int;
   rate : float option;
   seed : int;
@@ -37,6 +39,7 @@ let default =
     duration = 5.0;
     write_ratio = 0.3;
     keys = 16;
+    zipf = 0.0;
     value_bytes = 64;
     rate = None;
     seed = 1;
@@ -44,6 +47,17 @@ let default =
     retries = 0;
     mode = `Threads;
   }
+
+(* One key sampler shared by every worker: {!Zipf.sample} is pure, and
+   each worker feeds it its own RNG stream.  [zipf = 0] through the
+   sampler is exactly the uniform draw, but skipping it keeps the
+   default hot path allocation-identical to before. *)
+let key_sampler config =
+  let n = max 1 config.keys in
+  if config.zipf > 0.0 then
+    let z = Zipf.create ~n ~s:config.zipf in
+    fun rng -> Zipf.sample z (Rng.float rng)
+  else fun rng -> Rng.int rng n
 
 type op_stats = {
   issued : int;
@@ -59,12 +73,20 @@ type op_stats = {
   p99 : float;
 }
 
+type hotset = {
+  distinct : int;  (** distinct keys at least one call touched *)
+  top_share : float;
+      (** fraction of all calls that went to the hottest 1% of the key
+          space (at least one key); [nan] when nothing completed *)
+}
+
 type result = {
   wall : float;
   reads : op_stats;
   writes : op_stats;
   goodput : Batch_means.interval;
   late : int;
+  hotset : hotset;
 }
 
 (* One completed call: kind, status, completion time, latency, how many
@@ -77,6 +99,7 @@ type sample = {
   s_latency : float;
   s_retries : int;
   s_dup : bool;
+  s_key : int;  (* key index drawn, for the hot-set report *)
 }
 
 (* The old scheme ([seed * 65599 + index]) made (seed, index) collide
@@ -106,7 +129,8 @@ let dup_info ~status ~info =
 let is_dup_ack (reply : Cluster.reply) =
   dup_info ~status:reply.Cluster.status ~info:reply.Cluster.info
 
-let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
+let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins ~sample_key journal
+    =
   let rng = Rng.create ~seed:seed64 () in
   let client = Cluster.client cluster in
   let targets =
@@ -140,7 +164,8 @@ let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
       incr n;
       Metrics.incr ins.i_issued;
       let at = targets.(Rng.int rng (Array.length targets)) in
-      let key = Printf.sprintf "k%d" (Rng.int rng (max 1 config.keys)) in
+      let ki = sample_key rng in
+      let key = Printf.sprintf "k%d" ki in
       let is_write = Rng.float rng < config.write_ratio in
       let reply =
         if is_write then
@@ -164,6 +189,7 @@ let worker cluster config ~seed64 ~index ~t_start ~t_end ~ins journal =
           s_latency = latency;
           s_retries = reply.Cluster.retries;
           s_dup = dup;
+          s_key = ki;
         }
         :: !journal
     end
@@ -222,13 +248,14 @@ type mux_client = {
   mc_rng : Rng.t;
   mutable mc_id : int;  (* endpoint id; 0 until Welcome *)
   mutable mc_req : int;
-  mutable mc_outstanding : (float * bool) option;  (* start, is_write *)
+  mutable mc_outstanding : (float * bool * int) option;
+      (* start, is_write, key index *)
   mutable mc_writing : bool;  (* current write-interest registration *)
   mutable mc_done : bool;
   mc_journal : sample list ref;
 }
 
-let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
+let run_mux ~port ~universe config ~ins ~sample_key ~t_start:_ ~t_end =
   if config.rate <> None then
     invalid_arg "Loadgen.run: open-loop arrivals need mode = `Threads";
   let targets =
@@ -284,7 +311,7 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
       Evconn.close c.mc_conn
     end
   in
-  let record c ~status ~is_write ~start ~dup =
+  let record c ~status ~is_write ~start ~key ~dup =
     let finish = Clock.now () in
     let latency = finish -. start in
     Metrics.observe (if is_write then ins.i_write_h else ins.i_read_h) latency;
@@ -299,6 +326,7 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
         s_latency = latency;
         s_retries = 0;
         s_dup = dup;
+        s_key = key;
       }
       :: !(c.mc_journal)
   in
@@ -319,7 +347,8 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
       Metrics.incr ins.i_issued;
       c.mc_req <- c.mc_req + 1;
       let at = targets.(Rng.int c.mc_rng (Array.length targets)) in
-      let key = Printf.sprintf "k%d" (Rng.int c.mc_rng (max 1 config.keys)) in
+      let ki = sample_key c.mc_rng in
+      let key = Printf.sprintf "k%d" ki in
       let is_write = Rng.float c.mc_rng < config.write_ratio in
       let frame =
         if is_write then
@@ -331,7 +360,7 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
             }
         else Wire.Client_get { req = c.mc_req; key }
       in
-      c.mc_outstanding <- Some (now, is_write);
+      c.mc_outstanding <- Some (now, is_write, ki);
       match Evconn.enqueue c.mc_conn { Wire.src = c.mc_id; dst = at; payload = frame }
       with
       | `Overflow -> finish_client c
@@ -347,9 +376,9 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
       | Wire.Client_reply { req; status; value = _; info } when req = c.mc_req
         -> (
           match c.mc_outstanding with
-          | Some (start, is_write) ->
+          | Some (start, is_write, key) ->
               c.mc_outstanding <- None;
-              record c ~status ~is_write ~start ~dup:(dup_info ~status ~info);
+              record c ~status ~is_write ~start ~key ~dup:(dup_info ~status ~info);
               issue c
           | None -> ())
       | _ -> ()  (* a stale reply from an abandoned request number *)
@@ -391,8 +420,8 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
     (fun c ->
       if not c.mc_done then begin
         (match c.mc_outstanding with
-        | Some (start, is_write) ->
-            record c ~status:Wire.Aborted ~is_write ~start ~dup:false
+        | Some (start, is_write, key) ->
+            record c ~status:Wire.Aborted ~is_write ~start ~key ~dup:false
         | None -> ());
         finish_client c
       end)
@@ -402,7 +431,9 @@ let run_mux ~port ~universe config ~ins ~t_start:_ ~t_end =
 
 let validate config =
   if config.clients < 1 then invalid_arg "Loadgen.run: need at least one client";
-  if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration"
+  if config.duration <= 0.0 then invalid_arg "Loadgen.run: non-positive duration";
+  if (not (Float.is_finite config.zipf)) || config.zipf < 0.0 then
+    invalid_arg "Loadgen.run: zipf exponent must be finite and >= 0"
 
 let instruments (hub : Hub.t) =
   {
@@ -414,6 +445,33 @@ let instruments (hub : Hub.t) =
     i_dup_acks = Metrics.counter hub.Hub.metrics "loadgen.ops.dup_acks";
     i_fenced = Metrics.counter hub.Hub.metrics "loadgen.ops.fenced";
   }
+
+(* Hot-set coverage: how much of the key space the run actually visited
+   and how concentrated the traffic was — the witness that a [--zipf]
+   workload skewed and a uniform one spread. *)
+let hotset_of config samples =
+  let counts = Hashtbl.create 256 in
+  let total = ref 0 in
+  List.iter
+    (fun s ->
+      incr total;
+      Hashtbl.replace counts s.s_key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s.s_key)))
+    samples;
+  if !total = 0 then { distinct = 0; top_share = nan }
+  else begin
+    let freqs = Hashtbl.fold (fun _ n acc -> n :: acc) counts [] in
+    let sorted = List.sort (fun a b -> compare b a) freqs in
+    let top_n = max 1 (max 1 config.keys / 100) in
+    let rec take n acc = function
+      | f :: rest when n > 0 -> take (n - 1) (acc + f) rest
+      | _ -> acc
+    in
+    {
+      distinct = Hashtbl.length counts;
+      top_share = float_of_int (take top_n 0 sorted) /. float_of_int !total;
+    }
+  end
 
 let summarise config ~t_start ~t_end ~wall journals =
   let all = Array.fold_left (fun acc j -> List.rev_append !j acc) [] journals in
@@ -446,18 +504,21 @@ let summarise config ~t_start ~t_end ~wall journals =
     writes = stats_of writes;
     goodput = Batch_means.interval bm;
     late;
+    hotset = hotset_of config all;
   }
 
 let run cluster config =
   validate config;
   let ins = instruments (Cluster.obs cluster) in
+  let sample_key = key_sampler config in
   let t_start = Clock.now () in
   let t_end = t_start +. config.duration in
   let journals =
     match config.mode with
     | `Mux ->
         run_mux ~port:(Cluster.port cluster)
-          ~universe:(Cluster.universe cluster) config ~ins ~t_start ~t_end
+          ~universe:(Cluster.universe cluster) config ~ins ~sample_key ~t_start
+          ~t_end
     | `Threads ->
         let seeds = worker_seeds ~seed:config.seed ~n:config.clients in
         let journals = Array.init config.clients (fun _ -> ref []) in
@@ -467,7 +528,7 @@ let run cluster config =
               Thread.create
                 (fun () ->
                   worker cluster config ~seed64:seeds.(index) ~index ~t_start
-                    ~t_end ~ins journal)
+                    ~t_end ~ins ~sample_key journal)
                 ())
             journals
         in
@@ -484,9 +545,10 @@ let run_at ?(obs = Hub.noop) ~port ~universe config =
   | `Threads ->
       invalid_arg "Loadgen.run_at: thread workers need a Cluster.t; use run");
   let ins = instruments obs in
+  let sample_key = key_sampler config in
   let t_start = Clock.now () in
   let t_end = t_start +. config.duration in
-  let journals = run_mux ~port ~universe config ~ins ~t_start ~t_end in
+  let journals = run_mux ~port ~universe config ~ins ~sample_key ~t_start ~t_end in
   let wall = Clock.now () -. t_start in
   summarise config ~t_start ~t_end ~wall journals
 
@@ -511,6 +573,9 @@ let pp_result ppf r =
   if r.late > 0 then
     Fmt.pf ppf "late    %d granted after the cutoff (excluded from goodput)@,"
       r.late;
+  if r.hotset.distinct > 0 then
+    Fmt.pf ppf "keys    %d distinct touched  top-1%%-of-keyspace share %.2f@,"
+      r.hotset.distinct r.hotset.top_share;
   let i = r.goodput in
   Fmt.pf ppf "goodput %.1f ops/s  +/- %.1f (95%% CI, %d batches)  over %.2f s@]"
     i.Batch_means.mean i.Batch_means.half_width i.Batch_means.batches r.wall

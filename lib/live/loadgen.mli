@@ -23,7 +23,12 @@ type config = {
   clients : int;  (** concurrent clients, one connection each *)
   duration : float;  (** seconds of load *)
   write_ratio : float;  (** fraction of operations that are puts *)
-  keys : int;  (** key space size (uniform) *)
+  keys : int;  (** key space size *)
+  zipf : float;
+      (** key-popularity skew: [0.0] (the default) draws keys uniformly;
+          [s > 0] draws rank [k] with probability proportional to
+          [1 / (k+1)^s] ({!Dynvote_shard.Zipf}), the classic hot-set
+          workload for the sharded object space *)
   value_bytes : int;  (** payload size per put *)
   rate : float option;
       (** [Some r]: open loop at [r] ops/s total; [None]: closed loop *)
@@ -39,8 +44,8 @@ type config = {
 }
 
 val default : config
-(** 4 clients, 5 s, 30% writes, 16 keys, 64-byte values, closed loop,
-    no retries, [`Threads]. *)
+(** 4 clients, 5 s, 30% writes, 16 keys (uniform, [zipf = 0]), 64-byte
+    values, closed loop, no retries, [`Threads]. *)
 
 type op_stats = {
   issued : int;
@@ -58,6 +63,15 @@ type op_stats = {
   p99 : float;  (** exact (sorted-sample) percentiles, seconds *)
 }
 
+type hotset = {
+  distinct : int;  (** distinct keys at least one call touched *)
+  top_share : float;
+      (** fraction of all completed calls that went to the hottest 1% of
+          the key space (at least one key); [nan] when nothing
+          completed.  Near [0.01 x keys / distinct] for a uniform draw,
+          far above it under [zipf] skew *)
+}
+
 type result = {
   wall : float;  (** measured duration (monotonic clock) *)
   reads : op_stats;
@@ -69,6 +83,7 @@ type result = {
       (** granted calls that completed after the cutoff (closed-loop
           stragglers) — excluded from the goodput windows, never
           silently dropped *)
+  hotset : hotset;  (** per-key coverage of the run *)
 }
 
 val run : Cluster.t -> config -> result

@@ -45,6 +45,8 @@ module IMap = Map.Make (Int)
 module Metrics = Dynvote_obs.Metrics
 module Trace = Dynvote_obs.Trace
 module Hub = Dynvote_obs.Hub
+module Shard_store = Dynvote_shard.Shard_store
+module Shard_map = Dynvote_shard.Shard_map
 
 type config = {
   gather_timeout : float;
@@ -57,6 +59,13 @@ type config = {
   clock : unit -> float;
   pipeline : int;
   max_reuse : int;
+  shards : int;
+      (* > 0 switches the node to the sharded object space: every key an
+         independently-voted (o, v, P) object in [shards] per-site
+         append logs, group-quorum rounds over the keyed wire frames.
+         0 — the default — is the single-object engine, frame-identical
+         to the unsharded protocol. *)
+  resident : int;  (* LRU residency cap of the per-key object map *)
 }
 
 let default_config =
@@ -71,6 +80,8 @@ let default_config =
     clock = Dynvote_obs.Clock.now;
     pipeline = 1;
     max_reuse = 0;
+    shards = 0;
+    resident = 4096;
   }
 
 (* --- request ids ----------------------------------------------------
@@ -154,6 +165,26 @@ let make_counters (hub : Hub.t) =
     h_op = Metrics.histogram m "live.node.op.seconds";
     h_inflight = Metrics.histogram m "live.rounds.inflight";
     h_commit_batch = Metrics.histogram m "live.commit.batch";
+  }
+
+(* Shard instruments exist only in sharded mode, so unsharded snapshots
+   stay byte-identical to what they always printed. *)
+type kcounters = {
+  g_resident : Metrics.gauge;  (* live entries in the object map *)
+  g_keys : Metrics.gauge;  (* distinct keys ever committed here *)
+  c_materialized : Metrics.counter;
+  c_evicted : Metrics.counter;
+  h_group : Metrics.histogram;  (* keys per group-quorum round *)
+}
+
+let make_kcounters (hub : Hub.t) =
+  let m = hub.Hub.metrics in
+  {
+    g_resident = Metrics.gauge m "live.shard.resident";
+    g_keys = Metrics.gauge m "live.shard.keys";
+    c_materialized = Metrics.counter m "live.shard.materialized";
+    c_evicted = Metrics.counter m "live.shard.evicted";
+    h_group = Metrics.histogram m "live.shard.group.batch";
   }
 
 exception Killed
@@ -248,7 +279,27 @@ type t = {
      blob rewrite, because reads advance the ensemble but never the
      data. *)
   mutable data_dirty : bool;
+  (* --- sharded object space (config.shards > 0) --- *)
+  kstore : Shard_store.t option;
+  kmap : Shard_map.t option;
+  (* One volatile lease per locked key; entries leave the table when
+     released, so the table size tracks held locks, not the key space. *)
+  klocks : (string, Lease.t) Hashtbl.t;
+  (* The group anchor: one lock round covering every key of a scheduler
+     burst.  Later operations on those keys join it (local lease refresh
+     only) until rotation, exactly like the single-object anchor. *)
+  mutable kanchor : (int * string list) option;
+  (* Per-key cached gather filled by the anchor's group state round. *)
+  kgcache : (string, Site_set.t * Replica.t array * Site_set.t) Hashtbl.t;
+  kcommit_batch :
+    (string * int * int * Site_set.t * string option * int) Queue.t;
+  (* Keys of admitted-but-unfinished keyed operations, counted so the
+     next group lock round can cover them in the same wire exchange. *)
+  inflight_keys : (string, int) Hashtbl.t;
+  kctrs : kcounters option;
 }
+
+let sharded t = t.config.shards > 0
 
 let site t = t.site
 let is_amnesiac t = t.amnesiac
@@ -303,9 +354,49 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
               rids_of_list rids,
               false ))
   in
+  (* Sharded object space: the per-key state lives in the shard logs,
+     not the single ensemble/data pair.  A missing shards directory on a
+     *restart* is wiped storage — the per-key lazy-initial rule would
+     let this site claim (1, 1, all) for keys whose history it lost, so
+     it boots amnesiac.  A first boot with no directory is genuinely
+     fresh (it never voted on anything) and initial is the truth. *)
+  let kstore, kmap, kctrs, kamnesiac, kcorrupt =
+    if config.shards = 0 then (None, None, None, false, 0)
+    else begin
+      let kamnesiac =
+        was_restarted && not (Sys.file_exists (Shard_store.shards_dir ~dir ~site))
+      in
+      let store, scan =
+        Shard_store.open_store ~vfs ~durable:config.durable ~dir ~site
+          ~shards:config.shards ()
+      in
+      let kctrs = make_kcounters obs in
+      let map =
+        Shard_map.create
+          ~on_materialize:(fun () -> Metrics.incr kctrs.c_materialized)
+          ~on_evict:(fun () -> Metrics.incr kctrs.c_evicted)
+          ~store ~resident:config.resident ~universe ()
+      in
+      Metrics.set_gauge kctrs.g_keys (float_of_int (Shard_store.key_count store));
+      ( Some store,
+        Some map,
+        Some kctrs,
+        kamnesiac,
+        scan.Shard_store.corrupt )
+    end
+  in
+  (* The keyed applied-request table recovered from the shard logs joins
+     the (empty, in sharded mode) blob table: one global dedup memory
+     per site, whichever engine is running. *)
+  let krids =
+    match kstore with
+    | Some store -> rids_of_list (Shard_store.rid_list store)
+    | None -> IMap.empty
+  in
   (* A checksum-failing record in the *middle* of the log — intact
      records after it — is damage no crash explains; the history has a
-     hole and this site must not present itself as a witness. *)
+     hole and this site must not present itself as a witness.  The same
+     verdict applies to mid-log damage in any shard log. *)
   let oplog_scan = Persist.scan_log ~vfs ~path:(Persist.oplog_path ~dir site) () in
   let degraded =
     if oplog_scan.Persist.corrupt > 0 then begin
@@ -314,6 +405,12 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
         (Printf.sprintf "oplog corrupt mid-log (%d record%s)"
            oplog_scan.Persist.corrupt
            (if oplog_scan.Persist.corrupt = 1 then "" else "s"))
+    end
+    else if kcorrupt > 0 then begin
+      Metrics.add ctrs.c_oplog_corrupt kcorrupt;
+      Some
+        (Printf.sprintf "shard log corrupt mid-log (%d record%s)" kcorrupt
+           (if kcorrupt = 1 then "" else "s"))
     end
     else None
   in
@@ -354,9 +451,11 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
       replica;
       data_version;
       store;
-      rids;
-      amnesiac;
-      fresh = (not was_restarted) && not amnesiac;
+      rids = IMap.union (fun _ a b -> Some (max a b)) rids krids;
+      amnesiac = (if config.shards > 0 then kamnesiac else amnesiac);
+      fresh =
+        (not was_restarted)
+        && not (if config.shards > 0 then kamnesiac else amnesiac);
       degraded = None;
       lock = Lease.create ();
       obs;
@@ -379,6 +478,14 @@ let boot ~site ~universe ~flavor ~segment_of ~config ~obs ~dir ?(vfs = Vfs.real)
       out = Buffer.create 4096;
       staged = config.pipeline > 1 || config.max_reuse > 0;
       data_dirty = true;
+      kstore;
+      kmap;
+      klocks = Hashtbl.create 64;
+      kanchor = None;
+      kgcache = Hashtbl.create 256;
+      kcommit_batch = Queue.create ();
+      inflight_keys = Hashtbl.create 64;
+      kctrs;
     }
   in
   (match degraded with Some reason -> degrade t reason | None -> ());
@@ -534,6 +641,133 @@ let try_lock t op =
 
 let release_lock t op = Lease.release t.lock ~op
 
+(* --- sharded object space -------------------------------------------
+
+   Every key is an independently-voted (o, v, P) object.  The volatile
+   state of the working set lives in the bounded {!Shard_map}; commits
+   write through to the per-shard append logs; the wire protocol runs
+   group-quorum rounds that cover every key of a scheduler burst in one
+   exchange. *)
+
+let kmap_exn t = match t.kmap with Some m -> m | None -> assert false
+let kstore_exn t = match t.kstore with Some s -> s | None -> assert false
+
+(* Per-key oracle content: injective over (never written | written v). *)
+let encode_kvalue = function None -> "" | Some v -> "=" ^ v
+
+let klock t key =
+  match Hashtbl.find_opt t.klocks key with
+  | Some l -> l
+  | None ->
+      let l = Lease.create () in
+      Hashtbl.add t.klocks key l;
+      l
+
+let try_klock t key op =
+  Lease.try_acquire (klock t key) ~now:(t.config.clock ())
+    ~lease:t.config.lock_lease ~op
+
+let release_klock t key op =
+  match Hashtbl.find_opt t.klocks key with
+  | None -> ()
+  | Some l ->
+      Lease.release l ~op;
+      (* Freed keys leave the table: it sizes with held locks, not with
+         the key space. *)
+      if Lease.holder l ~now:(t.config.clock ()) = None then
+        Hashtbl.remove t.klocks key
+
+let refresh_kgauges t =
+  match (t.kctrs, t.kmap, t.kstore) with
+  | Some k, Some map, Some store ->
+      Metrics.set_gauge k.g_resident (float_of_int (Shard_map.resident map));
+      Metrics.set_gauge k.g_keys (float_of_int (Shard_store.key_count store))
+  | _ -> ()
+
+(* Keyed analogue of {!flush_commits}: every applicable commit installs
+   volatile-first into its entry, then all their records append in one
+   sweep with ONE fsync, then each logs in arrival order.  A fault rolls
+   the volatile entries back and fences; records that already reached
+   disk stay — disk ahead of volatile is forward progress, and the
+   monotone install re-derives it on restart.  Entries are pinned for
+   the duration so a later materialization in the same batch cannot
+   evict one we hold a rollback reference to. *)
+let flush_kcommits t =
+  if not (Queue.is_empty t.kcommit_batch) then begin
+    let map = kmap_exn t and store = kstore_exn t in
+    let rollback = ref [] in
+    let rollback_rids = t.rids and rollback_fresh = t.fresh in
+    let pinned = ref [] in
+    let applied = ref [] in
+    while not (Queue.is_empty t.kcommit_batch) do
+      let key, op_no, version, partition, value, rid = Queue.pop t.kcommit_batch in
+      if t.degraded <> None then Metrics.incr t.ctrs.c_degraded_refused
+      else begin
+        let e = Shard_map.find map key in
+        if op_no > Replica.op_no (Shard_map.replica e) then begin
+          Shard_map.pin e;
+          pinned := e :: !pinned;
+          rollback :=
+            (e, Shard_map.replica e, Shard_map.data_version e, Shard_map.value e)
+            :: !rollback;
+          Shard_map.set_replica e
+            (Replica.with_commit (Shard_map.replica e) ~op_no ~version ~partition);
+          (match value with
+          | Some v ->
+              Shard_map.set_value e (Some v);
+              Shard_map.set_data_version e version;
+              if rid <> 0 then t.rids <- rid_add t.rids rid
+          | None -> ());
+          t.fresh <- true;
+          applied :=
+            (key, op_no, version, partition, rid, Shard_map.state_of e)
+            :: !applied
+        end
+      end
+    done;
+    (match List.rev !applied with
+    | [] -> ()
+    | applied -> (
+        match
+          storage t (fun () ->
+              List.iter
+                (fun (key, _, _, _, rid, st) ->
+                  Shard_store.commit store ~key ~rid st)
+                applied;
+              if t.config.durable then Shard_store.fsync store)
+        with
+        | Ok () ->
+            Metrics.observe t.ctrs.h_commit_batch
+              (float_of_int (List.length applied));
+            List.iter
+              (fun (key, op_no, version, partition, rid, _) ->
+                Metrics.incr t.ctrs.c_commits_applied;
+                log t
+                  (Persist.Log_kcommit
+                     { seq = t.next_seq (); key; op_no; version; partition; rid }))
+              applied
+        | Error reason ->
+            (* [rollback] is latest-first, so an entry committed twice in
+               this batch ends restored to its oldest prior state. *)
+            List.iter
+              (fun (e, replica, data_version, value) ->
+                Shard_map.set_replica e replica;
+                Shard_map.set_data_version e data_version;
+                Shard_map.set_value e value)
+              !rollback;
+            t.rids <- rollback_rids;
+            t.fresh <- rollback_fresh;
+            degrade t ("shard persist failed: " ^ reason)));
+    List.iter Shard_map.unpin !pinned;
+    refresh_kgauges t
+  end
+
+(* Direct keyed apply (own share of a commit wave, or a stray inbound
+   delivery): a one-element batch through the same discipline. *)
+let apply_kcommit t ~key ~op_no ~version ~partition ~value ~rid =
+  Queue.add (key, op_no, version, partition, value, rid) t.kcommit_batch;
+  flush_kcommits t
+
 (* Serve one frame of the peer protocol.
 
    A degraded site answers nothing that could count as a vote: state
@@ -574,10 +808,69 @@ let serve_protocol t (env : Wire.envelope) =
       (* Normally intercepted and coalesced by the scheduler; kept as the
          direct path for any stray delivery. *)
       apply_commit t ~op_no ~version ~partition ~put ~rid
+  | Wire.KLock_request { op; keys } ->
+      (* All-or-nothing over the whole group, like the single lock: any
+         key already held by a rival refuses the round and releases what
+         this round acquired, so rival groups cannot deadlock. *)
+      if t.degraded <> None || t.kmap = None then
+        send_to t env.Wire.src (Wire.Abstain { round = op })
+      else begin
+        let acquired = ref [] in
+        let ok =
+          List.for_all
+            (fun key ->
+              if try_klock t key op then begin
+                acquired := key :: !acquired;
+                true
+              end
+              else false)
+            keys
+        in
+        if not ok then List.iter (fun key -> release_klock t key op) !acquired;
+        send_to t env.Wire.src (Wire.Lock_reply { op; granted = ok })
+      end
+  | Wire.KUnlock { op; keys } ->
+      List.iter (fun key -> release_klock t key op) keys;
+      t.unlock_pulse <- true
+  | Wire.KState_request { round; keys } -> (
+      match t.kmap with
+      | Some map when t.degraded = None && not t.amnesiac ->
+          (* A key this site never committed reports the paper's initial
+             state — the lazy-materialization rule, sound because a
+             non-amnesiac site that had seen the key would have it in
+             its shard logs. *)
+          let states =
+            List.map
+              (fun key -> (key, Shard_map.replica (Shard_map.find map key)))
+              keys
+          in
+          send_to t env.Wire.src
+            (Wire.KState_reply { round; fresh = t.fresh; states })
+      | _ -> send_to t env.Wire.src (Wire.Abstain { round }))
+  | Wire.KCommit { key; op_no; version; partition; value; rid } ->
+      (* Normally intercepted and coalesced by the scheduler; kept as the
+         direct path for any stray delivery. *)
+      if t.kmap <> None then
+        apply_kcommit t ~key ~op_no ~version ~partition ~value ~rid
+  | Wire.KData_request { round; key } -> (
+      match t.kmap with
+      | Some map ->
+          let entry = Shard_map.find map key in
+          send_to t env.Wire.src
+            (Wire.KData_reply
+               {
+                 round;
+                 key;
+                 version = Shard_map.data_version entry;
+                 value = Shard_map.value entry;
+                 rids = rid_list t.rids;
+               })
+      | None -> ())
   | Wire.Client_put _ | Wire.Client_get _ | Wire.Client_recover _ ->
       Queue.add env t.pending_clients
   | Wire.Hello_site _ | Wire.Hello_client | Wire.Welcome _ | Wire.State_reply _
-  | Wire.Lock_reply _ | Wire.Data_reply _ | Wire.Client_reply _ | Wire.Abstain _ ->
+  | Wire.Lock_reply _ | Wire.Data_reply _ | Wire.Client_reply _ | Wire.Abstain _
+  | Wire.KState_reply _ | Wire.KData_reply _ ->
       (* Stray replies of a finished or abandoned exchange. *)
       ()
 
@@ -841,6 +1134,287 @@ let note_commit t ~recipients ~op_no ~version ~partition =
         recipients;
       t.gcache <- Some (reachable, states, Site_set.union fresh recipients)
   | None -> ()
+
+(* --- group quorum rounds ---------------------------------------------
+
+   One lock round and one state round cover every key a scheduler burst
+   touches: the group is the current key plus the keys of every admitted
+   and every queued client operation.  Operations behind the acquirer
+   then join the anchor — a local lease refresh, zero wire traffic — and
+   decide against the cached per-key gather. *)
+
+let group_cap = 128
+
+let build_group t key =
+  let seen = Hashtbl.create 16 in
+  let count = ref 0 in
+  let group = ref [] in
+  let add k =
+    if !count < group_cap && not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      incr count;
+      group := k :: !group
+    end
+  in
+  add key;
+  Hashtbl.iter (fun k n -> if n > 0 then add k) t.inflight_keys;
+  Queue.iter
+    (fun env ->
+      match env.Wire.payload with
+      | Wire.Client_put { key = k; _ } | Wire.Client_get { key = k; _ } -> add k
+      | _ -> ())
+    t.pending_clients;
+  List.rev !group
+
+(* Group lock round: local leases for every key, then one KLock_request
+   broadcast.  All-or-nothing exactly like {!lock_round}. *)
+let klock_round t op keys =
+  Metrics.incr t.ctrs.c_lock_rounds;
+  Hub.event t.obs (Trace.Lock_round_start { site = t.site; op });
+  let acquired = ref [] in
+  let self_ok =
+    List.for_all
+      (fun key ->
+        if try_klock t key op then begin
+          acquired := key :: !acquired;
+          true
+        end
+        else false)
+      keys
+  in
+  if not self_ok then begin
+    List.iter (fun key -> release_klock t key op) !acquired;
+    Metrics.incr t.ctrs.c_lock_denied;
+    Hub.event t.obs (Trace.Lock_denied { site = t.site; op });
+    `Denied
+  end
+  else begin
+    Site_set.iter
+      (fun dst -> send_to t dst (Wire.KLock_request { op; keys }))
+      (peers t);
+    let replies = Hashtbl.create 8 in
+    let abstained = Hashtbl.create 4 in
+    let deadline = t.config.clock () +. t.config.gather_timeout in
+    let want = Site_set.cardinal (peers t) in
+    let rec collect () =
+      if Hashtbl.length replies + Hashtbl.length abstained < want then
+        match
+          await t ~deadline ~match_reply:(fun env ->
+              match env.Wire.payload with
+              | Wire.Lock_reply { op = o; granted } when o = op ->
+                  Some (env.Wire.src, `Vote granted)
+              | Wire.Abstain { round } when round = op ->
+                  Some (env.Wire.src, `Abstain)
+              | _ -> None)
+        with
+        | Some (src, `Vote granted) ->
+            Hashtbl.replace replies src granted;
+            collect ()
+        | Some (src, `Abstain) ->
+            Hashtbl.replace abstained src ();
+            collect ()
+        | None -> ()
+    in
+    collect ();
+    let all_granted =
+      Hashtbl.fold (fun _ granted acc -> acc && granted) replies true
+    in
+    if all_granted then `Granted
+    else begin
+      Site_set.iter
+        (fun dst -> send_to t dst (Wire.KUnlock { op; keys }))
+        (peers t);
+      List.iter (fun key -> release_klock t key op) keys;
+      Metrics.incr t.ctrs.c_lock_denied;
+      Hub.event t.obs (Trace.Lock_denied { site = t.site; op });
+      `Denied
+    end
+  end
+
+(* Group gather: one KState_request names every key; each replier
+   answers with its ensemble for all of them (initial for keys it never
+   committed).  Fills the per-key gather cache the joined operations
+   decide against. *)
+let kgather t keys =
+  t.round <- t.round + 1;
+  let round = t.round in
+  let map = kmap_exn t in
+  let replies = Hashtbl.create 8 in
+  let abstained = Hashtbl.create 4 in
+  let missing () =
+    Site_set.filter
+      (fun s ->
+        (s <> t.site)
+        && (not (Hashtbl.mem replies s))
+        && not (Hashtbl.mem abstained s))
+      t.universe
+  in
+  let rec attempt n patience =
+    let absent = missing () in
+    if not (Site_set.is_empty absent) then begin
+      Site_set.iter
+        (fun dst -> send_to t dst (Wire.KState_request { round; keys }))
+        absent;
+      let deadline = t.config.clock () +. patience in
+      let rec collect () =
+        if not (Site_set.is_empty (missing ())) then
+          match
+            await t ~deadline ~match_reply:(fun env ->
+                match env.Wire.payload with
+                | Wire.KState_reply { round = r; fresh; states } when r = round ->
+                    Some (env.Wire.src, `State (fresh, states))
+                | Wire.Abstain { round = r } when r = round ->
+                    Some (env.Wire.src, `Abstain)
+                | _ -> None)
+          with
+          | Some (src, `State (fresh, states)) ->
+              Hashtbl.replace replies src (fresh, states);
+              collect ()
+          | Some (src, `Abstain) ->
+              Hashtbl.replace abstained src ();
+              collect ()
+          | None -> ()
+      in
+      collect ();
+      if n < t.config.retries then attempt (n + 1) (patience *. t.config.backoff)
+    end
+  in
+  attempt 0 t.config.gather_timeout;
+  let self = if t.amnesiac then Site_set.empty else Site_set.singleton t.site in
+  let self_fresh = if t.fresh && not t.amnesiac then self else Site_set.empty in
+  let reachable, fresh =
+    Hashtbl.fold
+      (fun src (fresh_claim, _) (reach, fr) ->
+        (Site_set.add src reach, if fresh_claim then Site_set.add src fr else fr))
+      replies (self, self_fresh)
+  in
+  List.iter
+    (fun key ->
+      let states =
+        Array.make t.n_sites (Shard_map.replica (Shard_map.find map key))
+      in
+      Hashtbl.iter
+        (fun src (_, kstates) ->
+          match List.assoc_opt key kstates with
+          | Some replica -> states.(src) <- replica
+          | None -> ())
+        replies;
+      Hashtbl.replace t.kgcache key (reachable, states, fresh))
+    keys;
+  Metrics.incr t.ctrs.c_gathers;
+  Hub.event t.obs
+    (Trace.Gather
+       {
+         site = t.site;
+         round;
+         reachable = Site_set.cardinal reachable;
+         fresh = Site_set.cardinal fresh;
+       })
+
+(* Per-key verified fetch.  The imported applied-request table is made
+   durable immediately (the rids sidecar): committing a read after the
+   merge and then crashing must not forget which writes were already
+   applied, or a client retry would re-apply one. *)
+let kfetch t ~key ~entry ~sources ~want_version =
+  let store = kstore_exn t in
+  let sources = Site_set.to_list sources in
+  let n_sources = List.length sources in
+  let attempts = max t.config.retries (n_sources - 1) in
+  let rec attempt n patience =
+    if n > attempts then false
+    else begin
+      let src = List.nth sources (n mod n_sources) in
+      t.round <- t.round + 1;
+      let round = t.round in
+      Metrics.incr t.ctrs.c_fetches;
+      send_to t src (Wire.KData_request { round; key });
+      let deadline = t.config.clock () +. patience in
+      match
+        await t ~deadline ~match_reply:(fun env ->
+            match env.Wire.payload with
+            | Wire.KData_reply { round = r; key = k; version; value; rids }
+              when r = round && k = key ->
+                Some (version, value, rids)
+            | _ -> None)
+      with
+      | Some (version, value, rids) when version >= want_version -> (
+          Shard_map.set_value entry value;
+          Shard_map.set_data_version entry version;
+          t.rids <-
+            List.fold_left
+              (fun m (client, req) ->
+                IMap.update client
+                  (function None -> Some req | Some seen -> Some (max seen req))
+                  m)
+              t.rids rids;
+          match
+            storage t (fun () ->
+                Shard_store.save_rids ~fsync:t.config.durable store rids)
+          with
+          | Ok () ->
+              Hub.event t.obs
+                (Trace.Data_fetch { site = t.site; source = src; ok = true });
+              true
+          | Error reason ->
+              degrade t ("rid sidecar persist failed: " ^ reason);
+              false)
+      | Some _ | None ->
+          Metrics.incr t.ctrs.c_fetch_failures;
+          Hub.event t.obs
+            (Trace.Data_fetch { site = t.site; source = src; ok = false });
+          attempt (n + 1) (patience *. t.config.backoff)
+    end
+  in
+  attempt 0 t.config.gather_timeout
+
+let kcommit_wave t ~recipients ~key ~op_no ~version ~partition ~value ~rid =
+  let total = Site_set.cardinal recipients in
+  Metrics.incr t.ctrs.c_commit_waves;
+  Hub.event t.obs
+    (Trace.Commit_wave { site = t.site; op_no; recipients = total });
+  let sent = ref 0 in
+  Site_set.iter
+    (fun dst ->
+      if dst = t.site then
+        apply_kcommit t ~key ~op_no ~version ~partition ~value ~rid
+      else
+        send_to t dst (Wire.KCommit { key; op_no; version; partition; value; rid });
+      incr sent;
+      match t.commit_hook with
+      | Some hook ->
+          flush_out t;
+          hook ~sent:!sent ~total
+      | None -> ())
+    recipients
+
+let note_kcommit t ~key ~recipients ~op_no ~version ~partition =
+  match Hashtbl.find_opt t.kgcache key with
+  | Some (reachable, states, fresh) ->
+      Site_set.iter
+        (fun s ->
+          states.(s) <- Replica.with_commit states.(s) ~op_no ~version ~partition)
+        recipients;
+      Hashtbl.replace t.kgcache key
+        (reachable, states, Site_set.union fresh recipients)
+  | None -> ()
+
+let release_kanchor t =
+  match t.kanchor with
+  | Some (a, keys) ->
+      Site_set.iter
+        (fun dst -> send_to t dst (Wire.KUnlock { op = a; keys }))
+        (peers t);
+      List.iter (fun key -> release_klock t key a) keys;
+      t.kanchor <- None;
+      Hashtbl.reset t.kgcache
+  | None -> ()
+
+let maybe_release_k t =
+  if
+    t.config.max_reuse = 0
+    || (t.inflight <= 1 && Queue.is_empty t.pending_clients)
+    || t.degraded <> None
+  then release_kanchor t
 
 (* One client operation, coordinated at this node: lock round (with
    bounded retry on rivalry) or anchor join, gather (or cached view),
@@ -1107,6 +1681,255 @@ let client_op t ~client ~req kind =
     end
   end
 
+(* A keyed client operation over the sharded object space.  Same shape
+   as {!client_op} — turnstile ticket, anchor join or fresh acquisition,
+   cached-gather decide with one retry, verified fetch, commit wave —
+   but the quorum rounds are group rounds: acquiring the anchor locks
+   and gathers every key the current burst touches, and operations
+   behind it join with zero wire traffic. *)
+let client_kop t ~client ~req ~key kind =
+  let kind_tag = match kind with `Read -> `Read | `Write _ -> `Write in
+  let rid = match kind_tag with `Write -> make_rid ~client ~req | _ -> 0 in
+  match t.degraded with
+  | Some reason ->
+      let value =
+        match (kind_tag, t.kmap) with
+        | `Read, Some map -> Shard_map.value (Shard_map.find map key)
+        | _ -> None
+      in
+      reply_client t ~client ~req Wire.Degraded value ("degraded: " ^ reason)
+  | None ->
+  if t.amnesiac then
+    reply_client t ~client ~req Wire.Denied None
+      "amnesiac: shard storage lost, rejoin via a surviving partition"
+  else begin
+    let map = kmap_exn t in
+    t.op_counter <- t.op_counter + 1;
+    let op = (t.site lsl 24) lor (t.op_counter land 0xFFFFFF) in
+    let passed = ref false in
+    take_turn t;
+    Fun.protect ~finally:(fun () -> pass_turn t passed) @@ fun () ->
+    let entry = Shard_map.find map key in
+    Shard_map.pin entry;
+    Fun.protect
+      ~finally:(fun () ->
+        Shard_map.unpin entry;
+        refresh_kgauges t)
+    @@ fun () ->
+    let skew = 1.0 +. (0.13 *. float_of_int (t.site mod 7)) in
+    let acquire_fresh () =
+      let keys = build_group t key in
+      let rec acquire i =
+        match klock_round t op keys with
+        | `Granted -> true
+        | `Denied when i < t.config.lock_retries ->
+            let deadline =
+              t.config.clock ()
+              +. (t.config.lock_backoff *. float_of_int (i + 1) *. skew)
+            in
+            ignore
+              (Effect.perform
+                 (Await_frame
+                    {
+                      deadline;
+                      match_reply = (fun _ -> (None : unit option));
+                      wake_on_unlock = true;
+                    })
+                : unit option);
+            acquire (i + 1)
+        | `Denied -> false
+      in
+      if acquire 0 then begin
+        t.kanchor <- Some (op, keys);
+        t.anchor_since <- t.config.clock ();
+        t.reuse_count <- 0;
+        Hashtbl.reset t.kgcache;
+        (match t.kctrs with
+        | Some k -> Metrics.observe k.h_group (float_of_int (List.length keys))
+        | None -> ());
+        kgather t keys;
+        true
+      end
+      else false
+    in
+    let rotation_due () =
+      t.reuse_count >= t.config.max_reuse
+      || t.config.clock () -. t.anchor_since > 0.4 *. t.config.lock_lease
+    in
+    let locked =
+      match t.kanchor with
+      | Some (a, akeys)
+        when List.mem key akeys && (not (rotation_due ())) && try_klock t key a ->
+          (* Join the group anchor: the whole group's locks are already
+             held cluster-wide under [a] and the gather cache covers this
+             key — refreshing our own key's lease is the only touch. *)
+          t.reuse_count <- t.reuse_count + 1;
+          true
+      | Some _ ->
+          release_kanchor t;
+          acquire_fresh ()
+      | None -> acquire_fresh ()
+    in
+    if not locked then
+      reply_client t ~client ~req Wire.Denied None
+        "busy: rival operation holds the locks"
+    else begin
+      let decide () =
+        match Hashtbl.find_opt t.kgcache key with
+        | Some (reachable, states, fresh) ->
+            Metrics.incr t.ctrs.c_gather_reused;
+            (reachable, states, fresh, true)
+        | None ->
+            kgather t [ key ];
+            let reachable, states, fresh = Hashtbl.find t.kgcache key in
+            (reachable, states, fresh, false)
+      in
+      let rec evaluate_round retried =
+        let reachable, states, fresh, cached = decide () in
+        match Operation.evaluate t.ctx states ~fresh ~reachable () with
+        | Decision.Denied _ when cached && not retried ->
+            Hashtbl.remove t.kgcache key;
+            evaluate_round true
+        | decision -> (decision, states)
+      in
+      match evaluate_round false with
+      | Decision.Denied denial, _ ->
+          log t
+            (Persist.Log_koutcome
+               {
+                 seq = t.next_seq ();
+                 key;
+                 kind = kind_tag;
+                 granted = false;
+                 content = None;
+                 rid;
+               });
+          pass_turn t passed;
+          maybe_release_k t;
+          reply_client t ~client ~req Wire.Denied None (denial_text denial)
+      | Decision.Granted g, states ->
+          let m = g.Decision.m in
+          let o = Replica.op_no states.(m) and v = Replica.version states.(m) in
+          let in_s = Site_set.mem t.site g.Decision.s in
+          let abort info =
+            log t
+              (Persist.Log_koutcome
+                 {
+                   seq = t.next_seq ();
+                   key;
+                   kind = kind_tag;
+                   granted = false;
+                   content = None;
+                   rid;
+                 });
+            pass_turn t passed;
+            Hashtbl.remove t.kgcache key;
+            maybe_release_k t;
+            reply_client t ~client ~req Wire.Aborted None info
+          in
+          let must_fetch = (not in_s) || Shard_map.data_version entry < v in
+          let guard_degraded () =
+            match t.degraded with
+            | Some reason ->
+                pass_turn t passed;
+                release_kanchor t;
+                reply_client t ~client ~req Wire.Degraded None ("degraded: " ^ reason);
+                true
+            | None -> false
+          in
+          (match kind with
+          | `Read ->
+              if
+                must_fetch
+                && not (kfetch t ~key ~entry ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else begin
+                kcommit_wave t ~recipients:g.Decision.s ~key ~op_no:(o + 1)
+                  ~version:v ~partition:g.Decision.s ~value:None ~rid:0;
+                note_kcommit t ~key ~recipients:g.Decision.s ~op_no:(o + 1)
+                  ~version:v ~partition:g.Decision.s;
+                if not (guard_degraded ()) then begin
+                  let value = Shard_map.value entry in
+                  log t
+                    (Persist.Log_koutcome
+                       {
+                         seq = t.next_seq ();
+                         key;
+                         kind = `Read;
+                         granted = true;
+                         content = Some (encode_kvalue value);
+                         rid = 0;
+                       });
+                  pass_turn t passed;
+                  maybe_release_k t;
+                  reply_client t ~client ~req Wire.Granted value ""
+                end
+              end
+          | `Write vb ->
+              if
+                must_fetch
+                && not (kfetch t ~key ~entry ~sources:g.Decision.s ~want_version:v)
+              then abort "verified data fetch failed"
+              else if rid_seen t.rids rid then begin
+                Metrics.incr t.ctrs.c_dedup_hits;
+                log t
+                  (Persist.Log_koutcome
+                     {
+                       seq = t.next_seq ();
+                       key;
+                       kind = `Write;
+                       granted = true;
+                       content = None;
+                       rid;
+                     });
+                pass_turn t passed;
+                maybe_release_k t;
+                reply_client t ~client ~req Wire.Granted None
+                  "duplicate: write already committed"
+              end
+              else begin
+                log t
+                  (Persist.Log_kintent
+                     {
+                       seq = t.next_seq ();
+                       key;
+                       content = encode_kvalue (Some vb);
+                     });
+                kcommit_wave t ~recipients:g.Decision.s ~key ~op_no:(o + 1)
+                  ~version:(v + 1) ~partition:g.Decision.s ~value:(Some vb) ~rid;
+                note_kcommit t ~key ~recipients:g.Decision.s ~op_no:(o + 1)
+                  ~version:(v + 1) ~partition:g.Decision.s;
+                if not (guard_degraded ()) then begin
+                  log t
+                    (Persist.Log_koutcome
+                       {
+                         seq = t.next_seq ();
+                         key;
+                         kind = `Write;
+                         granted = true;
+                         content = Some (encode_kvalue (Some vb));
+                         rid;
+                       });
+                  pass_turn t passed;
+                  maybe_release_k t;
+                  reply_client t ~client ~req Wire.Granted None ""
+                end
+              end)
+    end
+  end
+
+(* The in-flight key set feeds {!build_group}: a fresh group anchor
+   covers every key with an admitted operation. *)
+let with_inflight_key t key f =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.inflight_keys key) in
+  Hashtbl.replace t.inflight_keys key (n + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      match Hashtbl.find_opt t.inflight_keys key with
+      | Some 1 | None -> Hashtbl.remove t.inflight_keys key
+      | Some n -> Hashtbl.replace t.inflight_keys key (n - 1))
+    f
+
 (* Coordination time as seen by this node, crash-exits included. *)
 let timed_op t f =
   let began = t.config.clock () in
@@ -1154,6 +1977,21 @@ let spawn_op t (env : Wire.envelope) =
       }
   in
   match env.Wire.payload with
+  | Wire.Client_get { req; key } when sharded t ->
+      run ~req (fun () ->
+          with_inflight_key t key (fun () ->
+              client_kop t ~client ~req ~key `Read))
+  | Wire.Client_put { req; key; value } when sharded t ->
+      run ~req (fun () ->
+          with_inflight_key t key (fun () ->
+              client_kop t ~client ~req ~key (`Write value)))
+  | Wire.Client_recover { req } when sharded t ->
+      (* Per-key membership never shrinks below the universe here: a
+         rebooted site either kept its shards (it just rejoins) or lost
+         them (amnesiac, and split-brain forbids vouching it back in). *)
+      run ~req (fun () ->
+          reply_client t ~client ~req Wire.Denied None
+            "recover: unsupported for the sharded object space")
   | Wire.Client_get { req; key } ->
       run ~req (fun () -> client_op t ~client ~req (`Read key))
   | Wire.Client_put { req; key; value } ->
@@ -1232,8 +2070,17 @@ let handle_frame t (env : Wire.envelope) =
   (match env.Wire.payload with
   | Wire.Commit { op_no; version; partition; put; rid } ->
       Queue.add (op_no, version, partition, put, rid) t.commit_batch
+  | Wire.KCommit { key; op_no; version; partition; value; rid } ->
+      (* Invalidate the group gather cache at enqueue time — the same
+         instant the legacy path invalidates at flush, since fibers only
+         resume after the flush.  Self-applies go through {!flush_kcommits}
+         directly and must NOT reset the cache: the anchor's joined
+         operations decide against it. *)
+      Hashtbl.reset t.kgcache;
+      Queue.add (key, op_no, version, partition, value, rid) t.kcommit_batch
   | _ ->
       flush_commits t;
+      flush_kcommits t;
       if try_deliver t env then run_turns t
       else begin
         match env.Wire.payload with
@@ -1255,6 +2102,7 @@ let admit_pending t =
     t.inflight < t.config.pipeline && not (Queue.is_empty t.pending_clients)
   do
     flush_commits t;
+    flush_kcommits t;
     spawn_op t (Queue.pop t.pending_clients);
     run_turns t
   done
@@ -1282,6 +2130,7 @@ let serve t =
        in
        drain ();
        flush_commits t;
+       flush_kcommits t;
        admit_pending t;
        (* Everything this burst produced — replies, commit waves, protocol
           frames — leaves in one write before the loop sleeps, so a fiber
@@ -1302,4 +2151,7 @@ let serve t =
    with Dead | Killed | Unix.Unix_error _ -> ());
   (* Volatile state dies with the thread; only the files survive. *)
   (try Persist.close_log t.oplog with Sys_error _ -> ());
+  (match t.kstore with
+  | Some store -> ( try Shard_store.close store with Sys_error _ -> ())
+  | None -> ());
   try Unix.close (Wire.fd t.conn) with Unix.Unix_error _ -> ()

@@ -40,11 +40,23 @@ type config = {
           anchor also rotates at 0.4 x [lock_lease] regardless).  [0] —
           the default — disables anchoring: every operation runs its own
           lock round and gather *)
+  shards : int;
+      (** [> 0] turns on the sharded object space: every key is an
+          independently-voted (o, v, P) object, persisted across this
+          many per-site append logs, coordinated by group-quorum rounds
+          that cover every key of a scheduler burst in one wire
+          exchange.  [0] — the default — is the classic single-object
+          engine, byte-identical on the wire *)
+  resident : int;
+      (** bound on keys materialized in volatile memory at once (the
+          shard map's LRU capacity); evicted keys re-materialize from
+          the shard logs on next touch *)
 }
 
 val default_config : config
 (** 0.2 s gather rounds, 1 retry, backoff 2.0, 2 s lock lease, durable,
-    monotonic clock, no pipelining ([pipeline = 1], [max_reuse = 0]). *)
+    monotonic clock, no pipelining ([pipeline = 1], [max_reuse = 0]),
+    unsharded ([shards = 0], [resident = 4096]). *)
 
 type t
 
@@ -83,6 +95,12 @@ val boot :
 
 val serve : t -> unit
 (** The node thread body: handle frames until the connection dies. *)
+
+val encode_kvalue : string option -> string
+(** The per-key oracle content encoding of the sharded object space:
+    [""] for a never-written key, ["=" ^ v] for value [v] — injective,
+    so the audit's content-fork scan never confuses "no value" with an
+    empty write. *)
 
 val site : t -> Site_set.site
 val is_amnesiac : t -> bool

@@ -163,11 +163,39 @@ type record =
       content : string option;
       rid : int;
     }
+  | Log_kcommit of {
+      seq : int;
+      key : string;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      rid : int;
+    }
+  | Log_kintent of { seq : int; key : string; content : string }
+  | Log_koutcome of {
+      seq : int;
+      key : string;
+      kind : [ `Read | `Write | `Recover ];
+      granted : bool;
+      content : string option;
+      rid : int;
+    }
 
 let seq_of = function
-  | Log_commit { seq; _ } | Log_intent { seq; _ } | Log_outcome { seq; _ } -> seq
+  | Log_commit { seq; _ }
+  | Log_intent { seq; _ }
+  | Log_outcome { seq; _ }
+  | Log_kcommit { seq; _ }
+  | Log_kintent { seq; _ }
+  | Log_koutcome { seq; _ } ->
+      seq
 
 let kind_code = function `Read -> 0 | `Write -> 1 | `Recover -> 2
+
+let add_log_key b k =
+  if String.length k > 0xffff then invalid_arg "Persist: key longer than 65535 bytes";
+  add_u16 b (String.length k);
+  Buffer.add_string b k
 
 let encode_record record =
   let b = Buffer.create 64 in
@@ -189,6 +217,33 @@ let encode_record record =
   | Log_outcome { seq; kind; granted; content; rid } ->
       add_u8 b 2;
       add_u64 b seq;
+      add_u8 b (kind_code kind);
+      add_u8 b (if granted then 1 else 0);
+      (match content with
+      | None -> add_u8 b 0
+      | Some content ->
+          add_u8 b 1;
+          add_u32 b (String.length content);
+          Buffer.add_string b content);
+      add_u64 b rid
+  | Log_kcommit { seq; key; op_no; version; partition; rid } ->
+      add_u8 b 3;
+      add_u64 b seq;
+      add_log_key b key;
+      add_u64 b op_no;
+      add_u64 b version;
+      add_u64 b (Site_set.to_int partition);
+      add_u64 b rid
+  | Log_kintent { seq; key; content } ->
+      add_u8 b 4;
+      add_u64 b seq;
+      add_log_key b key;
+      add_u32 b (String.length content);
+      Buffer.add_string b content
+  | Log_koutcome { seq; key; kind; granted; content; rid } ->
+      add_u8 b 5;
+      add_u64 b seq;
+      add_log_key b key;
       add_u8 b (kind_code kind);
       add_u8 b (if granted then 1 else 0);
       (match content with
@@ -268,6 +323,38 @@ let decode_record body =
         in
         let rid = optional_rid c in
         Log_outcome { seq; kind; granted; content; rid }
+    | 3 ->
+        let seq = u64 c in
+        let key = str c (u16 c) in
+        let op_no = u64 c in
+        let version = u64 c in
+        let mask = u64 c in
+        let rid = u64 c in
+        Log_kcommit
+          { seq; key; op_no; version; partition = Site_set.of_int_unsafe mask; rid }
+    | 4 ->
+        let seq = u64 c in
+        let key = str c (u16 c) in
+        Log_kintent { seq; key; content = str c (u32 c) }
+    | 5 ->
+        let seq = u64 c in
+        let key = str c (u16 c) in
+        let kind =
+          match u8 c with
+          | 0 -> `Read
+          | 1 -> `Write
+          | 2 -> `Recover
+          | _ -> raise (Bad "bad kind")
+        in
+        let granted = match u8 c with 0 -> false | 1 -> true | _ -> raise (Bad "bad flag") in
+        let content =
+          match u8 c with
+          | 0 -> None
+          | 1 -> Some (str c (u32 c))
+          | _ -> raise (Bad "bad content flag")
+        in
+        let rid = u64 c in
+        Log_koutcome { seq; key; kind; granted; content; rid }
     | _ -> raise (Bad "unknown record tag")
   in
   if c.pos <> Bytes.length body then raise (Bad "trailing garbage");

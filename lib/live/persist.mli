@@ -75,6 +75,27 @@ type record =
               or installed (granted writes) *)
       rid : int;  (** request id the outcome answered, 0 if none *)
     }
+  | Log_kcommit of {
+      seq : int;
+      key : string;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      rid : int;
+    }
+      (** per-key commit of the sharded object space; the key names the
+          independently-voted object the ensemble belongs to.  The value
+          bytes live in the shard logs — this record is the audit
+          journal's view of the consistency event *)
+  | Log_kintent of { seq : int; key : string; content : string }
+  | Log_koutcome of {
+      seq : int;
+      key : string;
+      kind : [ `Read | `Write | `Recover ];
+      granted : bool;
+      content : string option;
+      rid : int;
+    }
 
 val seq_of : record -> int
 

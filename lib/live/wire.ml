@@ -49,6 +49,33 @@ type payload =
       (* a fenced or amnesiac site answering a state or lock gather:
          alive but taking no part, so the coordinator can stop waiting
          without counting it as a vote (for locks, [round] is the op) *)
+  (* Keyed (sharded object space) frames.  One group-quorum round names
+     every key it covers, so a single wire exchange locks, gathers and
+     commits an entire scheduler burst of per-key operations. *)
+  | KLock_request of { op : int; keys : string list }
+  | KUnlock of { op : int; keys : string list }
+  | KState_request of { round : int; keys : string list }
+  | KState_reply of {
+      round : int;
+      fresh : bool;
+      states : (string * Replica.t) list;
+    }
+  | KCommit of {
+      key : string;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      value : string option;  (* [None]: consistency-only (read) commit *)
+      rid : int;
+    }
+  | KData_request of { round : int; key : string }
+  | KData_reply of {
+      round : int;
+      key : string;
+      version : int;
+      value : string option;
+      rids : (int * int) list;
+    }
 
 type envelope = { src : int; dst : int; payload : payload }
 
@@ -69,6 +96,13 @@ let kind_name = function
   | Client_recover _ -> "client-recover"
   | Client_reply _ -> "client-reply"
   | Abstain _ -> "abstain"
+  | KLock_request _ -> "klock-request"
+  | KUnlock _ -> "kunlock"
+  | KState_request _ -> "kstate-request"
+  | KState_reply _ -> "kstate-reply"
+  | KCommit _ -> "kcommit"
+  | KData_request _ -> "kdata-request"
+  | KData_reply _ -> "kdata-reply"
 
 let pp ppf e = Fmt.pf ppf "%d->%d %s" e.src e.dst (kind_name e.payload)
 
@@ -112,6 +146,17 @@ let tag_of = function
   | Client_recover _ -> 13
   | Client_reply _ -> 14
   | Abstain _ -> 15
+  | KLock_request _ -> 16
+  | KUnlock _ -> 17
+  | KState_request _ -> 18
+  | KState_reply _ -> 19
+  | KCommit _ -> 20
+  | KData_request _ -> 21
+  | KData_reply _ -> 22
+
+let add_keys b keys =
+  add_u16 b (List.length keys);
+  List.iter (add_key b) keys
 
 let encode_payload b = function
   | Hello_site { site } -> add_u16 b site
@@ -172,6 +217,53 @@ let encode_payload b = function
           add_value b v);
       add_key b info
   | Abstain { round } -> add_u32 b round
+  | KLock_request { op; keys } ->
+      add_u32 b op;
+      add_keys b keys
+  | KUnlock { op; keys } ->
+      add_u32 b op;
+      add_keys b keys
+  | KState_request { round; keys } ->
+      add_u32 b round;
+      add_keys b keys
+  | KState_reply { round; fresh; states } ->
+      add_u32 b round;
+      add_bool b fresh;
+      add_u16 b (List.length states);
+      List.iter
+        (fun (k, replica) ->
+          add_key b k;
+          Buffer.add_string b (Codec.encode_replica replica))
+        states
+  | KCommit { key; op_no; version; partition; value; rid } ->
+      add_key b key;
+      add_u64 b op_no;
+      add_u64 b version;
+      add_u64 b (Site_set.to_int partition);
+      (match value with
+      | None -> add_u8 b 0
+      | Some v ->
+          add_u8 b 1;
+          add_value b v);
+      add_u64 b rid
+  | KData_request { round; key } ->
+      add_u32 b round;
+      add_key b key
+  | KData_reply { round; key; version; value; rids } ->
+      add_u32 b round;
+      add_key b key;
+      add_u64 b version;
+      (match value with
+      | None -> add_u8 b 0
+      | Some v ->
+          add_u8 b 1;
+          add_value b v);
+      add_u32 b (List.length rids);
+      List.iter
+        (fun (client, req) ->
+          add_u32 b client;
+          add_u64 b req)
+        rids
 
 let encode e =
   let body = Buffer.create 64 in
@@ -236,6 +328,10 @@ let str c len =
 
 let key c = str c (u16 c)
 let value c = str c (u32 c)
+
+let keys_field c =
+  let n = u16 c in
+  List.init n (fun _ -> key c)
 
 let status_field c =
   match u8 c with
@@ -314,6 +410,55 @@ let decode_payload c tag =
       in
       Client_reply { req; status; value = v; info = key c }
   | 15 -> Abstain { round = u32 c }
+  | 16 ->
+      let op = u32 c in
+      KLock_request { op; keys = keys_field c }
+  | 17 ->
+      let op = u32 c in
+      KUnlock { op; keys = keys_field c }
+  | 18 ->
+      let round = u32 c in
+      KState_request { round; keys = keys_field c }
+  | 19 ->
+      let round = u32 c in
+      let fresh = bool_field c in
+      let n = u16 c in
+      let states =
+        List.init n (fun _ ->
+            let k = key c in
+            (k, replica_field c))
+      in
+      KState_reply { round; fresh; states }
+  | 20 ->
+      let k = key c in
+      let op_no = u64 c in
+      let version = u64 c in
+      let partition = site_set_field c in
+      let value =
+        match u8 c with
+        | 0 -> None
+        | 1 -> Some (value c)
+        | _ -> raise (Bad "bad value flag")
+      in
+      let rid = u64 c in
+      KCommit { key = k; op_no; version; partition; value; rid }
+  | 21 ->
+      let round = u32 c in
+      KData_request { round; key = key c }
+  | 22 ->
+      let round = u32 c in
+      let k = key c in
+      let version = u64 c in
+      let value =
+        match u8 c with
+        | 0 -> None
+        | 1 -> Some (value c)
+        | _ -> raise (Bad "bad value flag")
+      in
+      let nr = u32 c in
+      if nr > max_frame then raise (Bad "rid count out of range");
+      let rids = List.init nr (fun _ -> let client = u32 c in (client, u64 c)) in
+      KData_reply { round; key = k; version; value; rids }
   | _ -> raise (Bad "unknown tag")
 
 let decode_body body =

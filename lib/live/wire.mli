@@ -73,6 +73,45 @@ type payload =
           still being excluded from votes and new partitions exactly as
           if it were silent.  For lock gathers, [round] carries the op
           number. *)
+  | KLock_request of { op : int; keys : string list }
+      (** Keyed (sharded object space) frames, this tag and below: each
+          key is an independently-voted object; a group-quorum round
+          names every key it covers so one wire exchange locks, gathers
+          and decides a whole scheduler burst of per-key operations.
+          Single-key deployments never emit these tags, keeping their
+          byte streams identical to the unsharded protocol.
+
+          A [KLock_request] is one lock round for the whole group,
+          answered with the existing [Lock_reply] / [Abstain]. *)
+  | KUnlock of { op : int; keys : string list }
+  | KState_request of { round : int; keys : string list }
+  | KState_reply of {
+      round : int;
+      fresh : bool;
+      states : (string * Replica.t) list;
+          (** one ensemble per requested key; a key the replier never
+              committed reports the paper's initial state *)
+    }
+  | KCommit of {
+      key : string;
+      op_no : int;
+      version : int;
+      partition : Site_set.t;
+      value : string option;
+          (** [None]: consistency-only (read) commit — the value is
+              unchanged *)
+      rid : int;
+    }
+  | KData_request of { round : int; key : string }
+  | KData_reply of {
+      round : int;
+      key : string;
+      version : int;
+      value : string option;
+      rids : (int * int) list;
+          (** the applied-request table travels with the data it guards,
+              exactly as in the unsharded [Data_reply] *)
+    }
 
 type envelope = { src : int; dst : int; payload : payload }
 

@@ -1,0 +1,147 @@
+(* Intrusive doubly-linked LRU over a hashtable.  [head] is the
+   most-recently-used entry, [tail] the eviction candidate.  Entries
+   carry their own links, so touch / unlink are O(1) with no auxiliary
+   allocation per access. *)
+
+type entry = {
+  ekey : string;
+  mutable replica : Replica.t;
+  mutable data_version : int;
+  mutable value : string option;
+  mutable pins : int;
+  mutable prev : entry option;  (* toward head / more recent *)
+  mutable next : entry option;  (* toward tail / less recent *)
+}
+
+type t = {
+  store : Shard_store.t;
+  cap : int;
+  universe : Site_set.t;
+  table : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  on_materialize : unit -> unit;
+  on_evict : unit -> unit;
+  mutable materializations : int;
+  mutable evictions : int;
+}
+
+let create ?(on_materialize = ignore) ?(on_evict = ignore) ~store ~resident
+    ~universe () =
+  if resident < 1 then invalid_arg "Shard_map.create: resident cap must be >= 1";
+  {
+    store;
+    cap = resident;
+    universe;
+    table = Hashtbl.create (min resident 4096);
+    head = None;
+    tail = None;
+    on_materialize;
+    on_evict;
+    materializations = 0;
+    evictions = 0;
+  }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match t.head with
+  | Some h when h == e -> ()
+  | _ ->
+      unlink t e;
+      push_front t e
+
+(* Walk from the tail dropping unpinned entries until under the cap.
+   Every pinned entry belongs to an in-flight operation, so a fully
+   pinned map legitimately overshoots — the overshoot is bounded by the
+   operation concurrency, not the key space. *)
+let enforce_cap t =
+  let cursor = ref t.tail in
+  let scanning = ref true in
+  while Hashtbl.length t.table > t.cap && !scanning do
+    match !cursor with
+    | None -> scanning := false
+    | Some e ->
+        cursor := e.prev;
+        if e.pins = 0 then begin
+          unlink t e;
+          Hashtbl.remove t.table e.ekey;
+          t.evictions <- t.evictions + 1;
+          t.on_evict ()
+        end
+  done
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      touch t e;
+      e
+  | None ->
+      let e =
+        match Shard_store.lookup t.store key with
+        | Some st ->
+            {
+              ekey = key;
+              replica =
+                Replica.make ~op_no:st.Shard_store.op_no
+                  ~version:st.Shard_store.version
+                  ~partition:st.Shard_store.partition;
+              data_version = st.Shard_store.data_version;
+              value = st.Shard_store.value;
+              pins = 0;
+              prev = None;
+              next = None;
+            }
+        | None ->
+            {
+              ekey = key;
+              replica = Replica.initial t.universe;
+              data_version = 1;
+              value = None;
+              pins = 0;
+              prev = None;
+              next = None;
+            }
+      in
+      Hashtbl.replace t.table key e;
+      push_front t e;
+      t.materializations <- t.materializations + 1;
+      t.on_materialize ();
+      enforce_cap t;
+      e
+
+let pin e = e.pins <- e.pins + 1
+
+let unpin e =
+  if e.pins <= 0 then invalid_arg "Shard_map.unpin: entry is not pinned";
+  e.pins <- e.pins - 1
+
+let key e = e.ekey
+let replica e = e.replica
+let set_replica e r = e.replica <- r
+let data_version e = e.data_version
+let set_data_version e v = e.data_version <- v
+let value e = e.value
+let set_value e v = e.value <- v
+
+let state_of e =
+  {
+    Shard_store.op_no = Replica.op_no e.replica;
+    version = Replica.version e.replica;
+    partition = Replica.partition e.replica;
+    data_version = e.data_version;
+    value = e.value;
+  }
+
+let resident t = Hashtbl.length t.table
+let materializations t = t.materializations
+let evictions t = t.evictions

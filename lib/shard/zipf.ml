@@ -1,0 +1,39 @@
+(* Zipf(s) over n ranks via an explicit cumulative table.  Weights are
+   1/(k+1)^s; the table stores the running sum so sampling is one
+   binary search for the first cumulative weight exceeding u * total.
+   Everything is computed once at [create]; [sample] never allocates
+   and never mutates, so a single sampler is safely shared across
+   worker threads. *)
+
+type t = { n : int; s : float; cum : float array; total : float }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: need at least one rank";
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Zipf.create: exponent must be finite and non-negative";
+  let cum = Array.make n 0.0 in
+  let running = ref 0.0 in
+  for k = 0 to n - 1 do
+    running := !running +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cum.(k) <- !running
+  done;
+  { n; s; cum; total = !running }
+
+let n t = t.n
+let s t = t.s
+
+let sample t u =
+  let u = if u < 0.0 then 0.0 else if u >= 1.0 then Float.pred 1.0 else u in
+  let target = u *. t.total in
+  (* First rank whose cumulative weight exceeds [target]. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let mass t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.mass: rank out of range";
+  let below = if k = 0 then 0.0 else t.cum.(k - 1) in
+  (t.cum.(k) -. below) /. t.total

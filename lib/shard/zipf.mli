@@ -1,0 +1,30 @@
+(** Zipf-distributed key sampling for multi-object workloads.
+
+    A sampler over ranks [0, n); rank [k] is drawn with probability
+    proportional to [1 / (k + 1) ** s].  [s = 0] degenerates to the
+    uniform distribution; larger [s] concentrates mass on the low ranks
+    (the "hot keys" of real traffic).
+
+    The sampler is a precomputed cumulative table: {!create} is O(n)
+    once, {!sample} is O(log n), allocation-free, and pure — the caller
+    supplies the uniform variate, so one frozen sampler can be shared by
+    any number of worker threads without a lock. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** @raise Invalid_argument when [n < 1] or [s < 0] or [s] is not
+    finite. *)
+
+val n : t -> int
+val s : t -> float
+
+val sample : t -> float -> int
+(** [sample t u] maps a uniform variate [u] in [\[0, 1)] to a rank in
+    [\[0, n)].  Monotone in [u], so equal variates give equal ranks —
+    seeded runs are reproducible across workers and platforms. *)
+
+val mass : t -> int -> float
+(** [mass t k] is the probability of rank [k] — the expected
+    rank-frequency curve that tests (and hot-set audits) compare
+    measured histograms against. *)

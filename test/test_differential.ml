@@ -279,6 +279,69 @@ let prop_lockstep_partitions name flavor =
       let p = make_pair ~flavor ~segment_of:segment_of4 universe4 in
       run_script p decode_partition script)
 
+(* --- Multi-object histories --- *)
+
+(* The sharded object space's semantics, differentially: every key is an
+   independent register — its own (o, v, P) ensemble, its own quorums —
+   while failures, partitions and recoveries hit the shared sites.  One
+   (cluster, twin) pair per key, topology steps applied to all pairs in
+   lockstep, operations routed to their key's pair: each pair re-checks
+   cluster-vs-twin agreement at every step, and a final sweep checks
+   that untouched keys never moved. *)
+
+let keyed_lockstep pairs steps =
+  List.iter
+    (fun (key, step) ->
+      match step with
+      | Write _ | Read _ -> ignore (lockstep pairs.(key) step)
+      | Fail _ | Recover _ | Partition _ | Heal ->
+          Array.iter (fun p -> ignore (lockstep p step)) pairs)
+    steps
+
+let test_multiobject_scenario () =
+  let pairs =
+    Array.init 4 (fun _ ->
+        make_pair ~flavor:Decision.dv_flavor ~segment_of:segment_of4 universe4)
+  in
+  keyed_lockstep pairs
+    [
+      (0, Write 0);
+      (1, Write 1);
+      (0, Write 2);
+      (2, Read 3);
+      (0, Partition [ ss [ 0; 1 ]; ss [ 2; 3 ] ]);
+      (* the even split denies plain DV for every key, touched or not *)
+      (0, Read 0);
+      (1, Read 2);
+      (0, Heal);
+      (0, Read 2);
+      (1, Write 3);
+      (2, Write 0);
+    ];
+  (* Versions move with each key's own writes — never a neighbour's. *)
+  let version k = Replica.version (Cluster.replica_states pairs.(k).cluster).(0) in
+  Alcotest.(check int) "key 0: two granted writes" 3 (version 0);
+  Alcotest.(check int) "key 1: two granted writes" 3 (version 1);
+  Alcotest.(check int) "key 2: one granted write" 2 (version 2);
+  Alcotest.(check int) "untouched key never moved" 1 (version 3)
+
+let prop_multiobject name flavor =
+  qcheck_case ~count:60 ~name Generators.partition_script (fun script ->
+      let pairs =
+        Array.init 3 (fun _ -> make_pair ~flavor ~segment_of:segment_of4 universe4)
+      in
+      List.iter
+        (fun cmd ->
+          let key = cmd / 24 mod 3 in
+          (* All pairs share one topology, so pair 0's up set speaks for
+             the decode guard. *)
+          match decode_partition (Cluster.up_sites pairs.(0).cluster) cmd with
+          | None -> ()
+          | Some ((Write _ | Read _) as step) -> ignore (lockstep pairs.(key) step)
+          | Some step -> Array.iter (fun p -> ignore (lockstep p step)) pairs)
+        script;
+      true)
+
 (* --- MCV availability vs. the Policy probe --- *)
 
 (* MCV is stateless, so the cluster has no wire implementation to race;
@@ -335,6 +398,12 @@ let suite =
     prop_lockstep_partitions "dv: partitioned histories stay in lockstep"
       Decision.dv_flavor;
     prop_lockstep_partitions "tdv-safe: partitioned histories stay in lockstep"
+      Decision.tdv_safe_flavor;
+    Alcotest.test_case "multi-object: keys vote independently" `Quick
+      test_multiobject_scenario;
+    prop_multiobject "dv: multi-object histories stay in lockstep"
+      Decision.dv_flavor;
+    prop_multiobject "tdv-safe: multi-object histories stay in lockstep"
       Decision.tdv_safe_flavor;
     prop_mcv_availability;
   ]

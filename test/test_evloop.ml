@@ -420,6 +420,8 @@ let test_pipelined_rounds_in_flight () =
       clock = Dynvote_obs.Clock.now;
       pipeline = 4;
       max_reuse = 16;
+      shards = 0;
+      resident = 4096;
     }
   in
   let found = ref false and attempts = ref 0 in

@@ -51,6 +51,8 @@ let test_config =
     clock = Dynvote_obs.Clock.now;
     pipeline = 1;
     max_reuse = 0;
+    shards = 0;
+    resident = 4096;
   }
 
 let with_cluster ?flavor ?segment_of ~universe f =
@@ -110,6 +112,27 @@ let sample_payloads : Wire.payload list =
     Wire.Client_reply { req = 9; status = Wire.Denied; value = None; info = "below majority" };
     Wire.Client_reply { req = 10; status = Wire.Aborted; value = None; info = "timeout" };
     Wire.Abstain { round = 12 };
+    Wire.KLock_request { op = 0x2_00_00_09; keys = [ "a"; "key two"; "" ] };
+    Wire.KUnlock { op = 0x2_00_00_09; keys = [ "a" ] };
+    Wire.KState_request { round = 4; keys = [ "a"; "b" ] };
+    Wire.KState_reply
+      {
+        round = 4;
+        fresh = true;
+        states = [ ("a", sample_replica); ("b", Replica.initial (ss [ 0; 1; 2; 3 ])) ];
+      };
+    Wire.KState_reply { round = 5; fresh = false; states = [] };
+    Wire.KCommit
+      { key = "a"; op_no = 8; version = 6; partition = ss [ 0; 1 ];
+        value = Some (String.make 300 'k'); rid = (2 lsl 32) lor 7 };
+    Wire.KCommit
+      { key = "k\x00bin"; op_no = 9; version = 6; partition = ss [ 0; 1; 2 ];
+        value = None; rid = 0 };
+    Wire.KData_request { round = 6; key = "a" };
+    Wire.KData_reply
+      { round = 6; key = "a"; version = 11; value = Some "v\x00bytes";
+        rids = [ (1, 42); (7, 3) ] };
+    Wire.KData_reply { round = 7; key = "b"; version = 1; value = None; rids = [] };
   ]
 
 let sample_envelopes =

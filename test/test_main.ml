@@ -30,6 +30,7 @@ let () =
       ("evloop", Test_evloop.suite);
       ("serve", Test_evloop.serve_suite);
       ("crash", Test_crash.suite);
+      ("shard", Test_shard.suite);
       ("exec", Test_exec.suite);
       ("misc", Test_misc.suite);
     ]
