@@ -640,9 +640,90 @@ let chaos () =
     (100.0 *. (deadline_ns -. quiet_ns) /. quiet_ns)
 
 (* Bounded model checking throughput on the paper's four-copy example:
-   distinct states, transition rate and the seen-table high-water mark
-   per policy.  DYNVOTE_MC_DEPTH picks the bound (default 6; the
-   acceptance sweep uses 8, roughly a minute for all four policies). *)
+   distinct states, transition counts with and without partial-order
+   reduction (verdicts asserted identical), rates, and the fingerprint
+   store's memory footprint against the (string, int) hashtable it
+   replaced — measured on real canonical fingerprints, resident and
+   with the disk-spill tier engaged.  DYNVOTE_MC_DEPTH picks the bound
+   (default 6; the acceptance sweep uses 8, roughly a minute for all
+   four policies).  Everything lands in BENCH_MC.json. *)
+
+let mc_verdict_text (report : Checker.report) =
+  let r = report.Checker.result in
+  match report.Checker.verdict with
+  | Checker.Clean { closed } ->
+      Printf.sprintf "safe to depth %d%s" r.Explorer.depth
+        (if closed then " (closed)" else "")
+  | Checker.Counterexample { schedule; replay_matches; _ } ->
+      Printf.sprintf "violation in %d steps%s"
+        (List.length schedule.Dynvote_chaos.Schedule.steps)
+        (if replay_matches then ", replays" else ", REPLAY DIVERGED")
+  | Checker.Inconclusive -> "out of budget"
+
+(* The store comparison: feed one stream of real canonical fingerprints
+   (random walks over the §3 config, the same strings the explorer
+   hands to Striped_seen.claim) to the old representation — a
+   (string, int) hashtable keyed by the full canonical string — and to
+   the new fingerprint store, resident and spilling.  Sizes by
+   Obj.reachable_words over the live structure. *)
+let mc_store_bytes () =
+  let config = Checker.paper_config () in
+  let n_sites = Site_set.cardinal config.Harness.universe in
+  let perms = [ Dynvote_mc.Fingerprint.identity ~n_sites ] in
+  let target = 20_000 in
+  let distinct = Hashtbl.create target in
+  let stream = ref [] in
+  let buf = Buffer.create 256 in
+  let rand = Random.State.make [| 0xd47 |] in
+  let bytes_total = ref 0 in
+  while Hashtbl.length distinct < target do
+    let session = Harness.make_session config in
+    for _ = 1 to 12 do
+      Harness.apply_step session
+        (Dynvote_chaos.Schedule.step_of_int ~n_sites
+           (Random.State.int rand 245_760));
+      let fp = Dynvote_mc.Fingerprint.canonical ~buf ~perms session in
+      stream := fp :: !stream;
+      if not (Hashtbl.mem distinct fp) then begin
+        Hashtbl.add distinct fp ();
+        bytes_total := !bytes_total + String.length fp
+      end
+    done
+  done;
+  let stream = List.rev !stream in
+  let n = Hashtbl.length distinct in
+  let words v = Obj.reachable_words (Obj.repr v) in
+  let old_table : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun fp -> Hashtbl.replace old_table fp 1) stream;
+  let old_words = words old_table in
+  let feed store =
+    List.iter
+      (fun fp ->
+        ignore (Dynvote_mc.Striped_seen.claim store fp ~budget:1 ~ctx:0
+                : Dynvote_mc.Striped_seen.verdict))
+      stream
+  in
+  let resident_store =
+    Dynvote_mc.Striped_seen.create ~shards:64 ~max_states:(2 * n) ()
+  in
+  feed resident_store;
+  assert (Dynvote_mc.Striped_seen.distinct resident_store = n);
+  let resident_words = words resident_store in
+  let spill_store =
+    Dynvote_mc.Striped_seen.create ~shards:64 ~spill:(n / 16)
+      ~max_states:(2 * n) ()
+  in
+  feed spill_store;
+  assert (Dynvote_mc.Striped_seen.distinct spill_store = n);
+  let spill_words = words spill_store in
+  let spilled = Dynvote_mc.Striped_seen.spilled spill_store in
+  Dynvote_mc.Striped_seen.close resident_store;
+  Dynvote_mc.Striped_seen.close spill_store;
+  let per w = 8.0 *. float_of_int w /. float_of_int n in
+  ( n,
+    float_of_int !bytes_total /. float_of_int n,
+    per old_words, per resident_words, per spill_words, spilled )
+
 let mc () =
   let depth =
     match Sys.getenv_opt "DYNVOTE_MC_DEPTH" with
@@ -652,42 +733,95 @@ let mc () =
   section "MC"
     (Printf.sprintf
        "Exhaustive bounded search of the message protocols, 4 sites on the\n\
-        paper's §3 topology, depth %d (DYNVOTE_MC_DEPTH to change)." depth);
+        paper's §3 topology, depth %d (DYNVOTE_MC_DEPTH to change).\n\
+        Each policy runs with and without partial-order reduction; the\n\
+        verdicts must match." depth);
   let table =
     Text_table.create
       ~aligns:
         [ Text_table.Left; Text_table.Right; Text_table.Right; Text_table.Right;
-          Text_table.Right; Text_table.Left ]
-      ~header:[ "Policy"; "States"; "Transitions"; "Trans/s"; "Peak seen"; "Verdict" ]
+          Text_table.Right; Text_table.Right; Text_table.Left ]
+      ~header:
+        [ "Policy"; "States"; "Full trans"; "POR trans"; "Reduction";
+          "Trans/s"; "Verdict" ]
       ()
   in
-  List.iter
-    (fun name ->
-      let p = Option.get (Harness.policy_of_string name) in
-      let t0 = Unix.gettimeofday () in
-      let report = Checker.check ~policy:p ~depth ~jobs (Checker.paper_config ()) in
-      let dt = Unix.gettimeofday () -. t0 in
-      let r = report.Checker.result in
-      let verdict =
-        match report.Checker.verdict with
-        | Checker.Clean { closed } ->
-            Printf.sprintf "safe to depth %d%s" r.Explorer.depth
-              (if closed then " (closed)" else "")
-        | Checker.Counterexample { schedule; replay_matches; _ } ->
-            Printf.sprintf "violation in %d steps%s"
-              (List.length schedule.Dynvote_chaos.Schedule.steps)
-              (if replay_matches then ", replays" else ", REPLAY DIVERGED")
-        | Checker.Inconclusive -> "out of budget"
-      in
-      Text_table.add_row table
-        [ name;
-          string_of_int r.Explorer.distinct;
-          string_of_int r.Explorer.transitions;
-          Printf.sprintf "%.0f" (float_of_int r.Explorer.transitions /. dt);
-          string_of_int r.Explorer.peak_seen;
-          verdict ])
-    [ "dv"; "odv"; "tdv"; "tdv-safe" ];
-  Text_table.print table
+  let policy_rows =
+    List.map
+      (fun name ->
+        let p = Option.get (Harness.policy_of_string name) in
+        let timed por =
+          let t0 = Unix.gettimeofday () in
+          let report =
+            Checker.check ~policy:p ~depth ~jobs ~por (Checker.paper_config ())
+          in
+          (report, Unix.gettimeofday () -. t0)
+        in
+        let reduced, reduced_s = timed true in
+        let full, _ = timed false in
+        let rr = reduced.Checker.result and rf = full.Checker.result in
+        let verdict = mc_verdict_text reduced in
+        (* Same soundness gate as the test suite: a completed bound must
+           agree on closure and state count; a violation compares by
+           counterexample length (the reduction may pick a different
+           equally-short representative). *)
+        let summary (report : Checker.report) =
+          match report.Checker.verdict with
+          | Checker.Clean { closed } ->
+              `Safe (closed, report.Checker.result.Explorer.distinct)
+          | Checker.Counterexample { schedule; _ } ->
+              `Violation
+                (List.length schedule.Dynvote_chaos.Schedule.steps)
+          | Checker.Inconclusive -> `Out_of_budget
+        in
+        if summary full <> summary reduced then
+          failwith ("MC: POR changed the verdict for " ^ name);
+        let reduction =
+          float_of_int rf.Explorer.transitions
+          /. float_of_int (max 1 rr.Explorer.transitions)
+        in
+        let rate = float_of_int rr.Explorer.transitions /. reduced_s in
+        Text_table.add_row table
+          [ name;
+            string_of_int rr.Explorer.distinct;
+            string_of_int rf.Explorer.transitions;
+            string_of_int rr.Explorer.transitions;
+            Printf.sprintf "%.2fx" reduction;
+            Printf.sprintf "%.0f" rate;
+            verdict ];
+        (name, rr, rf.Explorer.transitions, reduction, rate, verdict))
+      [ "dv"; "odv"; "tdv"; "tdv-safe" ]
+  in
+  Text_table.print table;
+  let sampled, canon_bytes, old_bs, resident_bs, spill_bs, spilled =
+    mc_store_bytes ()
+  in
+  Fmt.pr
+    "@.Fingerprint store, %d real canonical states (avg %.0f canonical bytes):@."
+    sampled canon_bytes;
+  Fmt.pr "  (string,int) hashtable  %8.1f bytes/state@." old_bs;
+  Fmt.pr "  fingerprint store       %8.1f bytes/state  (%.1fx smaller)@."
+    resident_bs (old_bs /. resident_bs);
+  Fmt.pr "  + spill tier            %8.1f bytes/state resident  (%.1fx, %d spilled)@."
+    spill_bs (old_bs /. spill_bs) spilled;
+  let fl v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+  let oc = open_out "BENCH_MC.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"dynvote-bench-mc/1\",\"depth\":%d,\"jobs\":%d,\"policies\":{%s},\"store\":{\"sampled_states\":%d,\"canonical_bytes_avg\":%s,\"hashtbl_bytes_per_state\":%s,\"resident_bytes_per_state\":%s,\"spill_resident_bytes_per_state\":%s,\"spilled_states\":%d,\"resident_ratio\":%s,\"spill_ratio\":%s}}\n"
+    depth jobs
+    (String.concat ","
+       (List.map
+          (fun (name, rr, full_t, reduction, rate, verdict) ->
+            Printf.sprintf
+              "\"%s\":{\"states\":%d,\"transitions_full\":%d,\"transitions_reduced\":%d,\"reduction\":%s,\"trans_per_s\":%s,\"verdict\":\"%s\"}"
+              name rr.Explorer.distinct full_t rr.Explorer.transitions
+              (fl reduction) (fl rate) verdict)
+          policy_rows))
+    sampled (fl canon_bytes) (fl old_bs) (fl resident_bs) (fl spill_bs) spilled
+    (fl (old_bs /. resident_bs))
+    (fl (old_bs /. spill_bs));
+  close_out oc;
+  Fmt.pr "wrote BENCH_MC.json@."
 
 (* ------------------------------------------------------------------ *)
 (* PAR: the execution layer itself.  One fixed workload — the full
@@ -1768,34 +1902,53 @@ let write_bench_shard ~path
   close_out oc;
   Fmt.pr "wrote %s@." path
 
+(* DYNVOTE_BENCH_SECTIONS: a comma-separated allow-list of section
+   names (paper, chaos, mc, par, serve, crash, shard, micro); unset or
+   empty runs everything.  Refreshing one BENCH_*.json artifact no
+   longer costs a full study rerun. *)
+let section_wanted =
+  match Sys.getenv_opt "DYNVOTE_BENCH_SECTIONS" with
+  | None | Some "" -> fun _ -> true
+  | Some spec ->
+      let names = String.split_on_char ',' spec |> List.map String.trim in
+      fun name -> List.mem name names
+
 let () =
   (* A child herd re-exec sees the flag before anything prints. *)
   mux_child_main ();
   Fmt.pr "dynvote benchmark harness - 'Efficient Dynamic Voting Algorithms' (ICDE 1988)@.";
   Fmt.pr "jobs: %d (-j N or DYNVOTE_JOBS to change; hardware recommends %d)@." jobs
     (Pool.recommended ());
-  table1 ();
-  figure8 ();
-  let results = tables23 () in
-  claims results;
-  sweep ();
-  recovery_ablation ();
-  messages ();
-  validate ();
-  reliability ();
-  extensions ();
-  replications ();
-  chaos ();
-  mc ();
-  par ();
-  let serve_results = serve () in
-  let sweep_results = serve_sweep () in
-  let obs_results = obs_bench () in
-  write_bench_serve ~path:"BENCH_SERVE.json" serve_results sweep_results
-    obs_results;
-  let crash_results = crash_bench () in
-  write_bench_crash ~path:"BENCH_CRASH.json" crash_results;
-  let shard_results = shard_bench () in
-  write_bench_shard ~path:"BENCH_SHARD.json" shard_results;
-  micro ();
+  if section_wanted "paper" then begin
+    table1 ();
+    figure8 ();
+    let results = tables23 () in
+    claims results;
+    sweep ();
+    recovery_ablation ();
+    messages ();
+    validate ();
+    reliability ();
+    extensions ();
+    replications ()
+  end;
+  if section_wanted "chaos" then chaos ();
+  if section_wanted "mc" then mc ();
+  if section_wanted "par" then par ();
+  if section_wanted "serve" then begin
+    let serve_results = serve () in
+    let sweep_results = serve_sweep () in
+    let obs_results = obs_bench () in
+    write_bench_serve ~path:"BENCH_SERVE.json" serve_results sweep_results
+      obs_results
+  end;
+  if section_wanted "crash" then begin
+    let crash_results = crash_bench () in
+    write_bench_crash ~path:"BENCH_CRASH.json" crash_results
+  end;
+  if section_wanted "shard" then begin
+    let shard_results = shard_bench () in
+    write_bench_shard ~path:"BENCH_SHARD.json" shard_results
+  end;
+  if section_wanted "micro" then micro ();
   Fmt.pr "@.done.@."

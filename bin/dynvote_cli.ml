@@ -498,12 +498,22 @@ let mc_cmd =
                    restarts, recoveries and partitions.  Roughly doubles the \
                    branching factor; reachable depth drops accordingly.")
   in
+  let por_arg =
+    let parse = Arg.enum [ ("on", true); ("off", false) ] in
+    Arg.(value & opt parse true
+         & info [ "por" ] ~docv:"on|off"
+             ~doc:"Partial-order reduction over commuting fault actions (default \
+                   on).  Sound: verdicts, counterexample lengths and \
+                   distinct-state counts are identical either way; only the \
+                   transition count changes.")
+  in
   let verbose_arg =
     Arg.(value & flag
          & info [ "verbose"; "v" ]
              ~doc:"Report each completed deepening iteration on stderr.")
   in
-  let run policy_text sites segments_text depth max_states symmetry full verbose jobs =
+  let run policy_text sites segments_text depth max_states symmetry por full verbose
+      jobs =
     if sites < 2 || sites > 16 then begin
       Fmt.epr "dynvote: mc needs 2..16 sites@.";
       exit 2
@@ -561,7 +571,7 @@ let mc_cmd =
       (fun (p : Harness.policy) ->
         let t0 = Sys.time () in
         let report =
-          Checker.check ~space ?symmetry ~max_states ?progress
+          Checker.check ~space ?symmetry ~por ~max_states ?progress
             ~jobs:(resolve_jobs jobs) ~policy:p ~depth config
         in
         let elapsed = Sys.time () -. t0 in
@@ -583,7 +593,8 @@ let mc_cmd =
           exits non-zero if a policy expected safe has a violation (or a replay \
           diverges).")
     Term.(const run $ policy_arg $ sites_arg $ segments_arg $ depth_arg
-          $ max_states_arg $ symmetry_arg $ full_arg $ verbose_arg $ jobs_arg)
+          $ max_states_arg $ symmetry_arg $ por_arg $ full_arg $ verbose_arg
+          $ jobs_arg)
 
 (* Subcommands: serve / loadgen (the live socket-backed service). *)
 
@@ -1201,6 +1212,7 @@ let crashmat_cmd =
               | Some ("" | "0") | None -> false
               | Some _ -> true)
     in
+    let all_points = Crash_matrix.points @ Crash_matrix.compaction_points in
     let points =
       match points_text with
       | Some text ->
@@ -1209,25 +1221,27 @@ let crashmat_cmd =
               match
                 List.find_opt
                   (fun p -> Crash_matrix.point_name p = name)
-                  Crash_matrix.points
+                  all_points
               with
               | Some p -> p
               | None ->
                   Fmt.epr "unknown persist point %S (have: %s)@." name
                     (String.concat ", "
-                       (List.map Crash_matrix.point_name Crash_matrix.points));
+                       (List.map Crash_matrix.point_name all_points));
                   exit 2)
             (split_list text)
       | None ->
-          if soak then Crash_matrix.points
+          if soak then all_points
           else
             (* One point per file: the slice still exercises the replace
-               discipline of both blobs and the append path. *)
+               discipline of both blobs, the append path, and the keyed
+               store's compaction rewrite. *)
             List.filter
               (fun p ->
                 List.mem (Crash_matrix.point_name p)
-                  [ "ensemble.rename"; "data.fsync"; "oplog.write" ])
-              Crash_matrix.points
+                  [ "ensemble.rename"; "data.fsync"; "oplog.write";
+                    "shard.rename" ])
+              all_points
     in
     let faults =
       match faults_text with

@@ -129,7 +129,7 @@ module Storage = struct
     | Read_eio       (* read fails (surfaces as [Sys_error]) *)
     | Crash          (* the process dies at this exact operation *)
 
-  type file_class = Ensemble | Data | Oplog | Any_file
+  type file_class = Ensemble | Data | Oplog | Shard | Any_file
 
   type op = Create | Write | Fsync | Rename | Fsync_dir | Read
 
@@ -164,12 +164,14 @@ module Storage = struct
     | Ensemble -> "ensemble"
     | Data -> "data"
     | Oplog -> "oplog"
+    | Shard -> "shard"
     | Any_file -> "any"
 
   let file_of_name = function
     | "ensemble" -> Some Ensemble
     | "data" -> Some Data
     | "oplog" -> Some Oplog
+    | "shard" -> Some Shard
     | "any" -> Some Any_file
     | _ -> None
 

@@ -73,7 +73,10 @@ module Storage : sig
     | Read_eio  (** read fails (surfaces as [Sys_error]) *)
     | Crash  (** the process dies at this exact operation *)
 
-  type file_class = Ensemble | Data | Oplog | Any_file
+  type file_class = Ensemble | Data | Oplog | Shard | Any_file
+  (** [Shard]: the sharded object space's per-key logs
+      ([shard-<i>.dvl], their temp files, and the [rids.dvr]
+      sidecar). *)
 
   type op = Create | Write | Fsync | Rename | Fsync_dir | Read
 

@@ -1,150 +1,21 @@
-(* The safety oracle: watches every commit any node applies, plus the
-   client-visible outcomes, and reports violations of the protocols'
-   safety contract.
+(* The safety oracle: the executable invariant spec
+   (Dynvote_invariant.Spec), adapted to a live msgsim cluster.
 
-   Three invariants are checked online from the commit-witness stream:
-
-   - Generation agreement: at most one component may be granted per
-     generation, so every commit carrying operation number [o] must carry
-     the same (version, partition) everywhere.  Two different ensembles
-     for one generation is the split-brain signature.
-
-   - Per-site monotonicity: the operation numbers a site applies must be
-     strictly increasing (the nodes promise this; the oracle re-verifies
-     it independently).
-
-   - Version monotonicity along the witness stream per site: a commit may
-     never lower a site's version number.
-
-   One-copy equivalence is checked against a Jepsen-style register model:
-   a granted read must return the latest cleanly committed write, or the
-   content of a later write whose coordinator died mid-operation (a
-   "maybe committed" write — the client was told it aborted, but its
-   effects may have partially escaped).  Finally, [final_check] scans the
-   end state for content forks: two sites agreeing on a committed version
-   number while holding different bytes. *)
+   All invariant logic — generation agreement, monotonicity, the
+   register model, the content-fork scan, replay, snapshots and the
+   fingerprint serialization — lives in the spec module; this adapter
+   only wires a cluster's commit-witness hook and client-visible
+   outcomes into it, and derives the per-site holder triples the fork
+   scan consumes.  The model checker and the live audit evaluate the
+   same spec module through their own adapters — one spec, three
+   checkers. *)
 
 module Cluster = Dynvote_msgsim.Cluster
 module Node = Dynvote_msgsim.Node
 
-type violation =
-  | Generation_conflict of {
-      op_no : int;
-      site_a : Site_set.site;
-      version_a : int;
-      partition_a : Site_set.t;
-      site_b : Site_set.site;
-      version_b : int;
-      partition_b : Site_set.t;
-    }
-  | Non_monotone_op of { site : Site_set.site; before : int; after : int }
-  | Version_regression of { site : Site_set.site; before : int; after : int }
-  | Stale_read of { at : Site_set.site; got : string; wanted : string list }
-  | Content_fork of {
-      version : int;
-      site_a : Site_set.site;
-      content_a : string;
-      site_b : Site_set.site;
-      content_b : string;
-    }
-
-module Int_map = Map.Make (Int)
-module Int_set = Set.Make (Int)
-
-module Fork_set = Set.Make (struct
-  type t = int * Site_set.site * Site_set.site
-
-  let compare = compare
-end)
-
-(* All tables are immutable maps rebound in place: a backtracking
-   explorer checkpoints and restores the oracle on every transition, and
-   persistent structures make both operations constant-time pointer
-   copies (the tables are tiny, so the log-time updates are noise). *)
-type t = {
-  mutable violations : violation list; (* newest first *)
-  mutable committed : string;          (* latest cleanly committed content *)
-  mutable maybe : string list;         (* contents of aborted writes since *)
-  mutable generations : (int * Site_set.t * Site_set.site) Int_map.t;
-      (* op_no -> first witnessed (version, partition, site) *)
-  mutable committed_versions : Int_set.t;
-  mutable last_op : int Int_map.t;     (* site -> last applied op_no *)
-  mutable last_version : int Int_map.t;
-  mutable flagged_forks : Fork_set.t;
-      (* forks already reported, so the per-step scan flags each once *)
-  mutable commits_seen : int;
-  mutable reads_checked : int;
-}
-
-let create ~initial_content =
-  {
-    violations = [];
-    committed = initial_content;
-    maybe = [];
-    generations = Int_map.empty;
-    committed_versions = Int_set.empty;
-    last_op = Int_map.empty;
-    last_version = Int_map.empty;
-    flagged_forks = Fork_set.empty;
-    commits_seen = 0;
-    reads_checked = 0;
-  }
-
-let flag t violation = t.violations <- violation :: t.violations
-
-let witness t site replica =
-  t.commits_seen <- t.commits_seen + 1;
-  let op_no = Replica.op_no replica in
-  let version = Replica.version replica in
-  let partition = Replica.partition replica in
-  t.committed_versions <- Int_set.add version t.committed_versions;
-  (match Int_map.find_opt op_no t.generations with
-  | None -> t.generations <- Int_map.add op_no (version, partition, site) t.generations
-  | Some (version_a, partition_a, site_a) ->
-      if version_a <> version || not (Site_set.equal partition_a partition) then
-        flag t
-          (Generation_conflict
-             {
-               op_no;
-               site_a;
-               version_a;
-               partition_a;
-               site_b = site;
-               version_b = version;
-               partition_b = partition;
-             }));
-  (match Int_map.find_opt site t.last_op with
-  | Some before when before >= op_no ->
-      flag t (Non_monotone_op { site; before; after = op_no })
-  | _ -> ());
-  t.last_op <- Int_map.add site op_no t.last_op;
-  (match Int_map.find_opt site t.last_version with
-  | Some before when before > version ->
-      flag t (Version_regression { site; before; after = version })
-  | _ -> ());
-  t.last_version <- Int_map.add site version t.last_version
+include Dynvote_invariant.Spec
 
 let attach t cluster = Cluster.set_commit_witness cluster (witness t)
-
-(* Client-visible outcomes feed the register model.  A write that aborted
-   after its decision may or may not have escaped; its content joins the
-   maybe set until the next clean write supersedes it. *)
-let write_flags t ~granted ~aborted ~content =
-  if granted then begin
-    t.committed <- content;
-    t.maybe <- []
-  end
-  else if aborted then t.maybe <- content :: t.maybe
-
-let read_flags t ~at ~granted ~content =
-  if granted then begin
-    t.reads_checked <- t.reads_checked + 1;
-    match content with
-    | None -> ()
-    | Some got ->
-        if got <> t.committed && not (List.mem got t.maybe) then
-          flag t (Stale_read { at; got; wanted = t.committed :: t.maybe })
-  end
 
 let note_write t ~content (outcome : Cluster.outcome) =
   write_flags t ~granted:outcome.Cluster.granted ~aborted:outcome.Cluster.aborted
@@ -152,30 +23,6 @@ let note_write t ~content (outcome : Cluster.outcome) =
 
 let note_read t ~at (outcome : Cluster.outcome) =
   read_flags t ~at ~granted:outcome.Cluster.granted ~content:outcome.Cluster.content
-
-(* Content-fork scan: among versions some commit actually carried, equal
-   version numbers must mean equal bytes.  (Residue of an aborted write
-   sits at a version no commit ever used and is skipped — the client was
-   told that write failed.)  The scan is incremental: it may run after
-   every schedule step, so the model checker reports the {e first}
-   violating state; a (version, pair) already flagged is not re-reported
-   on later calls. *)
-let check_states t holders =
-  List.iter
-    (fun (site_a, version, content_a) ->
-      List.iter
-        (fun (site_b, version_b, content_b) ->
-          if
-            site_a < site_b && version = version_b
-            && Int_set.mem version t.committed_versions
-            && content_a <> content_b
-            && not (Fork_set.mem (version, site_a, site_b) t.flagged_forks)
-          then begin
-            t.flagged_forks <- Fork_set.add (version, site_a, site_b) t.flagged_forks;
-            flag t (Content_fork { version; site_a; content_a; site_b; content_b })
-          end)
-        holders)
-    holders
 
 let check_step t cluster =
   let holders =
@@ -188,170 +35,3 @@ let check_step t cluster =
   check_states t holders
 
 let final_check = check_step
-
-(* Replay: the same invariants, fed from recorded events instead of a
-   live cluster — the entry point the networked service's per-node
-   operation logs go through.  A write's content is tracked from its
-   intent record: the moment a coordinator starts distributing COMMITs
-   the content may escape, so it joins the maybe set immediately and is
-   promoted to cleanly-committed only when the matching granted outcome
-   appears.  An intent whose coordinator died mid-wave never produces an
-   outcome and simply stays maybe — exactly the aborted-write semantics
-   of {!note_write}. *)
-type replay_event =
-  | Replay_commit of { site : Site_set.site; replica : Replica.t }
-  | Replay_intent of { content : string }
-  | Replay_write of { granted : bool; content : string }
-  | Replay_read of { at : Site_set.site; granted : bool; content : string option }
-
-let replay ~initial_content ?(final = []) events =
-  let t = create ~initial_content in
-  List.iter
-    (function
-      | Replay_commit { site; replica } -> witness t site replica
-      | Replay_intent { content } -> t.maybe <- content :: t.maybe
-      | Replay_write { granted; content } ->
-          (* The intent already holds the maybe slot; a granted outcome
-             promotes it, anything else leaves it there. *)
-          write_flags t ~granted ~aborted:false ~content
-      | Replay_read { at; granted; content } -> read_flags t ~at ~granted ~content)
-    events;
-  check_states t final;
-  t
-
-(* Snapshots let a backtracking explorer unwind the oracle along with the
-   cluster.  Every field is immutable data rebound in place, so both
-   directions are constant-time field copies. *)
-type snapshot = {
-  snap_violations : violation list;
-  snap_committed : string;
-  snap_maybe : string list;
-  snap_generations : (int * Site_set.t * Site_set.site) Int_map.t;
-  snap_committed_versions : Int_set.t;
-  snap_last_op : int Int_map.t;
-  snap_last_version : int Int_map.t;
-  snap_flagged_forks : Fork_set.t;
-  snap_commits_seen : int;
-  snap_reads_checked : int;
-}
-
-let snapshot t =
-  {
-    snap_violations = t.violations;
-    snap_committed = t.committed;
-    snap_maybe = t.maybe;
-    snap_generations = t.generations;
-    snap_committed_versions = t.committed_versions;
-    snap_last_op = t.last_op;
-    snap_last_version = t.last_version;
-    snap_flagged_forks = t.flagged_forks;
-    snap_commits_seen = t.commits_seen;
-    snap_reads_checked = t.reads_checked;
-  }
-
-let restore t s =
-  t.violations <- s.snap_violations;
-  t.committed <- s.snap_committed;
-  t.maybe <- s.snap_maybe;
-  t.generations <- s.snap_generations;
-  t.committed_versions <- s.snap_committed_versions;
-  t.last_op <- s.snap_last_op;
-  t.last_version <- s.snap_last_version;
-  t.flagged_forks <- s.snap_flagged_forks;
-  t.commits_seen <- s.snap_commits_seen;
-  t.reads_checked <- s.snap_reads_checked
-
-let mem_committed_version t version = Int_set.mem version t.committed_versions
-
-(* Serialize the oracle's memory — the part of the product state that
-   determines which {e future} violations it can still detect — into
-   [buf], canonically.  [rename] canonicalizes content strings (the
-   literal bytes of "w3" vs "w5" are schedule artifacts); [map_site] /
-   [map_set] apply a site permutation so a symmetry-reducing explorer can
-   fold equivalent states.  Already-flagged forks are deliberately
-   excluded: any state carrying one also carries a violation and is never
-   expanded further.
-
-   Two liveness filters keep the serialization from growing with history
-   length (the monotone tables would otherwise make every state
-   path-dependent and defeat the explorer's seen set):
-
-   - Generation entries with op_no < [min_live_op] are dropped.  A future
-     commit's operation number exceeds its coordinator's current one, so
-     with [min_live_op] = the minimum operation number any site could
-     still present as coordinator, entries strictly below it can never be
-     re-witnessed — they are inert for Generation_conflict detection.
-     (The caller owns the soundness argument; pass 0 to keep everything,
-     e.g. when amnesiac restarts can revive arbitrarily stale ensembles.)
-
-   - The committed-versions set is NOT serialized here.  The fork check
-     only consults it for a version two sites currently hold, and a
-     version with no holder anywhere can only be re-acquired through a
-     fresh commit — which re-inserts its membership.  Callers instead
-     record one bit per site ("this site's data version is a committed
-     version"), which is the live content of the set.
-
-   [map_op] / [map_version] canonicalize the two counter domains (the
-   protocols and these checks compare operation and version numbers only
-   for order and equality and advance them by increments, so a caller may
-   rebase them to collapse histories differing by a committed prefix).
-   [min_live_op] is compared against raw, unmapped operation numbers. *)
-let fingerprint_memory t ~buf ~rename ~map_site ~map_set ~map_op ~map_version
-    ~min_live_op =
-  let add_int = Fingerprint_buf.add_int buf in
-  add_int (List.length t.violations);
-  add_int (rename t.committed);
-  add_int (List.length t.maybe);
-  List.iter (fun content -> add_int (rename content)) t.maybe;
-  (* Map iteration is already in ascending key order. *)
-  let live = ref 0 in
-  Int_map.iter
-    (fun op_no _ -> if op_no >= min_live_op then incr live)
-    t.generations;
-  add_int !live;
-  Int_map.iter
-    (fun op_no (version, partition, _site) ->
-      (* The stored first-witness site is report attribution only — the
-         conflict predicate compares version and partition — so it stays
-         out of the fingerprint: states differing in nothing but which
-         site happened to witness a generation first flag the same future
-         violations. *)
-      if op_no >= min_live_op then begin
-        add_int (map_op op_no);
-        add_int (map_version version);
-        add_int (Site_set.to_int (map_set partition))
-      end)
-    t.generations;
-  let per_site table =
-    List.sort compare
-      (Int_map.fold (fun site v acc -> (map_site site, v) :: acc) table [])
-  in
-  let ops = per_site t.last_op in
-  add_int (List.length ops);
-  List.iter (fun (site, op) -> add_int site; add_int (map_op op)) ops;
-  let versions = per_site t.last_version in
-  add_int (List.length versions);
-  List.iter (fun (site, v) -> add_int site; add_int (map_version v)) versions
-
-let violations t = List.rev t.violations
-let is_safe t = t.violations = []
-let commits_seen t = t.commits_seen
-let reads_checked t = t.reads_checked
-
-let pp_violation ppf = function
-  | Generation_conflict g ->
-      Fmt.pf ppf
-        "generation %d committed twice: site %d saw (v%d, %a) but site %d saw (v%d, %a)"
-        g.op_no g.site_a g.version_a Site_set.pp g.partition_a g.site_b g.version_b
-        Site_set.pp g.partition_b
-  | Non_monotone_op { site; before; after } ->
-      Fmt.pf ppf "site %d applied operation %d after %d" site after before
-  | Version_regression { site; before; after } ->
-      Fmt.pf ppf "site %d regressed from version %d to %d" site before after
-  | Stale_read { at; got; wanted } ->
-      Fmt.pf ppf "read at site %d returned %S, legal: %a" at got
-        Fmt.(list ~sep:comma (quote string))
-        wanted
-  | Content_fork { version; site_a; content_a; site_b; content_b } ->
-      Fmt.pf ppf "version %d forked: site %d holds %S, site %d holds %S" version
-        site_a content_a site_b content_b

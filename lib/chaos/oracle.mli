@@ -1,43 +1,18 @@
-(** The safety oracle of the chaos harness.
+(** The safety oracle of the chaos harness: the executable invariant
+    spec ({!Dynvote_invariant.Spec}) adapted to a msgsim cluster.
 
-    Attached to a cluster, it watches every commit any node applies (via
-    the commit-witness hook) and the client-visible outcomes, checking:
+    Every invariant — generation agreement, per-site monotonicity,
+    one-copy register reads, no content forks — is stated once, in the
+    spec module; this interface re-exports it (types are shared, so an
+    [Oracle.t] {e is} a [Spec.t]) and adds the cluster hooks: the
+    commit-witness installation, outcome feeds, and the per-step fork
+    scan over a live cluster's nodes. *)
 
-    - {e generation agreement}: at most one component granted per
-      generation — every commit with operation number [o] carries the
-      same (version, partition);
-    - {e monotonicity}: per site, applied operation numbers strictly
-      increase and version numbers never regress;
-    - {e one-copy equivalence}: a granted read returns the latest cleanly
-      committed write, or the content of a later aborted ("maybe
-      committed") write;
-    - {e no content forks}: at the end of a run, sites agreeing on a
-      committed version number hold identical bytes. *)
-
-type violation =
-  | Generation_conflict of {
-      op_no : int;
-      site_a : Site_set.site;
-      version_a : int;
-      partition_a : Site_set.t;
-      site_b : Site_set.site;
-      version_b : int;
-      partition_b : Site_set.t;
-    }  (** split-brain: one generation, two ensembles *)
-  | Non_monotone_op of { site : Site_set.site; before : int; after : int }
-  | Version_regression of { site : Site_set.site; before : int; after : int }
-  | Stale_read of { at : Site_set.site; got : string; wanted : string list }
-  | Content_fork of {
-      version : int;
-      site_a : Site_set.site;
-      content_a : string;
-      site_b : Site_set.site;
-      content_b : string;
-    }
-
-type t
-
-val create : initial_content:string -> t
+include module type of Dynvote_invariant.Spec
+  with type t = Dynvote_invariant.Spec.t
+   and type snapshot = Dynvote_invariant.Spec.snapshot
+   and type violation = Dynvote_invariant.Spec.violation
+   and type replay_event = Dynvote_invariant.Spec.replay_event
 
 val attach : t -> Dynvote_msgsim.Cluster.t -> unit
 (** Install the commit witness on every node of the cluster. *)
@@ -49,85 +24,10 @@ val note_read : t -> at:Site_set.site -> Dynvote_msgsim.Cluster.outcome -> unit
 (** Check a granted read against the register model. *)
 
 val check_step : t -> Dynvote_msgsim.Cluster.t -> unit
-(** Scan the current state for content forks at committed versions.  Safe
-    to call after every schedule step — each fork is flagged once, at the
-    first state exhibiting it, and not re-reported by later calls. *)
+(** Scan the current cluster state for content forks at committed
+    versions.  Safe to call after every schedule step — each fork is
+    flagged once, at the first state exhibiting it, and not re-reported
+    by later calls. *)
 
 val final_check : t -> Dynvote_msgsim.Cluster.t -> unit
 (** Alias of {!check_step}, kept for the end-of-run call site. *)
-
-val check_states : t -> (Site_set.site * int * string) list -> unit
-(** The content-fork scan of {!check_step} over explicit
-    [(site, data_version, content)] triples — for checkers that are not
-    attached to a msgsim cluster (the live service's log replay). *)
-
-(** {2 Log replay}
-
-    The live replication service records every commit each node applies
-    and every client-visible outcome to per-node operation logs; merging
-    them in sequence order and replaying through {!replay} subjects the
-    real networked system to exactly the invariants above. *)
-
-type replay_event =
-  | Replay_commit of { site : Site_set.site; replica : Replica.t }
-      (** a node applied this ensemble (the commit-witness stream) *)
-  | Replay_intent of { content : string }
-      (** a write coordinator is about to distribute COMMITs carrying
-          [content]: from this moment the content may escape, so it joins
-          the maybe set; the matching {!Replay_write} promotes it.  An
-          intent with no outcome is a coordinator that died mid-wave —
-          the aborted ("maybe committed") write of {!note_write}. *)
-  | Replay_write of { granted : bool; content : string }
-  | Replay_read of { at : Site_set.site; granted : bool; content : string option }
-
-val replay :
-  initial_content:string ->
-  ?final:(Site_set.site * int * string) list ->
-  replay_event list ->
-  t
-(** Feed recorded events through a fresh oracle (events must be in
-    serialization order; the service's global sequence numbers provide
-    it), then run the content-fork scan over [final] — each surviving
-    node's last persisted [(site, data_version, content)]. *)
-
-val violations : t -> violation list
-(** In discovery order. *)
-
-val is_safe : t -> bool
-val commits_seen : t -> int
-val reads_checked : t -> int
-val pp_violation : Format.formatter -> violation -> unit
-
-type snapshot
-(** An immutable copy of the oracle's full memory, for backtracking
-    explorers that unwind the oracle along with the cluster. *)
-
-val snapshot : t -> snapshot
-val restore : t -> snapshot -> unit
-
-val mem_committed_version : t -> int -> bool
-(** Has some commit carried this version number? *)
-
-val fingerprint_memory :
-  t ->
-  buf:Buffer.t ->
-  rename:(string -> int) ->
-  map_site:(Site_set.site -> Site_set.site) ->
-  map_set:(Site_set.t -> Site_set.t) ->
-  map_op:(int -> int) ->
-  map_version:(int -> int) ->
-  min_live_op:int ->
-  unit
-(** Serialize the oracle's memory (register model, generation table,
-    per-site monotonicity watermarks) canonically into [buf] — the part
-    of the model checker's product state that determines which future
-    violations remain detectable.  [rename] canonicalizes content
-    strings; [map_site]/[map_set] apply a site permutation for symmetry
-    reduction; [map_op]/[map_version] canonicalize the counter domains
-    (they must be strictly monotone — the checks compare counters only
-    for order and equality).  Generation entries below [min_live_op]
-    (raw, unmapped) are dropped as inert — the caller asserts no future
-    commit can carry such an operation number (pass 0 to keep
-    everything).  The committed-versions set is not serialized: its live
-    content is the per-site {!mem_committed_version} bit, which the
-    caller records alongside each site's data version. *)

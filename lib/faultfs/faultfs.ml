@@ -92,7 +92,14 @@ let classify path =
   | "ensemble.dvt" -> Storage.Ensemble
   | "data.dvl" -> Storage.Data
   | "oplog.dvl" -> Storage.Oplog
-  | _ -> Storage.Any_file
+  | "rids.dvr" -> Storage.Shard
+  | _ ->
+      let is_shard_log =
+        String.length base > 6
+        && String.sub base 0 6 = "shard-"
+        && Filename.check_suffix base ".dvl"
+      in
+      if is_shard_log then Storage.Shard else Storage.Any_file
 
 let read_whole path =
   let ic = open_in_bin path in

@@ -4,7 +4,10 @@
    the end-of-run audit that merges those logs and replays them through
    the safety oracle. *)
 
-module Oracle = Dynvote_chaos.Oracle
+(* The audit evaluates the shared executable invariant spec directly:
+   Dynvote_chaos.Oracle is the same module re-exported, but going to the
+   source keeps the "one spec, three checkers" dependency explicit. *)
+module Oracle = Dynvote_invariant.Spec
 module Trace = Dynvote_obs.Trace
 module Hub = Dynvote_obs.Hub
 module Shard_store = Dynvote_shard.Shard_store

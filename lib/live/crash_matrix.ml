@@ -14,10 +14,11 @@
 
 module Storage = Dynvote_chaos.Fault_plan.Storage
 module Faultfs = Dynvote_faultfs.Faultfs
-module Oracle = Dynvote_chaos.Oracle
+module Oracle = Dynvote_invariant.Spec
 module Pool = Dynvote_exec.Pool
 module Hub = Dynvote_obs.Hub
 module Clock = Dynvote_obs.Clock
+module Shard_store = Dynvote_shard.Shard_store
 
 type point = { p_file : Storage.file_class; p_op : Storage.op }
 
@@ -27,15 +28,19 @@ type point = { p_file : Storage.file_class; p_op : Storage.op }
    Creates are excluded: a failed open of the temp file is
    indistinguishable from a failed first write, and reads only happen at
    boot (where every fault class already lands via the restart leg). *)
+let replace_ops = [ Storage.Write; Storage.Fsync; Storage.Rename; Storage.Fsync_dir ]
+
 let points =
-  let replace file =
-    List.map
-      (fun op -> { p_file = file; p_op = op })
-      [ Storage.Write; Storage.Fsync; Storage.Rename; Storage.Fsync_dir ]
-  in
+  let replace file = List.map (fun op -> { p_file = file; p_op = op }) replace_ops in
   replace Storage.Ensemble
   @ replace Storage.Data
   @ [ { p_file = Storage.Oplog; p_op = Storage.Write } ]
+
+(* The keyed store's compaction rewrite is a persist point too — one the
+   cluster cells above never reach, because it fires at a record-count
+   threshold of the store's own choosing. *)
+let compaction_points =
+  List.map (fun op -> { p_file = Storage.Shard; p_op = op }) replace_ops
 
 let point_name p =
   Printf.sprintf "%s.%s" (Storage.file_name p.p_file) (Storage.op_name p.p_op)
@@ -160,17 +165,113 @@ let run_cell ~dir ~seed point fault =
     c_injected = Faultfs.injected_total ff;
   }
 
+(* A compaction cell needs no cluster: it drives one store to its
+   compaction threshold with the fault armed on the rewrite itself, cuts
+   the power, and regrades from a clean offline scan.  The store is
+   opened [durable:false] — the mode in which the rewrite's own
+   discipline is all that stands between a mid-flight fault and the
+   durably-empty-log window — with the history explicitly fsynced before
+   the strike, so everything up to the threshold is durable and any
+   post-crash state older than that (or damaged) is corruption.
+
+   [Fsync_lie] is deliberately not in a store-level sweep: a lying
+   fsync makes the compacted bytes silently volatile, and with no peer
+   to refetch from a single store cannot detect the resulting empty
+   log.  The cluster-level matrix covers that class — recovery refetches
+   from the healthy majority. *)
+let compaction_faults =
+  [ Storage.Eio; Storage.Enospc; Storage.Short_write; Storage.Fsync_fail;
+    Storage.Rename_loss; Storage.Crash ]
+
+let run_compaction_cell ~dir ~seed point fault =
+  let cell_dir =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s" (point_name point) (Storage.fault_name fault))
+  in
+  mkdir_p cell_dir;
+  let ff = Faultfs.create ~seed () in
+  let store, _ =
+    Shard_store.open_store ~vfs:(Faultfs.vfs ff) ~durable:false ~dir:cell_dir
+      ~site:0 ~shards:1 ()
+  in
+  let state v =
+    {
+      Shard_store.op_no = v;
+      version = v;
+      partition = Site_set.of_list [ 0 ];
+      data_version = v;
+      value = Some (Printf.sprintf "v%d" v);
+    }
+  in
+  (* One record short of the compaction threshold, all made durable. *)
+  for v = 1 to 1023 do
+    Shard_store.commit store ~key:"k" ~rid:v (state v)
+  done;
+  Shard_store.fsync store;
+  (* The 1024th commit appends (shard write #1 since arming) and then
+     crosses the threshold: the rewrite's temp write, fsync, rename and
+     directory fsync are the next shard-class operations. *)
+  let nth = match point.p_op with Storage.Write -> 2 | _ -> 1 in
+  Faultfs.arm_next ff { Storage.fault; file = point.p_file; op = point.p_op; nth };
+  let died =
+    match Shard_store.commit store ~key:"k" ~rid:1024 (state 1024) with
+    | () -> false
+    | exception Vfs.Fault _ -> false (* surfaced error; the process lives *)
+    | exception Vfs.Crash_point _ -> true
+  in
+  (* The promoter: a later durable sidecar replace fsyncs the same
+     directory, making any pending rename durable — the sequence that
+     turns an unsynced compaction rename into a durably empty log. *)
+  if not died then
+    (try Shard_store.save_rids ~fsync:true store []
+     with Vfs.Fault _ | Vfs.Crash_point _ -> ());
+  Shard_store.close store;
+  Faultfs.simulate_crash ff;
+  let t0 = Clock.now () in
+  let rescan, info = Shard_store.open_store ~dir:cell_dir ~site:0 ~shards:1 () in
+  let recovered = Shard_store.lookup rescan "k" in
+  Shard_store.close rescan;
+  let recovery = Clock.now () -. t0 in
+  let outcome =
+    if info.Shard_store.corrupt > 0 then
+      Corrupt (Printf.sprintf "%d mid-log corrupt record(s)" info.Shard_store.corrupt)
+    else
+      match recovered with
+      | Some st when st.Shard_store.value = Some "v1024" -> Recovered
+      | Some st when st.Shard_store.value = Some "v1023" ->
+          Recovered (* the struck record was volatile; fsynced history intact *)
+      | Some st ->
+          Corrupt
+            (Printf.sprintf "fsynced history lost: recovered %s"
+               (Option.value ~default:"<none>" st.Shard_store.value))
+      | None -> Corrupt "key vanished: shard log durably empty"
+  in
+  {
+    c_point = point;
+    c_fault = fault;
+    c_outcome = outcome;
+    c_recovery = recovery;
+    c_injected = Faultfs.injected_total ff;
+  }
+
 let run ?jobs ?(seed = 1) ?(faults = Storage.all_faults)
     ?(points = points) ~dir () =
   let cells =
     List.concat_map (fun p -> List.map (fun f -> (p, f)) faults) points
+    (* Shard cells grade only their meaningful fault classes (see
+       [compaction_faults]); dropped combinations render as '-'. *)
+    |> List.filter (fun (p, f) ->
+           p.p_file <> Storage.Shard || List.mem f compaction_faults)
   in
   (* Per-cell seeds differ so torn-tail cuts are not correlated across
      cells; they stay a pure function of (seed, point, fault) position. *)
   let numbered = List.mapi (fun i pf -> (i, pf)) cells in
   Pool.with_pool ?jobs (fun pool ->
       Pool.map_list pool
-        (fun (i, (p, f)) -> run_cell ~dir ~seed:(seed + (997 * i)) p f)
+        (fun (i, (p, f)) ->
+          let seed = seed + (997 * i) in
+          if p.p_file = Storage.Shard then run_compaction_cell ~dir ~seed p f
+          else run_cell ~dir ~seed p f)
         numbered)
 
 (* The letter table: rows are persist points, columns fault classes.
@@ -183,7 +284,7 @@ let pp_table ppf cells =
   let row_points =
     List.filter
       (fun p -> List.exists (fun c -> c.c_point = p) cells)
-      points
+      (points @ compaction_points)
   in
   let width = 12 in
   let row label columns =

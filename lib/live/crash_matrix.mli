@@ -21,6 +21,18 @@ val points : point list
     ensemble's and the data blob's atomic replace, plus the oplog
     append. *)
 
+val compaction_points : point list
+(** The keyed store's compaction rewrite — the same four atomic-replace
+    operations, on the shard file class.  Not in {!points}: compaction
+    fires at a record-count threshold the cluster cells never reach, so
+    these cells run against a bare store ({!run_compaction_cell}). *)
+
+val compaction_faults : Storage.fault list
+(** The fault classes a store-level compaction cell can meaningfully
+    grade: everything except [Fsync_lie] (undetectable without a peer
+    to refetch from — the cluster matrix covers it) and [Read_eio]
+    (reads happen only at boot). *)
+
 val point_name : point -> string
 (** ["ensemble.fsync"], ["oplog.write"], ... *)
 
@@ -55,6 +67,17 @@ val run_cell : dir:string -> seed:int -> point -> Storage.fault -> cell
     to healthy sites), kill the victim, simulate the power cut, restart,
     RECOVER, and probe both the victim and a healthy site; then audit the
     cell directory through the chaos oracle. *)
+
+val run_compaction_cell : dir:string -> seed:int -> point -> Storage.fault -> cell
+(** One hermetic compaction cell under [dir]: drive a single-shard
+    store ([durable:false]) to its compaction threshold with the
+    pre-threshold history explicitly fsynced, arm the fault on the
+    rewrite's own [nth] shard-class operation, follow with the durable
+    rids-sidecar replace (whose directory fsync promotes any pending
+    rename — the sequence that turns an unsynced compaction rename into
+    a durably empty log), power-cut, and regrade from a clean offline
+    scan.  Healthy cells recover the last fsynced record or the struck
+    one; anything older, damaged, or vanished is {!Corrupt}. *)
 
 val run :
   ?jobs:int ->

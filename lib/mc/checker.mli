@@ -42,6 +42,7 @@ type report = {
 val check :
   ?space:Space.t ->
   ?symmetry:bool ->
+  ?por:bool ->
   ?max_states:int ->
   ?progress:(depth:int -> distinct:int -> transitions:int -> unit) ->
   ?jobs:int ->

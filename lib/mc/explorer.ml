@@ -6,9 +6,20 @@
    {!Dynvote_chaos.Harness.checkpoint}/[rollback], so every explored path
    executes the exact code a chaos replay would.  The seen table maps a
    canonical fingerprint to the largest remaining-depth budget it was
-   expanded with: a revisit with no more budget is pruned, a revisit with
-   more budget is re-expanded (the standard transposition rule that keeps
-   iterative deepening sound).
+   expanded with, tagged by the {!Por} context the expansion was filtered
+   under: a revisit with no more budget under a covering context is
+   pruned, anything else is re-expanded (the transposition rule that
+   keeps iterative deepening — and partial-order reduction under state
+   caching — sound; see {!Striped_seen.claim}).
+
+   Partial-order reduction (on by default, [?por]) explores commuting
+   fault actions in sorted order only: every pruned interleaving is a
+   permutation of an explored one with identical length, end state and
+   violation observations (the commutation proof lives in {!Por}).  The
+   set of distinct states within a completed bound is unchanged —
+   reduction removes transitions, not states — so Safe verdicts report
+   identical state counts with the reduction on or off, and iterative
+   deepening still finds a minimum-length counterexample first.
 
    Iterative deepening guarantees the first counterexample found is one
    of minimum length.  When an iteration completes without ever hitting
@@ -21,13 +32,15 @@
    sharded over a {!Dynvote_exec.Pool}, every worker drives its own
    freshly built session (cluster and oracle are mutable and never
    shared), and deduplication goes through one lock-striped
-   {!Striped_seen} fingerprint table so the [distinct]/[max_states]
+   {!Striped_seen} fingerprint store so the [distinct]/[max_states]
    accounting stays global.  The set of distinct states within a bound —
    and with it every Safe/Out_of_budget verdict — is independent of
-   worker interleaving (the transposition rule is monotone), so verdicts
-   match the sequential search; only the traversal statistics
-   ([visited], [transitions]) and the choice among equally short
-   counterexamples may differ. *)
+   worker interleaving, so verdicts match the sequential search; only
+   the traversal statistics ([visited], [transitions]) and the choice
+   among equally short counterexamples may differ.  The sequential path
+   runs through the same store (one shard, uncontended), so the spill
+   tier and the admission accounting are exercised identically at every
+   job count. *)
 
 module Cluster = Dynvote_msgsim.Cluster
 module Harness = Dynvote_chaos.Harness
@@ -47,6 +60,7 @@ type result = {
   distinct : int;
   transitions : int;
   peak_seen : int;
+  spilled : int;
 }
 
 exception Found of Schedule.step list * Oracle.violation list
@@ -66,7 +80,14 @@ let perms_for ~symmetry (config : Harness.config) =
       ~segment_of:config.Harness.segment_of
   else [ Fingerprint.identity ~n_sites:(Site_set.max_elt config.Harness.universe + 1) ]
 
-let sequential_search ~space ~symmetry ~max_states ?progress
+(* The report path's accounting invariant: every admitted state was
+   counted exactly once, and nothing the budget bounced was. *)
+let checked_distinct seen =
+  let distinct = Striped_seen.distinct seen in
+  assert (Striped_seen.length seen = distinct);
+  distinct
+
+let sequential_search ~space ~symmetry ~por ~max_states ?progress
     ~(config : Harness.config) ~depth () =
   let perms = perms_for ~symmetry config in
   let session = Harness.make_session config in
@@ -79,17 +100,28 @@ let sequential_search ~space ~symmetry ~max_states ?progress
   let transitions = ref 0 in
   let peak_seen = ref 0 in
   let distinct = ref 0 in
+  let spilled = ref 0 in
   let cutoff = ref false in
   let root = Harness.checkpoint session in
   let search_to bound =
-    let seen = Hashtbl.create 4096 in
+    let seen = Striped_seen.create ~shards:1 ~max_states () in
     cutoff := false;
-    Hashtbl.replace seen (fingerprint ()) bound;
+    ignore (Striped_seen.claim seen (fingerprint ()) ~budget:bound ~ctx:0);
     incr visited;
-    let rec dfs remaining trace =
+    (* [ctx] filters this state's successors: the {!Por.rank} of the
+       action the state was entered by, or 0 at the root and with the
+       reduction off.  A nonzero [covered] narrows the expansion to the
+       sleep difference against an already-recorded context. *)
+    let rec dfs remaining trace ctx covered =
       if remaining = 0 then cutoff := true
       else begin
         let ck = Harness.checkpoint session in
+        let steps = Space.enabled space ~config ~cluster in
+        let steps =
+          if not por then steps
+          else if covered = 0 then Por.filter ~ctx steps
+          else Por.filter_uncovered ~ctx ~covered steps
+        in
         List.iter
           (fun step ->
             incr transitions;
@@ -99,27 +131,29 @@ let sequential_search ~space ~symmetry ~max_states ?progress
               raise (Found (List.rev (step :: trace), Oracle.violations oracle));
             let fp = fingerprint () in
             let budget = remaining - 1 in
-            (match Hashtbl.find_opt seen fp with
-            | Some prior when prior >= budget -> ()
-            | _ ->
-                if Hashtbl.length seen >= max_states then raise Budget;
-                Hashtbl.replace seen fp budget;
+            let step_ctx = if por then Por.rank step else 0 in
+            (match Striped_seen.claim seen fp ~budget ~ctx:step_ctx with
+            | Striped_seen.Prune -> ()
+            | Striped_seen.Budget -> raise Budget
+            | Striped_seen.Expand { filter; covered } ->
                 incr visited;
-                dfs budget (step :: trace));
+                dfs budget (step :: trace) filter covered);
             Harness.rollback session ck)
-          (Space.enabled space ~config ~cluster)
+          steps
       end
     in
     let outcome =
       try
-        dfs bound [];
+        dfs bound [] 0 0;
         `Exhausted
       with
       | Found (trace, violations) -> `Found (trace, violations)
       | Budget -> `Budget
     in
-    distinct := Hashtbl.length seen;
+    distinct := checked_distinct seen;
     peak_seen := max !peak_seen !distinct;
+    spilled := max !spilled (Striped_seen.spilled seen);
+    Striped_seen.close seen;
     (match progress with
     | Some f -> f ~depth:bound ~distinct:!distinct ~transitions:!transitions
     | None -> ());
@@ -133,6 +167,7 @@ let sequential_search ~space ~symmetry ~max_states ?progress
       distinct = !distinct;
       transitions = !transitions;
       peak_seen = !peak_seen;
+      spilled = !spilled;
     }
   in
   let rec iterate bound =
@@ -170,10 +205,10 @@ type worker_tally = {
 
 (* One worker's share of a single deepening iteration: pull root-action
    indices from [next_root], run the same DFS as the sequential search
-   below each, dedup through the shared striped table.  The session,
+   below each, dedup through the shared striped store.  The session,
    oracle, fingerprint buffer and checkpoints are all worker-private —
    only [seen], [next_root] and [stop] are shared. *)
-let bound_worker ~space ~gc ~perms ~(config : Harness.config)
+let bound_worker ~space ~gc ~perms ~por ~(config : Harness.config)
     ~(roots : Schedule.step array) ~seen ~next_root ~(stop : bool Atomic.t) ~bound () =
   let session = Harness.make_session config in
   let cluster = Harness.cluster session in
@@ -191,21 +226,27 @@ let bound_worker ~space ~gc ~perms ~(config : Harness.config)
     Atomic.set stop true;
     raise_notrace Stop_worker
   in
-  let claim root_idx fp budget recurse =
-    match Striped_seen.claim seen fp ~budget with
+  let claim root_idx fp ~budget ~ctx recurse =
+    match Striped_seen.claim seen fp ~budget ~ctx with
     | Striped_seen.Prune -> ()
     | Striped_seen.Budget ->
         budget_hit := true;
         Atomic.set stop true;
         raise_notrace Stop_worker
-    | Striped_seen.Expand ->
+    | Striped_seen.Expand { filter; covered } ->
         incr visited;
-        recurse root_idx budget
+        recurse root_idx budget filter covered
   in
-  let rec dfs root_idx remaining trace =
+  let rec dfs root_idx remaining trace ctx covered =
     if remaining = 0 then cutoff := true
     else begin
       let ck = Harness.checkpoint session in
+      let steps = Space.enabled space ~config ~cluster in
+      let steps =
+        if not por then steps
+        else if covered = 0 then Por.filter ~ctx steps
+        else Por.filter_uncovered ~ctx ~covered steps
+      in
       List.iter
         (fun step ->
           if Atomic.get stop then raise_notrace Stop_worker;
@@ -214,10 +255,12 @@ let bound_worker ~space ~gc ~perms ~(config : Harness.config)
           Oracle.check_step oracle cluster;
           if not (Oracle.is_safe oracle) then
             found root_idx (List.rev (step :: trace));
-          claim root_idx (fingerprint ()) (remaining - 1) (fun root_idx budget ->
-              dfs root_idx budget (step :: trace));
+          claim root_idx (fingerprint ()) ~budget:(remaining - 1)
+            ~ctx:(if por then Por.rank step else 0)
+            (fun root_idx budget filter covered ->
+              dfs root_idx budget (step :: trace) filter covered);
           Harness.rollback session ck)
-        (Space.enabled space ~config ~cluster)
+        steps
     end
   in
   (try
@@ -229,8 +272,10 @@ let bound_worker ~space ~gc ~perms ~(config : Harness.config)
          Harness.apply_step session step;
          Oracle.check_step oracle cluster;
          if not (Oracle.is_safe oracle) then found idx [ step ];
-         claim idx (fingerprint ()) (bound - 1) (fun root_idx budget ->
-             dfs root_idx budget [ step ]);
+         claim idx (fingerprint ()) ~budget:(bound - 1)
+           ~ctx:(if por then Por.rank step else 0)
+           (fun root_idx budget filter covered ->
+             dfs root_idx budget [ step ] filter covered);
          Harness.rollback session root_ck;
          next ()
        end
@@ -245,7 +290,7 @@ let bound_worker ~space ~gc ~perms ~(config : Harness.config)
     w_violation = !violation;
   }
 
-let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
+let parallel_search ~jobs ~space ~symmetry ~por ~max_states ?progress
     ~(config : Harness.config) ~depth () =
   let perms = perms_for ~symmetry config in
   let gc = Space.amnesia_free space in
@@ -261,6 +306,7 @@ let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
   let transitions = ref 0 in
   let peak_seen = ref 0 in
   let distinct = ref 0 in
+  let spilled = ref 0 in
   let result outcome depth =
     {
       outcome;
@@ -269,6 +315,7 @@ let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
       distinct = !distinct;
       transitions = !transitions;
       peak_seen = !peak_seen;
+      spilled = !spilled;
     }
   in
   Oracle.check_step oracle cluster;
@@ -280,15 +327,15 @@ let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
     Pool.with_pool ~jobs (fun pool ->
         let search_to bound =
           let seen = Striped_seen.create ~max_states () in
-          ignore (Striped_seen.claim seen (root_fp ()) ~budget:bound);
+          ignore (Striped_seen.claim seen (root_fp ()) ~budget:bound ~ctx:0);
           incr visited;
           let next_root = Atomic.make 0 in
           let stop = Atomic.make false in
           let tallies =
             Pool.map_array pool
               (fun _worker ->
-                bound_worker ~space ~gc ~perms ~config ~roots ~seen ~next_root ~stop
-                  ~bound ())
+                bound_worker ~space ~gc ~perms ~por ~config ~roots ~seen ~next_root
+                  ~stop ~bound ())
               (Array.init (Pool.jobs pool) Fun.id)
           in
           Array.iter
@@ -296,8 +343,10 @@ let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
               visited := !visited + t.w_visited;
               transitions := !transitions + t.w_transitions)
             tallies;
-          distinct := Striped_seen.length seen;
+          distinct := checked_distinct seen;
           peak_seen := max !peak_seen !distinct;
+          spilled := max !spilled (Striped_seen.spilled seen);
+          Striped_seen.close seen;
           (match progress with
           | Some f -> f ~depth:bound ~distinct:!distinct ~transitions:!transitions
           | None -> ());
@@ -335,9 +384,10 @@ let parallel_search ~jobs ~space ~symmetry ~max_states ?progress
         iterate 1)
   end
 
-let search ?(space = Space.default) ?symmetry ?(max_states = 1_000_000) ?progress
-    ?(jobs = 1) ~(config : Harness.config) ~depth () =
+let search ?(space = Space.default) ?symmetry ?(por = true) ?(max_states = 1_000_000)
+    ?progress ?(jobs = 1) ~(config : Harness.config) ~depth () =
   let symmetry = resolve_symmetry ?symmetry config in
   if jobs <= 1 || Pool.in_worker () then
-    sequential_search ~space ~symmetry ~max_states ?progress ~config ~depth ()
-  else parallel_search ~jobs ~space ~symmetry ~max_states ?progress ~config ~depth ()
+    sequential_search ~space ~symmetry ~por ~max_states ?progress ~config ~depth ()
+  else
+    parallel_search ~jobs ~space ~symmetry ~por ~max_states ?progress ~config ~depth ()

@@ -1,6 +1,7 @@
 (** Bounded explicit-state search: iterative-deepening DFS over the
-    {!Space} alphabet, pruned by a seen-state table of canonical
-    {!Fingerprint}s, with the safety oracle checked at every state. *)
+    {!Space} alphabet, pruned by a seen-state store of canonical
+    {!Fingerprint} hashes, with the safety oracle checked at every
+    state and commuting fault actions reduced by {!Por}. *)
 
 type outcome =
   | Safe of { closed : bool }
@@ -13,7 +14,7 @@ type outcome =
     }
       (** a minimum-length path to an unsafe state (iterative deepening
           finds shortest counterexamples first) *)
-  | Out_of_budget  (** the seen table hit [max_states] *)
+  | Out_of_budget  (** the seen store hit [max_states] *)
 
 type result = {
   outcome : outcome;
@@ -21,14 +22,18 @@ type result = {
       (** bound fully exhausted (or closed at); for a violation, the
           trace length; for out-of-budget, the last completed bound *)
   visited : int;  (** states stored, cumulative over all iterations *)
-  distinct : int;  (** seen-table size of the final iteration *)
+  distinct : int;  (** seen-store size of the final iteration *)
   transitions : int;  (** actions applied, cumulative *)
-  peak_seen : int;  (** largest seen-table size — the memory high-water *)
+  peak_seen : int;  (** largest seen-store size — the memory high-water *)
+  spilled : int;
+      (** peak entries in the store's on-disk spill tier (0 unless
+          [DYNVOTE_MC_SPILL] enables spilling; see {!Striped_seen}) *)
 }
 
 val search :
   ?space:Space.t ->
   ?symmetry:bool ->
+  ?por:bool ->
   ?max_states:int ->
   ?progress:(depth:int -> distinct:int -> transitions:int -> unit) ->
   ?jobs:int ->
@@ -40,18 +45,22 @@ val search :
     [symmetry] (within-segment site relabeling in the fingerprint)
     defaults to on exactly when the flavor has no lexicographic
     tie-break — relabeling does not commute with the site ordering.
-    [max_states] (default 1_000_000) bounds the seen table.  [progress]
+    [por] (default on) explores commuting fault actions in sorted order
+    only; it changes no verdict, no counterexample length and no
+    distinct-state count on a completed bound — only [transitions] and
+    the choice among equally short counterexamples (see {!Por}).
+    [max_states] (default 1_000_000) bounds the seen store.  [progress]
     is called after each completed deepening iteration.
 
     [jobs] (default 1) shards the root action alphabet over a
     {!Dynvote_exec.Pool}: each worker drives its own freshly built
     session (cluster and oracle are mutable, never shared) and
-    deduplicates through one lock-striped fingerprint table, so
+    deduplicates through one lock-striped fingerprint store, so
     [distinct] and the [max_states] budget stay global.  The verdict —
     [Safe]/[Violation]/[Out_of_budget], the [closed] flag, the trace
     length, and [distinct] on a [Safe] outcome — is independent of
     [jobs]; [visited], [transitions], [peak_seen], [distinct] on a
-    [Violation] (the table size when the search stopped) and the choice
+    [Violation] (the store size when the search stopped) and the choice
     among equally short counterexamples may differ from the sequential
-    search.  At [jobs = 1] (and inside a pool worker) the original
-    sequential search runs, byte-identical to previous releases. *)
+    search.  At [jobs = 1] (and inside a pool worker) the sequential
+    search runs through the same store code, one uncontended shard. *)

@@ -25,7 +25,7 @@
 module Cluster = Dynvote_msgsim.Cluster
 module Node = Dynvote_msgsim.Node
 module Harness = Dynvote_chaos.Harness
-module Oracle = Dynvote_chaos.Oracle
+module Spec = Dynvote_invariant.Spec
 
 let identity ~n_sites = Array.init n_sites Fun.id
 
@@ -86,7 +86,7 @@ let serialize ~buf ~perm ~gc session =
     Site_set.fold (fun site acc -> Site_set.add perm.(site) acc) set Site_set.empty
   in
   Buffer.clear buf;
-  let add_int = Dynvote_chaos.Fingerprint_buf.add_int buf in
+  let add_int = Fingerprint_buf.add_int buf in
   (* Counter rebasing.  Operation and version numbers are only ever
      compared for order and equality (within their own domain — versions
      also against data versions) and advance by increments, so subtracting
@@ -131,7 +131,7 @@ let serialize ~buf ~perm ~gc session =
        only be re-acquired through a fresh commit, which re-inserts it —
        so these bits replace serializing the (monotonically growing) set
        itself. *)
-    add_int (if Oracle.mem_committed_version oracle (Node.data_version node) then 1 else 0);
+    add_int (if Spec.mem_committed_version oracle (Node.data_version node) then 1 else 0);
     add_int (rename (Node.content node));
     (* Stable-record status.  Steps keep record and ensemble in sync for
        every non-amnesiac site (commits rewrite the record; a clean
@@ -193,7 +193,7 @@ let serialize ~buf ~perm ~gc session =
           min floor (Replica.op_no (Node.replica (Cluster.node cluster site))))
         universe max_int
   in
-  Oracle.fingerprint_memory oracle ~buf ~rename ~map_site ~map_set ~map_op
+  Spec.fingerprint_memory oracle ~buf ~rename ~map_site ~map_set ~map_op
     ~map_version ~min_live_op
 
 let of_session ?perm ?(gc = false) session =

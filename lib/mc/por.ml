@@ -1,0 +1,127 @@
+(* Partial-order reduction over commuting fault actions.
+
+   The explorer's alphabet splits into {e protocol} actions (Write, Read,
+   Crash_coordinator, Recover — full coordinator rounds that send
+   messages, move replicas and feed the oracle) and {e fault} actions
+   (Crash, Restart, Partition, Heal — pure environment changes).  Fault
+   actions fall into commuting classes, so exploring every interleaving
+   of a fault burst multiplies the state space by the burst's
+   permutation count without reaching any new state.  The reduction
+   explores only the rank-sorted interleavings: after arriving by fault
+   action [p], a fault action [c] that is independent of [p] and ranks
+   below it is skipped — the skipped path is a permutation of an
+   explored one.
+
+   Commutation is proved from the transition code's footprints
+   (lib/msgsim/cluster.ml, lib/chaos/harness.ml):
+
+   - [Crash s]   = up := up \ {s}; fresh := fresh \ {s};
+                   clear_lock(node s)                    (Cluster.fail)
+   - [Restart (s, c)] = mangle stable(node s) per c (Zero/Truncate are
+                   deterministic functions of the record; Bit_flip is
+                   excluded from the alphabet); up := up U {s};
+                   reload node s's replica/amnesia flag from its stable
+                   record; clear node s's volatile collector/lock/fetch
+                   state                  (Harness.apply_step, Cluster.
+                   restart_silently, Node.reload_from_stable)
+   - [Partition m] = groups := decode m   (a constant of the mask)
+   - [Heal]        = groups := None
+
+   Footprints: a per-site action on [s] reads and writes only
+   {up(s), fresh(s), node s}; Partition/Heal read and write only
+   {groups}.  Two fault actions are {e independent} iff their footprints
+   are disjoint: per-site actions on different sites, and any per-site
+   action vs any net action.  Partition and Heal share {groups} and are
+   dependent; same-site Crash/Restart share the site and are dependent.
+   Independent fault actions therefore commute {e exactly} as state
+   transformers (each is a function of its own footprint only).
+
+   Enabledness: the guard of [Crash s] is s in up, of [Restart s] is
+   s not in up (Space emits them only so, and Harness.apply_step
+   re-checks); Partition has no guard and Heal's (groups <> None) reads
+   only {groups}.  Every guard reads only the action's own footprint, so
+   an independent action can neither enable nor disable it — condition
+   C1 of an ample set, here in both directions.
+
+   Violations: no fault action mutates the oracle (they send no
+   messages, apply no commits, produce no client outcome), and none
+   changes any node's (data_version, content) — Node.reload_from_stable
+   restores the {e ensemble} only.  Hence the (holders, oracle)
+   observation the per-state safety check consumes is {e constant across
+   a fault burst}: permuting the burst changes no observation, and a
+   violation flagged mid-burst was already flaggable at the burst's
+   first state.  Swapping an adjacent independent out-of-order pair
+   therefore preserves the path's length, its end state, and the
+   violation status of every observation along it.
+
+   Soundness of exploring only sorted interleavings: any path is
+   transformed into a locally-sorted one by bubble swaps of adjacent
+   independent out-of-order fault pairs — each swap removes exactly one
+   rank inversion, so the process terminates, and by the above each swap
+   is behavior-preserving.  The interaction with the seen table (a
+   sorted path's prefix may hit a cached state that was previously
+   expanded under a {e different} incoming-action filter) is handled by
+   the context tag stored next to each fingerprint's budget: see
+   {!Striped_seen.claim}.  The whole argument is additionally gated
+   empirically — the mc test suite asserts reduced and full exploration
+   produce identical verdicts, counterexample lengths and distinct-state
+   counts at small depth for every policy, at -j1 and -j4. *)
+
+module Schedule = Dynvote_chaos.Schedule
+
+(* The rank is a total order on fault actions that encodes the action
+   injectively: bits 16+ carry the class, the low bits the site (or
+   corruption-tagged site, or partition mask).  Protocol actions rank 0,
+   which [allowed] and the seen table treat as "no filtering".  16 sites
+   and 16-bit partition masks fit with room to spare; ranks stay below
+   [max_ctx]. *)
+let max_ctx = 0x5_0000
+
+let corruption_index = function
+  | None -> 0
+  | Some Schedule.Truncate -> 1
+  | Some Schedule.Bit_flip -> 2
+  | Some Schedule.Zero -> 3
+
+let rank = function
+  | Schedule.Crash site -> 0x1_0000 lor site
+  | Schedule.Restart (site, c) -> 0x2_0000 lor ((site lsl 2) lor corruption_index c)
+  | Schedule.Partition mask -> 0x3_0000 lor mask
+  | Schedule.Heal -> 0x4_0000
+  | Schedule.Write _ | Schedule.Read _ | Schedule.Crash_coordinator _
+  | Schedule.Recover _ -> 0
+
+(* Independence, decoded from the ranks (which carry the full action).
+   Both non-zero, not both net (Partition/Heal overwrite the same
+   [groups] field), not the same site when both are per-site. *)
+let indep ra rb =
+  let class_a = ra lsr 16 and class_b = rb lsr 16 in
+  let site_of r = match r lsr 16 with
+    | 1 -> r land 0xffff
+    | _ -> (r land 0xffff) lsr 2
+  in
+  ra <> 0 && rb <> 0
+  && not (class_a >= 3 && class_b >= 3)
+  && (class_a >= 3 || class_b >= 3 || site_of ra <> site_of rb)
+
+(* Is [step] explored from a state entered by the action ranked [ctx]?
+   Skipped exactly when it is a fault action, independent of the
+   incoming action, and ranks strictly below it: the path taking [step]
+   first is a permutation of an explored sorted one.  [ctx] = 0 (root
+   state, protocol predecessor, or a seen-table context conflict) means
+   no filtering. *)
+let allowed ~ctx step =
+  let r = rank step in
+  r = 0 || ctx = 0 || r > ctx || not (indep r ctx)
+
+let filter ~ctx steps =
+  if ctx = 0 then steps else List.filter (allowed ~ctx) steps
+
+(* Difference expansion for a cached-state context conflict
+   ({!Striped_seen.claim}): the steps allowed under [ctx] that an
+   already-recorded expansion under [covered] slept.  Protocol actions
+   (rank 0) are allowed under every context, so the difference contains
+   only fault actions — the re-exploration a conflict costs is a handful
+   of environment steps, not the state's whole fan-out. *)
+let filter_uncovered ~ctx ~covered steps =
+  List.filter (fun s -> allowed ~ctx s && not (allowed ~ctx:covered s)) steps

@@ -1,0 +1,41 @@
+(** Partial-order reduction over commuting fault actions.
+
+    Crash / Restart / Partition / Heal are pure environment changes
+    with per-site (or net-wide) footprints: independent ones commute
+    exactly, never touch the oracle or any node's data, and cannot
+    enable or disable each other.  The explorer therefore only follows
+    fault actions in non-decreasing [rank] order across independent
+    pairs — every skipped interleaving is a permutation of an explored
+    one with identical length, end state and violation observations
+    (the commutation proof lives in por.ml; the mc test suite gates it
+    empirically against full exploration). *)
+
+val max_ctx : int
+(** Exclusive upper bound on every [rank] — contexts fit the seen
+    table's packed metadata. *)
+
+val rank : Dynvote_chaos.Schedule.step -> int
+(** Injective total order on fault actions; 0 for protocol actions
+    (Write, Read, Crash_coordinator, Recover), which never filter. *)
+
+val indep : int -> int -> bool
+(** Independence of two actions given their ranks: both fault actions,
+    footprints disjoint (different sites; not both Partition/Heal). *)
+
+val allowed : ctx:int -> Dynvote_chaos.Schedule.step -> bool
+(** Explore [step] from a state entered by the action ranked [ctx]?
+    [ctx = 0] means no filtering. *)
+
+val filter :
+  ctx:int -> Dynvote_chaos.Schedule.step list -> Dynvote_chaos.Schedule.step list
+(** [List.filter (allowed ~ctx)], skipping the copy when [ctx = 0]. *)
+
+val filter_uncovered :
+  ctx:int ->
+  covered:int ->
+  Dynvote_chaos.Schedule.step list ->
+  Dynvote_chaos.Schedule.step list
+(** The steps allowed under [ctx] but not under [covered] (nonzero):
+    the fault actions a recorded expansion slept that ours must wake —
+    the difference re-expansion of {!Striped_seen.claim}'s context
+    conflicts. *)

@@ -461,7 +461,16 @@ let append_frame t shard frame =
 (* Rewrite one shard with just the latest record per key, headed by the
    applied-request table so exactly-once memory survives the dropped
    history.  Atomic replace: a crash leaves the old log or the new one,
-   both valid. *)
+   both valid.
+
+   The rewrite always runs the full durability discipline (data fsync
+   before the rename, directory fsync after), even for stores opened
+   [durable:false]: the rename replaces the only copy of the key
+   history, and a rename whose source was never fsynced can be promoted
+   by ANY later fsync of the same directory — the rids sidecar's atomic
+   replace is one — leaving the shard log durably empty after a power
+   cut.  Unsynced appends losing their tail is the non-durable
+   trade-off; compaction silently discarding fsynced history is not. *)
 let compact t i =
   let shard = t.shards.(i) in
   (match shard.file with
@@ -481,7 +490,7 @@ let compact t i =
           (encode_state_record ~key ~rid:0 ~value_enc:(Set st.value) st)
       end)
     t.spine;
-  Codec.write_file_atomic ~vfs:t.vfs ~fsync:t.durable ~path:shard.path
+  Codec.write_file_atomic ~vfs:t.vfs ~fsync:true ~path:shard.path
     (Buffer.contents b);
   shard.records <- !live + 1;
   shard.live <- !live;

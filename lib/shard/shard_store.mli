@@ -50,8 +50,10 @@ val open_store :
   shards:int -> unit -> t * scan_info
 (** Scan (or create) the site's shard logs under
     [dir/site-<site>/shards].  [durable] (default [true]) makes
-    compaction rewrites and {!save_rids} fsync.  @raise Invalid_argument
-    when [shards < 1]. *)
+    {!save_rids} fsync by default.  Compaction rewrites always fsync —
+    they replace the only copy of the key history, and an unsynced
+    rename promoted by any later directory fsync would leave the log
+    durably empty.  @raise Invalid_argument when [shards < 1]. *)
 
 val shard_count : t -> int
 val key_count : t -> int  (** spine size: distinct keys ever committed *)

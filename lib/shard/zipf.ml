@@ -25,7 +25,19 @@ let s t = t.s
 let sample t u =
   let u = if u < 0.0 then 0.0 else if u >= 1.0 then Float.pred 1.0 else u in
   let target = u *. t.total in
-  (* First rank whose cumulative weight exceeds [target]. *)
+  (* First rank whose cumulative weight exceeds [target] — and in-range
+     for EVERY float, proved by the loop invariant 0 <= lo <= hi <= n-1:
+     it holds at entry (n >= 1 by [create]); inside the loop lo < hi
+     puts mid = (lo+hi)/2 in [lo, hi-1], so both hi := mid and
+     lo := mid+1 preserve it while strictly shrinking hi - lo.  The
+     loop therefore terminates with lo = hi in [0, n-1] independent of
+     [target]'s value.  The degenerate targets all land safely: a NaN u
+     passes both clamp comparisons unchanged and every cum comparison
+     is false, walking lo up to n-1; and even though u < 1, the product
+     u *. t.total can round UP to exactly t.total = cum.(n-1) (u one
+     ulp below 1 multiplies to within half an ulp of total), in which
+     case no entry exceeds the target and the search again returns
+     n-1 rather than probing past the table. *)
   let lo = ref 0 and hi = ref (t.n - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in

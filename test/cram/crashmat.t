@@ -22,7 +22,7 @@ Unknown points and faults are rejected up front, listing the valid
 names.
 
   $ $CLI crashmat --points bogus.point
-  unknown persist point "bogus.point" (have: ensemble.write, ensemble.fsync, ensemble.rename, ensemble.fsync-dir, data.write, data.fsync, data.rename, data.fsync-dir, oplog.write)
+  unknown persist point "bogus.point" (have: ensemble.write, ensemble.fsync, ensemble.rename, ensemble.fsync-dir, data.write, data.fsync, data.rename, data.fsync-dir, oplog.write, shard.write, shard.fsync, shard.rename, shard.fsync-dir)
   [2]
 
   $ $CLI crashmat --faults gremlins

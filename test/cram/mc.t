@@ -2,7 +2,9 @@ The bounded model checker exhaustively explores the message-level
 protocols on the paper's §3 four-copy example (sites A,B on one segment,
 C and D alone).  Stdout is deterministic: timing goes to stderr,
 and the job count is pinned to 1 so the traversal statistics in the
-expected output stay exact.
+expected output stay exact.  Partial-order reduction is on by default;
+it never changes a verdict, a counterexample, or a state count — only
+the transition counts below shrink.
 
   $ export CLI=../../bin/dynvote_cli.exe
   $ export DYNVOTE_JOBS=1
@@ -13,7 +15,7 @@ harness, which reproduces the identical violation:
 
   $ $CLI mc --policy tdv --depth 8 2>/dev/null
   mc: 4 sites (segments 0,0,1,2), depth 8, max 1000000 states
-  tdv       VIOLATION in 5 steps (1470 states, 12409 transitions)
+  tdv       VIOLATION in 5 steps (1470 states, 11451 transitions)
     schedule: [write@0+crash; write@1; write@1+crash; partition 0x1; recover 0]
     generation 2 committed twice: site 1 saw (v2, {1, 2, 3}) but site 0 saw (v1, {0})
     chaos replay: reproduces the same violation
@@ -24,7 +26,7 @@ and claiming its dead partner's vote:
 
   $ $CLI mc --policy tdv --sites 2 --segments 0,0 --depth 6 2>/dev/null
   mc: 2 sites (segments 0,0), depth 6, max 1000000 states
-  tdv       VIOLATION in 4 steps (48 states, 234 transitions)
+  tdv       VIOLATION in 4 steps (48 states, 222 transitions)
     schedule: [write@0+crash; write@1; write@1+crash; recover 0]
     generation 2 committed twice: site 1 saw (v2, {1}) but site 0 saw (v1, {0})
     chaos replay: reproduces the same violation
@@ -35,36 +37,57 @@ clean (the full acceptance sweep to depth 8 runs via DYNVOTE_MC_DEPTH):
 
   $ $CLI mc --policy tdv-safe --depth 6 2>/dev/null
   mc: 4 sites (segments 0,0,1,2), depth 6, max 1000000 states
-  tdv-safe  safe to depth 6 (26026 states, 142362 transitions)
+  tdv-safe  safe to depth 6 (26026 states, 133021 transitions)
     expected safe: OK
 
   $ $CLI mc --policy odv --depth 6 2>/dev/null
   mc: 4 sites (segments 0,0,1,2), depth 6, max 1000000 states
-  odv       safe to depth 6 (50520 states, 374851 transitions)
+  odv       safe to depth 6 (50520 states, 350443 transitions)
+    expected safe: OK
+
+Switching the reduction off explores the full transition relation —
+same states, same verdict, more transitions (the soundness gate in the
+test suite checks this equivalence for every policy):
+
+  $ $CLI mc --policy tdv-safe --depth 6 --por off 2>/dev/null
+  mc: 4 sites (segments 0,0,1,2), depth 6, max 1000000 states
+  tdv-safe  safe to depth 6 (26026 states, 142362 transitions)
     expected safe: OK
 
 All four policies side by side at a shallow bound:
 
   $ $CLI mc --depth 5 2>/dev/null
   mc: 4 sites (segments 0,0,1,2), depth 5, max 1000000 states
-  dv        safe to depth 5 (5388 states, 41669 transitions)
+  dv        safe to depth 5 (5388 states, 39501 transitions)
     expected safe: OK
-  odv       safe to depth 5 (12871 states, 83149 transitions)
+  odv       safe to depth 5 (12871 states, 76880 transitions)
     expected safe: OK
-  tdv       VIOLATION in 5 steps (1470 states, 12409 transitions)
+  tdv       VIOLATION in 5 steps (1470 states, 11451 transitions)
     schedule: [write@0+crash; write@1; write@1+crash; partition 0x1; recover 0]
     generation 2 committed twice: site 1 saw (v2, {1, 2, 3}) but site 0 saw (v1, {0})
     chaos replay: reproduces the same violation
     expected unsafe: hole confirmed
-  tdv-safe  safe to depth 5 (6670 states, 33173 transitions)
+  tdv-safe  safe to depth 5 (6670 states, 30770 transitions)
     expected safe: OK
 
 A starved state budget is reported as inconclusive, never as safe:
 
   $ $CLI mc --policy tdv-safe --depth 6 --max-states 100 2>/dev/null
   mc: 4 sites (segments 0,0,1,2), depth 6, max 100 states
-  tdv-safe  inconclusive: state budget exhausted after depth 2 (100 states, 426 transitions)
+  tdv-safe  inconclusive: state budget exhausted after depth 2 (100 states, 390 transitions)
     no verdict
+
+Spilling the fingerprint store to disk (resident budget in states;
+here low enough that the final bound overflows it) changes nothing
+observable — the traversal statistics are byte-identical:
+
+  $ DYNVOTE_MC_SPILL=1000 $CLI mc --policy tdv --depth 8 2>/dev/null
+  mc: 4 sites (segments 0,0,1,2), depth 8, max 1000000 states
+  tdv       VIOLATION in 5 steps (1470 states, 11451 transitions)
+    schedule: [write@0+crash; write@1; write@1+crash; partition 0x1; recover 0]
+    generation 2 committed twice: site 1 saw (v2, {1, 2, 3}) but site 0 saw (v1, {0})
+    chaos replay: reproduces the same violation
+    expected unsafe: hole confirmed
 
 Unknown policies are rejected:
 

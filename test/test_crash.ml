@@ -11,6 +11,7 @@ module Live = Dynvote_live.Cluster
 module Node = Dynvote_live.Node
 module Crash_matrix = Dynvote_live.Crash_matrix
 module Faultfs = Dynvote_faultfs.Faultfs
+module Shard_store = Dynvote_shard.Shard_store
 module Storage = Dynvote_chaos.Fault_plan.Storage
 module Oracle = Dynvote_chaos.Oracle
 module Hub = Dynvote_obs.Hub
@@ -461,6 +462,62 @@ let test_matrix_cells () =
         (Crash_matrix.run_cell ~dir ~seed:3 (find_point "oplog.write")
            Storage.Crash))
 
+(* Compaction mid-flight: every atomic-replace operation of the keyed
+   store's shard rewrite, struck under every fault class a bare store
+   can grade.  Cheap enough to sweep un-gated — no cluster, no sockets,
+   one shard log per cell. *)
+let test_compaction_cells () =
+  with_scratch (fun dir ->
+      List.iteri
+        (fun i point ->
+          List.iter
+            (fun fault ->
+              check_cell
+                (Crash_matrix.run_compaction_cell ~dir ~seed:(11 + i) point
+                   fault))
+            Crash_matrix.compaction_faults)
+        Crash_matrix.compaction_points)
+
+(* The exact crash window the always-fsync compaction rule closes: a
+   non-durable store compacts (write-then-rename), then an unrelated
+   durable replace in the same directory — the rids sidecar — fsyncs
+   the directory and promotes the rename.  If the compacted bytes were
+   never fsynced, the power cut leaves the shard log durably EMPTY:
+   fsynced history silently gone, with no fault injected anywhere. *)
+let test_compaction_promoted_rename () =
+  with_scratch (fun dir ->
+      let ff = Faultfs.create ~seed:7 () in
+      let store, _ =
+        Shard_store.open_store ~vfs:(Faultfs.vfs ff) ~durable:false ~dir ~site:0
+          ~shards:1 ()
+      in
+      let state v =
+        {
+          Shard_store.op_no = v;
+          version = v;
+          partition = Site_set.of_list [ 0 ];
+          data_version = v;
+          value = Some (Printf.sprintf "v%d" v);
+        }
+      in
+      for v = 1 to 1024 do
+        Shard_store.commit store ~key:"k" ~rid:v (state v)
+      done;
+      Alcotest.(check int) "the 1024th commit compacted" 1
+        (Shard_store.compactions store);
+      Shard_store.save_rids ~fsync:true store [];
+      Shard_store.close store;
+      Faultfs.simulate_crash ff;
+      let rescan, info = Shard_store.open_store ~dir ~site:0 ~shards:1 () in
+      Alcotest.(check int) "no mid-log corruption" 0 info.Shard_store.corrupt;
+      (match Shard_store.lookup rescan "k" with
+      | Some st ->
+          Alcotest.(check (option string))
+            "compacted history survived the power cut" (Some "v1024")
+            st.Shard_store.value
+      | None -> Alcotest.fail "shard log durably empty: fsynced history lost");
+      Shard_store.close rescan)
+
 (* The exhaustive sweep: every persist point x every fault class.  Gated
    like the live soak — minutes of wall clock, run by CI's soak job via
    DYNVOTE_CRASH_SOAK=1. *)
@@ -498,6 +555,10 @@ let suite =
     Alcotest.test_case "slow-loris recv bounded by deadline" `Quick
       test_slow_loris_recv;
     Alcotest.test_case "crash matrix cells" `Quick test_matrix_cells;
+    Alcotest.test_case "compaction mid-flight cells" `Quick
+      test_compaction_cells;
+    Alcotest.test_case "compaction rename promoted by sidecar fsync" `Quick
+      test_compaction_promoted_rename;
     Alcotest.test_case "crash matrix soak (DYNVOTE_CRASH_SOAK)" `Slow
       test_matrix_soak;
   ]

@@ -24,6 +24,7 @@ let () =
       ("codec", Test_codec.suite);
       ("chaos", Test_chaos.suite);
       ("mc", Test_mc.suite);
+      ("invariant", Test_invariant.suite);
       ("adaptive_witness", Test_adaptive_witness.suite);
       ("obs", Test_obs.suite);
       ("live", Test_live.suite);

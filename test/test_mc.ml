@@ -8,6 +8,7 @@
 module Checker = Dynvote_mc.Checker
 module Explorer = Dynvote_mc.Explorer
 module Space = Dynvote_mc.Space
+module Striped_seen = Dynvote_mc.Striped_seen
 module Harness = Dynvote_chaos.Harness
 
 let policy name =
@@ -81,6 +82,162 @@ let test_budget_exhaustion () =
   | Explorer.Out_of_budget -> ()
   | _ -> Alcotest.fail "a 50-state budget cannot cover depth 8"
 
+(* Regression: the distinct-state counter must move only on admission.
+   The old per-shard tables bumped it on the Budget path too, so under
+   contention the reported count drifted past max_states.  Exhaust a
+   tiny budget from four workers and demand exact accounting (the
+   explorer additionally asserts [length = distinct] internally). *)
+let test_budget_no_drift_parallel () =
+  let result =
+    Explorer.search ~jobs:4 ~max_states:100
+      ~config:(Checker.paper_config ~flavor:Decision.tdv_safe_flavor ())
+      ~depth:6 ()
+  in
+  (match result.Explorer.outcome with
+  | Explorer.Out_of_budget -> ()
+  | _ -> Alcotest.fail "a 100-state budget cannot cover the paper scope");
+  Alcotest.(check int) "exactly max_states admitted, none past the cap" 100
+    result.Explorer.distinct
+
+(* The partial-order reduction soundness gate: reduced and full
+   exploration must produce identical verdicts, counterexample lengths
+   and distinct-state counts on a completed bound — at small depth, for
+   every distinct policy, sequentially and under a 4-worker pool.  This
+   is the empirical half of the commutation proof in lib/mc/por.ml. *)
+let test_por_equivalence () =
+  (* Equally short counterexamples are interchangeable: the reduction
+     (and worker scheduling) may pick a different representative, so a
+     violation compares by length and kind, not by its site details. *)
+  let kind = function
+    | Dynvote_chaos.Oracle.Generation_conflict _ -> "generation"
+    | Dynvote_chaos.Oracle.Non_monotone_op _ -> "op"
+    | Dynvote_chaos.Oracle.Version_regression _ -> "version"
+    | Dynvote_chaos.Oracle.Stale_read _ -> "read"
+    | Dynvote_chaos.Oracle.Content_fork _ -> "fork"
+  in
+  let summary (r : Explorer.result) =
+    match r.Explorer.outcome with
+    | Explorer.Safe { closed } -> `Safe (closed, r.Explorer.distinct)
+    | Explorer.Violation { trace; violations } ->
+        `Violation (List.length trace, List.sort compare (List.map kind violations))
+    | Explorer.Out_of_budget -> `Out_of_budget
+  in
+  List.iter
+    (fun name ->
+      let p = policy name in
+      let config =
+        {
+          (Checker.paper_config ()) with
+          Harness.flavor = p.Harness.flavor;
+        }
+      in
+      let run ~por ~jobs = Explorer.search ~por ~jobs ~config ~depth:5 () in
+      let full = summary (run ~por:false ~jobs:1) in
+      List.iter
+        (fun jobs ->
+          let reduced = summary (run ~por:true ~jobs) in
+          if reduced <> full then
+            Alcotest.failf "%s (-j%d): reduced and full verdicts differ" name jobs)
+        [ 1; 4 ];
+      (* Transitions must never grow on the policy's own search. *)
+      let t_full = (run ~por:false ~jobs:1).Explorer.transitions in
+      let t_red = (run ~por:true ~jobs:1).Explorer.transitions in
+      Alcotest.(check bool)
+        (name ^ ": reduction does not add transitions")
+        true (t_red <= t_full))
+    [ "dv"; "odv"; "tdv"; "tdv-safe" ]
+
+(* The fingerprint store in isolation: admission caps, the
+   context-tagged transposition rule, and the spill tier. *)
+let test_seen_store_claim () =
+  let t = Striped_seen.create ~shards:1 ~max_states:3 () in
+  let fp i = Printf.sprintf "state-%d" i in
+  (* Admission: exactly max_states distinct fingerprints, then Budget —
+     and the bounced state is never counted. *)
+  for i = 1 to 3 do
+    match Striped_seen.claim t (fp i) ~budget:4 ~ctx:0 with
+    | Striped_seen.Expand { filter; covered } ->
+        Alcotest.(check int) "fresh expansion under own ctx" 0 filter;
+        Alcotest.(check int) "fresh expansion is full" 0 covered
+    | _ -> Alcotest.failf "state %d should admit" i
+  done;
+  (match Striped_seen.claim t (fp 4) ~budget:4 ~ctx:0 with
+  | Striped_seen.Budget -> ()
+  | _ -> Alcotest.fail "4th state must bounce");
+  Alcotest.(check int) "bounced state not counted" 3 (Striped_seen.distinct t);
+  Alcotest.(check int) "length = distinct" 3 (Striped_seen.length t);
+  (* Transposition: smaller budget prunes, larger re-expands. *)
+  (match Striped_seen.claim t (fp 1) ~budget:2 ~ctx:0 with
+  | Striped_seen.Prune -> ()
+  | _ -> Alcotest.fail "covered revisit must prune");
+  (match Striped_seen.claim t (fp 1) ~budget:6 ~ctx:0 with
+  | Striped_seen.Expand { covered = 0; _ } -> ()
+  | _ -> Alcotest.fail "deeper revisit must re-expand in full");
+  Alcotest.(check int) "revisits never recount" 3 (Striped_seen.distinct t);
+  Striped_seen.close t;
+  (* Context conflict at a covered budget: only the difference, and the
+     new statement joins the stored pair. *)
+  let t = Striped_seen.create ~shards:1 ~max_states:10 () in
+  let ctx_a = 0x1_0001 and ctx_b = 0x1_0002 in
+  (match Striped_seen.claim t "conflicted" ~budget:4 ~ctx:ctx_a with
+  | Striped_seen.Expand { filter; covered } ->
+      Alcotest.(check int) "fresh: filter is the incoming ctx" ctx_a filter;
+      Alcotest.(check int) "fresh: full expansion" 0 covered
+  | _ -> Alcotest.fail "fresh state admits");
+  (match Striped_seen.claim t "conflicted" ~budget:4 ~ctx:ctx_b with
+  | Striped_seen.Expand { filter; covered } ->
+      Alcotest.(check int) "conflict: filter is our ctx" ctx_b filter;
+      Alcotest.(check int) "conflict: difference against the stored ctx" ctx_a
+        covered
+  | _ -> Alcotest.fail "conflicting ctx at covered budget expands difference");
+  (match Striped_seen.claim t "conflicted" ~budget:4 ~ctx:ctx_b with
+  | Striped_seen.Prune -> ()
+  | _ -> Alcotest.fail "joined statement must prune the repeat");
+  (match Striped_seen.claim t "conflicted" ~budget:3 ~ctx:0 with
+  | Striped_seen.Expand { filter = 0; covered } ->
+      Alcotest.(check bool) "unfiltered arrival diffs against a stored ctx" true
+        (covered = ctx_a || covered = ctx_b)
+  | _ -> Alcotest.fail "unfiltered arrival under covered budget diffs");
+  Striped_seen.close t
+
+(* Spilling moves entries to disk without changing a single answer:
+   replay one deterministic claim sequence against a resident-only store
+   and a spill-at-16 store and demand identical verdicts throughout. *)
+let test_seen_store_spill_equivalence () =
+  let resident = Striped_seen.create ~shards:1 ~max_states:10_000 () in
+  let spilly = Striped_seen.create ~shards:1 ~spill:16 ~max_states:10_000 () in
+  let mix i = (i * 2654435761) land 0xfff in
+  for i = 0 to 2_000 do
+    let fp = Printf.sprintf "s-%d" (mix i) in
+    let budget = i mod 7 and ctx = if i mod 3 = 0 then 0 else 0x1_0000 lor (i mod 5) in
+    let a = Striped_seen.claim resident fp ~budget ~ctx in
+    let b = Striped_seen.claim spilly fp ~budget ~ctx in
+    if a <> b then Alcotest.failf "claim %d diverges with spilling on" i
+  done;
+  Alcotest.(check int) "same distinct count"
+    (Striped_seen.distinct resident)
+    (Striped_seen.distinct spilly);
+  Alcotest.(check bool) "the spill tier actually engaged" true
+    (Striped_seen.spilled spilly > 0);
+  Striped_seen.close resident;
+  Striped_seen.close spilly
+
+(* The same equivalence end-to-end: DYNVOTE_MC_SPILL forces the search's
+   seen store onto the disk tier; verdict and statistics must not move. *)
+let test_search_spill_equivalence () =
+  let config = two_sites Decision.tdv_safe_flavor in
+  let plain = Explorer.search ~config ~depth:6 () in
+  Unix.putenv "DYNVOTE_MC_SPILL" "64";
+  let spilled =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "DYNVOTE_MC_SPILL" "")
+      (fun () -> Explorer.search ~config ~depth:6 ())
+  in
+  Alcotest.(check bool) "identical result up to the spill statistic" true
+    ({ plain with Explorer.spilled = 0 } = { spilled with Explorer.spilled = 0 });
+  Alcotest.(check bool) "the spill tier actually engaged" true
+    (spilled.Explorer.spilled > 0)
+
 (* The paper's §3 four-copy topology: the published violation surfaces as
    a short schedule even at a shallow bound. *)
 let test_paper_example_tdv () =
@@ -122,6 +279,16 @@ let suite =
     Alcotest.test_case "search is deterministic" `Quick test_deterministic;
     Alcotest.test_case "symmetry reduction is sound" `Quick test_symmetry_sound;
     Alcotest.test_case "state budget reported" `Quick test_budget_exhaustion;
+    Alcotest.test_case "budget counter never drifts (-j4)" `Quick
+      test_budget_no_drift_parallel;
+    Alcotest.test_case "partial-order reduction is sound (-j1/-j4)" `Quick
+      test_por_equivalence;
+    Alcotest.test_case "seen store: claim rule and admission cap" `Quick
+      test_seen_store_claim;
+    Alcotest.test_case "seen store: spilling changes no answer" `Quick
+      test_seen_store_spill_equivalence;
+    Alcotest.test_case "search under DYNVOTE_MC_SPILL is identical" `Quick
+      test_search_spill_equivalence;
     Alcotest.test_case "paper example: tdv counterexample" `Quick
       test_paper_example_tdv;
     Alcotest.test_case "deep sweep (DYNVOTE_MC_DEPTH)" `Slow test_deep_sweep;

@@ -90,6 +90,62 @@ let test_zipf_determinism () =
   Alcotest.(check bool) "ranks stay in range" true
     (List.for_all (fun k -> k >= 0 && k < 100) (draw 7L))
 
+(* Sampling is total: any float variate — negative, >= 1, adversarially
+   close to 1, or NaN — maps to a rank in [0, n), for any n and s.  The
+   in-range argument is the loop invariant documented at the search;
+   this is its executable counterpart. *)
+let prop_zipf_sample_total =
+  qcheck_case ~count:500 ~name:"zipf sample is total and in range"
+    QCheck.(triple (int_range 1 200) (int_range 0 40) float)
+    (fun (n, s_tenths, u) ->
+      let z = Zipf.create ~n ~s:(float_of_int s_tenths /. 10.0) in
+      let k = Zipf.sample z u in
+      0 <= k && k < n)
+
+let test_zipf_sample_edge_variates () =
+  List.iter
+    (fun (n, s) ->
+      let z = Zipf.create ~n ~s in
+      List.iter
+        (fun (name, u) ->
+          let k = Zipf.sample z u in
+          Alcotest.(check bool)
+            (Printf.sprintf "u=%s in range at n=%d s=%.1f (got %d)" name n s k)
+            true
+            (0 <= k && k < n))
+        [
+          ("0", 0.0); ("pred 1", Float.pred 1.0); ("1", 1.0); ("2", 2.0);
+          ("-1", -1.0); ("nan", Float.nan); ("inf", Float.infinity);
+          ("-inf", Float.neg_infinity); ("min_float", Float.min_float);
+          ("-0", -0.0);
+        ])
+    [ (1, 0.0); (1, 4.0); (2, 1.0); (7, 0.0); (100, 4.0) ]
+
+(* The rank-frequency curve is a distribution at the exponents the
+   soaks use (uniform and heavily skewed) and at the degenerate single
+   rank, whatever the table size. *)
+let prop_zipf_mass_sums =
+  qcheck_case ~count:200 ~name:"zipf mass sums to 1 (s=0 and s=4)"
+    QCheck.(pair (int_range 1 300) bool)
+    (fun (n, skewed) ->
+      let z = Zipf.create ~n ~s:(if skewed then 4.0 else 0.0) in
+      let sum = ref 0.0 in
+      for k = 0 to n - 1 do
+        sum := !sum +. Zipf.mass z k
+      done;
+      Float.abs (!sum -. 1.0) <= 1e-9)
+
+let test_zipf_single_rank () =
+  List.iter
+    (fun s ->
+      let z = Zipf.create ~n:1 ~s in
+      check_float_tol 1e-9
+        (Printf.sprintf "n=1 mass is 1 at s=%.1f" s)
+        1.0 (Zipf.mass z 0);
+      Alcotest.(check int) "n=1 always samples rank 0" 0
+        (Zipf.sample z 0.999999999999))
+    [ 0.0; 4.0 ]
+
 let empirical ~n ~s ~draws =
   let z = Zipf.create ~n ~s in
   let rng = Rng.create ~seed:11L () in
@@ -615,6 +671,12 @@ let suite =
     Alcotest.test_case "zipf: mass is a distribution" `Quick test_zipf_mass;
     Alcotest.test_case "zipf: seeded sampling is deterministic" `Quick
       test_zipf_determinism;
+    prop_zipf_sample_total;
+    Alcotest.test_case "zipf: edge variates stay in range" `Quick
+      test_zipf_sample_edge_variates;
+    prop_zipf_mass_sums;
+    Alcotest.test_case "zipf: single rank degenerates cleanly" `Quick
+      test_zipf_single_rank;
     Alcotest.test_case "zipf: s=0 draws uniformly" `Quick test_zipf_uniform;
     Alcotest.test_case "zipf: skew concentrates on low ranks" `Quick
       test_zipf_slope;
