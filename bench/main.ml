@@ -789,10 +789,20 @@ let mc () =
             Printf.sprintf "%.2fx" reduction;
             Printf.sprintf "%.0f" rate;
             verdict ];
-        (name, rr, rf.Explorer.transitions, reduction, rate, verdict))
+        let totals = Dynvote_mc.Report.steal_totals rr.Explorer.workers in
+        (name, rr, rf.Explorer.transitions, reduction, rate, verdict, totals))
       [ "dv"; "odv"; "tdv"; "tdv-safe" ]
   in
   Text_table.print table;
+  if jobs > 1 then begin
+    Fmt.pr "@.Stealing frontier (-j%d, reduced runs):@." jobs;
+    List.iter
+      (fun (name, _, _, _, _, _, (t : Pool.steal_stats)) ->
+        Fmt.pr "  %-9s %d tasks, %d steals, %d failed steals, max deque %d@."
+          name t.Pool.tasks_executed t.Pool.steals t.Pool.failed_steals
+          t.Pool.max_deque_depth)
+      policy_rows
+  end;
   let sampled, canon_bytes, old_bs, resident_bs, spill_bs, spilled =
     mc_store_bytes ()
   in
@@ -807,15 +817,17 @@ let mc () =
   let fl v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
   let oc = open_out "BENCH_MC.json" in
   Printf.fprintf oc
-    "{\"schema\":\"dynvote-bench-mc/1\",\"depth\":%d,\"jobs\":%d,\"policies\":{%s},\"store\":{\"sampled_states\":%d,\"canonical_bytes_avg\":%s,\"hashtbl_bytes_per_state\":%s,\"resident_bytes_per_state\":%s,\"spill_resident_bytes_per_state\":%s,\"spilled_states\":%d,\"resident_ratio\":%s,\"spill_ratio\":%s}}\n"
+    "{\"schema\":\"dynvote-bench-mc/2\",\"depth\":%d,\"jobs\":%d,\"policies\":{%s},\"store\":{\"sampled_states\":%d,\"canonical_bytes_avg\":%s,\"hashtbl_bytes_per_state\":%s,\"resident_bytes_per_state\":%s,\"spill_resident_bytes_per_state\":%s,\"spilled_states\":%d,\"resident_ratio\":%s,\"spill_ratio\":%s}}\n"
     depth jobs
     (String.concat ","
        (List.map
-          (fun (name, rr, full_t, reduction, rate, verdict) ->
+          (fun (name, rr, full_t, reduction, rate, verdict,
+                (t : Pool.steal_stats)) ->
             Printf.sprintf
-              "\"%s\":{\"states\":%d,\"transitions_full\":%d,\"transitions_reduced\":%d,\"reduction\":%s,\"trans_per_s\":%s,\"verdict\":\"%s\"}"
+              "\"%s\":{\"states\":%d,\"transitions_full\":%d,\"transitions_reduced\":%d,\"reduction\":%s,\"trans_per_s\":%s,\"verdict\":\"%s\",\"steal_totals\":{\"tasks_executed\":%d,\"steals\":%d,\"failed_steals\":%d,\"max_deque_depth\":%d}}"
               name rr.Explorer.distinct full_t rr.Explorer.transitions
-              (fl reduction) (fl rate) verdict)
+              (fl reduction) (fl rate) verdict t.Pool.tasks_executed
+              t.Pool.steals t.Pool.failed_steals t.Pool.max_deque_depth)
           policy_rows))
     sampled (fl canon_bytes) (fl old_bs) (fl resident_bs) (fl spill_bs) spilled
     (fl (old_bs /. resident_bs))
@@ -824,28 +836,42 @@ let mc () =
   Fmt.pr "wrote BENCH_MC.json@."
 
 (* ------------------------------------------------------------------ *)
-(* PAR: the execution layer itself.  One fixed workload — the full
-   8-configuration study on a short horizon plus bounded search of
-   three policies — run at -j 1 and at -j N, results asserted
-   identical, wall times and the speedup written to BENCH_PAR.json.
-   The identity assertion is the real gate (it holds on any machine);
-   the speedup is reported against the core count actually present,
-   which is what bounds it. *)
+(* PAR: the execution layer itself.  The workload scales with the
+   detected core count so per-worker work stays large against dispatch
+   overhead (the schema-1 bench ran a fixed tiny workload on which pool
+   overhead dominated and the measured "speedup" said nothing about the
+   scheduler).  The identity assertions are the portable gate — they
+   hold on any machine, including 1-core CI containers where wall-clock
+   speedups are meaningless.
+
+   The model-checker workload is deliberately deep-narrow: one policy
+   over the FULL action alphabet.  That shape starves root-alphabet
+   sharding (at most |alphabet| workers ever busy, the round finishing
+   at the speed of the deepest root subtree) and is what the stealing
+   frontier exists for.  It runs three ways — -j1, -jN over root shards
+   (--steal off) and -jN over the stealing frontier — with the verdict
+   asserted identical across all three and the frontier's steal
+   counters recorded in BENCH_PAR.json (schema 2). *)
 
 let par () =
   let n = max jobs 4 in
   let cores = Domain.recommended_domain_count () in
   section "PAR"
     (Printf.sprintf
-       "Domain-pool execution layer: a fixed workload at -j 1 and -j %d\n\
+       "Domain-pool execution layer: core-scaled workloads at -j 1 and -j %d\n\
         (%d core%s available).  Per-cell study results must be bit-identical;\n\
-        model-checker verdicts must agree." n cores (if cores = 1 then "" else "s"));
+        model-checker verdicts must agree across -j1, root shards and the\n\
+        stealing frontier." n cores (if cores = 1 then "" else "s"));
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let study_parameters = { Study.default_parameters with Study.horizon = 20_360.0 } in
+  (* Enough horizon per core that each of the 48 study cells hands every
+     worker a meaningful slice; capped so a big box stays a bench, not a
+     soak. *)
+  let horizon = 20_360.0 *. float_of_int (min cores 16) in
+  let study_parameters = { Study.default_parameters with Study.horizon } in
   let study_seq, study_seq_s = time (fun () -> Study.run ~parameters:study_parameters ~jobs:1 ()) in
   let study_par, study_par_s = time (fun () -> Study.run ~parameters:study_parameters ~jobs:n ()) in
   (* [compare] (not [=]) so the nan mean_outage_days cells of
@@ -854,12 +880,16 @@ let par () =
   Fmt.pr "  study (48 cells, %.0f-day horizon): -j1 %.2f s, -j%d %.2f s  [%s]@."
     study_parameters.Study.horizon study_seq_s n study_par_s
     (if study_identical then "IDENTICAL" else "MISMATCH");
-  let mc_depth = 5 in
-  let mc_policies = [ "dv"; "tdv-safe"; "tdv" ] in
+  (* Deep-narrow bounded search: tdv-safe (the largest safe state space)
+     over the full alphabet, one bound deeper where the cores can pay
+     for it. *)
+  let mc_depth = if cores >= 4 then 6 else 5 in
+  let mc_policy = "tdv-safe" in
   let verdict_summary (report : Checker.report) =
-    (* Exactly the jobs-independent part of the result: the verdict, the
-       bound, and the distinct-state count on Safe outcomes (on a
-       violation the table size reflects when the search stopped). *)
+    (* Exactly the scheduling-independent part of the result: the
+       verdict, the bound, and the distinct-state count on Safe outcomes
+       (on a violation the table size reflects when the search
+       stopped). *)
     let r = report.Checker.result in
     match r.Explorer.outcome with
     | Explorer.Safe { closed } ->
@@ -872,39 +902,47 @@ let par () =
           | _ -> false)
     | Explorer.Out_of_budget -> Printf.sprintf "budget depth=%d" r.Explorer.depth
   in
-  let run_mc jobs =
-    List.map
-      (fun name ->
-        let p = Option.get (Harness.policy_of_string name) in
-        (name, verdict_summary (Checker.check ~policy:p ~depth:mc_depth ~jobs
-                                  (Checker.paper_config ()))))
-      mc_policies
+  let p = Option.get (Harness.policy_of_string mc_policy) in
+  let run_mc ~jobs ~steal =
+    Checker.check ~space:Dynvote_mc.Space.full ~policy:p ~depth:mc_depth ~jobs
+      ~steal (Checker.paper_config ())
   in
-  let mc_seq, mc_seq_s = time (fun () -> run_mc 1) in
-  let mc_par, mc_par_s = time (fun () -> run_mc n) in
-  let mc_identical = mc_seq = mc_par in
-  Fmt.pr "  mc (%s, depth %d): -j1 %.2f s, -j%d %.2f s  [%s]@."
-    (String.concat "/" mc_policies) mc_depth mc_seq_s n mc_par_s
+  let mc_seq, mc_seq_s = time (fun () -> run_mc ~jobs:1 ~steal:true) in
+  let mc_shard, mc_shard_s = time (fun () -> run_mc ~jobs:n ~steal:false) in
+  let mc_steal, mc_steal_s = time (fun () -> run_mc ~jobs:n ~steal:true) in
+  let base = verdict_summary mc_seq in
+  let mc_identical =
+    verdict_summary mc_shard = base && verdict_summary mc_steal = base
+  in
+  Fmt.pr
+    "  mc (%s, full alphabet, depth %d): -j1 %.2f s, -j%d shards %.2f s,\n\
+    \    -j%d stealing %.2f s  [%s]@."
+    mc_policy mc_depth mc_seq_s n mc_shard_s n mc_steal_s
     (if mc_identical then "IDENTICAL" else "MISMATCH");
-  List.iter2
-    (fun (name, seq) (_, par) ->
-      Fmt.pr "    %-10s j1: %s@.    %-10s j%d: %s@." name seq name n par)
-    mc_seq mc_par;
-  let total_seq = study_seq_s +. mc_seq_s and total_par = study_par_s +. mc_par_s in
+  Fmt.pr "    verdict: %s@." base;
+  let totals =
+    Dynvote_mc.Report.steal_totals mc_steal.Checker.result.Explorer.workers
+  in
+  Fmt.pr "    frontier: %d tasks, %d steals, %d failed steals, max deque %d@."
+    totals.Pool.tasks_executed totals.Pool.steals totals.Pool.failed_steals
+    totals.Pool.max_deque_depth;
+  let total_seq = study_seq_s +. mc_seq_s
+  and total_par = study_par_s +. mc_steal_s in
   let speedup = total_seq /. total_par in
   Fmt.pr "  total: -j1 %.2f s, -j%d %.2f s, speedup %.2fx on %d core%s@." total_seq n
     total_par speedup cores (if cores = 1 then "" else "s");
   let fl v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
   let oc = open_out "BENCH_PAR.json" in
   Printf.fprintf oc
-    "{\"schema\":\"dynvote-bench-par/1\",\"jobs\":%d,\"cores\":%d,\"sections\":{\"study\":{\"j1_wall_s\":%s,\"jn_wall_s\":%s,\"speedup\":%s,\"identical\":%b},\"mc\":{\"depth\":%d,\"j1_wall_s\":%s,\"jn_wall_s\":%s,\"speedup\":%s,\"identical\":%b,\"verdicts\":{%s}}},\"total\":{\"j1_wall_s\":%s,\"jn_wall_s\":%s,\"speedup\":%s}}\n"
-    n cores (fl study_seq_s) (fl study_par_s)
+    "{\"schema\":\"dynvote-bench-par/2\",\"jobs\":%d,\"cores\":%d,\"sections\":{\"study\":{\"horizon_days\":%s,\"j1_wall_s\":%s,\"jn_wall_s\":%s,\"speedup\":%s,\"identical\":%b},\"mc\":{\"policy\":\"%s\",\"space\":\"full\",\"depth\":%d,\"j1_wall_s\":%s,\"shard_wall_s\":%s,\"steal_wall_s\":%s,\"shard_speedup\":%s,\"steal_speedup\":%s,\"identical\":%b,\"verdict\":\"%s\",\"steal_totals\":{\"tasks_executed\":%d,\"steals\":%d,\"failed_steals\":%d,\"max_deque_depth\":%d}}},\"total\":{\"j1_wall_s\":%s,\"jn_wall_s\":%s,\"speedup\":%s}}\n"
+    n cores (fl horizon) (fl study_seq_s) (fl study_par_s)
     (fl (study_seq_s /. study_par_s))
-    study_identical mc_depth (fl mc_seq_s) (fl mc_par_s)
-    (fl (mc_seq_s /. mc_par_s))
-    mc_identical
-    (String.concat ","
-       (List.map (fun (name, v) -> Printf.sprintf "\"%s\":\"%s\"" name v) mc_par))
+    study_identical mc_policy mc_depth (fl mc_seq_s) (fl mc_shard_s)
+    (fl mc_steal_s)
+    (fl (mc_seq_s /. mc_shard_s))
+    (fl (mc_seq_s /. mc_steal_s))
+    mc_identical base totals.Pool.tasks_executed totals.Pool.steals
+    totals.Pool.failed_steals totals.Pool.max_deque_depth
     (fl total_seq) (fl total_par) (fl speedup);
   close_out oc;
   Fmt.pr "wrote BENCH_PAR.json@.";

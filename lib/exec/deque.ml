@@ -1,0 +1,111 @@
+(* Chase–Lev circular-array work-stealing deque on OCaml 5 atomics.
+
+   Elements live at logical indices [top, bottom): the owner pushes at
+   [bottom] and pops at [bottom - 1]; thieves CAS [top] forward.  The
+   invariants the correctness argument rests on:
+
+   - [top] is monotonically increasing (a CAS from t to t+1 is the only
+     writer besides the owner's empty-pop reset, which never decreases
+     it), so the CAS has no ABA problem.
+   - A slot at logical index i is written by [push] exactly once and
+     never overwritten while i is in [top, bottom): overwriting would
+     need bottom - top >= capacity, which triggers a grow first.
+   - A grown (old) buffer is never written again, and the grow copies
+     every index in [top, bottom) to the same logical index of the new
+     buffer, so a thief that read the buffer pointer before a grow
+     still reads the correct value for any index whose CAS it can win.
+
+   Every shared word ([top], [bottom], the buffer pointer, and each
+   slot) is an [Atomic.t], i.e. sequentially consistent — the fences
+   the weak-memory presentations of this algorithm agonize over are
+   implicit.  Slots hold ['a option] so empty cells need no dummy
+   element; a popped slot is overwritten with [None] to unroot the
+   element for the GC. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let initial_capacity = 16 (* power of two *)
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init initial_capacity (fun _ -> Atomic.make None));
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner only.  Indices in [tp, b) move to the same logical index of a
+   buffer twice the size; the old buffer is abandoned, never mutated. *)
+let grow t ~b ~tp old =
+  let cap = Array.length old in
+  let nbuf = Array.init (2 * cap) (fun _ -> Atomic.make None) in
+  for i = tp to b - 1 do
+    Atomic.set nbuf.(i land ((2 * cap) - 1)) (Atomic.get old.(i land (cap - 1)))
+  done;
+  Atomic.set t.buf nbuf;
+  nbuf
+
+let push t v =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf = if b - tp >= Array.length buf then grow t ~b ~tp buf else buf in
+  Atomic.set buf.(b land (Array.length buf - 1)) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* Publish the claim on index [b] before reading [top]: any thief that
+     still wins index b must have CASed top past it first, and then the
+     owner's CAS below fails.  SC atomics order the two accesses. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if tp > b then begin
+    (* Deque was empty; restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let slot = buf.(b land (Array.length buf - 1)) in
+    let v = Atomic.get slot in
+    if b > tp then begin
+      (* At least one element remains above index b, so no thief can
+         reach b: take it uncontended. *)
+      Atomic.set slot None;
+      v
+    end
+    else begin
+      (* b = tp: the last element — race the thieves for it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        Atomic.set slot None;
+        v
+      end
+      else None
+    end
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else begin
+    let buf = Atomic.get t.buf in
+    (* Read the slot before the CAS: once top moves past tp the owner
+       may pop-and-clear index tp, but it can only do so after our CAS
+       would have failed. *)
+    let v = Atomic.get buf.(tp land (Array.length buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None -> assert false (* slot in [top, bottom) is always written *)
+    else Retry
+  end

@@ -1,0 +1,44 @@
+(** A Chase–Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops at the bottom (LIFO — the hot
+    path, giving depth-first locality to schedulers that expand the
+    newest task first); any number of {e thief} domains steal from the
+    top (FIFO — thieves take the oldest, largest-granularity work).
+
+    The implementation is the classic circular-array algorithm (Chase &
+    Lev, SPAA 2005) built entirely on OCaml 5 sequentially-consistent
+    [Atomic]s: [top] only ever increases (no ABA), the single CAS on
+    [top] arbitrates the owner/thief race for the last element, and
+    grown buffers are never written again, so a thief holding a stale
+    buffer pointer still reads valid slots for any index its CAS can
+    win.  All operations are lock-free; [pop] and [steal] are
+    linearizable against each other (the qcheck suite scripts
+    owner/thief interleavings against a reference two-ended queue).
+
+    Only the owner may call {!push} and {!pop}.  {!steal} is safe from
+    any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom.  Grows the buffer as needed — a push
+    never blocks and never fails. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the newest element (the one most recently pushed),
+    or [None] when the deque is empty or a thief won the race for the
+    last element. *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** nothing to take *)
+  | Retry  (** lost a race with the owner or another thief; try again *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain: take the oldest element. *)
+
+val size : 'a t -> int
+(** A snapshot of the element count (exact when quiescent, a lower-bound
+    estimate under concurrent operations).  For observability only. *)

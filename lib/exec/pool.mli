@@ -47,6 +47,48 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exceptions). *)
 
+type steal_stats = {
+  tasks_executed : int;  (** tasks this worker ran (popped or stolen) *)
+  steals : int;  (** successful steals from another worker's deque *)
+  failed_steals : int;  (** steal attempts that found nothing or lost a race *)
+  max_deque_depth : int;  (** high-water mark of this worker's own deque *)
+}
+
+val zero_steal_stats : steal_stats
+
+val add_steal_stats : steal_stats -> steal_stats -> steal_stats
+(** Componentwise sum; [max_deque_depth] takes the max. *)
+
+val run_stealing :
+  t ->
+  ?seed:int ->
+  roots:'task array ->
+  init:(int -> 'state) ->
+  run:('state -> push:('task -> unit) -> 'task -> unit) ->
+  unit ->
+  steal_stats array
+(** Run a dynamically growing task frontier to quiescence over all
+    workers.  Each worker owns a {!Deque} (Chase–Lev: the owner pushes
+    and pops LIFO at the bottom, thieves steal FIFO from the top, with
+    randomized victim selection seeded by [seed]); [roots] are dealt
+    round-robin across the deques; [init w] builds worker [w]'s private
+    state once; [run state ~push task] executes one task and may [push]
+    follow-on tasks onto the {e executing} worker's own deque.
+
+    Returns when every task has been executed: termination is detected
+    by a global outstanding-task counter (incremented on [push] before
+    the task is visible, decremented after its [run] returns), so a
+    worker observing zero with an empty deque can exit — no task exists
+    and none can appear.  An exception from [run] or [init] aborts the
+    schedule and is re-raised (first failing worker by index).
+
+    The per-worker statistics are returned in worker-index order.
+    Scheduling (which worker runs which task, and in what order) is
+    nondeterministic above one worker — the caller's [run] must make
+    the aggregate result order-independent.  Inside another pool's
+    worker the schedule degrades to one sequential LIFO worker, in
+    keeping with the no-nested-pools rule. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f xs] is [Array.map f xs] computed by all workers.
     Items are claimed through a shared cursor (dynamic load balancing);

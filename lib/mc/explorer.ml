@@ -61,6 +61,7 @@ type result = {
   transitions : int;
   peak_seen : int;
   spilled : int;
+  workers : Pool.steal_stats array;
 }
 
 exception Found of Schedule.step list * Oracle.violation list
@@ -168,6 +169,7 @@ let sequential_search ~space ~symmetry ~por ~max_states ?progress
       transitions = !transitions;
       peak_seen = !peak_seen;
       spilled = !spilled;
+      workers = [||];
     }
   in
   let rec iterate bound =
@@ -316,6 +318,7 @@ let parallel_search ~jobs ~space ~symmetry ~por ~max_states ?progress
       transitions = !transitions;
       peak_seen = !peak_seen;
       spilled = !spilled;
+      workers = [||];
     }
   in
   Oracle.check_step oracle cluster;
@@ -384,10 +387,275 @@ let parallel_search ~jobs ~space ~symmetry ~por ~max_states ?progress
         iterate 1)
   end
 
+(* ------------------------------------------------------------------ *)
+(* The work-stealing search.
+
+   Root-alphabet sharding above serializes on deep narrow prefixes: once
+   a worker owns a root action, the whole subtree below it is that
+   worker's.  Here the frontier is fully distributed instead — {e every}
+   expanded state's successors become stealable tasks over
+   {!Pool.run_stealing}'s Chase–Lev deques.
+
+   A task is a state to expand, carried as its checkpointed prefix: the
+   reversed step trace from the root (tail-shared with its siblings, so
+   pushing a child is O(1)), the remaining iterative-deepening budget,
+   and the {!Por} sleep-set context ([filter]/[covered]) the expansion
+   was admitted under by {!Striped_seen.claim} — the context travels
+   with the task, so the reduction stays sound no matter which worker
+   executes it.  To execute a task a worker repositions its private
+   session: it keeps the path of (step, checkpoint) pairs it is
+   currently standing on, rolls back to the deepest common ancestor
+   with the task's prefix and replays only the suffix (applying each
+   step through the same [apply_step]/[check_step] pair as the first
+   execution, so cluster {e and} oracle state are bit-identical to a
+   fresh rebuild).  A local LIFO pop is the child of the state just
+   expanded — the common ancestor is the whole prefix and the replay is
+   one step; a steal pays a rollback to a shallow ancestor (usually the
+   root) plus a replay of the stolen prefix, which is exactly the
+   Stern & Dill recipe with the frontier made global.
+
+   The lock-striped {!Striped_seen} store (and its spill tier) remains
+   the only shared structure; everything determinism-critical — the
+   Safe/Out_of_budget/Violation verdict, the closed flag, trace
+   lengths, [distinct] on completed bounds, the [max_states] budget —
+   flows through its claim rule exactly as in the sharded search, so
+   verdicts are independent of the scheduler.  Only [visited],
+   [transitions], the steal statistics and the choice among equally
+   short counterexamples vary with the interleaving. *)
+
+type task = {
+  t_trace : Schedule.step list;  (* reversed: deepest step first *)
+  t_budget : int;  (* remaining depth below this state *)
+  t_filter : int;  (* Por context filtering this state's successors *)
+  t_covered : int;  (* nonzero: expand only the sleep difference *)
+}
+
+type wstate = {
+  ws_session : Harness.session;
+  ws_cluster : Cluster.t;
+  ws_oracle : Oracle.t;
+  ws_fingerprint : unit -> string;
+  ws_root_ck : Harness.checkpoint;
+  (* The path the session is standing on, root-first; each checkpoint is
+     the state after applying its step. *)
+  mutable ws_path : (Schedule.step * Harness.checkpoint) list;
+  mutable ws_visited : int;
+  mutable ws_transitions : int;
+  mutable ws_cutoff : bool;
+  mutable ws_budget_hit : bool;
+  mutable ws_violation : (Schedule.step list * Oracle.violation list) option;
+}
+
+let make_wstate ~gc ~perms ~(config : Harness.config) () =
+  let session = Harness.make_session config in
+  let buf = Buffer.create 256 in
+  {
+    ws_session = session;
+    ws_cluster = Harness.cluster session;
+    ws_oracle = Harness.oracle session;
+    ws_fingerprint = (fun () -> Fingerprint.canonical ~buf ~gc ~perms session);
+    ws_root_ck = Harness.checkpoint session;
+    ws_path = [];
+    ws_visited = 0;
+    ws_transitions = 0;
+    ws_cutoff = false;
+    ws_budget_hit = false;
+    ws_violation = None;
+  }
+
+(* Move the worker's session to the state reached by [target] (the
+   root-first step prefix): roll back to the deepest common ancestor of
+   the current path, then replay the suffix.  Returns the checkpoint of
+   the target state. *)
+let position st (target : Schedule.step list) =
+  let rec split kept path target =
+    match (path, target) with
+    | (s, ck) :: path', step :: target' when s = step ->
+        split ((s, ck) :: kept) path' target'
+    | _ -> (kept, target)
+  in
+  let kept_rev, suffix = split [] st.ws_path target in
+  let base_ck =
+    match kept_rev with [] -> st.ws_root_ck | (_, ck) :: _ -> ck
+  in
+  Harness.rollback st.ws_session base_ck;
+  let path = ref kept_rev and ck = ref base_ck in
+  List.iter
+    (fun step ->
+      Harness.apply_step st.ws_session step;
+      Oracle.check_step st.ws_oracle st.ws_cluster;
+      ck := Harness.checkpoint st.ws_session;
+      path := (step, !ck) :: !path)
+    suffix;
+  st.ws_path <- List.rev !path;
+  !ck
+
+(* Expand one task: enumerate the (reduction-filtered) enabled steps,
+   apply each, run the oracle, claim the successor, and push every
+   Expand verdict as a stealable child task. *)
+let execute_task ~space ~por ~(config : Harness.config) ~seen
+    ~(stop : bool Atomic.t) st ~push task =
+  if not (Atomic.get stop) then begin
+    let ck = position st (List.rev task.t_trace) in
+    if task.t_budget = 0 then st.ws_cutoff <- true
+    else begin
+      let steps = Space.enabled space ~config ~cluster:st.ws_cluster in
+      let steps =
+        if not por then steps
+        else if task.t_covered = 0 then Por.filter ~ctx:task.t_filter steps
+        else Por.filter_uncovered ~ctx:task.t_filter ~covered:task.t_covered steps
+      in
+      List.iter
+        (fun step ->
+          if not (Atomic.get stop) then begin
+            st.ws_transitions <- st.ws_transitions + 1;
+            Harness.apply_step st.ws_session step;
+            Oracle.check_step st.ws_oracle st.ws_cluster;
+            if not (Oracle.is_safe st.ws_oracle) then begin
+              st.ws_violation <-
+                Some
+                  (List.rev (step :: task.t_trace), Oracle.violations st.ws_oracle);
+              Atomic.set stop true
+            end
+            else begin
+              let budget = task.t_budget - 1 in
+              let ctx = if por then Por.rank step else 0 in
+              match Striped_seen.claim seen (st.ws_fingerprint ()) ~budget ~ctx with
+              | Striped_seen.Prune -> ()
+              | Striped_seen.Budget ->
+                  st.ws_budget_hit <- true;
+                  Atomic.set stop true
+              | Striped_seen.Expand { filter; covered } ->
+                  st.ws_visited <- st.ws_visited + 1;
+                  push
+                    {
+                      t_trace = step :: task.t_trace;
+                      t_budget = budget;
+                      t_filter = filter;
+                      t_covered = covered;
+                    }
+            end;
+            Harness.rollback st.ws_session ck
+          end)
+        steps
+    end
+  end
+
+let stealing_search ~jobs ~space ~symmetry ~por ~max_states ?progress
+    ~(config : Harness.config) ~depth () =
+  let perms = perms_for ~symmetry config in
+  let gc = Space.amnesia_free space in
+  (* The caller's own session serves the initial-state check and the
+     root fingerprint (the root state never changes across bounds). *)
+  let session = Harness.make_session config in
+  let cluster = Harness.cluster session in
+  let oracle = Harness.oracle session in
+  let buf = Buffer.create 256 in
+  let root_fp () = Fingerprint.canonical ~buf ~gc ~perms session in
+  let visited = ref 0 in
+  let transitions = ref 0 in
+  let peak_seen = ref 0 in
+  let distinct = ref 0 in
+  let spilled = ref 0 in
+  let worker_stats = ref [||] in
+  let result outcome depth =
+    {
+      outcome;
+      depth;
+      visited = !visited;
+      distinct = !distinct;
+      transitions = !transitions;
+      peak_seen = !peak_seen;
+      spilled = !spilled;
+      workers = !worker_stats;
+    }
+  in
+  Oracle.check_step oracle cluster;
+  if not (Oracle.is_safe oracle) then
+    result (Violation { trace = []; violations = Oracle.violations oracle }) 0
+  else if depth <= 0 then result (Safe { closed = false }) 0
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        let merge_stats stats =
+          if Array.length !worker_stats = 0 then worker_stats := stats
+          else
+            worker_stats :=
+              Array.map2 Pool.add_steal_stats !worker_stats stats
+        in
+        let search_to bound =
+          let seen = Striped_seen.create ~max_states () in
+          ignore (Striped_seen.claim seen (root_fp ()) ~budget:bound ~ctx:0);
+          incr visited;
+          let stop = Atomic.make false in
+          let states = Array.make (Pool.jobs pool) None in
+          let init w =
+            let st = make_wstate ~gc ~perms ~config () in
+            states.(w) <- Some st;
+            st
+          in
+          let run st ~push task =
+            execute_task ~space ~por ~config ~seen ~stop st ~push task
+          in
+          let root_task =
+            { t_trace = []; t_budget = bound; t_filter = 0; t_covered = 0 }
+          in
+          let stats =
+            Pool.run_stealing pool ~seed:bound ~roots:[| root_task |] ~init ~run ()
+          in
+          merge_stats stats;
+          let tallies =
+            Array.to_list states |> List.filter_map Fun.id
+          in
+          List.iter
+            (fun st ->
+              visited := !visited + st.ws_visited;
+              transitions := !transitions + st.ws_transitions)
+            tallies;
+          distinct := checked_distinct seen;
+          peak_seen := max !peak_seen !distinct;
+          spilled := max !spilled (Striped_seen.spilled seen);
+          Striped_seen.close seen;
+          (match progress with
+          | Some f -> f ~depth:bound ~distinct:!distinct ~transitions:!transitions
+          | None -> ());
+          (* Merge in worker-index order; a violation outranks the state
+             budget (the more informative verdict).  Among workers'
+             equally short counterexamples the lowest worker index wins —
+             which one that is depends on the schedule, exactly like the
+             root-sharded search's choice depends on the shard map. *)
+          let violation =
+            List.fold_left
+              (fun best st ->
+                match (best, st.ws_violation) with
+                | None, v -> v
+                | v, _ -> v)
+              None tallies
+          in
+          match violation with
+          | Some (trace, violations) -> `Found (trace, violations)
+          | None ->
+              if List.exists (fun st -> st.ws_budget_hit) tallies then `Budget
+              else if List.exists (fun st -> st.ws_cutoff) tallies then `Cutoff
+              else `Closed
+        in
+        let rec iterate bound =
+          match search_to bound with
+          | `Found (trace, violations) ->
+              result (Violation { trace; violations }) (List.length trace)
+          | `Budget -> result Out_of_budget (bound - 1)
+          | `Closed -> result (Safe { closed = true }) bound
+          | `Cutoff ->
+              if bound >= depth then result (Safe { closed = false }) bound
+              else iterate (bound + 1)
+        in
+        iterate 1)
+
 let search ?(space = Space.default) ?symmetry ?(por = true) ?(max_states = 1_000_000)
-    ?progress ?(jobs = 1) ~(config : Harness.config) ~depth () =
+    ?progress ?(jobs = 1) ?(steal = true) ~(config : Harness.config) ~depth () =
   let symmetry = resolve_symmetry ?symmetry config in
   if jobs <= 1 || Pool.in_worker () then
     sequential_search ~space ~symmetry ~por ~max_states ?progress ~config ~depth ()
+  else if steal then
+    stealing_search ~jobs ~space ~symmetry ~por ~max_states ?progress ~config ~depth ()
   else
     parallel_search ~jobs ~space ~symmetry ~por ~max_states ?progress ~config ~depth ()

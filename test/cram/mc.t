@@ -70,6 +70,24 @@ All four policies side by side at a shallow bound:
   tdv-safe  safe to depth 5 (6670 states, 30770 transitions)
     expected safe: OK
 
+At one job the traversal is strictly sequential whatever the scheduling
+flag says: --steal only selects between the work-stealing frontier and
+the root-alphabet shards once -j exceeds 1, so both spellings are
+byte-identical to the runs above:
+
+  $ $CLI mc --policy tdv --depth 8 --steal off 2>/dev/null
+  mc: 4 sites (segments 0,0,1,2), depth 8, max 1000000 states
+  tdv       VIOLATION in 5 steps (1470 states, 11451 transitions)
+    schedule: [write@0+crash; write@1; write@1+crash; partition 0x1; recover 0]
+    generation 2 committed twice: site 1 saw (v2, {1, 2, 3}) but site 0 saw (v1, {0})
+    chaos replay: reproduces the same violation
+    expected unsafe: hole confirmed
+
+  $ $CLI mc --policy tdv-safe --depth 6 --steal on 2>/dev/null
+  mc: 4 sites (segments 0,0,1,2), depth 6, max 1000000 states
+  tdv-safe  safe to depth 6 (26026 states, 133021 transitions)
+    expected safe: OK
+
 A starved state budget is reported as inconclusive, never as safe:
 
   $ $CLI mc --policy tdv-safe --depth 6 --max-states 100 2>/dev/null
